@@ -1,0 +1,106 @@
+//! Inference cost (DESIGN.md S2): intensional-answer latency vs rule-set
+//! cardinality — the storing/searching overhead §5.2.2 motivates pruning
+//! with.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intensio_induction::{Ils, InductionConfig};
+use intensio_inference::{InferenceConfig, InferenceEngine};
+use intensio_shipdb::{generate, ship_database, ship_model, FleetConfig};
+use intensio_sql::{analyze, parse};
+
+fn bench_rule_set_size(c: &mut Criterion) {
+    let fleet = generate(FleetConfig {
+        seed: 0x1991,
+        n_types: 4,
+        classes_per_type: 12,
+        ships_per_class: 40,
+        sonars_per_family: 6,
+        id_noise: 0.05,
+        overlapping_bands: false,
+    })
+    .expect("generation succeeds");
+    let model = fleet.ker_model();
+    let (lo, hi) = fleet.type_band["T02"];
+    let q = parse(&format!(
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS \
+         AND CLASS.DISPLACEMENT > {lo} AND CLASS.DISPLACEMENT < {hi}"
+    ))
+    .expect("query parses");
+    let analysis = analyze(&fleet.db, &q).expect("analysis succeeds");
+
+    let mut g = c.benchmark_group("infer_vs_rule_count");
+    for nc in [50usize, 20, 5, 1] {
+        let rules = Ils::new(&model, InductionConfig::with_min_support(nc))
+            .induce(&fleet.db)
+            .expect("induction succeeds")
+            .rules;
+        let engine = InferenceEngine::new(&model, &rules, &fleet.db, InferenceConfig::default())
+            .expect("engine builds");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rules.len()),
+            &engine,
+            |b, engine| b.iter(|| engine.infer(&analysis)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_paper_examples(c: &mut Criterion) {
+    let db = ship_database().expect("test bed builds");
+    let model = ship_model().expect("schema parses");
+    let rules = Ils::new(&model, InductionConfig::with_min_support(3))
+        .induce(&db)
+        .expect("induction succeeds")
+        .rules;
+    let engine = InferenceEngine::new(&model, &rules, &db, InferenceConfig::default())
+        .expect("engine builds");
+
+    let mut g = c.benchmark_group("paper_examples");
+    for (label, sql) in [
+        (
+            "example1_forward",
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        ),
+        (
+            "example2_backward",
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+        ),
+        (
+            "example3_combined",
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS, INSTALL \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP \
+             AND INSTALL.SONAR = \"BQS-04\"",
+        ),
+    ] {
+        let q = parse(sql).expect("query parses");
+        let analysis = analyze(&db, &q).expect("analysis succeeds");
+        g.bench_function(label, |b| b.iter(|| engine.infer(&analysis)));
+    }
+    g.finish();
+}
+
+fn bench_engine_construction(c: &mut Criterion) {
+    let db = ship_database().expect("test bed builds");
+    let model = ship_model().expect("schema parses");
+    let rules = Ils::new(&model, InductionConfig::with_min_support(1))
+        .induce(&db)
+        .expect("induction succeeds")
+        .rules;
+    c.bench_function("engine_snapshot_build", |b| {
+        b.iter(|| {
+            InferenceEngine::new(&model, &rules, &db, InferenceConfig::default())
+                .expect("engine builds")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rule_set_size,
+    bench_paper_examples,
+    bench_engine_construction
+);
+criterion_main!(benches);

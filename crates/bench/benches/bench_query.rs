@@ -1,0 +1,111 @@
+//! Extensional query cost: SQL execution (restriction push-down + hash
+//! joins) and the intensional-vs-extensional latency comparison — the
+//! practical argument for intensional answers on large answer sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intensio_core::IntensionalQueryProcessor;
+use intensio_induction::InductionConfig;
+use intensio_shipdb::{generate, FleetConfig};
+
+fn fleet(ships_per_class: usize) -> intensio_shipdb::Fleet {
+    generate(FleetConfig {
+        seed: 0x1991,
+        n_types: 3,
+        classes_per_type: 8,
+        ships_per_class,
+        sonars_per_family: 4,
+        id_noise: 0.0,
+        overlapping_bands: false,
+    })
+    .expect("generation succeeds")
+}
+
+fn bench_join_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_way_join");
+    for ships_per_class in [5usize, 20, 80, 320] {
+        let f = fleet(ships_per_class);
+        let total = f.config.total_ships();
+        let sql = "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS \
+                   WHERE SUBMARINE.CLASS = CLASS.CLASS";
+        g.bench_with_input(BenchmarkId::from_parameter(total), &f.db, |b, db| {
+            b.iter(|| intensio_sql::query(db, sql).expect("query succeeds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_three_way_join(c: &mut Criterion) {
+    let f = fleet(40);
+    let sql = "SELECT SUBMARINE.NAME, CLASS.TYPE, INSTALL.SONAR \
+               FROM SUBMARINE, CLASS, INSTALL \
+               WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP";
+    c.bench_function("three_way_join_960_ships", |b| {
+        b.iter(|| intensio_sql::query(&f.db, sql).expect("query succeeds"))
+    });
+}
+
+fn bench_intensional_vs_extensional(c: &mut Criterion) {
+    let f = fleet(160); // 3840 ships
+    let model = f.ker_model();
+    let mut iqp = IntensionalQueryProcessor::new(f.db.clone(), model)
+        .with_induction_config(InductionConfig::with_min_support(5));
+    iqp.learn().expect("learning succeeds");
+    let (lo, _) = f.type_band["T01"];
+    let sql = format!(
+        "SELECT SUBMARINE.ID, SUBMARINE.NAME FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT >= {lo}"
+    );
+
+    let mut g = c.benchmark_group("answer_modes_3840_ships");
+    g.bench_function("extensional", |b| {
+        b.iter(|| iqp.query_extensional(&sql).expect("query succeeds"))
+    });
+    g.bench_function("intensional", |b| {
+        b.iter(|| iqp.query_intensional(&sql).expect("query succeeds"))
+    });
+    g.bench_function("both", |b| {
+        b.iter(|| iqp.query(&sql).expect("query succeeds"))
+    });
+    g.finish();
+}
+
+fn bench_semantic_query_optimization(c: &mut Criterion) {
+    // [CHU90]-style rewrite: forward inference injects a Type restriction
+    // that lets the executor filter CLASS before the join.
+    let f = fleet(160); // 3840 ships
+    let model = f.ker_model();
+    let mut iqp = IntensionalQueryProcessor::new(f.db.clone(), model)
+        .with_induction_config(InductionConfig::with_min_support(5));
+    iqp.learn().expect("learning succeeds");
+    let (lo, hi) = f.type_band["T01"];
+    let sql = format!(
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS \
+         AND CLASS.DISPLACEMENT > {} AND CLASS.DISPLACEMENT < {}",
+        lo - 1,
+        hi + 1
+    );
+    let original = intensio_sql::parse(&sql).expect("query parses");
+    let optimized = match iqp.optimize(&sql).expect("optimize succeeds") {
+        intensio_inference::Optimized::Rewritten { query, .. } => query,
+        other => panic!("expected a rewrite, got {other:?}"),
+    };
+
+    let mut g = c.benchmark_group("semantic_query_optimization");
+    g.bench_function("original", |b| {
+        b.iter(|| intensio_sql::execute(iqp.db(), &original).expect("query succeeds"))
+    });
+    g.bench_function("rewritten", |b| {
+        b.iter(|| intensio_sql::execute(iqp.db(), &optimized).expect("query succeeds"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join_scaling,
+    bench_three_way_join,
+    bench_intensional_vs_extensional,
+    bench_semantic_query_optimization
+);
+criterion_main!(benches);

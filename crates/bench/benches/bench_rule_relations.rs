@@ -1,0 +1,67 @@
+//! Rule-relation storage (DESIGN.md S2): encoding/decoding cost and row
+//! overhead of the §5.2.2 representation as the rule set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intensio_induction::{Ils, InductionConfig};
+use intensio_rules::encode::{decode, encode};
+use intensio_rules::rule::RuleSet;
+use intensio_shipdb::{generate, FleetConfig};
+
+fn rule_sets() -> Vec<RuleSet> {
+    let fleet = generate(FleetConfig {
+        seed: 0x1991,
+        n_types: 4,
+        classes_per_type: 12,
+        ships_per_class: 40,
+        sonars_per_family: 6,
+        id_noise: 0.05,
+        overlapping_bands: false,
+    })
+    .expect("generation succeeds");
+    let model = fleet.ker_model();
+    [50usize, 10, 2]
+        .into_iter()
+        .map(|nc| {
+            Ils::new(&model, InductionConfig::with_min_support(nc))
+                .induce(&fleet.db)
+                .expect("induction succeeds")
+                .rules
+        })
+        .collect()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let sets = rule_sets();
+    let mut g = c.benchmark_group("rule_relations_encode");
+    for rules in &sets {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rules.len()),
+            rules,
+            |b, rules| b.iter(|| encode(rules).expect("encode succeeds")),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rule_relations_decode");
+    for rules in &sets {
+        let encoded = encode(rules).expect("encode succeeds");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rules.len()),
+            &encoded,
+            |b, encoded| b.iter(|| decode(encoded).expect("decode succeeds")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_csv_relocation(c: &mut Criterion) {
+    let sets = rule_sets();
+    let rules = &sets[sets.len() - 1];
+    let encoded = encode(rules).expect("encode succeeds");
+    c.bench_function("rule_relations_to_csv", |b| {
+        b.iter(|| intensio_storage::csv::to_csv(&encoded.rules))
+    });
+}
+
+criterion_group!(benches, bench_encode_decode, bench_csv_relocation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Storage-engine micro-benchmarks: insertion with key checking, scans,
+//! sorting, duplicate elimination, and hash joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+
+fn ships(n: usize) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(10)),
+        Attribute::new("Class", Domain::char_n(4)),
+        Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+    ])
+    .expect("static schema");
+    let mut r = Relation::new("SHIPS", schema);
+    for i in 0..n {
+        r.insert(tuple![
+            format!("S{i:08}"),
+            format!("{:04}", i % 97),
+            2000 + (i as i64 * 37) % 28000
+        ])
+        .expect("insert succeeds");
+    }
+    r
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_with_key_check");
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| ships(n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_filter(c: &mut Criterion) {
+    let r = ships(10_000);
+    c.bench_function("restrict_10k", |b| {
+        b.iter(|| ops::restrict(&r, "Displacement", CmpOp::Gt, 15000).expect("select"))
+    });
+}
+
+fn bench_sort_unique(c: &mut Criterion) {
+    let r = ships(10_000);
+    c.bench_function("sort_10k", |b| {
+        b.iter(|| ops::sort(&r, &["Displacement", "Id"]).expect("sort"))
+    });
+    let classes = ops::project(&r, &["Class"]).expect("project");
+    c.bench_function("unique_10k", |b| b.iter(|| ops::unique(&classes)));
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let left = ships(10_000);
+    let schema = Schema::new(vec![
+        Attribute::key("Class", Domain::char_n(4)),
+        Attribute::new("Type", Domain::char_n(4)),
+    ])
+    .expect("static schema");
+    let mut right = Relation::new("CLASS", schema);
+    for i in 0..97 {
+        right
+            .insert(tuple![
+                format!("{i:04}"),
+                if i % 2 == 0 { "SSN" } else { "SSBN" }
+            ])
+            .expect("insert succeeds");
+    }
+    c.bench_function("hash_join_10k_x_97", |b| {
+        b.iter(|| ops::equi_join(&left, "s", "Class", &right, "c", "Class").expect("join"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_scan_filter,
+    bench_sort_unique,
+    bench_hash_join
+);
+criterion_main!(benches);

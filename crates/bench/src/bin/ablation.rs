@@ -1,0 +1,146 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Run scope** — the paper builds rule ranges over maximal runs of
+//!    *consecutive observed* X values (a removed inconsistent value
+//!    breaks a run). The `RemainingOrder` variant merges across removed
+//!    values: fewer, wider rules, but rules that are violated by the
+//!    training data itself.
+//! 2. **Inconsistency policy** — the paper deletes every X with
+//!    conflicting Y (step 2); `MajorityVote` keeps the majority label,
+//!    tolerating noise at the cost of exactness.
+//! 3. **Subsumption mode** — data-grounded (paper semantics) vs pure
+//!    interval containment for forward inference.
+//!
+//! ```sh
+//! cargo run --release -p intensio-bench --bin ablation
+//! ```
+
+use intensio_bench::{print_table, section};
+use intensio_induction::{Ils, InconsistencyPolicy, InductionConfig, RunScope};
+use intensio_inference::{InferenceConfig, InferenceEngine, SubsumptionMode};
+use intensio_shipdb::{generate, ship_database, ship_model, FleetConfig};
+use intensio_sql::{analyze, parse};
+
+fn main() {
+    // Noisy fleet: overlapping bands create inconsistent pairs.
+    let fleet = generate(FleetConfig {
+        seed: 0xA11,
+        n_types: 3,
+        classes_per_type: 10,
+        ships_per_class: 12,
+        sonars_per_family: 4,
+        id_noise: 0.15,
+        overlapping_bands: true,
+    })
+    .expect("generation succeeds");
+    let model = fleet.ker_model();
+
+    section("Ablation 1+2 — run scope x inconsistency policy (noisy fleet)");
+    let mut rows = Vec::new();
+    for (scope_label, run_scope) in [
+        ("full-order (paper)", RunScope::FullObservedOrder),
+        ("remaining-order", RunScope::RemainingOrder),
+    ] {
+        for (pol_label, inconsistency) in [
+            ("remove (paper)", InconsistencyPolicy::Remove),
+            ("majority-vote", InconsistencyPolicy::MajorityVote),
+        ] {
+            let cfg = InductionConfig {
+                min_support: 2,
+                run_scope,
+                inconsistency,
+                ..InductionConfig::default()
+            };
+            let ils = Ils::new(&model, cfg);
+            let out = ils.induce(&fleet.db).expect("induction succeeds");
+            // Violations are carried on InducedRule, which RuleSet does
+            // not preserve; re-derive the aggregate by re-running the
+            // pair level for the displacement pair.
+            let class = fleet.db.get("CLASS").expect("CLASS");
+            let (pair_rules, _) = intensio_induction::induce_pair_ids_with_stats(
+                class,
+                "Displacement",
+                intensio_rules::rule::AttrId::new("CLASS", "Displacement"),
+                "Type",
+                intensio_rules::rule::AttrId::new("CLASS", "Type"),
+                &cfg,
+            )
+            .expect("pair induction succeeds");
+            let violations: usize = pair_rules.iter().map(|r| r.violations).sum();
+            let avg_width: f64 = if pair_rules.is_empty() {
+                0.0
+            } else {
+                pair_rules.iter().map(|r| r.distinct_x as f64).sum::<f64>()
+                    / pair_rules.len() as f64
+            };
+            rows.push(vec![
+                scope_label.to_string(),
+                pol_label.to_string(),
+                out.rules.len().to_string(),
+                pair_rules.len().to_string(),
+                format!("{avg_width:.1}"),
+                violations.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "run scope",
+            "inconsistency",
+            "total rules",
+            "D->Type rules",
+            "avg run width",
+            "violations",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape: the paper's settings (full-order + remove) give zero\n\
+         violations; remaining-order merges runs (wider, fewer) at the cost\n\
+         of rules its own training data contradicts; majority-vote keeps\n\
+         more rules under noise, also at the cost of violations."
+    );
+
+    section("Ablation 3 — subsumption mode (ship test bed, Example 1)");
+    let db = ship_database().expect("test bed builds");
+    let smodel = ship_model().expect("schema parses");
+    let rules = Ils::new(&smodel, InductionConfig::with_min_support(3))
+        .induce(&db)
+        .expect("induction succeeds")
+        .rules;
+    let q = parse(
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+    )
+    .expect("query parses");
+    let analysis = analyze(&db, &q).expect("analysis succeeds");
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("data-grounded (paper)", SubsumptionMode::DataGrounded),
+        ("pure interval", SubsumptionMode::PureInterval),
+    ] {
+        let cfg = InferenceConfig {
+            subsumption: mode,
+            forward_only: true,
+            ..InferenceConfig::default()
+        };
+        let engine = InferenceEngine::new(&smodel, &rules, &db, cfg).expect("engine builds");
+        let a = engine.infer(&analysis);
+        rows.push(vec![
+            label.to_string(),
+            a.certain.len().to_string(),
+            a.subtypes().join(", "),
+        ]);
+    }
+    print_table(
+        &["subsumption", "certain facts", "subtypes concluded"],
+        &rows,
+    );
+    println!(
+        "\nShape: the open-ended condition `> 8000` can only be subsumed by\n\
+         the closed induced range when subsumption is grounded in the\n\
+         observed data — pure interval containment derives nothing, which\n\
+         is why the paper's Example 1 implicitly assumes the data-grounded\n\
+         reading."
+    );
+}

@@ -1,0 +1,161 @@
+//! The §7 claim: *"type inference with induced rules is a more effective
+//! technique to derive intensional answers than using integrity
+//! constraints when the database schema has strong type hierarchy and
+//! semantic knowledge."*
+//!
+//! Comparison of three knowledge sources over the same query workload:
+//!
+//! 1. **induced** — rules learned by the ILS (this paper);
+//! 2. **constraints** — only the schema's hand-written `with` rules
+//!    (the [MOTR89] integrity-constraint baseline);
+//! 3. **both** — union.
+//!
+//! Run on (a) the ship test bed, whose Appendix B schema happens to
+//! encode rich constraints, and (b) a synthetic fleet whose schema
+//! declares hierarchy only — the realistic case where induction is the
+//! sole knowledge source.
+//!
+//! ```sh
+//! cargo run --release -p intensio-bench --bin baseline_compare
+//! ```
+
+use intensio_bench::{print_table, section};
+use intensio_induction::{Ils, InductionConfig};
+use intensio_inference::{rules_from_schema, InferenceConfig, InferenceEngine};
+use intensio_ker::model::KerModel;
+use intensio_rules::rule::RuleSet;
+use intensio_shipdb::{generate, ship_database, ship_model, FleetConfig};
+use intensio_sql::{analyze, parse};
+use intensio_storage::catalog::Database;
+
+fn union(a: &RuleSet, b: &RuleSet) -> RuleSet {
+    let mut out = a.clone();
+    out.extend(b.clone());
+    out
+}
+
+fn evaluate(
+    db: &Database,
+    model: &KerModel,
+    rules: &RuleSet,
+    queries: &[String],
+) -> (usize, usize, usize) {
+    let engine =
+        InferenceEngine::new(model, rules, db, InferenceConfig::default()).expect("engine builds");
+    let (mut answered, mut certain, mut partial) = (0, 0, 0);
+    for q in queries {
+        let parsed = parse(q).expect("query parses");
+        let analysis = analyze(db, &parsed).expect("analysis succeeds");
+        let a = engine.infer(&analysis);
+        if !a.is_empty() {
+            answered += 1;
+        }
+        certain += a.certain.len();
+        partial += a.partial.len();
+    }
+    (answered, certain, partial)
+}
+
+fn compare(name: &str, db: &Database, model: &KerModel, queries: &[String]) {
+    section(name);
+    let induced = Ils::new(model, InductionConfig::with_min_support(3))
+        .induce(db)
+        .expect("induction succeeds")
+        .rules;
+    let constraints = rules_from_schema(model);
+    let both = union(&induced, &constraints);
+
+    let mut rows = Vec::new();
+    for (label, rules) in [
+        ("constraints only [MOTR89]", &constraints),
+        ("induced rules (this paper)", &induced),
+        ("both", &both),
+    ] {
+        let (answered, certain, partial) = evaluate(db, model, rules, queries);
+        rows.push(vec![
+            label.to_string(),
+            rules.len().to_string(),
+            format!("{answered}/{}", queries.len()),
+            certain.to_string(),
+            partial.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "knowledge",
+            "rules",
+            "answered",
+            "certain facts",
+            "partial chars",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    // (a) The paper's test bed with its constraint-rich Appendix B schema.
+    let db = ship_database().expect("test bed builds");
+    let model = ship_model().expect("schema parses");
+    let ship_queries = vec![
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000"
+            .to_string(),
+        "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\""
+            .to_string(),
+        "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS, INSTALL \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP \
+         AND INSTALL.SONAR = \"BQS-04\""
+            .to_string(),
+        "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT < 3000"
+            .to_string(),
+        "SELECT Sonar FROM SONAR WHERE SonarType = \"BQS\"".to_string(),
+    ];
+    compare(
+        "Ship test bed — Appendix B schema (hand-written constraints present)",
+        &db,
+        &model,
+        &ship_queries,
+    );
+
+    // (b) A synthetic fleet whose schema has hierarchy only.
+    let fleet = generate(FleetConfig {
+        seed: 7,
+        n_types: 3,
+        classes_per_type: 8,
+        ships_per_class: 20,
+        sonars_per_family: 4,
+        id_noise: 0.0,
+        overlapping_bands: false,
+    })
+    .expect("generation succeeds");
+    let fmodel = fleet.ker_model();
+    let mut fleet_queries = Vec::new();
+    for (ty, (lo, hi)) in &fleet.type_band {
+        fleet_queries.push(format!(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND CLASS.DISPLACEMENT > {} AND CLASS.DISPLACEMENT < {}",
+            lo - 1,
+            hi + 1
+        ));
+        fleet_queries.push(format!(
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"{ty}\""
+        ));
+    }
+    compare(
+        "Synthetic fleet — hierarchy-only schema (no hand-written constraints)",
+        &fleet.db,
+        &fmodel,
+        &fleet_queries,
+    );
+
+    println!(
+        "\nShape to check against §7: on the hand-tuned schema the baseline\n\
+         keeps pace (its constraints *are* distilled rules); on the schema\n\
+         without hand-written knowledge the constraint-only system answers\n\
+         nothing while induced rules answer every query."
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerate the KER figures:
+//!
+//! * **Figure 1** — the SUBMARINE-style object type box (we print the
+//!   test bed's object types in that notation);
+//! * **Figure 2** — the submarine type hierarchy tree;
+//! * **Figure 4** — the whole ship schema (all hierarchies + types), the
+//!   textual form of the KER diagram.
+//!
+//! ```sh
+//! cargo run -p intensio-bench --bin figures_ker
+//! ```
+
+use intensio_bench::section;
+use intensio_ker::render::{render_hierarchy, render_model, render_object_type};
+use intensio_shipdb::ship_model;
+
+fn main() {
+    let model = ship_model().expect("schema parses");
+
+    section("Figure 1 style — object type boxes");
+    for ty in ["CLASS", "SUBMARINE", "TYPE", "SONAR", "INSTALL"] {
+        if let Some(s) = render_object_type(&model, ty) {
+            println!("{s}");
+        }
+    }
+
+    section("Figure 2 — the ship type hierarchy");
+    println!(
+        "{}",
+        render_hierarchy(&model, "CLASS").expect("CLASS hierarchy exists")
+    );
+    println!(
+        "{}",
+        render_hierarchy(&model, "SONAR").expect("SONAR hierarchy exists")
+    );
+
+    section("Figure 4 — the full ship schema as a KER diagram (textual)");
+    println!("{}", render_model(&model));
+}

@@ -1,0 +1,86 @@
+//! Regenerate the paper's §6 **Examples 1–3**: for each, the SQL query,
+//! the extensional answer table (matching the paper's printed tables),
+//! and the derived intensional answer with its inference mode.
+//!
+//! ```sh
+//! cargo run -p intensio-bench --bin paper_examples
+//! ```
+
+use intensio_bench::section;
+use intensio_core::IntensionalQueryProcessor;
+use intensio_inference::InferenceConfig;
+use intensio_shipdb::{ship_database, ship_model};
+
+struct Example {
+    title: &'static str,
+    paper_answer: &'static str,
+    sql: &'static str,
+    expected_rows: usize,
+    cfg: InferenceConfig,
+}
+
+fn main() {
+    let examples = [
+        Example {
+            title: "Example 1 — submarines with displacement > 8000 (forward inference)",
+            paper_answer: "A_I = \"Ship type SSBN has displacement greater than 8000\"",
+            sql: "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+                  FROM SUBMARINE, CLASS \
+                  WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+            expected_rows: 2,
+            cfg: InferenceConfig {
+                forward_only: true,
+                ..InferenceConfig::default()
+            },
+        },
+        Example {
+            title: "Example 2 — names and classes of SSBN ships (backward inference)",
+            paper_answer:
+                "A_I = \"Ship Classes in the range of 0101 to 0103 are SSBN\" (incomplete: 1301)",
+            sql: "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS \
+                  WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+            expected_rows: 7,
+            cfg: InferenceConfig {
+                backward_only: true,
+                ..InferenceConfig::default()
+            },
+        },
+        Example {
+            title: "Example 3 — submarines equipped with sonar BQS-04 (combined)",
+            paper_answer:
+                "A_I = \"Ship type SSN with class 0208 to 0215 is equipped with sonar BQS-04\"",
+            sql: "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+                  FROM SUBMARINE, CLASS, INSTALL \
+                  WHERE SUBMARINE.CLASS = CLASS.CLASS \
+                  AND SUBMARINE.ID = INSTALL.SHIP \
+                  AND INSTALL.SONAR = \"BQS-04\"",
+            expected_rows: 4,
+            cfg: InferenceConfig::default(),
+        },
+    ];
+
+    for ex in examples {
+        let mut iqp = IntensionalQueryProcessor::new(
+            ship_database().expect("test bed builds"),
+            ship_model().expect("schema parses"),
+        )
+        .with_inference_config(ex.cfg);
+        iqp.learn().expect("learning succeeds");
+
+        section(ex.title);
+        println!("{}\n", ex.sql);
+        let answer = iqp.query(ex.sql).expect("query succeeds");
+        println!("{}", answer.render());
+        println!(
+            "extensional rows: {} (paper prints {}) — {}",
+            answer.extensional.len(),
+            ex.expected_rows,
+            if answer.extensional.len() == ex.expected_rows {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            }
+        );
+        println!("paper's intensional answer: {}", ex.paper_answer);
+    }
+}

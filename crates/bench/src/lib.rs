@@ -1,0 +1,53 @@
+//! # intensio-bench
+//!
+//! Shared helpers for the table/figure regeneration binaries and the
+//! Criterion benchmarks. Each binary regenerates one artifact of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — battleship classification characteristics |
+//! | `figures_ker` | Figures 1/2/4 — KER renderings of the ship schema |
+//! | `figure5` | Figure 5 — hierarchy with induced rules |
+//! | `rules17` | §6 — the 17 induced rules, side by side with the paper |
+//! | `paper_examples` | §6 Examples 1–3 — extensional + intensional answers |
+//! | `nc_sweep` | §5.2.1 step 4 — the N_c pruning tradeoff |
+//! | `baseline_compare` | §7 — induced rules vs integrity constraints |
+//! | `ablation` | design-choice ablations (run scope, inconsistency) |
+
+#![warn(missing_docs)]
+
+/// Print a markdown-style table: a header row, a separator, then rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (c, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!(" {c:<w$} |"));
+        }
+        println!("{s}");
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        println!("{s}");
+    }
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Section header for binary output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}

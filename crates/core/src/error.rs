@@ -1,0 +1,60 @@
+//! The unified error type of the query processing system.
+
+use intensio_ker::ModelError;
+use intensio_quel::QuelError;
+use intensio_sql::SqlError;
+use intensio_storage::error::StorageError;
+use std::fmt;
+
+/// Any failure inside the intensional query processor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IqpError {
+    /// Storage-engine failure.
+    Storage(StorageError),
+    /// SQL parse/execution failure.
+    Sql(SqlError),
+    /// QUEL parse/execution failure.
+    Quel(QuelError),
+    /// KER model failure.
+    Model(ModelError),
+    /// System-level failure (e.g. querying before learning).
+    System(String),
+}
+
+impl fmt::Display for IqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IqpError::Storage(e) => write!(f, "{e}"),
+            IqpError::Sql(e) => write!(f, "{e}"),
+            IqpError::Quel(e) => write!(f, "{e}"),
+            IqpError::Model(e) => write!(f, "{e}"),
+            IqpError::System(m) => write!(f, "IQP error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IqpError {}
+
+impl From<StorageError> for IqpError {
+    fn from(e: StorageError) -> Self {
+        IqpError::Storage(e)
+    }
+}
+
+impl From<SqlError> for IqpError {
+    fn from(e: SqlError) -> Self {
+        IqpError::Sql(e)
+    }
+}
+
+impl From<QuelError> for IqpError {
+    fn from(e: QuelError) -> Self {
+        IqpError::Quel(e)
+    }
+}
+
+impl From<ModelError> for IqpError {
+    fn from(e: ModelError) -> Self {
+        IqpError::Model(e)
+    }
+}

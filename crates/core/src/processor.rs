@@ -1,0 +1,276 @@
+//! The intensional query processor: Figure 6 wired together.
+
+use crate::dictionary::DataDictionary;
+use crate::error::IqpError;
+use crate::summary::AnswerSummary;
+use intensio_induction::{Ils, IlsStats, InductionConfig};
+use intensio_inference::{InferenceConfig, InferenceEngine, IntensionalAnswer};
+use intensio_ker::model::KerModel;
+use intensio_sql::{analyze, parse};
+use intensio_storage::catalog::Database;
+use intensio_storage::relation::Relation;
+
+/// A query result: the conventional (extensional) answer together with
+/// the derived intensional answer.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The enumerated tuples a conventional system would return.
+    pub extensional: Relation,
+    /// The characterization derived by type inference.
+    pub intensional: IntensionalAnswer,
+    /// The aggregate response over the type hierarchy ([SHUM88]-style),
+    /// when any classifying attribute appears in the answer.
+    pub summary: AnswerSummary,
+}
+
+impl Answer {
+    /// Render all parts in the style of the paper's examples.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Extensional answer ({} tuples):\n{}\n\nIntensional answer:\n{}",
+            self.extensional.len(),
+            self.extensional.to_table(),
+            self.intensional.render()
+        );
+        if let Some(h) = self.intensional.headline() {
+            out.push_str(&format!("In short: {h}\n"));
+        }
+        if !self.summary.is_empty() {
+            out.push_str(&format!("\nAggregate response:\n{}", self.summary));
+        }
+        out
+    }
+}
+
+/// The full system: database + dictionary + ILS + inference processor.
+#[derive(Debug, Clone)]
+pub struct IntensionalQueryProcessor {
+    db: Database,
+    dictionary: DataDictionary,
+    induction_cfg: InductionConfig,
+    inference_cfg: InferenceConfig,
+}
+
+impl IntensionalQueryProcessor {
+    /// Assemble the system over a database and its KER schema.
+    pub fn new(db: Database, model: KerModel) -> IntensionalQueryProcessor {
+        IntensionalQueryProcessor {
+            db,
+            dictionary: DataDictionary::new(model),
+            induction_cfg: InductionConfig::default(),
+            inference_cfg: InferenceConfig::default(),
+        }
+    }
+
+    /// Override the induction configuration (builder style).
+    pub fn with_induction_config(mut self, cfg: InductionConfig) -> Self {
+        self.induction_cfg = cfg;
+        self
+    }
+
+    /// Override the inference configuration (builder style).
+    pub fn with_inference_config(mut self, cfg: InferenceConfig) -> Self {
+        self.inference_cfg = cfg;
+        self
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database. Learned rules are invalidated —
+    /// call [`IntensionalQueryProcessor::learn`] again after bulk
+    /// changes.
+    pub fn db_mut(&mut self) -> &mut Database {
+        self.dictionary
+            .set_rules(intensio_rules::rule::RuleSet::new());
+        &mut self.db
+    }
+
+    /// Mutable access *without* invalidating the learned rules. For
+    /// callers performing changes that cannot affect rule validity
+    /// (creating scratch relations, QUEL `range of`/`retrieve`); the
+    /// caller takes responsibility for calling
+    /// [`learn`](Self::learn) after real data changes.
+    pub fn db_mut_preserving_rules(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The intelligent data dictionary.
+    pub fn dictionary(&self) -> &DataDictionary {
+        &self.dictionary
+    }
+
+    /// Mutable dictionary access (e.g. to import relocated rule
+    /// relations).
+    pub fn dictionary_mut(&mut self) -> &mut DataDictionary {
+        &mut self.dictionary
+    }
+
+    /// Run the inductive learning subsystem, populating the dictionary.
+    pub fn learn(&mut self) -> Result<IlsStats, IqpError> {
+        let ils = Ils::new(self.dictionary.model(), self.induction_cfg);
+        let out = ils.induce(&self.db)?;
+        let stats = out.stats.clone();
+        self.dictionary.set_rules(out.rules);
+        Ok(stats)
+    }
+
+    /// Answer a SQL query with both extensional and intensional answers.
+    ///
+    /// Querying before [`learn`](Self::learn) (or an explicit rule
+    /// import) still returns the extensional answer, with an empty
+    /// intensional characterization.
+    pub fn query(&self, sql: &str) -> Result<Answer, IqpError> {
+        let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
+        let extensional = intensio_sql::execute(&self.db, &q)?;
+        let analysis = analyze(&self.db, &q)?;
+        let engine = InferenceEngine::new(
+            self.dictionary.model(),
+            self.dictionary.rules(),
+            &self.db,
+            self.inference_cfg,
+        )?;
+        let intensional = engine.infer(&analysis);
+        let summary = crate::summary::summarize(&extensional, self.dictionary.model());
+        Ok(Answer {
+            extensional,
+            intensional,
+            summary,
+        })
+    }
+
+    /// Only the extensional answer (the conventional query processor).
+    pub fn query_extensional(&self, sql: &str) -> Result<Relation, IqpError> {
+        intensio_sql::query(&self.db, sql).map_err(IqpError::from)
+    }
+
+    /// Semantically optimize a query with the learned rules: inject
+    /// restrictions that forward inference proves hold for every answer
+    /// ([CHU90]-style semantic query optimization), or detect that the
+    /// answer is provably empty. The rewritten query returns exactly
+    /// the same extensional answer.
+    pub fn optimize(&self, sql: &str) -> Result<intensio_inference::Optimized, IqpError> {
+        let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
+        intensio_inference::optimize(
+            &self.db,
+            self.dictionary.model(),
+            self.dictionary.rules(),
+            &q,
+        )
+        .map_err(IqpError::from)
+    }
+
+    /// Only the intensional answer (no tuple enumeration).
+    pub fn query_intensional(&self, sql: &str) -> Result<IntensionalAnswer, IqpError> {
+        let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
+        let analysis = analyze(&self.db, &q)?;
+        let engine = InferenceEngine::new(
+            self.dictionary.model(),
+            self.dictionary.rules(),
+            &self.db,
+            self.inference_cfg,
+        )?;
+        Ok(engine.infer(&analysis))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::value::Value;
+
+    fn system() -> IntensionalQueryProcessor {
+        let db = intensio_shipdb::ship_database().unwrap();
+        let model = intensio_shipdb::ship_model().unwrap();
+        let mut iqp = IntensionalQueryProcessor::new(db, model);
+        iqp.learn().unwrap();
+        iqp
+    }
+
+    #[test]
+    fn full_example1_pipeline() {
+        let iqp = system();
+        let a = iqp
+            .query(
+                "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+                 FROM SUBMARINE, CLASS \
+                 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+            )
+            .unwrap();
+        assert_eq!(a.extensional.len(), 2);
+        assert!(a.intensional.subtypes().contains(&"SSBN"));
+        let rendered = a.render();
+        assert!(rendered.contains("Rhode Island"));
+        assert!(rendered.contains("Intensional answer"));
+    }
+
+    #[test]
+    fn query_before_learning_has_empty_intension() {
+        let db = intensio_shipdb::ship_database().unwrap();
+        let model = intensio_shipdb::ship_model().unwrap();
+        let iqp = IntensionalQueryProcessor::new(db, model);
+        let a = iqp
+            .query("SELECT Class FROM CLASS WHERE Displacement > 8000")
+            .unwrap();
+        assert_eq!(a.extensional.len(), 2);
+        assert!(a.intensional.is_empty());
+    }
+
+    #[test]
+    fn learning_reports_stats() {
+        let db = intensio_shipdb::ship_database().unwrap();
+        let model = intensio_shipdb::ship_model().unwrap();
+        let mut iqp = IntensionalQueryProcessor::new(db, model);
+        let stats = iqp.learn().unwrap();
+        assert!(stats.pairs_examined > 0);
+        assert!(stats.rules_kept > 0);
+        assert!(iqp.dictionary().has_rules());
+    }
+
+    #[test]
+    fn db_mutation_invalidates_rules() {
+        let mut iqp = system();
+        assert!(iqp.dictionary().has_rules());
+        let _ = iqp.db_mut();
+        assert!(!iqp.dictionary().has_rules());
+    }
+
+    #[test]
+    fn rules_relocate_between_systems() {
+        let iqp = system();
+        let exported = iqp.dictionary().export_rule_relations().unwrap();
+
+        let db2 = intensio_shipdb::ship_database().unwrap();
+        let model2 = intensio_shipdb::ship_model().unwrap();
+        let mut iqp2 = IntensionalQueryProcessor::new(db2, model2);
+        iqp2.dictionary_mut()
+            .import_rule_relations(&exported)
+            .unwrap();
+        let a = iqp2
+            .query_intensional(
+                "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+                 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+            )
+            .unwrap();
+        assert!(a.subtypes().contains(&"SSBN"));
+    }
+
+    #[test]
+    fn extensional_only_path() {
+        let iqp = system();
+        let r = iqp
+            .query_extensional("SELECT DISTINCT Type FROM CLASS ORDER BY Type")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].get(0), &Value::str("SSBN"));
+    }
+
+    #[test]
+    fn bad_sql_surfaces_error() {
+        let iqp = system();
+        assert!(iqp.query("SELEKT nothing").is_err());
+        assert!(iqp.query("SELECT X FROM MISSING").is_err());
+    }
+}

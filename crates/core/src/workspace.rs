@@ -1,0 +1,142 @@
+//! Whole-system persistence: save an [`IntensionalQueryProcessor`]'s
+//! database, KER schema, and learned rules into one directory, and
+//! restore it elsewhere — the complete §5.2.2 relocation story ("a
+//! database and its associated rule relations can be relocated
+//! together", with the schema travelling as KER source).
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/
+//!   data/            the database (storage::persist layout)
+//!   rules/           the rule relations, as their own database
+//!   schema.ker       the KER model, serialized to source
+//! ```
+
+use crate::error::IqpError;
+use crate::processor::IntensionalQueryProcessor;
+use intensio_ker::model::KerModel;
+use intensio_ker::render::to_source;
+use intensio_rules::encode::RuleRelations;
+use intensio_storage::catalog::Database;
+use intensio_storage::error::StorageError;
+use intensio_storage::persist::{load_database, save_database};
+use std::fs;
+use std::path::Path;
+
+fn io_err(e: std::io::Error) -> IqpError {
+    IqpError::Storage(StorageError::Invalid(format!("io error: {e}")))
+}
+
+/// Save the whole system state into `dir`.
+///
+/// ```
+/// use intensio_core::{save_workspace, load_workspace, IntensionalQueryProcessor};
+///
+/// let mut iqp = IntensionalQueryProcessor::new(
+///     intensio_shipdb::ship_database().unwrap(),
+///     intensio_shipdb::ship_model().unwrap(),
+/// );
+/// iqp.learn().unwrap();
+///
+/// let dir = std::env::temp_dir().join(format!("intensio_doc_{}", std::process::id()));
+/// save_workspace(&iqp, &dir).unwrap();
+/// let restored = load_workspace(&dir).unwrap();
+/// assert_eq!(restored.dictionary().rules().len(), iqp.dictionary().rules().len());
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub fn save_workspace(iqp: &IntensionalQueryProcessor, dir: &Path) -> Result<(), IqpError> {
+    fs::create_dir_all(dir).map_err(io_err)?;
+    save_database(iqp.db(), &dir.join("data"))?;
+    fs::write(dir.join("schema.ker"), to_source(iqp.dictionary().model())).map_err(io_err)?;
+    if iqp.dictionary().has_rules() {
+        let rels = iqp.dictionary().export_rule_relations()?;
+        let mut rules_db = Database::new();
+        rules_db.create(rels.rules)?;
+        rules_db.create(rels.value_map)?;
+        rules_db.create(rels.attr_catalog)?;
+        rules_db.create(rels.meta)?;
+        save_database(&rules_db, &dir.join("rules"))?;
+    }
+    Ok(())
+}
+
+/// Restore a system saved by [`save_workspace`]. Rules are loaded when
+/// present; otherwise the system starts unlearned.
+pub fn load_workspace(dir: &Path) -> Result<IntensionalQueryProcessor, IqpError> {
+    let db = load_database(&dir.join("data"))?;
+    let source = fs::read_to_string(dir.join("schema.ker")).map_err(io_err)?;
+    let model = KerModel::parse(&source)?;
+    let mut iqp = IntensionalQueryProcessor::new(db, model);
+    let rules_dir = dir.join("rules");
+    if rules_dir.is_dir() {
+        let rules_db = load_database(&rules_dir)?;
+        let rels = RuleRelations {
+            rules: rules_db.get("RULES")?.clone(),
+            value_map: rules_db.get("ATTRVALUEMAP")?.clone(),
+            attr_catalog: rules_db.get("ATTRCATALOG")?.clone(),
+            meta: rules_db.get("RULEMETA")?.clone(),
+        };
+        iqp.dictionary_mut().import_rule_relations(&rels)?;
+    }
+    Ok(iqp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("intensio_ws_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn full_round_trip_with_rules() {
+        let dir = tmpdir("full");
+        let mut iqp = IntensionalQueryProcessor::new(
+            intensio_shipdb::ship_database().unwrap(),
+            intensio_shipdb::ship_model().unwrap(),
+        );
+        iqp.learn().unwrap();
+        let n_rules = iqp.dictionary().rules().len();
+        save_workspace(&iqp, &dir).unwrap();
+
+        let restored = load_workspace(&dir).unwrap();
+        assert_eq!(restored.db().total_tuples(), iqp.db().total_tuples());
+        assert_eq!(restored.dictionary().rules().len(), n_rules);
+        // The restored system answers intensionally without re-learning.
+        let a = restored
+            .query(
+                "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS \
+                 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+            )
+            .unwrap();
+        assert_eq!(a.extensional.len(), 2);
+        assert!(a.intensional.subtypes().contains(&"SSBN"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn round_trip_without_rules() {
+        let dir = tmpdir("norules");
+        let iqp = IntensionalQueryProcessor::new(
+            intensio_shipdb::ship_database().unwrap(),
+            intensio_shipdb::ship_model().unwrap(),
+        );
+        save_workspace(&iqp, &dir).unwrap();
+        let restored = load_workspace(&dir).unwrap();
+        assert!(!restored.dictionary().has_rules());
+        // Learning still works on the restored schema + data.
+        let mut restored = restored;
+        let stats = restored.learn().unwrap();
+        assert!(stats.rules_kept > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_workspace_errors() {
+        assert!(load_workspace(&tmpdir("missing").join("nope")).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Dictionary lifecycle details: rule import validation, display of the
+//! full dictionary, and interaction between learning configs.
+
+use intensio_core::IntensionalQueryProcessor;
+use intensio_induction::{InconsistencyPolicy, InductionConfig, RunScope, SupportMetric};
+use intensio_inference::{InferenceConfig, SubsumptionMode};
+
+fn base() -> IntensionalQueryProcessor {
+    IntensionalQueryProcessor::new(
+        intensio_shipdb::ship_database().unwrap(),
+        intensio_shipdb::ship_model().unwrap(),
+    )
+}
+
+#[test]
+fn dictionary_display_is_complete() {
+    let mut iqp = base();
+    iqp.learn().unwrap();
+    let text = iqp.dictionary().to_string();
+    assert!(text.contains("Intelligent Data Dictionary"));
+    assert!(text.contains("== Type hierarchies =="));
+    assert!(text.contains("object type SUBMARINE"));
+    assert!(text.contains("Semantic rules"));
+    assert!(text.contains("then x isa"));
+}
+
+#[test]
+fn every_induction_config_combination_runs() {
+    for run_scope in [RunScope::FullObservedOrder, RunScope::RemainingOrder] {
+        for inconsistency in [
+            InconsistencyPolicy::Remove,
+            InconsistencyPolicy::MajorityVote,
+        ] {
+            for support_metric in [SupportMetric::Instances, SupportMetric::DistinctValues] {
+                let cfg = InductionConfig {
+                    min_support: 2,
+                    support_metric,
+                    run_scope,
+                    inconsistency,
+                };
+                let mut iqp = base().with_induction_config(cfg);
+                let stats = iqp.learn().unwrap();
+                assert!(
+                    stats.rules_kept > 0,
+                    "no rules under {run_scope:?}/{inconsistency:?}/{support_metric:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_inference_mode_runs() {
+    let mut iqp = base();
+    iqp.learn().unwrap();
+    let sql = "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+               WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000";
+    for subsumption in [SubsumptionMode::DataGrounded, SubsumptionMode::PureInterval] {
+        for (fwd, bwd) in [(false, false), (true, false), (false, true)] {
+            let cfg = InferenceConfig {
+                subsumption,
+                forward_only: fwd,
+                backward_only: bwd,
+            };
+            let iqp2 =
+                IntensionalQueryProcessor::new(iqp.db().clone(), iqp.dictionary().model().clone())
+                    .with_inference_config(cfg);
+            // Reuse learned rules via export/import to avoid re-learning.
+            let mut iqp2 = iqp2;
+            iqp2.dictionary_mut()
+                .import_rule_relations(&iqp.dictionary().export_rule_relations().unwrap())
+                .unwrap();
+            let a = iqp2.query(sql).unwrap();
+            assert_eq!(a.extensional.len(), 2);
+        }
+    }
+}
+
+#[test]
+fn import_garbage_rule_relations_fails_cleanly() {
+    use intensio_rules::encode::RuleRelations;
+    use intensio_storage::prelude::*;
+    use intensio_storage::tuple;
+
+    let mut iqp = base();
+    // Build structurally valid relations with a dangling Att_no.
+    let rules_schema = Schema::new(vec![
+        Attribute::new("RuleNo", Domain::basic(ValueType::Int)),
+        Attribute::new("Role", Domain::char_n(1)),
+        Attribute::new("Lvalue", Domain::basic(ValueType::Real)),
+        Attribute::new("Att_no", Domain::basic(ValueType::Int)),
+        Attribute::new("Uvalue", Domain::basic(ValueType::Real)),
+    ])
+    .unwrap();
+    let mut rules = Relation::new("RULES", rules_schema);
+    rules.insert(tuple![1, "L", 1.0, 99, 1.0]).unwrap();
+
+    let map_schema = Schema::new(vec![
+        Attribute::new("Att_no", Domain::basic(ValueType::Int)),
+        Attribute::new("Value", Domain::basic(ValueType::Real)),
+        Attribute::new("RealValue", Domain::basic(ValueType::Str)),
+    ])
+    .unwrap();
+    let cat_schema = Schema::new(vec![
+        Attribute::new("Att_no", Domain::basic(ValueType::Int)),
+        Attribute::new("Object", Domain::basic(ValueType::Str)),
+        Attribute::new("Attribute", Domain::basic(ValueType::Str)),
+        Attribute::new("AttrType", Domain::basic(ValueType::Str)),
+    ])
+    .unwrap();
+    let meta_schema = Schema::new(vec![
+        Attribute::new("RuleNo", Domain::basic(ValueType::Int)),
+        Attribute::new("Support", Domain::basic(ValueType::Int)),
+        Attribute::new("Subtype", Domain::basic(ValueType::Str)),
+    ])
+    .unwrap();
+
+    let rels = RuleRelations {
+        rules,
+        value_map: Relation::new("ATTRVALUEMAP", map_schema),
+        attr_catalog: Relation::new("ATTRCATALOG", cat_schema),
+        meta: Relation::new("RULEMETA", meta_schema),
+    };
+    assert!(iqp.dictionary_mut().import_rule_relations(&rels).is_err());
+    assert!(
+        !iqp.dictionary().has_rules(),
+        "failed import leaves no rules"
+    );
+}

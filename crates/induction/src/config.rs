@@ -1,0 +1,77 @@
+//! Induction configuration: the pruning threshold `N_c` and the semantic
+//! knobs the paper leaves informal.
+
+/// How a rule's support is counted for pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportMetric {
+    /// Number of database instances (tuples) satisfying the rule — the
+    /// paper's "number of instances satisfied".
+    Instances,
+    /// Number of distinct X values covered by the rule's range.
+    DistinctValues,
+}
+
+/// What "a consecutive sequence of X values" (§5.2.1 step 3) is measured
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScope {
+    /// Consecutive in the full observed order of X values, so a removed
+    /// (inconsistent) X value breaks a run. Rules never span values with
+    /// conflicting Y — every rule is exact on the current database.
+    /// This reproduces the paper's R14/R15 split (class 0204 between
+    /// 0203 and 0205 is inconsistent, so BQQ gets two rules).
+    FullObservedOrder,
+    /// Consecutive among the *remaining* (consistent) X values. Fewer,
+    /// wider rules, but a rule's range may cover removed X values whose
+    /// instances contradict it (ablation variant).
+    RemainingOrder,
+}
+
+/// How inconsistent (X, Y) pairs — one X mapping to several Y — are
+/// handled in step 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InconsistencyPolicy {
+    /// Delete every pair whose X has conflicting Y (the paper's step 2).
+    Remove,
+    /// Keep the majority Y for the X when one value holds a strict
+    /// majority of the X's instances (ablation variant; tolerates noise
+    /// at the price of exactness).
+    MajorityVote,
+}
+
+/// Full configuration of the rule-induction algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InductionConfig {
+    /// The pruning threshold `N_c`: rules with support below it are
+    /// dropped (step 4). The paper's 17-rule set corresponds to 3.
+    pub min_support: usize,
+    /// Support metric.
+    pub support_metric: SupportMetric,
+    /// Run construction scope.
+    pub run_scope: RunScope,
+    /// Inconsistency handling.
+    pub inconsistency: InconsistencyPolicy,
+}
+
+impl Default for InductionConfig {
+    /// The paper's settings: `N_c = 3`, instance-count support, runs over
+    /// the full observed order, inconsistent pairs removed.
+    fn default() -> Self {
+        InductionConfig {
+            min_support: 3,
+            support_metric: SupportMetric::Instances,
+            run_scope: RunScope::FullObservedOrder,
+            inconsistency: InconsistencyPolicy::Remove,
+        }
+    }
+}
+
+impl InductionConfig {
+    /// The default configuration with a different `N_c`.
+    pub fn with_min_support(min_support: usize) -> InductionConfig {
+        InductionConfig {
+            min_support,
+            ..InductionConfig::default()
+        }
+    }
+}

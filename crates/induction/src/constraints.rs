@@ -1,0 +1,159 @@
+//! Inter-object constraint discovery (§3.1).
+//!
+//! Beyond classification rules, the paper's inter-object knowledge
+//! includes relational *constraints* between the entities a relationship
+//! links: "the relationship VISIT involves entities of SHIP and PORT and
+//! satisfies the constraint that the draft of the ship must be less than
+//! the depth of the port. The inter-object knowledge can be induced from
+//! the interrelationship between SHIP and PORT linked by the VISIT
+//! relationship."
+//!
+//! This module induces exactly that: for every pair of comparable
+//! attributes across the roles of a relationship join, it finds the
+//! strongest comparison (`<`, `<=`, `=`, `>=`, `>`) that every joined
+//! instance satisfies.
+
+use crate::driver::Ils;
+use intensio_rules::rule::AttrId;
+use intensio_storage::catalog::Database;
+use intensio_storage::error::Result;
+use intensio_storage::expr::CmpOp;
+use intensio_storage::relation::Relation;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A discovered constraint `left op right` holding for every instance of
+/// the relationship.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterObjectConstraint {
+    /// The relationship relation the constraint was induced from.
+    pub relationship: String,
+    /// Left attribute (role-qualified).
+    pub left: AttrId,
+    /// The strongest operator that always holds.
+    pub op: CmpOp,
+    /// Right attribute.
+    pub right: AttrId,
+    /// Number of relationship instances supporting it.
+    pub support: usize,
+}
+
+impl fmt::Display for InterObjectConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} {} (support {})",
+            self.relationship, self.left, self.op, self.right, self.support
+        )
+    }
+}
+
+impl Ils<'_> {
+    /// Discover inter-object inequality/equality constraints over every
+    /// relationship relation of the database. Only constraints supported
+    /// by at least `min_support` (the ILS's `N_c`) instances are kept,
+    /// and trivial self-comparisons are skipped.
+    pub fn discover_relationship_constraints(
+        &self,
+        db: &Database,
+    ) -> Result<Vec<InterObjectConstraint>> {
+        let mut out = Vec::new();
+        for rel in db.relations() {
+            if !self.is_relationship(db, rel) {
+                continue;
+            }
+            let roles = self.role_attrs(db, rel);
+            let joined = self.join_roles(db, rel, &roles)?;
+            let mut role_cols = Vec::new();
+            for (_, entity) in &roles {
+                let mut cols = Vec::new();
+                crate::driver::collect_entity_columns(self.model(), db, entity, &mut cols, 1);
+                role_cols.push(cols);
+            }
+            discover_in_joined(
+                rel.name(),
+                &joined,
+                &role_cols,
+                self.config().min_support,
+                &mut out,
+            )?;
+        }
+        Ok(out)
+    }
+}
+
+/// Scan a joined relation for universally-held comparisons between
+/// columns of *different* roles.
+pub(crate) fn discover_in_joined(
+    relationship: &str,
+    joined: &Relation,
+    role_cols: &[Vec<(String, String, String, bool)>],
+    min_support: usize,
+    out: &mut Vec<InterObjectConstraint>,
+) -> Result<()> {
+    for (ai, a_cols) in role_cols.iter().enumerate() {
+        for (bi, b_cols) in role_cols.iter().enumerate() {
+            if ai >= bi {
+                continue; // each unordered pair once; op orientation covers both
+            }
+            for (a_col, a_entity, a_attr, a_key) in a_cols {
+                for (b_col, b_entity, b_attr, b_key) in b_cols {
+                    // Key attributes are surrogate identifiers; any
+                    // ordering between them is lexicographic noise.
+                    if *a_key || *b_key {
+                        continue;
+                    }
+                    let Some(xi) = joined.schema().index_of(a_col) else {
+                        continue;
+                    };
+                    let Some(yi) = joined.schema().index_of(b_col) else {
+                        continue;
+                    };
+                    // Track which orderings occur.
+                    let (mut lt, mut eq, mut gt, mut n) = (false, false, false, 0usize);
+                    let mut comparable = true;
+                    for t in joined.iter() {
+                        let (l, r) = (t.get(xi), t.get(yi));
+                        if l.is_null() || r.is_null() {
+                            continue;
+                        }
+                        match l.compare(r) {
+                            Ok(Ordering::Less) => lt = true,
+                            Ok(Ordering::Equal) => eq = true,
+                            Ok(Ordering::Greater) => gt = true,
+                            Err(_) => {
+                                comparable = false;
+                                break;
+                            }
+                        }
+                        n += 1;
+                    }
+                    if !comparable || n < min_support {
+                        continue;
+                    }
+                    let op = match (lt, eq, gt) {
+                        (true, false, false) => Some(CmpOp::Lt),
+                        (true, true, false) => Some(CmpOp::Le),
+                        (false, true, false) => Some(CmpOp::Eq),
+                        (false, true, true) => Some(CmpOp::Ge),
+                        (false, false, true) => Some(CmpOp::Gt),
+                        _ => None, // both < and > occur: no constraint
+                    };
+                    if let Some(op) = op {
+                        // Equality between a role key and its own foreign
+                        // key column is referential noise; skip identical
+                        // attributes with Eq on string ids.
+                        out.push(InterObjectConstraint {
+                            relationship: relationship.to_string(),
+                            left: AttrId::new(a_entity.clone(), a_attr.clone()),
+                            op,
+                            right: AttrId::new(b_entity.clone(), b_attr.clone()),
+                            support: n,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

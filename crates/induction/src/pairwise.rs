@@ -1,0 +1,420 @@
+//! The pairwise rule-induction algorithm of §5.2.1.
+//!
+//! For an attribute pair `(X, Y)` of a relation:
+//!
+//! 1. collect the distinct `(Y, X)` value pairs;
+//! 2. remove inconsistent pairs (an X with more than one Y);
+//! 3. for each distinct `y`, build rules `if x1 <= X <= x2 then Y = y`
+//!    over maximal runs of consecutive observed X values;
+//! 4. prune rules with support below `N_c`.
+
+use crate::config::{InconsistencyPolicy, InductionConfig, RunScope, SupportMetric};
+use intensio_rules::rule::{AttrId, Clause, Rule};
+use intensio_storage::error::Result;
+use intensio_storage::relation::Relation;
+use intensio_storage::value::{Value, ValueKey};
+use std::collections::BTreeMap;
+
+/// A rule produced by pairwise induction, before numbering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InducedRule {
+    /// The premise attribute.
+    pub x: AttrId,
+    /// The induced X range (inclusive).
+    pub lo: Value,
+    /// Upper end of the range.
+    pub hi: Value,
+    /// The consequence attribute.
+    pub y: AttrId,
+    /// The concluded Y value.
+    pub y_value: Value,
+    /// Instances satisfying premise and consequence.
+    pub support: usize,
+    /// Instances satisfying the premise but *not* the consequence
+    /// (non-zero only under the `RemainingOrder`/`MajorityVote`
+    /// ablations).
+    pub violations: usize,
+    /// Distinct X values covered.
+    pub distinct_x: usize,
+}
+
+impl InducedRule {
+    /// Convert into a [`Rule`] (id assigned by the rule set).
+    pub fn into_rule(self) -> Rule {
+        let support = self.support;
+        Rule::new(
+            0,
+            vec![Clause::between(self.x, self.lo, self.hi)],
+            Clause::equals(self.y, self.y_value),
+        )
+        .with_support(support)
+    }
+}
+
+/// Induce rules for the pair `(X, Y)` over a relation.
+///
+/// `object_x`/`object_y` name the object types the attributes belong to
+/// (used for rule display and inference); for intra-object induction
+/// both are the relation name.
+pub fn induce_pair(
+    rel: &Relation,
+    object_x: &str,
+    x: &str,
+    object_y: &str,
+    y: &str,
+    cfg: &InductionConfig,
+) -> Result<Vec<InducedRule>> {
+    induce_pair_ids(
+        rel,
+        x,
+        AttrId::new(object_x, x),
+        y,
+        AttrId::new(object_y, y),
+        cfg,
+    )
+}
+
+/// Like [`induce_pair`], but with explicit column names and attribute
+/// ids. Used for inter-object induction, where the joined relation's
+/// columns are role-prefixed (`SUBMARINE.Id`) while the rule should
+/// speak of `SUBMARINE.Id` via its [`AttrId`].
+pub fn induce_pair_ids(
+    rel: &Relation,
+    x_col: &str,
+    x_id: AttrId,
+    y_col: &str,
+    y_id: AttrId,
+    cfg: &InductionConfig,
+) -> Result<Vec<InducedRule>> {
+    induce_pair_ids_with_stats(rel, x_col, x_id, y_col, y_id, cfg).map(|(rules, _)| rules)
+}
+
+/// Like [`induce_pair_ids`], additionally returning the number of rules
+/// constructed in step 3 *before* the `N_c` pruning of step 4.
+pub fn induce_pair_ids_with_stats(
+    rel: &Relation,
+    x_col: &str,
+    x_id: AttrId,
+    y_col: &str,
+    y_id: AttrId,
+    cfg: &InductionConfig,
+) -> Result<(Vec<InducedRule>, usize)> {
+    let xi = rel.schema().require(rel.name(), x_col)?;
+    let yi = rel.schema().require(rel.name(), y_col)?;
+
+    // Step 1: distinct (X, Y) pairs with instance counts, X sorted.
+    // pair_counts[x][y] = number of instances.
+    let mut pair_counts: BTreeMap<ValueKey, BTreeMap<ValueKey, usize>> = BTreeMap::new();
+    for t in rel.iter() {
+        let xv = t.get(xi);
+        let yv = t.get(yi);
+        if xv.is_null() || yv.is_null() {
+            continue; // missing values carry no classification evidence
+        }
+        *pair_counts
+            .entry(ValueKey(xv.clone()))
+            .or_default()
+            .entry(ValueKey(yv.clone()))
+            .or_insert(0) += 1;
+    }
+
+    // Step 2: resolve inconsistent X values.
+    // observed: every distinct X in sorted order; assigned: X -> Some(y)
+    // if consistent (or majority-voted), None if removed.
+    let observed: Vec<ValueKey> = pair_counts.keys().cloned().collect();
+    let mut assigned: BTreeMap<ValueKey, Option<(ValueKey, usize, usize)>> = BTreeMap::new();
+    for (xv, ys) in &pair_counts {
+        let total: usize = ys.values().sum();
+        let (best_y, best_n) = ys
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(y, n)| (y.clone(), *n))
+            .expect("non-empty");
+        let value = if ys.len() == 1 {
+            Some((best_y, best_n, 0))
+        } else {
+            match cfg.inconsistency {
+                InconsistencyPolicy::Remove => None,
+                InconsistencyPolicy::MajorityVote => {
+                    if best_n * 2 > total {
+                        Some((best_y, best_n, total - best_n))
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        assigned.insert(xv.clone(), value);
+    }
+
+    // Step 3: maximal runs of consecutive X values sharing a Y.
+    let run_values: Vec<&ValueKey> = match cfg.run_scope {
+        RunScope::FullObservedOrder => observed.iter().collect(),
+        RunScope::RemainingOrder => observed.iter().filter(|x| assigned[*x].is_some()).collect(),
+    };
+
+    let mut rules: Vec<InducedRule> = Vec::new();
+    let mut current: Option<(ValueKey, Vec<&ValueKey>)> = None; // (y, xs)
+    let flush = |current: &mut Option<(ValueKey, Vec<&ValueKey>)>, rules: &mut Vec<InducedRule>| {
+        if let Some((yv, xs)) = current.take() {
+            let mut support = 0usize;
+            let mut violations = 0usize;
+            for xv in &xs {
+                if let Some((ay, n, v)) = &assigned[*xv] {
+                    debug_assert_eq!(ay, &yv);
+                    support += n;
+                    violations += v;
+                }
+            }
+            rules.push(InducedRule {
+                x: x_id.clone(),
+                lo: xs.first().expect("non-empty run").0.clone(),
+                hi: xs.last().expect("non-empty run").0.clone(),
+                y: y_id.clone(),
+                y_value: yv.0.clone(),
+                support,
+                violations,
+                distinct_x: xs.len(),
+            });
+        }
+    };
+
+    for xv in run_values {
+        match (&assigned[xv], &mut current) {
+            (None, cur) => flush(cur, &mut rules),
+            (Some((yv, _, _)), Some((cy, xs))) if yv == cy => xs.push(xv),
+            (Some((yv, _, _)), cur) => {
+                flush(cur, &mut rules);
+                *cur = Some((yv.clone(), vec![xv]));
+            }
+        }
+    }
+    flush(&mut current, &mut rules);
+
+    // Under RemainingOrder, a rule's range may span removed X values:
+    // recount violations from the raw pair counts.
+    if cfg.run_scope == RunScope::RemainingOrder {
+        for r in &mut rules {
+            let mut violations = 0usize;
+            for (xv, ys) in &pair_counts {
+                let in_range = xv.0.compare(&r.lo).map(|o| o.is_ge()).unwrap_or(false)
+                    && xv.0.compare(&r.hi).map(|o| o.is_le()).unwrap_or(false);
+                if in_range {
+                    for (yv, n) in ys {
+                        if yv.0 != r.y_value {
+                            violations += n;
+                        }
+                    }
+                }
+            }
+            r.violations = violations;
+        }
+    }
+
+    // Step 4: prune by support.
+    let constructed = rules.len();
+    rules.retain(|r| {
+        let measure = match cfg.support_metric {
+            SupportMetric::Instances => r.support,
+            SupportMetric::DistinctValues => r.distinct_x,
+        };
+        measure >= cfg.min_support
+    });
+    Ok((rules, constructed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::domain::Domain;
+    use intensio_storage::schema::{Attribute, Schema};
+    use intensio_storage::tuple;
+    use intensio_storage::value::ValueType;
+
+    fn class_rel() -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("CLASS", schema);
+        r.insert_all([
+            tuple!["0101", "SSBN", 16600],
+            tuple!["0102", "SSBN", 7250],
+            tuple!["0103", "SSBN", 7250],
+            tuple!["0201", "SSN", 6000],
+            tuple!["0203", "SSN", 4450],
+            tuple!["0204", "SSN", 3640],
+            tuple!["1301", "SSBN", 30000],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn induces_class_to_type_runs() {
+        let cfg = InductionConfig::with_min_support(1);
+        let rules = induce_pair(&class_rel(), "CLASS", "Class", "CLASS", "Type", &cfg).unwrap();
+        // Runs: 0101-0103 SSBN, 0201-0204 SSN, 1301 SSBN.
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].lo, Value::str("0101"));
+        assert_eq!(rules[0].hi, Value::str("0103"));
+        assert_eq!(rules[0].y_value, Value::str("SSBN"));
+        assert_eq!(rules[0].support, 3);
+        assert_eq!(rules[2].lo, Value::str("1301"));
+        assert_eq!(rules[2].support, 1);
+    }
+
+    #[test]
+    fn pruning_drops_singletons() {
+        let cfg = InductionConfig::with_min_support(3);
+        let rules = induce_pair(&class_rel(), "CLASS", "Class", "CLASS", "Type", &cfg).unwrap();
+        assert_eq!(rules.len(), 2, "the 1301 singleton is pruned (R_new)");
+    }
+
+    #[test]
+    fn displacement_ranges_match_paper_r8_r9() {
+        let cfg = InductionConfig::with_min_support(2);
+        let rules =
+            induce_pair(&class_rel(), "CLASS", "Displacement", "CLASS", "Type", &cfg).unwrap();
+        // Sorted displacements: 3640,4450,6000 SSN | 7250(x2),16600,30000 SSBN.
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].y_value, Value::str("SSN"));
+        assert_eq!(rules[0].lo, Value::Int(3640));
+        assert_eq!(rules[0].hi, Value::Int(6000));
+        assert_eq!(rules[1].y_value, Value::str("SSBN"));
+        assert_eq!(rules[1].lo, Value::Int(7250));
+        assert_eq!(rules[1].hi, Value::Int(30000));
+        assert_eq!(rules[1].support, 4, "7250 appears twice");
+    }
+
+    fn noisy_rel() -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::new("X", Domain::basic(ValueType::Int)),
+            Attribute::new("Y", Domain::char_n(1)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("R", schema);
+        r.insert_all([
+            tuple![1, "a"],
+            tuple![2, "a"],
+            tuple![3, "a"],
+            tuple![3, "a"],
+            tuple![3, "b"], // inconsistent X=3, majority a
+            tuple![4, "a"],
+            tuple![5, "b"],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn remove_policy_breaks_runs() {
+        let cfg = InductionConfig {
+            min_support: 1,
+            ..InductionConfig::default()
+        };
+        let rules = induce_pair(&noisy_rel(), "R", "X", "R", "Y", &cfg).unwrap();
+        // X=3 removed: runs {1,2}:a, {4}:a, {5}:b.
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].hi, Value::Int(2));
+        assert!(rules.iter().all(|r| r.violations == 0));
+    }
+
+    #[test]
+    fn majority_vote_keeps_x3() {
+        let cfg = InductionConfig {
+            min_support: 1,
+            inconsistency: InconsistencyPolicy::MajorityVote,
+            ..InductionConfig::default()
+        };
+        let rules = induce_pair(&noisy_rel(), "R", "X", "R", "Y", &cfg).unwrap();
+        // X=3 assigned to a (3 of 4... actually 2 of 3): run {1..4}:a, {5}:b.
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].hi, Value::Int(4));
+        assert_eq!(rules[0].violations, 1, "the one b at X=3");
+        assert_eq!(rules[0].support, 5);
+    }
+
+    #[test]
+    fn remaining_order_spans_removed_values() {
+        let cfg = InductionConfig {
+            min_support: 1,
+            run_scope: RunScope::RemainingOrder,
+            ..InductionConfig::default()
+        };
+        let rules = induce_pair(&noisy_rel(), "R", "X", "R", "Y", &cfg).unwrap();
+        // X=3 removed but runs computed over remaining {1,2,4}:a, {5}:b.
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].lo, Value::Int(1));
+        assert_eq!(rules[0].hi, Value::Int(4));
+        assert_eq!(
+            rules[0].violations, 1,
+            "range [1,4] covers the removed X=3 with one contradicting instance"
+        );
+    }
+
+    #[test]
+    fn distinct_value_support_metric() {
+        let cfg = InductionConfig {
+            min_support: 2,
+            support_metric: SupportMetric::DistinctValues,
+            ..InductionConfig::default()
+        };
+        let rules = induce_pair(&noisy_rel(), "R", "X", "R", "Y", &cfg).unwrap();
+        // Only the {1,2} run has >= 2 distinct X values.
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].distinct_x, 2);
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let schema = Schema::new(vec![
+            Attribute::new("X", Domain::basic(ValueType::Int)),
+            Attribute::new("Y", Domain::char_n(1)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("R", schema);
+        r.insert(tuple![1, "a"]).unwrap();
+        r.insert(intensio_storage::tuple::Tuple::new(vec![
+            Value::Null,
+            Value::str("b"),
+        ]))
+        .unwrap();
+        r.insert(intensio_storage::tuple::Tuple::new(vec![
+            Value::Int(2),
+            Value::Null,
+        ]))
+        .unwrap();
+        let cfg = InductionConfig::with_min_support(1);
+        let rules = induce_pair(&r, "R", "X", "R", "Y", &cfg).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].support, 1);
+    }
+
+    #[test]
+    fn point_rule_when_single_value() {
+        let cfg = InductionConfig::with_min_support(1);
+        let rules = induce_pair(&class_rel(), "CLASS", "Type", "CLASS", "Type", &cfg);
+        // X == Y degenerates to identity point rules; allowed but odd.
+        assert!(rules.is_ok());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let cfg = InductionConfig::default();
+        assert!(induce_pair(&class_rel(), "CLASS", "Nope", "CLASS", "Type", &cfg).is_err());
+    }
+
+    #[test]
+    fn into_rule_display() {
+        let cfg = InductionConfig::with_min_support(3);
+        let rules = induce_pair(&class_rel(), "CLASS", "Class", "CLASS", "Type", &cfg).unwrap();
+        let rule = rules[0].clone().into_rule();
+        assert_eq!(
+            rule.to_string(),
+            "R0: if \"0101\" <= CLASS.Class <= \"0103\" then CLASS.Type = \"SSBN\""
+        );
+    }
+}

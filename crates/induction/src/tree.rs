@@ -1,0 +1,684 @@
+//! An ID3-style decision-tree learner.
+//!
+//! §3.2 grounds the ILS in classic inductive learning ([QUIN79],
+//! [MICH83]): "recursively determine a set of descriptors that classify
+//! each example and select the best descriptor from a set of examples
+//! based on ... theoretical information content". This module implements
+//! that technique directly: information-gain attribute selection,
+//! categorical multi-way splits, binary threshold splits for numeric
+//! attributes, and extraction of the leaves as classification rules.
+
+use intensio_rules::range::{Endpoint, ValueRange};
+use intensio_rules::rule::{AttrId, Clause, Rule, RuleSet};
+use intensio_storage::error::{Result, StorageError};
+use intensio_storage::relation::Relation;
+use intensio_storage::value::{Value, ValueKey};
+use std::collections::BTreeMap;
+
+/// A decision-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf predicting a class value with `support` examples, of which
+    /// `errors` disagree (non-zero only when the data is inseparable).
+    Leaf {
+        /// Predicted target value.
+        class: Value,
+        /// Examples reaching this leaf.
+        support: usize,
+        /// Examples whose target disagrees with the prediction.
+        errors: usize,
+    },
+    /// A categorical split: one branch per observed value.
+    SplitCategorical {
+        /// The splitting attribute's column index.
+        attr: usize,
+        /// Branches by attribute value.
+        branches: Vec<(Value, Node)>,
+        /// Fallback for unmatched values (majority leaf).
+        default: Box<Node>,
+    },
+    /// A numeric split: `<= threshold` goes left, otherwise right.
+    SplitNumeric {
+        /// The splitting attribute's column index.
+        attr: usize,
+        /// Split threshold.
+        threshold: Value,
+        /// Branch for values `<= threshold`.
+        le: Box<Node>,
+        /// Branch for values `> threshold`.
+        gt: Box<Node>,
+    },
+}
+
+/// A trained decision tree over a relation's attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    /// The relation the tree was trained on.
+    pub relation: String,
+    /// Feature column indices and names.
+    pub features: Vec<(usize, String)>,
+    /// Target column index and name.
+    pub target: (usize, String),
+    /// The root node.
+    pub root: Node,
+}
+
+/// Configuration for tree induction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum depth (a bare leaf is depth 0). Limits overfitting.
+    pub max_depth: usize,
+    /// Minimum examples to attempt a split.
+    pub min_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_split: 2,
+        }
+    }
+}
+
+fn entropy(counts: &BTreeMap<ValueKey, usize>) -> f64 {
+    let total: usize = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &n in counts.values() {
+        if n > 0 {
+            let p = n as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+fn class_counts(
+    rows: &[&intensio_storage::tuple::Tuple],
+    target: usize,
+) -> BTreeMap<ValueKey, usize> {
+    let mut counts = BTreeMap::new();
+    for r in rows {
+        *counts.entry(ValueKey(r.get(target).clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn majority(counts: &BTreeMap<ValueKey, usize>) -> (Value, usize, usize) {
+    let total: usize = counts.values().sum();
+    let (best, n) = counts
+        .iter()
+        .max_by_key(|(_, n)| **n)
+        .map(|(k, n)| (k.0.clone(), *n))
+        .unwrap_or((Value::Null, 0));
+    (best, total, total - n)
+}
+
+/// Train a decision tree on `rel`, predicting `target` from `features`.
+pub fn learn(
+    rel: &Relation,
+    features: &[&str],
+    target: &str,
+    cfg: &TreeConfig,
+) -> Result<DecisionTree> {
+    let target_idx = rel.schema().require(rel.name(), target)?;
+    let mut feat_idx = Vec::with_capacity(features.len());
+    for f in features {
+        let i = rel.schema().require(rel.name(), f)?;
+        if i == target_idx {
+            return Err(StorageError::Invalid(
+                "target cannot be a feature".to_string(),
+            ));
+        }
+        feat_idx.push((i, rel.schema().attr(i).name().to_string()));
+    }
+    if rel.is_empty() {
+        return Err(StorageError::Invalid(
+            "cannot learn from an empty relation".to_string(),
+        ));
+    }
+    let rows: Vec<&intensio_storage::tuple::Tuple> = rel.iter().collect();
+    let root = build(&rows, &feat_idx, target_idx, cfg, 0);
+    Ok(DecisionTree {
+        relation: rel.name().to_string(),
+        features: feat_idx,
+        target: (target_idx, rel.schema().attr(target_idx).name().to_string()),
+        root,
+    })
+}
+
+enum Split {
+    Cat(usize),
+    Num(usize, Value),
+}
+
+fn build(
+    rows: &[&intensio_storage::tuple::Tuple],
+    features: &[(usize, String)],
+    target: usize,
+    cfg: &TreeConfig,
+    depth: usize,
+) -> Node {
+    let counts = class_counts(rows, target);
+    let (class, support, errors) = majority(&counts);
+    if errors == 0 || depth >= cfg.max_depth || rows.len() < cfg.min_split {
+        return Node::Leaf {
+            class,
+            support,
+            errors,
+        };
+    }
+    let base = entropy(&counts);
+
+    let mut best: Option<(f64, Split)> = None;
+    let consider = |gain: f64, split: Split, best: &mut Option<(f64, Split)>| {
+        if gain > 1e-9 && best.as_ref().map(|(g, _)| gain > *g).unwrap_or(true) {
+            *best = Some((gain, split));
+        }
+    };
+    for (fi, _) in features {
+        let numeric = rows
+            .iter()
+            .all(|r| matches!(r.get(*fi), Value::Int(_) | Value::Real(_) | Value::Null));
+        if numeric {
+            let mut vals: Vec<f64> = rows.iter().filter_map(|r| r.get(*fi).as_real()).collect();
+            vals.sort_by(f64::total_cmp);
+            vals.dedup();
+            for w in vals.windows(2) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let (mut le, mut gt) = (BTreeMap::new(), BTreeMap::new());
+                let (mut n_le, mut n_gt) = (0usize, 0usize);
+                for r in rows {
+                    match r.get(*fi).as_real() {
+                        Some(v) if v <= thr => {
+                            *le.entry(ValueKey(r.get(target).clone())).or_insert(0) += 1;
+                            n_le += 1;
+                        }
+                        Some(_) => {
+                            *gt.entry(ValueKey(r.get(target).clone())).or_insert(0) += 1;
+                            n_gt += 1;
+                        }
+                        None => {}
+                    }
+                }
+                if n_le == 0 || n_gt == 0 {
+                    continue;
+                }
+                let total = (n_le + n_gt) as f64;
+                let gain = base
+                    - (n_le as f64 / total) * entropy(&le)
+                    - (n_gt as f64 / total) * entropy(&gt);
+                consider(gain, Split::Num(*fi, Value::Real(thr)), &mut best);
+            }
+        } else {
+            let mut parts: BTreeMap<ValueKey, BTreeMap<ValueKey, usize>> = BTreeMap::new();
+            for r in rows {
+                let v = r.get(*fi);
+                if v.is_null() {
+                    continue;
+                }
+                *parts
+                    .entry(ValueKey(v.clone()))
+                    .or_default()
+                    .entry(ValueKey(r.get(target).clone()))
+                    .or_insert(0) += 1;
+            }
+            if parts.len() < 2 {
+                continue;
+            }
+            let total: usize = parts.values().map(|m| m.values().sum::<usize>()).sum();
+            let gain = base
+                - parts
+                    .values()
+                    .map(|m| {
+                        let n: usize = m.values().sum();
+                        (n as f64 / total as f64) * entropy(m)
+                    })
+                    .sum::<f64>();
+            consider(gain, Split::Cat(*fi), &mut best);
+        }
+    }
+
+    match best {
+        None => Node::Leaf {
+            class,
+            support,
+            errors,
+        },
+        Some((_, Split::Num(fi, thr))) => {
+            let t = thr.as_real().expect("numeric threshold");
+            let (le_rows, gt_rows): (Vec<_>, Vec<_>) = rows
+                .iter()
+                .copied()
+                .partition(|r| r.get(fi).as_real().map(|v| v <= t).unwrap_or(true));
+            Node::SplitNumeric {
+                attr: fi,
+                threshold: thr,
+                le: Box::new(build(&le_rows, features, target, cfg, depth + 1)),
+                gt: Box::new(build(&gt_rows, features, target, cfg, depth + 1)),
+            }
+        }
+        Some((_, Split::Cat(fi))) => {
+            let mut groups: BTreeMap<ValueKey, Vec<&intensio_storage::tuple::Tuple>> =
+                BTreeMap::new();
+            for r in rows {
+                if !r.get(fi).is_null() {
+                    groups
+                        .entry(ValueKey(r.get(fi).clone()))
+                        .or_default()
+                        .push(r);
+                }
+            }
+            let branches = groups
+                .into_iter()
+                .map(|(v, rs)| (v.0, build(&rs, features, target, cfg, depth + 1)))
+                .collect();
+            Node::SplitCategorical {
+                attr: fi,
+                branches,
+                default: Box::new(Node::Leaf {
+                    class,
+                    support,
+                    errors,
+                }),
+            }
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Predict the target value for a tuple of the training relation's
+    /// schema.
+    pub fn classify(&self, tuple: &intensio_storage::tuple::Tuple) -> Value {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return class.clone(),
+                Node::SplitCategorical {
+                    attr,
+                    branches,
+                    default,
+                } => {
+                    let v = tuple.get(*attr);
+                    node = branches
+                        .iter()
+                        .find(|(bv, _)| bv.sem_eq(v))
+                        .map(|(_, n)| n)
+                        .unwrap_or(default);
+                }
+                Node::SplitNumeric {
+                    attr,
+                    threshold,
+                    le,
+                    gt,
+                } => {
+                    let v = tuple.get(*attr).as_real();
+                    let t = threshold.as_real().expect("numeric threshold");
+                    node = if v.map(|x| x <= t).unwrap_or(true) {
+                        le
+                    } else {
+                        gt
+                    };
+                }
+            }
+        }
+    }
+
+    /// Training accuracy: fraction of tuples classified correctly.
+    pub fn accuracy_on(&self, rel: &Relation) -> f64 {
+        if rel.is_empty() {
+            return 1.0;
+        }
+        let correct = rel
+            .iter()
+            .filter(|t| self.classify(t).sem_eq(t.get(self.target.0)))
+            .count();
+        correct as f64 / rel.len() as f64
+    }
+
+    /// Extract each root-to-leaf path as a rule (`if path-clauses then
+    /// target = class`). Paths whose leaf still has errors are skipped
+    /// unless `include_impure`.
+    pub fn to_rules(&self, object: &str, include_impure: bool) -> RuleSet {
+        let mut rules = Vec::new();
+        let mut path: Vec<Clause> = Vec::new();
+        self.walk(&self.root, object, &mut path, include_impure, &mut rules);
+        RuleSet::from_rules(rules)
+    }
+
+    fn walk(
+        &self,
+        node: &Node,
+        object: &str,
+        path: &mut Vec<Clause>,
+        include_impure: bool,
+        out: &mut Vec<Rule>,
+    ) {
+        match node {
+            Node::Leaf {
+                class,
+                support,
+                errors,
+            } => {
+                if *errors == 0 || include_impure {
+                    let rhs =
+                        Clause::equals(AttrId::new(object, self.target.1.clone()), class.clone());
+                    out.push(Rule::new(0, path.clone(), rhs).with_support(*support));
+                }
+            }
+            Node::SplitCategorical { attr, branches, .. } => {
+                let name = self.attr_name(*attr);
+                for (v, child) in branches {
+                    path.push(Clause::equals(AttrId::new(object, name.clone()), v.clone()));
+                    self.walk(child, object, path, include_impure, out);
+                    path.pop();
+                }
+            }
+            Node::SplitNumeric {
+                attr,
+                threshold,
+                le,
+                gt,
+            } => {
+                let name = self.attr_name(*attr);
+                path.push(Clause {
+                    attr: AttrId::new(object, name.clone()),
+                    range: ValueRange {
+                        lo: None,
+                        hi: Some(Endpoint::incl(threshold.clone())),
+                    },
+                });
+                self.walk(le, object, path, include_impure, out);
+                path.pop();
+                path.push(Clause {
+                    attr: AttrId::new(object, name),
+                    range: ValueRange {
+                        lo: Some(Endpoint::excl(threshold.clone())),
+                        hi: None,
+                    },
+                });
+                self.walk(gt, object, path, include_impure, out);
+                path.pop();
+            }
+        }
+    }
+
+    fn attr_name(&self, idx: usize) -> String {
+        self.features
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, n)| n.clone())
+            .expect("split attribute is a feature")
+    }
+
+    /// Depth of the tree (a bare leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::SplitCategorical { branches, .. } => {
+                    1 + branches.iter().map(|(_, c)| d(c)).max().unwrap_or(0)
+                }
+                Node::SplitNumeric { le, gt, .. } => 1 + d(le).max(d(gt)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        fn l(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::SplitCategorical { branches, .. } => branches.iter().map(|(_, c)| l(c)).sum(),
+                Node::SplitNumeric { le, gt, .. } => l(le) + l(gt),
+            }
+        }
+        l(&self.root)
+    }
+}
+
+/// Extract a tree's pure-leaf paths as rules with every clause range
+/// *closed* against the relation's observed attribute extrema, so the
+/// rules conform to the paper's closed-clause format and can be stored
+/// as rule relations (§5.2.2).
+pub fn to_closed_rules(tree: &DecisionTree, rel: &Relation, object: &str) -> Result<Vec<Rule>> {
+    let mut out = Vec::new();
+    for mut rule in tree.to_rules(object, false) {
+        let mut ok = true;
+        for clause in &mut rule.lhs {
+            let observed = rel.distinct_values(&clause.attr.attribute)?;
+            let observed: Vec<&Value> = observed.iter().filter(|v| !v.is_null()).collect();
+            if clause.range.lo.is_none() {
+                match observed
+                    .iter()
+                    .find(|v| clause.range.contains(v))
+                    .or(observed.first())
+                {
+                    Some(v) => {
+                        clause.range.lo = Some(intensio_rules::range::Endpoint::incl((*v).clone()))
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if clause.range.hi.is_none() {
+                match observed
+                    .iter()
+                    .rev()
+                    .find(|v| clause.range.contains(v))
+                    .or(observed.last())
+                {
+                    Some(v) => {
+                        clause.range.hi = Some(intensio_rules::range::Endpoint::incl((*v).clone()))
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            // Snap both endpoints to observed values inside the range:
+            // tree thresholds are synthetic midpoints (often Real on an
+            // Int column) and exclusive bounds are not representable in
+            // the closed clause format. Data-grounded semantics are
+            // unchanged.
+            for end_is_lo in [true, false] {
+                let nearest = if end_is_lo {
+                    observed.iter().find(|v| clause.range.contains(v))
+                } else {
+                    observed.iter().rev().find(|v| clause.range.contains(v))
+                };
+                match nearest {
+                    Some(v) => {
+                        let new = intensio_rules::range::Endpoint::incl((*v).clone());
+                        if end_is_lo {
+                            clause.range.lo = Some(new);
+                        } else {
+                            clause.range.hi = Some(new);
+                        }
+                    }
+                    None => {
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+        }
+        if ok {
+            out.push(rule);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::domain::Domain;
+    use intensio_storage::schema::{Attribute, Schema};
+    use intensio_storage::tuple;
+    use intensio_storage::value::ValueType;
+
+    fn class_rel() -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("CLASS", schema);
+        r.insert_all([
+            tuple!["0101", "SSBN", 16600],
+            tuple!["0102", "SSBN", 7250],
+            tuple!["0103", "SSBN", 7250],
+            tuple!["0201", "SSN", 6000],
+            tuple!["0203", "SSN", 4450],
+            tuple!["0204", "SSN", 3640],
+            tuple!["0215", "SSN", 2145],
+            tuple!["1301", "SSBN", 30000],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn learns_displacement_threshold() {
+        let rel = class_rel();
+        let tree = learn(&rel, &["Displacement"], "Type", &TreeConfig::default()).unwrap();
+        assert_eq!(tree.accuracy_on(&rel), 1.0);
+        assert_eq!(tree.depth(), 1, "one threshold separates SSN from SSBN");
+        match &tree.root {
+            Node::SplitNumeric { threshold, .. } => {
+                let t = threshold.as_real().unwrap();
+                // The same boundary the paper's R8/R9 capture.
+                assert!(t > 6000.0 && t < 7250.0, "threshold {t}");
+            }
+            other => panic!("expected numeric split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_unseen_values() {
+        let rel = class_rel();
+        let tree = learn(&rel, &["Displacement"], "Type", &TreeConfig::default()).unwrap();
+        assert_eq!(
+            tree.classify(&tuple!["9999", "?", 20000]),
+            Value::str("SSBN")
+        );
+        assert_eq!(tree.classify(&tuple!["9999", "?", 3000]), Value::str("SSN"));
+    }
+
+    #[test]
+    fn categorical_split() {
+        let schema = Schema::new(vec![
+            Attribute::new("Color", Domain::char_n(8)),
+            Attribute::new("Label", Domain::char_n(4)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("T", schema);
+        r.insert_all([
+            tuple!["red", "hot"],
+            tuple!["red", "hot"],
+            tuple!["blue", "cold"],
+            tuple!["blue", "cold"],
+        ])
+        .unwrap();
+        let tree = learn(&r, &["Color"], "Label", &TreeConfig::default()).unwrap();
+        assert_eq!(tree.accuracy_on(&r), 1.0);
+        assert_eq!(tree.leaves(), 2);
+        let v = tree.classify(&tuple!["green", "?"]);
+        assert!(v == Value::str("hot") || v == Value::str("cold"));
+    }
+
+    #[test]
+    fn rules_from_tree() {
+        let rel = class_rel();
+        let tree = learn(&rel, &["Displacement"], "Type", &TreeConfig::default()).unwrap();
+        let rules = tree.to_rules("CLASS", false);
+        assert_eq!(rules.len(), 2);
+        let texts: Vec<String> = rules.iter().map(|r| r.to_string()).collect();
+        assert!(texts.iter().any(|t| t.contains("SSN")));
+        assert!(texts.iter().any(|t| t.contains("SSBN")));
+    }
+
+    #[test]
+    fn depth_limit_creates_impure_leaf() {
+        let schema = Schema::new(vec![
+            Attribute::new("X", Domain::basic(ValueType::Int)),
+            Attribute::new("Y", Domain::char_n(1)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("T", schema);
+        r.insert_all([
+            tuple![1, "a"],
+            tuple![2, "b"],
+            tuple![3, "a"],
+            tuple![4, "b"],
+        ])
+        .unwrap();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            min_split: 2,
+        };
+        let tree = learn(&r, &["X"], "Y", &cfg).unwrap();
+        match &tree.root {
+            Node::Leaf { errors, .. } => assert_eq!(*errors, 2),
+            other => panic!("expected leaf at depth 0, got {other:?}"),
+        }
+        assert_eq!(tree.to_rules("T", false).len(), 0);
+        assert_eq!(tree.to_rules("T", true).len(), 1);
+    }
+
+    #[test]
+    fn multiclass_ship_types() {
+        let schema = Schema::new(vec![
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("B", schema);
+        let bands = [
+            ("SSBN", 7250, 16600),
+            ("SSN", 1720, 6000),
+            ("CVN", 75700, 81600),
+            ("CV", 41900, 61000),
+            ("BB", 45000, 45000),
+        ];
+        for (ty, lo, hi) in bands {
+            for k in 0..4 {
+                let d = lo + (hi - lo) * k / 3;
+                r.insert(tuple![ty, d]).unwrap();
+            }
+        }
+        let tree = learn(&r, &["Displacement"], "Type", &TreeConfig::default()).unwrap();
+        assert!(
+            tree.accuracy_on(&r) >= 0.9,
+            "accuracy {}",
+            tree.accuracy_on(&r)
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        let rel = class_rel();
+        assert!(learn(&rel, &["Nope"], "Type", &TreeConfig::default()).is_err());
+        assert!(learn(&rel, &["Type"], "Type", &TreeConfig::default()).is_err());
+        let empty = Relation::new(
+            "E",
+            Schema::new(vec![
+                Attribute::new("X", Domain::basic(ValueType::Int)),
+                Attribute::new("Y", Domain::basic(ValueType::Int)),
+            ])
+            .unwrap(),
+        );
+        assert!(learn(&empty, &["X"], "Y", &TreeConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! The KER model lists `date` among its basic domains (Appendix A);
+//! induction and inference must handle date-valued premise attributes
+//! like any other ordered domain. Ships commissioned in contiguous
+//! periods per class give `if d1 <= CommissionDate <= d2 then Class = c`
+//! rules.
+
+use intensio_induction::{induce_pair, InductionConfig};
+use intensio_storage::date::Date;
+use intensio_storage::prelude::*;
+use intensio_storage::tuple::Tuple;
+
+fn commissioned_fleet() -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(7)),
+        Attribute::new("CommissionDate", Domain::basic(ValueType::Date)),
+        Attribute::new("Class", Domain::char_n(4)),
+    ])
+    .unwrap();
+    let mut rel = Relation::new("SUBMARINE", schema);
+    // Class 0101 boats commissioned 1981; class 0201 in 1976; one
+    // straggler class 0301 in 1981 interleaves nothing (dates disjoint).
+    let rows: &[(&str, (i32, u32, u32), &str)] = &[
+        ("SSBN726", (1981, 11, 11), "0101"),
+        ("SSBN727", (1981, 12, 1), "0101"),
+        ("SSBN728", (1982, 1, 15), "0101"),
+        ("SSN688", (1976, 11, 13), "0201"),
+        ("SSN689", (1977, 2, 5), "0201"),
+        ("SSN690", (1977, 3, 18), "0201"),
+        ("SS580", (1990, 6, 1), "0301"),
+    ];
+    for (id, (y, m, d), class) in rows {
+        rel.insert(Tuple::new(vec![
+            Value::str(*id),
+            Value::Date(Date::new(*y, *m, *d).unwrap()),
+            Value::str(*class),
+        ]))
+        .unwrap();
+    }
+    rel
+}
+
+#[test]
+fn date_ranges_induce_class_rules() {
+    let rel = commissioned_fleet();
+    let rules = induce_pair(
+        &rel,
+        "SUBMARINE",
+        "CommissionDate",
+        "SUBMARINE",
+        "Class",
+        &InductionConfig::with_min_support(2),
+    )
+    .unwrap();
+    assert_eq!(rules.len(), 2, "two classes clear N_c = 2: {rules:#?}");
+    let c0201 = rules
+        .iter()
+        .find(|r| r.y_value == Value::str("0201"))
+        .unwrap();
+    assert_eq!(
+        c0201.lo,
+        Value::Date(Date::new(1976, 11, 13).unwrap()),
+        "range starts at the earliest 0201 commissioning"
+    );
+    assert_eq!(c0201.hi, Value::Date(Date::new(1977, 3, 18).unwrap()));
+    assert_eq!(c0201.support, 3);
+    let c0101 = rules
+        .iter()
+        .find(|r| r.y_value == Value::str("0101"))
+        .unwrap();
+    assert_eq!(c0101.support, 3);
+}
+
+#[test]
+fn date_rules_round_trip_through_rule_relations() {
+    let rel = commissioned_fleet();
+    let induced = induce_pair(
+        &rel,
+        "SUBMARINE",
+        "CommissionDate",
+        "SUBMARINE",
+        "Class",
+        &InductionConfig::with_min_support(2),
+    )
+    .unwrap();
+    let rules =
+        intensio_rules::rule::RuleSet::from_rules(induced.into_iter().map(|r| r.into_rule()));
+    let encoded = intensio_rules::encode::encode(&rules).unwrap();
+    let decoded = intensio_rules::encode::decode(&encoded).unwrap();
+    assert_eq!(rules.len(), decoded.len());
+    for (a, b) in rules.iter().zip(decoded.iter()) {
+        assert_eq!(a.lhs, b.lhs, "date boundaries must survive the encoding");
+    }
+}
+
+#[test]
+fn date_ranges_subsume_date_conditions() {
+    use intensio_rules::range::ValueRange;
+    let range = ValueRange::closed(
+        Value::Date(Date::new(1976, 11, 13).unwrap()),
+        Value::Date(Date::new(1977, 3, 18).unwrap()),
+    );
+    assert!(range.contains(&Value::Date(Date::new(1977, 1, 1).unwrap())));
+    assert!(!range.contains(&Value::Date(Date::new(1978, 1, 1).unwrap())));
+    let cond = ValueRange::from_cmp(
+        intensio_storage::expr::CmpOp::Ge,
+        Value::Date(Date::new(1976, 12, 1).unwrap()),
+    )
+    .unwrap();
+    assert!(cond.intersects(&range));
+}

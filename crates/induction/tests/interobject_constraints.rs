@@ -1,0 +1,78 @@
+//! §3.1's inter-object constraint: the VISIT relationship between SHIP
+//! and PORT always satisfies "draft of the ship < depth of the port" —
+//! discovered from data, not asserted.
+
+use intensio_induction::{Ils, InductionConfig};
+use intensio_shipdb::visit::{visit_database, visit_model};
+use intensio_storage::expr::CmpOp;
+
+#[test]
+fn discovers_draft_less_than_depth() {
+    let db = visit_database().unwrap();
+    let model = visit_model().unwrap();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(3));
+    let constraints = ils.discover_relationship_constraints(&db).unwrap();
+    let c = constraints
+        .iter()
+        .find(|c| c.left.matches("SHIP", "Draft") && c.right.matches("PORT", "Depth"))
+        .expect("the paper's VISIT constraint must be discovered");
+    assert_eq!(c.op, CmpOp::Lt, "{c}");
+    assert_eq!(c.support, 12, "every visit supports it");
+    assert_eq!(c.relationship, "VISIT");
+    assert_eq!(
+        c.to_string(),
+        "[VISIT] SHIP.Draft < PORT.Depth (support 12)"
+    );
+}
+
+#[test]
+fn no_constraint_when_orderings_conflict() {
+    // Ship names vs port names compare both ways; no constraint emerges.
+    let db = visit_database().unwrap();
+    let model = visit_model().unwrap();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(3));
+    let constraints = ils.discover_relationship_constraints(&db).unwrap();
+    assert!(
+        !constraints
+            .iter()
+            .any(|c| c.left.matches("SHIP", "Name") && c.right.matches("PORT", "PortName")),
+        "conflicting orderings must yield no constraint: {constraints:?}"
+    );
+}
+
+#[test]
+fn constraint_vanishes_when_violated() {
+    // Add a visit where the draft exceeds the depth: the universal
+    // constraint must no longer be discovered.
+    let mut db = visit_database().unwrap();
+    // No existing port is shallower than any visiting ship's draft, so
+    // add a shallow port and send the deepest-draft boat there.
+    {
+        use intensio_storage::tuple;
+        let port = db.get_mut("PORT").unwrap();
+        port.insert(tuple!["P99", "Shallow Creek", 30]).unwrap();
+    }
+    {
+        use intensio_storage::tuple;
+        let visit = db.get_mut("VISIT").unwrap();
+        visit.insert(tuple!["V99999", "SH004", "P99"]).unwrap(); // draft 38 > depth 30
+    }
+    let model = visit_model().unwrap();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(3));
+    let constraints = ils.discover_relationship_constraints(&db).unwrap();
+    assert!(
+        !constraints
+            .iter()
+            .any(|c| c.left.matches("SHIP", "Draft") && c.right.matches("PORT", "Depth")),
+        "violated constraint must not be discovered"
+    );
+}
+
+#[test]
+fn min_support_filters_small_relationships() {
+    let db = visit_database().unwrap();
+    let model = visit_model().unwrap();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(100));
+    let constraints = ils.discover_relationship_constraints(&db).unwrap();
+    assert!(constraints.is_empty(), "support 12 < 100");
+}

@@ -1,0 +1,289 @@
+//! Reproduction of the paper's §6 result: applying the knowledge
+//! acquisition technique to the ship database. The paper prints 17
+//! rules, R1–R17; these tests check that schema-guided induction
+//! recovers them (and documents where the published list deviates from
+//! its own algorithm — the paper is a prototype report and its rule list
+//! was partly hand-curated; see EXPERIMENTS.md).
+
+use intensio_induction::{Ils, InductionConfig};
+use intensio_rules::rule::{Rule, RuleSet};
+use intensio_shipdb::{ship_database, ship_model};
+use intensio_storage::value::Value;
+
+fn induce(nc: usize) -> RuleSet {
+    let db = ship_database().unwrap();
+    let model = ship_model().unwrap();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(nc));
+    ils.induce(&db).unwrap().rules
+}
+
+/// Find a rule with the given premise attribute, range, and consequence.
+fn find<'a>(
+    rules: &'a RuleSet,
+    x_obj: &str,
+    x_attr: &str,
+    lo: &Value,
+    hi: &Value,
+    subtype: &str,
+) -> Option<&'a Rule> {
+    rules.iter().find(|r| {
+        r.rhs_subtype.as_deref() == Some(subtype)
+            && r.lhs.len() == 1
+            && r.lhs[0].attr.matches(x_obj, x_attr)
+            && r.lhs[0].range.lo.as_ref().map(|e| e.value.sem_eq(lo)) == Some(true)
+            && r.lhs[0].range.hi.as_ref().map(|e| e.value.sem_eq(hi)) == Some(true)
+    })
+}
+
+#[test]
+fn reproduces_submarine_rules_r1_to_r4() {
+    let rules = induce(3);
+    // R1 (paper writes SSN623..SSN635; Appendix C ids are SSBN-prefixed).
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSBN623"),
+        &Value::str("SSBN635"),
+        "C0103"
+    )
+    .is_some());
+    // R2 and R3: two Sturgeon runs split by Narwhal (0203) at SSN671.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSN648"),
+        &Value::str("SSN666"),
+        "C0204"
+    )
+    .is_some());
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSN673"),
+        &Value::str("SSN686"),
+        "C0204"
+    )
+    .is_some());
+    // R4.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSN692"),
+        &Value::str("SSN704"),
+        "C0201"
+    )
+    .is_some());
+    // The 0102 run (SSBN644..SSBN658) has support 2 < N_c = 3 and is
+    // pruned — consistent with its absence from the paper's list.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSBN644"),
+        &Value::str("SSBN658"),
+        "C0102"
+    )
+    .is_none());
+}
+
+#[test]
+fn reproduces_class_rules_r5_r6_r8_r9() {
+    let rules = induce(3);
+    // R5: classes 0101..0103 are SSBN.
+    assert!(find(
+        &rules,
+        "CLASS",
+        "Class",
+        &Value::str("0101"),
+        &Value::str("0103"),
+        "SSBN"
+    )
+    .is_some());
+    // R6: classes 0201..0215 are SSN.
+    assert!(find(
+        &rules,
+        "CLASS",
+        "Class",
+        &Value::str("0201"),
+        &Value::str("0215"),
+        "SSN"
+    )
+    .is_some());
+    // R8/R9: displacement bands.
+    let r8 = find(
+        &rules,
+        "CLASS",
+        "Displacement",
+        &Value::Int(2145),
+        &Value::Int(6955),
+        "SSN",
+    )
+    .expect("R8");
+    assert_eq!(r8.support, 9, "nine SSN classes in Appendix C");
+    let r9 = find(
+        &rules,
+        "CLASS",
+        "Displacement",
+        &Value::Int(7250),
+        &Value::Int(30000),
+        "SSBN",
+    )
+    .expect("R9");
+    assert_eq!(r9.support, 4, "two classes share displacement 7250");
+}
+
+#[test]
+fn reproduces_classname_rule_r7() {
+    let rules = induce(3);
+    // R7: Skate <= ClassName <= Thresher then SSN. Sorted class names:
+    // ... Skate, Skipjack, Sturgeon, Thresher — a 4-class SSN run.
+    assert!(find(
+        &rules,
+        "CLASS",
+        "ClassName",
+        &Value::str("Skate"),
+        &Value::str("Thresher"),
+        "SSN"
+    )
+    .is_some());
+}
+
+#[test]
+fn reproduces_sonar_rules_r10_r11() {
+    let rules = induce(3);
+    assert!(find(
+        &rules,
+        "SONAR",
+        "Sonar",
+        &Value::str("BQQ-2"),
+        &Value::str("BQQ-8"),
+        "BQQ"
+    )
+    .is_some());
+    assert!(find(
+        &rules,
+        "SONAR",
+        "Sonar",
+        &Value::str("BQS-04"),
+        &Value::str("BQS-15"),
+        "BQS"
+    )
+    .is_some());
+}
+
+#[test]
+fn reproduces_install_rules_r12_r13_r15_r16() {
+    let rules = induce(3);
+    // R12: ships SSN582..SSN601 carry BQS sonars.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSN582"),
+        &Value::str("SSN601"),
+        "BQS"
+    )
+    .is_some());
+    // R13: ships SSN604..SSN671 carry BQQ sonars.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Id",
+        &Value::str("SSN604"),
+        &Value::str("SSN671"),
+        "BQQ"
+    )
+    .is_some());
+    // R15: classes 0205..0207 carry BQQ.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Class",
+        &Value::str("0205"),
+        &Value::str("0207"),
+        "BQQ"
+    )
+    .is_some());
+    // R16: classes 0208..0215 carry BQS.
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Class",
+        &Value::str("0208"),
+        &Value::str("0215"),
+        "BQS"
+    )
+    .is_some());
+}
+
+#[test]
+fn r14_and_r17_surface_at_lower_nc() {
+    // R14 (`x.Class = 0203 -> BQQ`, support 1) and R17
+    // (`y.Sonar = BQS-04 -> SSN`, support 4 under run semantics merging
+    // BQQ-8) don't clear N_c = 3 exactly as printed; the paper's list is
+    // loose here. At N_c = 1 both shapes appear.
+    let rules = induce(1);
+    assert!(find(
+        &rules,
+        "SUBMARINE",
+        "Class",
+        &Value::str("0203"),
+        &Value::str("0203"),
+        "BQQ"
+    )
+    .is_some());
+    // R17's conclusion: sonar BQS-04 implies ship type SSN (the run may
+    // extend to adjacent consistent sonars).
+    let r17ish = rules.iter().find(|r| {
+        r.rhs_subtype.as_deref() == Some("SSN")
+            && r.lhs.len() == 1
+            && r.lhs[0].attr.matches("SONAR", "Sonar")
+            && r.lhs[0].range.contains(&Value::str("BQS-04"))
+    });
+    assert!(r17ish.is_some(), "no rule concluding SSN from Sonar");
+}
+
+#[test]
+fn all_rules_are_exact_on_the_data() {
+    // Under the paper's Remove policy and full-order runs, every induced
+    // rule must be violation-free on the training data.
+    let db = ship_database().unwrap();
+    let model = ship_model().unwrap();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(1));
+    let out = ils.induce(&db).unwrap();
+    assert!(out.stats.pairs_examined > 0);
+    assert!(out.stats.rules_constructed >= out.stats.rules_kept);
+    // Spot-check R8/R9 exactness: every class displacement in [2145,6955]
+    // is SSN.
+    let class = db.get("CLASS").unwrap();
+    for t in class.iter() {
+        let d = t.get(3).as_int().unwrap();
+        let ty = t.get(2).as_str().unwrap();
+        if (2145..=6955).contains(&d) {
+            assert_eq!(ty, "SSN");
+        }
+        if (7250..=30000).contains(&d) {
+            assert_eq!(ty, "SSBN");
+        }
+    }
+}
+
+#[test]
+fn rule_count_is_stable() {
+    // Pin the rule counts at the paper's threshold so regressions in the
+    // induction pipeline are caught. (The paper prints 17 hand-curated
+    // rules; the algorithm as published yields a slightly different set
+    // — see EXPERIMENTS.md for the side-by-side.)
+    let rules = induce(3);
+    assert!(
+        (14..=30).contains(&rules.len()),
+        "unexpected rule count {} at N_c = 3",
+        rules.len()
+    );
+    let rules1 = induce(1);
+    assert!(rules1.len() > rules.len());
+}

@@ -1,0 +1,117 @@
+//! The tree-based ILS extension: multi-clause rules from decision-tree
+//! paths, merged with the pairwise rules, closed to the §5.2.2 clause
+//! format, and usable by the inference engine.
+
+use intensio_induction::{Ils, InductionConfig};
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+
+/// A relation where no single attribute separates the classes, but two
+/// together do: grade is SENIOR iff Salary > 90000 *and* Dept = "ENG";
+/// high-paid SALES staff are MID.
+fn personnel() -> (Database, intensio_ker::model::KerModel) {
+    let schema = Schema::new(vec![
+        Attribute::key("EmpId", Domain::char_n(5)),
+        Attribute::new("Dept", Domain::char_n(8)),
+        Attribute::new("Salary", Domain::basic(ValueType::Int)),
+        Attribute::new("Grade", Domain::char_n(8)),
+    ])
+    .unwrap();
+    let mut emp = Relation::new("EMPLOYEE", schema);
+    let rows: &[(&str, &str, i64, &str)] = &[
+        ("E0001", "ENG", 120_000, "SENIOR"),
+        ("E0002", "ENG", 110_000, "SENIOR"),
+        ("E0003", "ENG", 95_000, "SENIOR"),
+        ("E0004", "ENG", 80_000, "MID"),
+        ("E0005", "ENG", 60_000, "MID"),
+        ("E0006", "SALES", 120_000, "MID"),
+        ("E0007", "SALES", 110_000, "MID"),
+        ("E0008", "SALES", 95_000, "MID"),
+        ("E0009", "SALES", 50_000, "JUNIOR"),
+        ("E0010", "ENG", 40_000, "JUNIOR"),
+        ("E0011", "SALES", 45_000, "JUNIOR"),
+    ];
+    for (id, dept, salary, grade) in rows {
+        emp.insert(tuple![*id, *dept, *salary, *grade]).unwrap();
+    }
+    let mut db = Database::new();
+    db.create(emp).unwrap();
+    let model = intensio_ker::model::KerModel::parse(
+        r#"
+        object type EMPLOYEE
+          has key: EmpId domain: CHAR[5]
+          has: Dept domain: CHAR[8]
+          has: Salary domain: INTEGER
+          has: Grade domain: CHAR[8]
+        EMPLOYEE contains JUNIOR, MID, SENIOR
+        JUNIOR isa EMPLOYEE with Grade = "JUNIOR"
+        MID    isa EMPLOYEE with Grade = "MID"
+        SENIOR isa EMPLOYEE with Grade = "SENIOR"
+        "#,
+    )
+    .unwrap();
+    (db, model)
+}
+
+#[test]
+fn trees_add_multi_clause_rules() {
+    let (db, model) = personnel();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(2));
+    let pairwise_only = ils.induce(&db).unwrap();
+    let with_trees = ils.induce_with_trees(&db).unwrap();
+    assert!(with_trees.rules.len() > pairwise_only.rules.len());
+    let multi: Vec<_> = with_trees
+        .rules
+        .iter()
+        .filter(|r| r.lhs.len() >= 2)
+        .collect();
+    assert!(!multi.is_empty(), "tree paths must yield conjunctive rules");
+    // A SENIOR rule must require both salary and department evidence —
+    // pairwise induction cannot express it because SALES staff share the
+    // same salary band.
+    let senior = multi
+        .iter()
+        .find(|r| r.rhs_subtype.as_deref() == Some("SENIOR"))
+        .expect("a conjunctive SENIOR rule");
+    let attrs: Vec<&str> = senior
+        .lhs
+        .iter()
+        .map(|c| c.attr.attribute.as_str())
+        .collect();
+    assert!(
+        attrs.contains(&"Dept") && attrs.contains(&"Salary"),
+        "{attrs:?}"
+    );
+}
+
+#[test]
+fn tree_rules_are_closed_and_storable() {
+    let (db, model) = personnel();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(2));
+    let out = ils.induce_with_trees(&db).unwrap();
+    // Every clause must be a closed range, so the whole set encodes.
+    let encoded = intensio_rules::encode::encode(&out.rules).unwrap();
+    let decoded = intensio_rules::encode::decode(&encoded).unwrap();
+    assert_eq!(decoded.len(), out.rules.len());
+}
+
+#[test]
+fn tree_rules_are_exact_on_training_data() {
+    let (db, model) = personnel();
+    let ils = Ils::new(&model, InductionConfig::with_min_support(2));
+    let out = ils.induce_with_trees(&db).unwrap();
+    let emp = db.get("EMPLOYEE").unwrap();
+    for rule in out.rules.iter().filter(|r| r.lhs.len() >= 2) {
+        for t in emp.iter() {
+            let premise_holds = rule.lhs.iter().all(|c| {
+                let idx = emp.schema().index_of(&c.attr.attribute).unwrap();
+                c.range.contains(t.get(idx))
+            });
+            if premise_holds {
+                let yi = emp.schema().index_of(&rule.rhs.attr.attribute).unwrap();
+                let expected = rule.rhs.range.as_point().unwrap();
+                assert!(t.get(yi).sem_eq(expected), "tuple {t} violates {rule}");
+            }
+        }
+    }
+}

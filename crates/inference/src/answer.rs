@@ -1,0 +1,216 @@
+//! Intensional answers: the characterizations derived by type inference
+//! (paper §4), with provenance and English rendering.
+
+use intensio_rules::range::ValueRange;
+use intensio_rules::rule::AttrId;
+use intensio_storage::value::Value;
+use std::fmt;
+
+/// A fact derived by *forward* inference: it holds for **every** tuple of
+/// the extensional answer, so the characterization *contains* the answer
+/// set (§4: "the intensional answers derived from forward inference
+/// characterize a set of instances containing the extensional answer").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardFact {
+    /// The concluded attribute.
+    pub attr: AttrId,
+    /// The concluded value.
+    pub value: Value,
+    /// The subtype the value selects in the type hierarchy, if any.
+    pub subtype: Option<String>,
+    /// The rule that fired (`None` when the fact came from hierarchy
+    /// traversal rather than an induced rule).
+    pub rule_id: Option<u32>,
+}
+
+impl fmt::Display for ForwardFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.subtype {
+            Some(s) => write!(f, "every answer isa {s} ({} = {})", self.attr, self.value),
+            None => write!(f, "every answer has {} = {}", self.attr, self.value),
+        }?;
+        if let Some(id) = self.rule_id {
+            write!(f, " [R{id}, forward]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A characterization derived by *backward* inference: instances with
+/// `x` in `range` are known to satisfy `y = value`, so it describes a
+/// **subset** of the extensional answer (§4: "contained in").
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackwardCharacterization {
+    /// The describing attribute.
+    pub x: AttrId,
+    /// Its range.
+    pub range: ValueRange,
+    /// The consequence attribute the query fixed.
+    pub y: AttrId,
+    /// The consequence value.
+    pub value: Value,
+    /// Subtype label of the consequence, if any.
+    pub subtype: Option<String>,
+    /// The rule used.
+    pub rule_id: u32,
+    /// Whether the characterization covers every matching instance:
+    /// `Some(false)` reproduces the paper's Example 2 caveat (class 1301
+    /// is SSBN but not covered by R5); `None` when completeness cannot
+    /// be checked (cross-relation rules).
+    pub complete: Option<bool>,
+}
+
+impl fmt::Display for BackwardCharacterization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let target = self
+            .subtype
+            .clone()
+            .unwrap_or_else(|| format!("{} = {}", self.y, self.value));
+        write!(f, "instances with {} {} are {target}", self.x, self.range)?;
+        write!(f, " [R{}, backward", self.rule_id)?;
+        match self.complete {
+            Some(true) => write!(f, ", complete]"),
+            Some(false) => write!(f, ", incomplete]"),
+            None => write!(f, "]"),
+        }
+    }
+}
+
+/// The full intensional answer to a query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntensionalAnswer {
+    /// Forward conclusions (superset-sound).
+    pub certain: Vec<ForwardFact>,
+    /// Backward characterizations (subset-sound).
+    pub partial: Vec<BackwardCharacterization>,
+    /// Human-readable inference trace.
+    pub steps: Vec<String>,
+}
+
+impl IntensionalAnswer {
+    /// Whether any inference succeeded.
+    pub fn is_empty(&self) -> bool {
+        self.certain.is_empty() && self.partial.is_empty()
+    }
+
+    /// The most specific forward subtype conclusions (those that are not
+    /// ancestors of another conclusion are kept).
+    pub fn subtypes(&self) -> Vec<&str> {
+        self.certain
+            .iter()
+            .filter_map(|f| f.subtype.as_deref())
+            .collect()
+    }
+
+    /// A single-sentence summary in the style of the paper's `A_I`
+    /// answers, composing the forward conclusions with the most
+    /// informative backward characterization — e.g. for Example 3:
+    /// *"Every answer is a SSN; instances with SUBMARINE.Class in
+    /// [0208, 0215] qualify."*
+    pub fn headline(&self) -> Option<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for f in &self.certain {
+            let label = f
+                .subtype
+                .clone()
+                .unwrap_or_else(|| format!("{} = {}", f.attr, f.value));
+            if !labels.contains(&label) {
+                labels.push(label);
+            }
+        }
+        // Prefer a complete backward characterization; fall back to the
+        // first one.
+        let back = self
+            .partial
+            .iter()
+            .find(|b| b.complete == Some(true))
+            .or_else(|| self.partial.first());
+        match (labels.is_empty(), back) {
+            (true, None) => None,
+            (false, None) => Some(format!("Every answer is a {}.", labels.join(" and "))),
+            (true, Some(b)) => {
+                let target = b
+                    .subtype
+                    .clone()
+                    .unwrap_or_else(|| format!("{} = {}", b.y, b.value));
+                Some(format!(
+                    "Instances with {} {} are {target}{}.",
+                    b.x,
+                    b.range,
+                    if b.complete == Some(false) {
+                        " (not necessarily all of them)"
+                    } else {
+                        ""
+                    }
+                ))
+            }
+            (false, Some(b)) => Some(format!(
+                "Every answer is a {}; instances with {} {} qualify{}.",
+                labels.join(" and "),
+                b.x,
+                b.range,
+                if b.complete == Some(false) {
+                    " (among others)"
+                } else {
+                    ""
+                }
+            )),
+        }
+    }
+
+    /// Render the answer as English sentences in the spirit of the
+    /// paper's `A_I` examples.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "No intensional characterization could be derived.".to_string();
+        }
+        let mut out = String::new();
+        for f in &self.certain {
+            let sentence = match &f.subtype {
+                Some(s) => format!(
+                    "Every answer is a {s} ({}.{} = {}).",
+                    f.attr.object,
+                    f.attr.attribute,
+                    f.value.render_bare()
+                ),
+                None => format!(
+                    "Every answer has {}.{} = {}.",
+                    f.attr.object,
+                    f.attr.attribute,
+                    f.value.render_bare()
+                ),
+            };
+            let attribution = match f.rule_id {
+                Some(id) => format!(" [by rule R{id}, forward inference]"),
+                None => " [by type hierarchy]".to_string(),
+            };
+            out.push_str(&sentence);
+            out.push_str(&attribution);
+            out.push('\n');
+        }
+        for b in &self.partial {
+            let target = b.subtype.clone().unwrap_or_else(|| {
+                format!(
+                    "{}.{} = {}",
+                    b.y.object,
+                    b.y.attribute,
+                    b.value.render_bare()
+                )
+            });
+            out.push_str(&format!(
+                "Instances with {}.{} {} are {target}.",
+                b.x.object, b.x.attribute, b.range
+            ));
+            out.push_str(&format!(" [by rule R{}, backward inference", b.rule_id));
+            match b.complete {
+                Some(true) => out.push_str("; this covers all such instances]"),
+                Some(false) => out.push_str(
+                    "; NOTE: this description is incomplete — other instances also qualify]",
+                ),
+                None => out.push(']'),
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

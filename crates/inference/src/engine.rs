@@ -1,0 +1,466 @@
+//! The inference processor: forward and backward type inference over
+//! induced rules and the type hierarchy (paper §4).
+//!
+//! **Forward** inference fires a rule when the query's condition on the
+//! rule's premise attribute is *subsumed by* the premise. Subsumption is
+//! data-grounded by default: the paper's Example 1 treats
+//! `Displacement > 8000` as subsumed by `7250 <= Displacement <= 30000`
+//! because every *database* displacement above 8000 lies in the rule's
+//! range — interval containment alone would reject it (the condition is
+//! unbounded above). The engine therefore checks that every observed
+//! value of the attribute satisfying the condition lies in the premise
+//! range. A `PureInterval` mode is provided as an ablation.
+//!
+//! **Backward** inference inverts rules whose consequence the query (or
+//! a forward conclusion) fixes, yielding descriptions of a subset of the
+//! answer, with an explicit completeness check that reproduces the
+//! paper's Example 2 caveat about class 1301.
+
+use crate::answer::{BackwardCharacterization, ForwardFact, IntensionalAnswer};
+use intensio_ker::model::KerModel;
+use intensio_rules::range::ValueRange;
+use intensio_rules::rule::{AttrId, Rule, RuleSet};
+use intensio_sql::QueryAnalysis;
+use intensio_storage::catalog::Database;
+use intensio_storage::error::Result;
+use intensio_storage::value::{Value, ValueKey};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How premise subsumption is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubsumptionMode {
+    /// Every observed attribute value satisfying the query condition
+    /// must lie in the premise range (the paper's semantics).
+    #[default]
+    DataGrounded,
+    /// The condition's interval must be contained in the premise
+    /// interval (ablation; rejects open-ended conditions like `> 8000`).
+    PureInterval,
+}
+
+/// Inference engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InferenceConfig {
+    /// Subsumption semantics.
+    pub subsumption: SubsumptionMode,
+    /// When true, skip backward inference.
+    pub forward_only: bool,
+    /// When true, skip forward inference.
+    pub backward_only: bool,
+}
+
+fn attr_key(a: &AttrId) -> (String, String) {
+    (
+        a.object.to_ascii_lowercase(),
+        a.attribute.to_ascii_lowercase(),
+    )
+}
+
+/// The inference processor.
+pub struct InferenceEngine<'a> {
+    model: &'a KerModel,
+    rules: &'a RuleSet,
+    cfg: InferenceConfig,
+    /// Distinct observed values per attribute (sorted).
+    observed: HashMap<(String, String), Vec<Value>>,
+    /// Per-relation (X, Y) joint support for completeness checks:
+    /// observed X values per (X attr, Y attr, y value).
+    db_snapshot: DbSnapshot,
+}
+
+/// Column-index map plus materialized rows for one relation.
+type RelationSnapshot = (HashMap<String, usize>, Vec<Vec<Value>>);
+
+/// Lightweight snapshot of the relations the rules mention.
+struct DbSnapshot {
+    /// relation (lowercase) -> (attr lowercase -> column index, rows).
+    relations: HashMap<String, RelationSnapshot>,
+}
+
+impl DbSnapshot {
+    fn build(db: &Database, attrs: &BTreeSet<(String, String)>) -> DbSnapshot {
+        let mut relations = HashMap::new();
+        for (rel_name, _) in attrs {
+            if relations.contains_key(rel_name) {
+                continue;
+            }
+            if let Ok(rel) = db.get(rel_name) {
+                let cols: HashMap<String, usize> = rel
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a.name().to_ascii_lowercase(), i))
+                    .collect();
+                let rows: Vec<Vec<Value>> = rel.iter().map(|t| t.values().to_vec()).collect();
+                relations.insert(rel_name.clone(), (cols, rows));
+            }
+        }
+        DbSnapshot { relations }
+    }
+
+    /// Observed X values among rows with Y = y (same relation only).
+    fn x_values_where_y(&self, x: &AttrId, y: &AttrId, y_value: &Value) -> Option<Vec<Value>> {
+        if !x.object.eq_ignore_ascii_case(&y.object) {
+            return None;
+        }
+        let (cols, rows) = self.relations.get(&x.object.to_ascii_lowercase())?;
+        let xi = *cols.get(&x.attribute.to_ascii_lowercase())?;
+        let yi = *cols.get(&y.attribute.to_ascii_lowercase())?;
+        let mut set: BTreeSet<ValueKey> = BTreeSet::new();
+        for row in rows {
+            if row[yi].sem_eq(y_value) {
+                set.insert(ValueKey(row[xi].clone()));
+            }
+        }
+        Some(set.into_iter().map(|k| k.0).collect())
+    }
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Build an engine over a model, rule set, and database (the
+    /// database supplies observed values for data-grounded subsumption
+    /// and completeness checks).
+    pub fn new(
+        model: &'a KerModel,
+        rules: &'a RuleSet,
+        db: &Database,
+        cfg: InferenceConfig,
+    ) -> Result<InferenceEngine<'a>> {
+        let mut attrs: BTreeSet<(String, String)> = BTreeSet::new();
+        for r in rules.iter() {
+            for c in &r.lhs {
+                attrs.insert(attr_key(&c.attr));
+            }
+            attrs.insert(attr_key(&r.rhs.attr));
+        }
+        let mut observed = HashMap::new();
+        for (rel_name, attr_name) in &attrs {
+            if let Ok(rel) = db.get(rel_name) {
+                if let Ok(vals) = rel.distinct_values(attr_name) {
+                    observed.insert(
+                        (rel_name.clone(), attr_name.clone()),
+                        vals.into_iter().filter(|v| !v.is_null()).collect(),
+                    );
+                }
+            }
+        }
+        let db_snapshot = DbSnapshot::build(db, &attrs);
+        Ok(InferenceEngine {
+            model,
+            rules,
+            cfg,
+            observed,
+            db_snapshot,
+        })
+    }
+
+    /// Derive the intensional answer for an analyzed query.
+    pub fn infer(&self, analysis: &QueryAnalysis) -> IntensionalAnswer {
+        let mut answer = IntensionalAnswer::default();
+
+        // Equivalence classes from equi-joins, for fact propagation.
+        let equiv = self.equivalences(analysis);
+
+        // Initial facts: query restrictions as ranges, intersected per
+        // attribute and propagated across joins.
+        let mut facts: BTreeMap<(String, String), ValueRange> = BTreeMap::new();
+        for r in &analysis.restrictions {
+            let Some(range) = ValueRange::from_cmp(r.op, r.value.clone()) else {
+                continue; // != has no interval form
+            };
+            let attr = AttrId::new(r.attr.relation.clone(), r.attr.attribute.clone());
+            self.add_fact(&mut facts, &equiv, &attr, range, &mut answer.steps);
+        }
+        let given: BTreeSet<(String, String)> = facts.keys().cloned().collect();
+
+        // Forward chaining to fixpoint.
+        if !self.cfg.backward_only {
+            let mut fired: BTreeSet<u32> = BTreeSet::new();
+            loop {
+                let mut progressed = false;
+                for rule in self.rules.iter() {
+                    if fired.contains(&rule.id) {
+                        continue;
+                    }
+                    if !self.premise_satisfied(rule, &facts) {
+                        continue;
+                    }
+                    fired.insert(rule.id);
+                    progressed = true;
+                    let rhs_value = rule
+                        .rhs
+                        .range
+                        .as_point()
+                        .cloned()
+                        .expect("induced consequences are points");
+                    answer.steps.push(format!(
+                        "forward: R{} fires, concluding {} = {}",
+                        rule.id, rule.rhs.attr, rhs_value
+                    ));
+                    let subtype = rule.rhs_subtype.clone().or_else(|| {
+                        self.model
+                            .subtype_label_for(&rule.rhs.attr.attribute, &rhs_value)
+                    });
+                    answer.certain.push(ForwardFact {
+                        attr: rule.rhs.attr.clone(),
+                        value: rhs_value.clone(),
+                        subtype,
+                        rule_id: Some(rule.id),
+                    });
+                    self.add_fact(
+                        &mut facts,
+                        &equiv,
+                        &rule.rhs.attr,
+                        ValueRange::point(rhs_value),
+                        &mut answer.steps,
+                    );
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            // Deduplicate identical conclusions from different rules.
+            answer
+                .certain
+                .dedup_by(|a, b| a.attr == b.attr && a.value == b.value && a.subtype == b.subtype);
+        }
+
+        // Backward inference: from every point fact (given or derived),
+        // invert rules concluding it.
+        if !self.cfg.forward_only {
+            for ((obj, attr_name), range) in &facts {
+                let Some(value) = range.as_point() else {
+                    continue;
+                };
+                for rule in self.rules.iter() {
+                    if !rule.rhs.attr.matches(obj, attr_name) {
+                        continue;
+                    }
+                    let Some(rhs_value) = rule.rhs.range.as_point() else {
+                        continue;
+                    };
+                    if !rhs_value.sem_eq(value) {
+                        continue;
+                    }
+                    // Single-premise rules only (the paper's induced
+                    // rules are single-clause).
+                    let [lhs] = rule.lhs.as_slice() else { continue };
+                    let complete = self.backward_completeness(rule, &lhs.attr, value);
+                    answer.steps.push(format!(
+                        "backward: R{} inverted — instances with {} {} have {} = {}",
+                        rule.id, lhs.attr, lhs.range, rule.rhs.attr, value
+                    ));
+                    answer.partial.push(BackwardCharacterization {
+                        x: lhs.attr.clone(),
+                        range: lhs.range.clone(),
+                        y: rule.rhs.attr.clone(),
+                        value: value.clone(),
+                        subtype: rule.rhs_subtype.clone().or_else(|| {
+                            self.model
+                                .subtype_label_for(&rule.rhs.attr.attribute, value)
+                        }),
+                        rule_id: rule.id,
+                        complete,
+                    });
+                }
+            }
+        }
+
+        // Suppress trivial backward echoes: a backward characterization
+        // whose X attribute the query already fixed to the same range
+        // adds nothing.
+        answer.partial.retain(|b| {
+            let k = attr_key(&b.x);
+            match (given.contains(&k), facts.get(&k)) {
+                (true, Some(r)) => r != &b.range,
+                _ => true,
+            }
+        });
+
+        answer
+    }
+
+    /// Referential equivalences from the KER schema: an object-valued
+    /// attribute holds the referenced entity's key, so facts transfer
+    /// between them (`INSTALL.Sonar` ≡ `SONAR.Sonar`,
+    /// `SUBMARINE.Class` ≡ `CLASS.Class`). This is how a condition on a
+    /// relationship attribute reaches rules phrased over the entity —
+    /// the paper's Example 3 relies on it (`INSTALL.SONAR = "BQS-04"`
+    /// fires R17/R11, which speak of `y.Sonar`).
+    fn schema_equivalences(&self) -> Vec<(AttrId, AttrId)> {
+        let mut out = Vec::new();
+        for type_name in self.model.type_names() {
+            let Some(ot) = self.model.object_type(type_name) else {
+                continue;
+            };
+            for a in &ot.declared_attrs {
+                let target = a.domain().name();
+                if !self.model.contains_type(target) || target.eq_ignore_ascii_case(type_name) {
+                    continue;
+                }
+                let Some(tt) = self.model.object_type(target) else {
+                    continue;
+                };
+                let Some(key) = tt.declared_attrs.iter().find(|k| k.is_key()) else {
+                    continue;
+                };
+                out.push((
+                    AttrId::new(ot.name.clone(), a.name().to_string()),
+                    AttrId::new(tt.name.clone(), key.name().to_string()),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Join-equivalence classes: attr -> every attr equated with it.
+    fn equivalences(&self, analysis: &QueryAnalysis) -> HashMap<(String, String), Vec<AttrId>> {
+        // Union-find over the attributes mentioned in joins.
+        let mut parent: HashMap<(String, String), (String, String)> = HashMap::new();
+        fn find(
+            parent: &mut HashMap<(String, String), (String, String)>,
+            k: (String, String),
+        ) -> (String, String) {
+            let p = parent.get(&k).cloned();
+            match p {
+                None => k,
+                Some(p) if p == k => k,
+                Some(p) => {
+                    let root = find(parent, p);
+                    parent.insert(k, root.clone());
+                    root
+                }
+            }
+        }
+        let mut members: HashMap<(String, String), BTreeSet<(String, String)>> = HashMap::new();
+        let mut ids: HashMap<(String, String), AttrId> = HashMap::new();
+        let mut edges: Vec<(AttrId, AttrId)> = analysis
+            .joins
+            .iter()
+            .map(|j| {
+                (
+                    AttrId::new(j.left.relation.clone(), j.left.attribute.clone()),
+                    AttrId::new(j.right.relation.clone(), j.right.attribute.clone()),
+                )
+            })
+            .collect();
+        edges.extend(self.schema_equivalences());
+        for (a, b) in &edges {
+            let (ka, kb) = (attr_key(a), attr_key(b));
+            let (a, b) = (a.clone(), b.clone());
+            ids.insert(ka.clone(), a);
+            ids.insert(kb.clone(), b);
+            let ra = find(&mut parent, ka.clone());
+            let rb = find(&mut parent, kb.clone());
+            parent.insert(ka.clone(), ra.clone());
+            parent.insert(kb, ra.clone());
+            if ra != rb {
+                parent.insert(rb, ra);
+            }
+        }
+        let keys: Vec<(String, String)> = ids.keys().cloned().collect();
+        for k in keys {
+            let r = find(&mut parent, k.clone());
+            members.entry(r).or_default().insert(k);
+        }
+        let mut out: HashMap<(String, String), Vec<AttrId>> = HashMap::new();
+        for set in members.values() {
+            for k in set {
+                let peers: Vec<AttrId> = set
+                    .iter()
+                    .filter(|o| *o != k)
+                    .filter_map(|o| ids.get(o).cloned())
+                    .collect();
+                out.insert(k.clone(), peers);
+            }
+        }
+        out
+    }
+
+    /// Record a fact, intersecting with any existing fact on the
+    /// attribute, and propagate it across join equivalences.
+    fn add_fact(
+        &self,
+        facts: &mut BTreeMap<(String, String), ValueRange>,
+        equiv: &HashMap<(String, String), Vec<AttrId>>,
+        attr: &AttrId,
+        range: ValueRange,
+        steps: &mut Vec<String>,
+    ) {
+        let mut queue = vec![(attr.clone(), range)];
+        while let Some((a, r)) = queue.pop() {
+            let k = attr_key(&a);
+            let merged = match facts.get(&k) {
+                Some(existing) => match existing.intersect(&r) {
+                    Some(i) => i,
+                    None => {
+                        steps.push(format!("contradiction on {a}: {existing} ∧ {r} is empty"));
+                        r.clone()
+                    }
+                },
+                None => r.clone(),
+            };
+            let changed = facts.get(&k) != Some(&merged);
+            facts.insert(k.clone(), merged.clone());
+            if changed {
+                if let Some(peers) = equiv.get(&k) {
+                    for p in peers {
+                        queue.push((p.clone(), merged.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is a rule's premise subsumed by the current facts?
+    ///
+    /// Every premise clause must be satisfied, and at least one premise
+    /// attribute must actually be constrained by the query (otherwise
+    /// any database-wide regularity would fire).
+    fn premise_satisfied(
+        &self,
+        rule: &Rule,
+        facts: &BTreeMap<(String, String), ValueRange>,
+    ) -> bool {
+        let mut any_constrained = false;
+        for clause in &rule.lhs {
+            let k = attr_key(&clause.attr);
+            let fact = facts.get(&k);
+            if fact.is_some() {
+                any_constrained = true;
+            }
+            let satisfied = match self.cfg.subsumption {
+                SubsumptionMode::PureInterval => match fact {
+                    Some(f) => clause.range.subsumes(f),
+                    None => false,
+                },
+                SubsumptionMode::DataGrounded => {
+                    let Some(observed) = self.observed.get(&k) else {
+                        return false;
+                    };
+                    let matching: Vec<&Value> = observed
+                        .iter()
+                        .filter(|v| fact.map(|f| f.contains(v)).unwrap_or(true))
+                        .collect();
+                    !matching.is_empty() && matching.iter().all(|v| clause.range.contains(v))
+                }
+            };
+            if !satisfied {
+                return false;
+            }
+        }
+        any_constrained
+    }
+
+    /// Does the rule's premise range cover *every* observed X value
+    /// whose Y equals `value`? (`None` when X and Y live in different
+    /// relations and the joint distribution is not directly checkable.)
+    fn backward_completeness(&self, rule: &Rule, x: &AttrId, value: &Value) -> Option<bool> {
+        let xs = self
+            .db_snapshot
+            .x_values_where_y(x, &rule.rhs.attr, value)?;
+        let lhs = rule.lhs_clause(&x.object, &x.attribute)?;
+        Some(xs.iter().all(|v| lhs.range.contains(v)))
+    }
+}

@@ -1,0 +1,311 @@
+//! Semantic query optimization with induced rules.
+//!
+//! The paper's introduction notes that the same meta-data driving
+//! intensional answers was classically used "to improve query processing
+//! performance" ([KING81], [HAMM80]), and its companion work [CHU90]
+//! (same authors) pursues exactly that. This module closes the loop: the
+//! forward conclusions of type inference are *sound restrictions* — they
+//! hold for every answer tuple — so they can be injected into the query
+//! as extra conjuncts, enabling earlier filtering; and a query whose
+//! conditions exclude every stored value is *provably empty* and need
+//! not touch the data at all.
+//!
+//! Both rewrites preserve the extensional answer exactly (tested), since
+//! forward facts are superset-sound.
+
+use crate::engine::{InferenceConfig, InferenceEngine};
+use intensio_ker::model::KerModel;
+use intensio_rules::range::ValueRange;
+use intensio_rules::rule::RuleSet;
+use intensio_sql::{analyze, QueryAnalysis, SelectQuery, SqlError};
+use intensio_storage::catalog::Database;
+use intensio_storage::expr::{AttrRef, CmpOp, Expr};
+use std::collections::HashMap;
+
+/// The outcome of semantic optimization.
+#[derive(Debug, Clone)]
+pub enum Optimized {
+    /// The query augmented with inferred restrictions (human-readable
+    /// descriptions of what was added in `added`).
+    Rewritten {
+        /// The rewritten query.
+        query: SelectQuery,
+        /// Descriptions of the injected conjuncts.
+        added: Vec<String>,
+    },
+    /// The query can be answered without touching the data: its
+    /// conditions exclude every stored value.
+    ProvablyEmpty {
+        /// Why the answer set is empty.
+        reason: String,
+    },
+    /// Nothing applicable was inferred.
+    Unchanged(SelectQuery),
+}
+
+impl Optimized {
+    /// The query to execute (the original for `ProvablyEmpty` callers
+    /// that want to double-check).
+    pub fn query(&self) -> Option<&SelectQuery> {
+        match self {
+            Optimized::Rewritten { query, .. } | Optimized::Unchanged(query) => Some(query),
+            Optimized::ProvablyEmpty { .. } => None,
+        }
+    }
+}
+
+/// Semantically optimize a query using induced rules.
+///
+/// ```
+/// use intensio_inference::{optimize, Optimized};
+/// use intensio_induction::{Ils, InductionConfig};
+///
+/// let db = intensio_shipdb::ship_database().unwrap();
+/// let model = intensio_shipdb::ship_model().unwrap();
+/// let rules = Ils::new(&model, InductionConfig::default())
+///     .induce(&db).unwrap().rules;
+/// let q = intensio_sql::parse(
+///     "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+///      WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+/// ).unwrap();
+/// match optimize(&db, &model, &rules, &q).unwrap() {
+///     Optimized::Rewritten { added, .. } => {
+///         assert!(added.iter().any(|a| a.contains("Type")));
+///     }
+///     other => panic!("expected a rewrite, got {other:?}"),
+/// }
+/// ```
+pub fn optimize(
+    db: &Database,
+    model: &KerModel,
+    rules: &RuleSet,
+    query: &SelectQuery,
+) -> Result<Optimized, SqlError> {
+    let analysis = analyze(db, query)?;
+
+    // 1. Provably-empty detection: intersect the restrictions per
+    //    attribute and test them against the stored values.
+    if let Some(reason) = provably_empty(db, &analysis) {
+        return Ok(Optimized::ProvablyEmpty { reason });
+    }
+
+    // 2. Restriction introduction from forward inference.
+    let engine = InferenceEngine::new(
+        model,
+        rules,
+        db,
+        InferenceConfig {
+            forward_only: true,
+            ..InferenceConfig::default()
+        },
+    )
+    .map_err(SqlError::Storage)?;
+    let answer = engine.infer(&analysis);
+
+    let mut new_query = query.clone();
+    let mut added = Vec::new();
+    for fact in &answer.certain {
+        // The fact's relation must be in the FROM list.
+        let Some(table) = query
+            .from
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(&fact.attr.object))
+        else {
+            continue;
+        };
+        // Skip if the query already pins this attribute to a constant.
+        let already = analysis.restrictions.iter().any(|r| {
+            r.attr.relation.eq_ignore_ascii_case(&fact.attr.object)
+                && r.attr.attribute.eq_ignore_ascii_case(&fact.attr.attribute)
+                && r.op == CmpOp::Eq
+        });
+        if already {
+            continue;
+        }
+        let conjunct = Expr::cmp_value(
+            AttrRef::qualified(table.alias.clone(), fact.attr.attribute.clone()),
+            CmpOp::Eq,
+            fact.value.clone(),
+        );
+        added.push(format!(
+            "{}.{} = {}{}",
+            table.alias,
+            fact.attr.attribute,
+            fact.value,
+            fact.rule_id
+                .map(|id| format!(" (from R{id})"))
+                .unwrap_or_default()
+        ));
+        new_query.where_clause = Some(match new_query.where_clause.take() {
+            Some(w) => Expr::And(Box::new(w), Box::new(conjunct)),
+            None => conjunct,
+        });
+    }
+
+    if added.is_empty() {
+        Ok(Optimized::Unchanged(new_query))
+    } else {
+        Ok(Optimized::Rewritten {
+            query: new_query,
+            added,
+        })
+    }
+}
+
+/// Is some restricted attribute's stored-value set disjoint from the
+/// accumulated restriction ranges? (Sound only for current data — like
+/// an intensional answer, the verdict describes the database as it is.)
+fn provably_empty(db: &Database, analysis: &QueryAnalysis) -> Option<String> {
+    // Keyed case-insensitively; display names keep the query's spelling.
+    let mut per_attr: HashMap<(String, String), (String, String, ValueRange)> = HashMap::new();
+    for r in &analysis.restrictions {
+        let Some(range) = ValueRange::from_cmp(r.op, r.value.clone()) else {
+            continue;
+        };
+        let key = (
+            r.attr.relation.to_ascii_lowercase(),
+            r.attr.attribute.to_ascii_lowercase(),
+        );
+        let merged = match per_attr.get(&key) {
+            Some((_, _, existing)) => match existing.intersect(&range) {
+                Some(i) => i,
+                None => {
+                    return Some(format!(
+                        "contradictory conditions on {}.{}",
+                        r.attr.relation, r.attr.attribute
+                    ))
+                }
+            },
+            None => range,
+        };
+        per_attr.insert(
+            key,
+            (r.attr.relation.clone(), r.attr.attribute.clone(), merged),
+        );
+    }
+    for (rel, attr, range) in per_attr.into_values() {
+        let Ok(relation) = db.get(&rel) else { continue };
+        let Ok(values) = relation.distinct_values(&attr) else {
+            continue;
+        };
+        if !values.iter().any(|v| !v.is_null() && range.contains(v)) {
+            return Some(format!("no stored value of {rel}.{attr} satisfies {range}"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_sql::parse;
+
+    fn setup() -> (Database, KerModel, RuleSet) {
+        let db = intensio_shipdb::ship_database().unwrap();
+        let model = intensio_shipdb::ship_model().unwrap();
+        let rules = intensio_induction::Ils::new(
+            &model,
+            intensio_induction::InductionConfig::with_min_support(3),
+        )
+        .induce(&db)
+        .unwrap()
+        .rules;
+        (db, model, rules)
+    }
+
+    #[test]
+    fn example1_gains_a_type_restriction() {
+        let (db, model, rules) = setup();
+        let q = parse(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+        let opt = optimize(&db, &model, &rules, &q).unwrap();
+        match &opt {
+            Optimized::Rewritten { query, added } => {
+                assert!(added.iter().any(|a| a.contains("Type")), "{added:?}");
+                // Semantics preserved: same extensional answer.
+                let before = intensio_sql::execute(&db, &q).unwrap();
+                let after = intensio_sql::execute(&db, query).unwrap();
+                assert_eq!(before.len(), after.len());
+            }
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_conditions_detected() {
+        let (db, model, rules) = setup();
+        let q = parse("SELECT Class FROM CLASS WHERE Displacement > 9000 AND Displacement < 8000")
+            .unwrap();
+        let opt = optimize(&db, &model, &rules, &q).unwrap();
+        assert!(matches!(opt, Optimized::ProvablyEmpty { .. }));
+    }
+
+    #[test]
+    fn out_of_domain_condition_detected() {
+        let (db, model, rules) = setup();
+        // Max stored displacement is 30000.
+        let q = parse("SELECT Class FROM CLASS WHERE Displacement > 50000").unwrap();
+        let opt = optimize(&db, &model, &rules, &q).unwrap();
+        match opt {
+            Optimized::ProvablyEmpty { reason } => {
+                assert!(reason.contains("Displacement"), "{reason}");
+            }
+            other => panic!("expected provably empty, got {other:?}"),
+        }
+        // And indeed the extensional answer is empty.
+        assert_eq!(intensio_sql::execute(&db, &q).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn already_pinned_attribute_not_duplicated() {
+        let (db, model, rules) = setup();
+        let q = parse(
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+        )
+        .unwrap();
+        let opt = optimize(&db, &model, &rules, &q).unwrap();
+        if let Optimized::Rewritten { added, .. } = &opt {
+            assert!(
+                !added.iter().any(|a| a.contains("Type = \"SSBN\"")),
+                "must not re-add the pinned Type restriction: {added:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_query_unchanged() {
+        let (db, model, rules) = setup();
+        let q = parse("SELECT Id FROM SUBMARINE").unwrap();
+        let opt = optimize(&db, &model, &rules, &q).unwrap();
+        assert!(matches!(opt, Optimized::Unchanged(_)));
+    }
+
+    #[test]
+    fn rewrite_preserves_semantics_across_workload() {
+        let (db, model, rules) = setup();
+        for sql in [
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS, INSTALL \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP \
+             AND INSTALL.SONAR = \"BQS-04\"",
+            "SELECT Class FROM CLASS WHERE Displacement < 3000",
+        ] {
+            let q = parse(sql).unwrap();
+            let before = intensio_sql::execute(&db, &q).unwrap();
+            match optimize(&db, &model, &rules, &q).unwrap() {
+                Optimized::Rewritten { query, .. } | Optimized::Unchanged(query) => {
+                    let after = intensio_sql::execute(&db, &query).unwrap();
+                    assert_eq!(before.len(), after.len(), "changed semantics for {sql}");
+                }
+                Optimized::ProvablyEmpty { .. } => {
+                    assert_eq!(before.len(), 0, "wrongly empty for {sql}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Rules taken from the schema's `with` constraints alone — the
+//! integrity-constraint baseline ([MOTR89]) that §7 compares against.
+//!
+//! The paper's closing claim is that *induced rules* make type inference
+//! more effective than using integrity constraints only. This module
+//! compiles the KER schema's constraint and structure rules into a
+//! [`RuleSet`] so the same inference engine can run with schema
+//! knowledge only, and the two intensional answers can be compared
+//! (bench `baseline_compare`).
+
+use intensio_ker::ast::{ClauseAst, ConsequenceAst, ConstraintAst};
+use intensio_ker::model::KerModel;
+use intensio_rules::range::{Endpoint, ValueRange};
+use intensio_rules::rule::{AttrId, Clause, Rule, RuleSet};
+use intensio_storage::expr::CmpOp;
+
+/// Compile every constraint/structure rule in the model into runtime
+/// rules. Rules whose consequence cannot be grounded (an `isa` to a
+/// subtype with no single-equality derivation) are skipped.
+pub fn rules_from_schema(model: &KerModel) -> RuleSet {
+    let mut out = Vec::new();
+    for type_name in model.type_names() {
+        let Some(ot) = model.object_type(type_name) else {
+            continue;
+        };
+        for c in &ot.constraints {
+            let ConstraintAst::Rule {
+                roles,
+                premise,
+                consequence,
+            } = c
+            else {
+                continue;
+            };
+            let object_for = |qualifier: &Option<String>| -> String {
+                match qualifier {
+                    Some(q) => roles
+                        .iter()
+                        .find(|r| r.var.eq_ignore_ascii_case(q))
+                        .map(|r| r.type_name.clone())
+                        .unwrap_or_else(|| q.clone()),
+                    None => type_name.clone(),
+                }
+            };
+
+            let mut lhs: Vec<Clause> = Vec::new();
+            let mut ok = true;
+            for cl in premise {
+                match clause_to_runtime(cl, &object_for(&cl.attr.qualifier)) {
+                    Some(c) => merge_clause(&mut lhs, c),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok || lhs.is_empty() {
+                continue;
+            }
+
+            let (rhs, subtype) = match consequence {
+                ConsequenceAst::Clause(cl) => {
+                    let Some(c) = clause_to_runtime(cl, &object_for(&cl.attr.qualifier)) else {
+                        continue;
+                    };
+                    if !c.range.is_point() {
+                        continue; // Horn consequences are equalities
+                    }
+                    let label = c
+                        .range
+                        .as_point()
+                        .and_then(|v| model.subtype_label_for(&c.attr.attribute, v));
+                    (c, label)
+                }
+                ConsequenceAst::Isa {
+                    var,
+                    type_name: sub,
+                } => {
+                    // Ground `x isa SUB` through SUB's derivation.
+                    let Some([d]) = model
+                        .derivation_of(sub)
+                        .and_then(|d| <&[ClauseAst; 1]>::try_from(d).ok())
+                    else {
+                        continue;
+                    };
+                    if d.op != CmpOp::Eq {
+                        continue;
+                    }
+                    // The derivation's attribute belongs to SUB's root
+                    // hierarchy object; prefer the role's entity type if
+                    // the role variable matches, else the hierarchy root.
+                    let object = roles
+                        .iter()
+                        .find(|r| r.var.eq_ignore_ascii_case(var))
+                        .map(|r| r.type_name.clone())
+                        .unwrap_or_else(|| {
+                            model
+                                .ancestors_of(sub)
+                                .last()
+                                .map(|s| s.to_string())
+                                .unwrap_or_else(|| sub.clone())
+                        });
+                    // Use the hierarchy root as the owning object when
+                    // the role's type is itself part of the hierarchy
+                    // (e.g. role `x isa SONAR`, subtype BQQ of SONAR).
+                    let object = if model.is_subtype_of(sub, &object) {
+                        object
+                    } else {
+                        model
+                            .ancestors_of(sub)
+                            .last()
+                            .map(|s| s.to_string())
+                            .unwrap_or(object)
+                    };
+                    (
+                        Clause::equals(AttrId::new(object, d.attr.name.clone()), d.value.clone()),
+                        Some(sub.clone()),
+                    )
+                }
+            };
+
+            let mut rule = Rule::new(0, lhs, rhs);
+            rule.rhs_subtype = subtype;
+            out.push(rule);
+        }
+    }
+    RuleSet::from_rules(out)
+}
+
+/// Convert a KER clause (`attr op constant`) into a runtime clause.
+/// Returns `None` for `!=`, which has no interval form.
+fn clause_to_runtime(cl: &ClauseAst, object: &str) -> Option<Clause> {
+    let range = match cl.op {
+        CmpOp::Eq => ValueRange::point(cl.value.clone()),
+        CmpOp::Ne => return None,
+        CmpOp::Lt => ValueRange {
+            lo: None,
+            hi: Some(Endpoint::excl(cl.value.clone())),
+        },
+        CmpOp::Le => ValueRange {
+            lo: None,
+            hi: Some(Endpoint::incl(cl.value.clone())),
+        },
+        CmpOp::Gt => ValueRange {
+            lo: Some(Endpoint::excl(cl.value.clone())),
+            hi: None,
+        },
+        CmpOp::Ge => ValueRange {
+            lo: Some(Endpoint::incl(cl.value.clone())),
+            hi: None,
+        },
+    };
+    Some(Clause {
+        attr: AttrId::new(object, cl.attr.name.clone()),
+        range,
+    })
+}
+
+/// Add a clause to a premise, intersecting with an existing clause on
+/// the same attribute (chained comparisons arrive as two clauses).
+fn merge_clause(lhs: &mut Vec<Clause>, c: Clause) {
+    if let Some(existing) = lhs.iter_mut().find(|e| e.attr == c.attr) {
+        if let Some(i) = existing.range.intersect(&c.range) {
+            existing.range = i;
+            return;
+        }
+    }
+    lhs.push(c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::value::Value;
+
+    fn model() -> KerModel {
+        intensio_shipdb::ship_model().unwrap()
+    }
+
+    #[test]
+    fn compiles_class_displacement_rules() {
+        let rules = rules_from_schema(&model());
+        // The CLASS with-block: two value rules (Class range -> Type) and
+        // two structure rules (Displacement range -> isa SSN/SSBN).
+        let ssbn: Vec<_> = rules
+            .iter()
+            .filter(|r| r.rhs_subtype.as_deref() == Some("SSBN"))
+            .collect();
+        assert!(!ssbn.is_empty());
+        let disp = rules.iter().find(|r| {
+            r.lhs
+                .iter()
+                .any(|c| c.attr.matches("CLASS", "Displacement"))
+                && r.rhs_subtype.as_deref() == Some("SSBN")
+        });
+        let disp = disp.expect("displacement structure rule");
+        assert!(disp.lhs[0].range.contains(&Value::Int(7250)));
+        assert!(disp.lhs[0].range.contains(&Value::Int(30000)));
+        assert!(!disp.lhs[0].range.contains(&Value::Int(7000)));
+        assert_eq!(disp.rhs.attr, AttrId::new("CLASS", "Type"));
+    }
+
+    #[test]
+    fn chained_premises_merge_into_one_clause() {
+        let rules = rules_from_schema(&model());
+        for r in rules.iter() {
+            let mut seen = std::collections::BTreeSet::new();
+            for c in &r.lhs {
+                assert!(
+                    seen.insert(c.attr.clone()),
+                    "premise mentions {} twice in {r}",
+                    c.attr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn install_structure_rules_span_objects() {
+        let rules = rules_from_schema(&model());
+        // `if x.Class = "0203" then y isa BQQ`.
+        let r = rules
+            .iter()
+            .find(|r| {
+                r.rhs_subtype.as_deref() == Some("BQQ")
+                    && r.lhs.iter().any(|c| c.attr.matches("SUBMARINE", "Class"))
+            })
+            .expect("INSTALL rule compiled");
+        assert_eq!(r.rhs.attr, AttrId::new("SONAR", "SonarType"));
+        assert_eq!(r.rhs.range.as_point(), Some(&Value::str("BQQ")));
+    }
+
+    #[test]
+    fn sonar_range_rules() {
+        let rules = rules_from_schema(&model());
+        let r = rules
+            .iter()
+            .find(|r| {
+                r.rhs_subtype.as_deref() == Some("BQS")
+                    && r.lhs.iter().any(|c| c.attr.matches("SONAR", "Sonar"))
+            })
+            .expect("BQS rule");
+        assert!(r.lhs[0].range.contains(&Value::str("BQS-12")));
+        assert!(!r.lhs[0].range.contains(&Value::str("TACTAS")));
+    }
+}

@@ -1,0 +1,169 @@
+//! Edge cases of the inference engine: contradictions, unsupported
+//! operators, chained forward inference, and alias handling.
+
+use intensio_induction::{Ils, InductionConfig};
+use intensio_inference::{InferenceConfig, InferenceEngine, IntensionalAnswer};
+use intensio_rules::rule::{AttrId, Clause, Rule, RuleSet};
+use intensio_shipdb::{ship_database, ship_model};
+use intensio_sql::{analyze, parse};
+use intensio_storage::catalog::Database;
+use intensio_storage::value::Value;
+
+fn infer_with(sql: &str, rules: &RuleSet, cfg: InferenceConfig) -> IntensionalAnswer {
+    let db = ship_database().unwrap();
+    let model = ship_model().unwrap();
+    let q = parse(sql).unwrap();
+    let analysis = analyze(&db, &q).unwrap();
+    let engine = InferenceEngine::new(&model, rules, &db, cfg).unwrap();
+    engine.infer(&analysis)
+}
+
+fn learned(nc: usize) -> RuleSet {
+    let db = ship_database().unwrap();
+    let model = ship_model().unwrap();
+    Ils::new(&model, InductionConfig::with_min_support(nc))
+        .induce(&db)
+        .unwrap()
+        .rules
+}
+
+#[test]
+fn contradictory_conditions_derive_nothing_wrong() {
+    // Displacement > 20000 AND < 10000: empty answer; forward inference
+    // may or may not fire, but the trace records the contradiction and
+    // nothing unsound is claimed about a non-empty answer set.
+    let rules = learned(3);
+    let a = infer_with(
+        "SELECT Class FROM CLASS WHERE Displacement > 20000 AND Displacement < 10000",
+        &rules,
+        InferenceConfig::default(),
+    );
+    assert!(
+        a.steps.iter().any(|s| s.contains("contradiction")) || a.certain.is_empty(),
+        "either flag the contradiction or stay silent: {:?}",
+        a.steps
+    );
+}
+
+#[test]
+fn not_equal_restrictions_are_ignored_soundly() {
+    // != has no interval form; the engine must not fire anything from it
+    // alone.
+    let rules = learned(3);
+    let a = infer_with(
+        "SELECT Class FROM CLASS WHERE Type != 'SSN'",
+        &rules,
+        InferenceConfig::default(),
+    );
+    assert!(a.certain.is_empty(), "{:?}", a.certain);
+}
+
+#[test]
+fn forward_chaining_reaches_fixpoint_through_rule_chains() {
+    // Hand-built chain: A=1 -> B=2 -> C=3. A query fixing A must derive
+    // C through two forward steps.
+    let mut db = Database::new();
+    {
+        use intensio_storage::prelude::*;
+        use intensio_storage::tuple;
+        let schema = Schema::new(vec![
+            Attribute::new("A", Domain::basic(ValueType::Int)),
+            Attribute::new("B", Domain::basic(ValueType::Int)),
+            Attribute::new("C", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("T", schema);
+        r.insert_all([tuple![1, 2, 3], tuple![5, 6, 7]]).unwrap();
+        db.create(r).unwrap();
+    }
+    let model = intensio_ker::model::KerModel::parse(
+        "object type T\n  has: A domain: integer\n  has: B domain: integer\n  has: C domain: integer",
+    )
+    .unwrap();
+    let rules = RuleSet::from_rules([
+        Rule::new(
+            0,
+            vec![Clause::equals(AttrId::new("T", "A"), 1)],
+            Clause::equals(AttrId::new("T", "B"), 2),
+        ),
+        Rule::new(
+            0,
+            vec![Clause::equals(AttrId::new("T", "B"), 2)],
+            Clause::equals(AttrId::new("T", "C"), 3),
+        ),
+    ]);
+    let q = parse("SELECT A FROM T WHERE A = 1").unwrap();
+    let analysis = analyze(&db, &q).unwrap();
+    let engine = InferenceEngine::new(&model, &rules, &db, InferenceConfig::default()).unwrap();
+    let a = engine.infer(&analysis);
+    assert!(
+        a.certain
+            .iter()
+            .any(|f| f.attr.matches("T", "C") && f.value == Value::Int(3)),
+        "two-step chain must conclude C = 3: {:?}",
+        a.certain
+    );
+}
+
+#[test]
+fn aliases_resolve_through_analysis() {
+    let rules = learned(3);
+    let a = infer_with(
+        "SELECT s.ID FROM SUBMARINE s, CLASS c \
+         WHERE s.CLASS = c.CLASS AND c.DISPLACEMENT > 8000",
+        &rules,
+        InferenceConfig {
+            forward_only: true,
+            ..InferenceConfig::default()
+        },
+    );
+    assert!(a.subtypes().contains(&"SSBN"), "{:?}", a.certain);
+}
+
+#[test]
+fn queries_on_unruled_relations_yield_nothing() {
+    let rules = learned(3);
+    let a = infer_with(
+        "SELECT TypeName FROM TYPE WHERE Type = 'SSN'",
+        &rules,
+        InferenceConfig::default(),
+    );
+    // TYPE.Type is a key; no rules conclude on it within the TYPE
+    // relation — but the classifier bridges Type values across the
+    // schema, so at most backward characterizations referencing CLASS
+    // may appear; certain facts must not invent anything about TYPE.
+    assert!(a
+        .certain
+        .iter()
+        .all(|f| !f.attr.matches("TYPE", "TypeName")));
+}
+
+#[test]
+fn rule_set_isolation_no_cross_talk() {
+    // An engine built over an empty rule set derives nothing even for
+    // Example 1's condition.
+    let empty = RuleSet::new();
+    let a = infer_with(
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        &empty,
+        InferenceConfig::default(),
+    );
+    assert!(a.is_empty());
+}
+
+#[test]
+fn multiple_restrictions_on_one_attribute_intersect() {
+    let rules = learned(3);
+    // 7000 < D < 8000: observed displacements in that window: {7250};
+    // all are SSBN.
+    let a = infer_with(
+        "SELECT Class FROM CLASS WHERE Displacement > 7000 AND Displacement < 8000",
+        &rules,
+        InferenceConfig {
+            forward_only: true,
+            ..InferenceConfig::default()
+        },
+    );
+    assert!(a.subtypes().contains(&"SSBN"), "{:?}", a.certain);
+}

@@ -1,0 +1,319 @@
+//! Abstract syntax for the Knowledge-based Entity-Relationship (KER)
+//! model, following the BNF of the paper's Appendix A.
+//!
+//! A KER definition is a sequence of *domain definitions*, *object type
+//! definitions*, and *type hierarchy definitions*. Object types carry
+//! `with` constraints: domain-range constraints, *constraint rules*
+//! (`if premise then consequence` over attribute values), and *structure
+//! rules* (`if roles and premise then var isa TYPE`).
+
+use intensio_storage::expr::CmpOp;
+use intensio_storage::value::Value;
+use std::fmt;
+
+/// The base of a domain definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainBase {
+    /// One of the standard domains: `string`, `integer`, `real`, `date`.
+    Standard(intensio_storage::value::ValueType),
+    /// A fixed-width character domain `char[n]`.
+    CharN(usize),
+    /// Another named domain (`SHIP_NAME isa NAME`).
+    Named(String),
+}
+
+/// A `range` or `set of` specification restricting a domain.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing range endpoints
+pub enum DomainSpec {
+    /// `range [lo .. hi]`, with per-end inclusivity (`[`/`(` and `]`/`)`).
+    Range {
+        lo: Value,
+        lo_inclusive: bool,
+        hi: Value,
+        hi_inclusive: bool,
+    },
+    /// `set of { v1, v2, ... }`.
+    Set(Vec<Value>),
+}
+
+/// `domain: NAME isa CHAR[20]` or `domain AGE isa integer range [0..200]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainDef {
+    /// The new domain's name.
+    pub name: String,
+    /// What it derives from.
+    pub base: DomainBase,
+    /// Optional restriction.
+    pub spec: Option<DomainSpec>,
+}
+
+/// One attribute of an object type: `has [key]: Name domain: D`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDef {
+    /// Attribute name.
+    pub name: String,
+    /// Domain name (standard keyword, `char[n]`, or user domain; may also
+    /// name an object type, making this an object-valued attribute).
+    pub domain: String,
+    /// Whether the attribute is (part of) the primary key.
+    pub key: bool,
+}
+
+/// A reference to an attribute inside a constraint: optionally qualified
+/// by a role variable (`x.Displacement`) or an object type
+/// (`Employee.Age`), or bare (`Displacement`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrPath {
+    /// Role variable or object/relation qualifier, if any.
+    pub qualifier: Option<String>,
+    /// The attribute name.
+    pub name: String,
+}
+
+impl AttrPath {
+    /// An unqualified path.
+    pub fn bare(name: impl Into<String>) -> AttrPath {
+        AttrPath {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// A qualified path `q.name`.
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> AttrPath {
+        AttrPath {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for AttrPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// An atomic clause `attribute op constant`.
+///
+/// The paper's rules chain comparisons (`2145 <= x.Displacement <= 6955`);
+/// the parser desugars a chain into two clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseAst {
+    /// The attribute being constrained.
+    pub attr: AttrPath,
+    /// The comparison operator (attribute on the left).
+    pub op: CmpOp,
+    /// The constant operand.
+    pub value: Value,
+}
+
+impl fmt::Display for ClauseAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// The consequence of a rule: either an attribute equation or a subtype
+/// classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsequenceAst {
+    /// `then Attr = constant`.
+    Clause(ClauseAst),
+    /// `then x isa TYPE`.
+    Isa {
+        /// The role variable being classified.
+        var: String,
+        /// The target subtype.
+        type_name: String,
+    },
+}
+
+impl fmt::Display for ConsequenceAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsequenceAst::Clause(c) => write!(f, "{c}"),
+            ConsequenceAst::Isa { var, type_name } => write!(f, "{var} isa {type_name}"),
+        }
+    }
+}
+
+/// A role declaration `x isa SUBMARINE` binding a variable to a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleDef {
+    /// The role variable.
+    pub var: String,
+    /// The object type it ranges over.
+    pub type_name: String,
+}
+
+impl fmt::Display for RoleDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} isa {}", self.var, self.type_name)
+    }
+}
+
+/// A `with` constraint attached to an object type or hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintAst {
+    /// `Attr in range [lo..hi]` / `Attr in set of {...}`.
+    DomainRange {
+        /// The constrained attribute.
+        attr: String,
+        /// The allowed values.
+        spec: DomainSpec,
+    },
+    /// `if C1 and ... and Cn then C` — a semantic (constraint or
+    /// structure) rule. Roles may come from an explicit declaration or
+    /// from the `with /* x isa T ... */` comment convention the paper's
+    /// Appendix B uses.
+    Rule {
+        /// Role variables in scope.
+        roles: Vec<RoleDef>,
+        /// The premise conjunction.
+        premise: Vec<ClauseAst>,
+        /// The consequence.
+        consequence: ConsequenceAst,
+    },
+}
+
+impl fmt::Display for ConstraintAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintAst::DomainRange { attr, spec } => {
+                write!(f, "{attr} in ")?;
+                match spec {
+                    DomainSpec::Range {
+                        lo,
+                        lo_inclusive,
+                        hi,
+                        hi_inclusive,
+                    } => write!(
+                        f,
+                        "{}{lo}..{hi}{}",
+                        if *lo_inclusive { '[' } else { '(' },
+                        if *hi_inclusive { ']' } else { ')' }
+                    ),
+                    DomainSpec::Set(vs) => {
+                        write!(f, "{{")?;
+                        for (i, v) in vs.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{v}")?;
+                        }
+                        write!(f, "}}")
+                    }
+                }
+            }
+            ConstraintAst::Rule {
+                premise,
+                consequence,
+                ..
+            } => {
+                write!(f, "if ")?;
+                for (i, c) in premise.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, " then {consequence}")
+            }
+        }
+    }
+}
+
+/// `object type NAME has ... with ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectTypeDef {
+    /// The type name.
+    pub name: String,
+    /// Declared attributes.
+    pub attrs: Vec<AttributeDef>,
+    /// Attached `with` constraints.
+    pub constraints: Vec<ConstraintAst>,
+}
+
+/// `SUPER contains S1, S2, ... [attrs] [with ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainsDef {
+    /// The supertype.
+    pub supertype: String,
+    /// The disjoint subtypes.
+    pub subtypes: Vec<String>,
+    /// Attributes introduced at this hierarchy level.
+    pub attrs: Vec<AttributeDef>,
+    /// Constraints (typically structure rules classifying instances).
+    pub constraints: Vec<ConstraintAst>,
+}
+
+/// `SUB isa SUPER with <derivation specification>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsaDef {
+    /// The subtype being derived.
+    pub subtype: String,
+    /// The supertype.
+    pub supertype: String,
+    /// The derivation specification (clauses over the supertype's
+    /// attributes that characterize membership).
+    pub derivation: Vec<ClauseAst>,
+}
+
+/// A top-level KER statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KerStatement {
+    /// A domain definition.
+    Domain(DomainDef),
+    /// An object type definition.
+    ObjectType(ObjectTypeDef),
+    /// A `contains` hierarchy definition.
+    Contains(ContainsDef),
+    /// An `isa` subtype derivation.
+    Isa(IsaDef),
+}
+
+/// A parsed KER schema: an ordered list of statements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KerSchema {
+    /// The statements, in source order.
+    pub statements: Vec<KerStatement>,
+}
+
+impl KerSchema {
+    /// All domain definitions.
+    pub fn domains(&self) -> impl Iterator<Item = &DomainDef> {
+        self.statements.iter().filter_map(|s| match s {
+            KerStatement::Domain(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// All object type definitions.
+    pub fn object_types(&self) -> impl Iterator<Item = &ObjectTypeDef> {
+        self.statements.iter().filter_map(|s| match s {
+            KerStatement::ObjectType(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// All `contains` definitions.
+    pub fn contains_defs(&self) -> impl Iterator<Item = &ContainsDef> {
+        self.statements.iter().filter_map(|s| match s {
+            KerStatement::Contains(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// All `isa` definitions.
+    pub fn isa_defs(&self) -> impl Iterator<Item = &IsaDef> {
+        self.statements.iter().filter_map(|s| match s {
+            KerStatement::Isa(i) => Some(i),
+            _ => None,
+        })
+    }
+}

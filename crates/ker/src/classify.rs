@@ -1,0 +1,279 @@
+//! Instance classification: the KER model's third construct,
+//! `has-instance` (§2) — linking a type to the objects that are its
+//! instances.
+//!
+//! A subtype's *derivation specification* (`SSBN isa CLASS with
+//! Type = "SSBN"`) is a membership predicate over its supertype's
+//! attributes; classification walks the hierarchy from a root type
+//! downwards, descending into whichever subtype's derivation the tuple
+//! satisfies, and returns the most specific type reached.
+
+use crate::ast::ClauseAst;
+use crate::model::{coerce_value, KerModel};
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::Schema;
+use intensio_storage::tuple::Tuple;
+use intensio_storage::value::Value;
+
+impl KerModel {
+    /// Does a tuple (under `schema`) satisfy a derivation clause?
+    fn satisfies_clause(&self, schema: &Schema, tuple: &Tuple, clause: &ClauseAst) -> bool {
+        let Some(idx) = schema.index_of(&clause.attr.name) else {
+            return false;
+        };
+        let actual = tuple.get(idx);
+        // Coerce the declared constant to the stored value's type where
+        // needed (class codes, numerics).
+        let expected = actual
+            .value_type()
+            .and_then(|t| coerce_value(&clause.value, t))
+            .unwrap_or_else(|| clause.value.clone());
+        match actual.compare(&expected) {
+            Ok(ord) => clause.op.matches(ord),
+            Err(_) => false,
+        }
+    }
+
+    /// Does a tuple satisfy every clause of a subtype's derivation?
+    /// Types with an empty derivation match nothing here (membership is
+    /// not decidable from the tuple alone).
+    pub fn satisfies_derivation(&self, schema: &Schema, tuple: &Tuple, subtype: &str) -> bool {
+        match self.derivation_of(subtype) {
+            Some(clauses) if !clauses.is_empty() => clauses
+                .iter()
+                .all(|c| self.satisfies_clause(schema, tuple, c)),
+            _ => false,
+        }
+    }
+
+    /// Classify a tuple of `root`'s instances into the most specific
+    /// subtype whose derivations it satisfies, walking the hierarchy
+    /// top-down. Returns `root` itself when no subtype matches.
+    pub fn classify_instance<'a>(
+        &'a self,
+        root: &'a str,
+        schema: &Schema,
+        tuple: &Tuple,
+    ) -> &'a str {
+        let mut current = match self.object_type(root) {
+            Some(t) => t,
+            None => return root,
+        };
+        'descend: loop {
+            for child in &current.children {
+                if self.satisfies_derivation(schema, tuple, child) {
+                    if let Some(ct) = self.object_type(child) {
+                        current = ct;
+                        continue 'descend;
+                    }
+                }
+            }
+            return &current.name;
+        }
+    }
+
+    /// The instances of a (sub)type within a relation of `root`
+    /// instances: every tuple whose classification path passes through
+    /// `subtype` (i.e. it satisfies the derivations from `root` down to
+    /// `subtype`).
+    pub fn instances_of(&self, root: &str, subtype: &str, relation: &Relation) -> Vec<Tuple> {
+        if !self.is_subtype_of(subtype, root) {
+            return Vec::new();
+        }
+        // Chain of derivations from root (exclusive) down to subtype.
+        let mut chain: Vec<&str> = vec![subtype];
+        let mut cur = subtype;
+        while let Some(p) = self.parent_of(cur) {
+            if p.eq_ignore_ascii_case(root) {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        relation
+            .iter()
+            .filter(|t| {
+                chain
+                    .iter()
+                    .all(|s| self.satisfies_derivation(relation.schema(), t, s))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Count instances per direct subtype of `root` within a relation
+    /// (the `has-instance` view of a hierarchy level). Unclassifiable
+    /// tuples are reported under the root's own name.
+    pub fn instance_distribution(&self, root: &str, relation: &Relation) -> Vec<(String, usize)> {
+        let children: Vec<String> = self
+            .object_type(root)
+            .map(|t| t.children.clone())
+            .unwrap_or_default();
+        let mut counts: Vec<(String, usize)> = children.iter().map(|c| (c.clone(), 0)).collect();
+        let mut unclassified = 0usize;
+        for t in relation.iter() {
+            let mut placed = false;
+            for (i, c) in children.iter().enumerate() {
+                if self.satisfies_derivation(relation.schema(), t, c) {
+                    counts[i].1 += 1;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                unclassified += 1;
+            }
+        }
+        if unclassified > 0 {
+            counts.push((root.to_string(), unclassified));
+        }
+        counts
+    }
+}
+
+/// Convenience: classify a single value as if it were a one-attribute
+/// tuple (useful for classifying an attribute value against a hierarchy,
+/// e.g. a sonar name against SONAR's subtypes).
+pub fn classify_value<'m>(
+    model: &'m KerModel,
+    root: &'m str,
+    attribute: &str,
+    value: &Value,
+) -> &'m str {
+    let Some(t) = model.object_type(root) else {
+        return root;
+    };
+    let mut current = t;
+    'descend: loop {
+        for child in &current.children {
+            if let Some(clauses) = model.derivation_of(child) {
+                if !clauses.is_empty()
+                    && clauses.iter().all(|c| {
+                        c.attr.name.eq_ignore_ascii_case(attribute)
+                            && value
+                                .compare(&coerce_to(value, &c.value))
+                                .map(|o| c.op.matches(o))
+                                .unwrap_or(false)
+                    })
+                {
+                    if let Some(ct) = model.object_type(child) {
+                        current = ct;
+                        continue 'descend;
+                    }
+                }
+            }
+        }
+        return &current.name;
+    }
+}
+
+fn coerce_to(like: &Value, v: &Value) -> Value {
+    like.value_type()
+        .and_then(|t| coerce_value(v, t))
+        .unwrap_or_else(|| v.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        object type CLASS
+          has key: Class domain: CHAR[4]
+          has: Type domain: CHAR[4]
+          has: Displacement domain: INTEGER
+
+        CLASS contains SSBN, SSN
+        SSBN isa CLASS with Type = "SSBN"
+        SSN  isa CLASS with Type = "SSN"
+        SSBN contains C0101, C0102
+        C0101 isa SSBN with Class = "0101"
+        C0102 isa SSBN with Class = "0102"
+    "#;
+
+    fn model() -> KerModel {
+        KerModel::parse(SRC).unwrap()
+    }
+
+    fn class_rel() -> Relation {
+        use intensio_storage::domain::Domain;
+        use intensio_storage::schema::Attribute;
+        use intensio_storage::tuple;
+        use intensio_storage::value::ValueType;
+        let schema = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut r = Relation::new("CLASS", schema);
+        r.insert_all([
+            tuple!["0101", "SSBN", 16600],
+            tuple!["0102", "SSBN", 7250],
+            tuple!["0201", "SSN", 6000],
+            tuple!["0203", "SSN", 4450],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn classifies_to_most_specific_subtype() {
+        let m = model();
+        let rel = class_rel();
+        let t0101 = &rel.tuples()[0];
+        assert_eq!(m.classify_instance("CLASS", rel.schema(), t0101), "C0101");
+        let t0201 = &rel.tuples()[2];
+        assert_eq!(m.classify_instance("CLASS", rel.schema(), t0201), "SSN");
+    }
+
+    #[test]
+    fn unknown_values_stay_at_root() {
+        use intensio_storage::tuple;
+        let m = model();
+        let rel = class_rel();
+        let alien = tuple!["9999", "XXXX", 1];
+        assert_eq!(m.classify_instance("CLASS", rel.schema(), &alien), "CLASS");
+    }
+
+    #[test]
+    fn instances_of_intermediate_and_leaf_types() {
+        let m = model();
+        let rel = class_rel();
+        assert_eq!(m.instances_of("CLASS", "SSBN", &rel).len(), 2);
+        assert_eq!(m.instances_of("CLASS", "C0101", &rel).len(), 1);
+        assert_eq!(m.instances_of("CLASS", "SSN", &rel).len(), 2);
+        assert!(m.instances_of("CLASS", "NOPE", &rel).is_empty());
+    }
+
+    #[test]
+    fn distribution_counts() {
+        let m = model();
+        let rel = class_rel();
+        let d = m.instance_distribution("CLASS", &rel);
+        assert_eq!(d, vec![("SSBN".to_string(), 2), ("SSN".to_string(), 2)]);
+    }
+
+    #[test]
+    fn classify_single_value() {
+        let m = KerModel::parse(
+            r#"
+            object type SONAR
+              has key: Sonar domain: CHAR[8]
+              has: SonarType domain: CHAR[8]
+            SONAR contains BQQ, BQS
+            BQQ isa SONAR with SonarType = "BQQ"
+            BQS isa SONAR with SonarType = "BQS"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            classify_value(&m, "SONAR", "SonarType", &Value::str("BQS")),
+            "BQS"
+        );
+        assert_eq!(
+            classify_value(&m, "SONAR", "SonarType", &Value::str("???")),
+            "SONAR"
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! Lexer for KER schema text (paper Appendix A syntax, tolerant of the
+//! Appendix B conventions).
+
+use std::fmt;
+
+/// A lexical error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KerError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl KerError {
+    pub(crate) fn new(message: impl Into<String>, line: usize, col: usize) -> KerError {
+        KerError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for KerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for KerError {}
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// A double-quoted string literal (quotes stripped).
+    Str(String),
+    /// A numeric literal; the raw spelling is preserved so values like
+    /// `0101` can later be coerced to `char` domains without losing the
+    /// leading zeros.
+    Num {
+        /// Raw source text.
+        text: String,
+        /// Parsed value.
+        value: f64,
+        /// Whether the literal had no fractional part.
+        is_int: bool,
+    },
+    /// A `/* ... */` comment. Preserved because the paper's Appendix B
+    /// declares rule roles inside comments (`with /* x isa SUBMARINE */`).
+    Comment(String),
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Num { text, .. } => write!(f, "{text}"),
+            Tok::Comment(_) => write!(f, "/* comment */"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenize KER source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, KerError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let bump = |c: char, line: &mut usize, col: &mut usize| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(c, &mut line, &mut col);
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment; preserved as a token.
+                let mut body = String::new();
+                bump(c, &mut line, &mut col);
+                bump('*', &mut line, &mut col);
+                i += 2;
+                loop {
+                    if i >= chars.len() {
+                        return Err(KerError::new("unterminated comment", tline, tcol));
+                    }
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        bump('*', &mut line, &mut col);
+                        bump('/', &mut line, &mut col);
+                        i += 2;
+                        break;
+                    }
+                    body.push(chars[i]);
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Comment(body.trim().to_string()),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment, skipped entirely.
+                while i < chars.len() && chars[i] != '\n' {
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            '"' => {
+                bump(c, &mut line, &mut col);
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(KerError::new("unterminated string", tline, tcol));
+                    }
+                    let ch = chars[i];
+                    bump(ch, &mut line, &mut col);
+                    i += 1;
+                    if ch == '"' {
+                        break;
+                    }
+                    s.push(ch);
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            ':' => {
+                tokens.push(Token {
+                    tok: Tok::Colon,
+                    line: tline,
+                    col: tcol,
+                });
+                bump(c, &mut line, &mut col);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    tok: Tok::Comma,
+                    line: tline,
+                    col: tcol,
+                });
+                bump(c, &mut line, &mut col);
+                i += 1;
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    tokens.push(Token {
+                        tok: Tok::DotDot,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump('.', &mut line, &mut col);
+                    bump('.', &mut line, &mut col);
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        tok: Tok::Dot,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump(c, &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            '[' | ']' | '(' | ')' | '{' | '}' => {
+                let tok = match c {
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    _ => Tok::RBrace,
+                };
+                tokens.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+                bump(c, &mut line, &mut col);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    tok: Tok::Eq,
+                    line: tline,
+                    col: tcol,
+                });
+                bump(c, &mut line, &mut col);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token {
+                    tok: Tok::Ne,
+                    line: tline,
+                    col: tcol,
+                });
+                bump('!', &mut line, &mut col);
+                bump('=', &mut line, &mut col);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        tok: Tok::Le,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump('<', &mut line, &mut col);
+                    bump('=', &mut line, &mut col);
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        tok: Tok::Lt,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump(c, &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        tok: Tok::Ge,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump('>', &mut line, &mut col);
+                    bump('=', &mut line, &mut col);
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        tok: Tok::Gt,
+                        line: tline,
+                        col: tcol,
+                    });
+                    bump(c, &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_int = true;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    text.push(chars[i]);
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                // A fractional part, but not `..` (range syntax).
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1) != Some(&'.')
+                    && chars.get(i + 1).map(|c| c.is_ascii_digit()) == Some(true)
+                {
+                    is_int = false;
+                    text.push('.');
+                    bump('.', &mut line, &mut col);
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        text.push(chars[i]);
+                        bump(chars[i], &mut line, &mut col);
+                        i += 1;
+                    }
+                }
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| KerError::new(format!("bad number: {text}"), tline, tcol))?;
+                tokens.push(Token {
+                    tok: Tok::Num {
+                        text,
+                        value,
+                        is_int,
+                    },
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut text = String::new();
+                // Identifiers may contain '-' (ship ids like BQS-04 and
+                // type names like CLASS-0101 appear in the paper).
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || chars[i] == '_'
+                        || (chars[i] == '-'
+                            && chars
+                                .get(i + 1)
+                                .map(|c| c.is_ascii_alphanumeric())
+                                .unwrap_or(false)))
+                {
+                    text.push(chars[i]);
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(text),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(KerError::new(
+                    format!("unexpected character: {other:?}"),
+                    tline,
+                    tcol,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_object_type_header() {
+        let t = toks("object type SUBMARINE has key: ShipId domain: char[10]");
+        assert_eq!(t[0], Tok::Ident("object".to_string()));
+        assert_eq!(t[2], Tok::Ident("SUBMARINE".to_string()));
+        assert!(t.contains(&Tok::LBracket));
+        assert!(matches!(t.last().unwrap(), Tok::RBracket));
+    }
+
+    #[test]
+    fn lexes_range_with_dotdot() {
+        let t = toks("with Displacement in [2000..30000]");
+        assert!(t.contains(&Tok::DotDot));
+        assert!(t
+            .iter()
+            .any(|x| matches!(x, Tok::Num { text, .. } if text == "2000")));
+    }
+
+    #[test]
+    fn preserves_leading_zero_numbers() {
+        let t = toks("0101");
+        match &t[0] {
+            Tok::Num {
+                text,
+                value,
+                is_int,
+            } => {
+                assert_eq!(text, "0101");
+                assert_eq!(*value, 101.0);
+                assert!(is_int);
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let t = toks("with /* x isa SUBMARINE */ if");
+        assert!(matches!(&t[1], Tok::Comment(c) if c == "x isa SUBMARINE"));
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        let t = toks("BQS-04 <= x.Sonar");
+        assert_eq!(t[0], Tok::Ident("BQS-04".to_string()));
+        assert_eq!(t[1], Tok::Le);
+        assert_eq!(t[3], Tok::Dot);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = toks("= != < <= > >=");
+        assert_eq!(
+            t,
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        let t = toks(r#"ShipType = "SSBN""#);
+        assert_eq!(t[2], Tok::Str("SSBN".to_string()));
+    }
+
+    #[test]
+    fn reals_and_ranges_disambiguate() {
+        let t = toks("[1.5..2.5]");
+        assert!(t
+            .iter()
+            .any(|x| matches!(x, Tok::Num { value, is_int, .. } if *value == 1.5 && !is_int)));
+        assert!(t.contains(&Tok::DotDot));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = lex("ok\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_and_string() {
+        assert!(lex("/* never ends").is_err());
+        assert!(lex("\"never ends").is_err());
+    }
+}

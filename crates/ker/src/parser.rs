@@ -1,0 +1,856 @@
+//! Recursive-descent parser for KER schema text.
+//!
+//! Follows the BNF of the paper's Appendix A while accepting the notational
+//! conventions of Appendix B and the figures:
+//!
+//! * `domain: NAME isa CHAR[20]` (colon after `domain`, `char[n]` bases);
+//! * `has key: Class domain: CHAR[4]` (colon after `domain`);
+//! * chained comparisons `2145 <= x.Displacement <= 6955`, desugared to a
+//!   conjunction of two clauses;
+//! * bare identifiers as string constants (`if Skate <= ClassName ...`);
+//! * rule role declarations carried in comments
+//!   (`with /* x isa SUBMARINE and y isa SONAR */`), which the parser
+//!   promotes to real [`RoleDef`]s;
+//! * numeric literals with leading zeros (class codes like `0101`) are
+//!   preserved as strings so they can later be coerced by the attribute's
+//!   domain.
+
+use crate::ast::*;
+use crate::lexer::{lex, KerError, Tok, Token};
+use intensio_storage::expr::CmpOp;
+use intensio_storage::value::{Value, ValueType};
+
+/// Parse KER schema text into an AST.
+pub fn parse(src: &str) -> Result<KerSchema, KerError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    p.skip_comments();
+    while !p.at_end() {
+        statements.push(p.statement()?);
+        p.skip_comments();
+    }
+    Ok(KerSchema { statements })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + n).map(|t| &t.tok)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> KerError {
+        let (line, col) = self.here();
+        KerError::new(msg, line, col)
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_comments(&mut self) {
+        while matches!(self.peek(), Some(Tok::Comment(_))) {
+            self.pos += 1;
+        }
+    }
+
+    /// Peek skipping comments; returns offset of the token found.
+    fn peek_ident_kw(&self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Some(s.to_ascii_lowercase()),
+            _ => None,
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), KerError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn accept(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), KerError> {
+        if self.accept(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, KerError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements ------------------------------------------------
+
+    fn statement(&mut self) -> Result<KerStatement, KerError> {
+        match self.peek_ident_kw().as_deref() {
+            Some("domain") => self.domain_def().map(KerStatement::Domain),
+            Some("object") => self.object_type_def().map(KerStatement::ObjectType),
+            Some(_) => {
+                // `X contains ...` or `X isa ...`
+                match self.peek_at(1) {
+                    Some(Tok::Ident(k)) if k.eq_ignore_ascii_case("contains") => {
+                        self.contains_def().map(KerStatement::Contains)
+                    }
+                    Some(Tok::Ident(k)) if k.eq_ignore_ascii_case("isa") => {
+                        self.isa_def().map(KerStatement::Isa)
+                    }
+                    other => Err(self.err(format!(
+                        "expected `contains` or `isa` after type name, found {other:?}"
+                    ))),
+                }
+            }
+            None => Err(self.err(format!("expected a statement, found {:?}", self.peek()))),
+        }
+    }
+
+    /// `domain [:] NAME isa BASE [spec]`
+    fn domain_def(&mut self) -> Result<DomainDef, KerError> {
+        self.expect_kw("domain")?;
+        self.accept(&Tok::Colon);
+        let name = self.ident()?;
+        self.expect_kw("isa")?;
+        let base = self.domain_base()?;
+        let spec = self.maybe_domain_spec()?;
+        Ok(DomainDef { name, base, spec })
+    }
+
+    fn domain_base(&mut self) -> Result<DomainBase, KerError> {
+        let name = self.ident()?;
+        if name.eq_ignore_ascii_case("char") && self.peek() == Some(&Tok::LBracket) {
+            self.expect(&Tok::LBracket)?;
+            let n = self.int_literal()?;
+            self.expect(&Tok::RBracket)?;
+            return Ok(DomainBase::CharN(n as usize));
+        }
+        if let Some(t) = ValueType::from_keyword(&name) {
+            return Ok(DomainBase::Standard(t));
+        }
+        Ok(DomainBase::Named(name))
+    }
+
+    fn int_literal(&mut self) -> Result<i64, KerError> {
+        match self.advance() {
+            Some(Tok::Num {
+                value,
+                is_int: true,
+                ..
+            }) => Ok(value as i64),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// Optional `range [lo..hi]` / `[lo..hi]` / `set of {..}`.
+    fn maybe_domain_spec(&mut self) -> Result<Option<DomainSpec>, KerError> {
+        if self.accept_kw("range") || matches!(self.peek(), Some(Tok::LBracket) | Some(Tok::LParen))
+        {
+            return self.range_spec().map(Some);
+        }
+        if self.peek_ident_kw().as_deref() == Some("set") {
+            self.expect_kw("set")?;
+            self.expect_kw("of")?;
+            self.expect(&Tok::LBrace)?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.constant()?);
+                if !self.accept(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RBrace)?;
+            return Ok(Some(DomainSpec::Set(values)));
+        }
+        Ok(None)
+    }
+
+    fn range_spec(&mut self) -> Result<DomainSpec, KerError> {
+        let lo_inclusive = match self.advance() {
+            Some(Tok::LBracket) => true,
+            Some(Tok::LParen) => false,
+            other => return Err(self.err(format!("expected `[` or `(`, found {other:?}"))),
+        };
+        let lo = self.constant()?;
+        self.expect(&Tok::DotDot)?;
+        let hi = self.constant()?;
+        let hi_inclusive = match self.advance() {
+            Some(Tok::RBracket) => true,
+            Some(Tok::RParen) => false,
+            other => return Err(self.err(format!("expected `]` or `)`, found {other:?}"))),
+        };
+        Ok(DomainSpec::Range {
+            lo,
+            lo_inclusive,
+            hi,
+            hi_inclusive,
+        })
+    }
+
+    /// A constant: number (leading-zero integers become strings to keep
+    /// their spelling), quoted string, or bare identifier (as a string).
+    fn constant(&mut self) -> Result<Value, KerError> {
+        match self.advance() {
+            Some(Tok::Num {
+                text,
+                value,
+                is_int,
+            }) => Ok(num_value(&text, value, is_int)),
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Ident(s)) => Ok(Value::Str(s)),
+            other => Err(self.err(format!("expected constant, found {other:?}"))),
+        }
+    }
+
+    /// `object type NAME attr* [contains-clause?] [with ...]`
+    fn object_type_def(&mut self) -> Result<ObjectTypeDef, KerError> {
+        self.expect_kw("object")?;
+        self.expect_kw("type")?;
+        let name = self.ident()?;
+        let attrs = self.attribute_list()?;
+        let constraints = self.maybe_with_block()?;
+        Ok(ObjectTypeDef {
+            name,
+            attrs,
+            constraints,
+        })
+    }
+
+    fn attribute_list(&mut self) -> Result<Vec<AttributeDef>, KerError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_comments();
+            if self.peek_ident_kw().as_deref() != Some("has") {
+                break;
+            }
+            self.expect_kw("has")?;
+            let key = self.accept_kw("key");
+            self.expect(&Tok::Colon)?;
+            let name = self.ident()?;
+            self.expect_kw("domain")?;
+            self.accept(&Tok::Colon);
+            let domain = self.domain_name()?;
+            // Optional trailing comma between attributes.
+            self.accept(&Tok::Comma);
+            attrs.push(AttributeDef { name, domain, key });
+        }
+        Ok(attrs)
+    }
+
+    fn domain_name(&mut self) -> Result<String, KerError> {
+        let name = self.ident()?;
+        if self.peek() == Some(&Tok::LBracket) {
+            self.expect(&Tok::LBracket)?;
+            let n = self.int_literal()?;
+            self.expect(&Tok::RBracket)?;
+            return Ok(format!("{}[{n}]", name.to_ascii_lowercase()));
+        }
+        Ok(name)
+    }
+
+    /// `SUPER contains S1, S2, ... [attrs] [with ...]`
+    fn contains_def(&mut self) -> Result<ContainsDef, KerError> {
+        let supertype = self.ident()?;
+        self.expect_kw("contains")?;
+        let mut subtypes = vec![self.ident()?];
+        while self.accept(&Tok::Comma) {
+            subtypes.push(self.ident()?);
+        }
+        let attrs = self.attribute_list()?;
+        let constraints = self.maybe_with_block()?;
+        Ok(ContainsDef {
+            supertype,
+            subtypes,
+            attrs,
+            constraints,
+        })
+    }
+
+    /// `SUB isa SUPER [with clause (and clause)*]`
+    fn isa_def(&mut self) -> Result<IsaDef, KerError> {
+        let subtype = self.ident()?;
+        self.expect_kw("isa")?;
+        let supertype = self.ident()?;
+        let mut derivation = Vec::new();
+        if self.accept_kw("with") {
+            self.skip_comments();
+            derivation = self.clause_conjunction()?;
+        }
+        Ok(IsaDef {
+            subtype,
+            supertype,
+            derivation,
+        })
+    }
+
+    // ---- with-blocks and rules --------------------------------------
+
+    /// Parse an optional `with` block of constraints. A comment directly
+    /// inside the block that reads like role declarations
+    /// (`x isa SUBMARINE and y isa SONAR`) sets the roles for the rules
+    /// that follow it.
+    fn maybe_with_block(&mut self) -> Result<Vec<ConstraintAst>, KerError> {
+        if !self.accept_kw("with") {
+            return Ok(Vec::new());
+        }
+        let mut constraints = Vec::new();
+        let mut roles: Vec<RoleDef> = Vec::new();
+        loop {
+            // Role-bearing or decorative comments.
+            while let Some(Tok::Comment(body)) = self.peek() {
+                if let Some(r) = parse_roles_comment(body) {
+                    roles = r;
+                }
+                self.pos += 1;
+            }
+            match self.peek_ident_kw().as_deref() {
+                Some("if") => {
+                    self.expect_kw("if")?;
+                    let (inline_roles, premise) = self.premise()?;
+                    self.expect_kw("then")?;
+                    let consequence = self.consequence()?;
+                    self.accept(&Tok::Comma);
+                    // Explicit role definitions in the premise (the
+                    // Appendix A structure-rule form) extend/override
+                    // the comment-declared roles.
+                    let mut all_roles = roles.clone();
+                    for r in inline_roles {
+                        if let Some(existing) = all_roles
+                            .iter_mut()
+                            .find(|e| e.var.eq_ignore_ascii_case(&r.var))
+                        {
+                            *existing = r;
+                        } else {
+                            all_roles.push(r);
+                        }
+                    }
+                    constraints.push(ConstraintAst::Rule {
+                        roles: all_roles,
+                        premise,
+                        consequence,
+                    });
+                }
+                Some(_) if self.peek_at(1).map(is_in_kw).unwrap_or(false) => {
+                    // `Attr in [lo..hi]` domain-range constraint.
+                    let attr = self.ident()?;
+                    self.expect_kw("in")?;
+                    let spec = self
+                        .maybe_domain_spec()?
+                        .ok_or_else(|| self.err("expected range or set after `in`"))?;
+                    self.accept(&Tok::Comma);
+                    constraints.push(ConstraintAst::DomainRange { attr, spec });
+                }
+                _ => break,
+            }
+        }
+        Ok(constraints)
+    }
+
+    /// A structure-rule premise: `item (and item)*` where each item is a
+    /// role definition (`x isa TYPE`, Appendix A's explicit form) or a
+    /// comparison chain.
+    fn premise(&mut self) -> Result<(Vec<RoleDef>, Vec<ClauseAst>), KerError> {
+        let mut roles = Vec::new();
+        let mut clauses = Vec::new();
+        loop {
+            // Role definition lookahead: Ident `isa` Ident.
+            let is_role = matches!(
+                (self.peek(), self.peek_at(1)),
+                (Some(Tok::Ident(_)), Some(Tok::Ident(k))) if k.eq_ignore_ascii_case("isa")
+            );
+            if is_role {
+                let var = self.ident()?;
+                self.expect_kw("isa")?;
+                let type_name = self.ident()?;
+                roles.push(RoleDef { var, type_name });
+            } else {
+                clauses.extend(self.comparison_chain()?);
+            }
+            if !self.accept_kw("and") {
+                break;
+            }
+        }
+        Ok((roles, clauses))
+    }
+
+    /// `chain (and chain)*`, desugaring comparison chains.
+    fn clause_conjunction(&mut self) -> Result<Vec<ClauseAst>, KerError> {
+        let mut clauses = self.comparison_chain()?;
+        while self.accept_kw("and") {
+            clauses.extend(self.comparison_chain()?);
+        }
+        Ok(clauses)
+    }
+
+    /// `operand (op operand)+` — two or more operands, one comparison
+    /// between each adjacent pair.
+    fn comparison_chain(&mut self) -> Result<Vec<ClauseAst>, KerError> {
+        let mut operands = vec![self.operand()?];
+        let mut ops = Vec::new();
+        while let Some(op) = self.maybe_cmp_op() {
+            ops.push(op);
+            operands.push(self.operand()?);
+        }
+        if ops.is_empty() {
+            return Err(self.err("expected comparison operator"));
+        }
+        let mut clauses = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            clauses.push(
+                resolve_comparison(&operands[i], *op, &operands[i + 1], operands.len() > 2, i)
+                    .map_err(|m| self.err(m))?,
+            );
+        }
+        Ok(clauses)
+    }
+
+    fn maybe_cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn operand(&mut self) -> Result<Operand, KerError> {
+        match self.peek() {
+            Some(Tok::Num { .. }) | Some(Tok::Str(_)) => Ok(Operand::Const(self.constant()?)),
+            Some(Tok::Ident(_)) => {
+                let first = self.ident()?;
+                if self.accept(&Tok::Dot) {
+                    let name = self.ident()?;
+                    Ok(Operand::Path(AttrPath::qualified(first, name)))
+                } else {
+                    Ok(Operand::Bare(first))
+                }
+            }
+            other => Err(self.err(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn consequence(&mut self) -> Result<ConsequenceAst, KerError> {
+        // `x isa TYPE` or `Attr = constant` / `q.Attr = constant`.
+        let op = self.operand()?;
+        if self.accept_kw("isa") {
+            let type_name = self.ident()?;
+            let var = match op {
+                Operand::Bare(v) => v,
+                other => {
+                    return Err(self.err(format!(
+                        "expected a role variable before `isa`, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(ConsequenceAst::Isa { var, type_name });
+        }
+        let cmp = self
+            .maybe_cmp_op()
+            .ok_or_else(|| self.err("expected `isa` or comparison in consequence"))?;
+        let rhs = self.operand()?;
+        resolve_comparison(&op, cmp, &rhs, false, 0)
+            .map(ConsequenceAst::Clause)
+            .map_err(|m| self.err(m))
+    }
+}
+
+fn is_in_kw(tok: &Tok) -> bool {
+    matches!(tok, Tok::Ident(s) if s.eq_ignore_ascii_case("in"))
+}
+
+/// A comparison operand before attribute/constant resolution.
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    /// Literal constant.
+    Const(Value),
+    /// Qualified path — always an attribute.
+    Path(AttrPath),
+    /// Bare identifier — attribute or string constant, by position.
+    Bare(String),
+}
+
+/// Decide which side of a comparison is the attribute and which is the
+/// constant, normalizing so the attribute is on the left.
+///
+/// Rules (covering every form in the paper):
+/// * a qualified path is always the attribute;
+/// * a literal is always the constant;
+/// * in a chain (`c1 <= A <= c2`), the shared middle operand is the
+///   attribute: for the first comparison the attribute is on the right,
+///   for later ones on the left;
+/// * two bare identifiers: the left one is the attribute.
+fn resolve_comparison(
+    left: &Operand,
+    op: CmpOp,
+    right: &Operand,
+    in_chain: bool,
+    chain_index: usize,
+) -> Result<ClauseAst, String> {
+    use Operand::*;
+    let clause = |attr: AttrPath, op: CmpOp, value: Value| ClauseAst { attr, op, value };
+    let bare_path = |s: &str| AttrPath::bare(s);
+    match (left, right) {
+        (Path(a), Const(v)) => Ok(clause(a.clone(), op, v.clone())),
+        (Const(v), Path(a)) => Ok(clause(a.clone(), op.flip(), v.clone())),
+        (Path(a), Bare(b)) => Ok(clause(a.clone(), op, Value::Str(b.clone()))),
+        (Bare(b), Path(a)) => Ok(clause(a.clone(), op.flip(), Value::Str(b.clone()))),
+        (Bare(b), Const(v)) => Ok(clause(bare_path(b), op, v.clone())),
+        (Const(v), Bare(b)) => Ok(clause(bare_path(b), op.flip(), v.clone())),
+        (Bare(l), Bare(r)) => {
+            if in_chain && chain_index == 0 {
+                // `Skate <= ClassName <= ...`: middle operand is the attr.
+                Ok(clause(bare_path(r), op.flip(), Value::Str(l.clone())))
+            } else {
+                Ok(clause(bare_path(l), op, Value::Str(r.clone())))
+            }
+        }
+        (Const(_), Const(_)) => Err("comparison between two constants".to_string()),
+        (Path(_), Path(_)) => {
+            Err("comparison between two attributes is not a valid KER constraint".to_string())
+        }
+    }
+}
+
+/// Integer literals keep their spelling when leading zeros are present
+/// (`0101` is a class code, not the number 101).
+fn num_value(text: &str, value: f64, is_int: bool) -> Value {
+    if is_int {
+        if text.len() > 1 && text.starts_with('0') {
+            Value::Str(text.to_string())
+        } else {
+            Value::Int(value as i64)
+        }
+    } else {
+        Value::Real(value)
+    }
+}
+
+/// Parse a role-declaration comment body: `x isa SUBMARINE` or
+/// `x isa SUBMARINE and y isa SONAR`. Returns `None` if the comment is
+/// not role-shaped.
+fn parse_roles_comment(body: &str) -> Option<Vec<RoleDef>> {
+    let mut roles = Vec::new();
+    for part in body
+        .split(|c: char| c.is_whitespace())
+        .collect::<Vec<_>>()
+        .join(" ")
+        .split(" and ")
+    {
+        let words: Vec<&str> = part.split_whitespace().collect();
+        match words.as_slice() {
+            [var, isa, type_name] if isa.eq_ignore_ascii_case("isa") => {
+                roles.push(RoleDef {
+                    var: (*var).to_string(),
+                    type_name: (*type_name).to_string(),
+                });
+            }
+            _ => return None,
+        }
+    }
+    if roles.is_empty() {
+        None
+    } else {
+        Some(roles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_object_type() {
+        let src = r#"
+            object type SUBMARINE
+              has key: ShipId   domain: char[10]
+              has:     ShipName domain: char[20]
+              has:     ShipType domain: char[4]
+              has:     Displacement domain: integer
+            with Displacement in [2000..30000]
+        "#;
+        let schema = parse(src).unwrap();
+        let ot = schema.object_types().next().unwrap();
+        assert_eq!(ot.name, "SUBMARINE");
+        assert_eq!(ot.attrs.len(), 4);
+        assert!(ot.attrs[0].key);
+        assert_eq!(ot.attrs[0].domain, "char[10]");
+        assert_eq!(ot.constraints.len(), 1);
+        match &ot.constraints[0] {
+            ConstraintAst::DomainRange { attr, spec } => {
+                assert_eq!(attr, "Displacement");
+                assert!(matches!(
+                    spec,
+                    DomainSpec::Range {
+                        lo: Value::Int(2000),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected domain range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_isa_with_derivation() {
+        let src = r#"SSBN isa SUBMARINE with ShipType = "SSBN""#;
+        let schema = parse(src).unwrap();
+        let isa = schema.isa_defs().next().unwrap();
+        assert_eq!(isa.subtype, "SSBN");
+        assert_eq!(isa.supertype, "SUBMARINE");
+        assert_eq!(isa.derivation.len(), 1);
+        assert_eq!(isa.derivation[0].attr, AttrPath::bare("ShipType"));
+        assert_eq!(isa.derivation[0].value, Value::str("SSBN"));
+    }
+
+    #[test]
+    fn parses_figure5_structure_rules() {
+        let src = r#"
+            object type SUBMARINE
+              has key: ShipId domain: char[20]
+              has: Displacement domain: integer
+            with /* x isa SUBMARINE */
+              if x.Displacement >= 7250 then x isa SSBN
+              if x.Displacement <= 6955 then x isa SSN
+        "#;
+        let schema = parse(src).unwrap();
+        let ot = schema.object_types().next().unwrap();
+        assert_eq!(ot.constraints.len(), 2);
+        match &ot.constraints[0] {
+            ConstraintAst::Rule {
+                roles,
+                premise,
+                consequence,
+            } => {
+                assert_eq!(roles.len(), 1);
+                assert_eq!(roles[0].var, "x");
+                assert_eq!(roles[0].type_name, "SUBMARINE");
+                assert_eq!(premise.len(), 1);
+                assert_eq!(premise[0].op, CmpOp::Ge);
+                assert_eq!(premise[0].value, Value::Int(7250));
+                assert_eq!(
+                    consequence,
+                    &ConsequenceAst::Isa {
+                        var: "x".to_string(),
+                        type_name: "SSBN".to_string()
+                    }
+                );
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn desugars_chained_comparison() {
+        let src = r#"
+            CLASS contains SSBN, SSN
+            with /* x isa CLASS */
+              if 2145 <= x.Displacement <= 6955 then x isa SSN
+        "#;
+        let schema = parse(src).unwrap();
+        let c = schema.contains_defs().next().unwrap();
+        assert_eq!(c.subtypes, vec!["SSBN", "SSN"]);
+        match &c.constraints[0] {
+            ConstraintAst::Rule { premise, .. } => {
+                assert_eq!(premise.len(), 2);
+                // 2145 <= x.D  →  x.D >= 2145
+                assert_eq!(premise[0].op, CmpOp::Ge);
+                assert_eq!(premise[0].value, Value::Int(2145));
+                assert_eq!(premise[1].op, CmpOp::Le);
+                assert_eq!(premise[1].value, Value::Int(6955));
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_identifier_chain_constants() {
+        // `if Skate <= ClassName <= Thresher then x isa SSN`
+        let src = r#"
+            object type CLASS
+              has key: Class domain: char[4]
+              has: ClassName domain: char[20]
+            with /* x isa CLASS */
+              if Skate <= ClassName <= Thresher then x isa SSN
+        "#;
+        let schema = parse(src).unwrap();
+        let ot = schema.object_types().next().unwrap();
+        match &ot.constraints[0] {
+            ConstraintAst::Rule { premise, .. } => {
+                assert_eq!(premise.len(), 2);
+                assert_eq!(premise[0].attr, AttrPath::bare("ClassName"));
+                assert_eq!(premise[0].value, Value::str("Skate"));
+                assert_eq!(premise[0].op, CmpOp::Ge);
+                assert_eq!(premise[1].value, Value::str("Thresher"));
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_zero_codes_stay_strings() {
+        let src = r#"
+            object type CLASS
+              has key: Class domain: char[4]
+              has: Type domain: char[4]
+            with
+              if 0101 <= Class <= 0103 then Type = "SSBN"
+        "#;
+        let schema = parse(src).unwrap();
+        let ot = schema.object_types().next().unwrap();
+        match &ot.constraints[0] {
+            ConstraintAst::Rule {
+                premise,
+                consequence,
+                ..
+            } => {
+                assert_eq!(premise[0].value, Value::str("0101"));
+                assert_eq!(premise[1].value, Value::str("0103"));
+                assert!(
+                    matches!(consequence, ConsequenceAst::Clause(c) if c.value == Value::str("SSBN"))
+                );
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_role_comment() {
+        let src = r#"
+            object type INSTALL
+              has key: Ship domain: SUBMARINE
+              has: Sonar domain: SONAR
+            with /* x isa SUBMARINE and y isa SONAR */
+              if x.Class = 0203 then y isa BQQ
+              if y.Sonar = "BQS-04" then x isa SSN
+        "#;
+        let schema = parse(src).unwrap();
+        let ot = schema.object_types().next().unwrap();
+        assert_eq!(ot.constraints.len(), 2);
+        for c in &ot.constraints {
+            match c {
+                ConstraintAst::Rule { roles, .. } => {
+                    assert_eq!(roles.len(), 2);
+                    assert_eq!(roles[1].type_name, "SONAR");
+                }
+                other => panic!("expected rule, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn domain_definitions() {
+        let src = r#"
+            domain: NAME isa CHAR[20]
+            domain: SHIP_NAME isa NAME
+            domain: AGE isa integer range [0..200]
+            domain: GRADE isa string set of { "A", "B", "C" }
+        "#;
+        let schema = parse(src).unwrap();
+        let domains: Vec<_> = schema.domains().collect();
+        assert_eq!(domains.len(), 4);
+        assert_eq!(domains[0].base, DomainBase::CharN(20));
+        assert_eq!(domains[1].base, DomainBase::Named("NAME".to_string()));
+        assert!(matches!(
+            domains[2].spec,
+            Some(DomainSpec::Range {
+                lo: Value::Int(0),
+                ..
+            })
+        ));
+        assert!(matches!(&domains[3].spec, Some(DomainSpec::Set(v)) if v.len() == 3));
+    }
+
+    #[test]
+    fn hyphenated_constants_in_rules() {
+        let src = r#"
+            object type SONAR
+              has key: Sonar domain: char[8]
+              has: SonarType domain: char[8]
+            with /* x isa SONAR */
+              if BQQ-2 <= x.Sonar <= BQQ-8 then x isa BQQ
+        "#;
+        let schema = parse(src).unwrap();
+        let ot = schema.object_types().next().unwrap();
+        match &ot.constraints[0] {
+            ConstraintAst::Rule { premise, .. } => {
+                assert_eq!(premise[0].value, Value::str("BQQ-2"));
+                assert_eq!(premise[1].value, Value::str("BQQ-8"));
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("object type").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn rejects_constant_only_comparison() {
+        let src = r#"
+            object type T
+              has key: A domain: integer
+            with
+              if 1 <= 2 then A = 3
+        "#;
+        assert!(parse(src).is_err());
+    }
+}

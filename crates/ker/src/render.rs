@@ -1,0 +1,317 @@
+//! Textual rendering of KER models, reproducing the style of the paper's
+//! Figure 1 (object type boxes), Figure 2 (type hierarchy tree), and
+//! Figure 5 (hierarchy with induced rules).
+
+use crate::ast::ConstraintAst;
+use crate::model::KerModel;
+use std::fmt::Write as _;
+
+/// Render an object type in the Figure 1 style:
+///
+/// ```text
+/// object type SUBMARINE
+///   has key: ShipId        domain: char[10]
+///   has:     ShipName      domain: char[20]
+/// with Displacement in [2000..30000]
+/// ```
+pub fn render_object_type(model: &KerModel, name: &str) -> Option<String> {
+    let t = model.object_type(name)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "object type {}", t.name);
+    let width = t
+        .declared_attrs
+        .iter()
+        .map(|a| a.name().len())
+        .max()
+        .unwrap_or(0);
+    for a in &t.declared_attrs {
+        let kw = if a.is_key() { "has key:" } else { "has:    " };
+        let _ = writeln!(
+            out,
+            "  {kw} {:<width$}  domain: {}",
+            a.name(),
+            a.domain().name()
+        );
+    }
+    if !t.constraints.is_empty() {
+        let _ = writeln!(out, "with");
+        for c in &t.constraints {
+            if let ConstraintAst::Rule { roles, .. } = c {
+                if !roles.is_empty() {
+                    let rendered: Vec<String> = roles.iter().map(|r| r.to_string()).collect();
+                    let _ = writeln!(out, "  /* {} */", rendered.join(" and "));
+                }
+            }
+            let _ = writeln!(out, "  {c}");
+        }
+    }
+    Some(out)
+}
+
+/// Render a type hierarchy as an ASCII tree (Figure 2 style), annotating
+/// each subtype with its derivation specification when present.
+pub fn render_hierarchy(model: &KerModel, root: &str) -> Option<String> {
+    model.object_type(root)?;
+    let mut out = String::new();
+    fn walk(model: &KerModel, name: &str, prefix: &str, is_last: bool, out: &mut String) {
+        let t = match model.object_type(name) {
+            Some(t) => t,
+            None => return,
+        };
+        let connector = if prefix.is_empty() {
+            ""
+        } else if is_last {
+            "└── "
+        } else {
+            "├── "
+        };
+        let derivation = if t.derivation.is_empty() {
+            String::new()
+        } else {
+            let cs: Vec<String> = t.derivation.iter().map(|c| c.to_string()).collect();
+            format!("  [with {}]", cs.join(" and "))
+        };
+        let _ = writeln!(out, "{prefix}{connector}{}{derivation}", t.name);
+        let child_prefix = if prefix.is_empty() {
+            String::new()
+        } else if is_last {
+            format!("{prefix}    ")
+        } else {
+            format!("{prefix}│   ")
+        };
+        let n = t.children.len();
+        for (i, c) in t.children.clone().iter().enumerate() {
+            let p = if prefix.is_empty() {
+                "    ".to_string()
+            } else {
+                child_prefix.clone()
+            };
+            walk(model, c, &p, i + 1 == n, out);
+        }
+    }
+    walk(model, root, "", true, &mut out);
+    Some(out)
+}
+
+/// Render the whole model: every root hierarchy plus each object type
+/// box, in declaration order (a textual stand-in for the paper's
+/// Figure 4 KER diagram).
+pub fn render_model(model: &KerModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Type hierarchies ==");
+    for root in model.roots() {
+        if let Some(tree) = render_hierarchy(model, root) {
+            out.push_str(&tree);
+            out.push('\n');
+        }
+    }
+    let _ = writeln!(out, "== Object types ==");
+    for name in model.type_names() {
+        let has_attrs = model
+            .object_type(name)
+            .map(|t| !t.declared_attrs.is_empty())
+            .unwrap_or(false);
+        if has_attrs {
+            if let Some(box_) = render_object_type(model, name) {
+                out.push_str(&box_);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Serialize a model back to KER source text that re-parses to an
+/// equivalent model (types, attributes, hierarchies, derivations, and
+/// rule constraints survive the round trip; resolved domain constraints
+/// are emitted as their base types plus `char[n]` widths).
+pub fn to_source(model: &KerModel) -> String {
+    use intensio_storage::domain::DomainConstraint;
+    let mut out = String::new();
+    // Object type declarations (only types with declared attributes).
+    for name in model.type_names() {
+        let Some(t) = model.object_type(name) else {
+            continue;
+        };
+        if t.declared_attrs.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "object type {}", t.name);
+        for a in &t.declared_attrs {
+            let kw = if a.is_key() { "has key:" } else { "has:" };
+            // char[n] widths are expressible; other constraints reduce
+            // to the base type keyword.
+            let domain = a
+                .domain()
+                .constraints()
+                .iter()
+                .find_map(|c| match c {
+                    DomainConstraint::CharLen(n) => Some(format!("char[{n}]")),
+                    _ => None,
+                })
+                .unwrap_or_else(|| a.value_type().keyword().to_string());
+            let _ = writeln!(out, "  {kw} {} domain: {domain}", a.name());
+        }
+        let rules: Vec<&ConstraintAst> = t
+            .constraints
+            .iter()
+            .filter(|c| matches!(c, ConstraintAst::Rule { .. }))
+            .collect();
+        if !rules.is_empty() {
+            let _ = writeln!(out, "with");
+            let mut last_roles: Option<String> = None;
+            for c in rules {
+                if let ConstraintAst::Rule { roles, .. } = c {
+                    if !roles.is_empty() {
+                        let rendered: Vec<String> = roles.iter().map(|r| r.to_string()).collect();
+                        let joined = rendered.join(" and ");
+                        if last_roles.as_deref() != Some(&joined) {
+                            let _ = writeln!(out, "  /* {joined} */");
+                            last_roles = Some(joined);
+                        }
+                    }
+                }
+                let _ = writeln!(out, "  {c}");
+            }
+        }
+        out.push('\n');
+    }
+    // Hierarchies: contains lists then isa derivations, parents first.
+    for name in model.type_names() {
+        let Some(t) = model.object_type(name) else {
+            continue;
+        };
+        if t.children.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{} contains {}", t.name, t.children.join(", "));
+    }
+    for name in model.type_names() {
+        let Some(t) = model.object_type(name) else {
+            continue;
+        };
+        let Some(parent) = &t.parent else { continue };
+        if t.derivation.is_empty() {
+            continue;
+        }
+        let clauses: Vec<String> = t.derivation.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{} isa {parent} with {}",
+            t.name,
+            clauses.join(" and ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        object type SUBMARINE
+          has key: ShipId domain: char[10]
+          has: Displacement domain: integer
+        with /* x isa SUBMARINE */
+          if x.Displacement >= 7250 then x isa SSBN
+          if x.Displacement <= 6955 then x isa SSN
+
+        SUBMARINE contains SSBN, SSN
+        SSBN isa SUBMARINE with ShipType = "SSBN"
+        SSN isa SUBMARINE with ShipType = "SSN"
+    "#;
+
+    #[test]
+    fn object_type_box() {
+        let m = KerModel::parse(SRC).unwrap();
+        let s = render_object_type(&m, "SUBMARINE").unwrap();
+        assert!(s.contains("object type SUBMARINE"));
+        assert!(s.contains("has key: ShipId"));
+        assert!(s.contains("if x.Displacement >= 7250 then x isa SSBN"));
+        assert!(s.contains("/* x isa SUBMARINE */"));
+    }
+
+    #[test]
+    fn hierarchy_tree() {
+        let m = KerModel::parse(SRC).unwrap();
+        let s = render_hierarchy(&m, "SUBMARINE").unwrap();
+        assert!(s.starts_with("SUBMARINE"));
+        assert!(s.contains("SSBN"));
+        assert!(s.contains("ShipType = \"SSBN\""));
+        assert!(s.contains("└── SSN"));
+    }
+
+    #[test]
+    fn whole_model_renders() {
+        let m = KerModel::parse(SRC).unwrap();
+        let s = render_model(&m);
+        assert!(s.contains("== Type hierarchies =="));
+        assert!(s.contains("== Object types =="));
+    }
+
+    #[test]
+    fn to_source_round_trips() {
+        let m = KerModel::parse(SRC).unwrap();
+        let src = to_source(&m);
+        let m2 = KerModel::parse(&src)
+            .unwrap_or_else(|e| panic!("serialized source must re-parse: {e}\n{src}"));
+        assert_eq!(m.type_names(), m2.type_names());
+        assert_eq!(
+            m.descendants_of("SUBMARINE"),
+            m2.descendants_of("SUBMARINE")
+        );
+        assert_eq!(
+            m.derivation_of("SSBN"),
+            m2.derivation_of("SSBN"),
+            "derivations must survive"
+        );
+        let a1 = m.all_attributes_of("SUBMARINE");
+        let a2 = m2.all_attributes_of("SUBMARINE");
+        assert_eq!(a1.len(), a2.len());
+        for (x, y) in a1.iter().zip(&a2) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.value_type(), y.value_type());
+            assert_eq!(x.is_key(), y.is_key());
+        }
+        // Rule constraints survive too.
+        let c1 = &m.object_type("SUBMARINE").unwrap().constraints;
+        let c2 = &m2.object_type("SUBMARINE").unwrap().constraints;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn ship_schema_round_trips_through_source() {
+        let m = KerModel::parse(intensio_shipdb_src()).unwrap();
+        let m2 = KerModel::parse(&to_source(&m)).unwrap();
+        assert_eq!(m.type_names().len(), m2.type_names().len());
+        assert_eq!(
+            m.classifier_of("CLASS").unwrap().attribute,
+            m2.classifier_of("CLASS").unwrap().attribute
+        );
+    }
+
+    /// A trimmed copy of the ship schema (the full text lives in
+    /// intensio-shipdb, which this crate cannot depend on).
+    fn intensio_shipdb_src() -> &'static str {
+        r#"
+        object type CLASS
+          has key: Class domain: CHAR[4]
+          has: Type domain: CHAR[4]
+          has: Displacement domain: INTEGER
+        with /* x isa CLASS */
+          if 2145 <= x.Displacement <= 6955 then x isa SSN
+          if 7250 <= x.Displacement <= 30000 then x isa SSBN
+        CLASS contains SSBN, SSN
+        SSBN isa CLASS with Type = "SSBN"
+        SSN isa CLASS with Type = "SSN"
+        "#
+    }
+
+    #[test]
+    fn unknown_type_is_none() {
+        let m = KerModel::parse(SRC).unwrap();
+        assert!(render_object_type(&m, "NOPE").is_none());
+        assert!(render_hierarchy(&m, "NOPE").is_none());
+    }
+}

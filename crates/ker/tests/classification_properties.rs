@@ -1,0 +1,85 @@
+//! Property tests tying the classification API together:
+//! `classify_instance` and `instances_of` must agree, and
+//! `instance_distribution` must partition the relation.
+
+use intensio_ker::model::KerModel;
+use intensio_storage::prelude::*;
+use intensio_storage::tuple::Tuple;
+use proptest::prelude::*;
+
+fn model() -> KerModel {
+    KerModel::parse(
+        r#"
+        object type ITEM
+          has key: Id domain: CHAR[6]
+          has: Kind domain: CHAR[2]
+          has: Size domain: INTEGER
+        ITEM contains KA, KB, KC
+        KA isa ITEM with Kind = "ka"
+        KB isa ITEM with Kind = "kb"
+        KC isa ITEM with Kind = "kc"
+        "#,
+    )
+    .unwrap()
+}
+
+fn relation(rows: &[(u8, i64)]) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(6)),
+        Attribute::new("Kind", Domain::char_n(2)),
+        Attribute::new("Size", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut r = Relation::new("ITEM", schema);
+    for (i, (k, size)) in rows.iter().enumerate() {
+        // k in 0..4: 3 real kinds plus an unknown one.
+        let kind = match k % 4 {
+            0 => "ka",
+            1 => "kb",
+            2 => "kc",
+            _ => "zz",
+        };
+        r.insert(Tuple::new(vec![
+            Value::str(format!("I{i:05}")),
+            Value::str(kind),
+            Value::Int(*size),
+        ]))
+        .unwrap();
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn classify_agrees_with_instances_of(rows in prop::collection::vec((0u8..4, -5i64..5), 0..40)) {
+        let m = model();
+        let rel = relation(&rows);
+        for t in rel.iter() {
+            let class = m.classify_instance("ITEM", rel.schema(), t);
+            if class != "ITEM" {
+                let members = m.instances_of("ITEM", class, &rel);
+                prop_assert!(
+                    members.iter().any(|x| x == t),
+                    "tuple classified as {class} must be among its instances"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_partitions_relation(rows in prop::collection::vec((0u8..4, -5i64..5), 0..40)) {
+        let m = model();
+        let rel = relation(&rows);
+        let dist = m.instance_distribution("ITEM", &rel);
+        let total: usize = dist.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, rel.len(), "every tuple lands in exactly one bucket");
+        // Unknown kinds land in the root bucket.
+        let unknown = rows.iter().filter(|(k, _)| k % 4 == 3).count();
+        let root = dist
+            .iter()
+            .find(|(name, _)| name == "ITEM")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        prop_assert_eq!(root, unknown);
+    }
+}

@@ -1,0 +1,59 @@
+//! Robustness: the KER parser must return `Err`, never panic, on
+//! arbitrary input, and must round-trip the schemas it accepts through
+//! the model without loss of hierarchy structure.
+
+use intensio_ker::model::KerModel;
+use intensio_ker::parser::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_noise(s in "[ -~\n\t]{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_schema_like_noise(
+        kw in prop::sample::select(vec![
+            "object type", "domain:", "isa", "contains", "with", "if", "then", "has key:",
+        ]),
+        ident in "[A-Za-z][A-Za-z0-9_]{0,8}",
+        tail in "[ -~]{0,40}",
+    ) {
+        let src = format!("{kw} {ident} {tail}");
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn generated_hierarchies_round_trip(
+        n_subs in 1usize..6,
+        attr in "[A-Z][a-z]{1,6}",
+    ) {
+        let mut src = format!(
+            "object type ROOT\n  has key: Id domain: char[8]\n  has: {attr} domain: char[8]\n"
+        );
+        let subs: Vec<String> = (0..n_subs).map(|i| format!("SUB{i}")).collect();
+        src.push_str(&format!("ROOT contains {}\n", subs.join(", ")));
+        for (i, s) in subs.iter().enumerate() {
+            src.push_str(&format!("{s} isa ROOT with {attr} = \"v{i}\"\n"));
+        }
+        let model = KerModel::parse(&src).unwrap();
+        prop_assert_eq!(model.descendants_of("ROOT").len(), n_subs);
+        let c = model.classifier_of("ROOT").unwrap();
+        prop_assert!(c.attribute.eq_ignore_ascii_case(&attr));
+        for (i, s) in subs.iter().enumerate() {
+            prop_assert_eq!(
+                model.subtype_label_for(&attr, &intensio_storage::value::Value::str(format!("v{i}"))),
+                Some(s.clone())
+            );
+        }
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_cleanly() {
+    // Deep garbage that once tripped naive recursive parsers.
+    let src =
+        "object type T has key: A domain: integer with ".to_string() + &"if 1 <= A and ".repeat(50);
+    assert!(parse(&src).is_err());
+}

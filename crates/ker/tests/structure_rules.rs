@@ -1,0 +1,107 @@
+//! Appendix A structure rules with *explicit* role definitions in the
+//! premise: `if <role definitions> and <conjunctives> then <variable>
+//! isa <object type name>`.
+
+use intensio_ker::ast::{ConsequenceAst, ConstraintAst};
+use intensio_ker::model::KerModel;
+use intensio_ker::parser::parse;
+use intensio_storage::expr::CmpOp;
+use intensio_storage::value::Value;
+
+#[test]
+fn explicit_roles_in_premise() {
+    let src = r#"
+        object type CLASS
+          has key: Class domain: CHAR[4]
+          has: Displacement domain: INTEGER
+        with
+          if x isa CLASS and x.Displacement >= 7250 then x isa SSBN
+    "#;
+    let schema = parse(src).unwrap();
+    let ot = schema.object_types().next().unwrap();
+    match &ot.constraints[0] {
+        ConstraintAst::Rule {
+            roles,
+            premise,
+            consequence,
+        } => {
+            assert_eq!(roles.len(), 1);
+            assert_eq!(roles[0].var, "x");
+            assert_eq!(roles[0].type_name, "CLASS");
+            assert_eq!(premise.len(), 1);
+            assert_eq!(premise[0].op, CmpOp::Ge);
+            assert_eq!(premise[0].value, Value::Int(7250));
+            assert_eq!(
+                consequence,
+                &ConsequenceAst::Isa {
+                    var: "x".to_string(),
+                    type_name: "SSBN".to_string()
+                }
+            );
+        }
+        other => panic!("expected rule, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_explicit_roles_inter_object() {
+    // The paper's INSTALL rules in the pure Appendix A form.
+    let src = r#"
+        object type INSTALL
+          has key: Ship domain: CHAR[7]
+          has: Sonar domain: CHAR[8]
+        with
+          if x isa SUBMARINE and y isa SONAR and x.Class = "0203" then y isa BQQ
+    "#;
+    let schema = parse(src).unwrap();
+    let ot = schema.object_types().next().unwrap();
+    match &ot.constraints[0] {
+        ConstraintAst::Rule { roles, premise, .. } => {
+            assert_eq!(roles.len(), 2);
+            assert_eq!(roles[0].type_name, "SUBMARINE");
+            assert_eq!(roles[1].type_name, "SONAR");
+            assert_eq!(premise.len(), 1);
+        }
+        other => panic!("expected rule, got {other:?}"),
+    }
+}
+
+#[test]
+fn explicit_roles_override_comment_roles() {
+    let src = r#"
+        object type T
+          has key: A domain: INTEGER
+        with /* x isa OLD */
+          if x isa NEW and x.A >= 1 then x isa SUB
+    "#;
+    let schema = parse(src).unwrap();
+    let ot = schema.object_types().next().unwrap();
+    match &ot.constraints[0] {
+        ConstraintAst::Rule { roles, .. } => {
+            assert_eq!(roles.len(), 1);
+            assert_eq!(roles[0].type_name, "NEW", "inline definition wins");
+        }
+        other => panic!("expected rule, got {other:?}"),
+    }
+}
+
+#[test]
+fn model_compiles_explicit_role_rules() {
+    let src = r#"
+        object type CLASS
+          has key: Class domain: CHAR[4]
+          has: Type domain: CHAR[4]
+          has: Displacement domain: INTEGER
+        CLASS contains SSBN, SSN
+        SSBN isa CLASS with Type = "SSBN"
+        SSN isa CLASS with Type = "SSN"
+
+        object type RULEHOST
+          has key: Id domain: CHAR[4]
+        with
+          if x isa CLASS and 7250 <= x.Displacement <= 30000 then x isa SSBN
+    "#;
+    let m = KerModel::parse(src).unwrap();
+    let host = m.object_type("RULEHOST").unwrap();
+    assert_eq!(host.constraints.len(), 1);
+}

@@ -1,0 +1,103 @@
+//! Abstract syntax for the QUEL subset used by the paper's prototype
+//! (§5.2.1): `range of`, `retrieve [into] [unique] ... [where] [sort by]`,
+//! `delete`, `append to`, and `replace`.
+
+use intensio_storage::expr::{AttrRef, Expr};
+use intensio_storage::ops::Aggregate;
+
+/// The computation of one retrieve target: a plain per-binding
+/// expression, or an aggregate over all qualifying bindings (INGRES
+/// QUEL's `count`/`sum`/`avg`/`min`/`max`, optionally grouped with
+/// `by`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetExpr {
+    /// A per-binding expression (`r.Y`, `r.A + r.B`).
+    Plain(Expr),
+    /// An aggregate: `sum(r.Salary by r.Dept)`.
+    Aggregate {
+        /// The aggregate function.
+        func: Aggregate,
+        /// The aggregated expression.
+        arg: Expr,
+        /// Grouping attributes (empty = one group over all bindings).
+        by: Vec<AttrRef>,
+    },
+}
+
+/// One item of a retrieve target list: an optional output name and an
+/// expression (`r.Y` or `total = r.A + r.B`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Output attribute name; defaults to the source attribute name.
+    pub name: String,
+    /// The computed expression.
+    pub expr: TargetExpr,
+}
+
+/// A sort key: an output column name or a `var.attr` reference that is
+/// matched against output columns by attribute name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey {
+    /// Optional range variable (`r` in `sort by r.Y`).
+    pub var: Option<String>,
+    /// The attribute name.
+    pub attr: String,
+}
+
+/// An assignment in `append`/`replace`: `Attr = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The target attribute.
+    pub attr: String,
+    /// The value expression.
+    pub expr: Expr,
+}
+
+/// A parsed QUEL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `range of r is RELATION`.
+    Range {
+        /// The range variable.
+        var: String,
+        /// The relation it ranges over.
+        relation: String,
+    },
+    /// `retrieve [into T] [unique] (targets) [where qual] [sort by keys]`.
+    Retrieve {
+        /// Destination relation for `into`.
+        into: Option<String>,
+        /// Whether duplicates are eliminated.
+        unique: bool,
+        /// The target list.
+        targets: Vec<Target>,
+        /// The qualification.
+        qual: Option<Expr>,
+        /// The sort keys.
+        sort_by: Vec<SortKey>,
+    },
+    /// `delete r [where qual]`.
+    Delete {
+        /// The range variable whose tuples are deleted.
+        var: String,
+        /// The qualification (may reference other range variables,
+        /// existentially).
+        qual: Option<Expr>,
+    },
+    /// `append to RELATION (Attr = expr, ...)`.
+    Append {
+        /// The destination relation.
+        relation: String,
+        /// The attribute assignments.
+        assignments: Vec<Assignment>,
+    },
+    /// `replace r (Attr = expr, ...) [where qual]`.
+    Replace {
+        /// The range variable whose tuples are updated.
+        var: String,
+        /// The attribute assignments.
+        assignments: Vec<Assignment>,
+        /// The qualification.
+        qual: Option<Expr>,
+    },
+}

@@ -1,0 +1,648 @@
+//! Execution of QUEL statements against a [`Database`].
+//!
+//! A [`Session`] holds the range-variable bindings created by `range of`
+//! statements, mirroring the INGRES session the paper's EQUEL prototype
+//! ran inside. Multi-variable qualifications are evaluated over the
+//! cartesian product of the bound relations; `delete`/`replace` treat
+//! variables other than the target as existentially quantified, which is
+//! exactly the semantics the §5.2.1 induction algorithm relies on.
+
+use crate::ast::{Assignment, SortKey, Statement, Target, TargetExpr};
+use crate::parser::{parse_script, QuelParseError};
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::StorageError;
+use intensio_storage::expr::{AttrRef, Env, Expr};
+use intensio_storage::ops;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple::Tuple;
+use intensio_storage::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error from parsing or executing QUEL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuelError {
+    /// A parse failure.
+    Parse(QuelParseError),
+    /// A storage-engine failure.
+    Storage(StorageError),
+    /// A semantic failure (undeclared range variable, etc.).
+    Semantic(String),
+}
+
+impl fmt::Display for QuelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuelError::Parse(e) => write!(f, "{e}"),
+            QuelError::Storage(e) => write!(f, "{e}"),
+            QuelError::Semantic(m) => write!(f, "QUEL error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QuelError {}
+
+impl From<QuelParseError> for QuelError {
+    fn from(e: QuelParseError) -> Self {
+        QuelError::Parse(e)
+    }
+}
+
+impl From<StorageError> for QuelError {
+    fn from(e: StorageError) -> Self {
+        QuelError::Storage(e)
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// `range of` produced no output.
+    None,
+    /// A `retrieve` without `into` returns its result relation.
+    Relation(Relation),
+    /// A `retrieve into` stored its result under this name.
+    Stored(String),
+    /// `delete`/`replace`/`append` report affected tuple counts.
+    Affected(usize),
+}
+
+impl Output {
+    /// The result relation, if this output carries one.
+    pub fn relation(&self) -> Option<&Relation> {
+        match self {
+            Output::Relation(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A QUEL session: range-variable bindings plus statement execution.
+#[derive(Debug, Default, Clone)]
+pub struct Session {
+    ranges: HashMap<String, String>,
+    /// Range variables in declaration order (for unqualified retrieves).
+    order: Vec<String>,
+}
+
+impl Session {
+    /// A fresh session with no range variables.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The relation a range variable is bound to.
+    pub fn range_of(&self, var: &str) -> Option<&str> {
+        self.ranges
+            .get(&var.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Parse and execute a script, returning one output per statement.
+    pub fn run_script(&mut self, db: &mut Database, src: &str) -> Result<Vec<Output>, QuelError> {
+        let stmts = parse_script(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            out.push(self.execute_stmt(db, s)?);
+        }
+        Ok(out)
+    }
+
+    /// Parse and execute a single statement.
+    pub fn execute(&mut self, db: &mut Database, src: &str) -> Result<Output, QuelError> {
+        let stmt = crate::parser::parse(src)?;
+        self.execute_stmt(db, &stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(
+        &mut self,
+        db: &mut Database,
+        stmt: &Statement,
+    ) -> Result<Output, QuelError> {
+        match stmt {
+            Statement::Range { var, relation } => {
+                db.get(relation)?; // must exist
+                let key = var.to_ascii_lowercase();
+                if !self.ranges.contains_key(&key) {
+                    self.order.push(key.clone());
+                }
+                self.ranges.insert(key, relation.clone());
+                Ok(Output::None)
+            }
+            Statement::Retrieve {
+                into,
+                unique,
+                targets,
+                qual,
+                sort_by,
+            } => self.retrieve(
+                db,
+                into.as_deref(),
+                *unique,
+                targets,
+                qual.as_ref(),
+                sort_by,
+            ),
+            Statement::Delete { var, qual } => self.delete(db, var, qual.as_ref()),
+            Statement::Append {
+                relation,
+                assignments,
+            } => self.append(db, relation, assignments),
+            Statement::Replace {
+                var,
+                assignments,
+                qual,
+            } => self.replace(db, var, assignments, qual.as_ref()),
+        }
+    }
+
+    /// The range variables a statement touches: every qualifier mentioned
+    /// in its expressions, falling back to all declared variables when
+    /// only bare attribute references occur.
+    fn vars_used(&self, exprs: &[&Expr], sort_by: &[SortKey]) -> Vec<String> {
+        let mut vars: Vec<String> = Vec::new();
+        let mut push = |v: &str| {
+            let k = v.to_ascii_lowercase();
+            if !vars.contains(&k) {
+                vars.push(k);
+            }
+        };
+        let mut saw_bare = false;
+        for e in exprs {
+            for a in e.attr_refs() {
+                match &a.qualifier {
+                    Some(q) => push(q),
+                    None => saw_bare = true,
+                }
+            }
+        }
+        for k in sort_by {
+            if let Some(v) = &k.var {
+                push(v);
+            }
+        }
+        if vars.is_empty() && saw_bare {
+            self.order.clone()
+        } else {
+            vars
+        }
+    }
+
+    fn resolve_var<'d>(
+        &self,
+        db: &'d Database,
+        var: &str,
+    ) -> Result<(&'d Relation, String), QuelError> {
+        let rel_name = self
+            .ranges
+            .get(&var.to_ascii_lowercase())
+            .ok_or_else(|| QuelError::Semantic(format!("undeclared range variable: {var}")))?;
+        Ok((db.get(rel_name)?, var.to_ascii_lowercase()))
+    }
+
+    fn retrieve(
+        &mut self,
+        db: &mut Database,
+        into: Option<&str>,
+        unique: bool,
+        targets: &[Target],
+        qual: Option<&Expr>,
+        sort_by: &[SortKey],
+    ) -> Result<Output, QuelError> {
+        let mut exprs: Vec<&Expr> = Vec::new();
+        let mut by_refs: Vec<&intensio_storage::expr::AttrRef> = Vec::new();
+        for t in targets {
+            match &t.expr {
+                TargetExpr::Plain(e) => exprs.push(e),
+                TargetExpr::Aggregate { arg, by, .. } => {
+                    exprs.push(arg);
+                    by_refs.extend(by.iter());
+                }
+            }
+        }
+        if let Some(q) = qual {
+            exprs.push(q);
+        }
+        let mut vars = self.vars_used(&exprs, sort_by);
+        for r in &by_refs {
+            if let Some(q) = &r.qualifier {
+                let k = q.to_ascii_lowercase();
+                if !vars.contains(&k) {
+                    vars.push(k);
+                }
+            }
+        }
+        if vars.is_empty() {
+            return Err(QuelError::Semantic(
+                "retrieve references no range variables".to_string(),
+            ));
+        }
+        let mut rels: Vec<(&Relation, String)> = Vec::with_capacity(vars.len());
+        for v in &vars {
+            rels.push(self.resolve_var(db, v)?);
+        }
+
+        // Validate aggregate shape: one shared `by` list; plain targets
+        // must be attributes of that list.
+        let has_aggregate = targets
+            .iter()
+            .any(|t| matches!(t.expr, TargetExpr::Aggregate { .. }));
+        let shared_by: Vec<intensio_storage::expr::AttrRef> = if has_aggregate {
+            let mut shared: Option<&Vec<intensio_storage::expr::AttrRef>> = None;
+            for t in targets {
+                if let TargetExpr::Aggregate { by, .. } = &t.expr {
+                    match shared {
+                        None => shared = Some(by),
+                        Some(s) if s == by => {}
+                        Some(_) => {
+                            return Err(QuelError::Semantic(
+                                "all aggregates in a retrieve must share the same `by` list"
+                                    .to_string(),
+                            ))
+                        }
+                    }
+                }
+            }
+            let shared = shared.expect("has_aggregate").clone();
+            for t in targets {
+                if let TargetExpr::Plain(e) = &t.expr {
+                    let ok = matches!(e, Expr::Attr(a) if shared.contains(a));
+                    if !ok {
+                        return Err(QuelError::Semantic(format!(
+                            "plain target `{}` must be one of the aggregate `by` attributes",
+                            t.name
+                        )));
+                    }
+                }
+            }
+            shared
+        } else {
+            Vec::new()
+        };
+
+        // Nested-loop evaluation over the cartesian product.
+        let mut rows: Vec<Tuple> = Vec::new();
+        // Aggregate path: group key -> per-aggregate-target value lists.
+        let mut groups: std::collections::BTreeMap<
+            Vec<intensio_storage::value::ValueKey>,
+            Vec<Vec<Value>>,
+        > = std::collections::BTreeMap::new();
+        let agg_targets: Vec<usize> = targets
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.expr, TargetExpr::Aggregate { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let mut indices = vec![0usize; rels.len()];
+        'outer: loop {
+            // Bind current tuple of each variable.
+            if rels.iter().any(|(r, _)| r.is_empty()) {
+                break;
+            }
+            let mut env = Env::empty();
+            for (i, (rel, alias)) in rels.iter().enumerate() {
+                env.push(alias, rel.schema(), &rel.tuples()[indices[i]]);
+            }
+            let keep = match qual {
+                Some(q) => q.eval_bool(&env)?,
+                None => true,
+            };
+            if keep {
+                if has_aggregate {
+                    let mut key = Vec::with_capacity(shared_by.len());
+                    for b in &shared_by {
+                        key.push(intensio_storage::value::ValueKey(env.lookup(b)?.clone()));
+                    }
+                    let entry = groups
+                        .entry(key)
+                        .or_insert_with(|| vec![Vec::new(); agg_targets.len()]);
+                    for (slot, &ti) in agg_targets.iter().enumerate() {
+                        if let TargetExpr::Aggregate { arg, .. } = &targets[ti].expr {
+                            entry[slot].push(arg.eval(&env)?);
+                        }
+                    }
+                } else {
+                    let mut vals = Vec::with_capacity(targets.len());
+                    for t in targets {
+                        if let TargetExpr::Plain(e) = &t.expr {
+                            vals.push(e.eval(&env)?);
+                        }
+                    }
+                    rows.push(Tuple::new(vals));
+                }
+            }
+            // Odometer increment.
+            for i in (0..rels.len()).rev() {
+                indices[i] += 1;
+                if indices[i] < rels[i].0.len() {
+                    continue 'outer;
+                }
+                indices[i] = 0;
+            }
+            break;
+        }
+
+        // Materialize aggregate groups as rows.
+        if has_aggregate {
+            for (key, arg_lists) in &groups {
+                let mut vals = Vec::with_capacity(targets.len());
+                let mut slot = 0usize;
+                for t in targets {
+                    match &t.expr {
+                        TargetExpr::Plain(e) => {
+                            let Expr::Attr(a) = e else {
+                                unreachable!("validated")
+                            };
+                            let pos = shared_by.iter().position(|b| b == a).expect("validated");
+                            vals.push(key[pos].0.clone());
+                        }
+                        TargetExpr::Aggregate { func, .. } => {
+                            vals.push(
+                                ops::aggregate(*func, &arg_lists[slot]).map_err(QuelError::from)?,
+                            );
+                            slot += 1;
+                        }
+                    }
+                }
+                rows.push(Tuple::new(vals));
+            }
+            // An aggregate with no `by` over zero bindings still yields
+            // one row (count = 0, others NULL).
+            if groups.is_empty() && shared_by.is_empty() {
+                let mut vals = Vec::with_capacity(targets.len());
+                for t in targets {
+                    if let TargetExpr::Aggregate { func, .. } = &t.expr {
+                        vals.push(ops::aggregate(*func, &[]).map_err(QuelError::from)?);
+                    }
+                }
+                rows.push(Tuple::new(vals));
+            }
+        }
+
+        let schema = self.result_schema(db, targets, &rows)?;
+        let mut result = Relation::new("result", schema);
+        for t in rows {
+            result.insert(t)?;
+        }
+        let mut result = if unique { ops::unique(&result) } else { result };
+        if !sort_by.is_empty() {
+            let names: Vec<&str> = sort_by.iter().map(|k| k.attr.as_str()).collect();
+            result.sort_by_names(&names)?;
+        }
+        match into {
+            Some(name) => {
+                result.set_name(name);
+                db.create_or_replace(result);
+                Ok(Output::Stored(name.to_string()))
+            }
+            None => {
+                result.set_name("result");
+                Ok(Output::Relation(result))
+            }
+        }
+    }
+
+    /// Output schema: plain attribute targets keep the source attribute's
+    /// domain; computed targets take the basic type of their first
+    /// non-null value.
+    fn result_schema(
+        &self,
+        db: &Database,
+        targets: &[Target],
+        rows: &[Tuple],
+    ) -> Result<Schema, QuelError> {
+        let mut attrs = Vec::with_capacity(targets.len());
+        for (i, t) in targets.iter().enumerate() {
+            let domain = match &t.expr {
+                TargetExpr::Plain(Expr::Attr(a)) => self.attr_domain(db, a),
+                _ => None,
+            };
+            let domain = domain.unwrap_or_else(|| {
+                let ty = rows
+                    .iter()
+                    .find_map(|r| r.get(i).value_type())
+                    .unwrap_or(intensio_storage::value::ValueType::Str);
+                Domain::basic(ty)
+            });
+            attrs.push(Attribute::new(t.name.clone(), domain));
+        }
+        Schema::new(attrs).map_err(QuelError::from)
+    }
+
+    fn attr_domain(&self, db: &Database, a: &AttrRef) -> Option<Domain> {
+        let rel_name = match &a.qualifier {
+            Some(q) => self.ranges.get(&q.to_ascii_lowercase())?,
+            None => {
+                // A bare attribute: find the unique declared relation
+                // holding it.
+                let mut found: Option<&String> = None;
+                for v in &self.order {
+                    let rel = self.ranges.get(v)?;
+                    if db
+                        .get(rel)
+                        .ok()
+                        .and_then(|r| r.schema().index_of(&a.name))
+                        .is_some()
+                    {
+                        if found.is_some() {
+                            return None;
+                        }
+                        found = Some(rel);
+                    }
+                }
+                found?
+            }
+        };
+        let rel = db.get(rel_name).ok()?;
+        let idx = rel.schema().index_of(&a.name)?;
+        Some(rel.schema().attr(idx).domain().clone())
+    }
+
+    fn delete(
+        &mut self,
+        db: &mut Database,
+        var: &str,
+        qual: Option<&Expr>,
+    ) -> Result<Output, QuelError> {
+        let target_rel_name = self
+            .ranges
+            .get(&var.to_ascii_lowercase())
+            .ok_or_else(|| QuelError::Semantic(format!("undeclared range variable: {var}")))?
+            .clone();
+
+        let qual = match qual {
+            None => {
+                let n = db.get_mut(&target_rel_name)?.delete_where(|_| true);
+                return Ok(Output::Affected(n));
+            }
+            Some(q) => q,
+        };
+
+        // Other variables are existentially quantified: snapshot their
+        // relations before mutating.
+        let vars = self.vars_used(&[qual], &[]);
+        let mut others: Vec<(Relation, String)> = Vec::new();
+        for v in &vars {
+            if v.eq_ignore_ascii_case(var) {
+                continue;
+            }
+            let (rel, alias) = self.resolve_var(db, v)?;
+            others.push((rel.clone(), alias));
+        }
+
+        let target_alias = var.to_ascii_lowercase();
+        let mut eval_err: Option<StorageError> = None;
+        let target = db.get_mut(&target_rel_name)?;
+        let target_schema = target.schema_ref();
+        let n = target.delete_where(|t| {
+            if eval_err.is_some() {
+                return false;
+            }
+            match exists_binding(
+                qual,
+                &target_alias,
+                &target_schema,
+                t,
+                &others,
+                0,
+                &mut Vec::new(),
+            ) {
+                Ok(b) => b,
+                Err(e) => {
+                    eval_err = Some(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = eval_err {
+            return Err(e.into());
+        }
+        Ok(Output::Affected(n))
+    }
+
+    fn append(
+        &mut self,
+        db: &mut Database,
+        relation: &str,
+        assignments: &[Assignment],
+    ) -> Result<Output, QuelError> {
+        let env = Env::empty();
+        let mut values: Vec<(String, Value)> = Vec::with_capacity(assignments.len());
+        for a in assignments {
+            values.push((a.attr.clone(), a.expr.eval(&env)?));
+        }
+        let rel = db.get_mut(relation)?;
+        let mut vals = vec![Value::Null; rel.schema().arity()];
+        for (name, v) in values {
+            let idx = rel.schema().require(relation, &name)?;
+            vals[idx] = v;
+        }
+        rel.insert(Tuple::new(vals))?;
+        Ok(Output::Affected(1))
+    }
+
+    fn replace(
+        &mut self,
+        db: &mut Database,
+        var: &str,
+        assignments: &[Assignment],
+        qual: Option<&Expr>,
+    ) -> Result<Output, QuelError> {
+        let target_rel_name = self
+            .ranges
+            .get(&var.to_ascii_lowercase())
+            .ok_or_else(|| QuelError::Semantic(format!("undeclared range variable: {var}")))?
+            .clone();
+        let alias = var.to_ascii_lowercase();
+
+        // Snapshot other variables for existential qualification.
+        let mut others: Vec<(Relation, String)> = Vec::new();
+        if let Some(q) = qual {
+            for v in self.vars_used(&[q], &[]) {
+                if v.eq_ignore_ascii_case(var) {
+                    continue;
+                }
+                let (rel, a) = self.resolve_var(db, &v)?;
+                others.push((rel.clone(), a));
+            }
+        }
+
+        let original = db.get(&target_rel_name)?.clone();
+        let mut updated = Vec::with_capacity(original.len());
+        let mut affected = 0usize;
+        for t in original.iter() {
+            let matches = match qual {
+                None => true,
+                Some(q) => exists_binding(
+                    q,
+                    &alias,
+                    &original.schema_ref(),
+                    t,
+                    &others,
+                    0,
+                    &mut Vec::new(),
+                )?,
+            };
+            if !matches {
+                updated.push(t.clone());
+                continue;
+            }
+            affected += 1;
+            let mut vals = t.values().to_vec();
+            let env = Env::single(&alias, original.schema(), t);
+            for a in assignments {
+                let idx = original.schema().require(&target_rel_name, &a.attr)?;
+                vals[idx] = a.expr.eval(&env)?;
+            }
+            updated.push(Tuple::new(vals));
+        }
+        let target = db.get_mut(&target_rel_name)?;
+        if let Err(e) = target.replace_all(updated) {
+            // Restore on failure (transactional behaviour).
+            *target = original;
+            return Err(e.into());
+        }
+        Ok(Output::Affected(affected))
+    }
+}
+
+/// Does some binding of `others` satisfy `qual` for the fixed target
+/// tuple? (Existential semantics of QUEL delete/replace.)
+fn exists_binding(
+    qual: &Expr,
+    target_alias: &str,
+    target_schema: &intensio_storage::schema::SchemaRef,
+    target_tuple: &Tuple,
+    others: &[(Relation, String)],
+    depth: usize,
+    chosen: &mut Vec<usize>,
+) -> Result<bool, StorageError> {
+    if depth == others.len() {
+        let mut env = Env::single(target_alias, target_schema, target_tuple);
+        for (i, (rel, alias)) in others.iter().enumerate() {
+            env.push(alias, rel.schema(), &rel.tuples()[chosen[i]]);
+        }
+        return qual.eval_bool(&env);
+    }
+    let (rel, _) = &others[depth];
+    for i in 0..rel.len() {
+        chosen.push(i);
+        let found = exists_binding(
+            qual,
+            target_alias,
+            target_schema,
+            target_tuple,
+            others,
+            depth + 1,
+            chosen,
+        )?;
+        chosen.pop();
+        if found {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}

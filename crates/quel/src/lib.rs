@@ -1,0 +1,39 @@
+//! # intensio-quel
+//!
+//! A QUEL (the INGRES query language) subset: the statements the paper's
+//! §5.2.1 rule-induction algorithm is written in — `range of`,
+//! `retrieve [into] [unique] (...) [where ...] [sort by ...]`, `delete`,
+//! plus `append to` and `replace` for test-bed maintenance. Executing the
+//! published algorithm verbatim keeps the reproduction faithful to the
+//! EQUEL/C prototype.
+//!
+//! ```
+//! use intensio_quel::{Session, Output};
+//! use intensio_storage::prelude::*;
+//! use intensio_storage::tuple;
+//!
+//! let mut db = Database::new();
+//! let schema = Schema::new(vec![
+//!     Attribute::key("Class", Domain::char_n(4)),
+//!     Attribute::new("Type", Domain::char_n(4)),
+//! ]).unwrap();
+//! let mut class = Relation::new("CLASS", schema);
+//! class.insert(tuple!["0101", "SSBN"]).unwrap();
+//! class.insert(tuple!["0201", "SSN"]).unwrap();
+//! db.create(class).unwrap();
+//!
+//! let mut session = Session::new();
+//! session.execute(&mut db, "range of c is CLASS").unwrap();
+//! let out = session.execute(&mut db, r#"retrieve (c.Class) where c.Type = "SSN""#).unwrap();
+//! assert_eq!(out.relation().unwrap().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+pub use ast::{Assignment, SortKey, Statement, Target};
+pub use exec::{Output, QuelError, Session};
+pub use parser::{parse, parse_script, QuelParseError};

@@ -1,0 +1,835 @@
+//! Lexer and recursive-descent parser for the QUEL subset.
+
+use crate::ast::*;
+use intensio_storage::expr::{ArithOp, AttrRef, CmpOp, Expr};
+use intensio_storage::ops::Aggregate;
+use intensio_storage::value::Value;
+use std::fmt;
+
+/// A QUEL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuelParseError {
+    /// Description of the failure.
+    pub message: String,
+    /// Byte offset in the source where it occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for QuelParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QUEL parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for QuelParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num {
+        text: String,
+        value: f64,
+        is_int: bool,
+    },
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+type LexResult = Result<Vec<(Tok, usize)>, QuelParseError>;
+
+fn lex(src: &str) -> LexResult {
+    let mut l = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    while l.pos < l.src.len() {
+        let start = l.pos;
+        let c = l.src[l.pos] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                l.pos += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, start));
+                l.pos += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, start));
+                l.pos += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, start));
+                l.pos += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, start));
+                l.pos += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, start));
+                l.pos += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, start));
+                l.pos += 1;
+            }
+            '-' => {
+                out.push((Tok::Minus, start));
+                l.pos += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, start));
+                l.pos += 1;
+            }
+            '/' => {
+                out.push((Tok::Slash, start));
+                l.pos += 1;
+            }
+            '!' => {
+                if l.src.get(l.pos + 1) == Some(&b'=') {
+                    out.push((Tok::Ne, start));
+                    l.pos += 2;
+                } else {
+                    return Err(QuelParseError {
+                        message: "expected `=` after `!`".to_string(),
+                        offset: start,
+                    });
+                }
+            }
+            '<' => {
+                if l.src.get(l.pos + 1) == Some(&b'=') {
+                    out.push((Tok::Le, start));
+                    l.pos += 2;
+                } else {
+                    out.push((Tok::Lt, start));
+                    l.pos += 1;
+                }
+            }
+            '>' => {
+                if l.src.get(l.pos + 1) == Some(&b'=') {
+                    out.push((Tok::Ge, start));
+                    l.pos += 2;
+                } else {
+                    out.push((Tok::Gt, start));
+                    l.pos += 1;
+                }
+            }
+            '"' => {
+                l.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match l.src.get(l.pos) {
+                        Some(&b'"') => {
+                            l.pos += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            l.pos += 1;
+                        }
+                        None => {
+                            return Err(QuelParseError {
+                                message: "unterminated string".to_string(),
+                                offset: start,
+                            })
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), start));
+            }
+            d if d.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_int = true;
+                while l.pos < l.src.len() && (l.src[l.pos] as char).is_ascii_digit() {
+                    text.push(l.src[l.pos] as char);
+                    l.pos += 1;
+                }
+                if l.pos + 1 < l.src.len()
+                    && l.src[l.pos] == b'.'
+                    && (l.src[l.pos + 1] as char).is_ascii_digit()
+                {
+                    is_int = false;
+                    text.push('.');
+                    l.pos += 1;
+                    while l.pos < l.src.len() && (l.src[l.pos] as char).is_ascii_digit() {
+                        text.push(l.src[l.pos] as char);
+                        l.pos += 1;
+                    }
+                }
+                let value: f64 = text.parse().map_err(|_| QuelParseError {
+                    message: format!("bad number {text}"),
+                    offset: start,
+                })?;
+                out.push((
+                    Tok::Num {
+                        text,
+                        value,
+                        is_int,
+                    },
+                    start,
+                ));
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut s = String::new();
+                while l.pos < l.src.len() {
+                    let ch = l.src[l.pos] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        l.pos += 1;
+                    } else if ch == '-'
+                        && l.pos + 1 < l.src.len()
+                        && (l.src[l.pos + 1] as char).is_ascii_alphanumeric()
+                    {
+                        // Hyphenated constants like BQS-04.
+                        s.push(ch);
+                        l.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), start));
+            }
+            other => {
+                return Err(QuelParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one QUEL statement.
+pub fn parse(src: &str) -> Result<Statement, QuelParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parse a script: a sequence of statements. Statements are recognized by
+/// their leading keyword, so no separator is needed (newlines suffice);
+/// an optional `;` or blank line between statements is accepted.
+pub fn parse_script(src: &str) -> Result<Vec<Statement>, QuelParseError> {
+    let mut statements = Vec::new();
+    for piece in split_statements(src) {
+        let trimmed = piece.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        statements.push(parse(trimmed)?);
+    }
+    Ok(statements)
+}
+
+/// Split a script on statement-leading keywords.
+fn split_statements(src: &str) -> Vec<String> {
+    const LEADS: [&str; 5] = ["range", "retrieve", "delete", "append", "replace"];
+    let mut out: Vec<String> = Vec::new();
+    for raw_line in src.lines() {
+        let line = raw_line.split(';').collect::<Vec<_>>().join(" ");
+        let first = line.split_whitespace().next().unwrap_or("");
+        if LEADS.iter().any(|k| first.eq_ignore_ascii_case(k)) {
+            out.push(line.to_string());
+        } else if let Some(last) = out.last_mut() {
+            last.push(' ');
+            last.push_str(&line);
+        } else if !line.trim().is_empty() {
+            out.push(line.to_string());
+        }
+    }
+    out
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QuelParseError {
+        QuelParseError {
+            message: msg.into(),
+            offset: self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(0),
+        }
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn accept(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), QuelParseError> {
+        if self.accept(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QuelParseError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QuelParseError> {
+        match self.advance() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, QuelParseError> {
+        if self.accept_kw("range") {
+            self.expect_kw("of")?;
+            let var = self.ident()?;
+            self.expect_kw("is")?;
+            let relation = self.ident()?;
+            return Ok(Statement::Range { var, relation });
+        }
+        if self.accept_kw("retrieve") {
+            let into = if self.accept_kw("into") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            let unique = self.accept_kw("unique");
+            self.expect(&Tok::LParen)?;
+            let mut targets = vec![self.target()?];
+            while self.accept(&Tok::Comma) {
+                targets.push(self.target()?);
+            }
+            self.expect(&Tok::RParen)?;
+            let qual = if self.accept_kw("where") {
+                Some(self.qualification()?)
+            } else {
+                None
+            };
+            let mut sort_by = Vec::new();
+            if self.accept_kw("sort") {
+                self.expect_kw("by")?;
+                sort_by.push(self.sort_key()?);
+                while self.accept(&Tok::Comma) {
+                    sort_by.push(self.sort_key()?);
+                }
+            }
+            return Ok(Statement::Retrieve {
+                into,
+                unique,
+                targets,
+                qual,
+                sort_by,
+            });
+        }
+        if self.accept_kw("delete") {
+            let var = self.ident()?;
+            let qual = if self.accept_kw("where") {
+                Some(self.qualification()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { var, qual });
+        }
+        if self.accept_kw("append") {
+            self.expect_kw("to")?;
+            let relation = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut assignments = vec![self.assignment()?];
+            while self.accept(&Tok::Comma) {
+                assignments.push(self.assignment()?);
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok(Statement::Append {
+                relation,
+                assignments,
+            });
+        }
+        if self.accept_kw("replace") {
+            let var = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut assignments = vec![self.assignment()?];
+            while self.accept(&Tok::Comma) {
+                assignments.push(self.assignment()?);
+            }
+            self.expect(&Tok::RParen)?;
+            let qual = if self.accept_kw("where") {
+                Some(self.qualification()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Replace {
+                var,
+                assignments,
+                qual,
+            });
+        }
+        Err(self.err("expected range/retrieve/delete/append/replace"))
+    }
+
+    /// Target: `[name =] (aggregate | expr)`.
+    fn target(&mut self) -> Result<Target, QuelParseError> {
+        // Lookahead for `name =` where name is a bare identifier.
+        let named = match (self.peek(), self.tokens.get(self.pos + 1).map(|(t, _)| t)) {
+            (Some(Tok::Ident(name)), Some(Tok::Eq)) => Some(name.clone()),
+            _ => None,
+        };
+        if let Some(name) = named {
+            self.pos += 2;
+            let expr = self.target_expr()?;
+            return Ok(Target { name, expr });
+        }
+        let expr = self.target_expr()?;
+        let name = match &expr {
+            TargetExpr::Plain(e) => default_target_name(e),
+            TargetExpr::Aggregate { .. } => None,
+        }
+        .ok_or_else(|| self.err("computed target needs an explicit name (`name = expr`)"))?;
+        Ok(Target { name, expr })
+    }
+
+    /// An aggregate call `agg(expr [by attr {, attr}])` or a plain
+    /// expression.
+    fn target_expr(&mut self) -> Result<TargetExpr, QuelParseError> {
+        let func = match self.peek() {
+            Some(Tok::Ident(s)) => match s.to_ascii_lowercase().as_str() {
+                "count" => Some(Aggregate::Count),
+                "sum" => Some(Aggregate::Sum),
+                "avg" => Some(Aggregate::Avg),
+                "min" => Some(Aggregate::Min),
+                "max" => Some(Aggregate::Max),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(func) = func {
+            if self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
+                self.pos += 2; // func and `(`
+                let arg = self.additive()?;
+                let mut by = Vec::new();
+                if self.accept_kw("by") {
+                    by.push(self.attr_ref()?);
+                    while self.accept(&Tok::Comma) {
+                        by.push(self.attr_ref()?);
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                return Ok(TargetExpr::Aggregate { func, arg, by });
+            }
+        }
+        Ok(TargetExpr::Plain(self.additive()?))
+    }
+
+    fn attr_ref(&mut self) -> Result<AttrRef, QuelParseError> {
+        let first = self.ident()?;
+        if self.accept(&Tok::Dot) {
+            let attr = self.ident()?;
+            Ok(AttrRef::qualified(first, attr))
+        } else {
+            Ok(AttrRef::bare(first))
+        }
+    }
+
+    fn assignment(&mut self) -> Result<Assignment, QuelParseError> {
+        let attr = self.ident()?;
+        self.expect(&Tok::Eq)?;
+        let expr = self.additive()?;
+        Ok(Assignment { attr, expr })
+    }
+
+    fn sort_key(&mut self) -> Result<SortKey, QuelParseError> {
+        let first = self.ident()?;
+        if self.accept(&Tok::Dot) {
+            let attr = self.ident()?;
+            Ok(SortKey {
+                var: Some(first),
+                attr,
+            })
+        } else {
+            Ok(SortKey {
+                var: None,
+                attr: first,
+            })
+        }
+    }
+
+    // Qualification grammar: or > and > not > comparison > additive.
+    fn qualification(&mut self) -> Result<Expr, QuelParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QuelParseError> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QuelParseError> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, QuelParseError> {
+        if self.accept_kw("not") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, QuelParseError> {
+        // Parenthesized sub-qualification vs parenthesized arithmetic:
+        // try a qualification first, backtracking on failure.
+        if self.peek() == Some(&Tok::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.qualification() {
+                if self.accept(&Tok::RParen) {
+                    // If followed by a comparison operator, the parens
+                    // grouped an operand, not a qualification.
+                    if self.peek_cmp_op().is_none() {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.additive()?;
+        let op = self
+            .next_cmp_op()
+            .ok_or_else(|| self.err("expected comparison operator"))?;
+        let right = self.additive()?;
+        Ok(Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn peek_cmp_op(&self) -> Option<CmpOp> {
+        match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn next_cmp_op(&mut self) -> Option<CmpOp> {
+        let op = self.peek_cmp_op()?;
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn additive(&mut self) -> Result<Expr, QuelParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, QuelParseError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr, QuelParseError> {
+        if self.accept(&Tok::Minus) {
+            // Unary minus: negate the operand.
+            let inner = self.primary()?;
+            return Ok(match inner {
+                Expr::Const(Value::Int(v)) => Expr::Const(Value::Int(-v)),
+                Expr::Const(Value::Real(v)) => Expr::Const(Value::Real(-v)),
+                other => Expr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(Expr::Const(Value::Int(0))),
+                    right: Box::new(other),
+                },
+            });
+        }
+        match self.advance() {
+            Some(Tok::Num {
+                text,
+                value,
+                is_int,
+            }) => Ok(Expr::Const(num_value(&text, value, is_int))),
+            Some(Tok::Str(s)) => Ok(Expr::Const(Value::Str(s))),
+            Some(Tok::Ident(first)) => {
+                if self.accept(&Tok::Dot) {
+                    let attr = self.ident()?;
+                    Ok(Expr::Attr(AttrRef::qualified(first, attr)))
+                } else {
+                    Ok(Expr::Attr(AttrRef::bare(first)))
+                }
+            }
+            Some(Tok::LParen) => {
+                let inner = self.additive()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Numeric literals with leading zeros keep their spelling as strings
+/// (class codes like `0101`).
+fn num_value(text: &str, value: f64, is_int: bool) -> Value {
+    if is_int {
+        if text.len() > 1 && text.starts_with('0') {
+            Value::Str(text.to_string())
+        } else {
+            Value::Int(value as i64)
+        }
+    } else {
+        Value::Real(value)
+    }
+}
+
+fn default_target_name(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Attr(a) => Some(a.name.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_range_statement() {
+        let s = parse("range of r is SUBMARINE").unwrap();
+        assert_eq!(
+            s,
+            Statement::Range {
+                var: "r".to_string(),
+                relation: "SUBMARINE".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_paper_step1_retrieve() {
+        // §5.2.1 step 1.
+        let s = parse("retrieve into S unique (r.Y, r.X) sort by r.Y").unwrap();
+        match s {
+            Statement::Retrieve {
+                into,
+                unique,
+                targets,
+                qual,
+                sort_by,
+            } => {
+                assert_eq!(into.as_deref(), Some("S"));
+                assert!(unique);
+                assert_eq!(targets.len(), 2);
+                assert_eq!(targets[0].name, "Y");
+                assert!(qual.is_none());
+                assert_eq!(
+                    sort_by,
+                    vec![SortKey {
+                        var: Some("r".to_string()),
+                        attr: "Y".to_string()
+                    }]
+                );
+            }
+            other => panic!("expected retrieve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_step2_retrieve_with_where() {
+        let s =
+            parse("retrieve into T unique (s.Y, s.X) where (r.X = s.X and r.Y != s.Y)").unwrap();
+        match s {
+            Statement::Retrieve { qual: Some(q), .. } => {
+                assert_eq!(q.conjuncts().len(), 2);
+            }
+            other => panic!("expected retrieve with qual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_step2_delete() {
+        let s = parse("delete s where (s.X = t.X and s.Y = t.Y)").unwrap();
+        match s {
+            Statement::Delete { var, qual } => {
+                assert_eq!(var, "s");
+                assert!(qual.is_some());
+            }
+            other => panic!("expected delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_append_and_replace() {
+        let s = parse(r#"append to TYPE (Type = "SSK", TypeName = "diesel sub")"#).unwrap();
+        assert!(matches!(s, Statement::Append { ref assignments, .. } if assignments.len() == 2));
+        let s = parse(r#"replace c (Displacement = 7000) where c.Class = "0101""#).unwrap();
+        assert!(matches!(s, Statement::Replace { .. }));
+    }
+
+    #[test]
+    fn named_and_computed_targets() {
+        let s = parse("retrieve (total = r.A + r.B, r.C)").unwrap();
+        match s {
+            Statement::Retrieve { targets, .. } => {
+                assert_eq!(targets[0].name, "total");
+                assert!(matches!(
+                    targets[0].expr,
+                    TargetExpr::Plain(Expr::Arith { .. })
+                ));
+                assert_eq!(targets[1].name, "C");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn computed_target_requires_name() {
+        assert!(parse("retrieve (r.A + r.B)").is_err());
+    }
+
+    #[test]
+    fn or_and_not_precedence() {
+        let s = parse("retrieve (r.A) where r.A = 1 or r.B = 2 and not r.C = 3").unwrap();
+        match s {
+            Statement::Retrieve { qual: Some(q), .. } => match q {
+                Expr::Or(_, rhs) => {
+                    assert!(matches!(*rhs, Expr::And(_, _)));
+                }
+                other => panic!("expected Or at top, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_zero_constants_stay_strings() {
+        let s = parse("retrieve (r.Class) where r.Class = 0101").unwrap();
+        match s {
+            Statement::Retrieve {
+                qual: Some(Expr::Cmp { right, .. }),
+                ..
+            } => {
+                assert_eq!(*right, Expr::Const(Value::str("0101")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_script_splits_statements() {
+        let script = r#"
+            range of r is CLASS
+            retrieve into S unique (r.Type, r.Displacement)
+                sort by r.Type
+            delete s where s.Type = "SSN"
+        "#;
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Statement::Range { .. }));
+        assert!(matches!(stmts[1], Statement::Retrieve { .. }));
+        assert!(matches!(stmts[2], Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("range of r is X banana").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! QUEL aggregate functions: `count`/`sum`/`avg`/`min`/`max` with the
+//! INGRES `by` grouping syntax.
+
+use intensio_quel::Session;
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+
+fn db() -> Database {
+    let schema = Schema::new(vec![
+        Attribute::key("Class", Domain::char_n(4)),
+        Attribute::new("Type", Domain::char_n(4)),
+        Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut r = Relation::new("CLASS", schema);
+    r.insert_all([
+        tuple!["0101", "SSBN", 16600],
+        tuple!["0102", "SSBN", 7250],
+        tuple!["0201", "SSN", 6000],
+        tuple!["0215", "SSN", 2145],
+        tuple!["1301", "SSBN", 30000],
+    ])
+    .unwrap();
+    let mut d = Database::new();
+    d.create(r).unwrap();
+    d
+}
+
+#[test]
+fn whole_relation_aggregates() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    let out = s
+        .execute(
+            &mut d,
+            "retrieve (n = count(c.Class), lo = min(c.Displacement), \
+             hi = max(c.Displacement), total = sum(c.Displacement))",
+        )
+        .unwrap();
+    let r = out.relation().unwrap();
+    assert_eq!(r.len(), 1);
+    let t = &r.tuples()[0];
+    assert_eq!(t.get(0), &Value::Int(5));
+    assert_eq!(t.get(1), &Value::Int(2145));
+    assert_eq!(t.get(2), &Value::Int(30000));
+    assert_eq!(t.get(3), &Value::Int(61995));
+}
+
+#[test]
+fn grouped_aggregates_reproduce_table1_shape() {
+    // The Table 1 computation — per-type displacement bands — in QUEL.
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    let out = s
+        .execute(
+            &mut d,
+            "retrieve (c.Type, lo = min(c.Displacement by c.Type), \
+             hi = max(c.Displacement by c.Type)) sort by Type",
+        )
+        .unwrap();
+    let r = out.relation().unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.tuples()[0], tuple!["SSBN", 7250, 30000]);
+    assert_eq!(r.tuples()[1], tuple!["SSN", 2145, 6000]);
+}
+
+#[test]
+fn aggregates_respect_qualification() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    let out = s
+        .execute(
+            &mut d,
+            "retrieve (n = count(c.Class)) where c.Displacement > 8000",
+        )
+        .unwrap();
+    assert_eq!(out.relation().unwrap().tuples()[0].get(0), &Value::Int(2));
+}
+
+#[test]
+fn empty_aggregate_yields_one_row() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    let out = s
+        .execute(
+            &mut d,
+            "retrieve (n = count(c.Class), m = min(c.Displacement)) \
+             where c.Displacement > 99999",
+        )
+        .unwrap();
+    let r = out.relation().unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.tuples()[0].get(0), &Value::Int(0));
+    assert!(r.tuples()[0].get(1).is_null());
+}
+
+#[test]
+fn avg_returns_real() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    let out = s
+        .execute(&mut d, "retrieve (m = avg(c.Displacement))")
+        .unwrap();
+    let v = out.relation().unwrap().tuples()[0].get(0).clone();
+    assert_eq!(v, Value::Real(61995.0 / 5.0));
+}
+
+#[test]
+fn mixed_by_lists_rejected() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    assert!(s
+        .execute(
+            &mut d,
+            "retrieve (a = min(c.Displacement by c.Type), b = max(c.Displacement))",
+        )
+        .is_err());
+}
+
+#[test]
+fn stray_plain_target_rejected() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    // Class is not in the `by` list.
+    assert!(s
+        .execute(&mut d, "retrieve (c.Class, n = count(c.Class by c.Type))",)
+        .is_err());
+}
+
+#[test]
+fn aggregate_into_stored_relation() {
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of c is CLASS").unwrap();
+    s.execute(
+        &mut d,
+        "retrieve into BANDS (c.Type, lo = min(c.Displacement by c.Type), \
+         hi = max(c.Displacement by c.Type))",
+    )
+    .unwrap();
+    assert_eq!(d.get("BANDS").unwrap().len(), 2);
+}

@@ -1,0 +1,110 @@
+//! QUEL's existential semantics for `delete` and `replace` when the
+//! qualification ranges over *other* relations — the semantics the
+//! paper's step-2 `delete s where (s.X = t.X and s.Y = t.Y)` depends on.
+
+use intensio_quel::Session;
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+
+fn db() -> Database {
+    let mut d = Database::new();
+    let emp = Schema::new(vec![
+        Attribute::key("Name", Domain::char_n(8)),
+        Attribute::new("Dept", Domain::char_n(8)),
+        Attribute::new("Salary", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut re = Relation::new("EMP", emp);
+    re.insert_all([
+        tuple!["ada", "eng", 100],
+        tuple!["bob", "eng", 80],
+        tuple!["cyd", "ops", 90],
+        tuple!["dan", "ops", 70],
+    ])
+    .unwrap();
+    d.create(re).unwrap();
+
+    let closing = Schema::new(vec![Attribute::key("Dept", Domain::char_n(8))]).unwrap();
+    let mut rc = Relation::new("CLOSING", closing);
+    rc.insert(tuple!["ops"]).unwrap();
+    d.create(rc).unwrap();
+    d
+}
+
+#[test]
+fn delete_with_existential_witness() {
+    // Delete every employee in a closing department: the qualification
+    // binds c existentially.
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of e is EMP").unwrap();
+    s.execute(&mut d, "range of c is CLOSING").unwrap();
+    let out = s.execute(&mut d, "delete e where e.Dept = c.Dept").unwrap();
+    assert!(matches!(out, intensio_quel::Output::Affected(2)));
+    let left: Vec<String> = d
+        .get("EMP")
+        .unwrap()
+        .iter()
+        .map(|t| t.get(0).as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(left, vec!["ada", "bob"]);
+}
+
+#[test]
+fn replace_with_existential_witness() {
+    // Everyone in a closing department gets salary 0.
+    let mut d = db();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of e is EMP").unwrap();
+    s.execute(&mut d, "range of c is CLOSING").unwrap();
+    let out = s
+        .execute(&mut d, "replace e (Salary = 0) where e.Dept = c.Dept")
+        .unwrap();
+    assert!(matches!(out, intensio_quel::Output::Affected(2)));
+    for t in d.get("EMP").unwrap().iter() {
+        if t.get(1) == &Value::str("ops") {
+            assert_eq!(t.get(2).as_int().unwrap(), 0);
+        } else {
+            assert!(t.get(2).as_int().unwrap() > 0, "eng salaries untouched");
+        }
+    }
+}
+
+#[test]
+fn delete_when_witness_relation_is_empty() {
+    let mut d = db();
+    d.get_mut("CLOSING").unwrap().clear();
+    let mut s = Session::new();
+    s.execute(&mut d, "range of e is EMP").unwrap();
+    s.execute(&mut d, "range of c is CLOSING").unwrap();
+    let out = s.execute(&mut d, "delete e where e.Dept = c.Dept").unwrap();
+    assert!(matches!(out, intensio_quel::Output::Affected(0)));
+    assert_eq!(d.get("EMP").unwrap().len(), 4);
+}
+
+#[test]
+fn self_witness_delete_duplicated_values() {
+    // Delete employees sharing a salary band with someone in another
+    // department: e and f both range over EMP.
+    let mut d = db();
+    {
+        let emp = d.get_mut("EMP").unwrap();
+        emp.insert(tuple!["eve", "eng", 90]).unwrap(); // matches cyd (ops, 90)
+    }
+    let mut s = Session::new();
+    s.execute(&mut d, "range of e is EMP").unwrap();
+    s.execute(&mut d, "range of f is EMP").unwrap();
+    let out = s
+        .execute(
+            &mut d,
+            "delete e where e.Salary = f.Salary and e.Dept != f.Dept",
+        )
+        .unwrap();
+    // eve (eng, 90) and cyd (ops, 90) both deleted.
+    assert!(matches!(out, intensio_quel::Output::Affected(2)));
+    assert!(d
+        .get("EMP")
+        .unwrap()
+        .find_by_key(&[Value::str("cyd")])
+        .is_none());
+}

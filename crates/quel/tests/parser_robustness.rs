@@ -1,0 +1,84 @@
+//! Robustness: the QUEL parser and executor must fail cleanly on
+//! arbitrary input, and the executor must agree with direct relational
+//! operations on generated statements.
+
+use intensio_quel::{parse, parse_script, Session};
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+use proptest::prelude::*;
+
+fn db() -> Database {
+    let schema = Schema::new(vec![
+        Attribute::key("K", Domain::char_n(8)),
+        Attribute::new("N", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut r = Relation::new("T", schema);
+    for i in 0..25 {
+        r.insert(tuple![format!("K{i:03}"), i as i64]).unwrap();
+    }
+    let mut d = Database::new();
+    d.create(r).unwrap();
+    d
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(s in "[ -~\n]{0,160}") {
+        let _ = parse(&s);
+        let _ = parse_script(&s);
+    }
+
+    #[test]
+    fn statement_like_noise_never_panics(
+        kw in prop::sample::select(vec!["range of", "retrieve", "delete", "append to", "replace"]),
+        tail in "[ -~]{0,60}",
+    ) {
+        let _ = parse(&format!("{kw} {tail}"));
+    }
+
+    /// retrieve-with-qualification agrees with a direct count.
+    #[test]
+    fn retrieve_matches_oracle(bound in -3i64..30) {
+        let mut d = db();
+        let mut s = Session::new();
+        s.execute(&mut d, "range of t is T").unwrap();
+        let out = s
+            .execute(&mut d, &format!("retrieve (t.K) where t.N < {bound}"))
+            .unwrap();
+        let expect = (0..25i64).filter(|n| *n < bound).count();
+        prop_assert_eq!(out.relation().unwrap().len(), expect);
+    }
+
+    /// delete-with-qualification removes exactly the matching tuples.
+    #[test]
+    fn delete_matches_oracle(bound in -3i64..30) {
+        let mut d = db();
+        let mut s = Session::new();
+        s.execute(&mut d, "range of t is T").unwrap();
+        s.execute(&mut d, &format!("delete t where t.N >= {bound}"))
+            .unwrap();
+        let expect = (0..25i64).filter(|n| *n < bound).count();
+        prop_assert_eq!(d.get("T").unwrap().len(), expect);
+    }
+
+    /// replace updates exactly the matching tuples and preserves others.
+    #[test]
+    fn replace_matches_oracle(pivot in 0i64..25) {
+        let mut d = db();
+        let mut s = Session::new();
+        s.execute(&mut d, "range of t is T").unwrap();
+        s.execute(
+            &mut d,
+            &format!("replace t (N = t.N + 100) where t.N = {pivot}"),
+        )
+        .unwrap();
+        let rel = d.get("T").unwrap();
+        let bumped = rel
+            .iter()
+            .filter(|t| t.get(1).as_int().unwrap() >= 100)
+            .count();
+        prop_assert_eq!(bumped, 1);
+        prop_assert_eq!(rel.len(), 25);
+    }
+}

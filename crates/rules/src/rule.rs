@@ -1,0 +1,483 @@
+//! Induced rules: Horn clauses over attribute value ranges (§5.2.2).
+//!
+//! Each rule is `if C_L1 and ... and C_Ln then C_R`, where every clause
+//! constrains one attribute to a closed value range. A rule may carry a
+//! *subtype label*: when its consequence equates a hierarchy's
+//! classifying attribute with a subtype's derivation value, the rule is
+//! equivalently `... then x isa SUBTYPE` (the form the paper prints).
+
+use crate::range::ValueRange;
+use intensio_storage::value::Value;
+use std::fmt;
+
+/// An attribute identified by its owning object type (or relation) and
+/// name, e.g. `CLASS.Displacement`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId {
+    /// The object type / relation name.
+    pub object: String,
+    /// The attribute name.
+    pub attribute: String,
+}
+
+impl AttrId {
+    /// Construct an attribute id.
+    pub fn new(object: impl Into<String>, attribute: impl Into<String>) -> AttrId {
+        AttrId {
+            object: object.into(),
+            attribute: attribute.into(),
+        }
+    }
+
+    /// Case-insensitive equality.
+    pub fn matches(&self, object: &str, attribute: &str) -> bool {
+        self.object.eq_ignore_ascii_case(object) && self.attribute.eq_ignore_ascii_case(attribute)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.object, self.attribute)
+    }
+}
+
+/// A clause `(lvalue, attribute, uvalue)`: the attribute's value lies in
+/// a range. Rule clauses are closed ranges; clause ranges derived from
+/// query conditions may be half-open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// The constrained attribute.
+    pub attr: AttrId,
+    /// The admitted range.
+    pub range: ValueRange,
+}
+
+impl Clause {
+    /// `lvalue <= attr <= uvalue`.
+    pub fn between(attr: AttrId, lo: impl Into<Value>, hi: impl Into<Value>) -> Clause {
+        Clause {
+            attr,
+            range: ValueRange::closed(lo, hi),
+        }
+    }
+
+    /// `attr = value`.
+    pub fn equals(attr: AttrId, v: impl Into<Value>) -> Clause {
+        Clause {
+            attr,
+            range: ValueRange::point(v),
+        }
+    }
+
+    /// Whether this clause's range subsumes another clause on the same
+    /// attribute.
+    pub fn subsumes(&self, other: &Clause) -> bool {
+        self.attr == other.attr && self.range.subsumes(&other.range)
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.range.as_point() {
+            return write!(f, "{} = {p}", self.attr);
+        }
+        match (&self.range.lo, &self.range.hi) {
+            (Some(l), Some(h)) if l.inclusive && h.inclusive => {
+                write!(f, "{} <= {} <= {}", l.value, self.attr, h.value)
+            }
+            _ => write!(f, "{} {}", self.attr, self.range),
+        }
+    }
+}
+
+/// An induced rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule number (unique within a [`RuleSet`]).
+    pub id: u32,
+    /// Premise clauses (conjunction).
+    pub lhs: Vec<Clause>,
+    /// Consequence clause (Horn: exactly one).
+    pub rhs: Clause,
+    /// When the consequence selects a subtype of a hierarchy, its name
+    /// (`then x isa SSBN`).
+    pub rhs_subtype: Option<String>,
+    /// Number of database instances satisfying the rule when induced.
+    pub support: usize,
+}
+
+impl Rule {
+    /// Build a rule; id and support can be adjusted afterwards.
+    pub fn new(id: u32, lhs: Vec<Clause>, rhs: Clause) -> Rule {
+        Rule {
+            id,
+            lhs,
+            rhs,
+            rhs_subtype: None,
+            support: 0,
+        }
+    }
+
+    /// Attach a subtype label (builder style).
+    pub fn with_subtype(mut self, name: impl Into<String>) -> Rule {
+        self.rhs_subtype = Some(name.into());
+        self
+    }
+
+    /// Attach a support count (builder style).
+    pub fn with_support(mut self, support: usize) -> Rule {
+        self.support = support;
+        self
+    }
+
+    /// Whether the premise constrains the given attribute.
+    pub fn lhs_mentions(&self, object: &str, attribute: &str) -> bool {
+        self.lhs.iter().any(|c| c.attr.matches(object, attribute))
+    }
+
+    /// The premise clause over the given attribute, if present.
+    pub fn lhs_clause(&self, object: &str, attribute: &str) -> Option<&Clause> {
+        self.lhs.iter().find(|c| c.attr.matches(object, attribute))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}: if ", self.id)?;
+        for (i, c) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        match &self.rhs_subtype {
+            Some(s) => write!(f, " then x isa {s}"),
+            None => write!(f, " then {}", self.rhs),
+        }
+    }
+}
+
+/// A collection of rules with stable numbering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Build from rules, renumbering them 1..n.
+    pub fn from_rules(rules: impl IntoIterator<Item = Rule>) -> RuleSet {
+        let mut rs = RuleSet::new();
+        for r in rules {
+            rs.push(r);
+        }
+        rs
+    }
+
+    /// Append a rule, assigning the next id.
+    pub fn push(&mut self, mut rule: Rule) -> u32 {
+        let id = self.rules.len() as u32 + 1;
+        rule.id = id;
+        self.rules.push(rule);
+        id
+    }
+
+    /// The rules, in id order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: u32) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// Rules whose consequence constrains `object.attribute`.
+    pub fn rules_concluding(&self, object: &str, attribute: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.rhs.attr.matches(object, attribute))
+            .collect()
+    }
+
+    /// Rules whose consequence is the given subtype.
+    pub fn rules_concluding_subtype(&self, subtype: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| {
+                r.rhs_subtype
+                    .as_deref()
+                    .map(|s| s.eq_ignore_ascii_case(subtype))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Rules whose premise mentions `object.attribute`.
+    pub fn rules_premised_on(&self, object: &str, attribute: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.lhs_mentions(object, attribute))
+            .collect()
+    }
+
+    /// Drop rules with support below `min_support`, renumbering. Returns
+    /// the number removed. This is the §5.2.1 step-4 pruning with
+    /// threshold `N_c`.
+    pub fn prune_below(&mut self, min_support: usize) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.support >= min_support);
+        for (i, r) in self.rules.iter_mut().enumerate() {
+            r.id = i as u32 + 1;
+        }
+        before - self.rules.len()
+    }
+
+    /// Remove redundant rules: a rule is dropped when another rule with
+    /// the same consequence has a premise that subsumes it clause-for-
+    /// clause (every clause of the keeper covers the corresponding
+    /// attribute's clause of the dropped rule). Ties keep the wider
+    /// rule; among equals, the lower id. Returns the number removed.
+    ///
+    /// This is an optional pass beyond the paper's support-based pruning
+    /// (§5.2.1 step 4): it trades no applicability at all, since every
+    /// query the dropped rule would answer is answered by its subsumer.
+    pub fn minimize(&mut self) -> usize {
+        let rules = std::mem::take(&mut self.rules);
+        let mut keep: Vec<bool> = vec![true; rules.len()];
+        for i in 0..rules.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..rules.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                let (a, b) = (&rules[j], &rules[i]); // does a subsume b?
+                let same_consequence = a.rhs.attr == b.rhs.attr
+                    && a.rhs.range == b.rhs.range
+                    && a.rhs_subtype == b.rhs_subtype;
+                if !same_consequence {
+                    continue;
+                }
+                // Every clause of a must subsume b's clause on the same
+                // attribute (and a must not constrain attributes b does
+                // not — that would make a narrower).
+                let a_subsumes_b = a.lhs.iter().all(|ca| {
+                    b.lhs_clause(&ca.attr.object, &ca.attr.attribute)
+                        .map(|cb| ca.range.subsumes(&cb.range))
+                        .unwrap_or(false)
+                });
+                let strictly_wider = a_subsumes_b && (a.lhs != b.lhs || a.id < b.id);
+                if strictly_wider {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let removed = keep.iter().filter(|k| !**k).count();
+        self.rules = rules
+            .into_iter()
+            .zip(keep)
+            .filter(|(_, k)| *k)
+            .map(|(r, _)| r)
+            .collect();
+        for (i, r) in self.rules.iter_mut().enumerate() {
+            r.id = i as u32 + 1;
+        }
+        removed
+    }
+
+    /// Merge another rule set into this one, renumbering its rules.
+    pub fn extend(&mut self, other: RuleSet) {
+        for r in other.rules {
+            self.push(r);
+        }
+    }
+
+    /// Iterate over rules.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for RuleSet {
+    type Item = Rule;
+    type IntoIter = std::vec::IntoIter<Rule>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r9() -> Rule {
+        // R9: if 7250 <= Displacement <= 30000 then x isa SSBN.
+        Rule::new(
+            9,
+            vec![Clause::between(
+                AttrId::new("CLASS", "Displacement"),
+                7250,
+                30000,
+            )],
+            Clause::equals(AttrId::new("CLASS", "Type"), "SSBN"),
+        )
+        .with_subtype("SSBN")
+        .with_support(4)
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let r = r9();
+        assert_eq!(
+            r.to_string(),
+            "R9: if 7250 <= CLASS.Displacement <= 30000 then x isa SSBN"
+        );
+        let plain = Rule::new(
+            1,
+            vec![Clause::equals(AttrId::new("R", "A"), 1)],
+            Clause::equals(AttrId::new("R", "B"), 2),
+        );
+        assert_eq!(plain.to_string(), "R1: if R.A = 1 then R.B = 2");
+    }
+
+    #[test]
+    fn clause_subsumption() {
+        let a = Clause::between(AttrId::new("C", "D"), 0, 100);
+        let b = Clause::between(AttrId::new("C", "D"), 10, 20);
+        let c = Clause::between(AttrId::new("C", "E"), 10, 20);
+        assert!(a.subsumes(&b));
+        assert!(!b.subsumes(&a));
+        assert!(!a.subsumes(&c), "different attribute");
+    }
+
+    #[test]
+    fn ruleset_numbering_and_lookup() {
+        let mut rs = RuleSet::new();
+        let id1 = rs.push(r9());
+        let id2 = rs.push(r9());
+        assert_eq!((id1, id2), (1, 2));
+        assert!(rs.get(2).is_some());
+        assert!(rs.get(3).is_none());
+        assert_eq!(rs.rules_concluding("class", "type").len(), 2);
+        assert_eq!(rs.rules_concluding_subtype("ssbn").len(), 2);
+        assert_eq!(rs.rules_premised_on("CLASS", "Displacement").len(), 2);
+        assert_eq!(rs.rules_premised_on("CLASS", "Nope").len(), 0);
+    }
+
+    #[test]
+    fn minimize_drops_subsumed_rules() {
+        let wide = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("C", "D"), 0, 100)],
+            Clause::equals(AttrId::new("C", "T"), "SSN"),
+        )
+        .with_subtype("SSN");
+        let narrow = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("C", "D"), 10, 20)],
+            Clause::equals(AttrId::new("C", "T"), "SSN"),
+        )
+        .with_subtype("SSN");
+        let other_consequence = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("C", "D"), 10, 20)],
+            Clause::equals(AttrId::new("C", "T"), "SSBN"),
+        )
+        .with_subtype("SSBN");
+        let mut rs = RuleSet::from_rules([wide.clone(), narrow, other_consequence]);
+        let removed = rs.minimize();
+        assert_eq!(removed, 1, "only the subsumed same-consequence rule goes");
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rules()[0].lhs, wide.lhs);
+        // Ids renumbered.
+        assert_eq!(rs.rules()[0].id, 1);
+        assert_eq!(rs.rules()[1].id, 2);
+    }
+
+    #[test]
+    fn minimize_keeps_multi_clause_non_subsumed() {
+        // A two-clause rule is NOT subsumed by a one-clause rule that
+        // constrains an attribute the other also constrains — unless the
+        // one-clause rule's premise covers every clause.
+        let two = Rule::new(
+            0,
+            vec![
+                Clause::between(AttrId::new("E", "Age"), 18, 65),
+                Clause::equals(AttrId::new("E", "Dept"), "ENG"),
+            ],
+            Clause::equals(AttrId::new("E", "Grade"), "SENIOR"),
+        );
+        let one = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "Age"), 0, 100)],
+            Clause::equals(AttrId::new("E", "Grade"), "SENIOR"),
+        );
+        // `one` covers `two`'s Age clause AND does not constrain Dept,
+        // so it subsumes the narrower rule.
+        let mut rs = RuleSet::from_rules([two.clone(), one.clone()]);
+        let removed = rs.minimize();
+        assert_eq!(removed, 1);
+        assert_eq!(rs.rules()[0].lhs, one.lhs, "the wide rule survives");
+
+        // But two multi-clause rules on different attributes coexist.
+        let other = Rule::new(
+            0,
+            vec![Clause::equals(AttrId::new("E", "Office"), "HQ")],
+            Clause::equals(AttrId::new("E", "Grade"), "SENIOR"),
+        );
+        let mut rs = RuleSet::from_rules([two, other]);
+        assert_eq!(rs.minimize(), 0);
+    }
+
+    #[test]
+    fn minimize_identical_rules_keeps_one() {
+        let r = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("C", "D"), 0, 10)],
+            Clause::equals(AttrId::new("C", "T"), "X"),
+        );
+        let mut rs = RuleSet::from_rules([r.clone(), r]);
+        assert_eq!(rs.minimize(), 1);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn pruning_renumbers() {
+        let mut rs = RuleSet::new();
+        rs.push(r9().with_support(1));
+        rs.push(r9().with_support(5));
+        rs.push(r9().with_support(2));
+        let removed = rs.prune_below(2);
+        assert_eq!(removed, 1);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rules()[0].id, 1);
+        assert_eq!(rs.rules()[1].id, 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Navy battleship classification characteristics (paper Table 1).
+//!
+//! Table 1 lists, per ship type, the displacement band its instances
+//! fall in. This module carries the published bands, generates a
+//! deterministic battleship relation whose instances respect them, and
+//! recomputes the table from data — the "classification semantics" of
+//! §3.1 that knowledge induction is meant to recover.
+
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::Result;
+use intensio_storage::ops::{self, Aggregate};
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple;
+use intensio_storage::value::{Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of Table 1: category, type code, type name, displacement band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Band {
+    /// `Subsurface` or `Surface`.
+    pub category: &'static str,
+    /// The type code (`SSBN`, `CVN`, ...).
+    pub ty: &'static str,
+    /// The descriptive type name.
+    pub name: &'static str,
+    /// Minimum displacement (tons).
+    pub lo: i64,
+    /// Maximum displacement (tons).
+    pub hi: i64,
+}
+
+/// The twelve bands of Table 1, verbatim.
+pub const TABLE1_BANDS: [Band; 12] = [
+    Band {
+        category: "Subsurface",
+        ty: "SSBN",
+        name: "Ballistic Nuclear Missile Submarine",
+        lo: 7250,
+        hi: 16600,
+    },
+    Band {
+        category: "Subsurface",
+        ty: "SSN",
+        name: "Nuclear Submarine",
+        lo: 1720,
+        hi: 6000,
+    },
+    Band {
+        category: "Surface",
+        ty: "CVN",
+        name: "Attack Aircraft Carrier",
+        lo: 75700,
+        hi: 81600,
+    },
+    Band {
+        category: "Surface",
+        ty: "CV",
+        name: "Aircraft Carrier",
+        lo: 41900,
+        hi: 61000,
+    },
+    Band {
+        category: "Surface",
+        ty: "BB",
+        name: "Battleship",
+        lo: 45000,
+        hi: 45000,
+    },
+    Band {
+        category: "Surface",
+        ty: "CGN",
+        name: "Guided Nuclear Missile Crusier",
+        lo: 7600,
+        hi: 14200,
+    },
+    Band {
+        category: "Surface",
+        ty: "CG",
+        name: "Guided Missile Crusier",
+        lo: 5670,
+        hi: 13700,
+    },
+    Band {
+        category: "Surface",
+        ty: "CA",
+        name: "Gun Cruiser",
+        lo: 17000,
+        hi: 17000,
+    },
+    Band {
+        category: "Surface",
+        ty: "DDG",
+        name: "Guided Missile Destroyer",
+        lo: 3370,
+        hi: 8300,
+    },
+    Band {
+        category: "Surface",
+        ty: "DD",
+        name: "Destroyer",
+        lo: 2425,
+        hi: 7810,
+    },
+    Band {
+        category: "Surface",
+        ty: "FFG",
+        name: "Guided Missile Frigate",
+        lo: 3605,
+        hi: 3605,
+    },
+    Band {
+        category: "Surface",
+        ty: "FF",
+        name: "Frigate",
+        lo: 2360,
+        hi: 3011,
+    },
+];
+
+/// The schema of the generated BATTLESHIP relation.
+pub fn battleship_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(10)),
+        Attribute::new("Category", Domain::char_n(10)),
+        Attribute::new("Type", Domain::char_n(4)),
+        Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+    ])
+    .expect("static schema")
+}
+
+/// Generate a battleship relation with `ships_per_type` instances per
+/// type. Each type's band endpoints are always included (so recomputed
+/// ranges equal Table 1 exactly); interior instances are sampled
+/// uniformly with the seeded generator.
+pub fn battleship_relation(ships_per_type: usize, seed: u64) -> Result<Relation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::new("BATTLESHIP", battleship_schema());
+    for band in TABLE1_BANDS {
+        for i in 0..ships_per_type.max(1) {
+            let displacement = if i == 0 {
+                band.lo
+            } else if i == 1 && ships_per_type > 1 {
+                band.hi
+            } else {
+                rng.gen_range(band.lo..=band.hi)
+            };
+            let id = format!("{}{:04}", band.ty, i);
+            rel.insert(tuple![id, band.category, band.ty, displacement])?;
+        }
+    }
+    Ok(rel)
+}
+
+/// A database holding only the battleship relation.
+pub fn battleship_database(ships_per_type: usize, seed: u64) -> Result<Database> {
+    let mut db = Database::new();
+    db.create(battleship_relation(ships_per_type, seed)?)?;
+    Ok(db)
+}
+
+/// Recompute Table 1 from a battleship relation: per type, the observed
+/// displacement range. Returns a relation with columns
+/// `(Category, Type, TypeName, MinDisplacement, MaxDisplacement)` in
+/// Table 1's row order.
+pub fn recompute_table1(rel: &Relation) -> Result<Relation> {
+    let grouped = ops::group_by(
+        rel,
+        &["Type"],
+        &[
+            ("MinDisplacement", Aggregate::Min, "Displacement"),
+            ("MaxDisplacement", Aggregate::Max, "Displacement"),
+        ],
+    )?;
+    let schema = Schema::new(vec![
+        Attribute::new("Category", Domain::char_n(10)),
+        Attribute::new("Type", Domain::char_n(4)),
+        Attribute::new("TypeName", Domain::char_n(40)),
+        Attribute::new("MinDisplacement", Domain::basic(ValueType::Int)),
+        Attribute::new("MaxDisplacement", Domain::basic(ValueType::Int)),
+    ])
+    .expect("static schema");
+    let mut out = Relation::new("TABLE1", schema);
+    for band in TABLE1_BANDS {
+        let row = grouped.iter().find(|t| t.get(0) == &Value::str(band.ty));
+        if let Some(row) = row {
+            out.insert(tuple![
+                band.category,
+                band.ty,
+                band.name,
+                row.get(1).as_int().unwrap_or(0),
+                row.get(2).as_int().unwrap_or(0)
+            ])?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_always_present() {
+        let rel = battleship_relation(5, 42).unwrap();
+        assert_eq!(rel.len(), 60);
+        let t1 = recompute_table1(&rel).unwrap();
+        assert_eq!(t1.len(), 12);
+        for (row, band) in t1.iter().zip(TABLE1_BANDS) {
+            assert_eq!(row.get(3).as_int().unwrap(), band.lo, "{} min", band.ty);
+            assert_eq!(row.get(4).as_int().unwrap(), band.hi, "{} max", band.ty);
+        }
+    }
+
+    #[test]
+    fn instances_respect_bands() {
+        let rel = battleship_relation(20, 7).unwrap();
+        for t in rel.iter() {
+            let ty = t.get(2).as_str().unwrap();
+            let d = t.get(3).as_int().unwrap();
+            let band = TABLE1_BANDS.iter().find(|b| b.ty == ty).unwrap();
+            assert!(d >= band.lo && d <= band.hi);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = battleship_relation(10, 99).unwrap();
+        let b = battleship_relation(10, 99).unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+        let c = battleship_relation(10, 100).unwrap();
+        assert_ne!(a.tuples(), c.tuples());
+    }
+
+    #[test]
+    fn single_ship_per_type_uses_lo() {
+        let rel = battleship_relation(1, 1).unwrap();
+        assert_eq!(rel.len(), 12);
+        let bb = rel.iter().find(|t| t.get(2) == &Value::str("BB")).unwrap();
+        assert_eq!(bb.get(3).as_int().unwrap(), 45000);
+    }
+}

@@ -1,0 +1,272 @@
+//! The ship database instance of the paper's Appendix C, verbatim.
+
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::Result;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple;
+use intensio_storage::value::ValueType;
+
+/// `(Id, Name, Class)` — the 24 submarines of Appendix C.
+pub const SUBMARINES: [(&str, &str, &str); 24] = [
+    ("SSBN130", "Typhoon", "1301"),
+    ("SSBN623", "Nathaniel Hale", "0103"),
+    ("SSBN629", "Daniel Boone", "0103"),
+    ("SSBN635", "Sam Rayburn", "0103"),
+    ("SSBN644", "Lewis and Clark", "0102"),
+    ("SSBN658", "Mariano G. Vallejo", "0102"),
+    ("SSBN730", "Rhode Island", "0101"),
+    ("SSN582", "Bonefish", "0215"),
+    ("SSN584", "Seadragon", "0212"),
+    ("SSN592", "Snook", "0209"),
+    ("SSN601", "Robert E. Lee", "0208"),
+    ("SSN604", "Haddo", "0205"),
+    ("SSN610", "Thomas A. Edison", "0207"),
+    ("SSN614", "Greenling", "0205"),
+    ("SSN648", "Aspro", "0204"),
+    ("SSN660", "Sand Lance", "0204"),
+    ("SSN666", "Hawkbill", "0204"),
+    ("SSN671", "Narwhal", "0203"),
+    ("SSN673", "Flying Fish", "0204"),
+    ("SSN679", "Silversides", "0204"),
+    ("SSN686", "L. Mendel Rivers", "0204"),
+    ("SSN692", "Omaha", "0201"),
+    ("SSN698", "Bremerton", "0201"),
+    ("SSN704", "Baltimore", "0201"),
+];
+
+/// `(Class, ClassName, Type, Displacement)` — the 13 ship classes.
+pub const CLASSES: [(&str, &str, &str, i64); 13] = [
+    ("0101", "Ohio", "SSBN", 16600),
+    ("0102", "Benjamin Franklin", "SSBN", 7250),
+    ("0103", "Lafayette", "SSBN", 7250),
+    ("0201", "LosAngeles", "SSN", 6000),
+    ("0203", "Narwhal", "SSN", 4450),
+    ("0204", "Sturgeon", "SSN", 3640),
+    ("0205", "Thresher", "SSN", 3750),
+    ("0207", "Ethan Allen", "SSN", 6955),
+    ("0208", "George Washington", "SSN", 6019),
+    ("0209", "Skipjack", "SSN", 3075),
+    ("0212", "Skate", "SSN", 2360),
+    ("0215", "Barbel", "SSN", 2145),
+    ("1301", "Typhoon", "SSBN", 30000),
+];
+
+/// `(Type, TypeName)` — the two submarine types.
+pub const TYPES: [(&str, &str); 2] = [
+    ("SSBN", "ballistic nuclear missile sub"),
+    ("SSN", "nuclear submarine"),
+];
+
+/// `(Sonar, SonarType)` — the eight sonars.
+pub const SONARS: [(&str, &str); 8] = [
+    ("BQQ-2", "BQQ"),
+    ("BQQ-5", "BQQ"),
+    ("BQQ-8", "BQQ"),
+    ("BQS-04", "BQS"),
+    ("BQS-12", "BQS"),
+    ("BQS-13", "BQS"),
+    ("BQS-15", "BQS"),
+    ("TACTAS", "TACTAS"),
+];
+
+/// `(Ship, Sonar)` — the 24 sonar installations.
+pub const INSTALLS: [(&str, &str); 24] = [
+    ("SSBN130", "BQQ-2"),
+    ("SSBN623", "BQQ-5"),
+    ("SSBN629", "BQQ-5"),
+    ("SSBN635", "BQS-12"),
+    ("SSBN644", "BQQ-5"),
+    ("SSBN658", "BQS-12"),
+    ("SSBN730", "BQQ-5"),
+    ("SSN582", "BQS-04"),
+    ("SSN584", "BQS-04"),
+    ("SSN592", "BQS-04"),
+    ("SSN601", "BQS-04"),
+    ("SSN604", "BQQ-2"),
+    ("SSN610", "BQQ-5"),
+    ("SSN614", "BQQ-2"),
+    ("SSN648", "BQQ-2"),
+    ("SSN660", "BQQ-5"),
+    ("SSN666", "BQQ-8"),
+    ("SSN671", "BQQ-2"),
+    ("SSN673", "BQS-12"),
+    ("SSN679", "BQS-13"),
+    ("SSN686", "BQQ-2"),
+    ("SSN692", "BQS-15"),
+    ("SSN698", "TACTAS"),
+    ("SSN704", "BQQ-5"),
+];
+
+/// The storage schema of the SUBMARINE relation.
+pub fn submarine_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(7)),
+        Attribute::new("Name", Domain::char_n(20)),
+        Attribute::new("Class", Domain::char_n(4)),
+    ])
+    .expect("static schema")
+}
+
+/// The storage schema of the CLASS relation.
+pub fn class_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::key("Class", Domain::char_n(4)),
+        Attribute::new("ClassName", Domain::char_n(20)),
+        Attribute::new("Type", Domain::char_n(4)),
+        Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+    ])
+    .expect("static schema")
+}
+
+/// The storage schema of the TYPE relation.
+pub fn type_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::key("Type", Domain::char_n(4)),
+        Attribute::new("TypeName", Domain::char_n(30)),
+    ])
+    .expect("static schema")
+}
+
+/// The storage schema of the SONAR relation.
+pub fn sonar_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::key("Sonar", Domain::char_n(8)),
+        Attribute::new("SonarType", Domain::char_n(8)),
+    ])
+    .expect("static schema")
+}
+
+/// The storage schema of the INSTALL relationship.
+pub fn install_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::key("Ship", Domain::char_n(7)),
+        Attribute::new("Sonar", Domain::char_n(8)),
+    ])
+    .expect("static schema")
+}
+
+/// Build the full Appendix C database.
+pub fn ship_database() -> Result<Database> {
+    let mut db = Database::new();
+
+    let mut submarine = Relation::new("SUBMARINE", submarine_schema());
+    for (id, name, class) in SUBMARINES {
+        submarine.insert(tuple![id, name, class])?;
+    }
+    db.create(submarine)?;
+
+    let mut class = Relation::new("CLASS", class_schema());
+    for (c, cn, t, d) in CLASSES {
+        class.insert(tuple![c, cn, t, d])?;
+    }
+    db.create(class)?;
+
+    let mut ty = Relation::new("TYPE", type_schema());
+    for (t, tn) in TYPES {
+        ty.insert(tuple![t, tn])?;
+    }
+    db.create(ty)?;
+
+    let mut sonar = Relation::new("SONAR", sonar_schema());
+    for (s, st) in SONARS {
+        sonar.insert(tuple![s, st])?;
+    }
+    db.create(sonar)?;
+
+    let mut install = Relation::new("INSTALL", install_schema());
+    for (ship, s) in INSTALLS {
+        install.insert(tuple![ship, s])?;
+    }
+    db.create(install)?;
+
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_sql::query;
+    use intensio_storage::value::Value;
+
+    #[test]
+    fn cardinalities_match_appendix_c() {
+        let db = ship_database().unwrap();
+        assert_eq!(db.get("SUBMARINE").unwrap().len(), 24);
+        assert_eq!(db.get("CLASS").unwrap().len(), 13);
+        assert_eq!(db.get("TYPE").unwrap().len(), 2);
+        assert_eq!(db.get("SONAR").unwrap().len(), 8);
+        assert_eq!(db.get("INSTALL").unwrap().len(), 24);
+    }
+
+    #[test]
+    fn every_submarine_class_exists() {
+        let db = ship_database().unwrap();
+        let class = db.get("CLASS").unwrap();
+        for (_, _, c) in SUBMARINES {
+            assert!(
+                class.find_by_key(&[Value::str(c)]).is_some(),
+                "missing class {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_install_references_existing_rows() {
+        let db = ship_database().unwrap();
+        let sub = db.get("SUBMARINE").unwrap();
+        let sonar = db.get("SONAR").unwrap();
+        for (ship, s) in INSTALLS {
+            assert!(sub.find_by_key(&[Value::str(ship)]).is_some());
+            assert!(sonar.find_by_key(&[Value::str(s)]).is_some());
+        }
+    }
+
+    #[test]
+    fn example1_extensional_answer_matches_paper() {
+        let db = ship_database().unwrap();
+        let r = query(
+            &db,
+            "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        let names: Vec<&str> = r.iter().map(|t| t.get(1).as_str().unwrap()).collect();
+        assert!(names.contains(&"Rhode Island"));
+        assert!(names.contains(&"Typhoon"));
+    }
+
+    #[test]
+    fn example2_extensional_answer_matches_paper() {
+        let db = ship_database().unwrap();
+        let r = query(
+            &db,
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 7, "paper lists 7 SSBN ships");
+    }
+
+    #[test]
+    fn example3_extensional_answer_matches_paper() {
+        let db = ship_database().unwrap();
+        let r = query(
+            &db,
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS, INSTALL \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND SUBMARINE.ID = INSTALL.SHIP \
+             AND INSTALL.SONAR = \"BQS-04\"",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4);
+        let names: Vec<&str> = r.iter().map(|t| t.get(0).as_str().unwrap()).collect();
+        for n in ["Bonefish", "Seadragon", "Snook", "Robert E. Lee"] {
+            assert!(names.contains(&n), "missing {n}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # intensio-shipdb
+//!
+//! The naval ship test bed of Chu & Lee (ICDE 1991), §6 and Appendices
+//! B/C: the KER schema, the 24-submarine database instance, the Table 1
+//! battleship classification characteristics, and a seeded synthetic
+//! fleet generator for the scaling experiments the 1990 prototype could
+//! not run.
+//!
+//! ```
+//! let db = intensio_shipdb::ship_database().unwrap();
+//! assert_eq!(db.get("SUBMARINE").unwrap().len(), 24);
+//! let model = intensio_shipdb::ship_model().unwrap();
+//! assert!(model.is_subtype_of("C0101", "SSBN"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod battleships;
+pub mod data;
+pub mod schema;
+pub mod synthetic;
+pub mod visit;
+
+pub use data::ship_database;
+pub use schema::{ship_model, SHIP_SCHEMA_KER};
+pub use synthetic::{generate, Fleet, FleetConfig};
+pub use visit::{visit_database, visit_model};

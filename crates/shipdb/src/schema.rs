@@ -1,0 +1,140 @@
+//! The KER schema of the naval ship test bed (paper Appendix B), written
+//! in the Appendix A syntax and extended with explicit `isa` derivations
+//! for every hierarchy level so the classifying attributes (`Type`,
+//! `Class`, `SonarType`) are machine-readable rather than implicit.
+
+use intensio_ker::model::{KerModel, ModelError};
+
+/// The KER schema source text for the ship database.
+pub const SHIP_SCHEMA_KER: &str = r#"
+domain: NAME isa CHAR[20]
+domain: CLASS_NAME isa NAME
+domain: SHIP_NAME isa NAME
+domain: TYPE_NAME isa CHAR[30]
+domain: SONAR_NAME isa CHAR[8]
+
+object type CLASS
+  has key: Class        domain: CHAR[4]
+  has:     ClassName    domain: CLASS_NAME
+  has:     Type         domain: CHAR[4]
+  has:     Displacement domain: INTEGER
+with /* x isa CLASS */
+  if "0101" <= x.Class <= "0103" then x.Type = "SSBN"
+  if "0201" <= x.Class <= "0216" then x.Type = "SSN"
+  if 2145 <= x.Displacement <= 6955 then x isa SSN
+  if 7250 <= x.Displacement <= 30000 then x isa SSBN
+
+CLASS contains SSBN, SSN
+
+SSBN isa CLASS with Type = "SSBN"
+SSN  isa CLASS with Type = "SSN"
+
+SSBN contains C0101, C0102, C0103, C1301
+SSN  contains C0201, C0203, C0204, C0205, C0207, C0208, C0209, C0212, C0215
+
+C0101 isa SSBN with Class = "0101"
+C0102 isa SSBN with Class = "0102"
+C0103 isa SSBN with Class = "0103"
+C1301 isa SSBN with Class = "1301"
+C0201 isa SSN with Class = "0201"
+C0203 isa SSN with Class = "0203"
+C0204 isa SSN with Class = "0204"
+C0205 isa SSN with Class = "0205"
+C0207 isa SSN with Class = "0207"
+C0208 isa SSN with Class = "0208"
+C0209 isa SSN with Class = "0209"
+C0212 isa SSN with Class = "0212"
+C0215 isa SSN with Class = "0215"
+
+object type SUBMARINE
+  has key: Id    domain: CHAR[7]
+  has:     Name  domain: SHIP_NAME
+  has:     Class domain: CLASS
+
+object type TYPE
+  has key: Type     domain: CHAR[4]
+  has:     TypeName domain: TYPE_NAME
+
+object type SONAR
+  has key: Sonar     domain: CHAR[8]
+  has:     SonarType domain: SONAR_NAME
+with /* x isa SONAR */
+  if BQQ-2 <= x.Sonar <= BQQ-8 then x isa BQQ
+  if BQS-04 <= x.Sonar <= BQS-15 then x isa BQS
+  if x.Sonar = "TACTAS" then x isa TACTAS
+
+SONAR contains BQQ, BQS, TACTAS
+
+BQQ    isa SONAR with SonarType = "BQQ"
+BQS    isa SONAR with SonarType = "BQS"
+TACTAS isa SONAR with SonarType = "TACTAS"
+
+object type INSTALL
+  has key: Ship  domain: SUBMARINE
+  has:     Sonar domain: SONAR
+with /* x isa SUBMARINE and y isa SONAR */
+  if x.Class = "0203" then y isa BQQ
+  if "0205" <= x.Class <= "0207" then y isa BQQ
+  if "0208" <= x.Class <= "0215" then y isa BQS
+  if y.Sonar = "BQS-04" then x isa SSN
+"#;
+
+/// Parse and resolve the ship schema into a KER model.
+pub fn ship_model() -> Result<KerModel, ModelError> {
+    KerModel::parse(SHIP_SCHEMA_KER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::value::Value;
+
+    #[test]
+    fn schema_parses_and_resolves() {
+        let m = ship_model().unwrap();
+        assert!(m.contains_type("CLASS"));
+        assert!(m.contains_type("SUBMARINE"));
+        assert!(m.is_subtype_of("C0101", "SSBN"));
+        assert!(m.is_subtype_of("C0101", "CLASS"));
+        assert!(m.is_subtype_of("BQS", "SONAR"));
+    }
+
+    #[test]
+    fn classifiers_cover_all_levels() {
+        let m = ship_model().unwrap();
+        assert_eq!(m.classifier_of("CLASS").unwrap().attribute, "Type");
+        assert_eq!(m.classifier_of("SSBN").unwrap().attribute, "Class");
+        assert_eq!(m.classifier_of("SONAR").unwrap().attribute, "SonarType");
+        assert_eq!(
+            m.subtype_label_for("Type", &Value::str("SSBN")),
+            Some("SSBN".to_string())
+        );
+        assert_eq!(
+            m.subtype_label_for("Class", &Value::str("0103")),
+            Some("C0103".to_string())
+        );
+        assert_eq!(
+            m.subtype_label_for("SonarType", &Value::str("BQS")),
+            Some("BQS".to_string())
+        );
+        assert_eq!(m.subtype_label_for("Class", &Value::str("9999")), None);
+    }
+
+    #[test]
+    fn submarine_class_is_object_valued() {
+        let m = ship_model().unwrap();
+        let sub = m.object_type("SUBMARINE").unwrap();
+        // Class attribute adopts CLASS's key domain (char[4]).
+        assert_eq!(
+            sub.declared_attrs[2].value_type(),
+            intensio_storage::value::ValueType::Str
+        );
+    }
+
+    #[test]
+    fn hierarchy_counts_match_paper() {
+        let m = ship_model().unwrap();
+        assert_eq!(m.descendants_of("CLASS").len(), 2 + 13);
+        assert_eq!(m.descendants_of("SONAR").len(), 3);
+    }
+}

@@ -1,0 +1,433 @@
+//! Synthetic fleet generator for scaling experiments.
+//!
+//! The paper's test bed has 24 ships; its prototype never measured how
+//! induction and inference behave as the database grows or as the
+//! pruning threshold `N_c` moves. This generator produces fleets with
+//! the same five-relation shape (TYPE, CLASS, SUBMARINE, SONAR, INSTALL)
+//! and the same statistical structure — disjoint per-type displacement
+//! bands, classes grouped into types, ship ids mostly contiguous per
+//! class — at any scale, deterministically from a seed.
+
+use intensio_ker::model::KerModel;
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::Result;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple;
+use intensio_storage::value::ValueType;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parameters of a synthetic fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// RNG seed; equal configs generate identical fleets.
+    pub seed: u64,
+    /// Number of ship types (≥ 1).
+    pub n_types: usize,
+    /// Classes per type (≥ 1).
+    pub classes_per_type: usize,
+    /// Ships per class (≥ 1).
+    pub ships_per_class: usize,
+    /// Sonar models per sonar family (one family per ship type).
+    pub sonars_per_family: usize,
+    /// Fraction of ships whose ids are scattered out of their class's
+    /// contiguous id run (0.0 = perfectly contiguous, rule-friendly;
+    /// higher values fragment induced rules).
+    pub id_noise: f64,
+    /// When true, adjacent types' displacement bands overlap, creating
+    /// inconsistent (X, Y) pairs the induction step 2 must remove.
+    pub overlapping_bands: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0x1991,
+            n_types: 2,
+            classes_per_type: 6,
+            ships_per_class: 4,
+            sonars_per_family: 4,
+            id_noise: 0.0,
+            overlapping_bands: false,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Total number of ships the config generates.
+    pub fn total_ships(&self) -> usize {
+        self.n_types * self.classes_per_type * self.ships_per_class
+    }
+}
+
+/// A generated fleet: the database plus ground truth for evaluation.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// The generated five-relation database.
+    pub db: Database,
+    /// The generating configuration.
+    pub config: FleetConfig,
+    /// Ground truth: class code → type code.
+    pub class_type: BTreeMap<String, String>,
+    /// Ground truth: type code → (min, max) displacement band.
+    pub type_band: BTreeMap<String, (i64, i64)>,
+    /// The KER schema text describing the fleet's hierarchies.
+    pub ker_source: String,
+}
+
+impl Fleet {
+    /// Parse the fleet's KER schema into a model.
+    pub fn ker_model(&self) -> KerModel {
+        KerModel::parse(&self.ker_source).expect("generated schema is valid")
+    }
+}
+
+fn type_code(i: usize) -> String {
+    format!("T{i:02}")
+}
+
+fn class_code(t: usize, c: usize) -> String {
+    format!("{t:02}{c:02}")
+}
+
+fn sonar_family(t: usize) -> String {
+    format!("F{t:02}")
+}
+
+/// Generate a fleet.
+pub fn generate(config: FleetConfig) -> Result<Fleet> {
+    assert!(config.n_types >= 1, "need at least one type");
+    assert!(
+        config.classes_per_type >= 1,
+        "need at least one class per type"
+    );
+    assert!(
+        config.ships_per_class >= 1,
+        "need at least one ship per class"
+    );
+    assert!(
+        config.n_types <= 99 && config.classes_per_type <= 99,
+        "type/class codes are two digits each (char[4]); keep both <= 99"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Displacement bands: width per type, disjoint unless overlapping.
+    let band_width: i64 = 1000 * config.classes_per_type.max(2) as i64;
+    let mut type_band = BTreeMap::new();
+    for t in 0..config.n_types {
+        let base = 2000
+            + t as i64
+                * (band_width
+                    + if config.overlapping_bands {
+                        -band_width / 3
+                    } else {
+                        500
+                    });
+        type_band.insert(type_code(t), (base, base + band_width));
+    }
+
+    // TYPE relation.
+    let mut ty_rel = Relation::new(
+        "TYPE",
+        Schema::new(vec![
+            Attribute::key("Type", Domain::char_n(4)),
+            Attribute::new("TypeName", Domain::char_n(30)),
+        ])?,
+    );
+    for t in 0..config.n_types {
+        ty_rel.insert(tuple![type_code(t), format!("synthetic type {t}")])?;
+    }
+
+    // CLASS relation and ground truth.
+    let mut class_rel = Relation::new(
+        "CLASS",
+        Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("ClassName", Domain::char_n(20)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])?,
+    );
+    let mut class_type = BTreeMap::new();
+    for t in 0..config.n_types {
+        let (lo, hi) = type_band[&type_code(t)];
+        for c in 0..config.classes_per_type {
+            let code = class_code(t, c);
+            // Spread class displacements across the band, endpoints
+            // included, so induced ranges recover the band.
+            let d = if config.classes_per_type == 1 || c == 0 {
+                lo
+            } else if c == config.classes_per_type - 1 {
+                hi
+            } else {
+                rng.gen_range(lo + 1..hi)
+            };
+            // With overlapping bands, quantize to a coarse grid so the
+            // *same* displacement value occurs in different types —
+            // producing the inconsistent (X, Y) pairs that §5.2.1
+            // step 2 exists to remove.
+            let d = if config.overlapping_bands {
+                let step = (band_width / 4).max(1);
+                ((d + step / 2) / step * step).clamp(lo, hi)
+            } else {
+                d
+            };
+            class_rel.insert(tuple![
+                code.clone(),
+                format!("class {code}"),
+                type_code(t),
+                d
+            ])?;
+            class_type.insert(code, type_code(t));
+        }
+    }
+
+    // SUBMARINE relation: ids contiguous per class, with optional noise.
+    let total = config.total_ships();
+    let mut ship_ids: Vec<String> = (0..total).map(|i| format!("S{i:06}")).collect();
+    let n_noisy = (config.id_noise * total as f64).round() as usize;
+    if n_noisy > 1 {
+        // Shuffle a random subset of id slots among themselves.
+        let mut slots: Vec<usize> = (0..total).collect();
+        slots.shuffle(&mut rng);
+        let noisy = &mut slots[..n_noisy].to_vec();
+        let mut ids: Vec<String> = noisy.iter().map(|&i| ship_ids[i].clone()).collect();
+        ids.shuffle(&mut rng);
+        for (slot, id) in noisy.iter().zip(ids) {
+            ship_ids[*slot] = id;
+        }
+    }
+    let mut sub_rel = Relation::new(
+        "SUBMARINE",
+        Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Name", Domain::char_n(20)),
+            Attribute::new("Class", Domain::char_n(4)),
+        ])?,
+    );
+    let mut ship_class: Vec<(String, String)> = Vec::with_capacity(total);
+    {
+        let mut i = 0usize;
+        for t in 0..config.n_types {
+            for c in 0..config.classes_per_type {
+                for _ in 0..config.ships_per_class {
+                    ship_class.push((ship_ids[i].clone(), class_code(t, c)));
+                    i += 1;
+                }
+            }
+        }
+    }
+    for (n, (id, class)) in ship_class.iter().enumerate() {
+        sub_rel.insert(tuple![id.clone(), format!("ship {n}"), class.clone()])?;
+    }
+
+    // SONAR relation: one family per type, several models per family.
+    let mut sonar_rel = Relation::new(
+        "SONAR",
+        Schema::new(vec![
+            Attribute::key("Sonar", Domain::char_n(8)),
+            Attribute::new("SonarType", Domain::char_n(8)),
+        ])?,
+    );
+    let mut family_models: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for t in 0..config.n_types {
+        let fam = sonar_family(t);
+        for m in 0..config.sonars_per_family.max(1) {
+            let model = format!("{fam}-{m:02}");
+            sonar_rel.insert(tuple![model.clone(), fam.clone()])?;
+            family_models.entry(fam.clone()).or_default().push(model);
+        }
+    }
+
+    // INSTALL: ships of type t get sonars of family t.
+    let mut install_rel = Relation::new(
+        "INSTALL",
+        Schema::new(vec![
+            Attribute::key("Ship", Domain::char_n(7)),
+            Attribute::new("Sonar", Domain::char_n(8)),
+        ])?,
+    );
+    for (id, class) in &ship_class {
+        let ty = &class_type[class];
+        let t: usize = ty[1..].parse().expect("type code");
+        let fam = sonar_family(t);
+        let models = &family_models[&fam];
+        let model = &models[rng.gen_range(0..models.len())];
+        install_rel.insert(tuple![id.clone(), model.clone()])?;
+    }
+
+    let mut db = Database::new();
+    db.create(ty_rel)?;
+    db.create(class_rel)?;
+    db.create(sub_rel)?;
+    db.create(sonar_rel)?;
+    db.create(install_rel)?;
+
+    let ker_source = render_ker(&config, &class_type);
+    Ok(Fleet {
+        db,
+        config,
+        class_type,
+        type_band,
+        ker_source,
+    })
+}
+
+/// Generate KER schema text mirroring the ship test bed's hierarchies.
+fn render_ker(config: &FleetConfig, class_type: &BTreeMap<String, String>) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "object type CLASS\n  has key: Class domain: CHAR[4]\n  has: ClassName domain: CHAR[20]\n  has: Type domain: CHAR[4]\n  has: Displacement domain: INTEGER\n",
+    );
+    s.push_str(
+        "object type SUBMARINE\n  has key: Id domain: CHAR[7]\n  has: Name domain: CHAR[20]\n  has: Class domain: CLASS\n",
+    );
+    s.push_str(
+        "object type SONAR\n  has key: Sonar domain: CHAR[8]\n  has: SonarType domain: CHAR[8]\n",
+    );
+    s.push_str(
+        "object type INSTALL\n  has key: Ship domain: SUBMARINE\n  has: Sonar domain: SONAR\n",
+    );
+
+    let types: Vec<String> = (0..config.n_types).map(type_code).collect();
+    let _ = writeln!(s, "CLASS contains {}", types.join(", "));
+    for t in &types {
+        let _ = writeln!(s, "{t} isa CLASS with Type = \"{t}\"");
+    }
+    for t in 0..config.n_types {
+        let tname = type_code(t);
+        let classes: Vec<String> = class_type
+            .iter()
+            .filter(|(_, ty)| **ty == tname)
+            .map(|(c, _)| format!("C{c}"))
+            .collect();
+        let _ = writeln!(s, "{tname} contains {}", classes.join(", "));
+        for c in &classes {
+            let _ = writeln!(s, "{c} isa {tname} with Class = \"{}\"", &c[1..]);
+        }
+    }
+    let fams: Vec<String> = (0..config.n_types).map(sonar_family).collect();
+    let _ = writeln!(s, "SONAR contains {}", fams.join(", "));
+    for f in &fams {
+        let _ = writeln!(s, "{f} isa SONAR with SonarType = \"{f}\"");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fleet_shape() {
+        let fleet = generate(FleetConfig::default()).unwrap();
+        let cfg = fleet.config;
+        assert_eq!(fleet.db.get("TYPE").unwrap().len(), cfg.n_types);
+        assert_eq!(
+            fleet.db.get("CLASS").unwrap().len(),
+            cfg.n_types * cfg.classes_per_type
+        );
+        assert_eq!(fleet.db.get("SUBMARINE").unwrap().len(), cfg.total_ships());
+        assert_eq!(fleet.db.get("INSTALL").unwrap().len(), cfg.total_ships());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(FleetConfig::default()).unwrap();
+        let b = generate(FleetConfig::default()).unwrap();
+        assert_eq!(
+            a.db.get("SUBMARINE").unwrap().tuples(),
+            b.db.get("SUBMARINE").unwrap().tuples()
+        );
+        let c = generate(FleetConfig {
+            seed: 7,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        assert_ne!(
+            a.db.get("CLASS").unwrap().tuples(),
+            c.db.get("CLASS").unwrap().tuples()
+        );
+    }
+
+    #[test]
+    fn bands_disjoint_by_default() {
+        let fleet = generate(FleetConfig {
+            n_types: 4,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let bands: Vec<(i64, i64)> = fleet.type_band.values().copied().collect();
+        for w in bands.windows(2) {
+            assert!(w[0].1 < w[1].0, "bands must not overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_bands_overlap() {
+        let fleet = generate(FleetConfig {
+            n_types: 3,
+            overlapping_bands: true,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let bands: Vec<(i64, i64)> = fleet.type_band.values().copied().collect();
+        assert!(bands.windows(2).any(|w| w[0].1 >= w[1].0));
+    }
+
+    #[test]
+    fn ker_model_has_classifiers() {
+        let fleet = generate(FleetConfig::default()).unwrap();
+        let m = fleet.ker_model();
+        assert_eq!(m.classifier_of("CLASS").unwrap().attribute, "Type");
+        assert_eq!(m.classifier_of("T00").unwrap().attribute, "Class");
+        assert_eq!(m.classifier_of("SONAR").unwrap().attribute, "SonarType");
+    }
+
+    #[test]
+    fn class_displacements_stay_in_band() {
+        let fleet = generate(FleetConfig {
+            n_types: 3,
+            classes_per_type: 10,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        for t in fleet.db.get("CLASS").unwrap().iter() {
+            let ty = t.get(2).as_str().unwrap();
+            let d = t.get(3).as_int().unwrap();
+            let (lo, hi) = fleet.type_band[ty];
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn id_noise_scatters_ids() {
+        let tidy = generate(FleetConfig::default()).unwrap();
+        let noisy = generate(FleetConfig {
+            id_noise: 0.5,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        // In the tidy fleet, sorting by id groups classes contiguously.
+        let runs = |f: &Fleet| {
+            let mut rel = f.db.get("SUBMARINE").unwrap().clone();
+            rel.sort_by_names(&["Id"]).unwrap();
+            let mut changes = 0;
+            let mut last: Option<String> = None;
+            for t in rel.iter() {
+                let c = t.get(2).as_str().unwrap().to_string();
+                if last.as_deref() != Some(&c) {
+                    changes += 1;
+                }
+                last = Some(c);
+            }
+            changes
+        };
+        assert!(runs(&noisy) > runs(&tidy));
+    }
+}

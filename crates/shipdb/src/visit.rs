@@ -1,0 +1,151 @@
+//! The SHIP/PORT/VISIT scenario of §3.1: "the relationship VISIT
+//! involves entities of SHIP and PORT and satisfies the constraint that
+//! the draft of the ship must be less than the depth of the port."
+//!
+//! The paper uses this example to motivate inter-object knowledge
+//! induction; this module builds a consistent instance so the constraint
+//! can be *discovered* rather than asserted.
+
+use intensio_ker::model::{KerModel, ModelError};
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::Result;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple;
+use intensio_storage::value::ValueType;
+
+/// `(Id, Name, Draft)` — ships with their drafts in feet.
+pub const SHIPS: [(&str, &str, i64); 8] = [
+    ("SH001", "Bonefish", 19),
+    ("SH002", "Narwhal", 26),
+    ("SH003", "Ohio", 36),
+    ("SH004", "Typhoon", 38),
+    ("SH005", "Skate", 21),
+    ("SH006", "Sturgeon", 29),
+    ("SH007", "Skipjack", 28),
+    ("SH008", "Barbel", 19),
+];
+
+/// `(Port, PortName, Depth)` — ports with channel depths in feet.
+pub const PORTS: [(&str, &str, i64); 5] = [
+    ("P01", "Norfolk", 50),
+    ("P02", "San Diego", 42),
+    ("P03", "Pearl Harbor", 45),
+    ("P04", "Groton", 40),
+    ("P05", "Holy Loch", 65),
+];
+
+/// `(Ship, Port)` — visits; every visit satisfies draft < depth.
+pub const VISITS: [(&str, &str); 12] = [
+    ("SH001", "P01"),
+    ("SH001", "P04"),
+    ("SH002", "P02"),
+    ("SH002", "P03"),
+    ("SH003", "P01"),
+    ("SH003", "P05"),
+    ("SH004", "P05"),
+    ("SH005", "P04"),
+    ("SH005", "P02"),
+    ("SH006", "P03"),
+    ("SH007", "P01"),
+    ("SH008", "P02"),
+];
+
+/// The KER schema for the visit scenario.
+pub const VISIT_SCHEMA_KER: &str = r#"
+object type SHIP
+  has key: Id    domain: CHAR[5]
+  has:     Name  domain: CHAR[20]
+  has:     Draft domain: INTEGER
+
+object type PORT
+  has key: Port     domain: CHAR[3]
+  has:     PortName domain: CHAR[20]
+  has:     Depth    domain: INTEGER
+
+object type VISIT
+  has key: Visit domain: CHAR[6]
+  has:     Ship  domain: SHIP
+  has:     Port  domain: PORT
+"#;
+
+/// Build the visit database.
+pub fn visit_database() -> Result<Database> {
+    let mut db = Database::new();
+
+    let mut ship = Relation::new(
+        "SHIP",
+        Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(5)),
+            Attribute::new("Name", Domain::char_n(20)),
+            Attribute::new("Draft", Domain::basic(ValueType::Int)),
+        ])?,
+    );
+    for (id, name, draft) in SHIPS {
+        ship.insert(tuple![id, name, draft])?;
+    }
+    db.create(ship)?;
+
+    let mut port = Relation::new(
+        "PORT",
+        Schema::new(vec![
+            Attribute::key("Port", Domain::char_n(3)),
+            Attribute::new("PortName", Domain::char_n(20)),
+            Attribute::new("Depth", Domain::basic(ValueType::Int)),
+        ])?,
+    );
+    for (p, name, depth) in PORTS {
+        port.insert(tuple![p, name, depth])?;
+    }
+    db.create(port)?;
+
+    let mut visit = Relation::new(
+        "VISIT",
+        Schema::new(vec![
+            Attribute::key("Visit", Domain::char_n(6)),
+            Attribute::new("Ship", Domain::char_n(5)),
+            Attribute::new("Port", Domain::char_n(3)),
+        ])?,
+    );
+    for (i, (s, p)) in VISITS.iter().enumerate() {
+        visit.insert(tuple![format!("V{i:05}"), *s, *p])?;
+    }
+    db.create(visit)?;
+    Ok(db)
+}
+
+/// Parse the visit scenario's KER model.
+pub fn visit_model() -> std::result::Result<KerModel, ModelError> {
+    KerModel::parse(VISIT_SCHEMA_KER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::value::Value;
+
+    #[test]
+    fn every_visit_satisfies_the_paper_constraint() {
+        let db = visit_database().unwrap();
+        let ship = db.get("SHIP").unwrap();
+        let port = db.get("PORT").unwrap();
+        for t in db.get("VISIT").unwrap().iter() {
+            let s = ship.find_by_key(&[t.get(1).clone()]).unwrap();
+            let p = port.find_by_key(&[t.get(2).clone()]).unwrap();
+            let draft = s.get(2).as_int().unwrap();
+            let depth = p.get(2).as_int().unwrap();
+            assert!(draft < depth, "draft {draft} !< depth {depth}");
+        }
+    }
+
+    #[test]
+    fn model_sees_visit_as_relationship() {
+        let m = visit_model().unwrap();
+        let v = m.object_type("VISIT").unwrap();
+        // Ship and Port attributes are object-valued.
+        assert_eq!(v.declared_attrs[1].domain().name(), "SHIP");
+        assert_eq!(v.declared_attrs[2].domain().name(), "PORT");
+        let _ = Value::Null; // anchor the import
+    }
+}

@@ -1,0 +1,246 @@
+//! Query analysis for the inference processor.
+//!
+//! The intensional query processor (paper §4, §6) inspects the *query
+//! condition and object types specified in the query*: which relations
+//! it ranges over, which single-relation restrictions it applies
+//! (`CLASS.DISPLACEMENT > 8000`, `INSTALL.SONAR = "BQS-04"`), and which
+//! equi-joins connect the relations. This module extracts that structure
+//! from a parsed query.
+//!
+//! Conjuncts outside the supported shape (disjunctions, negations,
+//! non-equality cross-relation comparisons) are collected in
+//! `unsupported`. Ignoring a conjunct can only *weaken* the query
+//! condition, so forward inference over the remaining conjuncts stays
+//! sound (its answer still contains the extensional answer).
+
+use crate::ast::{SelectQuery, TableRef};
+use crate::exec::SqlError;
+use intensio_storage::catalog::Database;
+use intensio_storage::expr::{CmpOp, Expr};
+use intensio_storage::value::Value;
+
+/// An attribute occurrence resolved to its relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundAttr {
+    /// The relation name (not the alias).
+    pub relation: String,
+    /// The alias used in the query.
+    pub alias: String,
+    /// The attribute name (in the relation's declared spelling).
+    pub attribute: String,
+}
+
+/// A single-relation restriction `attr op constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Restriction {
+    /// The restricted attribute.
+    pub attr: BoundAttr,
+    /// The comparison operator (attribute on the left).
+    pub op: CmpOp,
+    /// The constant operand.
+    pub value: Value,
+}
+
+/// A cross-relation equality `a.x = b.y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCond {
+    /// One side.
+    pub left: BoundAttr,
+    /// The other side.
+    pub right: BoundAttr,
+}
+
+/// The extracted structure of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnalysis {
+    /// The FROM relations.
+    pub relations: Vec<TableRef>,
+    /// Single-relation restrictions.
+    pub restrictions: Vec<Restriction>,
+    /// Equi-join conditions.
+    pub joins: Vec<JoinCond>,
+    /// Conjuncts the analyzer could not express (rendered).
+    pub unsupported: Vec<String>,
+}
+
+impl QueryAnalysis {
+    /// Restrictions on a given relation (by name, case-insensitive).
+    pub fn restrictions_on(&self, relation: &str) -> Vec<&Restriction> {
+        self.restrictions
+            .iter()
+            .filter(|r| r.attr.relation.eq_ignore_ascii_case(relation))
+            .collect()
+    }
+
+    /// Whether the query references a relation.
+    pub fn references(&self, relation: &str) -> bool {
+        self.relations
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(relation))
+    }
+}
+
+/// Analyze a parsed query against a database catalog.
+pub fn analyze(db: &Database, q: &SelectQuery) -> Result<QueryAnalysis, SqlError> {
+    let schemas: Vec<_> = q
+        .from
+        .iter()
+        .map(|t| db.get(&t.name).map(|r| r.schema()))
+        .collect::<Result<_, _>>()?;
+
+    let resolve = |attr: &intensio_storage::expr::AttrRef| -> Result<BoundAttr, SqlError> {
+        let idx = match &attr.qualifier {
+            Some(qal) => q
+                .from
+                .iter()
+                .position(|t| t.alias.eq_ignore_ascii_case(qal))
+                .ok_or_else(|| SqlError::Semantic(format!("unknown alias {qal}")))?,
+            None => {
+                let mut found = None;
+                for (i, s) in schemas.iter().enumerate() {
+                    if s.index_of(&attr.name).is_some() {
+                        if found.is_some() {
+                            return Err(SqlError::Semantic(format!(
+                                "ambiguous attribute {}",
+                                attr.name
+                            )));
+                        }
+                        found = Some(i);
+                    }
+                }
+                found
+                    .ok_or_else(|| SqlError::Semantic(format!("unknown attribute {}", attr.name)))?
+            }
+        };
+        let col = schemas[idx].index_of(&attr.name).ok_or_else(|| {
+            SqlError::Semantic(format!(
+                "relation {} has no attribute {}",
+                q.from[idx].name, attr.name
+            ))
+        })?;
+        Ok(BoundAttr {
+            relation: q.from[idx].name.clone(),
+            alias: q.from[idx].alias.clone(),
+            attribute: schemas[idx].attr(col).name().to_string(),
+        })
+    };
+
+    let mut out = QueryAnalysis {
+        relations: q.from.clone(),
+        restrictions: Vec::new(),
+        joins: Vec::new(),
+        unsupported: Vec::new(),
+    };
+
+    let Some(w) = &q.where_clause else {
+        return Ok(out);
+    };
+    for c in w.conjuncts() {
+        match c {
+            Expr::Cmp { op, left, right } => match (&**left, &**right) {
+                (Expr::Attr(a), Expr::Const(v)) => {
+                    out.restrictions.push(Restriction {
+                        attr: resolve(a)?,
+                        op: *op,
+                        value: v.clone(),
+                    });
+                }
+                (Expr::Const(v), Expr::Attr(a)) => {
+                    out.restrictions.push(Restriction {
+                        attr: resolve(a)?,
+                        op: op.flip(),
+                        value: v.clone(),
+                    });
+                }
+                (Expr::Attr(a), Expr::Attr(b)) if *op == CmpOp::Eq => {
+                    out.joins.push(JoinCond {
+                        left: resolve(a)?,
+                        right: resolve(b)?,
+                    });
+                }
+                _ => out.unsupported.push(c.to_string()),
+            },
+            other => out.unsupported.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use intensio_storage::prelude::*;
+    use intensio_storage::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let sub = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Class", Domain::char_n(4)),
+        ])
+        .unwrap();
+        let mut s = Relation::new("SUBMARINE", sub);
+        s.insert(tuple!["SSBN730", "0101"]).unwrap();
+        db.create(s).unwrap();
+        let cls = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        db.create(Relation::new("CLASS", cls)).unwrap();
+        db
+    }
+
+    #[test]
+    fn extracts_example1_structure() {
+        let db = db();
+        let q = parse(
+            "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+        let a = analyze(&db, &q).unwrap();
+        assert_eq!(a.relations.len(), 2);
+        assert_eq!(a.joins.len(), 1);
+        assert_eq!(a.restrictions.len(), 1);
+        let r = &a.restrictions[0];
+        assert_eq!(r.attr.relation, "CLASS");
+        assert_eq!(r.attr.attribute, "Displacement");
+        assert_eq!(r.op, CmpOp::Gt);
+        assert_eq!(r.value, Value::Int(8000));
+        assert!(a.unsupported.is_empty());
+        assert_eq!(a.restrictions_on("class").len(), 1);
+        assert!(a.references("submarine"));
+    }
+
+    #[test]
+    fn flips_constant_on_left() {
+        let db = db();
+        let q = parse("SELECT Id FROM SUBMARINE WHERE 8000 < Class").unwrap();
+        let a = analyze(&db, &q).unwrap();
+        assert_eq!(a.restrictions[0].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn unsupported_conjuncts_recorded() {
+        let db = db();
+        let q = parse("SELECT Id FROM SUBMARINE WHERE Id = 'X' AND (Class = '1' OR Class = '2')")
+            .unwrap();
+        let a = analyze(&db, &q).unwrap();
+        assert_eq!(a.restrictions.len(), 1);
+        assert_eq!(a.unsupported.len(), 1);
+    }
+
+    #[test]
+    fn bare_attributes_resolve_uniquely() {
+        let db = db();
+        let q = parse("SELECT Id FROM SUBMARINE, CLASS WHERE Displacement > 5").unwrap();
+        let a = analyze(&db, &q).unwrap();
+        assert_eq!(a.restrictions[0].attr.relation, "CLASS");
+        // "Class" exists in both relations: ambiguous.
+        let q = parse("SELECT Id FROM SUBMARINE, CLASS WHERE Class = '0101'").unwrap();
+        assert!(analyze(&db, &q).is_err());
+    }
+}

@@ -1,0 +1,724 @@
+//! SQL execution: restriction push-down, greedy hash equi-joins, residual
+//! predicate evaluation, projection, and ordering.
+
+use crate::ast::{SelectItem, SelectQuery, TableRef};
+use crate::parser::{parse, SqlParseError};
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::StorageError;
+use intensio_storage::expr::{AttrRef, CmpOp, Env, Expr};
+use intensio_storage::ops;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple::Tuple;
+use intensio_storage::value::ValueKey;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// An error from parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Parse failure.
+    Parse(SqlParseError),
+    /// Storage-engine failure.
+    Storage(StorageError),
+    /// Semantic failure (unknown alias, ambiguous attribute, ...).
+    Semantic(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Storage(e) => write!(f, "{e}"),
+            SqlError::Semantic(m) => write!(f, "SQL error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlParseError> for SqlError {
+    fn from(e: SqlParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Parse and execute a query against a database.
+pub fn query(db: &Database, src: &str) -> Result<Relation, SqlError> {
+    execute(db, &parse(src)?)
+}
+
+/// A resolved attribute: which FROM entry and which column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Resolved {
+    table: usize,
+    column: usize,
+}
+
+/// Resolution context: alias → index, schema per index.
+struct Ctx<'a> {
+    from: &'a [TableRef],
+    schemas: Vec<&'a Schema>,
+}
+
+impl<'a> Ctx<'a> {
+    fn resolve(&self, attr: &AttrRef) -> Result<Resolved, SqlError> {
+        match &attr.qualifier {
+            Some(q) => {
+                let table = self
+                    .from
+                    .iter()
+                    .position(|t| t.alias.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| SqlError::Semantic(format!("unknown relation or alias: {q}")))?;
+                let column = self.schemas[table].index_of(&attr.name).ok_or_else(|| {
+                    SqlError::Semantic(format!(
+                        "relation {} has no attribute {}",
+                        self.from[table].name, attr.name
+                    ))
+                })?;
+                Ok(Resolved { table, column })
+            }
+            None => {
+                let mut found = None;
+                for (i, s) in self.schemas.iter().enumerate() {
+                    if let Some(c) = s.index_of(&attr.name) {
+                        if found.is_some() {
+                            return Err(SqlError::Semantic(format!(
+                                "ambiguous attribute: {}",
+                                attr.name
+                            )));
+                        }
+                        found = Some(Resolved {
+                            table: i,
+                            column: c,
+                        });
+                    }
+                }
+                found.ok_or_else(|| SqlError::Semantic(format!("unknown attribute: {}", attr.name)))
+            }
+        }
+    }
+}
+
+/// The aliases referenced by an expression, as table indices.
+fn tables_of(e: &Expr, ctx: &Ctx<'_>) -> Result<HashSet<usize>, SqlError> {
+    let mut out = HashSet::new();
+    for a in e.attr_refs() {
+        out.insert(ctx.resolve(a)?.table);
+    }
+    Ok(out)
+}
+
+/// Execute a parsed query.
+pub fn execute(db: &Database, q: &SelectQuery) -> Result<Relation, SqlError> {
+    if q.from.is_empty() {
+        return Err(SqlError::Semantic("FROM list is empty".to_string()));
+    }
+    // Duplicate alias check.
+    for (i, t) in q.from.iter().enumerate() {
+        if q.from[..i]
+            .iter()
+            .any(|u| u.alias.eq_ignore_ascii_case(&t.alias))
+        {
+            return Err(SqlError::Semantic(format!("duplicate alias: {}", t.alias)));
+        }
+    }
+
+    let base: Vec<&Relation> = q
+        .from
+        .iter()
+        .map(|t| db.get(&t.name))
+        .collect::<Result<_, _>>()?;
+    let ctx = Ctx {
+        from: &q.from,
+        schemas: base.iter().map(|r| r.schema()).collect(),
+    };
+
+    // Classify WHERE conjuncts.
+    let mut restrictions: Vec<Vec<&Expr>> = vec![Vec::new(); q.from.len()];
+    let mut joins: Vec<(Resolved, Resolved, &Expr)> = Vec::new();
+    let mut residual: Vec<&Expr> = Vec::new();
+    if let Some(w) = &q.where_clause {
+        for c in w.conjuncts() {
+            let tables = tables_of(c, &ctx)?;
+            match tables.len() {
+                0 | 1 => {
+                    let t = tables.into_iter().next().unwrap_or(0);
+                    restrictions[t].push(c);
+                }
+                2 => {
+                    if let Expr::Cmp {
+                        op: CmpOp::Eq,
+                        left,
+                        right,
+                    } = c
+                    {
+                        if let (Expr::Attr(a), Expr::Attr(b)) = (&**left, &**right) {
+                            let ra = ctx.resolve(a)?;
+                            let rb = ctx.resolve(b)?;
+                            if ra.table != rb.table {
+                                joins.push((ra, rb, c));
+                                continue;
+                            }
+                        }
+                    }
+                    residual.push(c);
+                }
+                _ => residual.push(c),
+            }
+        }
+    }
+
+    // Push restrictions down onto each base relation.
+    let mut filtered: Vec<Relation> = Vec::with_capacity(base.len());
+    for (i, rel) in base.iter().enumerate() {
+        if restrictions[i].is_empty() {
+            filtered.push((*rel).clone());
+        } else {
+            let pred = Expr::conjoin(restrictions[i].iter().map(|e| (*e).clone()).collect())
+                .expect("non-empty");
+            filtered.push(ops::select_indexed(rel, &q.from[i].alias, &pred)?);
+        }
+    }
+
+    // Greedy join: rows are vectors of one tuple per joined table.
+    let mut bound: Vec<usize> = vec![0]; // table indices joined so far
+    let mut rows: Vec<Vec<Tuple>> = filtered[0].iter().map(|t| vec![t.clone()]).collect();
+    let mut remaining: Vec<usize> = (1..q.from.len()).collect();
+    let mut pending_joins: Vec<(Resolved, Resolved)> =
+        joins.iter().map(|(a, b, _)| (*a, *b)).collect();
+
+    while !remaining.is_empty() {
+        // Prefer a table connected to the bound set by an equi-join.
+        let next_info = pending_joins.iter().enumerate().find_map(|(ji, (a, b))| {
+            let (inb, outb) = (bound.contains(&a.table), bound.contains(&b.table));
+            match (inb, outb) {
+                (true, false) => Some((ji, *a, *b)),
+                (false, true) => Some((ji, *b, *a)),
+                _ => None,
+            }
+        });
+        let (new_rows, new_table) = match next_info {
+            Some((ji, bound_side, new_side)) => {
+                pending_joins.remove(ji);
+                let pos_in_bound = bound
+                    .iter()
+                    .position(|&t| t == bound_side.table)
+                    .expect("bound side is bound");
+                // Hash the new side.
+                let mut table: HashMap<ValueKey, Vec<&Tuple>> = HashMap::new();
+                for t in filtered[new_side.table].iter() {
+                    let v = t.get(new_side.column);
+                    if !v.is_null() {
+                        table.entry(ValueKey(v.clone())).or_default().push(t);
+                    }
+                }
+                let mut out = Vec::new();
+                for row in &rows {
+                    let v = row[pos_in_bound].get(bound_side.column);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&ValueKey(v.clone())) {
+                        for m in matches {
+                            let mut r = row.clone();
+                            r.push((*m).clone());
+                            out.push(r);
+                        }
+                    }
+                }
+                (out, new_side.table)
+            }
+            None => {
+                // No connecting join: cartesian with the next table.
+                let t = remaining[0];
+                let mut out = Vec::new();
+                for row in &rows {
+                    for m in filtered[t].iter() {
+                        let mut r = row.clone();
+                        r.push(m.clone());
+                        out.push(r);
+                    }
+                }
+                (out, t)
+            }
+        };
+        rows = new_rows;
+        bound.push(new_table);
+        remaining.retain(|&t| t != new_table);
+    }
+
+    // Join conditions not consumed by the greedy pass (redundant edges
+    // between already-joined tables) and residual predicates apply now.
+    let mut post: Vec<&Expr> = residual;
+    for (a, b, e) in joins.iter() {
+        if pending_joins.contains(&(*a, *b)) {
+            post.push(e);
+        }
+    }
+
+    if !post.is_empty() {
+        let order = bound.clone();
+        rows.retain(|row| {
+            let mut env = Env::empty();
+            for (pos, &t) in order.iter().enumerate() {
+                env.push(&q.from[t].alias, ctx.schemas[t], &row[pos]);
+            }
+            post.iter().all(|e| e.eval_bool(&env).unwrap_or(false))
+        });
+    }
+
+    // Aggregate path: any aggregate item or a GROUP BY clause routes
+    // through grouped projection.
+    let table_pos: HashMap<usize, usize> =
+        bound.iter().enumerate().map(|(pos, &t)| (t, pos)).collect();
+    let has_aggregate = !q.group_by.is_empty()
+        || q.targets
+            .iter()
+            .any(|t| matches!(t, SelectItem::Aggregate { .. }));
+    if has_aggregate {
+        return project_grouped(q, &ctx, &rows, &table_pos);
+    }
+
+    // Projection.
+    let mut out_cols: Vec<(String, Resolved)> = Vec::new();
+    for item in &q.targets {
+        match item {
+            SelectItem::Star => {
+                for (ti, s) in ctx.schemas.iter().enumerate() {
+                    for (ci, a) in s.attributes().iter().enumerate() {
+                        out_cols.push((
+                            a.name().to_string(),
+                            Resolved {
+                                table: ti,
+                                column: ci,
+                            },
+                        ));
+                    }
+                }
+            }
+            SelectItem::Attr { attr, output } => {
+                let r = ctx.resolve(attr)?;
+                let name = output.clone().unwrap_or_else(|| attr.name.clone());
+                out_cols.push((name, r));
+            }
+            SelectItem::Aggregate { .. } => unreachable!("handled by project_grouped"),
+        }
+    }
+    // Disambiguate duplicate output names with alias prefixes.
+    let mut names: Vec<String> = Vec::with_capacity(out_cols.len());
+    for (i, (name, r)) in out_cols.iter().enumerate() {
+        let dup = out_cols
+            .iter()
+            .enumerate()
+            .any(|(j, (n, _))| j != i && n.eq_ignore_ascii_case(name));
+        if dup {
+            names.push(format!("{}.{}", q.from[r.table].alias, name));
+        } else {
+            names.push(name.clone());
+        }
+    }
+
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(out_cols.len());
+    for ((_, r), name) in out_cols.iter().zip(&names) {
+        let src_attr = ctx.schemas[r.table].attr(r.column);
+        attrs.push(Attribute::new(name.clone(), src_attr.domain().clone()));
+    }
+    let schema = Schema::new(attrs).map_err(SqlError::from)?;
+    let mut result = Relation::new("result", schema);
+
+    for row in &rows {
+        let vals = out_cols
+            .iter()
+            .map(|(_, r)| row[table_pos[&r.table]].get(r.column).clone())
+            .collect();
+        result.insert(Tuple::new(vals))?;
+    }
+
+    let mut result = if q.distinct {
+        ops::unique(&result)
+    } else {
+        result
+    };
+    result.set_name("result");
+
+    if !q.order_by.is_empty() {
+        // Order-by attributes are matched against output column names
+        // first, then against source attributes.
+        let mut keys: Vec<String> = Vec::new();
+        for a in &q.order_by {
+            if result.schema().index_of(&a.name).is_some() {
+                keys.push(a.name.clone());
+            } else {
+                let r = ctx.resolve(a)?;
+                let prefixed = format!("{}.{}", q.from[r.table].alias, a.name);
+                if result.schema().index_of(&prefixed).is_some() {
+                    keys.push(prefixed);
+                } else {
+                    return Err(SqlError::Semantic(format!(
+                        "ORDER BY attribute {} is not in the select list",
+                        a
+                    )));
+                }
+            }
+        }
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        result.sort_by_names(&refs)?;
+    }
+    Ok(result)
+}
+
+/// Grouped projection for aggregate queries: group the joined rows by
+/// the GROUP BY attributes and compute one output row per group.
+fn project_grouped(
+    q: &SelectQuery,
+    ctx: &Ctx<'_>,
+    rows: &[Vec<Tuple>],
+    table_pos: &HashMap<usize, usize>,
+) -> Result<Relation, SqlError> {
+    use intensio_storage::value::Value;
+
+    // Resolve the grouping attributes.
+    let mut group_cols: Vec<(String, Resolved)> = Vec::new();
+    for a in &q.group_by {
+        group_cols.push((a.name.clone(), ctx.resolve(a)?));
+    }
+    // Validate the select list: plain attributes must be grouped; `*`
+    // is not meaningful under aggregation.
+    for item in &q.targets {
+        match item {
+            SelectItem::Star => {
+                return Err(SqlError::Semantic(
+                    "`*` cannot be combined with aggregates".to_string(),
+                ))
+            }
+            SelectItem::Attr { attr, .. } => {
+                let r = ctx.resolve(attr)?;
+                if !group_cols.iter().any(|(_, g)| *g == r) {
+                    return Err(SqlError::Semantic(format!(
+                        "attribute {attr} must appear in GROUP BY"
+                    )));
+                }
+            }
+            SelectItem::Aggregate { .. } => {}
+        }
+    }
+
+    // Group rows.
+    let mut groups: std::collections::BTreeMap<
+        Vec<intensio_storage::value::ValueKey>,
+        Vec<&Vec<Tuple>>,
+    > = std::collections::BTreeMap::new();
+    for row in rows {
+        let key: Vec<intensio_storage::value::ValueKey> = group_cols
+            .iter()
+            .map(|(_, r)| {
+                intensio_storage::value::ValueKey(row[table_pos[&r.table]].get(r.column).clone())
+            })
+            .collect();
+        groups.entry(key).or_default().push(row);
+    }
+
+    // Output values per group, in target order.
+    let mut out_rows: Vec<Vec<Value>> = Vec::new();
+    let mut emit = |members: &[&Vec<Tuple>],
+                    key: &[intensio_storage::value::ValueKey]|
+     -> Result<(), SqlError> {
+        let mut vals = Vec::with_capacity(q.targets.len());
+        for item in &q.targets {
+            match item {
+                SelectItem::Star => unreachable!("validated"),
+                SelectItem::Attr { attr, .. } => {
+                    let r = ctx.resolve(attr)?;
+                    let pos = group_cols
+                        .iter()
+                        .position(|(_, g)| *g == r)
+                        .expect("validated");
+                    vals.push(key[pos].0.clone());
+                }
+                SelectItem::Aggregate { func, arg, .. } => {
+                    let column: Vec<Value> = match arg {
+                        None => vec![Value::Int(1); members.len()],
+                        Some(a) => {
+                            let r = ctx.resolve(a)?;
+                            members
+                                .iter()
+                                .map(|row| row[table_pos[&r.table]].get(r.column).clone())
+                                .collect()
+                        }
+                    };
+                    vals.push(ops::aggregate(*func, &column).map_err(SqlError::from)?);
+                }
+            }
+        }
+        out_rows.push(vals);
+        Ok(())
+    };
+    for (key, members) in &groups {
+        emit(members, key)?;
+    }
+    // Global aggregate over an empty input still yields one row.
+    if groups.is_empty() && q.group_by.is_empty() {
+        emit(&[], &[])?;
+    }
+
+    // Output column names.
+    let mut names: Vec<String> = Vec::with_capacity(q.targets.len());
+    for item in &q.targets {
+        let name = match item {
+            SelectItem::Star => unreachable!("validated"),
+            SelectItem::Attr { attr, output } => {
+                output.clone().unwrap_or_else(|| attr.name.clone())
+            }
+            SelectItem::Aggregate { func, arg, output } => output.clone().unwrap_or_else(|| {
+                let f = match func {
+                    ops::Aggregate::Count => "count",
+                    ops::Aggregate::Sum => "sum",
+                    ops::Aggregate::Min => "min",
+                    ops::Aggregate::Max => "max",
+                    ops::Aggregate::Avg => "avg",
+                };
+                match arg {
+                    None => f.to_string(),
+                    Some(a) => format!("{f}_{}", a.name),
+                }
+            }),
+        };
+        names.push(name);
+    }
+
+    // Schema: grouped attributes keep their domains; aggregates are
+    // typed from computed values.
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(q.targets.len());
+    for (i, (item, name)) in q.targets.iter().zip(&names).enumerate() {
+        let domain = match item {
+            SelectItem::Attr { attr, .. } => {
+                let r = ctx.resolve(attr)?;
+                ctx.schemas[r.table].attr(r.column).domain().clone()
+            }
+            _ => {
+                let ty = out_rows
+                    .iter()
+                    .find_map(|row| row[i].value_type())
+                    .unwrap_or(intensio_storage::value::ValueType::Int);
+                Domain::basic(ty)
+            }
+        };
+        attrs.push(Attribute::new(name.clone(), domain));
+    }
+    let schema = Schema::new(attrs).map_err(SqlError::from)?;
+    let mut result = Relation::new("result", schema);
+    for vals in out_rows {
+        result.insert(Tuple::new(vals))?;
+    }
+
+    if !q.order_by.is_empty() {
+        let mut keys: Vec<String> = Vec::new();
+        for a in &q.order_by {
+            if result.schema().index_of(&a.name).is_some() {
+                keys.push(a.name.clone());
+            } else {
+                return Err(SqlError::Semantic(format!(
+                    "ORDER BY attribute {a} is not in the select list"
+                )));
+            }
+        }
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        result.sort_by_names(&refs)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::domain::Domain;
+    use intensio_storage::tuple;
+    use intensio_storage::value::{Value, ValueType};
+
+    fn ship_db() -> Database {
+        let mut db = Database::new();
+        let sub_schema = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Name", Domain::char_n(20)),
+            Attribute::new("Class", Domain::char_n(4)),
+        ])
+        .unwrap();
+        let mut sub = Relation::new("SUBMARINE", sub_schema);
+        sub.insert_all([
+            tuple!["SSBN730", "Rhode Island", "0101"],
+            tuple!["SSBN130", "Typhoon", "1301"],
+            tuple!["SSN582", "Bonefish", "0215"],
+            tuple!["SSN671", "Narwhal", "0203"],
+        ])
+        .unwrap();
+        db.create(sub).unwrap();
+
+        let cls_schema = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("ClassName", Domain::char_n(20)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut cls = Relation::new("CLASS", cls_schema);
+        cls.insert_all([
+            tuple!["0101", "Ohio", "SSBN", 16600],
+            tuple!["1301", "Typhoon", "SSBN", 30000],
+            tuple!["0215", "Barbel", "SSN", 2145],
+            tuple!["0203", "Narwhal", "SSN", 4450],
+        ])
+        .unwrap();
+        db.create(cls).unwrap();
+
+        let inst_schema = Schema::new(vec![
+            Attribute::new("Ship", Domain::char_n(7)),
+            Attribute::new("Sonar", Domain::char_n(8)),
+        ])
+        .unwrap();
+        let mut inst = Relation::new("INSTALL", inst_schema);
+        inst.insert_all([
+            tuple!["SSBN730", "BQQ-5"],
+            tuple!["SSN582", "BQS-04"],
+            tuple!["SSN671", "BQQ-2"],
+        ])
+        .unwrap();
+        db.create(inst).unwrap();
+        db
+    }
+
+    #[test]
+    fn example1_join_and_restriction() {
+        let db = ship_db();
+        let r = query(
+            &db,
+            "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        let ids: Vec<&str> = r.iter().map(|t| t.get(0).as_str().unwrap()).collect();
+        assert!(ids.contains(&"SSBN730"));
+        assert!(ids.contains(&"SSBN130"));
+        // Output columns keep the queried attribute names.
+        assert!(r.schema().index_of("Class").is_some());
+        assert!(r.schema().index_of("Type").is_some());
+
+        // When the same output name occurs twice, alias prefixes
+        // disambiguate.
+        let r2 = query(
+            &db,
+            "SELECT SUBMARINE.CLASS, CLASS.CLASS FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS",
+        )
+        .unwrap();
+        assert!(r2.schema().index_of("SUBMARINE.Class").is_some());
+        assert!(r2.schema().index_of("CLASS.Class").is_some());
+    }
+
+    #[test]
+    fn three_way_join_example3() {
+        let db = ship_db();
+        let r = query(
+            &db,
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS, INSTALL \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND SUBMARINE.ID = INSTALL.SHIP \
+             AND INSTALL.SONAR = \"BQS-04\"",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(0), &Value::str("Bonefish"));
+    }
+
+    #[test]
+    fn star_selects_everything() {
+        let db = ship_db();
+        let r = query(&db, "SELECT * FROM CLASS WHERE Type = 'SSN'").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().arity(), 4);
+    }
+
+    #[test]
+    fn distinct_and_order_by() {
+        let db = ship_db();
+        let r = query(&db, "SELECT DISTINCT Type FROM CLASS ORDER BY Type").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].get(0), &Value::str("SSBN"));
+    }
+
+    #[test]
+    fn aliases_work() {
+        let db = ship_db();
+        let r = query(
+            &db,
+            "SELECT s.Name FROM SUBMARINE s, CLASS c \
+             WHERE s.Class = c.Class AND c.Type = 'SSBN' ORDER BY Name",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].get(0), &Value::str("Rhode Island"));
+    }
+
+    #[test]
+    fn cartesian_when_no_join() {
+        let db = ship_db();
+        let r = query(&db, "SELECT s.Id, c.Class FROM SUBMARINE s, CLASS c").unwrap();
+        assert_eq!(r.len(), 16);
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let db = ship_db();
+        assert!(matches!(
+            query(&db, "SELECT Nope FROM CLASS"),
+            Err(SqlError::Semantic(_))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT x.Class FROM CLASS"),
+            Err(SqlError::Semantic(_))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT Class FROM SUBMARINE, CLASS"),
+            Err(SqlError::Semantic(_)),
+        ));
+        assert!(query(&db, "SELECT Id FROM MISSING").is_err());
+        assert!(matches!(
+            query(&db, "SELECT Id FROM SUBMARINE s, CLASS s"),
+            Err(SqlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn residual_predicates_apply() {
+        let db = ship_db();
+        // Non-equality cross-table comparison: residual after the join.
+        let r = query(
+            &db,
+            "SELECT s.Id FROM SUBMARINE s, CLASS c \
+             WHERE s.Class = c.Class AND s.Id != c.ClassName AND c.Displacement >= 2145",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn or_predicate() {
+        let db = ship_db();
+        let r = query(
+            &db,
+            "SELECT Class FROM CLASS WHERE Displacement > 20000 OR Type = 'SSN' ORDER BY Class",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+    }
+}

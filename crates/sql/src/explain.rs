@@ -1,0 +1,191 @@
+//! Query plan explanation: a textual rendering of the executor's
+//! strategy for a query — pushed restrictions (with index eligibility),
+//! the greedy join order, residual predicates, grouping, and ordering.
+
+use crate::analyze::{analyze, QueryAnalysis};
+use crate::ast::{SelectItem, SelectQuery};
+use crate::exec::SqlError;
+use intensio_storage::catalog::Database;
+use intensio_storage::expr::CmpOp;
+use std::fmt::Write as _;
+
+/// Produce a human-readable plan for a query.
+pub fn explain(db: &Database, q: &SelectQuery) -> Result<String, SqlError> {
+    let analysis: QueryAnalysis = analyze(db, q)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "plan:");
+
+    // Scans with pushed restrictions.
+    for t in &q.from {
+        let rel = db.get(&t.name)?;
+        let restrictions: Vec<String> = analysis
+            .restrictions
+            .iter()
+            .filter(|r| r.attr.alias.eq_ignore_ascii_case(&t.alias))
+            .map(|r| {
+                let indexable = matches!(
+                    r.op,
+                    CmpOp::Eq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge
+                );
+                format!(
+                    "{}.{} {} {}{}",
+                    t.alias,
+                    r.attr.attribute,
+                    r.op,
+                    r.value,
+                    if indexable {
+                        " [index range scan]"
+                    } else {
+                        " [scan]"
+                    }
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "  scan {} as {} ({} tuples)",
+            t.name,
+            t.alias,
+            rel.len()
+        );
+        if restrictions.is_empty() {
+            let _ = writeln!(out);
+        } else {
+            let _ = writeln!(out, " where {}", restrictions.join(" and "));
+        }
+    }
+
+    // Greedy join order: same rule as the executor — start with the
+    // first FROM entry, repeatedly attach a table connected by an
+    // equi-join, cartesian otherwise.
+    let mut bound: Vec<&str> = vec![q.from[0].alias.as_str()];
+    let mut remaining: Vec<&str> = q.from[1..].iter().map(|t| t.alias.as_str()).collect();
+    let mut pending = analysis.joins.clone();
+    while !remaining.is_empty() {
+        let next = pending.iter().position(|j| {
+            let (l, r) = (j.left.alias.as_str(), j.right.alias.as_str());
+            (bound.contains(&l) && remaining.contains(&r))
+                || (bound.contains(&r) && remaining.contains(&l))
+        });
+        match next {
+            Some(ji) => {
+                let j = pending.remove(ji);
+                let new = if bound.contains(&j.left.alias.as_str()) {
+                    j.right.alias.clone()
+                } else {
+                    j.left.alias.clone()
+                };
+                let _ = writeln!(
+                    out,
+                    "  equi-join on {}.{} = {}.{} (index probe into {new})",
+                    j.left.alias, j.left.attribute, j.right.alias, j.right.attribute,
+                );
+                remaining.retain(|t| !t.eq_ignore_ascii_case(&new));
+                let idx = q
+                    .from
+                    .iter()
+                    .position(|t| t.alias.eq_ignore_ascii_case(&new))
+                    .expect("alias known");
+                bound.push(q.from[idx].alias.as_str());
+            }
+            None => {
+                let t = remaining.remove(0);
+                let _ = writeln!(out, "  cartesian product with {t}");
+                bound.push(t);
+            }
+        }
+    }
+    for j in &pending {
+        let _ = writeln!(
+            out,
+            "  residual join check {}.{} = {}.{}",
+            j.left.alias, j.left.attribute, j.right.alias, j.right.attribute
+        );
+    }
+    for u in &analysis.unsupported {
+        let _ = writeln!(out, "  residual filter {u}");
+    }
+
+    if !q.group_by.is_empty()
+        || q.targets
+            .iter()
+            .any(|t| matches!(t, SelectItem::Aggregate { .. }))
+    {
+        let keys: Vec<String> = q.group_by.iter().map(|a| a.to_string()).collect();
+        if keys.is_empty() {
+            let _ = writeln!(out, "  aggregate (single group)");
+        } else {
+            let _ = writeln!(out, "  aggregate group by {}", keys.join(", "));
+        }
+    }
+    if q.distinct {
+        let _ = writeln!(out, "  distinct");
+    }
+    if !q.order_by.is_empty() {
+        let keys: Vec<String> = q.order_by.iter().map(|a| a.to_string()).collect();
+        let _ = writeln!(out, "  sort by {}", keys.join(", "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use intensio_storage::domain::Domain;
+    use intensio_storage::relation::Relation;
+    use intensio_storage::schema::{Attribute, Schema};
+    use intensio_storage::tuple;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        let s1 = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Class", Domain::char_n(4)),
+        ])
+        .unwrap();
+        let mut sub = Relation::new("SUBMARINE", s1);
+        sub.insert(tuple!["SSBN730", "0101"]).unwrap();
+        d.create(sub).unwrap();
+        let s2 = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new(
+                "Displacement",
+                Domain::basic(intensio_storage::value::ValueType::Int),
+            ),
+        ])
+        .unwrap();
+        let mut cls = Relation::new("CLASS", s2);
+        cls.insert(tuple!["0101", 16600]).unwrap();
+        d.create(cls).unwrap();
+        d
+    }
+
+    #[test]
+    fn explains_a_join_query() {
+        let d = db();
+        let q = parse(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000 \
+             ORDER BY ID",
+        )
+        .unwrap();
+        let plan = explain(&d, &q).unwrap();
+        assert!(plan.contains("scan SUBMARINE"));
+        assert!(plan.contains("[index range scan]"));
+        assert!(plan.contains("equi-join on SUBMARINE.Class = CLASS.Class"));
+        assert!(plan.contains("sort by ID"));
+    }
+
+    #[test]
+    fn explains_aggregates_and_cartesian() {
+        let d = db();
+        let q = parse("SELECT COUNT(*) FROM SUBMARINE, CLASS").unwrap();
+        let plan = explain(&d, &q).unwrap();
+        assert!(plan.contains("cartesian product"));
+        assert!(plan.contains("aggregate (single group)"));
+        let q2 = parse("SELECT Class, COUNT(*) FROM SUBMARINE GROUP BY Class").unwrap();
+        let plan2 = explain(&d, &q2).unwrap();
+        assert!(plan2.contains("aggregate group by Class"));
+    }
+}

@@ -1,0 +1,701 @@
+//! Lexer and parser for the SQL subset.
+
+use crate::ast::{SelectItem, SelectQuery, TableRef};
+use intensio_storage::expr::{ArithOp, AttrRef, CmpOp, Expr};
+use intensio_storage::value::Value;
+use std::fmt;
+
+/// A SQL parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlParseError {
+    /// Description of the failure.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num {
+        text: String,
+        value: f64,
+        is_int: bool,
+    },
+    Star,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SqlParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let start = i;
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '*' => {
+                out.push((Tok::Star, start));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, start));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, start));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, start));
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment.
+                if b.get(i + 1) == Some(&b'-') {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push((Tok::Minus, start));
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push((Tok::Slash, start));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ne, start));
+                    i += 2;
+                } else {
+                    return Err(SqlParseError {
+                        message: "expected `=` after `!`".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Le, start));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Ne, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Lt, start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Gt, start));
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        Some(&q) if q as char == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlParseError {
+                                message: "unterminated string".into(),
+                                offset: start,
+                            })
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), start));
+            }
+            d if d.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_int = true;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    text.push(b[i] as char);
+                    i += 1;
+                }
+                if i + 1 < b.len() && b[i] == b'.' && (b[i + 1] as char).is_ascii_digit() {
+                    is_int = false;
+                    text.push('.');
+                    i += 1;
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        text.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                let value: f64 = text.parse().map_err(|_| SqlParseError {
+                    message: format!("bad number {text}"),
+                    offset: start,
+                })?;
+                out.push((
+                    Tok::Num {
+                        text,
+                        value,
+                        is_int,
+                    },
+                    start,
+                ));
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut s = String::new();
+                while i < b.len() {
+                    let ch = b[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        i += 1;
+                    } else if ch == '-'
+                        && i + 1 < b.len()
+                        && (b[i + 1] as char).is_ascii_alphanumeric()
+                        && !is_keyword(&s)
+                    {
+                        // Hyphenated bare constants like BQS-04.
+                        s.push(ch);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), start));
+            }
+            other => {
+                return Err(SqlParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s.to_ascii_uppercase().as_str(),
+        "SELECT"
+            | "DISTINCT"
+            | "FROM"
+            | "WHERE"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "ORDER"
+            | "GROUP"
+            | "BY"
+            | "AS"
+    )
+}
+
+/// Parse a `SELECT` statement.
+pub fn parse(src: &str) -> Result<SelectQuery, SqlParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.select()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SqlParseError {
+        SqlParseError {
+            message: msg.into(),
+            offset: self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(0),
+        }
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn accept(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlParseError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlParseError> {
+        match self.advance() {
+            Some(Tok::Ident(s)) if !is_keyword(&s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectQuery, SqlParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.accept_kw("distinct");
+        let mut targets = vec![self.select_item()?];
+        while self.accept(&Tok::Comma) {
+            targets.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.accept(&Tok::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.accept_kw("where") {
+            Some(self.disjunction()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.attr_ref()?);
+            while self.accept(&Tok::Comma) {
+                group_by.push(self.attr_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            order_by.push(self.attr_ref()?);
+            while self.accept(&Tok::Comma) {
+                order_by.push(self.attr_ref()?);
+            }
+        }
+        Ok(SelectQuery {
+            distinct,
+            targets,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlParseError> {
+        if self.accept(&Tok::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate function call?
+        let func = match self.peek() {
+            Some(Tok::Ident(s)) => match s.to_ascii_lowercase().as_str() {
+                "count" => Some(intensio_storage::ops::Aggregate::Count),
+                "sum" => Some(intensio_storage::ops::Aggregate::Sum),
+                "avg" => Some(intensio_storage::ops::Aggregate::Avg),
+                "min" => Some(intensio_storage::ops::Aggregate::Min),
+                "max" => Some(intensio_storage::ops::Aggregate::Max),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(func) = func {
+            if self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
+                self.pos += 2;
+                let arg = if self.accept(&Tok::Star) {
+                    None
+                } else {
+                    Some(self.attr_ref()?)
+                };
+                if !self.accept(&Tok::RParen) {
+                    return Err(self.err("expected `)` after aggregate argument"));
+                }
+                let output = if self.accept_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                return Ok(SelectItem::Aggregate { func, arg, output });
+            }
+        }
+        let attr = self.attr_ref()?;
+        let output = if self.accept_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Attr { attr, output })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlParseError> {
+        let name = self.ident()?;
+        // Optional alias: a following non-keyword identifier.
+        let alias = match self.peek() {
+            Some(Tok::Ident(s)) if !is_keyword(s) => {
+                let a = s.clone();
+                self.pos += 1;
+                a
+            }
+            _ => name.clone(),
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn attr_ref(&mut self) -> Result<AttrRef, SqlParseError> {
+        let first = self.ident()?;
+        if self.accept(&Tok::Dot) {
+            let attr = self.ident()?;
+            Ok(AttrRef::qualified(first, attr))
+        } else {
+            Ok(AttrRef::bare(first))
+        }
+    }
+
+    // WHERE grammar: OR > AND > NOT > comparison.
+    fn disjunction(&mut self) -> Result<Expr, SqlParseError> {
+        let mut left = self.conjunction()?;
+        while self.accept_kw("or") {
+            let right = self.conjunction()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Expr, SqlParseError> {
+        let mut left = self.negation()?;
+        while self.accept_kw("and") {
+            let right = self.negation()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn negation(&mut self) -> Result<Expr, SqlParseError> {
+        if self.accept_kw("not") {
+            return Ok(Expr::Not(Box::new(self.negation()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlParseError> {
+        if self.peek() == Some(&Tok::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.disjunction() {
+                if self.accept(&Tok::RParen) && self.peek_cmp().is_none() {
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.additive()?;
+        let op = self
+            .next_cmp()
+            .ok_or_else(|| self.err("expected comparison operator"))?;
+        let right = self.additive()?;
+        Ok(Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn peek_cmp(&self) -> Option<CmpOp> {
+        match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn next_cmp(&mut self) -> Option<CmpOp> {
+        let op = self.peek_cmp()?;
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlParseError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlParseError> {
+        if self.accept(&Tok::Minus) {
+            // Unary minus: negate the operand.
+            let inner = self.primary()?;
+            return Ok(match inner {
+                Expr::Const(Value::Int(v)) => Expr::Const(Value::Int(-v)),
+                Expr::Const(Value::Real(v)) => Expr::Const(Value::Real(-v)),
+                other => Expr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(Expr::Const(Value::Int(0))),
+                    right: Box::new(other),
+                },
+            });
+        }
+        match self.advance() {
+            Some(Tok::Num {
+                text,
+                value,
+                is_int,
+            }) => Ok(Expr::Const(num_value(&text, value, is_int))),
+            Some(Tok::Str(s)) => Ok(Expr::Const(Value::Str(s))),
+            Some(Tok::Ident(first)) if !is_keyword(&first) => {
+                if self.accept(&Tok::Dot) {
+                    let attr = self.ident()?;
+                    Ok(Expr::Attr(AttrRef::qualified(first, attr)))
+                } else {
+                    Ok(Expr::Attr(AttrRef::bare(first)))
+                }
+            }
+            Some(Tok::LParen) => {
+                let inner = self.additive()?;
+                if !self.accept(&Tok::RParen) {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn num_value(text: &str, value: f64, is_int: bool) -> Value {
+    if is_int {
+        if text.len() > 1 && text.starts_with('0') {
+            Value::Str(text.to_string())
+        } else {
+            Value::Int(value as i64)
+        }
+    } else {
+        Value::Real(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example1() {
+        let q = parse(
+            "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+        assert_eq!(q.targets.len(), 4);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0], TableRef::named("SUBMARINE"));
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_paper_example3() {
+        let q = parse(
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS, INSTALL \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND SUBMARINE.ID = INSTALL.SHIP \
+             AND INSTALL.SONAR = \"BQS-04\"",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        let w = q.where_clause.unwrap();
+        let cs = w.conjuncts();
+        assert_eq!(cs.len(), 3);
+        match cs[2] {
+            Expr::Cmp { right, .. } => {
+                assert_eq!(**right, Expr::Const(Value::str("BQS-04")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_and_aliases() {
+        let q = parse("SELECT * FROM CLASS c WHERE c.Type = 'SSN' ORDER BY c.Class").unwrap();
+        assert_eq!(q.targets, vec![SelectItem::Star]);
+        assert_eq!(q.from[0].alias, "c");
+        assert_eq!(q.order_by.len(), 1);
+    }
+
+    #[test]
+    fn distinct_and_as() {
+        let q = parse("SELECT DISTINCT Type AS ShipType FROM CLASS").unwrap();
+        assert!(q.distinct);
+        match &q.targets[0] {
+            SelectItem::Attr { output, .. } => assert_eq!(output.as_deref(), Some("ShipType")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_quoted_strings() {
+        let q = parse("SELECT Name FROM S WHERE Type = 'SSBN'").unwrap();
+        let w = q.where_clause.unwrap();
+        match w {
+            Expr::Cmp { right, .. } => assert_eq!(*right, Expr::Const(Value::str("SSBN"))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_not_parens() {
+        let q = parse("SELECT A FROM T WHERE (A = 1 OR B = 2) AND NOT C = 3").unwrap();
+        let w = q.where_clause.unwrap();
+        match w {
+            Expr::And(l, r) => {
+                assert!(matches!(*l, Expr::Or(_, _)));
+                assert!(matches!(*r, Expr::Not(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_zero_class_codes() {
+        let q = parse("SELECT A FROM T WHERE Class = 0101").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Cmp { right, .. } => assert_eq!(*right, Expr::Const(Value::str("0101"))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ne_spellings() {
+        for src in [
+            "SELECT A FROM T WHERE A != 1",
+            "SELECT A FROM T WHERE A <> 1",
+        ] {
+            let q = parse(src).unwrap();
+            assert!(matches!(
+                q.where_clause.unwrap(),
+                Expr::Cmp { op: CmpOp::Ne, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn missing_from_rejected() {
+        assert!(parse("SELECT A WHERE A = 1").is_err());
+        assert!(parse("SELECT FROM T").is_err());
+        assert!(parse("SELECT A FROM T garbage extra +").is_err());
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        let q = parse("SELECT A -- the attribute\nFROM T").unwrap();
+        assert_eq!(q.from[0].name, "T");
+    }
+}

@@ -1,0 +1,127 @@
+//! SQL aggregates and GROUP BY.
+
+use intensio_sql::query;
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+
+fn db() -> Database {
+    let schema = Schema::new(vec![
+        Attribute::key("Class", Domain::char_n(4)),
+        Attribute::new("Type", Domain::char_n(4)),
+        Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut r = Relation::new("CLASS", schema);
+    r.insert_all([
+        tuple!["0101", "SSBN", 16600],
+        tuple!["0102", "SSBN", 7250],
+        tuple!["0201", "SSN", 6000],
+        tuple!["0215", "SSN", 2145],
+        tuple!["1301", "SSBN", 30000],
+    ])
+    .unwrap();
+    let mut d = Database::new();
+    d.create(r).unwrap();
+    d
+}
+
+#[test]
+fn count_star() {
+    let d = db();
+    let r = query(&d, "SELECT COUNT(*) FROM CLASS").unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.tuples()[0].get(0), &Value::Int(5));
+    assert_eq!(r.schema().attr(0).name(), "count");
+}
+
+#[test]
+fn group_by_reproduces_table1_bands() {
+    let d = db();
+    let r = query(
+        &d,
+        "SELECT Type, MIN(Displacement) AS lo, MAX(Displacement) AS hi \
+         FROM CLASS GROUP BY Type ORDER BY Type",
+    )
+    .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.tuples()[0], tuple!["SSBN", 7250, 30000]);
+    assert_eq!(r.tuples()[1], tuple!["SSN", 2145, 6000]);
+}
+
+#[test]
+fn aggregates_with_where() {
+    let d = db();
+    let r = query(
+        &d,
+        "SELECT COUNT(Class), AVG(Displacement) FROM CLASS WHERE Type = 'SSBN'",
+    )
+    .unwrap();
+    let t = &r.tuples()[0];
+    assert_eq!(t.get(0), &Value::Int(3));
+    assert_eq!(t.get(1), &Value::Real((16600.0 + 7250.0 + 30000.0) / 3.0));
+}
+
+#[test]
+fn empty_global_aggregate_yields_one_row() {
+    let d = db();
+    let r = query(
+        &d,
+        "SELECT COUNT(*), MIN(Displacement) FROM CLASS WHERE Displacement > 99999",
+    )
+    .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.tuples()[0].get(0), &Value::Int(0));
+    assert!(r.tuples()[0].get(1).is_null());
+}
+
+#[test]
+fn empty_grouped_aggregate_yields_no_rows() {
+    let d = db();
+    let r = query(
+        &d,
+        "SELECT Type, COUNT(*) FROM CLASS WHERE Displacement > 99999 GROUP BY Type",
+    )
+    .unwrap();
+    assert_eq!(r.len(), 0);
+}
+
+#[test]
+fn ungrouped_attribute_rejected() {
+    let d = db();
+    assert!(query(&d, "SELECT Class, COUNT(*) FROM CLASS GROUP BY Type").is_err());
+    assert!(query(&d, "SELECT *, COUNT(*) FROM CLASS").is_err());
+}
+
+#[test]
+fn aggregate_over_join() {
+    let mut d = db();
+    let schema = Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(7)),
+        Attribute::new("Class", Domain::char_n(4)),
+    ])
+    .unwrap();
+    let mut sub = Relation::new("SUBMARINE", schema);
+    sub.insert_all([
+        tuple!["SSBN730", "0101"],
+        tuple!["SSBN130", "1301"],
+        tuple!["SSN582", "0215"],
+    ])
+    .unwrap();
+    d.create(sub).unwrap();
+    let r = query(
+        &d,
+        "SELECT CLASS.Type, COUNT(*) AS boats FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS GROUP BY CLASS.Type ORDER BY Type",
+    )
+    .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.tuples()[0], tuple!["SSBN", 2]);
+    assert_eq!(r.tuples()[1], tuple!["SSN", 1]);
+}
+
+#[test]
+fn group_by_without_aggregates_is_distinct_projection() {
+    let d = db();
+    let r = query(&d, "SELECT Type FROM CLASS GROUP BY Type ORDER BY Type").unwrap();
+    assert_eq!(r.len(), 2);
+}

@@ -1,0 +1,133 @@
+//! The database catalog: a named collection of relations.
+
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// An in-memory database: relations indexed by (case-insensitive) name.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Add a relation; fails if the name is taken.
+    pub fn create(&mut self, rel: Relation) -> Result<()> {
+        let key = Self::key(rel.name());
+        if self.relations.contains_key(&key) {
+            return Err(StorageError::DuplicateRelation(rel.name().to_string()));
+        }
+        self.relations.insert(key, rel);
+        Ok(())
+    }
+
+    /// Add or replace a relation (used by `retrieve into` re-runs).
+    pub fn create_or_replace(&mut self, rel: Relation) {
+        self.relations.insert(Self::key(rel.name()), rel);
+    }
+
+    /// Remove a relation; returns it if present.
+    pub fn drop(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(&Self::key(name))
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(&Self::key(name))
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up a relation mutably.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(&Self::key(name))
+    }
+
+    /// Declared relation names, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.values().map(|r| r.name()).collect()
+    }
+
+    /// Iterate over relations.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total tuple count across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::{Attribute, Schema};
+    use crate::tuple;
+
+    fn rel(name: &str) -> Relation {
+        let schema = Schema::new(vec![Attribute::key("Id", Domain::char_n(7))]).unwrap();
+        Relation::new(name, schema)
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut db = Database::new();
+        db.create(rel("SUBMARINE")).unwrap();
+        assert!(db.get("submarine").is_ok(), "lookup is case-insensitive");
+        assert!(db.contains("SUBMARINE"));
+        assert!(db.create(rel("Submarine")).is_err(), "duplicate rejected");
+        assert!(db.drop("SUBMARINE").is_some());
+        assert!(db.get("SUBMARINE").is_err());
+    }
+
+    #[test]
+    fn create_or_replace_overwrites() {
+        let mut db = Database::new();
+        let mut a = rel("S");
+        a.insert(tuple!["X1"]).unwrap();
+        db.create(a).unwrap();
+        db.create_or_replace(rel("S"));
+        assert_eq!(db.get("S").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stats() {
+        let mut db = Database::new();
+        let mut a = rel("A");
+        a.insert(tuple!["X1"]).unwrap();
+        a.insert(tuple!["X2"]).unwrap();
+        db.create(a).unwrap();
+        db.create(rel("B")).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_tuples(), 2);
+        assert_eq!(db.relation_names(), vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Attribute domains with optional constraints.
+//!
+//! The KER model (paper §2, Appendix A) builds complex domains on top of
+//! the basic domains: a domain may restrict a base type to a value range
+//! (`range [2000..30000]`), a value set (`set of {..}`), or a maximum
+//! character length (`char[10]`). A subtype's `isa` chain of domains is
+//! flattened here into a single base type plus a constraint stack.
+
+use crate::error::{Result, StorageError};
+use crate::value::{Value, ValueType};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Inclusive/exclusive boundary of a range constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// `[` / `]` — the endpoint belongs to the range.
+    Inclusive,
+    /// `(` / `)` — the endpoint is excluded.
+    Exclusive,
+}
+
+/// A single domain constraint.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing range endpoints
+pub enum DomainConstraint {
+    /// `range [lo .. hi]` with per-end inclusivity.
+    Range {
+        lo: Value,
+        lo_bound: Bound,
+        hi: Value,
+        hi_bound: Bound,
+    },
+    /// `set of { v1, v2, ... }`.
+    Set(Vec<Value>),
+    /// `char[n]` — strings of at most `n` bytes.
+    CharLen(usize),
+}
+
+impl DomainConstraint {
+    /// Whether `v` satisfies this constraint.
+    pub fn admits(&self, v: &Value) -> bool {
+        match self {
+            DomainConstraint::Range {
+                lo,
+                lo_bound,
+                hi,
+                hi_bound,
+            } => {
+                let lo_ok = match v.compare(lo) {
+                    Ok(Ordering::Greater) => true,
+                    Ok(Ordering::Equal) => *lo_bound == Bound::Inclusive,
+                    _ => false,
+                };
+                let hi_ok = match v.compare(hi) {
+                    Ok(Ordering::Less) => true,
+                    Ok(Ordering::Equal) => *hi_bound == Bound::Inclusive,
+                    _ => false,
+                };
+                lo_ok && hi_ok
+            }
+            DomainConstraint::Set(vs) => vs.iter().any(|x| x.sem_eq(v)),
+            DomainConstraint::CharLen(n) => match v {
+                Value::Str(s) => s.len() <= *n,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for DomainConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainConstraint::Range {
+                lo,
+                lo_bound,
+                hi,
+                hi_bound,
+            } => {
+                let l = if *lo_bound == Bound::Inclusive {
+                    '['
+                } else {
+                    '('
+                };
+                let r = if *hi_bound == Bound::Inclusive {
+                    ']'
+                } else {
+                    ')'
+                };
+                write!(f, "range {l}{lo}..{hi}{r}")
+            }
+            DomainConstraint::Set(vs) => {
+                write!(f, "set of {{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            DomainConstraint::CharLen(n) => write!(f, "char[{n}]"),
+        }
+    }
+}
+
+/// A named domain: a base value type plus zero or more constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    name: String,
+    base: ValueType,
+    constraints: Vec<DomainConstraint>,
+}
+
+impl Domain {
+    /// An unconstrained domain over a basic type, named by its keyword.
+    pub fn basic(base: ValueType) -> Domain {
+        Domain {
+            name: base.keyword().to_string(),
+            base,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A named domain over a base type.
+    pub fn named(name: impl Into<String>, base: ValueType) -> Domain {
+        Domain {
+            name: name.into(),
+            base,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A `char[n]` domain, as used throughout the paper's schemas.
+    pub fn char_n(n: usize) -> Domain {
+        Domain {
+            name: format!("char[{n}]"),
+            base: ValueType::Str,
+            constraints: vec![DomainConstraint::CharLen(n)],
+        }
+    }
+
+    /// An integer domain restricted to an inclusive range, e.g. the paper's
+    /// `Displacement in [2000..30000]`.
+    pub fn int_range(name: impl Into<String>, lo: i64, hi: i64) -> Domain {
+        Domain::named(name, ValueType::Int).with_constraint(DomainConstraint::Range {
+            lo: Value::Int(lo),
+            lo_bound: Bound::Inclusive,
+            hi: Value::Int(hi),
+            hi_bound: Bound::Inclusive,
+        })
+    }
+
+    /// Add a constraint, consuming and returning the domain (builder style).
+    pub fn with_constraint(mut self, c: DomainConstraint) -> Domain {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Derive a new named domain that inherits this one's base type and
+    /// constraints (`domain: SHIP_NAME isa NAME`).
+    pub fn derive(&self, name: impl Into<String>) -> Domain {
+        Domain {
+            name: name.into(),
+            base: self.base,
+            constraints: self.constraints.clone(),
+        }
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying basic type.
+    pub fn base(&self) -> ValueType {
+        self.base
+    }
+
+    /// The constraint stack.
+    pub fn constraints(&self) -> &[DomainConstraint] {
+        &self.constraints
+    }
+
+    /// Whether a value belongs to this domain. `Null` is always admitted
+    /// (domain constraints restrict present values only).
+    pub fn admits(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return true;
+        }
+        match v.value_type() {
+            Some(t) if t.comparable_with(&self.base) => {
+                self.constraints.iter().all(|c| c.admits(v))
+            }
+            _ => false,
+        }
+    }
+
+    /// Validate a value, returning a descriptive error on violation.
+    pub fn check(&self, attribute: &str, v: &Value) -> Result<()> {
+        if self.admits(v) {
+            Ok(())
+        } else {
+            Err(StorageError::DomainViolation {
+                attribute: attribute.to_string(),
+                value: v.to_string(),
+                domain: self.to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}", self.name, self.base)?;
+        for c in &self.constraints {
+            write!(f, ", {c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_domain_admits_matching_type() {
+        let d = Domain::basic(ValueType::Int);
+        assert!(d.admits(&Value::Int(5)));
+        assert!(d.admits(&Value::Real(5.0)), "int/real coerce");
+        assert!(!d.admits(&Value::str("x")));
+        assert!(d.admits(&Value::Null));
+    }
+
+    #[test]
+    fn range_constraint() {
+        let d = Domain::int_range("DISPLACEMENT", 2000, 30000);
+        assert!(d.admits(&Value::Int(2000)));
+        assert!(d.admits(&Value::Int(30000)));
+        assert!(!d.admits(&Value::Int(1999)));
+        assert!(!d.admits(&Value::Int(30001)));
+    }
+
+    #[test]
+    fn exclusive_bounds() {
+        let d = Domain::named("D", ValueType::Int).with_constraint(DomainConstraint::Range {
+            lo: Value::Int(0),
+            lo_bound: Bound::Exclusive,
+            hi: Value::Int(10),
+            hi_bound: Bound::Exclusive,
+        });
+        assert!(!d.admits(&Value::Int(0)));
+        assert!(d.admits(&Value::Int(1)));
+        assert!(!d.admits(&Value::Int(10)));
+    }
+
+    #[test]
+    fn char_len_domain() {
+        let d = Domain::char_n(4);
+        assert!(d.admits(&Value::str("SSBN")));
+        assert!(!d.admits(&Value::str("TOOLONG")));
+        assert!(!d.admits(&Value::Int(4)));
+    }
+
+    #[test]
+    fn set_domain() {
+        let d = Domain::named("TYPE", ValueType::Str).with_constraint(DomainConstraint::Set(vec![
+            Value::str("SSBN"),
+            Value::str("SSN"),
+        ]));
+        assert!(d.admits(&Value::str("SSN")));
+        assert!(!d.admits(&Value::str("CVN")));
+    }
+
+    #[test]
+    fn derived_domain_inherits_constraints() {
+        let name = Domain::char_n(20).derive("NAME");
+        let ship_name = name.derive("SHIP_NAME");
+        assert_eq!(ship_name.name(), "SHIP_NAME");
+        assert!(!ship_name.admits(&Value::str("x".repeat(21))));
+    }
+
+    #[test]
+    fn check_reports_violation() {
+        let d = Domain::int_range("AGE", 0, 200);
+        let err = d.check("Age", &Value::Int(300)).unwrap_err();
+        assert!(matches!(err, StorageError::DomainViolation { .. }));
+    }
+}

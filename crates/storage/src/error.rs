@@ -1,0 +1,97 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the relational storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum StorageError {
+    /// A value did not match the type expected by its attribute or operation.
+    TypeMismatch {
+        expected: String,
+        found: String,
+        context: String,
+    },
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// An attribute name was not found in a schema.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// A tuple violated the primary-key uniqueness constraint.
+    DuplicateKey { relation: String, key: String },
+    /// A value fell outside its attribute's domain.
+    DomainViolation {
+        attribute: String,
+        value: String,
+        domain: String,
+    },
+    /// A tuple had the wrong number of values for its schema.
+    ArityMismatch { expected: usize, found: usize },
+    /// A literal could not be parsed as the requested type.
+    ParseValue { text: String, ty: String },
+    /// An invalid calendar date was constructed.
+    InvalidDate { year: i32, month: u32, day: u32 },
+    /// Two values of incomparable types were compared.
+    Incomparable { left: String, right: String },
+    /// A malformed CSV row or file.
+    Csv(String),
+    /// Any other invariant violation, with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation: {name}"),
+            StorageError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute {attribute} in relation {relation}"),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation already exists: {name}")
+            }
+            StorageError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate key {key} in relation {relation}")
+            }
+            StorageError::DomainViolation {
+                attribute,
+                value,
+                domain,
+            } => write!(
+                f,
+                "value {value} for attribute {attribute} violates domain {domain}"
+            ),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, found {found}"
+                )
+            }
+            StorageError::ParseValue { text, ty } => {
+                write!(f, "cannot parse {text:?} as {ty}")
+            }
+            StorageError::InvalidDate { year, month, day } => {
+                write!(f, "invalid date: {year:04}-{month:02}-{day:02}")
+            }
+            StorageError::Incomparable { left, right } => {
+                write!(f, "cannot compare {left} with {right}")
+            }
+            StorageError::Csv(msg) => write!(f, "csv error: {msg}"),
+            StorageError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias used throughout the storage engine.
+pub type Result<T> = std::result::Result<T, StorageError>;

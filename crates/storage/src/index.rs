@@ -1,0 +1,138 @@
+//! Secondary indexes over relation attributes.
+//!
+//! An index maps attribute values to tuple positions, supporting exact
+//! lookups and range scans. Indexes are owned by the relation, built on
+//! demand, and invalidated by any mutation (inserts, deletes, updates,
+//! sorting) — the next lookup rebuilds them lazily. The SQL executor
+//! uses them for equality restriction push-down and as prebuilt join
+//! sides.
+
+use crate::value::{Value, ValueKey};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted index from attribute values to tuple positions.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeIndex {
+    map: BTreeMap<ValueKey, Vec<usize>>,
+    /// Tuple count the index was built against (staleness check).
+    built_for: usize,
+}
+
+impl AttributeIndex {
+    /// Build an index over a column of values.
+    pub fn build<'a, I: Iterator<Item = &'a Value>>(column: I) -> AttributeIndex {
+        let mut map: BTreeMap<ValueKey, Vec<usize>> = BTreeMap::new();
+        let mut n = 0usize;
+        for (i, v) in column.enumerate() {
+            n += 1;
+            if v.is_null() {
+                continue; // nulls never satisfy predicates
+            }
+            map.entry(ValueKey(v.clone())).or_default().push(i);
+        }
+        AttributeIndex { map, built_for: n }
+    }
+
+    /// Tuple count the index was built against.
+    pub fn built_for(&self) -> usize {
+        self.built_for
+    }
+
+    /// Positions of tuples with the exact value.
+    pub fn lookup(&self, v: &Value) -> &[usize] {
+        self.map
+            .get(&ValueKey(v.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Positions of tuples whose value lies in `[lo, hi]`-style bounds,
+    /// in value order.
+    pub fn range(&self, lo: Option<(&Value, bool)>, hi: Option<(&Value, bool)>) -> Vec<usize> {
+        // Provably empty bounds (lo > hi, or a shared endpoint that is
+        // excluded on either side) return nothing; `BTreeMap::range`
+        // would panic on them.
+        if let (Some((l, li)), Some((h, hi_incl))) = (lo, hi) {
+            match l.total_cmp(h) {
+                std::cmp::Ordering::Greater => return Vec::new(),
+                std::cmp::Ordering::Equal if !(li && hi_incl) => return Vec::new(),
+                _ => {}
+            }
+        }
+        let lo_bound = match lo {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(ValueKey(v.clone())),
+            Some((v, false)) => Bound::Excluded(ValueKey(v.clone())),
+        };
+        let hi_bound = match hi {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(ValueKey(v.clone())),
+            Some((v, false)) => Bound::Excluded(ValueKey(v.clone())),
+        };
+        let mut out = Vec::new();
+        for (_, positions) in self.map.range((lo_bound, hi_bound)) {
+            out.extend_from_slice(positions);
+        }
+        out
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttributeIndex {
+        let values = [
+            Value::Int(5),
+            Value::Int(3),
+            Value::Int(5),
+            Value::Null,
+            Value::Int(9),
+        ];
+        AttributeIndex::build(values.iter())
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let idx = sample();
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(3)), &[1]);
+        assert!(idx.lookup(&Value::Int(4)).is_empty());
+        assert_eq!(idx.built_for(), 5);
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let idx = sample();
+        assert!(idx.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn range_scan() {
+        let idx = sample();
+        let v3 = Value::Int(3);
+        let v9 = Value::Int(9);
+        assert_eq!(
+            idx.range(Some((&v3, true)), Some((&v9, false))),
+            vec![1, 0, 2]
+        );
+        assert_eq!(idx.range(None, Some((&v3, true))), vec![1]);
+        assert_eq!(idx.range(Some((&v9, false)), None), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cross_type_range_uses_total_order() {
+        let values = [Value::Int(1), Value::str("a"), Value::Int(2)];
+        let idx = AttributeIndex::build(values.iter());
+        // Numbers sort before strings in the total order.
+        let all = idx.range(None, None);
+        assert_eq!(all, vec![0, 2, 1]);
+    }
+}

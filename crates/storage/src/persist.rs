@@ -1,0 +1,217 @@
+//! Directory persistence: save and load a whole [`Database`] as a
+//! directory of CSV files plus a schema manifest.
+//!
+//! The paper's §5.2.2 requires that "a database and its associated rule
+//! relations can be relocated together"; this module provides the
+//! relocation vehicle. Layout:
+//!
+//! ```text
+//! <dir>/
+//!   _schema.csv          one row per attribute:
+//!                        (Relation, Position, Attribute, IsKey, Type, CharLen)
+//!   <RELATION>.csv       data, one file per relation
+//! ```
+//!
+//! Domain range/set constraints are not persisted (they live in the KER
+//! schema, which travels as source text); `char[n]` widths are, because
+//! they affect value validation on load.
+
+use crate::catalog::Database;
+use crate::csv::{from_csv, to_csv};
+use crate::domain::Domain;
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use std::fs;
+use std::path::Path;
+
+fn schema_manifest_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("Relation", Domain::basic(ValueType::Str)),
+        Attribute::new("Position", Domain::basic(ValueType::Int)),
+        Attribute::new("Attribute", Domain::basic(ValueType::Str)),
+        Attribute::new("IsKey", Domain::basic(ValueType::Int)),
+        Attribute::new("Type", Domain::basic(ValueType::Str)),
+        Attribute::new("CharLen", Domain::basic(ValueType::Int)),
+    ])
+    .expect("static schema")
+}
+
+/// Serialize the catalog's schemas into the manifest relation.
+fn manifest_of(db: &Database) -> Result<Relation> {
+    let mut m = Relation::new("_schema", schema_manifest_schema());
+    for rel in db.relations() {
+        for (pos, a) in rel.schema().attributes().iter().enumerate() {
+            let char_len = a
+                .domain()
+                .constraints()
+                .iter()
+                .find_map(|c| match c {
+                    crate::domain::DomainConstraint::CharLen(n) => Some(*n as i64),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            m.insert(Tuple::new(vec![
+                Value::str(rel.name()),
+                Value::Int(pos as i64),
+                Value::str(a.name()),
+                Value::Int(i64::from(a.is_key())),
+                Value::str(a.value_type().keyword()),
+                Value::Int(char_len),
+            ]))?;
+        }
+    }
+    Ok(m)
+}
+
+/// Save a database to a directory (created if missing; existing relation
+/// files are overwritten).
+pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
+    let io_err = |e: std::io::Error| StorageError::Invalid(format!("io error: {e}"));
+    fs::create_dir_all(dir).map_err(io_err)?;
+    let manifest = manifest_of(db)?;
+    fs::write(dir.join("_schema.csv"), to_csv(&manifest)).map_err(io_err)?;
+    for rel in db.relations() {
+        fs::write(dir.join(format!("{}.csv", rel.name())), to_csv(rel)).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Load a database previously written by [`save_database`].
+pub fn load_database(dir: &Path) -> Result<Database> {
+    let io_err = |e: std::io::Error| StorageError::Invalid(format!("io error: {e}"));
+    let manifest_text = fs::read_to_string(dir.join("_schema.csv")).map_err(io_err)?;
+    let manifest = from_csv("_schema", schema_manifest_schema(), &manifest_text)?;
+
+    // Group manifest rows by relation, ordered by position.
+    let mut relations: Vec<String> = Vec::new();
+    for t in manifest.iter() {
+        let name = t.get(0).as_str().unwrap_or_default().to_string();
+        if !relations.contains(&name) {
+            relations.push(name);
+        }
+    }
+
+    let mut db = Database::new();
+    for rel_name in relations {
+        let mut attrs: Vec<(i64, Attribute)> = Vec::new();
+        for t in manifest.iter() {
+            if t.get(0).as_str() != Some(rel_name.as_str()) {
+                continue;
+            }
+            let pos = t
+                .get(1)
+                .as_int()
+                .ok_or_else(|| StorageError::Invalid("bad manifest Position".to_string()))?;
+            let name = t
+                .get(2)
+                .as_str()
+                .ok_or_else(|| StorageError::Invalid("bad manifest Attribute".to_string()))?;
+            let is_key = t.get(3).as_int().unwrap_or(0) != 0;
+            let ty = ValueType::from_keyword(t.get(4).as_str().unwrap_or(""))
+                .ok_or_else(|| StorageError::Invalid("bad manifest Type".to_string()))?;
+            let char_len = t.get(5).as_int().unwrap_or(0);
+            let domain = if char_len > 0 && ty == ValueType::Str {
+                Domain::char_n(char_len as usize)
+            } else {
+                Domain::basic(ty)
+            };
+            let attr = if is_key {
+                Attribute::key(name, domain)
+            } else {
+                Attribute::new(name, domain)
+            };
+            attrs.push((pos, attr));
+        }
+        attrs.sort_by_key(|(pos, _)| *pos);
+        let schema = Schema::new(attrs.into_iter().map(|(_, a)| a).collect())?;
+        let text = fs::read_to_string(dir.join(format!("{rel_name}.csv"))).map_err(io_err)?;
+        db.create(from_csv(&rel_name, schema, &text)?)?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sample_db() -> Database {
+        let schema = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Name", Domain::char_n(20)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut ships = Relation::new("SHIPS", schema);
+        ships
+            .insert_all([
+                tuple!["SSBN730", "Rhode Island", 16600],
+                tuple!["SSN671", "Narwhal", 4450],
+            ])
+            .unwrap();
+        let schema2 = Schema::new(vec![
+            Attribute::key("Type", Domain::char_n(4)),
+            Attribute::new("Count", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut types = Relation::new("TYPES", schema2);
+        types.insert(tuple!["SSN", 17]).unwrap();
+        let mut db = Database::new();
+        db.create(ships).unwrap();
+        db.create(types).unwrap();
+        db
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("intensio_persist_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = tmpdir("roundtrip");
+        let db = sample_db();
+        save_database(&db, &dir).unwrap();
+        let loaded = load_database(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let ships = loaded.get("SHIPS").unwrap();
+        assert_eq!(ships.len(), 2);
+        assert_eq!(ships.tuples(), db.get("SHIPS").unwrap().tuples());
+        // Keys survive: duplicate insert must fail.
+        let mut loaded = loaded;
+        assert!(loaded
+            .get_mut("SHIPS")
+            .unwrap()
+            .insert(tuple!["SSBN730", "Impostor", 1])
+            .is_err());
+        // char[n] domains survive: overlong strings rejected.
+        assert!(loaded
+            .get_mut("SHIPS")
+            .unwrap()
+            .insert(tuple!["WAY-TOO-LONG-ID", "x", 1])
+            .is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let dir = tmpdir("missing").join("nope");
+        assert!(load_database(&dir).is_err());
+    }
+
+    #[test]
+    fn save_is_idempotent() {
+        let dir = tmpdir("idempotent");
+        let db = sample_db();
+        save_database(&db, &dir).unwrap();
+        save_database(&db, &dir).unwrap();
+        let loaded = load_database(&dir).unwrap();
+        assert_eq!(loaded.total_tuples(), db.total_tuples());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,417 @@
+//! Relations: named collections of tuples over a schema.
+
+use crate::error::{Result, StorageError};
+use crate::index::AttributeIndex;
+use crate::schema::{Schema, SchemaRef};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueKey};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// An in-memory relation (table).
+///
+/// Tuples preserve insertion order, matching the paper's QUEL prototype
+/// where physical order is only changed by explicit `sort by`. If the
+/// schema declares key attributes, key uniqueness is enforced on insert.
+#[derive(Debug)]
+pub struct Relation {
+    name: String,
+    schema: SchemaRef,
+    tuples: Vec<Tuple>,
+    key_indices: Vec<usize>,
+    key_set: BTreeSet<Vec<ValueKey>>,
+    /// Mutation counter for lazy index invalidation.
+    version: u64,
+    /// Lazily built secondary indexes: attr (lowercase) -> (version,
+    /// index). Interior mutability lets read-only scans build and reuse
+    /// indexes; the lock is uncontended in single-threaded use.
+    indexes: RwLock<HashMap<String, (u64, AttributeIndex)>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            name: self.name.clone(),
+            schema: Arc::clone(&self.schema),
+            tuples: self.tuples.clone(),
+            key_indices: self.key_indices.clone(),
+            key_set: self.key_set.clone(),
+            version: self.version,
+            indexes: RwLock::new(self.indexes.read().map(|m| m.clone()).unwrap_or_default()),
+        }
+    }
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Relation {
+        Self::with_schema_ref(name, Arc::new(schema))
+    }
+
+    /// Create an empty relation sharing an existing schema handle.
+    pub fn with_schema_ref(name: impl Into<String>, schema: SchemaRef) -> Relation {
+        let key_indices = schema.key_indices();
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+            key_indices,
+            key_set: BTreeSet::new(),
+            version: 0,
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Bump the mutation counter (invalidates cached indexes lazily).
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the relation (used by `retrieve into`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A shared handle to the schema.
+    pub fn schema_ref(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over tuples in physical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Insert a tuple, validating schema conformance and key uniqueness.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        tuple.check(&self.schema)?;
+        if !self.key_indices.is_empty() {
+            let key = tuple.key(&self.key_indices);
+            if !self.key_set.insert(key.clone()) {
+                return Err(StorageError::DuplicateKey {
+                    relation: self.name.clone(),
+                    key: format!("{}", tuple.project(&self.key_indices)),
+                });
+            }
+        }
+        self.tuples.push(tuple);
+        self.touch();
+        Ok(())
+    }
+
+    /// Insert many tuples; stops at the first error.
+    pub fn insert_all<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> Result<()> {
+        for t in tuples {
+            self.insert(t)?;
+        }
+        Ok(())
+    }
+
+    /// Insert without key/domain validation. For internal operators whose
+    /// outputs are derived (projections lose keys, values already checked).
+    pub(crate) fn push_unchecked(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+        self.touch();
+    }
+
+    /// Delete all tuples matching `pred`; returns the number removed.
+    pub fn delete_where<F: FnMut(&Tuple) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !pred(t));
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            if !self.key_indices.is_empty() {
+                self.rebuild_key_set();
+            }
+            self.touch();
+        }
+        removed
+    }
+
+    /// Remove every tuple.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.key_set.clear();
+        self.touch();
+    }
+
+    /// Replace the relation's contents with `tuples`, validating each
+    /// (used by updates that rewrite tuples in place). On error the
+    /// relation is left empty of the failing suffix; callers treat the
+    /// operation as transactional by cloning first.
+    pub fn replace_all<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> Result<()> {
+        self.clear();
+        self.insert_all(tuples)
+    }
+
+    fn rebuild_key_set(&mut self) {
+        self.key_set = self
+            .tuples
+            .iter()
+            .map(|t| t.key(&self.key_indices))
+            .collect();
+    }
+
+    /// Whether a tuple with the given key values exists.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        if self.key_indices.is_empty() {
+            return false;
+        }
+        let key: Vec<ValueKey> = key.iter().cloned().map(ValueKey).collect();
+        self.key_set.contains(&key)
+    }
+
+    /// Find the first tuple whose key attributes equal `key`.
+    pub fn find_by_key(&self, key: &[Value]) -> Option<&Tuple> {
+        if self.key_indices.len() != key.len() {
+            return None;
+        }
+        self.tuples.iter().find(|t| {
+            self.key_indices
+                .iter()
+                .zip(key)
+                .all(|(&i, v)| t.get(i).sem_eq(v))
+        })
+    }
+
+    /// Sort tuples in place by the listed attribute positions (ascending,
+    /// using the total value order).
+    pub fn sort_by_indices(&mut self, indices: &[usize]) {
+        self.touch();
+        self.tuples.sort_by(|a, b| {
+            for &i in indices {
+                let o = a.get(i).total_cmp(b.get(i));
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    /// Sort tuples in place by attribute names.
+    pub fn sort_by_names(&mut self, names: &[&str]) -> Result<()> {
+        let mut indices = Vec::with_capacity(names.len());
+        for n in names {
+            indices.push(self.schema.require(&self.name, n)?);
+        }
+        self.sort_by_indices(&indices);
+        Ok(())
+    }
+
+    /// Run `f` over the (lazily built, cached) secondary index on
+    /// `attr`. The index is rebuilt when the relation has mutated since
+    /// it was last built.
+    pub fn with_index<R>(&self, attr: &str, f: impl FnOnce(&AttributeIndex) -> R) -> Result<R> {
+        let idx = self.schema.require(&self.name, attr)?;
+        let key = attr.to_ascii_lowercase();
+        {
+            let cache = self.indexes.read().expect("index lock poisoned");
+            if let Some((v, index)) = cache.get(&key) {
+                if *v == self.version {
+                    return Ok(f(index));
+                }
+            }
+        }
+        let built = AttributeIndex::build(self.tuples.iter().map(|t| t.get(idx)));
+        let mut cache = self.indexes.write().expect("index lock poisoned");
+        let entry = cache.entry(key).insert_entry((self.version, built));
+        Ok(f(&entry.get().1))
+    }
+
+    /// Positions of tuples whose `attr` equals `v`, via the secondary
+    /// index.
+    pub fn index_lookup(&self, attr: &str, v: &Value) -> Result<Vec<usize>> {
+        self.with_index(attr, |idx| idx.lookup(v).to_vec())
+    }
+
+    /// Positions of tuples whose `attr` lies within the bounds
+    /// (`(value, inclusive)`), via the secondary index, in value order.
+    pub fn index_range(
+        &self,
+        attr: &str,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Result<Vec<usize>> {
+        self.with_index(attr, |idx| idx.range(lo, hi))
+    }
+
+    /// The distinct values of one attribute, sorted by the total order.
+    pub fn distinct_values(&self, attr: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.require(&self.name, attr)?;
+        let mut set: BTreeSet<ValueKey> = BTreeSet::new();
+        for t in &self.tuples {
+            set.insert(ValueKey(t.get(idx).clone()));
+        }
+        Ok(set.into_iter().map(|k| k.0).collect())
+    }
+
+    /// Column accessor: all values of one attribute in physical order.
+    pub fn column(&self, attr: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.require(&self.name, attr)?;
+        Ok(self.tuples.iter().map(|t| t.get(idx).clone()).collect())
+    }
+
+    /// Render as an ASCII table in the style of the paper's example
+    /// answers (header row, separator, data rows).
+    pub fn to_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rows: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.values().iter().map(|v| v.render_bare()).collect())
+            .collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:<w$} |"));
+            }
+            line
+        };
+        let sep = {
+            let mut line = String::from("+");
+            for w in &widths {
+                line.push_str(&"-".repeat(w + 2));
+                line.push('+');
+            }
+            line
+        };
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {}", self.name, self.schema)?;
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::Attribute;
+    use crate::tuple;
+
+    fn submarine() -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Name", Domain::char_n(20)),
+            Attribute::new("Class", Domain::char_n(4)),
+        ])
+        .unwrap();
+        Relation::new("SUBMARINE", schema)
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut r = submarine();
+        r.insert(tuple!["SSBN730", "Rhode Island", "0101"]).unwrap();
+        r.insert(tuple!["SSN582", "Bonefish", "0215"]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut r = submarine();
+        r.insert(tuple!["SSBN730", "Rhode Island", "0101"]).unwrap();
+        let err = r.insert(tuple!["SSBN730", "Impostor", "0101"]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn delete_where_updates_key_set() {
+        let mut r = submarine();
+        r.insert(tuple!["SSBN730", "Rhode Island", "0101"]).unwrap();
+        let removed = r.delete_where(|t| t.get(0) == &Value::str("SSBN730"));
+        assert_eq!(removed, 1);
+        // Key is free again after delete.
+        r.insert(tuple!["SSBN730", "Rhode Island", "0101"]).unwrap();
+    }
+
+    #[test]
+    fn find_by_key() {
+        let mut r = submarine();
+        r.insert(tuple!["SSN582", "Bonefish", "0215"]).unwrap();
+        let t = r.find_by_key(&[Value::str("SSN582")]).unwrap();
+        assert_eq!(t.get(1), &Value::str("Bonefish"));
+        assert!(r.find_by_key(&[Value::str("NOPE")]).is_none());
+    }
+
+    #[test]
+    fn sort_and_distinct() {
+        let mut r = submarine();
+        r.insert(tuple!["SSN592", "Snook", "0209"]).unwrap();
+        r.insert(tuple!["SSBN130", "Typhoon", "1301"]).unwrap();
+        r.insert(tuple!["SSN582", "Bonefish", "0209"]).unwrap();
+        r.sort_by_names(&["Id"]).unwrap();
+        assert_eq!(r.tuples()[0].get(0), &Value::str("SSBN130"));
+        let classes = r.distinct_values("Class").unwrap();
+        assert_eq!(classes, vec![Value::str("0209"), Value::str("1301")]);
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_rows() {
+        let mut r = submarine();
+        r.insert(tuple!["SSN582", "Bonefish", "0215"]).unwrap();
+        let table = r.to_table();
+        assert!(table.contains("| Id "));
+        assert!(table.contains("Bonefish"));
+    }
+
+    #[test]
+    fn arity_violation_rejected() {
+        let mut r = submarine();
+        assert!(r.insert(tuple!["only-one"]).is_err());
+    }
+}

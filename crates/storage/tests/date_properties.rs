@@ -1,0 +1,44 @@
+//! Property tests for the calendar date implementation.
+
+use intensio_storage::date::Date;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn day_number_round_trip(days in -1_000_000i64..1_000_000) {
+        let d = Date::from_days_from_epoch(days);
+        prop_assert_eq!(d.days_from_epoch(), days);
+    }
+
+    #[test]
+    fn ordering_matches_day_numbers(a in -500_000i64..500_000, b in -500_000i64..500_000) {
+        let da = Date::from_days_from_epoch(a);
+        let db = Date::from_days_from_epoch(b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+    }
+
+    #[test]
+    fn plus_days_is_additive(start in -100_000i64..100_000, step in -1000i64..1000) {
+        let d = Date::from_days_from_epoch(start);
+        let e = d.plus_days(step);
+        prop_assert_eq!(e.days_since(&d), step);
+    }
+
+    #[test]
+    fn display_parse_round_trip(days in -500_000i64..500_000) {
+        let d = Date::from_days_from_epoch(days);
+        let s = d.to_string();
+        let back: Date = s.parse().unwrap();
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn components_are_valid(days in -500_000i64..500_000) {
+        let d = Date::from_days_from_epoch(days);
+        prop_assert!((1..=12).contains(&d.month()));
+        prop_assert!((1..=31).contains(&d.day()));
+        // Reconstructing from components must succeed and agree.
+        let rebuilt = Date::new(d.year(), d.month(), d.day()).unwrap();
+        prop_assert_eq!(rebuilt, d);
+    }
+}

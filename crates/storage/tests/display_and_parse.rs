@@ -1,0 +1,96 @@
+//! Rendering and parsing smoke tests: Display impls are part of the
+//! public contract (examples, dictionary output, rule printing all rely
+//! on them).
+
+use intensio_storage::prelude::*;
+use intensio_storage::tuple;
+
+#[test]
+fn expr_displays_read_like_source() {
+    let e = Expr::And(
+        Box::new(Expr::cmp_value(
+            AttrRef::qualified("c", "Displacement"),
+            CmpOp::Gt,
+            8000,
+        )),
+        Box::new(Expr::Not(Box::new(Expr::cmp_value(
+            AttrRef::bare("Type"),
+            CmpOp::Eq,
+            "SSN",
+        )))),
+    );
+    assert_eq!(
+        e.to_string(),
+        "(c.Displacement > 8000 and not (Type = \"SSN\"))"
+    );
+    let arith = Expr::Arith {
+        op: ArithOp::Div,
+        left: Box::new(Expr::Attr(AttrRef::bare("A"))),
+        right: Box::new(Expr::Const(Value::Int(2))),
+    };
+    assert_eq!(arith.to_string(), "(A / 2)");
+}
+
+#[test]
+fn schema_display_marks_keys() {
+    let s = Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(7)),
+        Attribute::new("Name", Domain::char_n(20)),
+    ])
+    .unwrap();
+    let text = s.to_string();
+    assert!(text.contains("*Id"), "{text}");
+    assert!(!text.contains("*Name"), "{text}");
+}
+
+#[test]
+fn value_from_impls() {
+    assert_eq!(Value::from(7i64), Value::Int(7));
+    assert_eq!(Value::from(7i32), Value::Int(7));
+    assert_eq!(Value::from(1.5f64), Value::Real(1.5));
+    assert_eq!(Value::from("x"), Value::str("x"));
+    assert_eq!(Value::from(String::from("y")), Value::str("y"));
+    let d = Date::new(1991, 4, 8).unwrap();
+    assert_eq!(Value::from(d), Value::Date(d));
+}
+
+#[test]
+fn relation_table_aligns_columns() {
+    let s = Schema::new(vec![
+        Attribute::new("A", Domain::char_n(10)),
+        Attribute::new("LongHeader", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut r = Relation::new("T", s);
+    r.insert(tuple!["x", 1]).unwrap();
+    r.insert(tuple!["longvalue", 22222]).unwrap();
+    let t = r.to_table();
+    let lines: Vec<&str> = t.lines().collect();
+    // Every border row has the same width.
+    let widths: std::collections::BTreeSet<usize> = lines.iter().map(|l| l.len()).collect();
+    assert_eq!(widths.len(), 1, "ragged table:\n{t}");
+}
+
+#[test]
+fn domain_display_mentions_constraints() {
+    let d = Domain::int_range("AGE", 0, 200);
+    let text = d.to_string();
+    assert!(text.contains("AGE"));
+    assert!(text.contains("range [0..200]"), "{text}");
+    assert!(Domain::char_n(4).to_string().contains("char[4]"));
+}
+
+#[test]
+fn tuple_macro_accepts_mixed_literals() {
+    let d = Date::new(1981, 1, 1).unwrap();
+    let t = tuple!["id", 5, 1.25, d];
+    assert_eq!(t.arity(), 4);
+    assert_eq!(t.get(3), &Value::Date(d));
+}
+
+#[test]
+fn value_parse_as_date() {
+    let v = Value::parse_as("1981-06-30", ValueType::Date).unwrap();
+    assert_eq!(v.as_date().unwrap().year(), 1981);
+    assert!(Value::parse_as("junk", ValueType::Date).is_err());
+}

@@ -1,0 +1,88 @@
+//! Property tests: the secondary index must agree with a full scan for
+//! every lookup and range, across mutations.
+
+use intensio_storage::prelude::*;
+use intensio_storage::tuple::Tuple;
+use proptest::prelude::*;
+
+fn relation_of(xs: &[i64]) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::new("X", Domain::basic(ValueType::Int)),
+        Attribute::new("Tag", Domain::basic(ValueType::Int)),
+    ])
+    .unwrap();
+    let mut r = Relation::new("T", schema);
+    for (i, x) in xs.iter().enumerate() {
+        r.insert(Tuple::new(vec![Value::Int(*x), Value::Int(i as i64)]))
+            .unwrap();
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn lookup_agrees_with_scan(xs in prop::collection::vec(-20i64..20, 0..60), probe in -25i64..25) {
+        let r = relation_of(&xs);
+        let via_index = r.index_lookup("X", &Value::Int(probe)).unwrap();
+        let via_scan: Vec<usize> = xs
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| **x == probe)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn range_agrees_with_scan(
+        xs in prop::collection::vec(-20i64..20, 0..60),
+        a in -25i64..25,
+        b in -25i64..25,
+        lo_incl: bool,
+        hi_incl: bool,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let r = relation_of(&xs);
+        let (lv, hv) = (Value::Int(lo), Value::Int(hi));
+        let mut via_index = r
+            .index_range("X", Some((&lv, lo_incl)), Some((&hv, hi_incl)))
+            .unwrap();
+        via_index.sort_unstable();
+        let mut via_scan: Vec<usize> = xs
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| {
+                let lo_ok = if lo_incl { **x >= lo } else { **x > lo };
+                let hi_ok = if hi_incl { **x <= hi } else { **x < hi };
+                lo_ok && hi_ok
+            })
+            .map(|(i, _)| i)
+            .collect();
+        via_scan.sort_unstable();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn index_survives_mutation(
+        xs in prop::collection::vec(-10i64..10, 1..40),
+        extra in -10i64..10,
+        delete_below in -10i64..10,
+    ) {
+        let mut r = relation_of(&xs);
+        // Prime the cache.
+        let _ = r.index_lookup("X", &Value::Int(0)).unwrap();
+        // Mutate: insert then delete.
+        r.insert(Tuple::new(vec![Value::Int(extra), Value::Int(999)])).unwrap();
+        r.delete_where(|t| t.get(0).as_int().unwrap() < delete_below);
+        // Index must reflect the current contents exactly.
+        let survivors: Vec<i64> = r
+            .iter()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
+        for probe in -12i64..12 {
+            let via_index = r.index_lookup("X", &Value::Int(probe)).unwrap().len();
+            let via_scan = survivors.iter().filter(|x| **x == probe).count();
+            prop_assert_eq!(via_index, via_scan, "probe {}", probe);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Intensional answering on a different domain: a personnel database.
+//!
+//! §5.2.2 illustrates rule clauses with `Employee.Age` and
+//! `Employee.Position`; this example builds that database, declares a
+//! KER hierarchy over job grades, induces rules, and asks salary-band
+//! questions that get intensional answers ("everyone in the answer is
+//! a SENIOR engineer") — demonstrating that nothing in the system is
+//! ship-specific.
+//!
+//! ```sh
+//! cargo run --example personnel
+//! ```
+
+use intensio::prelude::*;
+use intensio_storage::tuple;
+
+fn build_db() -> std::result::Result<Database, StorageError> {
+    let schema = Schema::new(vec![
+        Attribute::key("EmpId", Domain::char_n(5)),
+        Attribute::new("Name", Domain::char_n(20)),
+        Attribute::new("Position", Domain::char_n(10)),
+        Attribute::new("Grade", Domain::char_n(8)),
+        Attribute::new("Age", Domain::int_range("AGE", 18, 65)),
+        Attribute::new("Salary", Domain::basic(ValueType::Int)),
+    ])?;
+    let mut emp = Relation::new("EMPLOYEE", schema);
+    // Grades are salary-banded: JUNIOR < 60k <= MID < 90k <= SENIOR.
+    let rows: &[(&str, &str, &str, &str, i64, i64)] = &[
+        ("E0001", "Ada", "ENGINEER", "SENIOR", 44, 120_000),
+        ("E0002", "Grace", "ENGINEER", "SENIOR", 51, 110_000),
+        ("E0003", "Edsger", "ENGINEER", "SENIOR", 47, 95_000),
+        ("E0004", "Alan", "ENGINEER", "MID", 33, 82_000),
+        ("E0005", "Barbara", "ENGINEER", "MID", 36, 76_000),
+        ("E0006", "Tony", "ENGINEER", "MID", 31, 64_000),
+        ("E0007", "Donald", "ENGINEER", "JUNIOR", 24, 55_000),
+        ("E0008", "John", "ENGINEER", "JUNIOR", 23, 48_000),
+        ("E0009", "Leslie", "ANALYST", "JUNIOR", 26, 42_000),
+        ("E0010", "Niklaus", "ANALYST", "MID", 39, 71_000),
+        ("E0011", "Ole", "ANALYST", "SENIOR", 55, 98_000),
+        ("E0012", "Kristen", "MANAGER", "SENIOR", 49, 130_000),
+    ];
+    for (id, name, pos, grade, age, salary) in rows {
+        emp.insert(tuple![*id, *name, *pos, *grade, *age, *salary])?;
+    }
+    let mut db = Database::new();
+    db.create(emp)?;
+    Ok(db)
+}
+
+const PERSONNEL_KER: &str = r#"
+object type EMPLOYEE
+  has key: EmpId    domain: CHAR[5]
+  has:     Name     domain: CHAR[20]
+  has:     Position domain: CHAR[10]
+  has:     Grade    domain: CHAR[8]
+  has:     Age      domain: INTEGER
+  has:     Salary   domain: INTEGER
+
+EMPLOYEE contains JUNIOR, MID, SENIOR
+
+JUNIOR isa EMPLOYEE with Grade = "JUNIOR"
+MID    isa EMPLOYEE with Grade = "MID"
+SENIOR isa EMPLOYEE with Grade = "SENIOR"
+"#;
+
+fn main() -> std::result::Result<(), IqpError> {
+    let db = build_db()?;
+    let model = KerModel::parse(PERSONNEL_KER).expect("schema parses");
+    let mut iqp = IntensionalQueryProcessor::new(db, model)
+        .with_induction_config(InductionConfig::with_min_support(2));
+    let stats = iqp.learn()?;
+    println!(
+        "Induced {} rules from the personnel database:\n{}",
+        stats.rules_kept,
+        iqp.dictionary().rules()
+    );
+
+    // Who earns six figures? Intensionally: only SENIOR staff do.
+    let a =
+        iqp.query("SELECT Name, Grade, Salary FROM EMPLOYEE WHERE Salary > 100000 ORDER BY Name")?;
+    println!("{}", a.render());
+    assert!(a.intensional.subtypes().contains(&"SENIOR"));
+
+    // Describe the SENIOR grade without enumerating it.
+    let b = iqp.query_intensional("SELECT Name FROM EMPLOYEE WHERE Grade = 'SENIOR'")?;
+    println!("Describe SENIOR:\n{}", b.render());
+
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Quickstart: assemble the intensional query processing system over the
+//! paper's ship test bed, learn rules, and run the paper's Example 1.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use intensio::prelude::*;
+
+fn main() -> std::result::Result<(), IqpError> {
+    // 1. The test bed: the Appendix C database and Appendix B KER schema.
+    let db = intensio::shipdb::ship_database()?;
+    let model = intensio::shipdb::ship_model().expect("schema parses");
+
+    // 2. Assemble the system (Figure 6) and let the inductive learning
+    //    subsystem analyze the database contents.
+    let mut iqp = IntensionalQueryProcessor::new(db, model);
+    let stats = iqp.learn()?;
+    println!(
+        "ILS examined {} attribute pairs and kept {} rules:\n",
+        stats.pairs_examined, stats.rules_kept
+    );
+    println!("{}", iqp.dictionary().rules());
+
+    // 3. Example 1: submarines displacing more than 8000 tons.
+    let answer = iqp.query(
+        "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+         FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS \
+         AND CLASS.DISPLACEMENT > 8000",
+    )?;
+    println!("{}", answer.render());
+
+    // The intensional answer is the paper's A_I: every answer is an SSBN.
+    assert!(answer.intensional.subtypes().contains(&"SSBN"));
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! An interactive shell over the intensional query processing system —
+//! the closest thing to sitting at the 1990 prototype's terminal.
+//!
+//! Accepts SQL (`SELECT ...`), QUEL (`range of ...`, `retrieve ...`,
+//! `delete ...`, `append ...`, `replace ...`), and dot-commands; starts
+//! with the ship test bed loaded.
+//!
+//! ```sh
+//! cargo run --example shell            # interactive
+//! echo '.rules' | cargo run --example shell   # scripted
+//! ```
+
+use intensio::prelude::*;
+use std::io::{self, BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  SELECT ...              run a SQL query (extensional + intensional answer)
+  range of / retrieve /   run a QUEL statement against the database
+  delete / append / replace
+  .learn [N_c]            run the inductive learning subsystem (default N_c = 3)
+  .rules                  show the induced rule set
+  .dict                   show the intelligent data dictionary (frames + rules)
+  .explain SELECT ...     show the executor's plan for a query
+  .tables                 list relations
+  .schema REL             show a relation's schema
+  .show REL               print a relation's contents
+  .save DIR / .load DIR   persist / restore the database as CSV files
+  .help                   this text
+  .quit                   exit";
+
+struct Shell {
+    iqp: IntensionalQueryProcessor,
+    quel: intensio::quel::Session,
+}
+
+impl Shell {
+    fn new() -> Shell {
+        let db = intensio::shipdb::ship_database().expect("test bed builds");
+        let model = intensio::shipdb::ship_model().expect("schema parses");
+        Shell {
+            iqp: IntensionalQueryProcessor::new(db, model),
+            quel: intensio::quel::Session::new(),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let lower = line.to_ascii_lowercase();
+        let result: std::result::Result<String, String> = if line == ".quit" || line == ".exit" {
+            return false;
+        } else if line == ".help" {
+            Ok(HELP.to_string())
+        } else if let Some(rest) = line.strip_prefix(".learn") {
+            let nc: usize = rest.trim().parse().unwrap_or(3);
+            self.iqp
+                .learn_with_nc(nc)
+                .map(|stats| {
+                    format!(
+                        "examined {} pairs, kept {} rules (N_c = {nc})",
+                        stats.pairs_examined, stats.rules_kept
+                    )
+                })
+                .map_err(|e| e.to_string())
+        } else if line == ".rules" {
+            Ok(self.iqp.dictionary().rules().to_string())
+        } else if line == ".dict" {
+            Ok(self.iqp.dictionary().to_string())
+        } else if line == ".tables" {
+            Ok(self
+                .iqp
+                .db()
+                .relations()
+                .map(|r| format!("{} ({} tuples)", r.name(), r.len()))
+                .collect::<Vec<_>>()
+                .join("\n"))
+        } else if let Some(sql) = line.strip_prefix(".explain ") {
+            intensio::sql::parse(sql.trim())
+                .map_err(|e| e.to_string())
+                .and_then(|q| intensio::sql::explain(self.iqp.db(), &q).map_err(|e| e.to_string()))
+        } else if let Some(rel) = line.strip_prefix(".schema ") {
+            self.iqp
+                .db()
+                .get(rel.trim())
+                .map(|r| format!("{} {}", r.name(), r.schema()))
+                .map_err(|e| e.to_string())
+        } else if let Some(rel) = line.strip_prefix(".show ") {
+            self.iqp
+                .db()
+                .get(rel.trim())
+                .map(|r| r.to_table())
+                .map_err(|e| e.to_string())
+        } else if let Some(dir) = line.strip_prefix(".save ") {
+            intensio::storage::persist::save_database(
+                self.iqp.db(),
+                std::path::Path::new(dir.trim()),
+            )
+            .map(|()| format!("saved to {}", dir.trim()))
+            .map_err(|e| e.to_string())
+        } else if let Some(dir) = line.strip_prefix(".load ") {
+            intensio::storage::persist::load_database(std::path::Path::new(dir.trim()))
+                .map(|db| {
+                    *self.iqp.db_mut() = db;
+                    "loaded (rules invalidated; re-run .learn)".to_string()
+                })
+                .map_err(|e| e.to_string())
+        } else if lower.starts_with("select") {
+            self.iqp
+                .query(line)
+                .map(|a| a.render())
+                .map_err(|e| e.to_string())
+        } else if ["range", "retrieve", "delete", "append", "replace"]
+            .iter()
+            .any(|k| lower.starts_with(k))
+        {
+            // QUEL goes straight at the database. Statements that change
+            // base data invalidate learned rules; `range of`, plain
+            // `retrieve`, and `retrieve into` (scratch relations) do not.
+            let mutating = ["delete", "append", "replace"]
+                .iter()
+                .any(|k| lower.starts_with(k));
+            let db = if mutating {
+                self.iqp.db_mut()
+            } else {
+                self.iqp.db_mut_preserving_rules()
+            };
+            self.quel
+                .execute(db, line)
+                .map(|out| match out {
+                    intensio::quel::Output::Relation(r) => r.to_table(),
+                    intensio::quel::Output::Stored(name) => format!("stored into {name}"),
+                    intensio::quel::Output::Affected(n) => format!("{n} tuples affected"),
+                    intensio::quel::Output::None => "ok".to_string(),
+                })
+                .map_err(|e| e.to_string())
+        } else {
+            Err(format!("unrecognized input (try .help): {line}"))
+        };
+        match result {
+            Ok(s) => println!("{s}"),
+            Err(e) => println!("error: {e}"),
+        }
+        true
+    }
+}
+
+trait LearnWithNc {
+    fn learn_with_nc(
+        &mut self,
+        nc: usize,
+    ) -> std::result::Result<intensio::induction::IlsStats, IqpError>;
+}
+
+impl LearnWithNc for IntensionalQueryProcessor {
+    fn learn_with_nc(
+        &mut self,
+        nc: usize,
+    ) -> std::result::Result<intensio::induction::IlsStats, IqpError> {
+        // Rebuild with the requested threshold, preserving the database.
+        let db = self.db().clone();
+        let model = self.dictionary().model().clone();
+        *self = IntensionalQueryProcessor::new(db, model)
+            .with_induction_config(InductionConfig::with_min_support(nc));
+        self.learn()
+    }
+}
+
+fn main() {
+    println!("intensio shell — ship test bed loaded; .help for commands");
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("intensio> ");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !shell.dispatch(&line) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Crude interactivity check without a dependency: honoring an env
+/// override, default to non-interactive (no prompt noise when piped).
+fn atty_stdin() -> bool {
+    std::env::var("INTENSIO_INTERACTIVE").is_ok()
+}

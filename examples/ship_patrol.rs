@@ -1,0 +1,90 @@
+//! The paper's three worked examples (§6), run end to end, with the
+//! inference trace printed — the scenario the paper's introduction
+//! motivates: a fleet analyst asking about submarines and getting
+//! summarized answers instead of raw tuples.
+//!
+//! ```sh
+//! cargo run --example ship_patrol
+//! ```
+
+use intensio::prelude::*;
+
+fn run(
+    iqp: &IntensionalQueryProcessor,
+    title: &str,
+    sql: &str,
+) -> std::result::Result<(), IqpError> {
+    println!("==============================================");
+    println!("{title}");
+    println!("----------------------------------------------");
+    println!("{sql}\n");
+    let answer = iqp.query(sql)?;
+    println!("{}", answer.render());
+    println!("Inference trace:");
+    for step in &answer.intensional.steps {
+        println!("  - {step}");
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> std::result::Result<(), IqpError> {
+    let mut iqp = IntensionalQueryProcessor::new(
+        intensio::shipdb::ship_database()?,
+        intensio::shipdb::ship_model().expect("schema parses"),
+    );
+    iqp.learn()?;
+
+    run(
+        &iqp,
+        "Example 1 — forward inference (answer contains extension)",
+        "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+         FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+    )?;
+
+    run(
+        &iqp,
+        "Example 2 — backward inference (partial description, incompleteness noted)",
+        "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+    )?;
+
+    run(
+        &iqp,
+        "Example 3 — combined inference across SUBMARINE and SONAR via INSTALL",
+        "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+         FROM SUBMARINE, CLASS, INSTALL \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS \
+         AND SUBMARINE.ID = INSTALL.SHIP \
+         AND INSTALL.SONAR = \"BQS-04\"",
+    )?;
+
+    // Bonus: the learned rules also optimize queries ([CHU90]-style
+    // semantic query optimization) — forward conclusions become extra
+    // restrictions, and impossible queries are detected without touching
+    // the data.
+    println!("==============================================");
+    println!("Semantic query optimization with the same rules");
+    println!("----------------------------------------------");
+    match iqp.optimize(
+        "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+    )? {
+        Optimized::Rewritten { added, .. } => {
+            println!("injected restrictions: {added:?}");
+        }
+        other => println!("{other:?}"),
+    }
+    match iqp.optimize("SELECT Class FROM CLASS WHERE Displacement > 50000")? {
+        Optimized::ProvablyEmpty { reason } => {
+            println!("provably empty without scanning: {reason}");
+        }
+        other => println!("{other:?}"),
+    }
+    println!();
+
+    // Show the dictionary the analyst is working against.
+    println!("{}", iqp.dictionary());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # intensio
+//!
+//! A full reproduction of **Wesley W. Chu and Rei-Chi Lee, "Using Type
+//! Inference and Induced Rules to Provide Intensional Answers" (ICDE
+//! 1991)** as a Rust workspace: an *intensional* query answering system
+//! that replies with characterizations ("every answer is an SSBN")
+//! instead of — or alongside — enumerated tuples.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`storage`] | in-memory relational engine (INGRES stand-in) |
+//! | [`quel`] | QUEL subset — the language of the §5.2.1 algorithm |
+//! | [`sql`] | SQL subset + query analysis for inference |
+//! | [`ker`] | the Knowledge-based E-R model (§2, Appendix A) |
+//! | [`rules`] | rules, interval algebra, rule relations (§5.2.2) |
+//! | [`induction`] | the model-based ILS (§3, §5.2) |
+//! | [`inference`] | forward/backward type inference (§4) |
+//! | [`core`] | the assembled system (Figure 6) |
+//! | [`shipdb`] | the naval test bed (§6, Appendices B/C) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use intensio::prelude::*;
+//!
+//! let mut iqp = IntensionalQueryProcessor::new(
+//!     intensio::shipdb::ship_database().unwrap(),
+//!     intensio::shipdb::ship_model().unwrap(),
+//! );
+//! iqp.learn().unwrap();
+//! let a = iqp.query(
+//!     "SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS \
+//!      WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+//! ).unwrap();
+//! println!("{}", a.render());
+//! assert_eq!(a.extensional.len(), 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use intensio_core as core;
+pub use intensio_induction as induction;
+pub use intensio_inference as inference;
+pub use intensio_ker as ker;
+pub use intensio_quel as quel;
+pub use intensio_rules as rules;
+pub use intensio_shipdb as shipdb;
+pub use intensio_sql as sql;
+pub use intensio_storage as storage;
+
+/// The most common items, for glob import.
+pub mod prelude {
+    pub use intensio_core::{
+        load_workspace, save_workspace, summarize, Answer, AnswerSummary, DataDictionary,
+        IntensionalQueryProcessor, IqpError,
+    };
+    pub use intensio_induction::{Ils, InductionConfig};
+    pub use intensio_inference::{
+        optimize, InferenceConfig, InferenceEngine, IntensionalAnswer, Optimized, SubsumptionMode,
+    };
+    pub use intensio_ker::model::KerModel;
+    pub use intensio_rules::prelude::*;
+    pub use intensio_storage::prelude::*;
+}

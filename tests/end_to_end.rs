@@ -1,0 +1,289 @@
+//! Workspace-level integration: the full pipeline from KER schema text
+//! through storage, QUEL-driven induction, rule relations, and SQL-driven
+//! inference — crossing every crate boundary.
+
+use intensio::prelude::*;
+use intensio::shipdb;
+use intensio_storage::tuple;
+
+#[test]
+fn full_pipeline_on_the_ship_test_bed() {
+    let mut iqp = IntensionalQueryProcessor::new(
+        shipdb::ship_database().unwrap(),
+        shipdb::ship_model().unwrap(),
+    );
+    let stats = iqp.learn().unwrap();
+    assert!(stats.rules_kept >= 14);
+
+    // Example 1 through the assembled system.
+    let a = iqp
+        .query(
+            "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+    assert_eq!(a.extensional.len(), 2);
+    assert!(a.intensional.subtypes().contains(&"SSBN"));
+}
+
+#[test]
+fn rules_survive_csv_relocation_between_databases() {
+    // §5.2.2: knowledge is bound to data as rule relations so a database
+    // and its rules can be relocated together. Simulate a relocation:
+    // learn at site A, export rule relations through CSV, import at
+    // site B, and answer intensionally at B without re-learning.
+    let mut site_a = IntensionalQueryProcessor::new(
+        shipdb::ship_database().unwrap(),
+        shipdb::ship_model().unwrap(),
+    );
+    site_a.learn().unwrap();
+    let exported = site_a.dictionary().export_rule_relations().unwrap();
+
+    // Ship as CSV (what would travel with the database files).
+    let rules_csv = intensio_storage::csv::to_csv(&exported.rules);
+    let map_csv = intensio_storage::csv::to_csv(&exported.value_map);
+    let cat_csv = intensio_storage::csv::to_csv(&exported.attr_catalog);
+    let meta_csv = intensio_storage::csv::to_csv(&exported.meta);
+
+    let rebuilt = intensio_rules::encode::RuleRelations {
+        rules: intensio_storage::csv::from_csv(
+            "RULES",
+            exported.rules.schema().clone(),
+            &rules_csv,
+        )
+        .unwrap(),
+        value_map: intensio_storage::csv::from_csv(
+            "ATTRVALUEMAP",
+            exported.value_map.schema().clone(),
+            &map_csv,
+        )
+        .unwrap(),
+        attr_catalog: intensio_storage::csv::from_csv(
+            "ATTRCATALOG",
+            exported.attr_catalog.schema().clone(),
+            &cat_csv,
+        )
+        .unwrap(),
+        meta: intensio_storage::csv::from_csv(
+            "RULEMETA",
+            exported.meta.schema().clone(),
+            &meta_csv,
+        )
+        .unwrap(),
+    };
+
+    let mut site_b = IntensionalQueryProcessor::new(
+        shipdb::ship_database().unwrap(),
+        shipdb::ship_model().unwrap(),
+    );
+    site_b
+        .dictionary_mut()
+        .import_rule_relations(&rebuilt)
+        .unwrap();
+    let a = site_b
+        .query_intensional(
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+        )
+        .unwrap();
+    assert!(!a.partial.is_empty());
+}
+
+#[test]
+fn quel_and_sql_agree_on_the_same_data() {
+    // The same selection through both query languages.
+    let mut db = shipdb::ship_database().unwrap();
+    let via_sql = intensio::sql::query(
+        &db,
+        "SELECT Class FROM CLASS WHERE Displacement > 8000 ORDER BY Class",
+    )
+    .unwrap();
+
+    let mut session = intensio::quel::Session::new();
+    session.execute(&mut db, "range of c is CLASS").unwrap();
+    let via_quel = session
+        .execute(
+            &mut db,
+            "retrieve (c.Class) where c.Displacement > 8000 sort by Class",
+        )
+        .unwrap();
+    let via_quel = via_quel.relation().unwrap();
+
+    assert_eq!(via_sql.len(), via_quel.len());
+    for (a, b) in via_sql.iter().zip(via_quel.iter()) {
+        assert_eq!(a.get(0), b.get(0));
+    }
+}
+
+#[test]
+fn database_updates_flow_through_relearning() {
+    // Add the R_new instance family the paper discusses: more class-1301
+    // boats would push the 1301 rule past N_c and complete Example 2's
+    // answer.
+    let mut db = shipdb::ship_database().unwrap();
+    {
+        let sub = db.get_mut("SUBMARINE").unwrap();
+        sub.insert(tuple!["SSBN131", "Red October", "1301"])
+            .unwrap();
+        sub.insert(tuple!["SSBN132", "Arkhangelsk", "1301"])
+            .unwrap();
+    }
+    let mut iqp = IntensionalQueryProcessor::new(db, shipdb::ship_model().unwrap());
+    iqp.learn().unwrap();
+
+    // Now SSBN130..SSBN132 form a 3-ship run for class 1301.
+    let found = iqp
+        .dictionary()
+        .rules()
+        .iter()
+        .any(|r| r.rhs_subtype.as_deref() == Some("C1301") && r.support >= 3);
+    assert!(found, "the enlarged 1301 class must clear N_c = 3");
+}
+
+#[test]
+fn decision_tree_agrees_with_range_rules_on_ship_types() {
+    // The ID3 learner and the pairwise algorithm should draw the same
+    // SSN/SSBN boundary from the CLASS relation.
+    let db = shipdb::ship_database().unwrap();
+    let class = db.get("CLASS").unwrap();
+    let tree = intensio::induction::tree::learn(
+        class,
+        &["Displacement"],
+        "Type",
+        &intensio::induction::tree::TreeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(tree.accuracy_on(class), 1.0);
+
+    let rules = intensio::induction::induce_pair(
+        class,
+        "CLASS",
+        "Displacement",
+        "CLASS",
+        "Type",
+        &InductionConfig::with_min_support(1),
+    )
+    .unwrap();
+    // Tree threshold between the SSN max (6955) and SSBN min (7250);
+    // range rules end/start exactly there.
+    let ssn_rule = rules
+        .iter()
+        .find(|r| r.y_value == Value::str("SSN"))
+        .unwrap();
+    let ssbn_rule = rules
+        .iter()
+        .find(|r| r.y_value == Value::str("SSBN"))
+        .unwrap();
+    assert_eq!(ssn_rule.hi, Value::Int(6955));
+    assert_eq!(ssbn_rule.lo, Value::Int(7250));
+    assert_eq!(
+        tree.classify(&tuple!["????", "?", "??", 7000]),
+        Value::str("SSN"),
+        "the tree's midpoint threshold (7102.5) puts 7000 on the SSN side"
+    );
+}
+
+#[test]
+fn ker_text_round_trips_through_model_and_rendering() {
+    let model = shipdb::ship_model().unwrap();
+    let rendered = intensio::ker::render::render_model(&model);
+    assert!(rendered.contains("SUBMARINE"));
+    assert!(rendered.contains("├── SSBN") || rendered.contains("└── SSBN"));
+    // Object-type boxes render the constraint rules.
+    assert!(rendered.contains("then x isa SSBN"));
+}
+
+#[test]
+fn synthetic_fleet_pipeline_at_scale() {
+    let fleet = shipdb::generate(shipdb::FleetConfig {
+        seed: 3,
+        n_types: 5,
+        classes_per_type: 6,
+        ships_per_class: 10,
+        sonars_per_family: 3,
+        id_noise: 0.1,
+        overlapping_bands: false,
+    })
+    .unwrap();
+    let mut iqp = IntensionalQueryProcessor::new(fleet.db.clone(), fleet.ker_model())
+        .with_induction_config(InductionConfig::with_min_support(3));
+    iqp.learn().unwrap();
+
+    // Every type is recoverable intensionally from its band.
+    for (ty, (lo, hi)) in &fleet.type_band {
+        let sql = format!(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND CLASS.DISPLACEMENT > {} AND CLASS.DISPLACEMENT < {}",
+            lo - 1,
+            hi + 1
+        );
+        let a = iqp.query_intensional(&sql).unwrap();
+        assert!(
+            a.certain.iter().any(|f| f.value == Value::str(ty.clone())),
+            "type {ty} not concluded from its band"
+        );
+    }
+}
+
+#[test]
+fn multi_clause_tree_rules_drive_forward_inference() {
+    use intensio::induction::Ils;
+    use intensio_storage::tuple;
+
+    let schema = Schema::new(vec![
+        Attribute::key("EmpId", Domain::char_n(5)),
+        Attribute::new("Dept", Domain::char_n(8)),
+        Attribute::new("Salary", Domain::basic(ValueType::Int)),
+        Attribute::new("Grade", Domain::char_n(8)),
+    ])
+    .unwrap();
+    let mut emp = Relation::new("EMPLOYEE", schema);
+    let rows: &[(&str, &str, i64, &str)] = &[
+        ("E0001", "ENG", 120_000, "SENIOR"),
+        ("E0002", "ENG", 110_000, "SENIOR"),
+        ("E0003", "ENG", 95_000, "SENIOR"),
+        ("E0004", "ENG", 80_000, "MID"),
+        ("E0005", "ENG", 60_000, "MID"),
+        ("E0006", "SALES", 120_000, "MID"),
+        ("E0007", "SALES", 110_000, "MID"),
+        ("E0008", "SALES", 95_000, "MID"),
+        ("E0009", "SALES", 50_000, "JUNIOR"),
+        ("E0010", "ENG", 40_000, "JUNIOR"),
+        ("E0011", "SALES", 45_000, "JUNIOR"),
+    ];
+    for (id, dept, salary, grade) in rows {
+        emp.insert(tuple![*id, *dept, *salary, *grade]).unwrap();
+    }
+    let mut db = Database::new();
+    db.create(emp).unwrap();
+    let model = KerModel::parse(
+        r#"
+        object type EMPLOYEE
+          has key: EmpId domain: CHAR[5]
+          has: Dept domain: CHAR[8]
+          has: Salary domain: INTEGER
+          has: Grade domain: CHAR[8]
+        EMPLOYEE contains JUNIOR, MID, SENIOR
+        JUNIOR isa EMPLOYEE with Grade = "JUNIOR"
+        MID    isa EMPLOYEE with Grade = "MID"
+        SENIOR isa EMPLOYEE with Grade = "SENIOR"
+        "#,
+    )
+    .unwrap();
+
+    let ils = Ils::new(&model, InductionConfig::with_min_support(2));
+    let rules = ils.induce_with_trees(&db).unwrap().rules;
+    let engine = InferenceEngine::new(&model, &rules, &db, InferenceConfig::default()).unwrap();
+
+    // Both conditions present: the conjunctive tree rule fires.
+    let q =
+        intensio::sql::parse("SELECT EmpId FROM EMPLOYEE WHERE Salary > 100000 AND Dept = 'ENG'")
+            .unwrap();
+    let a = engine.infer(&intensio::sql::analyze(&db, &q).unwrap());
+    assert!(
+        a.subtypes().contains(&"SENIOR"),
+        "conjunctive premise must fire: {:?}",
+        a.certain
+    );
+}

@@ -1,0 +1,248 @@
+//! Property-based tests on cross-crate invariants: interval algebra,
+//! induction soundness, QUEL/direct agreement, and the rule-relation
+//! round trip — the load-bearing guarantees of the reproduction.
+
+use intensio::prelude::*;
+use intensio_induction::{induce_pair, induce_pair_quel, InductionConfig};
+use intensio_rules::encode::{decode, encode};
+use intensio_storage::tuple::Tuple;
+use proptest::prelude::*;
+
+// ---------- strategies ----------
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        (-50i64..50).prop_map(|v| Value::Real(v as f64 / 2.0)),
+    ]
+}
+
+fn xy_rows() -> impl Strategy<Value = Vec<(i64, u8)>> {
+    prop::collection::vec(((0i64..25), (0u8..4)), 1..60)
+}
+
+fn xy_relation(rows: &[(i64, u8)]) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::new("X", Domain::basic(ValueType::Int)),
+        Attribute::new("Y", Domain::char_n(1)),
+    ])
+    .unwrap();
+    let mut rel = Relation::new("R", schema);
+    for (x, y) in rows {
+        let label = char::from(b'a' + y);
+        rel.insert(Tuple::new(vec![
+            Value::Int(*x),
+            Value::str(label.to_string()),
+        ]))
+        .unwrap();
+    }
+    rel
+}
+
+fn range_pair() -> impl Strategy<Value = (ValueRange, ValueRange)> {
+    let r = (any::<i32>(), any::<i32>()).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        ValueRange::closed(i64::from(lo) % 100, i64::from(hi.max(lo)) % 100)
+    });
+    // Normalize so lo <= hi after the modulo.
+    let fix = r.prop_map(|r| {
+        let lo = r.lo.clone().unwrap().value;
+        let hi = r.hi.clone().unwrap().value;
+        if lo.compare(&hi).unwrap().is_le() {
+            r
+        } else {
+            ValueRange::closed(hi, lo)
+        }
+    });
+    (fix.clone(), fix)
+}
+
+// ---------- interval algebra ----------
+
+proptest! {
+    #[test]
+    fn intersect_agrees_with_contains((a, b) in range_pair(), v in -120i64..120) {
+        let v = Value::Int(v);
+        let both = a.contains(&v) && b.contains(&v);
+        match a.intersect(&b) {
+            Some(i) => prop_assert_eq!(i.contains(&v), both),
+            None => prop_assert!(!both, "empty intersection but {v} is in both"),
+        }
+    }
+
+    #[test]
+    fn subsumption_is_containment((a, b) in range_pair(), v in -120i64..120) {
+        let v = Value::Int(v);
+        if a.subsumes(&b) && b.contains(&v) {
+            prop_assert!(a.contains(&v));
+        }
+    }
+
+    #[test]
+    fn subsumes_is_reflexive_and_antisymmetric_enough((a, b) in range_pair()) {
+        prop_assert!(a.subsumes(&a));
+        if a.subsumes(&b) && b.subsumes(&a) {
+            // Mutual subsumption of closed ranges means equal endpoints.
+            prop_assert!(a.lo.clone().unwrap().value.sem_eq(&b.lo.clone().unwrap().value));
+            prop_assert!(a.hi.clone().unwrap().value.sem_eq(&b.hi.clone().unwrap().value));
+        }
+    }
+
+    #[test]
+    fn merge_covers_both((a, b) in range_pair(), v in -120i64..120) {
+        let v = Value::Int(v);
+        if let Some(m) = a.merge(&b) {
+            if a.contains(&v) || b.contains(&v) {
+                prop_assert!(m.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn total_cmp_is_consistent(a in small_value(), b in small_value(), c in small_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity on a sorted triple.
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        prop_assert_ne!(v[0].total_cmp(&v[1]), Ordering::Greater);
+        prop_assert_ne!(v[1].total_cmp(&v[2]), Ordering::Greater);
+        prop_assert_ne!(v[0].total_cmp(&v[2]), Ordering::Greater);
+    }
+}
+
+// ---------- induction soundness ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under the paper's settings, every induced rule is exact: no
+    /// training instance satisfies the premise while contradicting the
+    /// consequence.
+    #[test]
+    fn induced_rules_are_exact_on_training_data(rows in xy_rows()) {
+        let rel = xy_relation(&rows);
+        let rules = induce_pair(&rel, "R", "X", "R", "Y", &InductionConfig::with_min_support(1)).unwrap();
+        for r in &rules {
+            prop_assert_eq!(r.violations, 0);
+            let mut support = 0usize;
+            for (x, y) in &rows {
+                let label = Value::str(char::from(b'a' + y).to_string());
+                let in_range = *x >= r.lo.as_int().unwrap() && *x <= r.hi.as_int().unwrap();
+                if in_range {
+                    prop_assert!(
+                        label.sem_eq(&r.y_value),
+                        "instance ({x},{label}) violates {:?}", r
+                    );
+                    support += 1;
+                }
+            }
+            prop_assert_eq!(support, r.support);
+        }
+    }
+
+    /// Pruning is monotone in N_c: higher thresholds keep a subset.
+    #[test]
+    fn pruning_is_monotone(rows in xy_rows(), nc in 1usize..6) {
+        let rel = xy_relation(&rows);
+        let low = induce_pair(&rel, "R", "X", "R", "Y", &InductionConfig::with_min_support(nc)).unwrap();
+        let high = induce_pair(&rel, "R", "X", "R", "Y", &InductionConfig::with_min_support(nc + 1)).unwrap();
+        prop_assert!(high.len() <= low.len());
+        for r in &high {
+            prop_assert!(low.contains(r), "rule {r:?} appeared only at higher N_c");
+        }
+    }
+
+    /// The published QUEL statement sequence computes the same rules as
+    /// the direct implementation, on arbitrary data.
+    #[test]
+    fn quel_mirror_matches_direct(rows in xy_rows(), nc in 1usize..4) {
+        let rel = xy_relation(&rows);
+        let cfg = InductionConfig::with_min_support(nc);
+        let direct = induce_pair(&rel, "R", "X", "R", "Y", &cfg).unwrap();
+        let mut db = Database::new();
+        db.create(rel).unwrap();
+        let via_quel = induce_pair_quel(&mut db, "R", "X", "Y", &cfg).unwrap();
+        prop_assert_eq!(direct, via_quel);
+    }
+
+    /// Rules covering disjoint runs: ranges of two rules with different
+    /// consequences never overlap (under Remove + full-order runs).
+    #[test]
+    fn different_consequences_have_disjoint_ranges(rows in xy_rows()) {
+        let rel = xy_relation(&rows);
+        let rules = induce_pair(&rel, "R", "X", "R", "Y", &InductionConfig::with_min_support(1)).unwrap();
+        for (i, a) in rules.iter().enumerate() {
+            for b in rules.iter().skip(i + 1) {
+                let ra = ValueRange::closed(a.lo.clone(), a.hi.clone());
+                let rb = ValueRange::closed(b.lo.clone(), b.hi.clone());
+                prop_assert!(
+                    !ra.intersects(&rb),
+                    "rule ranges overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+// ---------- rule relations ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rule_relations_round_trip(rows in xy_rows(), nc in 1usize..3) {
+        let rel = xy_relation(&rows);
+        let induced = induce_pair(&rel, "R", "X", "R", "Y", &InductionConfig::with_min_support(nc)).unwrap();
+        let rules = RuleSet::from_rules(induced.into_iter().map(|r| r.into_rule()));
+        let encoded = encode(&rules).unwrap();
+        let decoded = decode(&encoded).unwrap();
+        prop_assert_eq!(rules.len(), decoded.len());
+        for (a, b) in rules.iter().zip(decoded.iter()) {
+            prop_assert_eq!(&a.lhs, &b.lhs);
+            prop_assert_eq!(&a.rhs, &b.rhs);
+            prop_assert_eq!(a.support, b.support);
+        }
+    }
+}
+
+// ---------- storage / CSV ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trips_arbitrary_relations(
+        rows in prop::collection::vec((any::<i64>(), "[a-zA-Z ,\"\n]{0,12}"), 0..40)
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::new("N", Domain::basic(ValueType::Int)),
+            Attribute::new("S", Domain::basic(ValueType::Str)),
+        ]).unwrap();
+        let mut rel = Relation::new("T", schema.clone());
+        for (n, s) in &rows {
+            // CSV cannot distinguish an empty string from NULL; keep
+            // strings non-empty for exact round-trips.
+            let s = if s.is_empty() { "x".to_string() } else { s.clone() };
+            rel.insert(Tuple::new(vec![Value::Int(*n), Value::Str(s)])).unwrap();
+        }
+        let text = intensio_storage::csv::to_csv(&rel);
+        let back = intensio_storage::csv::from_csv("T", schema, &text).unwrap();
+        prop_assert_eq!(rel.tuples(), back.tuples());
+    }
+
+    #[test]
+    fn sort_then_scan_is_ordered(xs in prop::collection::vec(any::<i64>(), 0..50)) {
+        let schema = Schema::new(vec![Attribute::new("X", Domain::basic(ValueType::Int))]).unwrap();
+        let mut rel = Relation::new("T", schema);
+        for x in &xs {
+            rel.insert(Tuple::new(vec![Value::Int(*x)])).unwrap();
+        }
+        let sorted = ops::sort(&rel, &["X"]).unwrap();
+        let got: Vec<i64> = sorted.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let mut want = xs.clone();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

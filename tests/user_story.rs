@@ -1,0 +1,122 @@
+//! A full user story across the public API: build, learn, ask, optimize,
+//! summarize, relocate, update, re-learn — the lifecycle a downstream
+//! adopter of the library would follow.
+
+use intensio::prelude::*;
+use intensio_storage::tuple;
+
+#[test]
+fn analyst_lifecycle() {
+    // Day 1: stand the system up and learn.
+    let mut iqp = IntensionalQueryProcessor::new(
+        intensio::shipdb::ship_database().unwrap(),
+        intensio::shipdb::ship_model().unwrap(),
+    );
+    let stats = iqp.learn().unwrap();
+    assert!(stats.rules_kept >= 14);
+
+    // Ask Example 3; the answer carries all three layers.
+    let a = iqp
+        .query(
+            "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE \
+             FROM SUBMARINE, CLASS, INSTALL \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS \
+             AND SUBMARINE.ID = INSTALL.SHIP AND INSTALL.SONAR = \"BQS-04\"",
+        )
+        .unwrap();
+    assert_eq!(a.extensional.len(), 4);
+    assert!(a.intensional.subtypes().contains(&"SSN"));
+    let rendered = a.render();
+    assert!(rendered.contains("In short:"), "{rendered}");
+    assert!(rendered.contains("Aggregate response:"), "{rendered}");
+    assert!(rendered.contains("all SSN"), "{rendered}");
+
+    // The same rules optimize a heavy query.
+    match iqp
+        .optimize(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap()
+    {
+        Optimized::Rewritten { query, added } => {
+            assert!(!added.is_empty());
+            let before = iqp
+                .query_extensional(
+                    "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+                     WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+                )
+                .unwrap();
+            let after = intensio::sql::execute(iqp.db(), &query).unwrap();
+            assert_eq!(before.len(), after.len());
+        }
+        other => panic!("expected a rewrite, got {other:?}"),
+    }
+
+    // Ship the workspace to a second site.
+    let dir = std::env::temp_dir().join(format!("intensio_story_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_workspace(&iqp, &dir).unwrap();
+    let mut site_b = load_workspace(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Site B answers without re-learning...
+    let b = site_b
+        .query_intensional(
+            "SELECT SUBMARINE.NAME FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = \"SSBN\"",
+        )
+        .unwrap();
+    assert!(!b.partial.is_empty());
+
+    // ... then receives new boats, invalidating the rules, and re-learns.
+    site_b
+        .db_mut()
+        .get_mut("SUBMARINE")
+        .unwrap()
+        .insert(tuple!["SSBN131", "Red October", "1301"])
+        .unwrap();
+    assert!(
+        !site_b.dictionary().has_rules(),
+        "mutation invalidates rules"
+    );
+    let stats_b = site_b.learn().unwrap();
+    assert!(stats_b.rules_kept > 0);
+}
+
+#[test]
+fn rule_set_minimize_preserves_answers() {
+    let mut iqp = IntensionalQueryProcessor::new(
+        intensio::shipdb::ship_database().unwrap(),
+        intensio::shipdb::ship_model().unwrap(),
+    )
+    .with_induction_config(InductionConfig::with_min_support(1));
+    iqp.learn().unwrap();
+
+    let before = iqp
+        .query_intensional(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+
+    // Minimize the rule set (drop subsumed rules) and re-ask.
+    let mut rules = iqp.dictionary().rules().clone();
+    let removed = rules.minimize();
+    iqp.dictionary_mut().set_rules(rules);
+    let after = iqp
+        .query_intensional(
+            "SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        )
+        .unwrap();
+
+    // Forward conclusions are preserved (subsumers answer for the
+    // dropped rules); the number removed is reported.
+    let before_subtypes: std::collections::BTreeSet<&str> = before.subtypes().into_iter().collect();
+    let after_subtypes: std::collections::BTreeSet<&str> = after.subtypes().into_iter().collect();
+    assert_eq!(before_subtypes, after_subtypes);
+    // (The ship rule set at N_c = 1 may or may not contain subsumed
+    // rules; either way minimize must not break answers.)
+    let _ = removed;
+}
