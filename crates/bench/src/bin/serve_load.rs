@@ -1,0 +1,296 @@
+//! Load generator for `intensio-serve`: a multi-threaded mixed
+//! workload over the TCP wire protocol, with an answer oracle.
+//!
+//! ```text
+//! serve_load [--threads N] [--queries N] [--workers N]
+//! ```
+//!
+//! The run has two phases per client thread:
+//!
+//! 1. **Unique phase** — every query has a distinct condition
+//!    (`Displacement > n` for a per-request `n`), so the intensional
+//!    cache cannot help; each answer is checked against an oracle
+//!    computed from the Appendix C class table.
+//! 2. **Repeated phase** — threads cycle through a small fixed query
+//!    set, so the cache must start hitting. Between the phases one
+//!    thread appends a submarine (a QUEL write), which bumps the epoch
+//!    and triggers background re-induction; readers keep answering
+//!    throughout, and the run verifies the epoch advanced again (the
+//!    rule install) while queries were in flight.
+//!
+//! Exit status is non-zero if any answer was wrong, any request
+//! errored, the repeated phase got no cache hits, or the epoch failed
+//! to advance.
+
+use intensio_serve::json::{self, Json};
+use intensio_serve::{Client, Server, Service, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    threads: usize,
+    queries: usize,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 4,
+        queries: 1000,
+        workers: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |field: &mut usize| {
+            *field = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("usage: serve_load [--threads N] [--queries N] [--workers N]");
+                    std::process::exit(2);
+                });
+        };
+        match a.as_str() {
+            "--threads" => num(&mut args.threads),
+            "--queries" => num(&mut args.queries),
+            "--workers" => num(&mut args.workers),
+            _ => {
+                eprintln!("usage: serve_load [--threads N] [--queries N] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Oracle: the classes with displacement strictly above `n`, sorted.
+fn expected_classes(n: i64) -> Vec<String> {
+    let mut v: Vec<String> = intensio_shipdb::data::CLASSES
+        .iter()
+        .filter(|(_, _, _, d)| *d > n)
+        .map(|(c, _, _, _)| c.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+fn response_classes(v: &Json) -> Vec<String> {
+    let mut out: Vec<String> = v
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|row| row.as_array()?.first()?.as_str().map(str::to_string))
+        .collect();
+    out.sort();
+    out
+}
+
+#[derive(Default)]
+struct ThreadOutcome {
+    latencies_us: Vec<u64>,
+    wrong: u64,
+    errors: u64,
+    repeated_hits: u64,
+    max_epoch: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let db = intensio_shipdb::ship_database().expect("ship database");
+    let model = intensio_shipdb::ship_model().expect("ship model");
+    let cfg = ServiceConfig {
+        workers: args.workers,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::with_config(db, model, cfg).expect("service opens"));
+    let server = Server::bind(service.clone(), "127.0.0.1:0").expect("server binds");
+    let addr = server.local_addr().to_string();
+    println!(
+        "serve_load: {} threads x {} queries against {} ({} workers)",
+        args.threads,
+        args.queries / args.threads,
+        addr,
+        args.workers
+    );
+
+    let per_thread = (args.queries / args.threads).max(2);
+    let repeated = [
+        "SELECT Class FROM CLASS WHERE Displacement > 8000",
+        "SELECT CLASS.CLASS FROM CLASS WHERE CLASS.DISPLACEMENT > 8000",
+        "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS \
+         WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000",
+        "SELECT Class FROM CLASS WHERE Displacement < 3000",
+    ];
+
+    let write_done = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..args.threads {
+        let addr = addr.clone();
+        let write_done = write_done.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("client connects");
+            let mut out = ThreadOutcome::default();
+            let unique_phase = per_thread / 2;
+            for i in 0..per_thread {
+                // Thread 0 issues the mid-run write between the phases.
+                if t == 0 && i == unique_phase {
+                    let line = client
+                        .roundtrip(
+                            "QUEL append to SUBMARINE (Id = \"SSBL000\", \
+                             Name = \"Load Probe\", Class = \"0101\")",
+                        )
+                        .expect("write roundtrip");
+                    let v = json::parse(&line).expect("write reply parses");
+                    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                        out.errors += 1;
+                    } else {
+                        write_done.store(
+                            v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                            Ordering::SeqCst,
+                        );
+                    }
+                }
+
+                let in_unique = i < unique_phase;
+                let (request, oracle) = if in_unique {
+                    // Globally unique threshold: no fingerprint repeats.
+                    let n = 1000 + (t * per_thread + i) as i64;
+                    (
+                        format!("SQL SELECT Class FROM CLASS WHERE Displacement > {n}"),
+                        Some(expected_classes(n)),
+                    )
+                } else {
+                    let q = repeated[(t + i) % repeated.len()];
+                    let oracle = if q.contains("> 8000") && !q.contains("SUBMARINE") {
+                        Some(expected_classes(8000))
+                    } else {
+                        None
+                    };
+                    (format!("SQL {q}"), oracle)
+                };
+
+                let sent = Instant::now();
+                let line = match client.roundtrip(&request) {
+                    Ok(l) => l,
+                    Err(_) => {
+                        out.errors += 1;
+                        continue;
+                    }
+                };
+                out.latencies_us
+                    .push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                let v = match json::parse(&line) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        out.errors += 1;
+                        continue;
+                    }
+                };
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    out.errors += 1;
+                    continue;
+                }
+                if let Some(epoch) = v.get("epoch").and_then(Json::as_u64) {
+                    out.max_epoch = out.max_epoch.max(epoch);
+                }
+                if !in_unique && v.get("cached").and_then(Json::as_bool) == Some(true) {
+                    out.repeated_hits += 1;
+                }
+                if let Some(want) = oracle {
+                    if response_classes(&v) != want {
+                        out.wrong += 1;
+                    }
+                }
+            }
+            client.quit();
+            out
+        }));
+    }
+
+    let mut all = ThreadOutcome::default();
+    for h in handles {
+        let out = h.join().expect("load thread panicked");
+        all.latencies_us.extend(out.latencies_us);
+        all.wrong += out.wrong;
+        all.errors += out.errors;
+        all.repeated_hits += out.repeated_hits;
+        all.max_epoch = all.max_epoch.max(out.max_epoch);
+    }
+    let elapsed = started.elapsed();
+
+    // Let the triggered re-induction land, then read the final stats.
+    let fresh = service.wait_rules_fresh(Duration::from_secs(10));
+    let stats = service.stats();
+    server.shutdown();
+
+    all.latencies_us.sort_unstable();
+    let total = all.latencies_us.len() as u64;
+    println!(
+        "completed {total} queries in {:.2}s ({:.0} q/s)",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "latency p50 {} us, p95 {} us, p99 {} us",
+        percentile(&all.latencies_us, 0.50),
+        percentile(&all.latencies_us, 0.95),
+        percentile(&all.latencies_us, 0.99)
+    );
+    println!(
+        "cache: {} hits / {} misses overall; {} hits in the repeated phase",
+        stats.cache_hits, stats.cache_misses, all.repeated_hits
+    );
+    println!(
+        "epochs: write installed epoch {}, max observed {}, final {} \
+         ({} inductions, rules {})",
+        write_done.load(Ordering::SeqCst),
+        all.max_epoch,
+        stats.epoch,
+        stats.inductions,
+        if stats.rules_fresh { "fresh" } else { "stale" }
+    );
+    println!(
+        "incorrect answers: {}, request errors: {}",
+        all.wrong, all.errors
+    );
+
+    let write_epoch = write_done.load(Ordering::SeqCst);
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(all.wrong == 0, "every answer must match the oracle");
+    check(all.errors == 0, "no request may error");
+    check(
+        all.repeated_hits > 0,
+        "the repeated phase must hit the cache",
+    );
+    check(write_epoch >= 1, "the mid-run write must install an epoch");
+    check(
+        fresh && stats.epoch > write_epoch,
+        "background re-induction must advance the epoch past the write",
+    );
+    check(
+        all.max_epoch >= write_epoch,
+        "queries must observe the post-write epoch while answering",
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}

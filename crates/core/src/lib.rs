@@ -39,6 +39,6 @@ pub mod workspace;
 
 pub use dictionary::DataDictionary;
 pub use error::IqpError;
-pub use processor::{Answer, IntensionalQueryProcessor};
+pub use processor::{answer, answer_intensional, Answer, IntensionalQueryProcessor};
 pub use summary::{summarize, AnswerSummary, SummaryGroup, SummaryLevel};
 pub use workspace::{load_workspace, save_workspace};

@@ -42,6 +42,47 @@ impl Answer {
     }
 }
 
+/// Answer a SQL query against an explicit knowledge state.
+///
+/// This is the pure core of [`IntensionalQueryProcessor::query`]: it
+/// borrows the database and dictionary instead of owning them, so a
+/// concurrent service can pin an immutable snapshot of both and answer
+/// many queries against it from many threads without cloning or
+/// locking. Same inputs, same answer — there is no hidden state.
+pub fn answer(
+    db: &Database,
+    dictionary: &DataDictionary,
+    cfg: InferenceConfig,
+    sql: &str,
+) -> Result<Answer, IqpError> {
+    let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
+    let extensional = intensio_sql::execute(db, &q)?;
+    let analysis = analyze(db, &q)?;
+    let engine = InferenceEngine::new(dictionary.model(), dictionary.rules(), db, cfg)?;
+    let intensional = engine.infer(&analysis);
+    let summary = crate::summary::summarize(&extensional, dictionary.model());
+    Ok(Answer {
+        extensional,
+        intensional,
+        summary,
+    })
+}
+
+/// Only the intensional characterization, against an explicit
+/// knowledge state (the pure core of
+/// [`IntensionalQueryProcessor::query_intensional`]).
+pub fn answer_intensional(
+    db: &Database,
+    dictionary: &DataDictionary,
+    cfg: InferenceConfig,
+    sql: &str,
+) -> Result<IntensionalAnswer, IqpError> {
+    let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
+    let analysis = analyze(db, &q)?;
+    let engine = InferenceEngine::new(dictionary.model(), dictionary.rules(), db, cfg)?;
+    Ok(engine.infer(&analysis))
+}
+
 /// The full system: database + dictionary + ILS + inference processor.
 #[derive(Debug, Clone)]
 pub struct IntensionalQueryProcessor {
@@ -123,22 +164,7 @@ impl IntensionalQueryProcessor {
     /// import) still returns the extensional answer, with an empty
     /// intensional characterization.
     pub fn query(&self, sql: &str) -> Result<Answer, IqpError> {
-        let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
-        let extensional = intensio_sql::execute(&self.db, &q)?;
-        let analysis = analyze(&self.db, &q)?;
-        let engine = InferenceEngine::new(
-            self.dictionary.model(),
-            self.dictionary.rules(),
-            &self.db,
-            self.inference_cfg,
-        )?;
-        let intensional = engine.infer(&analysis);
-        let summary = crate::summary::summarize(&extensional, self.dictionary.model());
-        Ok(Answer {
-            extensional,
-            intensional,
-            summary,
-        })
+        answer(&self.db, &self.dictionary, self.inference_cfg, sql)
     }
 
     /// Only the extensional answer (the conventional query processor).
@@ -164,15 +190,7 @@ impl IntensionalQueryProcessor {
 
     /// Only the intensional answer (no tuple enumeration).
     pub fn query_intensional(&self, sql: &str) -> Result<IntensionalAnswer, IqpError> {
-        let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
-        let analysis = analyze(&self.db, &q)?;
-        let engine = InferenceEngine::new(
-            self.dictionary.model(),
-            self.dictionary.rules(),
-            &self.db,
-            self.inference_cfg,
-        )?;
-        Ok(engine.infer(&analysis))
+        answer_intensional(&self.db, &self.dictionary, self.inference_cfg, sql)
     }
 }
 

@@ -1,0 +1,224 @@
+//! A dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! maps the `criterion` dependency name to this crate by path. It runs
+//! each benchmark with a short warm-up followed by an adaptive timed
+//! phase and prints mean ns/iter — no statistics machinery, but the
+//! same source-level API (`criterion_group!`, `criterion_main!`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock for the measurement phase of one benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Finish the group (formatting no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier (`from_parameter` / `name + parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Batch sizing hints for `iter_batched` (accepted, not interpreted).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// The measurement handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, once a routine ran.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure a routine.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE_TARGET {
+                break;
+            }
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.result = Some((nanos, iters));
+    }
+
+    /// Measure a routine with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters: u64 = 0;
+        let mut busy = Duration::ZERO;
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+            if busy >= MEASURE_TARGET || started.elapsed() >= 4 * MEASURE_TARGET {
+                break;
+            }
+        }
+        let nanos = busy.as_nanos() as f64 / iters as f64;
+        self.result = Some((nanos, iters));
+    }
+
+    fn report(&self, label: &str) {
+        match self.result {
+            Some((nanos, iters)) => {
+                println!("bench {label:<50} {:>14.0} ns/iter ({iters} iters)", nanos);
+            }
+            None => println!("bench {label:<50} (no measurement)"),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    b.report(label);
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_with_input(BenchmarkId::new("threads", 2), &2usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,174 @@
+//! Canonical cache keys for intensional answers.
+//!
+//! An intensional answer is a function of (a) the query's *conditions
+//! and object types* — the analyzed relations, single-relation
+//! restrictions, and equi-joins the inference engine consumes — and
+//! (b) the knowledge state (database + rule set). It does **not**
+//! depend on the select list, `DISTINCT`, ordering, or conjuncts the
+//! analyzer classified as unsupported (the engine never reads them).
+//!
+//! [`condition_fingerprint`] renders (a) in a canonical form:
+//! case-normalized, type-tagged constants, and order-independent across
+//! conjuncts and join sides. Two queries with the same fingerprint get
+//! the same intensional answer against the same knowledge state, so a
+//! serving layer can cache on `(fingerprint, knowledge epoch)` —
+//! the semantic-query-optimization reuse argument of [CHU90] applied
+//! to answers instead of plans.
+
+use intensio_sql::QueryAnalysis;
+use intensio_storage::expr::CmpOp;
+use intensio_storage::value::Value;
+
+/// A canonical, order-independent rendering of the query structure the
+/// inference engine consumes. Stable across formatting differences,
+/// attribute-case differences, conjunct order, and join-side order.
+pub fn condition_fingerprint(analysis: &QueryAnalysis) -> String {
+    let mut relations: Vec<String> = analysis
+        .relations
+        .iter()
+        .map(|t| t.name.to_ascii_lowercase())
+        .collect();
+    relations.sort();
+    relations.dedup();
+
+    let mut restrictions: Vec<String> = analysis
+        .restrictions
+        .iter()
+        .map(|r| {
+            format!(
+                "{}.{}{}{}",
+                r.attr.relation.to_ascii_lowercase(),
+                r.attr.attribute.to_ascii_lowercase(),
+                canonical_op(r.op),
+                tagged_value(&r.value)
+            )
+        })
+        .collect();
+    restrictions.sort();
+
+    let mut joins: Vec<String> = analysis
+        .joins
+        .iter()
+        .map(|j| {
+            let a = format!(
+                "{}.{}",
+                j.left.relation.to_ascii_lowercase(),
+                j.left.attribute.to_ascii_lowercase()
+            );
+            let b = format!(
+                "{}.{}",
+                j.right.relation.to_ascii_lowercase(),
+                j.right.attribute.to_ascii_lowercase()
+            );
+            if a <= b {
+                format!("{a}~{b}")
+            } else {
+                format!("{b}~{a}")
+            }
+        })
+        .collect();
+    joins.sort();
+    joins.dedup();
+
+    format!(
+        "from[{}];where[{}];join[{}]",
+        relations.join(","),
+        restrictions.join(","),
+        joins.join(",")
+    )
+}
+
+fn canonical_op(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+/// Type-tagged constant rendering, so `1` (integer) and `"1"` (string)
+/// never collide.
+fn tagged_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n:".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Real(r) => format!("r:{}", r.to_bits()),
+        Value::Str(s) => format!("s:{s}"),
+        Value::Date(d) => format!("d:{d}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_sql::{analyze, parse};
+    use intensio_storage::prelude::*;
+    use intensio_storage::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let sub = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Class", Domain::char_n(4)),
+        ])
+        .unwrap();
+        let mut s = Relation::new("SUBMARINE", sub);
+        s.insert(tuple!["SSBN730", "0101"]).unwrap();
+        db.create(s).unwrap();
+        let cls = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        db.create(Relation::new("CLASS", cls)).unwrap();
+        db
+    }
+
+    fn fp(sql: &str) -> String {
+        let d = db();
+        let q = parse(sql).unwrap();
+        condition_fingerprint(&analyze(&d, &q).unwrap())
+    }
+
+    #[test]
+    fn equivalent_queries_share_a_fingerprint() {
+        // Different select list, conjunct order, join-side order,
+        // attribute case, and whitespace: same conditions.
+        let a = fp("SELECT SUBMARINE.ID FROM SUBMARINE, CLASS \
+             WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000");
+        let b = fp("SELECT CLASS.TYPE, SUBMARINE.NAME FROM SUBMARINE, CLASS \
+             WHERE class.displacement > 8000 AND CLASS.CLASS = SUBMARINE.CLASS");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_conditions_differ() {
+        let base = fp("SELECT Class FROM CLASS WHERE Displacement > 8000");
+        assert_ne!(
+            base,
+            fp("SELECT Class FROM CLASS WHERE Displacement > 8001")
+        );
+        assert_ne!(
+            base,
+            fp("SELECT Class FROM CLASS WHERE Displacement >= 8000")
+        );
+        assert_ne!(base, fp("SELECT Class FROM CLASS"));
+    }
+
+    #[test]
+    fn value_types_are_tagged() {
+        let s = fp("SELECT Id FROM SUBMARINE WHERE Class = '8000'");
+        let i = fp("SELECT Id FROM SUBMARINE WHERE Class = 8000");
+        assert_ne!(s, i, "string and integer constants must not collide");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_shape() {
+        let got = fp("SELECT Class FROM CLASS WHERE Displacement > 8000");
+        assert_eq!(got, "from[class];where[class.displacement>i:8000];join[]");
+    }
+}

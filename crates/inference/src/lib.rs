@@ -19,12 +19,14 @@
 
 pub mod answer;
 pub mod engine;
+pub mod fingerprint;
 pub mod optimizer;
 pub mod quality;
 pub mod schema_rules;
 
 pub use answer::{BackwardCharacterization, ForwardFact, IntensionalAnswer};
 pub use engine::{InferenceConfig, InferenceEngine, SubsumptionMode};
+pub use fingerprint::condition_fingerprint;
 pub use optimizer::{optimize, Optimized};
 pub use quality::{evaluate, AnswerQuality};
 pub use schema_rules::rules_from_schema;

@@ -1,0 +1,203 @@
+//! A dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! maps the `proptest` dependency name to this crate by path. It
+//! reimplements exactly the surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * range, tuple, string-pattern, `prop::collection::vec`,
+//!   `prop::sample::select`, [`prop_oneof!`], `.prop_map`, and
+//!   `any::<T>()` strategies.
+//!
+//! Unlike real proptest there is no shrinking: failures report the
+//! generated inputs via the assertion message only. Generation is
+//! deterministic per test name, so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of proptest's `prop::` paths
+/// (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub mod collection {
+        //! Collection strategies.
+        pub use crate::strategy::{vec, VecStrategy};
+    }
+    pub mod sample {
+        //! Sampling strategies.
+        pub use crate::strategy::{select, Select};
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property: plain `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// A strategy choosing uniformly among the argument strategies (which
+/// must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(bindings) { body }` becomes a
+/// regular test running the body over generated inputs.
+///
+/// Bindings are `pattern in strategy` or `name: Type` (which uses
+/// `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __pt_case in 0..__pt_cfg.cases {
+                let _ = __pt_case;
+                $crate::__proptest_bind! { __pt_rng, $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:pat in $e:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($e), &mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+    ($rng:ident, $p:pat in $e:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&($e), &mut $rng);
+    };
+    ($rng:ident, $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$t>(),
+            &mut $rng,
+        );
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+    ($rng:ident, $i:ident : $t:ty) => {
+        let $i = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$t>(),
+            &mut $rng,
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0i64..50).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in -5i64..5, b in 0u8..4, c in 1usize..6) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 4);
+            prop_assert!((1..6).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_vecs(xs in prop::collection::vec((0i64..25, 0u8..4), 1..60)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 60);
+            for (x, y) in &xs {
+                prop_assert!((0..25).contains(x));
+                prop_assert!(*y < 4);
+            }
+        }
+
+        #[test]
+        fn bool_annotation_and_map(flag: bool, v in evens()) {
+            prop_assert!(matches!(flag, true | false));
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_selects_an_arm(v in prop_oneof![0i64..10, 100i64..110]) {
+            prop_assert!((0..10).contains(&v) || (100..110).contains(&v));
+        }
+
+        #[test]
+        fn select_picks_member(kw in prop::sample::select(vec!["alpha", "beta"])) {
+            prop_assert!(kw == "alpha" || kw == "beta");
+        }
+
+        #[test]
+        fn patterns_generate_matching_strings(s in "[A-Za-z][A-Za-z0-9_]{0,8}") {
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_alphabetic());
+            prop_assert!(s.len() <= 9);
+            prop_assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments on property functions must be accepted.
+        #[test]
+        fn config_is_honored(_x in 0i64..10) {
+            // Body runs 7 times; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("fixed");
+        let mut b = TestRng::for_test("fixed");
+        let s = crate::strategy::Strategy::generate(&"[ -~]{0,40}", &mut a);
+        let t = crate::strategy::Strategy::generate(&"[ -~]{0,40}", &mut b);
+        assert_eq!(s, t);
+    }
+}

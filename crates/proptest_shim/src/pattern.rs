@@ -1,0 +1,212 @@
+//! String generation from the regex subset the workspace's tests use:
+//! concatenations of character classes (`[a-z0-9_]`, ranges and
+//! literals) and literal characters, each with an optional repetition
+//! (`{n}`, `{m,n}`, `?`, `*`, `+`).
+//!
+//! Patterns arrive as Rust string literals, so escapes like `\n` are
+//! already real characters by the time they get here.
+
+use crate::test_runner::TestRng;
+
+/// One pattern element: the candidate characters and repetition bounds.
+struct Piece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching `pattern`.
+///
+/// Panics on constructs outside the supported subset, which is a test
+/// authoring error, not a runtime condition.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = if p.min == p.max {
+            p.min
+        } else {
+            p.min + rng.below(p.max - p.min + 1)
+        };
+        for _ in 0..n {
+            out.push(p.chars[rng.below(p.chars.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![unescape(c)]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_repetition(&chars, &mut i, pattern);
+        pieces.push(Piece {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+/// Parse a `[...]` class body starting at `i` (past the `[`); returns
+/// the candidate set and the index past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            )
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // `a-z` range (a trailing `-` is a literal).
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = if chars[i + 1] == '\\' {
+                i += 1;
+                unescape(chars[i + 1])
+            } else {
+                chars[i + 1]
+            };
+            i += 2;
+            assert!(c <= hi, "inverted class range in pattern {pattern:?}");
+            for x in c..=hi {
+                set.push(x);
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    (set, i + 1)
+}
+
+/// Parse an optional repetition after a piece, advancing `i`.
+fn parse_repetition(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().expect("repetition lower bound");
+                    let hi = hi.trim().parse().expect("repetition upper bound");
+                    assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+                    (lo, hi)
+                }
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_repetition() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..200 {
+            let s = generate("[A-Za-z][A-Za-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::for_test("ascii");
+        for _ in 0..200 {
+            let s = generate("[ -~\n]{0,160}", &mut rng);
+            assert!(s.len() <= 160);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::for_test("lit");
+        let s = generate("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s.len() == 4 || s.len() == 5);
+    }
+
+    #[test]
+    fn class_containing_quote_and_newline() {
+        let mut rng = TestRng::for_test("quote");
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z ,\"\n]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()
+                || c == ' '
+                || c == ','
+                || c == '"'
+                || c == '\n'));
+        }
+    }
+}

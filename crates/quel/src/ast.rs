@@ -53,6 +53,30 @@ pub struct Assignment {
     pub expr: Expr,
 }
 
+/// How a statement touches the database — the distinction a serving
+/// layer needs to route requests: reads run against a shared snapshot,
+/// scratch statements write only statement-created relations (safe on a
+/// private copy of a snapshot), and writes must go through the
+/// serialized mutation path and invalidate derived knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Touches no relation contents (`range of`, plain `retrieve`).
+    Read,
+    /// Creates/overwrites only a result relation (`retrieve into`);
+    /// existing data is untouched, so induced rules stay valid.
+    Scratch,
+    /// Mutates existing relations (`append`, `delete`, `replace`).
+    Write,
+}
+
+impl AccessKind {
+    /// Whether the statement can be answered from an immutable snapshot
+    /// (possibly with a discardable private copy for scratch output).
+    pub fn is_read_only(self) -> bool {
+        !matches!(self, AccessKind::Write)
+    }
+}
+
 /// A parsed QUEL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -100,4 +124,41 @@ pub enum Statement {
         /// The qualification.
         qual: Option<Expr>,
     },
+}
+
+impl Statement {
+    /// Classify how this statement touches the database.
+    pub fn access(&self) -> AccessKind {
+        match self {
+            Statement::Range { .. } => AccessKind::Read,
+            Statement::Retrieve { into: None, .. } => AccessKind::Read,
+            Statement::Retrieve { into: Some(_), .. } => AccessKind::Scratch,
+            Statement::Append { .. } | Statement::Delete { .. } | Statement::Replace { .. } => {
+                AccessKind::Write
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::AccessKind;
+    use crate::parser::parse;
+
+    #[test]
+    fn statements_classify_by_access() {
+        let cases = [
+            ("range of s is SUBMARINE", AccessKind::Read),
+            ("retrieve (s.Id)", AccessKind::Read),
+            ("retrieve into T (s.Id)", AccessKind::Scratch),
+            ("append to S (Id = \"X\")", AccessKind::Write),
+            ("delete s", AccessKind::Write),
+            ("replace s (Id = \"X\")", AccessKind::Write),
+        ];
+        for (src, want) in cases {
+            let stmt = parse(src).unwrap();
+            assert_eq!(stmt.access(), want, "{src}");
+            assert_eq!(stmt.access().is_read_only(), want != AccessKind::Write);
+        }
+    }
 }

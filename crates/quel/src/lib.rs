@@ -34,6 +34,6 @@ pub mod ast;
 pub mod exec;
 pub mod parser;
 
-pub use ast::{Assignment, SortKey, Statement, Target};
+pub use ast::{AccessKind, Assignment, SortKey, Statement, Target};
 pub use exec::{Output, QuelError, Session};
 pub use parser::{parse, parse_script, QuelParseError};

@@ -1,0 +1,228 @@
+//! A dependency-free stand-in for the `rand` crate, providing exactly
+//! the API subset this workspace uses (`StdRng::seed_from_u64`,
+//! `gen_range`, `gen_bool`, slice `shuffle`/`choose`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! maps the `rand` dependency name to this crate by path. The generator
+//! is deterministic (xoshiro256**, seeded via splitmix64) but its
+//! streams differ from upstream `rand`; seeded data sets are stable
+//! across runs of *this* workspace, which is all the callers rely on.
+
+#![warn(missing_docs)]
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`Range` or `RangeInclusive`).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 high bits give a uniform f64 in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`'s
+/// `seed_from_u64` entry point.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion of the seed, as recommended by the
+            // xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Ranges a generator can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform `u64` below `bound` (> 0) without modulo bias worth worrying
+/// about at the workspace's sample counts (Lemire-style rejection).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                // span == 0 would mean the full u64 domain; none of the
+                // supported types reach it with lo <= hi.
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffling and random choice over slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(0x1991);
+        let mut b = StdRng::seed_from_u64(0x1991);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3];
+        for _ in 0..10 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

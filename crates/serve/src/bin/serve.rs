@@ -1,0 +1,77 @@
+//! The `serve` binary: the intensional query service over TCP, loaded
+//! with the paper's Appendix B/C naval ship test bed.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]
+//! ```
+//!
+//! Talk to it with `examples/shell.rs --connect HOST:PORT`, or any
+//! line client:
+//!
+//! ```text
+//! $ printf 'SQL SELECT Class FROM CLASS WHERE Displacement > 8000\n' | nc localhost 7878
+//! ```
+
+use intensio_serve::{Server, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--cache" => {
+                cfg.cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-learn" => cfg.learn_on_open = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let db = intensio_shipdb::ship_database().expect("ship database");
+    let model = intensio_shipdb::ship_model().expect("ship model");
+    let workers = cfg.workers;
+    let service = match Service::with_config(db, model, cfg) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let server = match Server::bind(service, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | STATS | QUIT",
+        server.local_addr(),
+        workers
+    );
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

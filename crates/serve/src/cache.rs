@@ -1,0 +1,145 @@
+//! An LRU cache of intensional answers.
+//!
+//! Keys are `(condition fingerprint, epoch)` — see
+//! [`intensio_inference::condition_fingerprint`] for why the
+//! fingerprint canonicalizes exactly the query structure the inference
+//! engine consumes, and [`crate::snapshot`] for why the epoch pins the
+//! knowledge state. Values are `Arc<IntensionalAnswer>`, so a hit hands
+//! back the *same* object a miss computed: cached and freshly inferred
+//! answers are identical by construction, not merely equivalent.
+
+use intensio_inference::IntensionalAnswer;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cache key: canonical condition fingerprint + knowledge epoch.
+pub type CacheKey = (String, u64);
+
+/// A fixed-capacity LRU map from [`CacheKey`] to a shared intensional
+/// answer. Not internally synchronized — the service wraps it in a
+/// `Mutex` and holds the lock only for lookups/inserts, never while
+/// inference runs.
+#[derive(Debug)]
+pub struct AnswerCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, (u64, Arc<IntensionalAnswer>)>,
+    /// Recency index: tick -> key. Ticks are unique, so the first entry
+    /// is always the least recently used.
+    order: BTreeMap<u64, CacheKey>,
+}
+
+impl AnswerCache {
+    /// An empty cache holding at most `capacity` answers (min 1).
+    pub fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up an answer, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<IntensionalAnswer>> {
+        let tick = self.next_tick();
+        let (slot, answer) = match self.entries.get_mut(key) {
+            Some((slot, answer)) => (slot, answer.clone()),
+            None => return None,
+        };
+        let old = std::mem::replace(slot, tick);
+        self.order.remove(&old);
+        self.order.insert(tick, key.clone());
+        Some(answer)
+    }
+
+    /// Insert (or refresh) an answer, evicting the least recently used
+    /// entries beyond capacity.
+    pub fn insert(&mut self, key: CacheKey, answer: Arc<IntensionalAnswer>) {
+        let tick = self.next_tick();
+        if let Some((old, _)) = self.entries.insert(key.clone(), (tick, answer)) {
+            self.order.remove(&old);
+        }
+        self.order.insert(tick, key);
+        while self.entries.len() > self.capacity {
+            let (&oldest, _) = self.order.iter().next().expect("order tracks entries");
+            let key = self.order.remove(&oldest).expect("just observed");
+            self.entries.remove(&key);
+        }
+    }
+
+    /// Drop every entry whose epoch is not `epoch`. Called after a new
+    /// snapshot is installed: stale-epoch entries can never be hit
+    /// again (keys carry the epoch), so this is purely a memory
+    /// release, not a correctness requirement.
+    pub fn retain_epoch(&mut self, epoch: u64) {
+        self.entries.retain(|k, _| k.1 == epoch);
+        let entries = &self.entries;
+        self.order.retain(|_, k| entries.contains_key(k));
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(tag: &str) -> Arc<IntensionalAnswer> {
+        Arc::new(IntensionalAnswer {
+            steps: vec![tag.to_string()],
+            ..IntensionalAnswer::default()
+        })
+    }
+
+    fn key(s: &str, e: u64) -> CacheKey {
+        (s.to_string(), e)
+    }
+
+    #[test]
+    fn hit_returns_the_same_object() {
+        let mut c = AnswerCache::new(4);
+        let a = answer("x");
+        c.insert(key("q", 1), a.clone());
+        let hit = c.get(&key("q", 1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &hit), "hit is bit-for-bit the miss value");
+        assert!(c.get(&key("q", 2)).is_none(), "other epoch never hits");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = AnswerCache::new(2);
+        c.insert(key("a", 1), answer("a"));
+        c.insert(key("b", 1), answer("b"));
+        assert!(c.get(&key("a", 1)).is_some(), "touch a; b is now LRU");
+        c.insert(key("c", 1), answer("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key("b", 1)).is_none(), "b evicted");
+        assert!(c.get(&key("a", 1)).is_some());
+        assert!(c.get(&key("c", 1)).is_some());
+    }
+
+    #[test]
+    fn retain_epoch_drops_stale_entries() {
+        let mut c = AnswerCache::new(8);
+        c.insert(key("a", 1), answer("a"));
+        c.insert(key("b", 2), answer("b"));
+        c.retain_epoch(2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("a", 1)).is_none());
+        assert!(c.get(&key("b", 2)).is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! # intensio-serve
+//!
+//! A concurrent serving layer for the intensional query processor —
+//! what the paper's single-user EQUEL/C prototype would need to answer
+//! many users at once without re-deriving the same characterizations:
+//!
+//! * **Versioned knowledge snapshots** ([`snapshot`]): database +
+//!   dictionary pinned under an epoch; readers never block.
+//! * **An intensional-answer cache** ([`cache`]): LRU over
+//!   `(condition fingerprint, epoch)`; a hit returns the identical
+//!   answer object a miss computed.
+//! * **A worker-pool service** ([`service`]): SQL and QUEL requests,
+//!   serialized copy-on-write mutations, and background re-induction
+//!   that atomically swaps in fresh rules.
+//! * **A wire protocol and TCP server** ([`protocol`], [`server`],
+//!   [`json`]): one request per line, one JSON response per request.
+//!
+//! ```
+//! use intensio_serve::{Reply, Request, Service, ServiceConfig};
+//!
+//! let db = intensio_shipdb::ship_database().unwrap();
+//! let model = intensio_shipdb::ship_model().unwrap();
+//! let service = Service::open(db, model).unwrap();
+//!
+//! let reply = service.submit(Request::Sql(
+//!     "SELECT Class FROM CLASS WHERE Displacement > 8000".to_string(),
+//! ));
+//! let q = reply.query().expect("query reply");
+//! assert_eq!(q.rows.len(), 2);
+//! assert!(!q.cached);
+//! let again = service.submit(Request::Sql(
+//!     "SELECT CLASS.CLASS FROM CLASS WHERE CLASS.DISPLACEMENT > 8000".to_string(),
+//! ));
+//! assert!(again.query().unwrap().cached, "same conditions: cache hit");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+
+pub use cache::AnswerCache;
+pub use protocol::{encode_reply, escape_script, parse_request, WireRequest};
+pub use server::{Client, Server};
+pub use service::{
+    QueryReply, Reply, Request, ServeError, Service, ServiceConfig, Soundness, StatsReply,
+};
+pub use snapshot::Snapshot;

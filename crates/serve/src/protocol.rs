@@ -1,0 +1,194 @@
+//! The line-based wire protocol.
+//!
+//! One request per line, one single-line JSON response per request:
+//!
+//! ```text
+//! C: SQL SELECT Class FROM CLASS WHERE Displacement > 8000
+//! S: {"ok":true,"kind":"query","epoch":0,"cached":false,...}
+//! C: QUEL range of s is SUBMARINE\nretrieve (s.Name)
+//! S: {"ok":true,"kind":"query",...}
+//! C: STATS
+//! S: {"ok":true,"kind":"stats",...}
+//! C: QUIT
+//! ```
+//!
+//! Verbs are case-insensitive. Because requests are line-framed, a
+//! multi-statement QUEL script is written on one line with the
+//! two-character escape `\n` between statements (and `\\` for a
+//! literal backslash) — [`parse_request`] unescapes before parsing.
+//!
+//! Query responses carry: `epoch` (the knowledge version that
+//! answered), `cached` (intensional answer served from the LRU cache),
+//! `rules_fresh` (false while a background re-induction is pending),
+//! `soundness` (`"superset"` / `"subset"` / `"mixed"` / `"none"`, the
+//! paper's §4 containment direction), `columns` + `rows` (the
+//! extensional answer), `intensional` (rendered characterization
+//! lines), `headline`, `summary`, and `affected` (mutations only).
+//! Error responses are `{"ok":false,"error":"..."}`.
+
+use crate::json::ObjWriter;
+use crate::service::{Reply, Request};
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Execute via [`crate::Service::submit`].
+    Execute(Request),
+    /// Close the connection.
+    Quit,
+}
+
+/// Decode one request line. Returns `Err` with a client-facing message
+/// for unknown verbs or missing arguments.
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "SQL" if !rest.is_empty() => Ok(WireRequest::Execute(Request::Sql(rest.to_string()))),
+        "QUEL" if !rest.is_empty() => {
+            Ok(WireRequest::Execute(Request::Quel(unescape_script(rest))))
+        }
+        "SQL" | "QUEL" => Err(format!("{verb} requires a query argument")),
+        "STATS" => Ok(WireRequest::Execute(Request::Stats)),
+        "QUIT" => Ok(WireRequest::Quit),
+        "" => Err("empty request; expected SQL, QUEL, STATS, or QUIT".to_string()),
+        other => Err(format!(
+            "unknown verb {other:?}; expected SQL, QUEL, STATS, or QUIT"
+        )),
+    }
+}
+
+/// Turn the line-safe escapes back into script text: `\n` → newline,
+/// `\\` → backslash. Unrecognized escapes pass through untouched.
+pub fn unescape_script(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Escape script text for a one-line `QUEL` request (client side).
+pub fn escape_script(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Encode a service reply as one JSON line (no trailing newline).
+pub fn encode_reply(reply: &Reply) -> String {
+    let mut w = ObjWriter::new();
+    match reply {
+        Reply::Query(q) => {
+            let intensional: Vec<String> = if q.intensional.is_empty() {
+                Vec::new()
+            } else {
+                q.intensional
+                    .render()
+                    .lines()
+                    .map(str::to_string)
+                    .filter(|l| !l.is_empty())
+                    .collect()
+            };
+            w.bool("ok", true)
+                .str("kind", "query")
+                .num("epoch", q.epoch)
+                .bool("cached", q.cached)
+                .bool("rules_fresh", q.rules_fresh)
+                .str("soundness", q.soundness.as_str())
+                .str_array("columns", &q.columns)
+                .rows("rows", &q.rows)
+                .str_array("intensional", &intensional)
+                .opt_str("headline", q.headline.as_deref())
+                .opt_str("summary", q.summary.as_deref());
+            match q.affected {
+                Some(n) => w.num("affected", n as u64),
+                None => w.raw("affected", "null"),
+            };
+        }
+        Reply::Stats(s) => {
+            w.bool("ok", true)
+                .str("kind", "stats")
+                .num("epoch", s.epoch)
+                .num("data_version", s.data_version)
+                .bool("rules_fresh", s.rules_fresh)
+                .num("queries", s.queries)
+                .num("cache_hits", s.cache_hits)
+                .num("cache_misses", s.cache_misses)
+                .num("cache_len", s.cache_len)
+                .num("writes", s.writes)
+                .num("inductions", s.inductions)
+                .num("errors", s.errors)
+                .num("workers", s.workers);
+        }
+        Reply::Error { message } => {
+            w.bool("ok", false).str("error", message);
+        }
+    }
+    w.finish()
+}
+
+/// Encode a protocol-level error (bad request line) as a JSON line.
+pub fn encode_protocol_error(message: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.bool("ok", false).str("error", message);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn parses_request_verbs() {
+        assert_eq!(
+            parse_request("sql SELECT 1 FROM T"),
+            Ok(WireRequest::Execute(Request::Sql("SELECT 1 FROM T".into())))
+        );
+        assert_eq!(
+            parse_request("QUEL range of s is S\\nretrieve (s.Id)"),
+            Ok(WireRequest::Execute(Request::Quel(
+                "range of s is S\nretrieve (s.Id)".into()
+            )))
+        );
+        assert_eq!(
+            parse_request(" stats "),
+            Ok(WireRequest::Execute(Request::Stats))
+        );
+        assert_eq!(parse_request("QUIT"), Ok(WireRequest::Quit));
+        assert!(parse_request("SQL").is_err());
+        assert!(parse_request("BOGUS x").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn script_escaping_round_trips() {
+        let script = "range of s is S\ndelete s where s.Id = \"a\\b\"";
+        assert_eq!(unescape_script(&escape_script(script)), script);
+    }
+
+    #[test]
+    fn error_reply_encodes_as_json() {
+        let line = encode_reply(&Reply::Error {
+            message: "bad \"query\"".to_string(),
+        });
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad \"query\""));
+    }
+}

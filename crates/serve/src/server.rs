@@ -1,0 +1,155 @@
+//! The TCP front end: a listener thread accepting connections, one
+//! handler thread per connection, speaking the line protocol of
+//! [`crate::protocol`]. All handlers share one [`Service`] — the
+//! worker pool, not the connection count, bounds execution
+//! concurrency.
+
+use crate::protocol::{encode_protocol_error, encode_reply, parse_request, WireRequest};
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting new connections; established
+/// connections finish their current request and close on their next
+/// read.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`, or port `0` for an
+    /// ephemeral port) and start serving `service`.
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("intensio-accept".to_string())
+            .spawn(move || accept_loop(&listener, &service, &accept_stop))?;
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let service = service.clone();
+        let stop = stop.clone();
+        let _ = std::thread::Builder::new()
+            .name("intensio-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &service, &stop);
+            });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // One small request line begets one small response line: waiting to
+    // coalesce segments (Nagle) only adds delayed-ACK latency.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let response = match parse_request(&line) {
+            Ok(WireRequest::Quit) => return Ok(()),
+            Ok(WireRequest::Execute(req)) => encode_reply(&service.submit(req)),
+            Err(message) => encode_protocol_error(&message),
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A minimal blocking client for the line protocol, used by the shell's
+/// `--connect` mode, the load generator, and tests.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one raw request line and read the one-line JSON response.
+    pub fn roundtrip(&mut self, request_line: &str) -> std::io::Result<String> {
+        self.writer.write_all(request_line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Send `QUIT` and close.
+    pub fn quit(mut self) {
+        let _ = self.writer.write_all(b"QUIT\n");
+        let _ = self.writer.flush();
+    }
+}

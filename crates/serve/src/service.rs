@@ -1,0 +1,686 @@
+//! The concurrent intensional query service.
+//!
+//! A [`Service`] owns one epoch-versioned [`Snapshot`] behind a
+//! read/write lock, a worker pool draining a request queue, an LRU
+//! [`AnswerCache`], and a background induction thread. The
+//! concurrency story:
+//!
+//! * **Readers never block on writers or on induction.** A query pins
+//!   the current `Arc<Snapshot>` under a briefly held read lock and
+//!   computes against that immutable state.
+//! * **Writers are serialized** by a dedicated mutation lock. A write
+//!   clones the database (copy-on-write — only touched relations are
+//!   deep-copied), applies the whole QUEL script to the clone, and
+//!   installs the result as a new snapshot; a failing script installs
+//!   nothing. The induced rules carry over, flagged stale
+//!   (`rules_fresh = false`), and the background inducer is woken.
+//! * **Induction runs off the request path** on its own thread, using
+//!   the parallel ILS driver. It learns from a pinned snapshot and
+//!   installs the new rule set only if the data version is unchanged —
+//!   otherwise it simply goes around again.
+
+use crate::cache::AnswerCache;
+use crate::snapshot::Snapshot;
+use intensio_core::DataDictionary;
+use intensio_induction::{Ils, InductionConfig};
+use intensio_inference::{
+    condition_fingerprint, InferenceConfig, InferenceEngine, IntensionalAnswer,
+};
+use intensio_ker::model::KerModel;
+use intensio_quel::{AccessKind, Output, Session};
+use intensio_sql::{analyze, parse};
+use intensio_storage::catalog::Database;
+use intensio_storage::relation::Relation;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`Service::with_config`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Maximum cached intensional answers.
+    pub cache_capacity: usize,
+    /// ILS configuration for (re-)induction.
+    pub induction: InductionConfig,
+    /// Threads for the parallel ILS driver.
+    pub induction_threads: usize,
+    /// Inference configuration for every query.
+    pub inference: InferenceConfig,
+    /// Induce rules synchronously before serving the first request.
+    pub learn_on_open: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            workers: cores.clamp(2, 8),
+            cache_capacity: 256,
+            induction: InductionConfig::default(),
+            induction_threads: cores.clamp(1, 4),
+            inference: InferenceConfig::default(),
+            learn_on_open: true,
+        }
+    }
+}
+
+/// A request to the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A SQL query: extensional + intensional answer.
+    Sql(String),
+    /// A QUEL script (possibly multi-statement). Scripts with any
+    /// mutating statement go through the serialized write path.
+    Quel(String),
+    /// Service statistics.
+    Stats,
+}
+
+/// Which soundness guarantee the intensional part of an answer carries
+/// (paper §4): forward conclusions contain the answer set, backward
+/// characterizations are contained in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Soundness {
+    /// Forward conclusions only: characterization ⊇ answer set.
+    Superset,
+    /// Backward characterizations only: characterization ⊆ answer set.
+    Subset,
+    /// Both kinds present.
+    Mixed,
+    /// No intensional characterization was derived.
+    None,
+}
+
+impl Soundness {
+    /// Classify an intensional answer.
+    pub fn of(a: &IntensionalAnswer) -> Soundness {
+        match (a.certain.is_empty(), a.partial.is_empty()) {
+            (false, true) => Soundness::Superset,
+            (true, false) => Soundness::Subset,
+            (false, false) => Soundness::Mixed,
+            (true, true) => Soundness::None,
+        }
+    }
+
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Soundness::Superset => "superset",
+            Soundness::Subset => "subset",
+            Soundness::Mixed => "mixed",
+            Soundness::None => "none",
+        }
+    }
+}
+
+/// A successful query answer plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Whether the intensional part came from the cache.
+    pub cached: bool,
+    /// Whether the snapshot's rules matched its data version.
+    pub rules_fresh: bool,
+    /// Soundness class of the intensional part.
+    pub soundness: Soundness,
+    /// Output column names (empty for pure mutations).
+    pub columns: Vec<String>,
+    /// Extensional rows, values rendered bare.
+    pub rows: Vec<Vec<String>>,
+    /// The intensional answer (shared with the cache).
+    pub intensional: Arc<IntensionalAnswer>,
+    /// One-sentence intensional summary, if derivable.
+    pub headline: Option<String>,
+    /// Aggregate response over the type hierarchy, if any.
+    pub summary: Option<String>,
+    /// Tuples affected, for mutating QUEL scripts.
+    pub affected: Option<usize>,
+}
+
+/// A point-in-time view of service counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Current knowledge epoch.
+    pub epoch: u64,
+    /// Current data version.
+    pub data_version: u64,
+    /// Whether current rules match the current data.
+    pub rules_fresh: bool,
+    /// Queries answered (SQL + read-only QUEL).
+    pub queries: u64,
+    /// Intensional cache hits.
+    pub cache_hits: u64,
+    /// Intensional cache misses.
+    pub cache_misses: u64,
+    /// Cached answers right now.
+    pub cache_len: u64,
+    /// Mutating scripts applied.
+    pub writes: u64,
+    /// Background rule-set installs completed.
+    pub inductions: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Worker threads.
+    pub workers: u64,
+}
+
+/// What the service hands back for one request.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// A query (or mutation) completed.
+    Query(QueryReply),
+    /// Statistics.
+    Stats(StatsReply),
+    /// The request failed; the service itself is unaffected.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The query payload, if this is a query reply.
+    pub fn query(&self) -> Option<&QueryReply> {
+        match self {
+            Reply::Query(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The error message, if this is an error reply.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            Reply::Error { message } => Some(message),
+            _ => None,
+        }
+    }
+}
+
+/// Service construction failure (initial induction).
+#[derive(Debug)]
+pub struct ServeError(pub String);
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serve: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    writes: AtomicU64,
+    inductions: AtomicU64,
+    errors: AtomicU64,
+}
+
+#[derive(Default)]
+struct InduceFlags {
+    dirty: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: RwLock<Arc<Snapshot>>,
+    /// Serializes the write path (QUEL mutations and rule installs), so
+    /// epoch successors are computed from the snapshot they replace.
+    write_lock: Mutex<()>,
+    cache: Mutex<AnswerCache>,
+    cfg: ServiceConfig,
+    counters: Counters,
+    induce: Mutex<InduceFlags>,
+    induce_wake: Condvar,
+}
+
+impl Shared {
+    /// Pin the current snapshot (brief read lock, then lock-free use).
+    fn snapshot(&self) -> Arc<Snapshot> {
+        self.state.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn install(&self, snapshot: Snapshot) {
+        let epoch = snapshot.epoch;
+        *self.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain_epoch(epoch);
+    }
+
+    fn wake_inducer(&self) {
+        let mut flags = self.induce.lock().unwrap_or_else(|e| e.into_inner());
+        flags.dirty = true;
+        self.induce_wake.notify_all();
+    }
+}
+
+struct Job {
+    request: Request,
+    reply_to: SyncSender<Reply>,
+}
+
+/// The concurrent intensional query service. See the module docs for
+/// the concurrency design; see [`crate::server`] for the TCP front end.
+pub struct Service {
+    shared: Arc<Shared>,
+    queue: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    inducer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Open a service over a database and its KER model with default
+    /// configuration (induces rules before serving).
+    pub fn open(db: Database, model: KerModel) -> Result<Service, ServeError> {
+        Service::with_config(db, model, ServiceConfig::default())
+    }
+
+    /// Open a service with explicit configuration.
+    pub fn with_config(
+        db: Database,
+        model: KerModel,
+        cfg: ServiceConfig,
+    ) -> Result<Service, ServeError> {
+        let mut dictionary = DataDictionary::new(model);
+        let mut rules_fresh = false;
+        if cfg.learn_on_open {
+            let ils = Ils::new(dictionary.model(), cfg.induction);
+            let out = ils
+                .induce_parallel(&db, cfg.induction_threads)
+                .map_err(|e| ServeError(format!("initial induction failed: {e}")))?;
+            dictionary.set_rules(out.rules);
+            rules_fresh = true;
+        }
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: RwLock::new(Arc::new(Snapshot::initial(db, dictionary, rules_fresh))),
+            write_lock: Mutex::new(()),
+            cache: Mutex::new(AnswerCache::new(cfg.cache_capacity)),
+            cfg,
+            counters: Counters::default(),
+            induce: Mutex::new(InduceFlags::default()),
+            induce_wake: Condvar::new(),
+        });
+
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("intensio-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .map_err(|e| ServeError(format!("spawning worker: {e}")))?,
+            );
+        }
+        let inducer = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("intensio-inducer".to_string())
+                .spawn(move || inducer_loop(&shared))
+                .map_err(|e| ServeError(format!("spawning inducer: {e}")))?
+        };
+
+        Ok(Service {
+            shared,
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            inducer: Mutex::new(Some(inducer)),
+        })
+    }
+
+    /// Execute a request on the worker pool and wait for its reply.
+    pub fn submit(&self, request: Request) -> Reply {
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let sent = {
+            let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match queue.as_ref() {
+                Some(tx) => tx
+                    .send(Job {
+                        request,
+                        reply_to: reply_tx,
+                    })
+                    .is_ok(),
+                None => false,
+            }
+        };
+        if !sent {
+            return Reply::Error {
+                message: "service is shut down".to_string(),
+            };
+        }
+        reply_rx.recv().unwrap_or(Reply::Error {
+            message: "worker dropped the request".to_string(),
+        })
+    }
+
+    /// Current statistics (answered inline, not via the worker pool).
+    pub fn stats(&self) -> StatsReply {
+        stats_reply(&self.shared)
+    }
+
+    /// Current knowledge epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.snapshot().epoch
+    }
+
+    /// Block until the current snapshot's rules match its data version
+    /// (i.e. any triggered background induction has landed), up to
+    /// `timeout`. Returns whether freshness was reached. Queries keep
+    /// flowing while waiting — this is a test/ops convenience, not a
+    /// barrier the request path ever takes.
+    pub fn wait_rules_fresh(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.shared.snapshot().rules_fresh {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Close the queue; workers drain and exit.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).take();
+        for h in self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        {
+            let mut flags = self.shared.induce.lock().unwrap_or_else(|e| e.into_inner());
+            flags.shutdown = true;
+            self.shared.induce_wake.notify_all();
+        }
+        if let Some(h) = self
+            .inducer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let job = match job {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: shut down
+        };
+        let reply = execute(shared, &job.request);
+        if matches!(reply, Reply::Error { .. }) {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = job.reply_to.send(reply);
+    }
+}
+
+fn execute(shared: &Shared, request: &Request) -> Reply {
+    match request {
+        Request::Sql(sql) => exec_sql(shared, sql),
+        Request::Quel(script) => exec_quel(shared, script),
+        Request::Stats => Reply::Stats(stats_reply(shared)),
+    }
+}
+
+fn stats_reply(shared: &Shared) -> StatsReply {
+    let snap = shared.snapshot();
+    let c = &shared.counters;
+    StatsReply {
+        epoch: snap.epoch,
+        data_version: snap.data_version,
+        rules_fresh: snap.rules_fresh,
+        queries: c.queries.load(Ordering::Relaxed),
+        cache_hits: c.cache_hits.load(Ordering::Relaxed),
+        cache_misses: c.cache_misses.load(Ordering::Relaxed),
+        cache_len: shared.cache.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+        writes: c.writes.load(Ordering::Relaxed),
+        inductions: c.inductions.load(Ordering::Relaxed),
+        errors: c.errors.load(Ordering::Relaxed),
+        workers: shared.cfg.workers.max(1) as u64,
+    }
+}
+
+fn exec_sql(shared: &Shared, sql: &str) -> Reply {
+    let snap = shared.snapshot();
+    let q = match parse(sql) {
+        Ok(q) => q,
+        Err(e) => return error(format!("sql parse: {e}")),
+    };
+    let extensional = match intensio_sql::execute(&snap.db, &q) {
+        Ok(r) => r,
+        Err(e) => return error(format!("sql execute: {e}")),
+    };
+    let analysis = match analyze(&snap.db, &q) {
+        Ok(a) => a,
+        Err(e) => return error(format!("sql analyze: {e}")),
+    };
+
+    let key = (condition_fingerprint(&analysis), snap.epoch);
+    let hit = shared
+        .cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&key);
+    let (intensional, cached) = match hit {
+        Some(answer) => {
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (answer, true)
+        }
+        None => {
+            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let engine = match InferenceEngine::new(
+                snap.dictionary.model(),
+                snap.dictionary.rules(),
+                &snap.db,
+                shared.cfg.inference,
+            ) {
+                Ok(e) => e,
+                Err(e) => return error(format!("inference: {e}")),
+            };
+            let answer = Arc::new(engine.infer(&analysis));
+            shared
+                .cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key, answer.clone());
+            (answer, false)
+        }
+    };
+
+    let summary = intensio_core::summarize(&extensional, snap.dictionary.model());
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let (columns, rows) = render_relation(&extensional);
+    Reply::Query(QueryReply {
+        epoch: snap.epoch,
+        cached,
+        rules_fresh: snap.rules_fresh,
+        soundness: Soundness::of(&intensional),
+        columns,
+        rows,
+        headline: intensional.headline(),
+        intensional,
+        summary: if summary.is_empty() {
+            None
+        } else {
+            Some(summary.to_string().trim_end().to_string())
+        },
+        affected: None,
+    })
+}
+
+fn exec_quel(shared: &Shared, script: &str) -> Reply {
+    let stmts = match intensio_quel::parse_script(script) {
+        Ok(s) => s,
+        Err(e) => return error(format!("quel parse: {e}")),
+    };
+    if stmts.is_empty() {
+        return error("empty QUEL script".to_string());
+    }
+    let writes = stmts.iter().any(|s| s.access() == AccessKind::Write);
+    if writes {
+        quel_write(shared, script)
+    } else {
+        quel_read(shared, script)
+    }
+}
+
+/// Read-only scripts run against a *private copy-on-write clone* of the
+/// pinned snapshot's database: `retrieve into` scratch relations land
+/// in the clone and are discarded with it, and shared relations are
+/// never touched.
+fn quel_read(shared: &Shared, script: &str) -> Reply {
+    let snap = shared.snapshot();
+    let mut db = snap.db.clone();
+    let mut session = Session::new();
+    let outputs = match session.run_script(&mut db, script) {
+        Ok(o) => o,
+        Err(e) => return error(format!("quel: {e}")),
+    };
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    Reply::Query(quel_reply(&snap, &outputs))
+}
+
+/// Mutating scripts are serialized, applied transactionally to a COW
+/// clone, and installed as the next epoch. Readers keep answering from
+/// the previous snapshot until the install; nothing blocks on the
+/// background re-induction this triggers.
+fn quel_write(shared: &Shared, script: &str) -> Reply {
+    let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let snap = shared.snapshot();
+    let mut db = snap.db.clone();
+    let mut session = Session::new();
+    let outputs = match session.run_script(&mut db, script) {
+        Ok(o) => o,
+        // The clone is discarded: a failing script mutates nothing.
+        Err(e) => return error(format!("quel: {e}")),
+    };
+    let next = snap.after_write(db);
+    let reply = {
+        let mut r = quel_reply(&next, &outputs);
+        r.cached = false;
+        r
+    };
+    shared.install(next);
+    shared.counters.writes.fetch_add(1, Ordering::Relaxed);
+    shared.wake_inducer();
+    Reply::Query(reply)
+}
+
+fn quel_reply(snap: &Snapshot, outputs: &[Output]) -> QueryReply {
+    let mut affected = None;
+    let mut result: Option<&Relation> = None;
+    for out in outputs {
+        match out {
+            Output::Relation(r) => result = Some(r),
+            Output::Affected(n) => *affected.get_or_insert(0) += n,
+            Output::None | Output::Stored(_) => {}
+        }
+    }
+    let (columns, rows) = match result {
+        Some(r) => render_relation(r),
+        None => (Vec::new(), Vec::new()),
+    };
+    QueryReply {
+        epoch: snap.epoch,
+        cached: false,
+        rules_fresh: snap.rules_fresh,
+        soundness: Soundness::None,
+        columns,
+        rows,
+        intensional: Arc::new(IntensionalAnswer::default()),
+        headline: None,
+        summary: None,
+        affected,
+    }
+}
+
+fn render_relation(rel: &Relation) -> (Vec<String>, Vec<Vec<String>>) {
+    let columns = rel
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let rows = rel
+        .iter()
+        .map(|t| t.values().iter().map(|v| v.render_bare()).collect())
+        .collect();
+    (columns, rows)
+}
+
+fn error(message: String) -> Reply {
+    Reply::Error { message }
+}
+
+/// The background induction loop: wake on write, learn from a pinned
+/// snapshot, install only if the data did not move underneath.
+fn inducer_loop(shared: &Shared) {
+    loop {
+        {
+            let mut flags = shared.induce.lock().unwrap_or_else(|e| e.into_inner());
+            while !flags.dirty && !flags.shutdown {
+                let (next, _) = shared
+                    .induce_wake
+                    .wait_timeout(flags, std::time::Duration::from_millis(200))
+                    .unwrap_or_else(|e| e.into_inner());
+                flags = next;
+            }
+            if flags.shutdown {
+                return;
+            }
+            flags.dirty = false;
+        }
+
+        let snap = shared.snapshot();
+        if snap.rules_fresh {
+            continue;
+        }
+        let ils = Ils::new(snap.dictionary.model(), shared.cfg.induction);
+        let learned = ils.induce_parallel(&snap.db, shared.cfg.induction_threads);
+        let rules = match learned {
+            Ok(out) => out.rules,
+            Err(_) => continue, // e.g. a relation dropped mid-flight; retry on next wake
+        };
+
+        let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let current = shared.snapshot();
+        if current.data_version != snap.data_version {
+            // Another write landed while learning: the rules describe
+            // old data. Go around and learn again.
+            shared.wake_inducer();
+            continue;
+        }
+        let mut dictionary = current.dictionary.clone();
+        dictionary.set_rules(rules);
+        shared.install(current.after_induction(dictionary));
+        shared.counters.inductions.fetch_add(1, Ordering::Relaxed);
+    }
+}

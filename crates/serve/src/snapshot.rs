@@ -1,0 +1,71 @@
+//! Versioned, immutable knowledge snapshots.
+//!
+//! A [`Snapshot`] pins everything an answer depends on — the database
+//! and the data dictionary (KER model + induced rules) — under a single
+//! **epoch** number. Readers clone an `Arc<Snapshot>` and compute
+//! against it without any further locking; writers build a *new*
+//! snapshot (cheap, thanks to the storage layer's copy-on-write
+//! catalog) and install it atomically. Two answers computed at the same
+//! epoch are answers to the same knowledge state, which is what makes
+//! `(condition fingerprint, epoch)` a sound cache key.
+
+use intensio_core::DataDictionary;
+use intensio_storage::catalog::Database;
+
+/// One immutable knowledge state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Monotonic version of the *knowledge state*: bumped by every data
+    /// mutation and by every rule-set install. Cache keys include it.
+    pub epoch: u64,
+    /// Monotonic version of the *data* alone. Background induction
+    /// records the data version it learned from and only installs its
+    /// rules if the data has not moved since.
+    pub data_version: u64,
+    /// The database at this epoch.
+    pub db: Database,
+    /// The dictionary (KER model + rule set) at this epoch.
+    pub dictionary: DataDictionary,
+    /// Whether the dictionary's rules were induced from exactly this
+    /// data version. `false` between a write and the completion of the
+    /// background re-induction it triggered; intensional answers served
+    /// in that window are flagged so clients can tell.
+    pub rules_fresh: bool,
+}
+
+impl Snapshot {
+    /// The initial snapshot (epoch 0) over a database and dictionary.
+    pub fn initial(db: Database, dictionary: DataDictionary, rules_fresh: bool) -> Snapshot {
+        Snapshot {
+            epoch: 0,
+            data_version: 0,
+            db,
+            dictionary,
+            rules_fresh,
+        }
+    }
+
+    /// The successor snapshot after a data mutation: new database, same
+    /// (now possibly stale) rules.
+    pub fn after_write(&self, db: Database) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch + 1,
+            data_version: self.data_version + 1,
+            db,
+            dictionary: self.dictionary.clone(),
+            rules_fresh: false,
+        }
+    }
+
+    /// The successor snapshot after installing a freshly induced rule
+    /// set: same data, new dictionary.
+    pub fn after_induction(&self, dictionary: DataDictionary) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch + 1,
+            data_version: self.data_version,
+            db: self.db.clone(),
+            dictionary,
+            rules_fresh: true,
+        }
+    }
+}

@@ -1,13 +1,22 @@
 //! The database catalog: a named collection of relations.
+//!
+//! Relations are held behind [`Arc`] so that cloning a `Database` is a
+//! **copy-on-write snapshot**: the clone shares every relation's tuple
+//! storage with the original, and only a relation that is subsequently
+//! mutated (through [`Database::get_mut`]) is deep-copied. Long-lived
+//! services lean on this — each query epoch pins an immutable snapshot
+//! while the write path builds the next one, paying only for the
+//! relations it actually touches.
 
 use crate::error::{Result, StorageError};
 use crate::relation::Relation;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An in-memory database: relations indexed by (case-insensitive) name.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Database {
@@ -26,31 +35,46 @@ impl Database {
         if self.relations.contains_key(&key) {
             return Err(StorageError::DuplicateRelation(rel.name().to_string()));
         }
-        self.relations.insert(key, rel);
+        self.relations.insert(key, Arc::new(rel));
         Ok(())
     }
 
     /// Add or replace a relation (used by `retrieve into` re-runs).
     pub fn create_or_replace(&mut self, rel: Relation) {
-        self.relations.insert(Self::key(rel.name()), rel);
+        self.relations.insert(Self::key(rel.name()), Arc::new(rel));
     }
 
     /// Remove a relation; returns it if present.
     pub fn drop(&mut self, name: &str) -> Option<Relation> {
-        self.relations.remove(&Self::key(name))
+        self.relations
+            .remove(&Self::key(name))
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Look up a relation.
     pub fn get(&self, name: &str) -> Result<&Relation> {
         self.relations
             .get(&Self::key(name))
+            .map(Arc::as_ref)
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
-    /// Look up a relation mutably.
+    /// A shared handle to a relation (no copy; shares storage with this
+    /// catalog until either side mutates).
+    pub fn get_shared(&self, name: &str) -> Result<Arc<Relation>> {
+        self.relations
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up a relation mutably. If the relation is shared with a
+    /// snapshot (a cloned `Database`), it is deep-copied first
+    /// (copy-on-write), so snapshots never observe the mutation.
     pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
         self.relations
             .get_mut(&Self::key(name))
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
@@ -66,7 +90,7 @@ impl Database {
 
     /// Iterate over relations.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.values()
+        self.relations.values().map(Arc::as_ref)
     }
 
     /// Number of relations.
@@ -81,7 +105,19 @@ impl Database {
 
     /// Total tuple count across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Whether `other` shares `name`'s physical storage with `self`
+    /// (i.e. neither side has mutated the relation since the snapshot).
+    pub fn shares_storage(&self, other: &Database, name: &str) -> bool {
+        match (
+            self.relations.get(&Self::key(name)),
+            other.relations.get(&Self::key(name)),
+        ) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 }
 
@@ -129,5 +165,40 @@ mod tests {
         assert_eq!(db.len(), 2);
         assert_eq!(db.total_tuples(), 2);
         assert_eq!(db.relation_names(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut db = Database::new();
+        let mut a = rel("A");
+        a.insert(tuple!["X1"]).unwrap();
+        db.create(a).unwrap();
+        db.create(rel("B")).unwrap();
+
+        let snapshot = db.clone();
+        assert!(db.shares_storage(&snapshot, "A"), "clone shares storage");
+        assert!(db.shares_storage(&snapshot, "B"));
+
+        // Mutating A through the original detaches only A.
+        db.get_mut("A").unwrap().insert(tuple!["X2"]).unwrap();
+        assert!(!db.shares_storage(&snapshot, "A"), "A detached on write");
+        assert!(db.shares_storage(&snapshot, "B"), "B still shared");
+
+        // The snapshot kept the pre-mutation contents.
+        assert_eq!(snapshot.get("A").unwrap().len(), 1);
+        assert_eq!(db.get("A").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn get_shared_pins_a_relation() {
+        let mut db = Database::new();
+        let mut a = rel("A");
+        a.insert(tuple!["X1"]).unwrap();
+        db.create(a).unwrap();
+        let pinned = db.get_shared("A").unwrap();
+        db.get_mut("A").unwrap().insert(tuple!["X2"]).unwrap();
+        assert_eq!(pinned.len(), 1, "pin is immutable across writes");
+        assert_eq!(db.get("A").unwrap().len(), 2);
+        assert!(db.get_shared("MISSING").is_err());
     }
 }

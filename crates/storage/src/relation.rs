@@ -38,7 +38,12 @@ impl Clone for Relation {
             key_indices: self.key_indices.clone(),
             key_set: self.key_set.clone(),
             version: self.version,
-            indexes: RwLock::new(self.indexes.read().map(|m| m.clone()).unwrap_or_default()),
+            indexes: RwLock::new(
+                self.indexes
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
         }
     }
 }
@@ -228,11 +233,17 @@ impl Relation {
     /// Run `f` over the (lazily built, cached) secondary index on
     /// `attr`. The index is rebuilt when the relation has mutated since
     /// it was last built.
+    ///
+    /// A panic in an earlier caller's `f` poisons the cache lock; the
+    /// cache holds only derived data (rebuildable from `tuples`), so
+    /// poisoning is recovered rather than propagated — one panicked
+    /// reader must not wedge every future query of a long-lived
+    /// service.
     pub fn with_index<R>(&self, attr: &str, f: impl FnOnce(&AttributeIndex) -> R) -> Result<R> {
         let idx = self.schema.require(&self.name, attr)?;
         let key = attr.to_ascii_lowercase();
         {
-            let cache = self.indexes.read().expect("index lock poisoned");
+            let cache = self.indexes.read().unwrap_or_else(|e| e.into_inner());
             if let Some((v, index)) = cache.get(&key) {
                 if *v == self.version {
                     return Ok(f(index));
@@ -240,7 +251,7 @@ impl Relation {
             }
         }
         let built = AttributeIndex::build(self.tuples.iter().map(|t| t.get(idx)));
-        let mut cache = self.indexes.write().expect("index lock poisoned");
+        let mut cache = self.indexes.write().unwrap_or_else(|e| e.into_inner());
         let entry = cache.entry(key).insert_entry((self.version, built));
         Ok(f(&entry.get().1))
     }
@@ -413,5 +424,24 @@ mod tests {
     fn arity_violation_rejected() {
         let mut r = submarine();
         assert!(r.insert(tuple!["only-one"]).is_err());
+    }
+
+    #[test]
+    fn index_cache_recovers_from_poisoned_lock() {
+        let mut r = submarine();
+        r.insert(tuple!["SSBN730", "Rhode Island", "0101"]).unwrap();
+        r.insert(tuple!["SSN582", "Bonefish", "0215"]).unwrap();
+        // Poison the cache lock: panic inside the index closure.
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = r.with_index("Class", |_| panic!("reader died"));
+        }));
+        assert!(poisoned.is_err());
+        // Later readers must still get correct answers.
+        let hits = r.index_lookup("Class", &Value::str("0215")).unwrap();
+        assert_eq!(hits, vec![1]);
+        let range = r
+            .index_range("Class", Some((&Value::str("0000"), true)), None)
+            .unwrap();
+        assert_eq!(range.len(), 2);
     }
 }

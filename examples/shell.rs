@@ -6,9 +6,16 @@
 //! with the ship test bed loaded.
 //!
 //! ```sh
-//! cargo run --example shell            # interactive
+//! cargo run --example shell            # interactive, in-process
 //! echo '.rules' | cargo run --example shell   # scripted
+//! cargo run --example shell -- --connect 127.0.0.1:7878   # remote
 //! ```
+//!
+//! With `--connect HOST:PORT` the shell speaks the `intensio-serve`
+//! wire protocol to a running `serve` binary instead of embedding the
+//! processor: SQL and QUEL inputs are shipped over TCP, responses are
+//! decoded from JSON and pretty-printed with their serving metadata
+//! (epoch, cache hit, rule freshness, soundness class).
 
 use intensio::prelude::*;
 use std::io::{self, BufRead, Write};
@@ -168,7 +175,209 @@ impl LearnWithNc for IntensionalQueryProcessor {
     }
 }
 
+/// The remote mode: translate shell input lines into wire-protocol
+/// requests and render the JSON replies.
+struct RemoteShell {
+    client: intensio::serve::Client,
+}
+
+impl RemoteShell {
+    fn connect(addr: &str) -> std::io::Result<RemoteShell> {
+        Ok(RemoteShell {
+            client: intensio::serve::Client::connect(addr)?,
+        })
+    }
+
+    /// Map a shell line to a request line, or `None` to quit.
+    fn to_request(line: &str) -> std::result::Result<Option<String>, String> {
+        let lower = line.to_ascii_lowercase();
+        if line == ".quit" || line == ".exit" {
+            return Ok(None);
+        }
+        if line == ".stats" {
+            return Ok(Some("STATS".to_string()));
+        }
+        if line == ".help" {
+            return Err("remote commands: SELECT ..., QUEL statements, .stats, .quit".to_string());
+        }
+        if lower.starts_with("select") {
+            return Ok(Some(format!("SQL {line}")));
+        }
+        if ["range", "retrieve", "delete", "append", "replace"]
+            .iter()
+            .any(|k| lower.starts_with(k))
+        {
+            return Ok(Some(format!(
+                "QUEL {}",
+                intensio::serve::escape_script(line)
+            )));
+        }
+        Err(format!("unrecognized input for remote mode: {line}"))
+    }
+
+    fn render(json_line: &str) -> String {
+        use intensio::serve::json::{self, Json};
+        let v = match json::parse(json_line) {
+            Ok(v) => v,
+            Err(e) => return format!("error: undecodable response ({e}): {json_line}"),
+        };
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            return format!("error: {msg}");
+        }
+        let strs = |key: &str| -> Vec<String> {
+            v.get(key)
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect()
+        };
+        match v.get("kind").and_then(Json::as_str) {
+            Some("stats") => {
+                let n = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+                format!(
+                    "epoch {} (data v{}, rules {}) — {} queries, {} writes, \
+                     cache {}/{} hit/miss ({} live), {} inductions, {} errors",
+                    n("epoch"),
+                    n("data_version"),
+                    if v.get("rules_fresh").and_then(Json::as_bool) == Some(true) {
+                        "fresh"
+                    } else {
+                        "stale"
+                    },
+                    n("queries"),
+                    n("writes"),
+                    n("cache_hits"),
+                    n("cache_misses"),
+                    n("cache_len"),
+                    n("inductions"),
+                    n("errors"),
+                )
+            }
+            _ => {
+                let mut out = String::new();
+                let columns = strs("columns");
+                let rows = v.get("rows").and_then(Json::as_array).unwrap_or(&[]);
+                if !columns.is_empty() {
+                    out.push_str(&format!(
+                        "Extensional answer ({} tuples): {}\n",
+                        rows.len(),
+                        columns.join(" | ")
+                    ));
+                    for row in rows {
+                        let cells: Vec<&str> = row
+                            .as_array()
+                            .unwrap_or(&[])
+                            .iter()
+                            .filter_map(Json::as_str)
+                            .collect();
+                        out.push_str(&format!("  {}\n", cells.join(" | ")));
+                    }
+                }
+                let intensional = strs("intensional");
+                if !intensional.is_empty() {
+                    out.push_str("Intensional answer:\n");
+                    for line in &intensional {
+                        out.push_str(&format!("  {line}\n"));
+                    }
+                }
+                if let Some(h) = v.get("headline").and_then(Json::as_str) {
+                    out.push_str(&format!("In short: {h}\n"));
+                }
+                if let Some(s) = v.get("summary").and_then(Json::as_str) {
+                    out.push_str(&format!("Aggregate response:\n{s}\n"));
+                }
+                if let Some(n) = v.get("affected").and_then(Json::as_u64) {
+                    out.push_str(&format!("{n} tuples affected\n"));
+                }
+                let flag = |key: &str| v.get(key).and_then(Json::as_bool) == Some(true);
+                out.push_str(&format!(
+                    "[epoch {}, {}, rules {}, soundness: {}]",
+                    v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                    if flag("cached") {
+                        "cache hit"
+                    } else {
+                        "cache miss"
+                    },
+                    if flag("rules_fresh") {
+                        "fresh"
+                    } else {
+                        "stale"
+                    },
+                    v.get("soundness").and_then(Json::as_str).unwrap_or("none"),
+                ));
+                out
+            }
+        }
+    }
+
+    /// Returns `false` when the session should end.
+    fn dispatch(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        match Self::to_request(line) {
+            Ok(None) => false,
+            Ok(Some(request)) => {
+                match self.client.roundtrip(&request) {
+                    Ok(reply) => println!("{}", Self::render(&reply)),
+                    Err(e) => {
+                        println!("error: connection lost: {e}");
+                        return false;
+                    }
+                }
+                true
+            }
+            Err(msg) => {
+                println!("{msg}");
+                true
+            }
+        }
+    }
+}
+
+fn remote_main(addr: &str) {
+    let mut shell = match RemoteShell::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("intensio shell — connected to {addr}; SELECT/QUEL/.stats/.quit");
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("intensio@{addr}> ");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !shell.dispatch(&line) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--connect") {
+        match args.get(i + 1) {
+            Some(addr) => return remote_main(addr),
+            None => {
+                eprintln!("usage: shell [--connect HOST:PORT]");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("intensio shell — ship test bed loaded; .help for commands");
     let mut shell = Shell::new();
     let stdin = io::stdin();

@@ -18,6 +18,7 @@
 //! | [`induction`] | the model-based ILS (§3, §5.2) |
 //! | [`inference`] | forward/backward type inference (§4) |
 //! | [`core`] | the assembled system (Figure 6) |
+//! | [`serve`] | concurrent query service: snapshots, cache, TCP |
 //! | [`shipdb`] | the naval test bed (§6, Appendices B/C) |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use intensio_inference as inference;
 pub use intensio_ker as ker;
 pub use intensio_quel as quel;
 pub use intensio_rules as rules;
+pub use intensio_serve as serve;
 pub use intensio_shipdb as shipdb;
 pub use intensio_sql as sql;
 pub use intensio_storage as storage;
