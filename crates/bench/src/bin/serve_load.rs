@@ -2,8 +2,14 @@
 //! workload over the TCP wire protocol, with an answer oracle.
 //!
 //! ```text
-//! serve_load [--threads N] [--queries N] [--workers N]
+//! serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]
 //! ```
+//!
+//! `--obs off` disables all observability recording (spans, metrics,
+//! the ring buffer) before the run — comparing a `--obs on` run
+//! against `--obs off` on the same parameters measures the
+//! instrumentation overhead. With observability on, the run ends with
+//! a per-stage latency summary read from the service's histograms.
 //!
 //! The run has two phases per client thread:
 //!
@@ -32,6 +38,12 @@ struct Args {
     threads: usize,
     queries: usize,
     workers: usize,
+    obs: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -39,6 +51,7 @@ fn parse_args() -> Args {
         threads: 4,
         queries: 1000,
         workers: 4,
+        obs: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,19 +60,20 @@ fn parse_args() -> Args {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("usage: serve_load [--threads N] [--queries N] [--workers N]");
-                    std::process::exit(2);
-                });
+                .unwrap_or_else(|| usage());
         };
         match a.as_str() {
             "--threads" => num(&mut args.threads),
             "--queries" => num(&mut args.queries),
             "--workers" => num(&mut args.workers),
-            _ => {
-                eprintln!("usage: serve_load [--threads N] [--queries N] [--workers N]");
-                std::process::exit(2);
+            "--obs" => {
+                args.obs = match it.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                };
             }
+            _ => usage(),
         }
     }
     args
@@ -107,6 +121,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 fn main() {
     let args = parse_args();
+    intensio_obs::set_enabled(args.obs);
     let db = intensio_shipdb::ship_database().expect("ship database");
     let model = intensio_shipdb::ship_model().expect("ship model");
     let cfg = ServiceConfig {
@@ -265,6 +280,25 @@ fn main() {
         "incorrect answers: {}, request errors: {}",
         all.wrong, all.errors
     );
+    if args.obs {
+        println!("per-stage latency (from service histograms):");
+        for stage in intensio_obs::Stage::ALL {
+            let h = stats
+                .metrics
+                .stage(stage.name())
+                .cloned()
+                .unwrap_or_default();
+            println!(
+                "  {:<10} count {:>7}  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us  mean {:>6} us",
+                stage.name(),
+                h.count,
+                h.p50_us,
+                h.p95_us,
+                h.p99_us,
+                h.mean_us()
+            );
+        }
+    }
 
     let write_epoch = write_done.load(Ordering::SeqCst);
     let mut failed = false;

@@ -55,6 +55,8 @@ pub fn answer(
     cfg: InferenceConfig,
     sql: &str,
 ) -> Result<Answer, IqpError> {
+    let _span = intensio_obs::Span::stage("core.query", intensio_obs::Stage::Request)
+        .with_field("rules", dictionary.rules().len());
     let q = parse(sql).map_err(intensio_sql::SqlError::Parse)?;
     let extensional = intensio_sql::execute(db, &q)?;
     let analysis = analyze(db, &q)?;

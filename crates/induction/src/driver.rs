@@ -48,6 +48,17 @@ pub struct IlsOutput {
     pub stats: IlsStats,
 }
 
+/// Bump the global induction counters from one run's statistics.
+fn record_induction_metrics(stats: &IlsStats) {
+    intensio_obs::inc("induction.runs");
+    intensio_obs::add("induction.pairs_examined", stats.pairs_examined as u64);
+    intensio_obs::add("induction.rules_kept", stats.rules_kept as u64);
+    intensio_obs::add(
+        "induction.rules_pruned",
+        stats.rules_constructed.saturating_sub(stats.rules_kept) as u64,
+    );
+}
+
 /// The model-based inductive learning subsystem.
 #[derive(Debug, Clone)]
 pub struct Ils<'m> {
@@ -73,6 +84,8 @@ impl<'m> Ils<'m> {
 
     /// Run schema-guided induction over every relation of the database.
     pub fn induce(&self, db: &Database) -> Result<IlsOutput> {
+        let _span = intensio_obs::Span::stage("induction.run", intensio_obs::Stage::Induction)
+            .with_field("mode", "sequential");
         let mut stats = IlsStats::default();
         let mut induced: Vec<InducedRule> = Vec::new();
         let classifier_attrs = self.classifier_attr_names();
@@ -95,6 +108,7 @@ impl<'m> Ils<'m> {
             rule.rhs_subtype = subtype;
             rules.push(rule);
         }
+        record_induction_metrics(&stats);
         Ok(IlsOutput { rules, stats })
     }
 
@@ -107,6 +121,9 @@ impl<'m> Ils<'m> {
     /// [`Ils::induce`] (tested). Relationship joins are materialized
     /// once, up front, on the calling thread.
     pub fn induce_parallel(&self, db: &Database, threads: usize) -> Result<IlsOutput> {
+        let _span = intensio_obs::Span::stage("induction.run", intensio_obs::Stage::Induction)
+            .with_field("mode", "parallel")
+            .with_field("threads", threads.max(1));
         let threads = threads.max(1);
         let classifier_attrs = self.classifier_attr_names();
 
@@ -251,6 +268,7 @@ impl<'m> Ils<'m> {
                 rules.push(rule);
             }
         }
+        record_induction_metrics(&stats);
         Ok(IlsOutput { rules, stats })
     }
 

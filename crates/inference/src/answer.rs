@@ -6,6 +6,58 @@ use intensio_rules::rule::AttrId;
 use intensio_storage::value::Value;
 use std::fmt;
 
+/// Which way a rule was applied during inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Premise subsumed by the query: the conclusion holds for every
+    /// answer (superset-sound).
+    Forward,
+    /// Consequence fixed by the query: the inverted premise describes a
+    /// subset of the answer (subset-sound).
+    Backward,
+}
+
+impl Direction {
+    /// Wire name (`"forward"` / `"backward"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Forward => "forward",
+            Direction::Backward => "backward",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule application behind an intensional answer: the provenance
+/// record surfaced through the protocol's `EXPLAIN` verb and the
+/// shell's `\explain` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleUse {
+    /// The rule's id within the rule set.
+    pub rule_id: u32,
+    /// The rule's support count (tuples it was induced from).
+    pub support: usize,
+    /// The inference direction it was applied in.
+    pub direction: Direction,
+    /// The conclusion it contributed, rendered (`CLASS.Type = SSBN`).
+    pub conclusion: String,
+}
+
+impl fmt::Display for RuleUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R{} ({}, support {}): {}",
+            self.rule_id, self.direction, self.support, self.conclusion
+        )
+    }
+}
+
 /// A fact derived by *forward* inference: it holds for **every** tuple of
 /// the extensional answer, so the characterization *contains* the answer
 /// set (§4: "the intensional answers derived from forward inference
@@ -85,6 +137,8 @@ pub struct IntensionalAnswer {
     pub partial: Vec<BackwardCharacterization>,
     /// Human-readable inference trace.
     pub steps: Vec<String>,
+    /// Every rule application behind this answer, in firing order.
+    pub provenance: Vec<RuleUse>,
 }
 
 impl IntensionalAnswer {

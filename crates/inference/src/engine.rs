@@ -16,7 +16,7 @@
 //! answer, with an explicit completeness check that reproduces the
 //! paper's Example 2 caveat about class 1301.
 
-use crate::answer::{BackwardCharacterization, ForwardFact, IntensionalAnswer};
+use crate::answer::{BackwardCharacterization, Direction, ForwardFact, IntensionalAnswer, RuleUse};
 use intensio_ker::model::KerModel;
 use intensio_rules::range::ValueRange;
 use intensio_rules::rule::{AttrId, Rule, RuleSet};
@@ -157,6 +157,9 @@ impl<'a> InferenceEngine<'a> {
 
     /// Derive the intensional answer for an analyzed query.
     pub fn infer(&self, analysis: &QueryAnalysis) -> IntensionalAnswer {
+        let _span = intensio_obs::Span::stage("inference.infer", intensio_obs::Stage::Inference)
+            .with_field("restrictions", analysis.restrictions.len())
+            .with_field("rules", self.rules.len());
         let mut answer = IntensionalAnswer::default();
 
         // Equivalence classes from equi-joins, for fact propagation.
@@ -176,6 +179,8 @@ impl<'a> InferenceEngine<'a> {
 
         // Forward chaining to fixpoint.
         if !self.cfg.backward_only {
+            let mut forward_span =
+                intensio_obs::Span::enter("inference.forward").with_field("given", given.len());
             let mut fired: BTreeSet<u32> = BTreeSet::new();
             loop {
                 let mut progressed = false;
@@ -198,6 +203,13 @@ impl<'a> InferenceEngine<'a> {
                         "forward: R{} fires, concluding {} = {}",
                         rule.id, rule.rhs.attr, rhs_value
                     ));
+                    answer.provenance.push(RuleUse {
+                        rule_id: rule.id,
+                        support: rule.support,
+                        direction: Direction::Forward,
+                        conclusion: format!("{} = {}", rule.rhs.attr, rhs_value),
+                    });
+                    intensio_obs::inc("inference.forward_fired");
                     let subtype = rule.rhs_subtype.clone().or_else(|| {
                         self.model
                             .subtype_label_for(&rule.rhs.attr.attribute, &rhs_value)
@@ -224,11 +236,15 @@ impl<'a> InferenceEngine<'a> {
             answer
                 .certain
                 .dedup_by(|a, b| a.attr == b.attr && a.value == b.value && a.subtype == b.subtype);
+            forward_span.field("fired", fired.len());
+            drop(forward_span);
         }
 
         // Backward inference: from every point fact (given or derived),
         // invert rules concluding it.
         if !self.cfg.forward_only {
+            let mut backward_span = intensio_obs::Span::enter("inference.backward");
+            let mut inverted = 0usize;
             for ((obj, attr_name), range) in &facts {
                 let Some(value) = range.as_point() else {
                     continue;
@@ -251,6 +267,17 @@ impl<'a> InferenceEngine<'a> {
                         "backward: R{} inverted — instances with {} {} have {} = {}",
                         rule.id, lhs.attr, lhs.range, rule.rhs.attr, value
                     ));
+                    answer.provenance.push(RuleUse {
+                        rule_id: rule.id,
+                        support: rule.support,
+                        direction: Direction::Backward,
+                        conclusion: format!(
+                            "{} {} ⇒ {} = {}",
+                            lhs.attr, lhs.range, rule.rhs.attr, value
+                        ),
+                    });
+                    inverted += 1;
+                    intensio_obs::inc("inference.backward_inverted");
                     answer.partial.push(BackwardCharacterization {
                         x: lhs.attr.clone(),
                         range: lhs.range.clone(),
@@ -265,6 +292,8 @@ impl<'a> InferenceEngine<'a> {
                     });
                 }
             }
+            backward_span.field("inverted", inverted);
+            drop(backward_span);
         }
 
         // Suppress trivial backward echoes: a backward characterization
@@ -277,6 +306,15 @@ impl<'a> InferenceEngine<'a> {
                 _ => true,
             }
         });
+        // Keep provenance consistent with the surviving characterizations.
+        let kept_backward: BTreeSet<u32> = answer.partial.iter().map(|b| b.rule_id).collect();
+        answer.provenance.retain(|u| match u.direction {
+            Direction::Forward => true,
+            Direction::Backward => kept_backward.contains(&u.rule_id),
+        });
+        for u in &answer.provenance {
+            intensio_obs::inc(&format!("inference.rule.R{}.used", u.rule_id));
+        }
 
         answer
     }

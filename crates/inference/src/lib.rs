@@ -24,7 +24,7 @@ pub mod optimizer;
 pub mod quality;
 pub mod schema_rules;
 
-pub use answer::{BackwardCharacterization, ForwardFact, IntensionalAnswer};
+pub use answer::{BackwardCharacterization, Direction, ForwardFact, IntensionalAnswer, RuleUse};
 pub use engine::{InferenceConfig, InferenceEngine, SubsumptionMode};
 pub use fingerprint::condition_fingerprint;
 pub use optimizer::{optimize, Optimized};

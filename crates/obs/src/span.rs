@@ -1,0 +1,245 @@
+//! The span API: RAII-timed regions with fields, thread-local
+//! parent/child nesting, and a bounded global ring buffer of completed
+//! spans.
+
+use crate::metrics::Stage;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How many completed spans the ring buffer retains.
+pub const RING_CAPACITY: usize = 512;
+
+/// A completed span as collected in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's name (e.g. `inference.forward`).
+    pub name: &'static str,
+    /// The enclosing span's name on the same thread, if any.
+    pub parent: Option<&'static str>,
+    /// Nesting depth on its thread (0 = top level).
+    pub depth: usize,
+    /// Wall-clock duration in microseconds (monotonic clock).
+    pub duration_us: u64,
+    /// Key/value fields attached while the span was open.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// One-line rendering, used by verbose and slow-span logging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{:indent$}{} {}us",
+            "",
+            self.name,
+            self.duration_us,
+            indent = self.depth * 2
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+}
+
+fn ring() -> &'static Mutex<VecDeque<SpanRecord>> {
+    static RING: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
+}
+
+/// The most recent completed spans, oldest first (bounded by
+/// [`RING_CAPACITY`]).
+pub fn recent_spans() -> Vec<SpanRecord> {
+    ring()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Drop every buffered span (test convenience).
+pub fn clear_spans() {
+    ring().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+thread_local! {
+    /// Names of the open spans on this thread, innermost last.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open, RAII-timed span. Created with [`Span::enter`] (trace-only)
+/// or [`Span::stage`] (also records the duration into the stage's
+/// latency histogram on close). Dropping the span closes it.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    stage: Option<Stage>,
+    parent: Option<&'static str>,
+    depth: usize,
+    start: Instant,
+    fields: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Open a span. Nesting is tracked per thread: the innermost open
+    /// span on this thread becomes the parent.
+    pub fn enter(name: &'static str) -> Span {
+        let (parent, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            let depth = s.len();
+            s.push(name);
+            (parent, depth)
+        });
+        Span {
+            name,
+            stage: None,
+            parent,
+            depth,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Open a span that also records into `stage`'s latency histogram
+    /// on the global registry when it closes.
+    pub fn stage(name: &'static str, stage: Stage) -> Span {
+        let mut s = Span::enter(name);
+        s.stage = Some(stage);
+        s
+    }
+
+    /// Attach a key/value field (builder style).
+    pub fn with_field(mut self, key: &'static str, value: impl Display) -> Span {
+        self.field(key, value);
+        self
+    }
+
+    /// Attach a key/value field.
+    pub fn field(&mut self, key: &'static str, value: impl Display) {
+        self.fields.push((key, value.to_string()));
+    }
+
+    /// Microseconds since the span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own entry; spans are dropped innermost-first in
+            // normal control flow, but be tolerant of odd drop orders.
+            if let Some(pos) = s.iter().rposition(|n| *n == self.name) {
+                s.remove(pos);
+            }
+        });
+        if !crate::enabled() {
+            return;
+        }
+        let duration_us = self.elapsed_us();
+        if let Some(stage) = self.stage {
+            crate::metrics().stage(stage).record_us(duration_us);
+        }
+        let record = SpanRecord {
+            name: self.name,
+            parent: self.parent,
+            depth: self.depth,
+            duration_us,
+            fields: std::mem::take(&mut self.fields),
+        };
+        let level = crate::level();
+        if level >= crate::Level::Verbose {
+            eprintln!("[span] {}", record.render());
+        } else {
+            let slow = crate::slow_span_threshold_us();
+            if slow > 0 && duration_us >= slow && level >= crate::Level::Normal {
+                eprintln!("[slow] {}", record.render());
+            }
+        }
+        let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that read or toggle the global enabled flag must not
+    /// overlap (the test harness runs tests on parallel threads).
+    static ENABLED_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // The ring is global and other tests run concurrently: identify
+        // this test's spans by unique names instead of clearing.
+        {
+            let _outer = Span::enter("test.nest.outer").with_field("k", 7);
+            {
+                let _inner = Span::enter("test.nest.inner");
+            }
+        }
+        let spans = recent_spans();
+        let inner = spans
+            .iter()
+            .find(|s| s.name == "test.nest.inner")
+            .expect("inner span recorded");
+        assert_eq!(inner.parent, Some("test.nest.outer"));
+        assert_eq!(inner.depth, 1);
+        let outer = spans
+            .iter()
+            .find(|s| s.name == "test.nest.outer")
+            .expect("outer span recorded");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.fields, vec![("k", "7".to_string())]);
+        // Children close (and are buffered) before their parents.
+        let inner_pos = spans.iter().position(|s| s.name == "test.nest.inner");
+        let outer_pos = spans.iter().position(|s| s.name == "test.nest.outer");
+        assert!(inner_pos < outer_pos);
+    }
+
+    #[test]
+    fn stage_spans_record_into_the_global_histogram() {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = crate::metrics().stage(Stage::Induction).count();
+        drop(Span::stage("test.stage", Stage::Induction));
+        assert!(crate::metrics().stage(Stage::Induction).count() > before);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        drop(Span::enter("test.disabled.span"));
+        crate::set_enabled(true);
+        assert!(recent_spans()
+            .iter()
+            .all(|s| s.name != "test.disabled.span"));
+    }
+
+    #[test]
+    fn render_is_indented_by_depth() {
+        let r = SpanRecord {
+            name: "a.b",
+            parent: Some("a"),
+            depth: 2,
+            duration_us: 5,
+            fields: vec![("n", "3".to_string())],
+        };
+        assert_eq!(r.render(), "    a.b 5us n=3");
+    }
+}

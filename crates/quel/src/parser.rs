@@ -238,6 +238,8 @@ pub fn parse(src: &str) -> Result<Statement, QuelParseError> {
 /// their leading keyword, so no separator is needed (newlines suffice);
 /// an optional `;` or blank line between statements is accepted.
 pub fn parse_script(src: &str) -> Result<Vec<Statement>, QuelParseError> {
+    let _span = intensio_obs::Span::stage("parse.quel", intensio_obs::Stage::Parse);
+    intensio_obs::inc("parse.quel");
     let mut statements = Vec::new();
     for piece in split_statements(src) {
         let trimmed = piece.trim();

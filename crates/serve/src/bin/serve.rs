@@ -3,7 +3,14 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]
+//!       [--quiet] [--verbose] [--slow-ms N]
 //! ```
+//!
+//! Observability: `--verbose` logs every completed span to stderr,
+//! `--quiet` silences logging entirely, and `--slow-ms N` logs only
+//! spans slower than `N` milliseconds (the slow-query log). The
+//! `INTENSIO_LOG` environment variable (`silent`/`normal`/`verbose`)
+//! sets the default level; the flags override it.
 //!
 //! Talk to it with `examples/shell.rs --connect HOST:PORT`, or any
 //! line client:
@@ -16,13 +23,17 @@ use intensio_serve::{Server, Service, ServiceConfig};
 use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]");
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]\n\
+         \x20            [--quiet] [--verbose] [--slow-ms N]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cfg = ServiceConfig::default();
+    intensio_obs::init_from_env();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +52,15 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--no-learn" => cfg.learn_on_open = false,
+            "--quiet" => intensio_obs::set_level(intensio_obs::Level::Silent),
+            "--verbose" => intensio_obs::set_level(intensio_obs::Level::Verbose),
+            "--slow-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                intensio_obs::set_slow_span_threshold(std::time::Duration::from_millis(ms));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -65,7 +85,7 @@ fn main() {
         }
     };
     println!(
-        "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | STATS | QUIT",
+        "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | EXPLAIN <q> | STATS | QUIT",
         server.local_addr(),
         workers
     );

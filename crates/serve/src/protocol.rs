@@ -7,8 +7,10 @@
 //! S: {"ok":true,"kind":"query","epoch":0,"cached":false,...}
 //! C: QUEL range of s is SUBMARINE\nretrieve (s.Name)
 //! S: {"ok":true,"kind":"query",...}
+//! C: EXPLAIN SELECT Class FROM CLASS WHERE Displacement > 8000
+//! S: {"ok":true,"kind":"explain","provenance":[{"rule_id":3,...}],...}
 //! C: STATS
-//! S: {"ok":true,"kind":"stats",...}
+//! S: {"ok":true,"kind":"stats",...,"metrics":{...}}
 //! C: QUIT
 //! ```
 //!
@@ -24,6 +26,11 @@
 //! paper's §4 containment direction), `columns` + `rows` (the
 //! extensional answer), `intensional` (rendered characterization
 //! lines), `headline`, `summary`, and `affected` (mutations only).
+//! `EXPLAIN` responses drop the rows and instead carry `provenance`: an
+//! array of `{rule_id, support, direction, conclusion}` objects — the
+//! rule applications behind the intensional answer. `STATS` responses
+//! carry the service counters plus a `metrics` object (counters,
+//! gauges, and per-stage latency histograms with p50/p95/p99 in µs).
 //! Error responses are `{"ok":false,"error":"..."}`.
 
 use crate::json::ObjWriter;
@@ -51,12 +58,15 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         "QUEL" if !rest.is_empty() => {
             Ok(WireRequest::Execute(Request::Quel(unescape_script(rest))))
         }
-        "SQL" | "QUEL" => Err(format!("{verb} requires a query argument")),
+        "EXPLAIN" if !rest.is_empty() => {
+            Ok(WireRequest::Execute(Request::Explain(rest.to_string())))
+        }
+        "SQL" | "QUEL" | "EXPLAIN" => Err(format!("{verb} requires a query argument")),
         "STATS" => Ok(WireRequest::Execute(Request::Stats)),
         "QUIT" => Ok(WireRequest::Quit),
-        "" => Err("empty request; expected SQL, QUEL, STATS, or QUIT".to_string()),
+        "" => Err("empty request; expected SQL, QUEL, EXPLAIN, STATS, or QUIT".to_string()),
         other => Err(format!(
-            "unknown verb {other:?}; expected SQL, QUEL, STATS, or QUIT"
+            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, STATS, or QUIT"
         )),
     }
 }
@@ -120,6 +130,27 @@ pub fn encode_reply(reply: &Reply) -> String {
                 None => w.raw("affected", "null"),
             };
         }
+        Reply::Explain(e) => {
+            let intensional: Vec<String> = if e.intensional.is_empty() {
+                Vec::new()
+            } else {
+                e.intensional
+                    .render()
+                    .lines()
+                    .map(str::to_string)
+                    .filter(|l| !l.is_empty())
+                    .collect()
+            };
+            w.bool("ok", true)
+                .str("kind", "explain")
+                .num("epoch", e.epoch)
+                .bool("cached", e.cached)
+                .bool("rules_fresh", e.rules_fresh)
+                .str("soundness", e.soundness.as_str())
+                .raw("provenance", &encode_provenance(&e.intensional.provenance))
+                .str_array("intensional", &intensional)
+                .opt_str("headline", e.headline.as_deref());
+        }
         Reply::Stats(s) => {
             w.bool("ok", true)
                 .str("kind", "stats")
@@ -130,16 +161,37 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("cache_hits", s.cache_hits)
                 .num("cache_misses", s.cache_misses)
                 .num("cache_len", s.cache_len)
+                .num("cache_capacity", s.cache_capacity)
                 .num("writes", s.writes)
                 .num("inductions", s.inductions)
                 .num("errors", s.errors)
-                .num("workers", s.workers);
+                .num("workers", s.workers)
+                .raw("metrics", &s.metrics.to_json());
         }
         Reply::Error { message } => {
             w.bool("ok", false).str("error", message);
         }
     }
     w.finish()
+}
+
+/// Encode a provenance list as a JSON array of
+/// `{"rule_id":..,"support":..,"direction":"forward","conclusion":".."}`.
+fn encode_provenance(uses: &[intensio_inference::RuleUse]) -> String {
+    let mut out = String::from("[");
+    for (i, u) in uses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut w = ObjWriter::new();
+        w.num("rule_id", u.rule_id as u64)
+            .num("support", u.support as u64)
+            .str("direction", u.direction.as_str())
+            .str("conclusion", &u.conclusion);
+        out.push_str(&w.finish());
+    }
+    out.push(']');
+    out
 }
 
 /// Encode a protocol-level error (bad request line) as a JSON line.
@@ -170,8 +222,15 @@ mod tests {
             parse_request(" stats "),
             Ok(WireRequest::Execute(Request::Stats))
         );
+        assert_eq!(
+            parse_request("explain SELECT 1 FROM T"),
+            Ok(WireRequest::Execute(Request::Explain(
+                "SELECT 1 FROM T".into()
+            )))
+        );
         assert_eq!(parse_request("QUIT"), Ok(WireRequest::Quit));
         assert!(parse_request("SQL").is_err());
+        assert!(parse_request("EXPLAIN").is_err());
         assert!(parse_request("BOGUS x").is_err());
         assert!(parse_request("").is_err());
     }
@@ -180,6 +239,72 @@ mod tests {
     fn script_escaping_round_trips() {
         let script = "range of s is S\ndelete s where s.Id = \"a\\b\"";
         assert_eq!(unescape_script(&escape_script(script)), script);
+    }
+
+    #[test]
+    fn stats_reply_carries_capacity_and_metrics() {
+        let reg = intensio_obs::Registry::new();
+        reg.inc("serve.queries");
+        reg.add("serve.cache_hits", 2);
+        reg.stage(intensio_obs::Stage::Parse).record_us(1500);
+        let line = encode_reply(&Reply::Stats(crate::service::StatsReply {
+            epoch: 3,
+            data_version: 4,
+            rules_fresh: true,
+            queries: 10,
+            cache_hits: 6,
+            cache_misses: 4,
+            cache_len: 4,
+            cache_capacity: 128,
+            writes: 1,
+            inductions: 2,
+            errors: 0,
+            workers: 4,
+            metrics: reg.snapshot(),
+        }));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
+        assert_eq!(v.get("cache_capacity").unwrap().as_u64(), Some(128));
+        let metrics = v.get("metrics").expect("stats reply embeds metrics");
+        let counters = metrics.get("counters").unwrap();
+        assert_eq!(counters.get("serve.queries").unwrap().as_u64(), Some(1));
+        let hist = metrics.get("histograms").unwrap();
+        for stage in ["parse", "inference", "induction", "scan", "request"] {
+            let h = hist.get(stage).unwrap_or_else(|| panic!("stage {stage}"));
+            assert!(h.get("p99_us").unwrap().as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn explain_reply_carries_provenance() {
+        use intensio_inference::{Direction, IntensionalAnswer, RuleUse};
+        let mut answer = IntensionalAnswer::default();
+        answer.provenance.push(RuleUse {
+            rule_id: 5,
+            support: 7,
+            direction: Direction::Backward,
+            conclusion: "CLASS.Type = \"SSBN\"".to_string(),
+        });
+        let line = encode_reply(&Reply::Explain(crate::service::ExplainReply {
+            epoch: 1,
+            cached: true,
+            rules_fresh: true,
+            soundness: crate::service::Soundness::None,
+            intensional: std::sync::Arc::new(answer),
+            headline: None,
+        }));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("explain"));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        let prov = v.get("provenance").unwrap().as_array().unwrap();
+        assert_eq!(prov.len(), 1);
+        assert_eq!(prov[0].get("rule_id").unwrap().as_u64(), Some(5));
+        assert_eq!(prov[0].get("support").unwrap().as_u64(), Some(7));
+        assert_eq!(prov[0].get("direction").unwrap().as_str(), Some("backward"));
+        assert_eq!(
+            prov[0].get("conclusion").unwrap().as_str(),
+            Some("CLASS.Type = \"SSBN\"")
+        );
     }
 
     #[test]

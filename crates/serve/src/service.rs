@@ -80,6 +80,21 @@ pub enum Request {
     Quel(String),
     /// Service statistics.
     Stats,
+    /// Answer provenance for a SQL query: which rules fired, with what
+    /// support, in which direction — without the extensional rows.
+    Explain(String),
+}
+
+impl Request {
+    /// The request's wire verb, for span labels and counters.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Sql(_) => "sql",
+            Request::Quel(_) => "quel",
+            Request::Stats => "stats",
+            Request::Explain(_) => "explain",
+        }
+    }
 }
 
 /// Which soundness guarantee the intensional part of an answer carries
@@ -144,6 +159,25 @@ pub struct QueryReply {
     pub affected: Option<usize>,
 }
 
+/// The provenance behind one query's intensional answer.
+#[derive(Debug, Clone)]
+pub struct ExplainReply {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Whether the intensional part came from the cache.
+    pub cached: bool,
+    /// Whether the snapshot's rules matched its data version.
+    pub rules_fresh: bool,
+    /// Soundness class of the intensional part.
+    pub soundness: Soundness,
+    /// The intensional answer; `intensional.provenance` lists every
+    /// rule application (id, support, direction, conclusion) and
+    /// `intensional.steps` the full inference trace.
+    pub intensional: Arc<IntensionalAnswer>,
+    /// One-sentence intensional summary, if derivable.
+    pub headline: Option<String>,
+}
+
 /// A point-in-time view of service counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReply {
@@ -161,6 +195,8 @@ pub struct StatsReply {
     pub cache_misses: u64,
     /// Cached answers right now.
     pub cache_len: u64,
+    /// Maximum cached answers (the LRU capacity).
+    pub cache_capacity: u64,
     /// Mutating scripts applied.
     pub writes: u64,
     /// Background rule-set installs completed.
@@ -169,6 +205,9 @@ pub struct StatsReply {
     pub errors: u64,
     /// Worker threads.
     pub workers: u64,
+    /// Full metrics snapshot: pipeline-stage latency histograms
+    /// (p50/p95/p99) and every named counter/gauge.
+    pub metrics: intensio_obs::MetricsSnapshot,
 }
 
 /// What the service hands back for one request.
@@ -178,6 +217,8 @@ pub enum Reply {
     Query(QueryReply),
     /// Statistics.
     Stats(StatsReply),
+    /// Answer provenance.
+    Explain(ExplainReply),
     /// The request failed; the service itself is unaffected.
     Error {
         /// Human-readable cause.
@@ -190,6 +231,14 @@ impl Reply {
     pub fn query(&self) -> Option<&QueryReply> {
         match self {
             Reply::Query(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The explain payload, if this is an explain reply.
+    pub fn explain(&self) -> Option<&ExplainReply> {
+        match self {
+            Reply::Explain(e) => Some(e),
             _ => None,
         }
     }
@@ -256,6 +305,8 @@ impl Shared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .retain_epoch(epoch);
+        intensio_obs::inc("serve.epoch_swaps");
+        intensio_obs::gauge("serve.epoch", epoch as i64);
     }
 
     fn wake_inducer(&self) {
@@ -268,6 +319,8 @@ impl Shared {
 struct Job {
     request: Request,
     reply_to: SyncSender<Reply>,
+    /// When the job entered the queue, for queue-wait telemetry.
+    enqueued: std::time::Instant,
 }
 
 /// The concurrent intensional query service. See the module docs for
@@ -352,6 +405,7 @@ impl Service {
                     .send(Job {
                         request,
                         reply_to: reply_tx,
+                        enqueued: std::time::Instant::now(),
                     })
                     .is_ok(),
                 None => false,
@@ -434,19 +488,38 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // queue closed: shut down
         };
+        intensio_obs::record_stage(intensio_obs::Stage::QueueWait, job.enqueued.elapsed());
         let reply = execute(shared, &job.request);
         if matches!(reply, Reply::Error { .. }) {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            intensio_obs::inc("serve.errors");
         }
         let _ = job.reply_to.send(reply);
     }
 }
 
 fn execute(shared: &Shared, request: &Request) -> Reply {
+    let mut span = intensio_obs::Span::stage("serve.request", intensio_obs::Stage::Request)
+        .with_field("verb", request.verb());
+    if let Request::Sql(q) | Request::Explain(q) | Request::Quel(q) = request {
+        // The query text makes the slow-request log actionable.
+        span.field("query", truncate(q, 120));
+    }
     match request {
         Request::Sql(sql) => exec_sql(shared, sql),
         Request::Quel(script) => exec_quel(shared, script),
         Request::Stats => Reply::Stats(stats_reply(shared)),
+        Request::Explain(sql) => exec_explain(shared, sql),
+    }
+}
+
+/// Truncate to at most `max` characters on a char boundary.
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max).collect();
+        format!("{cut}…")
     }
 }
 
@@ -461,27 +534,28 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         cache_hits: c.cache_hits.load(Ordering::Relaxed),
         cache_misses: c.cache_misses.load(Ordering::Relaxed),
         cache_len: shared.cache.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+        cache_capacity: shared.cfg.cache_capacity as u64,
         writes: c.writes.load(Ordering::Relaxed),
         inductions: c.inductions.load(Ordering::Relaxed),
         errors: c.errors.load(Ordering::Relaxed),
         workers: shared.cfg.workers.max(1) as u64,
+        metrics: intensio_obs::metrics().snapshot(),
     }
 }
 
-fn exec_sql(shared: &Shared, sql: &str) -> Reply {
-    let snap = shared.snapshot();
-    let q = match parse(sql) {
-        Ok(q) => q,
-        Err(e) => return error(format!("sql parse: {e}")),
-    };
-    let extensional = match intensio_sql::execute(&snap.db, &q) {
-        Ok(r) => r,
-        Err(e) => return error(format!("sql execute: {e}")),
-    };
-    let analysis = match analyze(&snap.db, &q) {
-        Ok(a) => a,
-        Err(e) => return error(format!("sql analyze: {e}")),
-    };
+/// Parse + analyze a SQL query and produce its intensional answer,
+/// consulting the cache. Shared by [`exec_sql`] and [`exec_explain`];
+/// also returns the parsed query so the caller can run the extensional
+/// side. `Err` carries a ready-made error reply.
+#[allow(clippy::type_complexity)]
+fn intensional_for(
+    shared: &Shared,
+    snap: &Snapshot,
+    sql: &str,
+) -> Result<(intensio_sql::SelectQuery, Arc<IntensionalAnswer>, bool), Box<Reply>> {
+    let q = parse(sql).map_err(|e| Box::new(error(format!("sql parse: {e}"))))?;
+    let analysis =
+        analyze(&snap.db, &q).map_err(|e| Box::new(error(format!("sql analyze: {e}"))))?;
 
     let key = (condition_fingerprint(&analysis), snap.epoch);
     let hit = shared
@@ -492,19 +566,19 @@ fn exec_sql(shared: &Shared, sql: &str) -> Reply {
     let (intensional, cached) = match hit {
         Some(answer) => {
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            intensio_obs::inc("serve.cache_hits");
             (answer, true)
         }
         None => {
             shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let engine = match InferenceEngine::new(
+            intensio_obs::inc("serve.cache_misses");
+            let engine = InferenceEngine::new(
                 snap.dictionary.model(),
                 snap.dictionary.rules(),
                 &snap.db,
                 shared.cfg.inference,
-            ) {
-                Ok(e) => e,
-                Err(e) => return error(format!("inference: {e}")),
-            };
+            )
+            .map_err(|e| Box::new(error(format!("inference: {e}"))))?;
             let answer = Arc::new(engine.infer(&analysis));
             shared
                 .cache
@@ -514,9 +588,23 @@ fn exec_sql(shared: &Shared, sql: &str) -> Reply {
             (answer, false)
         }
     };
+    Ok((q, intensional, cached))
+}
+
+fn exec_sql(shared: &Shared, sql: &str) -> Reply {
+    let snap = shared.snapshot();
+    let (q, intensional, cached) = match intensional_for(shared, &snap, sql) {
+        Ok(r) => r,
+        Err(reply) => return *reply,
+    };
+    let extensional = match intensio_sql::execute(&snap.db, &q) {
+        Ok(r) => r,
+        Err(e) => return error(format!("sql execute: {e}")),
+    };
 
     let summary = intensio_core::summarize(&extensional, snap.dictionary.model());
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    intensio_obs::inc("serve.queries");
     let (columns, rows) = render_relation(&extensional);
     Reply::Query(QueryReply {
         epoch: snap.epoch,
@@ -533,6 +621,27 @@ fn exec_sql(shared: &Shared, sql: &str) -> Reply {
             Some(summary.to_string().trim_end().to_string())
         },
         affected: None,
+    })
+}
+
+/// `EXPLAIN`: the provenance of a query's intensional answer — rule
+/// ids, supports, and inference directions — without enumerating the
+/// extensional rows. Hits the same answer cache as `SQL`.
+fn exec_explain(shared: &Shared, sql: &str) -> Reply {
+    let snap = shared.snapshot();
+    let (_, intensional, cached) = match intensional_for(shared, &snap, sql) {
+        Ok(r) => r,
+        Err(reply) => return *reply,
+    };
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    intensio_obs::inc("serve.explains");
+    Reply::Explain(ExplainReply {
+        epoch: snap.epoch,
+        cached,
+        rules_fresh: snap.rules_fresh,
+        soundness: Soundness::of(&intensional),
+        headline: intensional.headline(),
+        intensional,
     })
 }
 

@@ -84,7 +84,7 @@ fn hammer_mixed_reads_and_writes_from_eight_threads() {
                         }
                     }
                     Reply::Error { message } => panic!("request failed: {message}"),
-                    Reply::Stats(_) => unreachable!(),
+                    Reply::Stats(_) | Reply::Explain(_) => unreachable!(),
                 }
             }
             last_epoch
@@ -257,10 +257,62 @@ fn tcp_server_speaks_the_line_protocol() {
     assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
     assert_eq!(v.get("rows").unwrap().as_array().unwrap().len(), 4);
 
+    // EXPLAIN returns provenance (rule ids, supports, directions) for
+    // the same conditions, served from the answer cache.
+    let line = client.roundtrip(&format!("EXPLAIN {STABLE}")).unwrap();
+    let v = json::parse(&line).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("explain"));
+    assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+    let prov = v.get("provenance").unwrap().as_array().unwrap();
+    assert!(!prov.is_empty(), "Example 1 conditions fire rules");
+    for u in prov {
+        assert!(u.get("rule_id").unwrap().as_u64().is_some());
+        assert!(u.get("support").unwrap().as_u64().is_some());
+        let dir = u.get("direction").unwrap().as_str().unwrap();
+        assert!(dir == "forward" || dir == "backward", "direction {dir:?}");
+        assert!(!u.get("conclusion").unwrap().as_str().unwrap().is_empty());
+    }
+
     let line = client.roundtrip("STATS").unwrap();
     let v = json::parse(&line).unwrap();
     assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
     assert!(v.get("queries").unwrap().as_u64().unwrap() >= 2);
+    assert_eq!(v.get("cache_capacity").unwrap().as_u64(), Some(64));
+    // The metrics snapshot rides along: per-stage histograms have
+    // accumulated the requests this test already made.
+    let metrics = v.get("metrics").expect("stats carries metrics");
+    let hist = metrics.get("histograms").unwrap();
+    for stage in [
+        "parse",
+        "inference",
+        "induction",
+        "scan",
+        "request",
+        "queue_wait",
+    ] {
+        assert!(hist.get(stage).is_some(), "missing histogram for {stage}");
+    }
+    assert!(
+        hist.get("request")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 3,
+        "request stage observed this connection's traffic"
+    );
+    assert!(
+        metrics
+            .get("counters")
+            .unwrap()
+            .get("serve.cache_hits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
 
     let line = client.roundtrip("FROB x").unwrap();
     let v = json::parse(&line).unwrap();

@@ -239,6 +239,8 @@ fn is_keyword(s: &str) -> bool {
 
 /// Parse a `SELECT` statement.
 pub fn parse(src: &str) -> Result<SelectQuery, SqlParseError> {
+    let _span = intensio_obs::Span::stage("parse.sql", intensio_obs::Stage::Parse);
+    intensio_obs::inc("parse.sql");
     let tokens = lex(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let q = p.select()?;

@@ -16,6 +16,15 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Selection: tuples of `rel` (bound to `alias`) satisfying `pred`.
 pub fn select(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relation> {
+    let span = scan_span(rel, "full");
+    let out = scan_filter(rel, alias, pred)?;
+    finish_scan(span, rel.len(), out.len());
+    Ok(out)
+}
+
+/// The unindexed scan loop shared by [`select`] and the fallback path
+/// of [`select_indexed`].
+fn scan_filter(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relation> {
     let mut out = Relation::with_schema_ref(format!("σ({})", rel.name()), rel.schema_ref());
     for t in rel.iter() {
         let env = Env::single(alias, rel.schema(), t);
@@ -24,6 +33,22 @@ pub fn select(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relation> {
         }
     }
     Ok(out)
+}
+
+/// Open the relation-scan span (one per selection, whatever the access
+/// path).
+fn scan_span(rel: &Relation, path: &'static str) -> intensio_obs::Span {
+    intensio_obs::Span::stage("storage.scan", intensio_obs::Stage::Scan)
+        .with_field("relation", rel.name())
+        .with_field("path", path)
+}
+
+/// Close the scan span with its outcome and bump the scan counters.
+fn finish_scan(mut span: intensio_obs::Span, scanned: usize, kept: usize) {
+    span.field("scanned", scanned);
+    span.field("kept", kept);
+    intensio_obs::inc("storage.scans");
+    intensio_obs::add("storage.tuples_scanned", scanned as u64);
 }
 
 /// Projection onto named attributes, in the given order.
@@ -200,14 +225,19 @@ pub fn select_indexed(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relati
     }
 
     let Some((attr, lo, hi)) = plan else {
-        return select(rel, alias, pred);
+        let span = scan_span(rel, "full");
+        let out = scan_filter(rel, alias, pred)?;
+        finish_scan(span, rel.len(), out.len());
+        return Ok(out);
     };
+    let span = scan_span(rel, "index");
     let positions = rel.index_range(
         &attr,
         lo.as_ref().map(|(v, i)| (v, *i)),
         hi.as_ref().map(|(v, i)| (v, *i)),
     )?;
     let mut out = Relation::with_schema_ref(format!("σ({})", rel.name()), rel.schema_ref());
+    let scanned = positions.len();
     for p in positions {
         let t = &rel.tuples()[p];
         let env = Env::single(alias, rel.schema(), t);
@@ -215,6 +245,7 @@ pub fn select_indexed(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relati
             out.push_unchecked(t.clone());
         }
     }
+    finish_scan(span, scanned, out.len());
     Ok(out)
 }
 

@@ -29,6 +29,9 @@ commands:
   .rules                  show the induced rule set
   .dict                   show the intelligent data dictionary (frames + rules)
   .explain SELECT ...     show the executor's plan for a query
+  \\explain SELECT ...     show the answer's provenance: which induced
+                          rules fired, their supports, and the
+                          inference direction (forward/backward)
   .tables                 list relations
   .schema REL             show a relation's schema
   .show REL               print a relation's contents
@@ -88,6 +91,11 @@ impl Shell {
             intensio::sql::parse(sql.trim())
                 .map_err(|e| e.to_string())
                 .and_then(|q| intensio::sql::explain(self.iqp.db(), &q).map_err(|e| e.to_string()))
+        } else if let Some(sql) = line.strip_prefix("\\explain ") {
+            self.iqp
+                .query_intensional(sql.trim())
+                .map(|a| render_provenance(&a))
+                .map_err(|e| e.to_string())
         } else if let Some(rel) = line.strip_prefix(".schema ") {
             self.iqp
                 .db()
@@ -154,6 +162,24 @@ impl Shell {
     }
 }
 
+/// Render an answer's provenance for the shell's `\explain` command:
+/// one line per rule application, then the headline.
+fn render_provenance(a: &intensio::inference::IntensionalAnswer) -> String {
+    if a.provenance.is_empty() {
+        return "no induced rules fired for this query".to_string();
+    }
+    let mut out = String::from("Provenance (rules behind the intensional answer):\n");
+    for u in &a.provenance {
+        out.push_str(&format!("  {u}\n"));
+    }
+    if let Some(h) = a.headline() {
+        out.push_str(&format!("In short: {h}"));
+    } else {
+        out.pop();
+    }
+    out
+}
+
 trait LearnWithNc {
     fn learn_with_nc(
         &mut self,
@@ -198,7 +224,13 @@ impl RemoteShell {
             return Ok(Some("STATS".to_string()));
         }
         if line == ".help" {
-            return Err("remote commands: SELECT ..., QUEL statements, .stats, .quit".to_string());
+            return Err(
+                "remote commands: SELECT ..., QUEL statements, \\explain SELECT ..., .stats, .quit"
+                    .to_string(),
+            );
+        }
+        if let Some(sql) = line.strip_prefix("\\explain ") {
+            return Ok(Some(format!("EXPLAIN {}", sql.trim())));
         }
         if lower.starts_with("select") {
             return Ok(Some(format!("SQL {line}")));
@@ -254,6 +286,46 @@ impl RemoteShell {
                     n("inductions"),
                     n("errors"),
                 )
+            }
+            Some("explain") => {
+                let mut out = String::new();
+                let prov = v.get("provenance").and_then(Json::as_array).unwrap_or(&[]);
+                if prov.is_empty() {
+                    out.push_str("no induced rules fired for this query\n");
+                } else {
+                    out.push_str("Provenance (rules behind the intensional answer):\n");
+                    for u in prov {
+                        let n = |key: &str| u.get(key).and_then(Json::as_u64).unwrap_or(0);
+                        let s = |key: &str| u.get(key).and_then(Json::as_str).unwrap_or("?");
+                        out.push_str(&format!(
+                            "  R{} ({}, support {}): {}\n",
+                            n("rule_id"),
+                            s("direction"),
+                            n("support"),
+                            s("conclusion"),
+                        ));
+                    }
+                }
+                if let Some(h) = v.get("headline").and_then(Json::as_str) {
+                    out.push_str(&format!("In short: {h}\n"));
+                }
+                let flag = |key: &str| v.get(key).and_then(Json::as_bool) == Some(true);
+                out.push_str(&format!(
+                    "[epoch {}, {}, rules {}, soundness: {}]",
+                    v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                    if flag("cached") {
+                        "cache hit"
+                    } else {
+                        "cache miss"
+                    },
+                    if flag("rules_fresh") {
+                        "fresh"
+                    } else {
+                        "stale"
+                    },
+                    v.get("soundness").and_then(Json::as_str).unwrap_or("none"),
+                ));
+                out
             }
             _ => {
                 let mut out = String::new();
@@ -346,7 +418,7 @@ fn remote_main(addr: &str) {
             std::process::exit(1);
         }
     };
-    println!("intensio shell — connected to {addr}; SELECT/QUEL/.stats/.quit");
+    println!("intensio shell — connected to {addr}; SELECT/QUEL/\\explain/.stats/.quit");
     let stdin = io::stdin();
     let interactive = atty_stdin();
     loop {
@@ -369,11 +441,18 @@ fn remote_main(addr: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Logging level: INTENSIO_LOG sets the default, flags override.
+    intensio::obs::init_from_env();
+    if args.iter().any(|a| a == "--quiet") {
+        intensio::obs::set_level(intensio::obs::Level::Silent);
+    } else if args.iter().any(|a| a == "--verbose") {
+        intensio::obs::set_level(intensio::obs::Level::Verbose);
+    }
     if let Some(i) = args.iter().position(|a| a == "--connect") {
         match args.get(i + 1) {
             Some(addr) => return remote_main(addr),
             None => {
-                eprintln!("usage: shell [--connect HOST:PORT]");
+                eprintln!("usage: shell [--connect HOST:PORT] [--quiet] [--verbose]");
                 std::process::exit(2);
             }
         }

@@ -45,6 +45,7 @@ pub use intensio_core as core;
 pub use intensio_induction as induction;
 pub use intensio_inference as inference;
 pub use intensio_ker as ker;
+pub use intensio_obs as obs;
 pub use intensio_quel as quel;
 pub use intensio_rules as rules;
 pub use intensio_serve as serve;
