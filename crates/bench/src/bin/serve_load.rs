@@ -79,6 +79,23 @@ fn parse_args() -> Args {
     args
 }
 
+/// Connect to the server, retrying briefly: under load (or CI) the
+/// accept backlog can transiently refuse a burst of simultaneous
+/// connects, which is not worth failing a whole run over.
+fn connect_with_retry(addr: &str) -> std::io::Result<Client> {
+    let mut last_err = None;
+    for _ in 0..5 {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
 /// Oracle: the classes with displacement strictly above `n`, sorted.
 fn expected_classes(n: i64) -> Vec<String> {
     let mut v: Vec<String> = intensio_shipdb::data::CLASSES
@@ -155,7 +172,7 @@ fn main() {
         let addr = addr.clone();
         let write_done = write_done.clone();
         handles.push(std::thread::spawn(move || {
-            let mut client = Client::connect(&addr).expect("client connects");
+            let mut client = connect_with_retry(&addr).expect("client connects");
             let mut out = ThreadOutcome::default();
             let unique_phase = per_thread / 2;
             for i in 0..per_thread {

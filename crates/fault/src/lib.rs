@@ -1,0 +1,472 @@
+//! # intensio-fault
+//!
+//! A zero-dependency failpoint framework for fault injection across the
+//! intensional query pipeline. Production code marks *named injection
+//! points* with [`fire`]; tests and operators arm those points with
+//! actions — inject an error, add latency, panic, or any of these with
+//! a probability and a trigger budget — without recompiling.
+//!
+//! ## Cost when disarmed
+//!
+//! With no failpoint configured, [`fire`] is one relaxed atomic load
+//! and a branch (the `ACTIVE` flag), so injection points can sit on hot
+//! paths — storage scans, cache lookups — without measurable overhead.
+//! The slow path (registry lookup, RNG roll) runs only while at least
+//! one point is armed.
+//!
+//! ## Spec grammar
+//!
+//! One failpoint: `name=[P%]action[*N]`, several separated by `;`:
+//!
+//! ```text
+//! storage.scan=25%error        inject an error on 25% of firings
+//! serve.worker=panic*2         panic, at most twice in total
+//! serve.cache=delay:50         sleep 50 ms on every firing
+//! induction.run=error*3        fail the next three firings
+//! storage.scan=off             disarm the point
+//! ```
+//!
+//! The same grammar is accepted by the `INTENSIO_FAILPOINTS`
+//! environment variable (read by [`init_from_env`]) and by the serve
+//! protocol's `FAULT SET` verb.
+//!
+//! ## Determinism
+//!
+//! Probabilistic triggering uses a process-global xorshift generator
+//! seeded by [`set_seed`], so a chaos schedule replays identically for
+//! a fixed seed and thread interleaving.
+//!
+//! ```
+//! use intensio_fault as fault;
+//!
+//! fault::clear();
+//! assert!(fault::fire("demo.point").is_ok(), "disarmed points are no-ops");
+//! fault::configure("demo.point", "error*1").unwrap();
+//! assert!(fault::fire("demo.point").is_err(), "armed: injects once");
+//! assert!(fault::fire("demo.point").is_ok(), "budget of 1 is spent");
+//! fault::clear();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an armed failpoint does when it triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// [`fire`] returns `Err(InjectedFault)`.
+    Error,
+    /// [`fire`] sleeps for the duration, then returns `Ok`.
+    Delay(Duration),
+    /// [`fire`] panics (for exercising `catch_unwind` isolation and
+    /// worker supervision).
+    Panic,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Error => write!(f, "error"),
+            Action::Delay(d) => write!(f, "delay:{}", d.as_millis()),
+            Action::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// One armed failpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Spec {
+    /// Trigger probability in parts per million (1_000_000 = always).
+    prob_ppm: u32,
+    action: Action,
+    /// Remaining trigger budget; `None` is unlimited.
+    remaining: Option<u64>,
+    /// Times [`fire`] consulted this point.
+    hits: u64,
+    /// Times the action actually ran.
+    triggered: u64,
+}
+
+impl Spec {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        if self.prob_ppm < 1_000_000 {
+            out.push_str(&format!("{}%", self.prob_ppm as f64 / 10_000.0));
+        }
+        out.push_str(&self.action.to_string());
+        if let Some(n) = self.remaining {
+            out.push_str(&format!("*{n}"));
+        }
+        out
+    }
+}
+
+/// A point-in-time view of one armed failpoint, for `FAULT LIST` and
+/// test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailpointStatus {
+    /// The injection point's name.
+    pub name: String,
+    /// The armed spec, re-rendered in the grammar of [`configure`].
+    pub spec: String,
+    /// Times [`fire`] consulted this point while armed.
+    pub hits: u64,
+    /// Times the action actually ran.
+    pub triggered: u64,
+}
+
+/// The error injected by an `error` action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The failpoint that injected this error.
+    pub point: String,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {}", self.point)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+/// Fast-path gate: true iff at least one failpoint is armed. Checked
+/// with a relaxed load before any other work in [`fire`].
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Deterministic xorshift state for probabilistic triggering.
+static RNG: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
+
+fn registry() -> &'static Mutex<BTreeMap<String, Spec>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<BTreeMap<String, Spec>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether any failpoint is currently armed (one relaxed load).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Seed the deterministic trigger RNG (zero is remapped — xorshift has
+/// a fixed point at 0).
+pub fn set_seed(seed: u64) {
+    RNG.store(if seed == 0 { 0xDEADBEEF } else { seed }, Ordering::SeqCst);
+}
+
+fn next_rand() -> u64 {
+    // xorshift64*, advanced with a CAS-free fetch_update; contention
+    // only matters while failpoints are armed.
+    let mut x = RNG.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    RNG.store(x, Ordering::Relaxed);
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Hit a named injection point.
+///
+/// Disarmed (the common case): returns `Ok(())` after one relaxed
+/// atomic load. Armed: rolls the probability, spends the trigger
+/// budget, and runs the action — sleeping for `delay`, returning
+/// `Err` for `error`, panicking for `panic`.
+#[inline]
+pub fn fire(name: &str) -> Result<(), InjectedFault> {
+    if !active() {
+        return Ok(());
+    }
+    fire_armed(name)
+}
+
+#[cold]
+fn fire_armed(name: &str) -> Result<(), InjectedFault> {
+    let action = {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let Some(spec) = reg.get_mut(name) else {
+            return Ok(());
+        };
+        spec.hits += 1;
+        if spec.remaining == Some(0) {
+            return Ok(());
+        }
+        if spec.prob_ppm < 1_000_000 && next_rand() % 1_000_000 >= spec.prob_ppm as u64 {
+            return Ok(());
+        }
+        if let Some(n) = spec.remaining.as_mut() {
+            *n -= 1;
+        }
+        spec.triggered += 1;
+        spec.action.clone()
+        // Lock released before acting: a delay must not serialize every
+        // other armed failpoint behind this one.
+    };
+    match action {
+        Action::Error => Err(InjectedFault {
+            point: name.to_string(),
+        }),
+        Action::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Action::Panic => panic!("injected panic at failpoint {name}"),
+    }
+}
+
+/// Parse one action spec (`[P%]action[*N]`, or `off`).
+fn parse_spec(point: &str, s: &str) -> Result<Option<Spec>, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(format!("{point}: empty action"));
+    }
+    if s.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    let (prob_ppm, rest) = match s.split_once('%') {
+        Some((p, rest)) => {
+            let pct: f64 = p
+                .trim()
+                .parse()
+                .map_err(|_| format!("{point}: bad probability {p:?}"))?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(format!("{point}: probability {pct} outside 0..=100"));
+            }
+            ((pct * 10_000.0).round() as u32, rest)
+        }
+        None => (1_000_000u32, s),
+    };
+    let (body, remaining) = match rest.split_once('*') {
+        Some((body, n)) => {
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("{point}: bad trigger budget {n:?}"))?;
+            (body.trim(), Some(n))
+        }
+        None => (rest.trim(), None),
+    };
+    let action = if body.eq_ignore_ascii_case("error") {
+        Action::Error
+    } else if body.eq_ignore_ascii_case("panic") {
+        Action::Panic
+    } else if let Some(ms) = body
+        .strip_prefix("delay:")
+        .or_else(|| body.strip_prefix("DELAY:"))
+    {
+        let ms: u64 = ms
+            .trim()
+            .parse()
+            .map_err(|_| format!("{point}: bad delay {ms:?}"))?;
+        Action::Delay(Duration::from_millis(ms))
+    } else {
+        return Err(format!(
+            "{point}: unknown action {body:?}; expected error, panic, delay:MS, or off"
+        ));
+    };
+    Ok(Some(Spec {
+        prob_ppm,
+        action,
+        remaining,
+        hits: 0,
+        triggered: 0,
+    }))
+}
+
+/// Arm (or, with `off`, disarm) one failpoint. See the module docs for
+/// the spec grammar.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    let name = name.trim();
+    if name.is_empty() {
+        return Err("failpoint name is empty".to_string());
+    }
+    let parsed = parse_spec(name, spec)?;
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match parsed {
+        Some(spec) => {
+            reg.insert(name.to_string(), spec);
+        }
+        None => {
+            reg.remove(name);
+        }
+    }
+    ACTIVE.store(!reg.is_empty(), Ordering::SeqCst);
+    Ok(())
+}
+
+/// Arm several failpoints from `name=spec;name=spec` text (the
+/// `INTENSIO_FAILPOINTS` grammar). Stops at the first malformed entry.
+pub fn configure_str(s: &str) -> Result<(), String> {
+    for part in s.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, spec) = part
+            .split_once('=')
+            .ok_or_else(|| format!("malformed failpoint {part:?}; expected name=action"))?;
+        configure(name, spec)?;
+    }
+    Ok(())
+}
+
+/// Disarm one failpoint.
+pub fn remove(name: &str) {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.remove(name.trim());
+    ACTIVE.store(!reg.is_empty(), Ordering::SeqCst);
+}
+
+/// Disarm every failpoint.
+pub fn clear() {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.clear();
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Arm failpoints from the `INTENSIO_FAILPOINTS` environment variable,
+/// if set. Malformed specs are reported on stderr and skipped, never
+/// fatal — a typo in an ops knob must not take the service down.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("INTENSIO_FAILPOINTS") {
+        if let Err(e) = configure_str(&v) {
+            eprintln!("intensio-fault: ignoring INTENSIO_FAILPOINTS: {e}");
+        }
+    }
+}
+
+/// Every armed failpoint with its hit/trigger counts, name-sorted.
+pub fn list() -> Vec<FailpointStatus> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter()
+        .map(|(name, spec)| FailpointStatus {
+            name: name.clone(),
+            spec: spec.render(),
+            hits: spec.hits,
+            triggered: spec.triggered,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that arm points must not
+    /// interleave. One lock serializes them.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        guard
+    }
+
+    #[test]
+    fn disarmed_fire_is_ok_and_inactive() {
+        let _g = serial();
+        assert!(!active());
+        assert!(fire("nothing.armed").is_ok());
+        assert!(list().is_empty());
+    }
+
+    #[test]
+    fn error_action_injects_until_budget_spent() {
+        let _g = serial();
+        configure("p.err", "error*2").unwrap();
+        assert!(active());
+        assert_eq!(
+            fire("p.err"),
+            Err(InjectedFault {
+                point: "p.err".to_string()
+            })
+        );
+        assert!(fire("p.err").is_err());
+        assert!(fire("p.err").is_ok(), "budget of 2 spent");
+        let st = &list()[0];
+        assert_eq!((st.hits, st.triggered), (3, 2));
+        assert_eq!(st.spec, "error*0");
+    }
+
+    #[test]
+    fn other_points_are_unaffected() {
+        let _g = serial();
+        configure("p.one", "error").unwrap();
+        assert!(fire("p.other").is_ok());
+        assert!(fire("p.one").is_err());
+    }
+
+    #[test]
+    fn delay_action_sleeps() {
+        let _g = serial();
+        configure("p.slow", "delay:30").unwrap();
+        let t = std::time::Instant::now();
+        assert!(fire("p.slow").is_ok());
+        assert!(
+            t.elapsed() >= Duration::from_millis(25),
+            "{:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        let _g = serial();
+        configure("p.boom", "panic*1").unwrap();
+        let r = std::panic::catch_unwind(|| fire("p.boom"));
+        assert!(r.is_err());
+        assert!(fire("p.boom").is_ok(), "budget spent by the panic");
+    }
+
+    #[test]
+    fn probability_is_seeded_and_roughly_calibrated() {
+        let _g = serial();
+        set_seed(42);
+        configure("p.half", "50%error").unwrap();
+        let errs = (0..1000).filter(|_| fire("p.half").is_err()).count();
+        assert!((350..=650).contains(&errs), "50% armed, got {errs}/1000");
+
+        // Same seed, same schedule.
+        set_seed(42);
+        configure("p.half", "50%error").unwrap();
+        let replay = (0..1000).filter(|_| fire("p.half").is_err()).count();
+        assert_eq!(errs, replay, "fixed seed must replay identically");
+    }
+
+    #[test]
+    fn off_disarms_and_clear_resets_active() {
+        let _g = serial();
+        configure_str("a=error;b=delay:1").unwrap();
+        assert_eq!(list().len(), 2);
+        configure("a", "off").unwrap();
+        assert_eq!(list().len(), 1);
+        assert!(fire("a").is_ok());
+        clear();
+        assert!(!active());
+    }
+
+    #[test]
+    fn spec_grammar_rejections() {
+        let _g = serial();
+        assert!(configure("x", "explode").is_err());
+        assert!(configure("x", "150%error").is_err());
+        assert!(configure("x", "delay:abc").is_err());
+        assert!(configure("x", "error*many").is_err());
+        assert!(configure("", "error").is_err());
+        assert!(configure_str("no-equals-sign").is_err());
+        assert!(!active(), "failed configs arm nothing");
+    }
+
+    #[test]
+    fn configure_str_parses_multiple_and_skips_blanks() {
+        let _g = serial();
+        configure_str(" a = 10%delay:5 ;; b=panic*1 ;").unwrap();
+        let st = list();
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].name, "a");
+        assert_eq!(st[0].spec, "10%delay:5");
+        assert_eq!(st[1].spec, "panic*1");
+    }
+}

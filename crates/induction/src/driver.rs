@@ -86,6 +86,7 @@ impl<'m> Ils<'m> {
     pub fn induce(&self, db: &Database) -> Result<IlsOutput> {
         let _span = intensio_obs::Span::stage("induction.run", intensio_obs::Stage::Induction)
             .with_field("mode", "sequential");
+        intensio_fault::fire("induction.run")?;
         let mut stats = IlsStats::default();
         let mut induced: Vec<InducedRule> = Vec::new();
         let classifier_attrs = self.classifier_attr_names();
@@ -124,6 +125,7 @@ impl<'m> Ils<'m> {
         let _span = intensio_obs::Span::stage("induction.run", intensio_obs::Stage::Induction)
             .with_field("mode", "parallel")
             .with_field("threads", threads.max(1));
+        intensio_fault::fire("induction.run")?;
         let threads = threads.max(1);
         let classifier_attrs = self.classifier_attr_names();
 

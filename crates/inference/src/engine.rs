@@ -127,6 +127,7 @@ impl<'a> InferenceEngine<'a> {
         db: &Database,
         cfg: InferenceConfig,
     ) -> Result<InferenceEngine<'a>> {
+        intensio_fault::fire("inference.engine")?;
         let mut attrs: BTreeSet<(String, String)> = BTreeSet::new();
         for r in rules.iter() {
             for c in &r.lhs {
@@ -160,6 +161,10 @@ impl<'a> InferenceEngine<'a> {
         let _span = intensio_obs::Span::stage("inference.infer", intensio_obs::Stage::Inference)
             .with_field("restrictions", analysis.restrictions.len())
             .with_field("rules", self.rules.len());
+        // Latency/panic injection point. `infer` is infallible, so an
+        // `error` spec here is swallowed; arm `inference.engine` to make
+        // inference fail, or `delay`/`panic` here.
+        let _ = intensio_fault::fire("inference.infer");
         let mut answer = IntensionalAnswer::default();
 
         // Equivalence classes from equi-joins, for fact propagation.

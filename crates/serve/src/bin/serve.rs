@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]
-//!       [--quiet] [--verbose] [--slow-ms N]
+//!       [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]
 //! ```
 //!
 //! Observability: `--verbose` logs every completed span to stderr,
@@ -11,6 +11,14 @@
 //! spans slower than `N` milliseconds (the slow-query log). The
 //! `INTENSIO_LOG` environment variable (`silent`/`normal`/`verbose`)
 //! sets the default level; the flags override it.
+//!
+//! Fault tolerance: `--queue N` bounds the admission queue (overflow is
+//! shed with a `BUSY` reply; `0` disables shedding) and `--deadline-ms N`
+//! sets the per-request budget past which answers degrade their
+//! intensional side. The `INTENSIO_FAILPOINTS` environment variable
+//! arms fault-injection points at startup (e.g.
+//! `storage.scan=1%error;inference.infer=5%delay:20`), and the `FAULT`
+//! protocol verb administers them at runtime.
 //!
 //! Talk to it with `examples/shell.rs --connect HOST:PORT`, or any
 //! line client:
@@ -25,7 +33,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]\n\
-         \x20            [--quiet] [--verbose] [--slow-ms N]"
+         \x20            [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -34,6 +42,7 @@ fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cfg = ServiceConfig::default();
     intensio_obs::init_from_env();
+    intensio_fault::init_from_env();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +61,19 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--no-learn" => cfg.learn_on_open = false,
+            "--queue" => {
+                cfg.queue_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--deadline-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.deadline = Some(std::time::Duration::from_millis(ms));
+            }
             "--quiet" => intensio_obs::set_level(intensio_obs::Level::Silent),
             "--verbose" => intensio_obs::set_level(intensio_obs::Level::Verbose),
             "--slow-ms" => {

@@ -73,14 +73,37 @@ impl AnswerCache {
         }
     }
 
-    /// Drop every entry whose epoch is not `epoch`. Called after a new
-    /// snapshot is installed: stale-epoch entries can never be hit
-    /// again (keys carry the epoch), so this is purely a memory
-    /// release, not a correctness requirement.
+    /// Drop every entry whose epoch is not `epoch`. Equivalent to
+    /// [`AnswerCache::retain_recent`] with a window of zero.
     pub fn retain_epoch(&mut self, epoch: u64) {
-        self.entries.retain(|k, _| k.1 == epoch);
+        self.retain_recent(epoch, 0);
+    }
+
+    /// Drop entries more than `window` epochs behind `epoch`. Called
+    /// after a new snapshot is installed. Entries inside the window can
+    /// never be hit through [`AnswerCache::get`] (keys carry the epoch)
+    /// but remain reachable via [`AnswerCache::get_stale`], which the
+    /// service uses to serve a *flagged* stale answer when a deadline
+    /// expires or inference fails.
+    pub fn retain_recent(&mut self, epoch: u64, window: u64) {
+        self.entries
+            .retain(|k, _| k.1 <= epoch && epoch - k.1 <= window);
         let entries = &self.entries;
         self.order.retain(|_, k| entries.contains_key(k));
+    }
+
+    /// The most recent answer for `fingerprint` from an epoch strictly
+    /// before `epoch`, refreshing its recency. This is the degraded
+    /// path: the answer described an earlier knowledge state, so the
+    /// caller must flag the reply accordingly.
+    pub fn get_stale(&mut self, fingerprint: &str, epoch: u64) -> Option<Arc<IntensionalAnswer>> {
+        let best = self
+            .entries
+            .keys()
+            .filter(|k| k.0 == fingerprint && k.1 < epoch)
+            .map(|k| k.1)
+            .max()?;
+        self.get(&(fingerprint.to_string(), best))
     }
 
     /// Number of cached answers.
@@ -141,5 +164,31 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c.get(&key("a", 1)).is_none());
         assert!(c.get(&key("b", 2)).is_some());
+    }
+
+    #[test]
+    fn retain_recent_keeps_a_stale_window() {
+        let mut c = AnswerCache::new(8);
+        c.insert(key("q", 1), answer("e1"));
+        c.insert(key("q", 3), answer("e3"));
+        c.insert(key("q", 4), answer("e4"));
+        c.retain_recent(4, 1);
+        assert_eq!(c.len(), 2, "epoch 1 is outside the window");
+        assert!(c.get(&key("q", 3)).is_some());
+        assert!(c.get(&key("q", 4)).is_some());
+    }
+
+    #[test]
+    fn get_stale_returns_most_recent_prior_epoch() {
+        let mut c = AnswerCache::new(8);
+        let e2 = answer("e2");
+        let e3 = answer("e3");
+        c.insert(key("q", 2), e2);
+        c.insert(key("q", 3), e3.clone());
+        c.insert(key("other", 4), answer("x"));
+        let hit = c.get_stale("q", 5).expect("stale hit");
+        assert!(Arc::ptr_eq(&hit, &e3), "most recent prior epoch wins");
+        assert!(c.get_stale("q", 2).is_none(), "nothing strictly before 2");
+        assert!(c.get_stale("missing", 9).is_none());
     }
 }

@@ -14,6 +14,11 @@
 //!   that atomically swaps in fresh rules.
 //! * **A wire protocol and TCP server** ([`protocol`], [`server`],
 //!   [`json`]): one request per line, one JSON response per request.
+//! * **Fault tolerance** ([`service`] + [`intensio_fault`]): bounded
+//!   admission with `BUSY` shedding, per-request deadlines that degrade
+//!   the intensional side (stale cache → extensional-only, always
+//!   flagged `degraded`), supervised worker restarts, and self-healing
+//!   background induction with capped, jittered retry backoff.
 //!
 //! ```
 //! use intensio_serve::{Reply, Request, Service, ServiceConfig};

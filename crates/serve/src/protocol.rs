@@ -32,6 +32,13 @@
 //! carry the service counters plus a `metrics` object (counters,
 //! gauges, and per-stage latency histograms with p50/p95/p99 in µs).
 //! Error responses are `{"ok":false,"error":"..."}`.
+//!
+//! Fault tolerance on the wire: query and explain responses carry
+//! `degraded` (true when the intensional side fell back to a
+//! stale-epoch cached answer or was dropped entirely); a shed request
+//! answers `{"ok":false,"kind":"busy",...}` without executing; and the
+//! `FAULT` verb (`FAULT LIST` / `FAULT SET name=spec[;...]` /
+//! `FAULT CLEAR`) administers [`intensio_fault`] failpoints at runtime.
 
 use crate::json::ObjWriter;
 use crate::service::{Reply, Request};
@@ -63,10 +70,11 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         }
         "SQL" | "QUEL" | "EXPLAIN" => Err(format!("{verb} requires a query argument")),
         "STATS" => Ok(WireRequest::Execute(Request::Stats)),
+        "FAULT" => Ok(WireRequest::Execute(Request::Fault(rest.to_string()))),
         "QUIT" => Ok(WireRequest::Quit),
-        "" => Err("empty request; expected SQL, QUEL, EXPLAIN, STATS, or QUIT".to_string()),
+        "" => Err("empty request; expected SQL, QUEL, EXPLAIN, STATS, FAULT, or QUIT".to_string()),
         other => Err(format!(
-            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, STATS, or QUIT"
+            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, STATS, FAULT, or QUIT"
         )),
     }
 }
@@ -119,6 +127,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("epoch", q.epoch)
                 .bool("cached", q.cached)
                 .bool("rules_fresh", q.rules_fresh)
+                .bool("degraded", q.degraded)
                 .str("soundness", q.soundness.as_str())
                 .str_array("columns", &q.columns)
                 .rows("rows", &q.rows)
@@ -146,6 +155,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("epoch", e.epoch)
                 .bool("cached", e.cached)
                 .bool("rules_fresh", e.rules_fresh)
+                .bool("degraded", e.degraded)
                 .str("soundness", e.soundness.as_str())
                 .raw("provenance", &encode_provenance(&e.intensional.provenance))
                 .str_array("intensional", &intensional)
@@ -165,14 +175,47 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("writes", s.writes)
                 .num("inductions", s.inductions)
                 .num("errors", s.errors)
+                .num("requests_shed", s.requests_shed)
+                .num("worker_restarts", s.worker_restarts)
+                .num("induction_retries", s.induction_retries)
+                .num("degraded_answers", s.degraded_answers)
                 .num("workers", s.workers)
                 .raw("metrics", &s.metrics.to_json());
+        }
+        Reply::Busy => {
+            w.bool("ok", false)
+                .str("kind", "busy")
+                .str("error", "server at capacity; retry later");
+        }
+        Reply::Fault { failpoints } => {
+            w.bool("ok", true)
+                .str("kind", "fault")
+                .raw("failpoints", &encode_failpoints(failpoints));
         }
         Reply::Error { message } => {
             w.bool("ok", false).str("error", message);
         }
     }
     w.finish()
+}
+
+/// Encode armed failpoints as a JSON array of
+/// `{"name":..,"spec":..,"hits":..,"triggered":..}`.
+fn encode_failpoints(points: &[intensio_fault::FailpointStatus]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut w = ObjWriter::new();
+        w.str("name", &p.name)
+            .str("spec", &p.spec)
+            .num("hits", p.hits)
+            .num("triggered", p.triggered);
+        out.push_str(&w.finish());
+    }
+    out.push(']');
+    out
 }
 
 /// Encode a provenance list as a JSON array of
@@ -228,6 +271,16 @@ mod tests {
                 "SELECT 1 FROM T".into()
             )))
         );
+        assert_eq!(
+            parse_request("FAULT SET storage.scan=10%error"),
+            Ok(WireRequest::Execute(Request::Fault(
+                "SET storage.scan=10%error".into()
+            )))
+        );
+        assert_eq!(
+            parse_request("fault"),
+            Ok(WireRequest::Execute(Request::Fault(String::new())))
+        );
         assert_eq!(parse_request("QUIT"), Ok(WireRequest::Quit));
         assert!(parse_request("SQL").is_err());
         assert!(parse_request("EXPLAIN").is_err());
@@ -259,20 +312,67 @@ mod tests {
             writes: 1,
             inductions: 2,
             errors: 0,
+            requests_shed: 5,
+            worker_restarts: 1,
+            induction_retries: 3,
+            degraded_answers: 2,
             workers: 4,
             metrics: reg.snapshot(),
         }));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
         assert_eq!(v.get("cache_capacity").unwrap().as_u64(), Some(128));
+        assert_eq!(v.get("requests_shed").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("worker_restarts").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("induction_retries").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("degraded_answers").unwrap().as_u64(), Some(2));
         let metrics = v.get("metrics").expect("stats reply embeds metrics");
         let counters = metrics.get("counters").unwrap();
         assert_eq!(counters.get("serve.queries").unwrap().as_u64(), Some(1));
         let hist = metrics.get("histograms").unwrap();
-        for stage in ["parse", "inference", "induction", "scan", "request"] {
-            let h = hist.get(stage).unwrap_or_else(|| panic!("stage {stage}"));
-            assert!(h.get("p99_us").unwrap().as_u64().is_some());
+        let stages = ["parse", "inference", "induction", "scan", "request"];
+        let missing: Vec<&str> = stages
+            .iter()
+            .copied()
+            .filter(|s| hist.get(s).is_none())
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "metrics missing stage histograms: {missing:?}"
+        );
+        for stage in stages {
+            if let Some(h) = hist.get(stage) {
+                assert!(h.get("p99_us").unwrap().as_u64().is_some());
+            }
         }
+    }
+
+    #[test]
+    fn busy_and_fault_replies_encode_as_json() {
+        let line = encode_reply(&Reply::Busy);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("busy"));
+
+        let line = encode_reply(&Reply::Fault {
+            failpoints: vec![intensio_fault::FailpointStatus {
+                name: "storage.scan".to_string(),
+                spec: "10%error".to_string(),
+                hits: 7,
+                triggered: 1,
+            }],
+        });
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("fault"));
+        let points = v.get("failpoints").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(
+            points[0].get("name").unwrap().as_str(),
+            Some("storage.scan")
+        );
+        assert_eq!(points[0].get("spec").unwrap().as_str(), Some("10%error"));
+        assert_eq!(points[0].get("triggered").unwrap().as_u64(), Some(1));
     }
 
     #[test]
@@ -289,6 +389,7 @@ mod tests {
             epoch: 1,
             cached: true,
             rules_fresh: true,
+            degraded: false,
             soundness: crate::service::Soundness::None,
             intensional: std::sync::Arc::new(answer),
             headline: None,

@@ -8,19 +8,30 @@ use crate::protocol::{encode_protocol_error, encode_reply, parse_request, WireRe
 use crate::service::Service;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A running TCP server. Dropping it (or calling
-/// [`Server::shutdown`]) stops accepting new connections; established
-/// connections finish their current request and close on their next
-/// read.
+/// [`Server::shutdown`]) stops accepting new connections and then
+/// *drains*: every established connection finishes its in-flight
+/// request — the client always receives a complete reply line, never a
+/// half-written frame — and closes on its next read (handlers poll the
+/// stop flag every [`READ_TICK`]).
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Live connection-handler threads, for the shutdown drain.
+    conns: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
 }
+
+/// How often a blocked connection read wakes up to check the stop flag.
+const READ_TICK: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// How long [`Server::shutdown`] waits for established connections to
+/// finish their in-flight request and close.
+const DRAIN_WAIT: std::time::Duration = std::time::Duration::from_secs(5);
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:7878"`, or port `0` for an
@@ -29,13 +40,16 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicUsize::new(0));
         let accept_stop = stop.clone();
+        let accept_conns = conns.clone();
         let accept_thread = std::thread::Builder::new()
             .name("intensio-accept".to_string())
-            .spawn(move || accept_loop(&listener, &service, &accept_stop))?;
+            .spawn(move || accept_loop(&listener, &service, &accept_stop, &accept_conns))?;
         Ok(Server {
             addr,
             stop,
+            conns,
             accept_thread: Some(accept_thread),
         })
     }
@@ -45,17 +59,26 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept thread.
+    /// Stop accepting connections, join the accept thread, and wait up
+    /// to [`DRAIN_WAIT`] for established connections to drain.
     pub fn shutdown(mut self) {
         self.stop_accepting();
     }
 
     fn stop_accepting(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already stopped and drained (shutdown, then drop)
+        }
         // Unblock the accept() call with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        // Drain: every handler completes its in-flight request (a full
+        // reply line) and exits on its next read tick.
+        let deadline = std::time::Instant::now() + DRAIN_WAIT;
+        while self.conns.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
         }
     }
 }
@@ -66,7 +89,22 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+/// Decrements the live-connection count when a handler exits, however
+/// it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<AtomicUsize>,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -77,11 +115,21 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<Atomic
         };
         let service = service.clone();
         let stop = stop.clone();
-        let _ = std::thread::Builder::new()
+        // Count the connection before the handler thread exists, so a
+        // shutdown racing this accept still waits for it.
+        conns.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(conns.clone());
+        let spawned = std::thread::Builder::new()
             .name("intensio-conn".to_string())
             .spawn(move || {
+                let _guard = guard;
                 let _ = handle_connection(stream, &service, &stop);
             });
+        if spawned.is_err() {
+            // ConnGuard moved into the failed closure was dropped by
+            // spawn's error path, so the count is already corrected.
+            continue;
+        }
     }
 }
 
@@ -93,23 +141,46 @@ fn handle_connection(
     // One small request line begets one small response line: waiting to
     // coalesce segments (Nagle) only adds delayed-ACK latency.
     stream.set_nodelay(true)?;
+    // Wake periodically so a blocked read notices the stop flag; a
+    // partial line survives timeouts in `line` below.
+    stream.set_read_timeout(Some(READ_TICK))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                let request = std::mem::take(&mut line);
+                let response = match parse_request(&request) {
+                    Ok(WireRequest::Quit) => return Ok(()),
+                    Ok(WireRequest::Execute(req)) => encode_reply(&service.submit(req)),
+                    Err(message) => encode_protocol_error(&message),
+                };
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                // Drain semantics: the in-flight request just got its
+                // complete reply; during shutdown, close instead of
+                // waiting for another.
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle tick. On shutdown there is no complete request in
+                // flight (a partial line is abandoned, never half-run).
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-        let response = match parse_request(&line) {
-            Ok(WireRequest::Quit) => return Ok(()),
-            Ok(WireRequest::Execute(req)) => encode_reply(&service.submit(req)),
-            Err(message) => encode_protocol_error(&message),
-        };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
     }
-    Ok(())
 }
 
 /// A minimal blocking client for the line protocol, used by the shell's

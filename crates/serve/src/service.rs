@@ -18,6 +18,30 @@
 //!   the parallel ILS driver. It learns from a pinned snapshot and
 //!   installs the new rule set only if the data version is unchanged —
 //!   otherwise it simply goes around again.
+//!
+//! The fault-tolerance story layers on top:
+//!
+//! * **Admission control.** The request queue is bounded
+//!   ([`ServiceConfig::queue_capacity`]); past the bound, [`Service::submit`]
+//!   sheds the request immediately with [`Reply::Busy`] instead of letting
+//!   latency collapse for everyone.
+//! * **Deadlines degrade, never lie.** A request past its deadline (or whose
+//!   inference fails) skips fresh inference and falls down a ladder:
+//!   stale-epoch cached answer, then extensional-only answer — always with
+//!   `degraded = true` on the reply. The extensional rows are always
+//!   computed against the pinned snapshot, so degraded answers are correct
+//!   answers with weaker (or absent) intensional characterizations.
+//! * **Workers are expendable.** Each request runs under `catch_unwind`;
+//!   a panic becomes an error reply. If a worker thread dies anyway, a
+//!   supervisor thread restarts it (`worker_restarts` in stats).
+//! * **Induction self-heals.** A failed background re-induction retries
+//!   with capped exponential backoff plus jitter (`induction_retries`),
+//!   so a transient fault cannot strand the service at
+//!   `rules_fresh = false` forever.
+//!
+//! Failpoints from [`intensio_fault`] (`serve.cache`, `serve.install`,
+//! `serve.worker`, plus the storage/induction/inference points) exercise
+//! all of these paths; see the chaos integration test.
 
 use crate::cache::AnswerCache;
 use crate::snapshot::Snapshot;
@@ -32,7 +56,7 @@ use intensio_sql::{analyze, parse};
 use intensio_storage::catalog::Database;
 use intensio_storage::relation::Relation;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -52,6 +76,21 @@ pub struct ServiceConfig {
     pub inference: InferenceConfig,
     /// Induce rules synchronously before serving the first request.
     pub learn_on_open: bool,
+    /// Maximum requests waiting in the queue before [`Service::submit`]
+    /// sheds new arrivals with [`Reply::Busy`]. `0` disables shedding.
+    pub queue_capacity: usize,
+    /// Per-request time budget, measured from submission. A request
+    /// over budget degrades its intensional side (stale cache, then
+    /// extensional-only) instead of running fresh inference. `None`
+    /// disables deadlines.
+    pub deadline: Option<std::time::Duration>,
+    /// How many epochs of superseded cached answers to keep around for
+    /// degraded (stale) serving.
+    pub stale_epochs: u64,
+    /// Base delay for retrying a failed background re-induction.
+    pub induction_backoff: std::time::Duration,
+    /// Upper bound on the re-induction retry delay.
+    pub induction_backoff_cap: std::time::Duration,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +105,11 @@ impl Default for ServiceConfig {
             induction_threads: cores.clamp(1, 4),
             inference: InferenceConfig::default(),
             learn_on_open: true,
+            queue_capacity: 1024,
+            deadline: None,
+            stale_epochs: 2,
+            induction_backoff: std::time::Duration::from_millis(50),
+            induction_backoff_cap: std::time::Duration::from_secs(2),
         }
     }
 }
@@ -83,6 +127,8 @@ pub enum Request {
     /// Answer provenance for a SQL query: which rules fired, with what
     /// support, in which direction — without the extensional rows.
     Explain(String),
+    /// Failpoint administration: `LIST`, `SET name=spec[;...]`, `CLEAR`.
+    Fault(String),
 }
 
 impl Request {
@@ -93,6 +139,7 @@ impl Request {
             Request::Quel(_) => "quel",
             Request::Stats => "stats",
             Request::Explain(_) => "explain",
+            Request::Fault(_) => "fault",
         }
     }
 }
@@ -143,6 +190,10 @@ pub struct QueryReply {
     pub cached: bool,
     /// Whether the snapshot's rules matched its data version.
     pub rules_fresh: bool,
+    /// Whether the intensional side was degraded (stale-epoch cache hit
+    /// or dropped entirely) because the deadline expired or inference
+    /// failed. The extensional rows are never degraded.
+    pub degraded: bool,
     /// Soundness class of the intensional part.
     pub soundness: Soundness,
     /// Output column names (empty for pure mutations).
@@ -168,6 +219,9 @@ pub struct ExplainReply {
     pub cached: bool,
     /// Whether the snapshot's rules matched its data version.
     pub rules_fresh: bool,
+    /// Whether the answer was degraded (stale-epoch cache hit or empty)
+    /// because the deadline expired or inference failed.
+    pub degraded: bool,
     /// Soundness class of the intensional part.
     pub soundness: Soundness,
     /// The intensional answer; `intensional.provenance` lists every
@@ -203,6 +257,14 @@ pub struct StatsReply {
     pub inductions: u64,
     /// Requests that returned an error.
     pub errors: u64,
+    /// Requests shed with [`Reply::Busy`] because the queue was full.
+    pub requests_shed: u64,
+    /// Worker threads restarted by the supervisor after dying.
+    pub worker_restarts: u64,
+    /// Background re-inductions retried after a failure.
+    pub induction_retries: u64,
+    /// Replies served with a degraded intensional side.
+    pub degraded_answers: u64,
     /// Worker threads.
     pub workers: u64,
     /// Full metrics snapshot: pipeline-stage latency histograms
@@ -219,6 +281,15 @@ pub enum Reply {
     Stats(StatsReply),
     /// Answer provenance.
     Explain(ExplainReply),
+    /// The request was shed at admission: the queue is full. The client
+    /// should back off and retry; nothing was executed.
+    Busy,
+    /// Failpoint administration succeeded; the armed failpoints after
+    /// the operation.
+    Fault {
+        /// Every armed failpoint with its hit/trigger counts.
+        failpoints: Vec<intensio_fault::FailpointStatus>,
+    },
     /// The request failed; the service itself is unaffected.
     Error {
         /// Human-readable cause.
@@ -272,6 +343,10 @@ struct Counters {
     writes: AtomicU64,
     inductions: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    worker_restarts: AtomicU64,
+    induction_retries: AtomicU64,
+    degraded: AtomicU64,
 }
 
 #[derive(Default)]
@@ -290,6 +365,12 @@ struct Shared {
     counters: Counters,
     induce: Mutex<InduceFlags>,
     induce_wake: Condvar,
+    /// Jobs accepted but not yet picked up by a worker; the admission
+    /// gauge for load shedding.
+    queue_depth: AtomicUsize,
+    /// Set by [`Service`]'s drop before the queue closes, so the
+    /// supervisor stops resurrecting workers that exited on purpose.
+    shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -299,12 +380,19 @@ impl Shared {
     }
 
     fn install(&self, snapshot: Snapshot) {
+        // Failpoint before the publish: an armed `error` or `panic` spec
+        // aborts the install atomically. The unwind is caught by the
+        // worker (the client sees an error, the mutation never lands) or
+        // by the inducer's retry loop.
+        if let Err(f) = intensio_fault::fire("serve.install") {
+            panic!("{f}");
+        }
         let epoch = snapshot.epoch;
         *self.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
         self.cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .retain_epoch(epoch);
+            .retain_recent(epoch, self.cfg.stale_epochs);
         intensio_obs::inc("serve.epoch_swaps");
         intensio_obs::gauge("serve.epoch", epoch as i64);
     }
@@ -321,6 +409,8 @@ struct Job {
     reply_to: SyncSender<Reply>,
     /// When the job entered the queue, for queue-wait telemetry.
     enqueued: std::time::Instant,
+    /// Absolute deadline, from [`ServiceConfig::deadline`].
+    deadline: Option<std::time::Instant>,
 }
 
 /// The concurrent intensional query service. See the module docs for
@@ -328,7 +418,8 @@ struct Job {
 pub struct Service {
     shared: Arc<Shared>,
     queue: Mutex<Option<Sender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The supervisor owns the worker handles; see [`supervise`].
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     inducer: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -364,21 +455,27 @@ impl Service {
             counters: Counters::default(),
             induce: Mutex::new(InduceFlags::default()),
             induce_wake: Condvar::new(),
+            queue_depth: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
         });
 
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let shared = shared.clone();
-            let rx = rx.clone();
             handles.push(
-                std::thread::Builder::new()
-                    .name(format!("intensio-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                spawn_worker(&format!("intensio-worker-{i}"), &shared, &rx)
                     .map_err(|e| ServeError(format!("spawning worker: {e}")))?,
             );
         }
+        let supervisor = {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name("intensio-supervisor".to_string())
+                .spawn(move || supervise(&shared, &rx, handles))
+                .map_err(|e| ServeError(format!("spawning supervisor: {e}")))?
+        };
         let inducer = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -390,14 +487,27 @@ impl Service {
         Ok(Service {
             shared,
             queue: Mutex::new(Some(tx)),
-            workers: Mutex::new(handles),
+            supervisor: Mutex::new(Some(supervisor)),
             inducer: Mutex::new(Some(inducer)),
         })
     }
 
     /// Execute a request on the worker pool and wait for its reply.
+    /// Returns [`Reply::Busy`] without executing anything when the
+    /// queue is at capacity.
     pub fn submit(&self, request: Request) -> Reply {
+        let shared = &self.shared;
+        let cap = shared.cfg.queue_capacity;
+        if cap > 0 && shared.queue_depth.load(Ordering::Relaxed) >= cap {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            intensio_obs::inc("serve.requests_shed");
+            return Reply::Busy;
+        }
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        // Count the job before sending so a racing worker's decrement
+        // can never observe the queue at depth zero and underflow.
+        shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let deadline = shared.cfg.deadline.map(|d| std::time::Instant::now() + d);
         let sent = {
             let queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
             match queue.as_ref() {
@@ -406,12 +516,14 @@ impl Service {
                         request,
                         reply_to: reply_tx,
                         enqueued: std::time::Instant::now(),
+                        deadline,
                     })
                     .is_ok(),
                 None => false,
             }
         };
         if !sent {
+            shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
             return Reply::Error {
                 message: "service is shut down".to_string(),
             };
@@ -452,13 +564,15 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // Close the queue; workers drain and exit.
+        // Tell the supervisor this is a planned exit, then close the
+        // queue; workers drain and exit, the supervisor joins them.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         self.queue.lock().unwrap_or_else(|e| e.into_inner()).take();
-        for h in self
-            .workers
+        if let Some(h) = self
+            .supervisor
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
+            .take()
         {
             let _ = h.join();
         }
@@ -478,6 +592,57 @@ impl Drop for Service {
     }
 }
 
+fn spawn_worker(
+    name: &str,
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = shared.clone();
+    let rx = rx.clone();
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || worker_loop(&shared, &rx))
+}
+
+/// Restart worker threads that die (a panic that escapes the
+/// per-request `catch_unwind`, or the `serve.worker` failpoint). On
+/// shutdown the queue closes, workers drain and exit on purpose, and
+/// the supervisor joins them instead of resurrecting them.
+fn supervise(
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    mut workers: Vec<JoinHandle<()>>,
+) {
+    let mut generation: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            for h in workers.drain(..) {
+                let _ = h.join();
+            }
+            return;
+        }
+        for slot in workers.iter_mut() {
+            if !slot.is_finished() || shared.shutdown.load(Ordering::SeqCst) {
+                continue;
+            }
+            generation += 1;
+            let name = format!("intensio-worker-r{generation}");
+            let fresh = match spawn_worker(&name, shared, rx) {
+                Ok(h) => h,
+                Err(_) => continue, // out of threads: keep the dead slot, retry next tick
+            };
+            let dead = std::mem::replace(slot, fresh);
+            let _ = dead.join();
+            shared
+                .counters
+                .worker_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            intensio_obs::inc("serve.worker_restarts");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     loop {
         let job = {
@@ -488,8 +653,21 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // queue closed: shut down
         };
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
         intensio_obs::record_stage(intensio_obs::Stage::QueueWait, job.enqueued.elapsed());
-        let reply = execute(shared, &job.request);
+        // Worker-crash failpoint. Deliberately outside the catch_unwind
+        // so the thread actually dies: the reply channel drops (the
+        // client sees "worker dropped the request") and the supervisor
+        // restarts the worker.
+        if intensio_fault::fire("serve.worker").is_err() {
+            return;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(shared, &job.request, job.deadline)
+        }));
+        let reply = outcome.unwrap_or_else(|p| Reply::Error {
+            message: format!("request panicked: {}", panic_message(p.as_ref())),
+        });
         if matches!(reply, Reply::Error { .. }) {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             intensio_obs::inc("serve.errors");
@@ -498,7 +676,15 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
-fn execute(shared: &Shared, request: &Request) -> Reply {
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
+    p.downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| p.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+fn execute(shared: &Shared, request: &Request, deadline: Option<std::time::Instant>) -> Reply {
     let mut span = intensio_obs::Span::stage("serve.request", intensio_obs::Stage::Request)
         .with_field("verb", request.verb());
     if let Request::Sql(q) | Request::Explain(q) | Request::Quel(q) = request {
@@ -506,10 +692,42 @@ fn execute(shared: &Shared, request: &Request) -> Reply {
         span.field("query", truncate(q, 120));
     }
     match request {
-        Request::Sql(sql) => exec_sql(shared, sql),
+        Request::Sql(sql) => exec_sql(shared, sql, deadline),
         Request::Quel(script) => exec_quel(shared, script),
         Request::Stats => Reply::Stats(stats_reply(shared)),
-        Request::Explain(sql) => exec_explain(shared, sql),
+        Request::Explain(sql) => exec_explain(shared, sql, deadline),
+        Request::Fault(cmd) => exec_fault(cmd),
+    }
+}
+
+/// `FAULT LIST` / `FAULT SET name=spec[;...]` / `FAULT CLEAR`: runtime
+/// failpoint administration over the wire.
+fn exec_fault(cmd: &str) -> Reply {
+    let cmd = cmd.trim();
+    let (op, rest) = match cmd.split_once(char::is_whitespace) {
+        Some((op, rest)) => (op, rest.trim()),
+        None => (cmd, ""),
+    };
+    match op.to_ascii_uppercase().as_str() {
+        "" | "LIST" => Reply::Fault {
+            failpoints: intensio_fault::list(),
+        },
+        "SET" if !rest.is_empty() => match intensio_fault::configure_str(rest) {
+            Ok(()) => Reply::Fault {
+                failpoints: intensio_fault::list(),
+            },
+            Err(e) => error(format!("fault: {e}")),
+        },
+        "SET" => error("FAULT SET requires name=spec[;...]".to_string()),
+        "CLEAR" => {
+            intensio_fault::clear();
+            Reply::Fault {
+                failpoints: Vec::new(),
+            }
+        }
+        other => error(format!(
+            "unknown FAULT operation {other:?}; expected LIST, SET, or CLEAR"
+        )),
     }
 }
 
@@ -538,62 +756,132 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         writes: c.writes.load(Ordering::Relaxed),
         inductions: c.inductions.load(Ordering::Relaxed),
         errors: c.errors.load(Ordering::Relaxed),
+        requests_shed: c.shed.load(Ordering::Relaxed),
+        worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+        induction_retries: c.induction_retries.load(Ordering::Relaxed),
+        degraded_answers: c.degraded.load(Ordering::Relaxed),
         workers: shared.cfg.workers.max(1) as u64,
         metrics: intensio_obs::metrics().snapshot(),
     }
 }
 
+/// The intensional side of one query, with its serving provenance.
+struct Intension {
+    q: intensio_sql::SelectQuery,
+    answer: Arc<IntensionalAnswer>,
+    cached: bool,
+    degraded: bool,
+}
+
 /// Parse + analyze a SQL query and produce its intensional answer,
 /// consulting the cache. Shared by [`exec_sql`] and [`exec_explain`];
 /// also returns the parsed query so the caller can run the extensional
-/// side. `Err` carries a ready-made error reply.
-#[allow(clippy::type_complexity)]
+/// side. `Err` carries a ready-made error reply (parse/analyze errors
+/// only — inference trouble degrades instead of failing):
+///
+/// 1. **Fresh**: current-epoch cache hit, or run inference (deadline
+///    permitting) and cache the result.
+/// 2. **Stale**: deadline expired or inference failed — serve the most
+///    recent prior-epoch cached answer, flagged `degraded`.
+/// 3. **Extensional-only**: nothing cached — serve an empty intensional
+///    answer, flagged `degraded`. The caller still computes the rows.
 fn intensional_for(
     shared: &Shared,
     snap: &Snapshot,
     sql: &str,
-) -> Result<(intensio_sql::SelectQuery, Arc<IntensionalAnswer>, bool), Box<Reply>> {
+    deadline: Option<std::time::Instant>,
+) -> Result<Intension, Box<Reply>> {
     let q = parse(sql).map_err(|e| Box::new(error(format!("sql parse: {e}"))))?;
     let analysis =
         analyze(&snap.db, &q).map_err(|e| Box::new(error(format!("sql analyze: {e}"))))?;
 
-    let key = (condition_fingerprint(&analysis), snap.epoch);
-    let hit = shared
-        .cache
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .get(&key);
-    let (intensional, cached) = match hit {
-        Some(answer) => {
+    let fingerprint = condition_fingerprint(&analysis);
+    // Cache failpoint: an armed fault makes the cache unavailable for
+    // this request (no lookup, no insert) — a miss, never a wrong hit.
+    let cache_ok = intensio_fault::fire("serve.cache").is_ok();
+    if cache_ok {
+        let hit = shared
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(fingerprint.clone(), snap.epoch));
+        if let Some(answer) = hit {
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             intensio_obs::inc("serve.cache_hits");
-            (answer, true)
+            return Ok(Intension {
+                q,
+                answer,
+                cached: true,
+                degraded: false,
+            });
         }
-        None => {
-            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-            intensio_obs::inc("serve.cache_misses");
-            let engine = InferenceEngine::new(
-                snap.dictionary.model(),
-                snap.dictionary.rules(),
-                &snap.db,
-                shared.cfg.inference,
-            )
-            .map_err(|e| Box::new(error(format!("inference: {e}"))))?;
-            let answer = Arc::new(engine.infer(&analysis));
-            shared
-                .cache
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .insert(key, answer.clone());
-            (answer, false)
+    }
+    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    intensio_obs::inc("serve.cache_misses");
+
+    let overdue = deadline.is_some_and(|d| std::time::Instant::now() >= d);
+    if !overdue {
+        let engine = InferenceEngine::new(
+            snap.dictionary.model(),
+            snap.dictionary.rules(),
+            &snap.db,
+            shared.cfg.inference,
+        );
+        match engine {
+            Ok(engine) => {
+                let answer = Arc::new(engine.infer(&analysis));
+                if cache_ok {
+                    shared
+                        .cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert((fingerprint, snap.epoch), answer.clone());
+                }
+                return Ok(Intension {
+                    q,
+                    answer,
+                    cached: false,
+                    degraded: false,
+                });
+            }
+            Err(_) => intensio_obs::inc("serve.inference_failures"),
         }
-    };
-    Ok((q, intensional, cached))
+    }
+
+    // Degraded path: stale cached answer, else extensional-only.
+    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    intensio_obs::inc("serve.degraded_answers");
+    if cache_ok {
+        let stale = shared
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_stale(&fingerprint, snap.epoch);
+        if let Some(answer) = stale {
+            return Ok(Intension {
+                q,
+                answer,
+                cached: true,
+                degraded: true,
+            });
+        }
+    }
+    Ok(Intension {
+        q,
+        answer: Arc::new(IntensionalAnswer::default()),
+        cached: false,
+        degraded: true,
+    })
 }
 
-fn exec_sql(shared: &Shared, sql: &str) -> Reply {
+fn exec_sql(shared: &Shared, sql: &str, deadline: Option<std::time::Instant>) -> Reply {
     let snap = shared.snapshot();
-    let (q, intensional, cached) = match intensional_for(shared, &snap, sql) {
+    let Intension {
+        q,
+        answer: intensional,
+        cached,
+        degraded,
+    } = match intensional_for(shared, &snap, sql, deadline) {
         Ok(r) => r,
         Err(reply) => return *reply,
     };
@@ -610,6 +898,7 @@ fn exec_sql(shared: &Shared, sql: &str) -> Reply {
         epoch: snap.epoch,
         cached,
         rules_fresh: snap.rules_fresh,
+        degraded,
         soundness: Soundness::of(&intensional),
         columns,
         rows,
@@ -627,9 +916,14 @@ fn exec_sql(shared: &Shared, sql: &str) -> Reply {
 /// `EXPLAIN`: the provenance of a query's intensional answer — rule
 /// ids, supports, and inference directions — without enumerating the
 /// extensional rows. Hits the same answer cache as `SQL`.
-fn exec_explain(shared: &Shared, sql: &str) -> Reply {
+fn exec_explain(shared: &Shared, sql: &str, deadline: Option<std::time::Instant>) -> Reply {
     let snap = shared.snapshot();
-    let (_, intensional, cached) = match intensional_for(shared, &snap, sql) {
+    let Intension {
+        answer: intensional,
+        cached,
+        degraded,
+        ..
+    } = match intensional_for(shared, &snap, sql, deadline) {
         Ok(r) => r,
         Err(reply) => return *reply,
     };
@@ -639,6 +933,7 @@ fn exec_explain(shared: &Shared, sql: &str) -> Reply {
         epoch: snap.epoch,
         cached,
         rules_fresh: snap.rules_fresh,
+        degraded,
         soundness: Soundness::of(&intensional),
         headline: intensional.headline(),
         intensional,
@@ -721,6 +1016,7 @@ fn quel_reply(snap: &Snapshot, outputs: &[Output]) -> QueryReply {
         epoch: snap.epoch,
         cached: false,
         rules_fresh: snap.rules_fresh,
+        degraded: false,
         soundness: Soundness::None,
         columns,
         rows,
@@ -749,9 +1045,68 @@ fn error(message: String) -> Reply {
     Reply::Error { message }
 }
 
+/// One attempt of the background inducer.
+enum Induce {
+    /// Rules were already fresh; nothing to do.
+    Idle,
+    /// A fresh rule set was installed.
+    Installed,
+    /// A write landed while learning; the rules describe old data.
+    Raced,
+    /// Induction failed (e.g. an injected fault); retry with backoff.
+    Failed,
+}
+
+fn induce_once(shared: &Shared) -> Induce {
+    let snap = shared.snapshot();
+    if snap.rules_fresh {
+        return Induce::Idle;
+    }
+    let ils = Ils::new(snap.dictionary.model(), shared.cfg.induction);
+    let rules = match ils.induce_parallel(&snap.db, shared.cfg.induction_threads) {
+        Ok(out) => out.rules,
+        Err(_) => return Induce::Failed,
+    };
+
+    let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let current = shared.snapshot();
+    if current.data_version != snap.data_version {
+        return Induce::Raced;
+    }
+    let mut dictionary = current.dictionary.clone();
+    dictionary.set_rules(rules);
+    shared.install(current.after_induction(dictionary));
+    shared.counters.inductions.fetch_add(1, Ordering::Relaxed);
+    Induce::Installed
+}
+
+/// Retry delay for `attempt` (1-based): capped exponential backoff from
+/// [`ServiceConfig::induction_backoff`], with deterministic jitter in
+/// `[delay/2, delay)` so repeated failures don't retry in lockstep with
+/// the writes that triggered them.
+fn induction_backoff(cfg: &ServiceConfig, attempt: u32, jitter: &mut u64) -> std::time::Duration {
+    let base = cfg
+        .induction_backoff
+        .max(std::time::Duration::from_millis(1));
+    let cap = cfg.induction_backoff_cap.max(base);
+    let exp = base.saturating_mul(1u32 << attempt.min(20).saturating_sub(1));
+    let delay = exp.min(cap);
+    // xorshift64: cheap, deterministic, good enough to decorrelate.
+    *jitter ^= *jitter << 13;
+    *jitter ^= *jitter >> 7;
+    *jitter ^= *jitter << 17;
+    let half_ms = (delay.as_millis() as u64 / 2).max(1);
+    delay / 2 + std::time::Duration::from_millis(*jitter % half_ms)
+}
+
 /// The background induction loop: wake on write, learn from a pinned
-/// snapshot, install only if the data did not move underneath.
+/// snapshot, install only if the data did not move underneath. A failed
+/// or panicking attempt self-heals: it retries with capped exponential
+/// backoff (plus jitter) until induction succeeds, so `rules_fresh`
+/// always recovers once the fault clears.
 fn inducer_loop(shared: &Shared) {
+    let mut attempt: u32 = 0;
+    let mut jitter: u64 = 0x9E37_79B9_7F4A_7C15;
     loop {
         {
             let mut flags = shared.induce.lock().unwrap_or_else(|e| e.into_inner());
@@ -768,28 +1123,37 @@ fn inducer_loop(shared: &Shared) {
             flags.dirty = false;
         }
 
-        let snap = shared.snapshot();
-        if snap.rules_fresh {
-            continue;
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| induce_once(shared)));
+        match outcome {
+            Ok(Induce::Idle) | Ok(Induce::Installed) => attempt = 0,
+            Ok(Induce::Raced) => {
+                // Go around and learn against the newer data.
+                attempt = 0;
+                shared.wake_inducer();
+            }
+            Ok(Induce::Failed) | Err(_) => {
+                attempt = attempt.saturating_add(1);
+                shared
+                    .counters
+                    .induction_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                intensio_obs::inc("serve.induction_retries");
+                let delay = induction_backoff(&shared.cfg, attempt, &mut jitter);
+                let mut flags = shared.induce.lock().unwrap_or_else(|e| e.into_inner());
+                if !flags.shutdown {
+                    let (next, _) = shared
+                        .induce_wake
+                        .wait_timeout(flags, delay)
+                        .unwrap_or_else(|e| e.into_inner());
+                    flags = next;
+                }
+                if flags.shutdown {
+                    return;
+                }
+                // Re-arm: the retry must happen even with no new write.
+                flags.dirty = true;
+            }
         }
-        let ils = Ils::new(snap.dictionary.model(), shared.cfg.induction);
-        let learned = ils.induce_parallel(&snap.db, shared.cfg.induction_threads);
-        let rules = match learned {
-            Ok(out) => out.rules,
-            Err(_) => continue, // e.g. a relation dropped mid-flight; retry on next wake
-        };
-
-        let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let current = shared.snapshot();
-        if current.data_version != snap.data_version {
-            // Another write landed while learning: the rules describe
-            // old data. Go around and learn again.
-            shared.wake_inducer();
-            continue;
-        }
-        let mut dictionary = current.dictionary.clone();
-        dictionary.set_rules(rules);
-        shared.install(current.after_induction(dictionary));
-        shared.counters.inductions.fetch_add(1, Ordering::Relaxed);
     }
 }

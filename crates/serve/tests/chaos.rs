@@ -1,0 +1,321 @@
+//! Chaos tests: the ship-database workload (the paper's Examples 1–3
+//! territory) under randomized failpoint schedules.
+//!
+//! The contract under faults, in order of importance:
+//!
+//! 1. **Never a wrong answer.** A query either errors/sheds explicitly
+//!    or returns correct extensional rows; a weakened intensional side
+//!    is always flagged `degraded`.
+//! 2. **Never a deadlock.** Every request gets *some* reply and the
+//!    test completes.
+//! 3. **Recovery.** Once faults stop, `rules_fresh` returns within the
+//!    retry backoff cap and answers stop degrading.
+//!
+//! Failpoints are process-global, so every test serializes on one gate
+//! and this file is its own test binary. The schedule is deterministic
+//! for a given `INTENSIO_CHAOS_SEED` (default 42).
+
+use intensio_serve::{Reply, Request, Service, ServiceConfig};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One test at a time owns the global failpoint registry.
+fn fault_gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = GATE
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    intensio_fault::clear();
+    guard
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("INTENSIO_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+fn open_service(tweak: impl FnOnce(&mut ServiceConfig)) -> Service {
+    let db = intensio_shipdb::ship_database().unwrap();
+    let model = intensio_shipdb::ship_model().unwrap();
+    let mut cfg = ServiceConfig {
+        workers: 4,
+        cache_capacity: 64,
+        // Fast retries so recovery assertions run in test time.
+        induction_backoff: Duration::from_millis(10),
+        induction_backoff_cap: Duration::from_millis(200),
+        ..ServiceConfig::default()
+    };
+    tweak(&mut cfg);
+    Service::with_config(db, model, cfg).unwrap()
+}
+
+/// A query whose relations the chaos writes never touch: its rows are
+/// an oracle that must hold in every non-error reply, faults or not.
+const STABLE: &str = "SELECT Class FROM CLASS WHERE Displacement > 8000";
+
+const JOIN: &str = "SELECT SUBMARINE.ID, CLASS.TYPE FROM SUBMARINE, CLASS \
+                    WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000";
+
+fn assert_stable_rows(rows: &[Vec<String>]) {
+    let mut classes: Vec<&str> = rows.iter().map(|r| r[0].as_str()).collect();
+    classes.sort_unstable();
+    assert_eq!(classes, ["0101", "1301"], "wrong answer under faults");
+}
+
+#[test]
+fn randomized_faults_never_produce_wrong_answers_and_recovery_follows() {
+    let _gate = fault_gate();
+    intensio_fault::set_seed(chaos_seed());
+    let service = Arc::new(open_service(|_| {}));
+
+    // The randomized schedule: every layer can fail, none too often to
+    // finish the workload.
+    intensio_fault::configure_str(
+        "storage.scan=1%error;\
+         induction.run=20%error;\
+         inference.engine=5%error;\
+         serve.cache=5%error;\
+         serve.install=2%error;\
+         serve.worker=0.3%error",
+    )
+    .unwrap();
+
+    const THREADS: usize = 8;
+    const ITERS: usize = 40;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let service = service.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..ITERS {
+                let request = if t < 2 && i % 10 == 9 {
+                    Request::Quel(format!(
+                        "append to SUBMARINE (Id = \"CH{t}{i:03}\", \
+                         Name = \"Chaos Probe\", Class = \"0101\")"
+                    ))
+                } else if i % 13 == 7 {
+                    Request::Stats
+                } else if i % 5 == 3 {
+                    Request::Sql(JOIN.to_string())
+                } else {
+                    Request::Sql(STABLE.to_string())
+                };
+                let is_stable = matches!(&request, Request::Sql(s) if s == STABLE);
+                match service.submit(request) {
+                    Reply::Query(q) => {
+                        if is_stable {
+                            // Degraded or not, the rows must be right.
+                            assert_stable_rows(&q.rows);
+                        }
+                    }
+                    // Explicit failure modes are the contract working.
+                    Reply::Error { .. } | Reply::Busy => {}
+                    Reply::Stats(_) => {}
+                    Reply::Explain(_) | Reply::Fault { .. } => unreachable!(),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("chaos thread never panics");
+    }
+
+    // Faults stop; freshness must come back within the backoff cap.
+    intensio_fault::clear();
+    let reply = service.submit(Request::Quel(
+        "append to SUBMARINE (Id = \"CHFIN01\", Name = \"Fin\", Class = \"1301\")".to_string(),
+    ));
+    assert!(
+        reply.query().is_some(),
+        "healthy write after faults clear, got {reply:?}"
+    );
+    assert!(
+        service.wait_rules_fresh(Duration::from_secs(10)),
+        "rules_fresh did not recover after faults stopped"
+    );
+    match service.submit(Request::Sql(STABLE.to_string())) {
+        Reply::Query(q) => {
+            assert_stable_rows(&q.rows);
+            assert!(!q.degraded, "no reason to degrade once faults stop");
+            assert!(q.rules_fresh);
+        }
+        other => panic!("healthy query failed: {other:?}"),
+    }
+}
+
+#[test]
+fn dead_workers_are_restarted_by_the_supervisor() {
+    let _gate = fault_gate();
+    let service = Arc::new(open_service(|_| {}));
+
+    // The next two requests kill their worker outright.
+    intensio_fault::configure("serve.worker", "error*2").unwrap();
+    for _ in 0..2 {
+        let reply = service.submit(Request::Sql(STABLE.to_string()));
+        assert!(
+            reply.error().is_some(),
+            "a dropped request reports an error, got {reply:?}"
+        );
+    }
+
+    // The supervisor notices and respawns.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while service.stats().worker_restarts < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        service.stats().worker_restarts >= 2,
+        "supervisor never restarted the dead workers"
+    );
+    // CI greps `serve.worker_restarts` out of this snapshot line.
+    println!(
+        "chaos metrics snapshot: {}",
+        service.stats().metrics.to_json()
+    );
+
+    // Full strength again: the pool still answers correctly.
+    match service.submit(Request::Sql(STABLE.to_string())) {
+        Reply::Query(q) => assert_stable_rows(&q.rows),
+        other => panic!("post-restart query failed: {other:?}"),
+    }
+}
+
+#[test]
+fn failed_induction_retries_with_backoff_until_fresh() {
+    let _gate = fault_gate();
+    let service = Arc::new(open_service(|_| {}));
+
+    // The next 4 induction runs fail; the 5th (a backoff retry) succeeds.
+    intensio_fault::configure("induction.run", "error*4").unwrap();
+    let reply = service.submit(Request::Quel(
+        "append to SUBMARINE (Id = \"RETRY01\", Name = \"Retry\", Class = \"0101\")".to_string(),
+    ));
+    assert!(reply.query().is_some(), "the write itself succeeds");
+
+    assert!(
+        service.wait_rules_fresh(Duration::from_secs(10)),
+        "induction never self-healed"
+    );
+    let stats = service.stats();
+    assert!(
+        stats.induction_retries >= 4,
+        "expected 4 retries, saw {}",
+        stats.induction_retries
+    );
+    assert!(stats.rules_fresh);
+}
+
+#[test]
+fn expired_deadline_degrades_but_rows_stay_correct() {
+    let _gate = fault_gate();
+    // A zero budget: every request is overdue on arrival.
+    let service = open_service(|cfg| cfg.deadline = Some(Duration::ZERO));
+
+    match service.submit(Request::Sql(STABLE.to_string())) {
+        Reply::Query(q) => {
+            assert!(q.degraded, "over-budget answer must be flagged");
+            assert!(!q.cached, "nothing was cached yet");
+            assert_stable_rows(&q.rows);
+            assert!(
+                q.intensional.is_empty(),
+                "extensional-only degradation carries no characterization"
+            );
+        }
+        other => panic!("expected degraded query reply, got {other:?}"),
+    }
+    assert!(service.stats().degraded_answers >= 1);
+}
+
+#[test]
+fn failed_inference_falls_back_to_stale_cached_answer() {
+    let _gate = fault_gate();
+    let service = open_service(|_| {});
+
+    // Prime the cache at the current epoch.
+    let primed = match service.submit(Request::Sql(STABLE.to_string())) {
+        Reply::Query(q) => q,
+        other => panic!("priming query failed: {other:?}"),
+    };
+    assert!(!primed.degraded);
+
+    // Break fresh inference, then move the epoch with a write.
+    intensio_fault::configure("inference.engine", "error").unwrap();
+    let reply = service.submit(Request::Quel(
+        "append to SUBMARINE (Id = \"STALE01\", Name = \"Stale\", Class = \"0101\")".to_string(),
+    ));
+    assert!(reply.query().is_some());
+
+    // The stale-epoch cached answer serves, flagged degraded; the rows
+    // are computed fresh and stay correct.
+    match service.submit(Request::Sql(STABLE.to_string())) {
+        Reply::Query(q) => {
+            assert!(q.degraded, "stale fallback must be flagged");
+            assert!(q.cached, "the fallback came from the cache");
+            assert_stable_rows(&q.rows);
+            assert_eq!(
+                q.intensional.render(),
+                primed.intensional.render(),
+                "stale answer is the primed characterization"
+            );
+        }
+        other => panic!("expected degraded stale reply, got {other:?}"),
+    }
+    assert!(service.stats().degraded_answers >= 1);
+}
+
+#[test]
+fn queue_overflow_sheds_with_busy() {
+    let _gate = fault_gate();
+    let service = Arc::new(open_service(|cfg| {
+        cfg.workers = 2;
+        cfg.queue_capacity = 2;
+    }));
+
+    // Slow every inference so the tiny queue backs up.
+    intensio_fault::configure("inference.infer", "delay:50").unwrap();
+
+    const THREADS: usize = 16;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut saw_busy = false;
+    while !saw_busy && Instant::now() < deadline {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let service = service.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut busy = 0u64;
+                for i in 0..4 {
+                    // Unique conditions defeat the cache: every request
+                    // pays the injected delay.
+                    let sql = format!(
+                        "SELECT Class FROM CLASS WHERE Displacement > {}",
+                        t * 64 + i
+                    );
+                    match service.submit(Request::Sql(sql)) {
+                        Reply::Busy => busy += 1,
+                        Reply::Query(_) | Reply::Error { .. } => {}
+                        other => panic!("unexpected reply: {other:?}"),
+                    }
+                }
+                busy
+            }));
+        }
+        let busy: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        saw_busy = busy > 0;
+    }
+    assert!(saw_busy, "an overloaded bounded queue never shed");
+    assert!(service.stats().requests_shed > 0);
+    // CI greps `serve.requests_shed` out of this snapshot line.
+    println!(
+        "chaos metrics snapshot: {}",
+        service.stats().metrics.to_json()
+    );
+
+    // Shedding is not sticking: once the burst passes, requests flow.
+    intensio_fault::clear();
+    match service.submit(Request::Sql(STABLE.to_string())) {
+        Reply::Query(q) => assert_stable_rows(&q.rows),
+        other => panic!("post-shed query failed: {other:?}"),
+    }
+}

@@ -84,7 +84,8 @@ fn hammer_mixed_reads_and_writes_from_eight_threads() {
                         }
                     }
                     Reply::Error { message } => panic!("request failed: {message}"),
-                    Reply::Stats(_) | Reply::Explain(_) => unreachable!(),
+                    Reply::Busy => panic!("shed with the default (large) queue capacity"),
+                    Reply::Stats(_) | Reply::Explain(_) | Reply::Fault { .. } => unreachable!(),
                 }
             }
             last_epoch

@@ -1,0 +1,101 @@
+//! Shutdown drain: `Server::shutdown` must let every in-flight request
+//! finish with a complete reply line — never a half-written frame —
+//! and close established connections cleanly.
+//!
+//! Failpoints make the race reproducible: `inference.infer` is armed
+//! with a delay so requests are reliably in flight when shutdown
+//! starts. This test owns the process-global failpoint registry, which
+//! is why it lives in its own integration-test binary.
+
+use intensio_serve::{json, Client, Server, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn open_service() -> Service {
+    let db = intensio_shipdb::ship_database().unwrap();
+    let model = intensio_shipdb::ship_model().unwrap();
+    let cfg = ServiceConfig {
+        workers: 4,
+        cache_capacity: 16,
+        ..ServiceConfig::default()
+    };
+    Service::with_config(db, model, cfg).unwrap()
+}
+
+/// Distinct conditions so the answer cache cannot absorb the delay.
+fn slow_query(i: usize) -> String {
+    format!(
+        "SQL SELECT Class FROM CLASS WHERE Displacement > {}",
+        4000 + i
+    )
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let service = Arc::new(open_service());
+    let server = Server::bind(service.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Every inference stalls 150ms: requests sent right before shutdown
+    // are still executing when it begins.
+    intensio_fault::configure("inference.infer", "delay:150").unwrap();
+
+    const CLIENTS: usize = 6;
+    let mut handles = Vec::new();
+    for i in 0..CLIENTS {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connects before shutdown");
+            let line = client
+                .roundtrip(&slow_query(i))
+                .expect("in-flight request still gets a complete reply");
+            // The frame must be whole: one parseable JSON object.
+            let v = json::parse(&line).unwrap_or_else(|e| {
+                panic!("half-written frame? {e}: {line:?}");
+            });
+            assert!(
+                v.get("ok").is_some(),
+                "reply is a protocol object: {line:?}"
+            );
+        }));
+    }
+
+    // Let the requests reach the workers, then shut down underneath them.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+
+    for h in handles {
+        h.join().expect("client thread got its reply");
+    }
+    intensio_fault::clear();
+
+    // Drained means drained: new connections are refused or closed
+    // without a reply, but nobody observed a torn frame above.
+    let refused = match Client::connect(&addr) {
+        Err(_) => true,
+        Ok(mut c) => c.roundtrip("STATS").is_err(),
+    };
+    assert!(refused, "server still serving after shutdown");
+}
+
+#[test]
+fn shutdown_closes_idle_connections_cleanly() {
+    let service = Arc::new(open_service());
+    let server = Server::bind(service.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    // An idle connection (no request in flight) and one that completed
+    // a request earlier: both must see a clean close, not a stray or
+    // partial frame.
+    let idle = Client::connect(&addr).unwrap();
+    let mut used = Client::connect(&addr).unwrap();
+    let line = used.roundtrip("STATS").unwrap();
+    assert!(json::parse(&line).is_ok());
+
+    server.shutdown();
+
+    // After the drain, the server side has closed: the next roundtrip
+    // fails cleanly (EOF or reset), never returning a partial frame.
+    used.roundtrip("STATS").expect_err("connection was closed");
+    drop(idle);
+}

@@ -36,6 +36,9 @@ pub enum StorageError {
     Incomparable { left: String, right: String },
     /// A malformed CSV row or file.
     Csv(String),
+    /// A fault injected by an armed failpoint (`intensio-fault`); never
+    /// produced in normal operation.
+    Injected(String),
     /// Any other invariant violation, with a description.
     Invalid(String),
 }
@@ -86,12 +89,19 @@ impl fmt::Display for StorageError {
                 write!(f, "cannot compare {left} with {right}")
             }
             StorageError::Csv(msg) => write!(f, "csv error: {msg}"),
+            StorageError::Injected(msg) => write!(f, "{msg}"),
             StorageError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<intensio_fault::InjectedFault> for StorageError {
+    fn from(f: intensio_fault::InjectedFault) -> StorageError {
+        StorageError::Injected(f.to_string())
+    }
+}
 
 /// Convenience result alias used throughout the storage engine.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -25,6 +25,7 @@ pub fn select(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relation> {
 /// The unindexed scan loop shared by [`select`] and the fallback path
 /// of [`select_indexed`].
 fn scan_filter(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relation> {
+    intensio_fault::fire("storage.scan")?;
     let mut out = Relation::with_schema_ref(format!("σ({})", rel.name()), rel.schema_ref());
     for t in rel.iter() {
         let env = Env::single(alias, rel.schema(), t);
@@ -231,6 +232,7 @@ pub fn select_indexed(rel: &Relation, alias: &str, pred: &Expr) -> Result<Relati
         return Ok(out);
     };
     let span = scan_span(rel, "index");
+    intensio_fault::fire("storage.scan")?;
     let positions = rel.index_range(
         &attr,
         lo.as_ref().map(|(v, i)| (v, *i)),

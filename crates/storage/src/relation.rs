@@ -444,4 +444,43 @@ mod tests {
             .unwrap();
         assert_eq!(range.len(), 2);
     }
+
+    #[test]
+    fn index_cache_survives_concurrent_poisoning_hammer() {
+        let mut r = submarine();
+        r.insert(tuple!["SSBN730", "Rhode Island", "0101"]).unwrap();
+        r.insert(tuple!["SSN582", "Bonefish", "0215"]).unwrap();
+        r.insert(tuple!["SSN592", "Snook", "0209"]).unwrap();
+        let r = &r;
+        // Poisoner threads repeatedly kill readers inside the index
+        // closure while reader threads hammer lookups; every answer
+        // must stay correct throughout — poisoning is invisible.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let dead = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _ = r.with_index("Class", |_| panic!("reader died"));
+                        }));
+                        assert!(dead.is_err());
+                    }
+                });
+            }
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let hits = r.index_lookup("Class", &Value::str("0215")).unwrap();
+                        assert_eq!(hits, vec![1]);
+                        let range = r
+                            .index_range("Class", Some((&Value::str("0000"), true)), None)
+                            .unwrap();
+                        assert_eq!(range.len(), 3);
+                    }
+                });
+            }
+        });
+        // And the cache still answers correctly after the storm.
+        let hits = r.index_lookup("Class", &Value::str("0101")).unwrap();
+        assert_eq!(hits, vec![0]);
+    }
 }

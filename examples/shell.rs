@@ -223,9 +223,16 @@ impl RemoteShell {
         if line == ".stats" {
             return Ok(Some("STATS".to_string()));
         }
+        if line == ".fault" {
+            return Ok(Some("FAULT LIST".to_string()));
+        }
+        if let Some(rest) = line.strip_prefix(".fault ") {
+            return Ok(Some(format!("FAULT {}", rest.trim())));
+        }
         if line == ".help" {
             return Err(
-                "remote commands: SELECT ..., QUEL statements, \\explain SELECT ..., .stats, .quit"
+                "remote commands: SELECT ..., QUEL statements, \\explain SELECT ..., .stats, \
+                 .fault [list | set name=spec[;...] | clear], .quit"
                     .to_string(),
             );
         }
@@ -254,6 +261,9 @@ impl RemoteShell {
             Err(e) => return format!("error: undecodable response ({e}): {json_line}"),
         };
         if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            if v.get("kind").and_then(Json::as_str) == Some("busy") {
+                return "busy: server shed the request (queue full); retry".to_string();
+            }
             let msg = v.get("error").and_then(Json::as_str).unwrap_or("unknown");
             return format!("error: {msg}");
         }
@@ -285,7 +295,34 @@ impl RemoteShell {
                     n("cache_len"),
                     n("inductions"),
                     n("errors"),
+                ) + &format!(
+                    "\nresilience: {} shed, {} worker restarts, {} induction retries, \
+                     {} degraded answers",
+                    n("requests_shed"),
+                    n("worker_restarts"),
+                    n("induction_retries"),
+                    n("degraded_answers"),
                 )
+            }
+            Some("fault") => {
+                let points = v.get("failpoints").and_then(Json::as_array).unwrap_or(&[]);
+                if points.is_empty() {
+                    return "no failpoints armed".to_string();
+                }
+                let mut out = String::from("armed failpoints:\n");
+                for p in points {
+                    let s = |key: &str| p.get(key).and_then(Json::as_str).unwrap_or("?");
+                    let n = |key: &str| p.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    out.push_str(&format!(
+                        "  {} = {} ({} hits, {} triggered)\n",
+                        s("name"),
+                        s("spec"),
+                        n("hits"),
+                        n("triggered"),
+                    ));
+                }
+                out.pop();
+                out
             }
             Some("explain") => {
                 let mut out = String::new();
@@ -311,7 +348,7 @@ impl RemoteShell {
                 }
                 let flag = |key: &str| v.get(key).and_then(Json::as_bool) == Some(true);
                 out.push_str(&format!(
-                    "[epoch {}, {}, rules {}, soundness: {}]",
+                    "[epoch {}, {}, rules {}, soundness: {}{}]",
                     v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
                     if flag("cached") {
                         "cache hit"
@@ -324,6 +361,7 @@ impl RemoteShell {
                         "stale"
                     },
                     v.get("soundness").and_then(Json::as_str).unwrap_or("none"),
+                    if flag("degraded") { ", DEGRADED" } else { "" },
                 ));
                 out
             }
@@ -365,7 +403,7 @@ impl RemoteShell {
                 }
                 let flag = |key: &str| v.get(key).and_then(Json::as_bool) == Some(true);
                 out.push_str(&format!(
-                    "[epoch {}, {}, rules {}, soundness: {}]",
+                    "[epoch {}, {}, rules {}, soundness: {}{}]",
                     v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
                     if flag("cached") {
                         "cache hit"
@@ -378,6 +416,7 @@ impl RemoteShell {
                         "stale"
                     },
                     v.get("soundness").and_then(Json::as_str).unwrap_or("none"),
+                    if flag("degraded") { ", DEGRADED" } else { "" },
                 ));
                 out
             }

@@ -19,6 +19,7 @@
 //! | [`inference`] | forward/backward type inference (§4) |
 //! | [`core`] | the assembled system (Figure 6) |
 //! | [`serve`] | concurrent query service: snapshots, cache, TCP |
+//! | [`fault`] | failpoint framework for fault injection & chaos tests |
 //! | [`shipdb`] | the naval test bed (§6, Appendices B/C) |
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use intensio_core as core;
+pub use intensio_fault as fault;
 pub use intensio_induction as induction;
 pub use intensio_inference as inference;
 pub use intensio_ker as ker;
