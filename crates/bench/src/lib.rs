@@ -15,6 +15,7 @@
 //! | `baseline_compare` | §7 — induced rules vs integrity constraints |
 //! | `ablation` | design-choice ablations (run scope, inconsistency) |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Print a markdown-style table: a header row, a separator, then rows.

@@ -1,0 +1,45 @@
+//! # intensio-check
+//!
+//! Static analysis over the three artifacts of the intensional query
+//! pipeline: **KER schemas**, **induced rule sets**, and **queries**.
+//! The paper's machinery makes many defects statically decidable — an
+//! isa-cycle breaks classification, two rules with overlapping premises
+//! and disagreeing conclusions can never both hold, and a query whose
+//! restriction contradicts a forward-applicable rule is provably empty
+//! before touching storage. This crate finds them ahead of execution
+//! and reports each with a stable `IC0xx` code, a severity, a source
+//! span, and provenance notes.
+//!
+//! The passes:
+//! * [`schema::check_schema_text`] — IC000–IC010 over the KER AST;
+//! * [`rules::check_rules`] — IC020–IC024 over a [`intensio_rules::rule::RuleSet`];
+//! * [`query::check_sql`] / [`query::check_quel`] — IC040–IC045 over
+//!   parsed queries against the catalog and rules.
+//!
+//! Consumers: the `check` CLI binary (CI gate), the serve-layer install
+//! gate (rejects Error-level rule-set epochs), the `CHECK` protocol
+//! verb, and the induction driver's post-induction lint hook.
+//!
+//! ```
+//! use intensio_check::{check_schema_text, Severity};
+//!
+//! let report = check_schema_text(
+//!     "object type A\n  has key: Id domain: integer\nA isa A with Id >= 0\n",
+//! );
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics[0].code, "IC001"); // hierarchy cycle
+//! assert_eq!(report.diagnostics[0].severity, Severity::Error);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod query;
+pub mod rules;
+pub mod schema;
+
+pub use diag::{Diagnostic, Report, Severity, Span};
+pub use query::{check_quel, check_sql};
+pub use rules::{check_rules, RuleCheckConfig};
+pub use schema::{check_schema, check_schema_text};

@@ -1,0 +1,639 @@
+//! Query lints: SQL and QUEL statements checked against the catalog and
+//! the induced rule set.
+//!
+//! | code | severity | finding |
+//! |---|---|---|
+//! | IC000 | error | query failed to parse |
+//! | IC040 | error | unknown relation |
+//! | IC041 | error | unknown or ambiguous attribute / range variable |
+//! | IC042 | error | type-mismatched comparison |
+//! | IC043 | error | contradictory restrictions (condition self-empty) |
+//! | IC044 | error | condition provably empty under the induced rules |
+//! | IC045 | warning | equality constant outside the attribute's declared domain |
+//!
+//! **Soundness of IC043/IC044.** Only top-level conjuncts of the form
+//! `attr op constant` participate. Dropping the other conjuncts (joins,
+//! disjunctions, negations) keeps a *superset* of the answer set, so
+//! proving the superset empty proves the query empty. IC044 applies a
+//! rule *forward* (the paper's Modus Ponens direction): when the query's
+//! restriction on a rule's premise attribute is contained in the premise
+//! range, the rule's conclusion holds for **every** answer tuple; if the
+//! query also restricts the conclusion attribute to a range disjoint
+//! from the rule's conclusion, no tuple can satisfy both — the rule is
+//! returned as the refuting provenance.
+
+use crate::diag::{locate_word, Diagnostic, Report, Severity};
+use intensio_ker::coerce_value;
+use intensio_rules::range::ValueRange;
+use intensio_rules::rule::RuleSet;
+use intensio_storage::catalog::Database;
+use intensio_storage::expr::{AttrRef, CmpOp, Expr};
+use intensio_storage::value::Value;
+use std::collections::BTreeMap;
+
+/// One resolved `attr op constant` restriction, tagged with the tuple
+/// variable (SQL alias or QUEL range variable) it constrains.
+struct Cond {
+    alias: String,
+    relation: String,
+    attribute: String,
+    op: CmpOp,
+    value: Value,
+    /// The attribute's declared domain range, when one exists. Query
+    /// ranges are clamped by it before forward inference — exactly what
+    /// lets `Displacement > 8000` sit inside a `[7250, 30000]` premise.
+    domain_range: Option<ValueRange>,
+}
+
+/// Check one SQL `SELECT` against the catalog and rules.
+pub fn check_sql(sql_text: &str, db: &Database, rules: &RuleSet) -> Report {
+    let mut report = Report::new();
+    let q = match intensio_sql::parse(sql_text) {
+        Ok(q) => q,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "IC000",
+                Severity::Error,
+                "query",
+                format!("query failed to parse: {e}"),
+            ));
+            return report;
+        }
+    };
+
+    // Relations.
+    let mut tables: Vec<(String, String)> = Vec::new(); // (alias, relation)
+    let mut missing = false;
+    for t in &q.from {
+        if db.get(&t.name).is_err() {
+            missing = true;
+            report.push(unknown_relation(sql_text, &t.name));
+        } else {
+            tables.push((t.alias.clone(), t.name.clone()));
+        }
+    }
+    if missing {
+        report.sort();
+        return report;
+    }
+
+    // Attribute references in the select list, WHERE, GROUP/ORDER BY.
+    let mut refs: Vec<&AttrRef> = Vec::new();
+    for item in &q.targets {
+        match item {
+            intensio_sql::SelectItem::Attr { attr, .. } => refs.push(attr),
+            intensio_sql::SelectItem::Aggregate { arg: Some(a), .. } => refs.push(a),
+            _ => {}
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        refs.extend(w.attr_refs());
+    }
+    refs.extend(q.group_by.iter());
+    refs.extend(q.order_by.iter());
+    for a in refs {
+        if let Err(d) = resolve(sql_text, db, &tables, a) {
+            if !report.diagnostics.contains(&d) {
+                report.push(d);
+            }
+        }
+    }
+    if report.has_errors() {
+        report.sort();
+        return report;
+    }
+
+    // Restrictions from top-level conjuncts.
+    let mut conds = Vec::new();
+    if let Some(w) = &q.where_clause {
+        collect_conds(sql_text, db, &tables, w, &mut conds, &mut report);
+    }
+    check_conditions(sql_text, db, rules, &conds, &mut report);
+    report.sort();
+    report
+}
+
+/// Check a QUEL script (any number of statements) against the catalog
+/// and rules. `range of` declarations accumulate across the script, as
+/// in a session.
+pub fn check_quel(script: &str, db: &Database, rules: &RuleSet) -> Report {
+    let mut report = Report::new();
+    let stmts = match intensio_quel::parse_script(script) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "IC000",
+                Severity::Error,
+                "query",
+                format!("query failed to parse: {e}"),
+            ));
+            return report;
+        }
+    };
+
+    let mut tables: Vec<(String, String)> = Vec::new(); // (var, relation)
+    for stmt in &stmts {
+        match stmt {
+            intensio_quel::Statement::Range { var, relation } => {
+                if db.get(relation).is_err() {
+                    report.push(unknown_relation(script, relation));
+                } else {
+                    tables.retain(|(v, _)| !v.eq_ignore_ascii_case(var));
+                    tables.push((var.clone(), relation.clone()));
+                }
+            }
+            intensio_quel::Statement::Retrieve { targets, qual, .. } => {
+                for t in targets {
+                    let exprs: Vec<&Expr> = match &t.expr {
+                        intensio_quel::ast::TargetExpr::Plain(e) => vec![e],
+                        intensio_quel::ast::TargetExpr::Aggregate { arg, .. } => vec![arg],
+                    };
+                    for e in exprs {
+                        for a in e.attr_refs() {
+                            if let Err(d) = resolve(script, db, &tables, a) {
+                                if !report.diagnostics.contains(&d) {
+                                    report.push(d);
+                                }
+                            }
+                        }
+                    }
+                }
+                self_check_qual(script, db, rules, &tables, qual.as_ref(), &mut report);
+            }
+            intensio_quel::Statement::Delete { qual, .. }
+            | intensio_quel::Statement::Replace { qual, .. } => {
+                self_check_qual(script, db, rules, &tables, qual.as_ref(), &mut report);
+            }
+            intensio_quel::Statement::Append { relation, .. } => {
+                if db.get(relation).is_err() {
+                    report.push(unknown_relation(script, relation));
+                }
+            }
+        }
+    }
+    report.sort();
+    report
+}
+
+fn self_check_qual(
+    text: &str,
+    db: &Database,
+    rules: &RuleSet,
+    tables: &[(String, String)],
+    qual: Option<&Expr>,
+    report: &mut Report,
+) {
+    let Some(qual) = qual else { return };
+    for a in qual.attr_refs() {
+        if let Err(d) = resolve(text, db, tables, a) {
+            if !report.diagnostics.contains(&d) {
+                report.push(d);
+            }
+        }
+    }
+    if report.has_errors() {
+        return;
+    }
+    let mut conds = Vec::new();
+    collect_conds(text, db, tables, qual, &mut conds, report);
+    check_conditions(text, db, rules, &conds, report);
+}
+
+fn endpoint(v: &Value, b: intensio_storage::domain::Bound) -> intensio_rules::range::Endpoint {
+    intensio_rules::range::Endpoint {
+        value: v.clone(),
+        inclusive: b == intensio_storage::domain::Bound::Inclusive,
+    }
+}
+
+fn unknown_relation(text: &str, name: &str) -> Diagnostic {
+    Diagnostic::new(
+        "IC040",
+        Severity::Error,
+        "query",
+        format!("unknown relation {name}"),
+    )
+    .with_span(locate_word(text, name))
+}
+
+/// Resolve an attribute reference against the visible tuple variables.
+// The Err is a ready-to-report Diagnostic; the lint path is cold.
+#[allow(clippy::result_large_err)]
+fn resolve(
+    text: &str,
+    db: &Database,
+    tables: &[(String, String)],
+    a: &AttrRef,
+) -> Result<(String, String), Diagnostic> {
+    let fail = |msg: String| {
+        Diagnostic::new("IC041", Severity::Error, "query", msg).with_span(
+            locate_word(text, &a.name)
+                .or_else(|| a.qualifier.as_deref().and_then(|q| locate_word(text, q))),
+        )
+    };
+    let (alias, relation) = match &a.qualifier {
+        Some(q) => tables
+            .iter()
+            .find(|(alias, _)| alias.eq_ignore_ascii_case(q))
+            .cloned()
+            .ok_or_else(|| fail(format!("unknown range variable or alias {q}")))?,
+        None => {
+            let mut hit = None;
+            for (alias, rel) in tables {
+                let has = db
+                    .get(rel)
+                    .ok()
+                    .map(|r| r.schema().index_of(&a.name).is_some())
+                    .unwrap_or(false);
+                if has {
+                    if hit.is_some() {
+                        return Err(fail(format!("ambiguous attribute {}", a.name)));
+                    }
+                    hit = Some((alias.clone(), rel.clone()));
+                }
+            }
+            hit.ok_or_else(|| fail(format!("unknown attribute {}", a.name)))?
+        }
+    };
+    let rel = db
+        .get(&relation)
+        .map_err(|e| fail(format!("unknown relation: {e}")))?;
+    if rel.schema().index_of(&a.name).is_none() {
+        return Err(fail(format!(
+            "unknown attribute {} on relation {relation}",
+            a.name
+        )));
+    }
+    Ok((alias, relation))
+}
+
+/// Extract `attr op constant` conjuncts (either orientation), resolving
+/// each side and flagging type mismatches (IC042).
+fn collect_conds(
+    text: &str,
+    db: &Database,
+    tables: &[(String, String)],
+    expr: &Expr,
+    conds: &mut Vec<Cond>,
+    report: &mut Report,
+) {
+    for c in expr.conjuncts() {
+        let Expr::Cmp { op, left, right } = c else {
+            continue;
+        };
+        let (attr, op, value) = match (left.as_ref(), right.as_ref()) {
+            (Expr::Attr(a), Expr::Const(v)) => (a, *op, v),
+            (Expr::Const(v), Expr::Attr(a)) => (a, op.flip(), v),
+            _ => continue,
+        };
+        let Ok((alias, relation)) = resolve(text, db, tables, attr) else {
+            continue; // already reported
+        };
+        let schema_attr = {
+            let rel = db.get(&relation).expect("resolved above");
+            let idx = rel.schema().index_of(&attr.name).expect("resolved above");
+            rel.schema().attr(idx).clone()
+        };
+        let coerced = match value.value_type() {
+            None => continue, // NULL comparisons never participate
+            Some(vt) if vt == schema_attr.value_type() => value.clone(),
+            Some(_) => match coerce_value(value, schema_attr.value_type()) {
+                Some(v) => v,
+                None => {
+                    report.push(
+                        Diagnostic::new(
+                            "IC042",
+                            Severity::Error,
+                            "query",
+                            format!(
+                                "type mismatch: {}.{} is {} but is compared with {}",
+                                relation,
+                                schema_attr.name(),
+                                schema_attr.value_type().keyword(),
+                                value
+                            ),
+                        )
+                        .with_span(locate_word(text, &attr.name)),
+                    );
+                    continue;
+                }
+            },
+        };
+        let domain_range = schema_attr
+            .domain()
+            .constraints()
+            .iter()
+            .find_map(|c| match c {
+                intensio_storage::domain::DomainConstraint::Range {
+                    lo,
+                    lo_bound,
+                    hi,
+                    hi_bound,
+                } => Some(ValueRange {
+                    lo: Some(endpoint(lo, *lo_bound)),
+                    hi: Some(endpoint(hi, *hi_bound)),
+                }),
+                _ => None,
+            });
+        let out_of_domain = (op == CmpOp::Eq && !schema_attr.domain().admits(&coerced))
+            || match (&domain_range, ValueRange::from_cmp(op, coerced.clone())) {
+                (Some(d), Some(r)) => !d.intersects(&r),
+                _ => false,
+            };
+        if out_of_domain {
+            report.push(
+                Diagnostic::new(
+                    "IC045",
+                    Severity::Warn,
+                    "query",
+                    format!(
+                        "restriction on {}.{} lies outside its declared domain {}: \
+                         no stored value can satisfy it",
+                        relation,
+                        schema_attr.name(),
+                        schema_attr.domain().name(),
+                    ),
+                )
+                .with_span(locate_word(text, &attr.name)),
+            );
+            continue;
+        }
+        conds.push(Cond {
+            alias,
+            relation,
+            attribute: schema_attr.name().to_string(),
+            op,
+            value: coerced,
+            domain_range,
+        });
+    }
+}
+
+/// Fold the restrictions per tuple variable and attribute (IC043), then
+/// apply the rules forward (IC044).
+fn check_conditions(
+    text: &str,
+    db: &Database,
+    rules: &RuleSet,
+    conds: &[Cond],
+    report: &mut Report,
+) {
+    let _ = db;
+    // (alias, attribute-lowercase) -> (relation, attribute, folded range)
+    let mut folded: BTreeMap<(String, String), (String, String, ValueRange)> = BTreeMap::new();
+    for c in conds {
+        let Some(mut r) = ValueRange::from_cmp(c.op, c.value.clone()) else {
+            continue; // `<>` has no interval form
+        };
+        if let Some(clamp) = &c.domain_range {
+            // Nonempty by construction: empty clamps were IC045'd away.
+            if let Some(tight) = clamp.intersect(&r) {
+                r = tight;
+            }
+        }
+        let slot = (
+            c.alias.to_ascii_lowercase(),
+            c.attribute.to_ascii_lowercase(),
+        );
+        match folded.get_mut(&slot) {
+            None => {
+                folded.insert(slot, (c.relation.clone(), c.attribute.clone(), r));
+            }
+            Some((_, _, prev)) => match prev.intersect(&r) {
+                Some(tight) => *prev = tight,
+                None => {
+                    report.push(
+                        Diagnostic::new(
+                            "IC043",
+                            Severity::Error,
+                            "query",
+                            format!(
+                                "contradictory restrictions on {}.{}: the condition admits \
+                                 no value and the answer is provably empty",
+                                c.relation, c.attribute
+                            ),
+                        )
+                        .with_span(locate_word(text, &c.attribute)),
+                    );
+                    return; // further analysis is moot
+                }
+            },
+        }
+    }
+
+    // Forward rule application, per tuple variable.
+    let mut aliases: Vec<&str> = folded.keys().map(|(a, _)| a.as_str()).collect();
+    aliases.dedup();
+    for alias in aliases {
+        let range_of = |object: &str, attribute: &str| -> Option<&ValueRange> {
+            folded
+                .get(&(alias.to_string(), attribute.to_ascii_lowercase()))
+                .filter(|(rel, _, _)| rel.eq_ignore_ascii_case(object))
+                .map(|(_, _, r)| r)
+        };
+        for rule in rules.iter() {
+            // Forward-applicable: every premise clause's range contains
+            // the query's restriction on that attribute.
+            let applicable = !rule.lhs.is_empty()
+                && rule.lhs.iter().all(|cl| {
+                    range_of(&cl.attr.object, &cl.attr.attribute)
+                        .map(|qr| cl.range.subsumes(qr))
+                        .unwrap_or(false)
+                });
+            if !applicable {
+                continue;
+            }
+            let Some(qr) = range_of(&rule.rhs.attr.object, &rule.rhs.attr.attribute) else {
+                continue;
+            };
+            if qr.intersects(&rule.rhs.range) {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    "IC044",
+                    Severity::Error,
+                    "query",
+                    format!(
+                        "condition is provably empty: R{} concludes {} {} for every \
+                         tuple the condition admits, but the query requires {} {}",
+                        rule.id, rule.rhs.attr, rule.rhs.range, rule.rhs.attr, qr
+                    ),
+                )
+                .with_span(locate_word(text, &rule.rhs.attr.attribute))
+                .with_note(format!("refuted by {rule}")),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_rules::rule::{AttrId, Clause, Rule};
+    use intensio_storage::domain::Domain;
+    use intensio_storage::relation::Relation;
+    use intensio_storage::schema::{Attribute, Schema};
+    use intensio_storage::tuple;
+    use intensio_storage::value::ValueType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new("Type", Domain::char_n(4)),
+            Attribute::new(
+                "Displacement",
+                Domain::int_range("DISPLACEMENT", 2000, 30000),
+            ),
+        ])
+        .unwrap();
+        let mut class = Relation::new("CLASS", schema);
+        class.insert(tuple!["0101", "SSBN", 8250]).unwrap();
+        class.insert(tuple!["0201", "SSN", 4640]).unwrap();
+        db.create(class).unwrap();
+        db
+    }
+
+    fn rules() -> RuleSet {
+        RuleSet::from_rules([Rule::new(
+            0,
+            vec![Clause::between(
+                AttrId::new("CLASS", "Displacement"),
+                7250,
+                30000,
+            )],
+            Clause::equals(AttrId::new("CLASS", "Type"), "SSBN"),
+        )
+        .with_subtype("SSBN")
+        .with_support(4)])
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_query_is_clean() {
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement > 8000",
+            &db(),
+            &rules(),
+        );
+        assert!(r.diagnostics.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unknown_relation_is_ic040() {
+        let r = check_sql("SELECT X FROM NOPE", &db(), &rules());
+        assert_eq!(codes(&r), vec!["IC040"]);
+    }
+
+    #[test]
+    fn unknown_attribute_is_ic041() {
+        let r = check_sql("SELECT Tonnage FROM CLASS", &db(), &rules());
+        assert_eq!(codes(&r), vec!["IC041"]);
+        let r = check_sql("SELECT z.Class FROM CLASS", &db(), &rules());
+        assert_eq!(codes(&r), vec!["IC041"], "unknown alias");
+    }
+
+    #[test]
+    fn type_mismatch_is_ic042() {
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement = \"heavy\"",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC042"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn numeric_string_coerces_without_ic042() {
+        let r = check_sql("SELECT Type FROM CLASS WHERE Class = 101", &db(), &rules());
+        assert!(
+            !codes(&r).contains(&"IC042"),
+            "ints coerce to char classes: {}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn contradictory_restrictions_are_ic043() {
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement > 9000 AND Displacement < 8000",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC043"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn rule_refuted_condition_is_ic044_with_provenance() {
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement > 8000 AND Type = \"SSN\"",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC044"), "{}", r.render_text());
+        let d = r.diagnostics.iter().find(|d| d.code == "IC044").unwrap();
+        assert!(
+            d.notes.iter().any(|n| n.contains("R1")),
+            "refuting rule cited: {:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn partial_premise_coverage_is_not_refuted() {
+        // Query range [2500, ...) is NOT contained in the premise
+        // [7250, 30000]; the rule does not apply forward.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement > 2500 AND Type = \"SSN\"",
+            &db(),
+            &rules(),
+        );
+        assert!(!codes(&r).contains(&"IC044"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn out_of_domain_equality_is_ic045() {
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement = 50000",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC045"), "{}", r.render_text());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn quel_checks_mirror_sql() {
+        let db = db();
+        let rs = rules();
+        let r = check_quel(
+            "range of c is CLASS\nretrieve (c.Class) where c.Tonnage > 5",
+            &db,
+            &rs,
+        );
+        assert!(codes(&r).contains(&"IC041"), "{}", r.render_text());
+        let r = check_quel(
+            "range of c is CLASS\nretrieve (c.Class) where c.Displacement > 8000 and c.Type = \"SSN\"",
+            &db,
+            &rs,
+        );
+        assert!(codes(&r).contains(&"IC044"), "{}", r.render_text());
+        let r = check_quel("range of c is NOPE", &db, &rs);
+        assert!(codes(&r).contains(&"IC040"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn null_and_ne_do_not_participate() {
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement <> 8000 AND Displacement <> 9000",
+            &db(),
+            &rules(),
+        );
+        assert!(r.diagnostics.is_empty(), "{}", r.render_text());
+        let _ = ValueType::Int;
+    }
+}

@@ -1,0 +1,371 @@
+//! Rule-set lints: static analysis over induced (or hand-written) rule
+//! sets.
+//!
+//! | code | severity | finding |
+//! |---|---|---|
+//! | IC020 | error | conflicting rules: jointly satisfiable premises, incompatible conclusions |
+//! | IC021 | warning | rule subsumed by a wider rule with the same conclusion |
+//! | IC022 | info | range gap between premises concluding on the same attribute (weakens backward inference) |
+//! | IC023 | warning | support below the configured `N_c` |
+//! | IC024 | warning | rule references a relation or attribute missing from the catalog |
+//!
+//! **Conflicts (IC020).** Two rules conflict when a single tuple could
+//! fire both while their conclusions disagree. That requires (a)
+//! conclusions on the same attribute that admit no common value (disjoint
+//! ranges, or distinct subtype labels), and (b) jointly satisfiable
+//! premises. We require the premises to *share at least one attribute*
+//! (every shared attribute's ranges overlapping): rules premised on
+//! entirely different attributes (`Displacement → SSN` vs
+//! `Class → SSBN`) are exactly what pairwise induction produces for
+//! every classifier and are consistent on the observed data — flagging
+//! them would reject every organically induced rule set.
+//!
+//! **Gaps (IC022)** are informational: induction from sparse data always
+//! leaves gaps between runs (`6955 < Displacement < 7250` belongs to no
+//! rule), and a backward query landing in the gap simply gets no
+//! intensional answer. The lint surfaces where that will happen.
+
+use crate::diag::{locate, Diagnostic, Report, Severity};
+use intensio_rules::range::ValueRange;
+use intensio_rules::rule::{Rule, RuleSet};
+use intensio_storage::catalog::Database;
+use std::cmp::Ordering;
+
+/// Configuration for the rule pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleCheckConfig {
+    /// The induction support threshold `N_c`; rules below it draw
+    /// IC023. `0` disables the support lint.
+    pub min_support: usize,
+}
+
+fn origin(r: &Rule) -> String {
+    format!("R{}", r.id)
+}
+
+/// A diagnostic whose span points into the rule's own rendered text
+/// (`R3: if ... then ...`), located at `token`.
+fn rule_diag(
+    code: &'static str,
+    severity: Severity,
+    r: &Rule,
+    message: String,
+    token: &str,
+) -> Diagnostic {
+    let text = r.to_string();
+    Diagnostic::new(code, severity, origin(r), message)
+        .with_span(locate(&text, token))
+        .with_note(text.clone())
+}
+
+/// Run the rule lints. `db` enables the catalog cross-check (IC024).
+pub fn check_rules(rules: &RuleSet, db: Option<&Database>, cfg: &RuleCheckConfig) -> Report {
+    let mut report = Report::new();
+    let all = rules.rules();
+
+    for (i, a) in all.iter().enumerate() {
+        for b in all.iter().skip(i + 1) {
+            if let Some(d) = conflict(a, b) {
+                report.push(d);
+            }
+            if let Some(d) = subsumption(a, b) {
+                report.push(d);
+            }
+        }
+        if cfg.min_support > 0 && a.support < cfg.min_support {
+            report.push(rule_diag(
+                "IC023",
+                Severity::Warn,
+                a,
+                format!(
+                    "support {} is below the configured threshold N_c = {}",
+                    a.support, cfg.min_support
+                ),
+                &format!("R{}", a.id),
+            ));
+        }
+        if let Some(db) = db {
+            for c in a.lhs.iter().chain(std::iter::once(&a.rhs)) {
+                let known = db
+                    .get(&c.attr.object)
+                    .ok()
+                    .map(|rel| rel.schema().index_of(&c.attr.attribute).is_some());
+                let (code_needed, what) = match known {
+                    None => (true, format!("unknown relation {}", c.attr.object)),
+                    Some(false) => (true, format!("unknown attribute {}", c.attr)),
+                    Some(true) => (false, String::new()),
+                };
+                if code_needed {
+                    report.push(rule_diag(
+                        "IC024",
+                        Severity::Warn,
+                        a,
+                        format!("rule references {what}, absent from the catalog"),
+                        &c.attr.attribute,
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    gaps(all, &mut report);
+    report.sort();
+    report
+}
+
+/// IC020: could one tuple fire both rules while the conclusions
+/// disagree?
+fn conflict(a: &Rule, b: &Rule) -> Option<Diagnostic> {
+    if !a
+        .rhs
+        .attr
+        .matches(&b.rhs.attr.object, &b.rhs.attr.attribute)
+    {
+        return None;
+    }
+    let conclusions_clash = match (&a.rhs_subtype, &b.rhs_subtype) {
+        (Some(x), Some(y)) if !x.eq_ignore_ascii_case(y) => true,
+        _ => !a.rhs.range.intersects(&b.rhs.range),
+    };
+    if !conclusions_clash {
+        return None;
+    }
+    // Premises must share an attribute, and every shared attribute's
+    // ranges must overlap (non-shared attributes are freely satisfiable).
+    let mut shared = 0usize;
+    for ca in &a.lhs {
+        let Some(cb) = b.lhs_clause(&ca.attr.object, &ca.attr.attribute) else {
+            continue;
+        };
+        shared += 1;
+        if !ca.range.intersects(&cb.range) {
+            return None;
+        }
+    }
+    if shared == 0 {
+        return None;
+    }
+    let overlap = a
+        .lhs
+        .iter()
+        .find_map(|ca| {
+            b.lhs_clause(&ca.attr.object, &ca.attr.attribute)
+                .and_then(|cb| ca.range.intersect(&cb.range))
+                .map(|r| format!("{} {r}", ca.attr))
+        })
+        .unwrap_or_default();
+    Some(
+        rule_diag(
+            "IC020",
+            Severity::Error,
+            a,
+            format!(
+                "conflicts with R{}: premises overlap ({overlap}) but conclusions on {} \
+                 admit no common value",
+                b.id, a.rhs.attr
+            ),
+            &a.rhs.attr.attribute,
+        )
+        .with_note(b.to_string()),
+    )
+}
+
+/// IC021: `b` is redundant because `a` (or vice versa) is strictly wider
+/// with the same conclusion — the predicate [`RuleSet::minimize`] uses.
+fn subsumption(a: &Rule, b: &Rule) -> Option<Diagnostic> {
+    let (wide, narrow) = if subsumes(a, b) {
+        (a, b)
+    } else if subsumes(b, a) {
+        (b, a)
+    } else {
+        return None;
+    };
+    Some(
+        rule_diag(
+            "IC021",
+            Severity::Warn,
+            narrow,
+            format!(
+                "subsumed by the wider rule R{}: every query it answers, R{} answers",
+                wide.id, wide.id
+            ),
+            &format!("R{}", narrow.id),
+        )
+        .with_note(wide.to_string()),
+    )
+}
+
+fn subsumes(a: &Rule, b: &Rule) -> bool {
+    let same_consequence =
+        a.rhs.attr == b.rhs.attr && a.rhs.range == b.rhs.range && a.rhs_subtype == b.rhs_subtype;
+    if !same_consequence {
+        return false;
+    }
+    let covers = a.lhs.iter().all(|ca| {
+        b.lhs_clause(&ca.attr.object, &ca.attr.attribute)
+            .map(|cb| ca.range.subsumes(&cb.range))
+            .unwrap_or(false)
+    });
+    covers && (a.lhs != b.lhs || a.id < b.id)
+}
+
+/// IC022: within each family of single-premise rules over the same
+/// `(premise attribute, conclusion attribute)`, report the holes between
+/// consecutive premise ranges.
+fn gaps(all: &[Rule], report: &mut Report) {
+    let mut families: Vec<(&Rule, &ValueRange)> = Vec::new();
+    let mut seen: Vec<usize> = Vec::new();
+    for (i, r) in all.iter().enumerate() {
+        if seen.contains(&i) || r.lhs.len() != 1 {
+            continue;
+        }
+        families.clear();
+        families.push((r, &r.lhs[0].range));
+        for (j, s) in all.iter().enumerate().skip(i + 1) {
+            if s.lhs.len() == 1
+                && s.lhs[0]
+                    .attr
+                    .matches(&r.lhs[0].attr.object, &r.lhs[0].attr.attribute)
+                && s.rhs
+                    .attr
+                    .matches(&r.rhs.attr.object, &r.rhs.attr.attribute)
+            {
+                seen.push(j);
+                families.push((s, &s.lhs[0].range));
+            }
+        }
+        if families.len() < 2 {
+            continue;
+        }
+        families.sort_by(|(_, x), (_, y)| cmp_lo(x, y));
+        for w in families.windows(2) {
+            let ((ra, x), (rb, y)) = (w[0], w[1]);
+            if x.intersects(y) || x.merge(y).is_some() {
+                continue; // overlapping or adjacent: no hole
+            }
+            let (Some(hi), Some(lo)) = (&x.hi, &y.lo) else {
+                continue;
+            };
+            report.push(
+                rule_diag(
+                    "IC022",
+                    Severity::Info,
+                    ra,
+                    format!(
+                        "gap between R{} and R{} on {}: values in ({}, {}) match no rule, \
+                         so backward inference cannot characterize them",
+                        ra.id, rb.id, ra.lhs[0].attr, hi.value, lo.value
+                    ),
+                    &format!("R{}", ra.id),
+                )
+                .with_note(rb.to_string()),
+            );
+        }
+    }
+}
+
+fn cmp_lo(a: &ValueRange, b: &ValueRange) -> Ordering {
+    match (&a.lo, &b.lo) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => x.value.total_cmp(&y.value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_rules::rule::{AttrId, Clause};
+
+    fn rule(lo: i64, hi: i64, concl: &str) -> Rule {
+        Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "V"), lo, hi)],
+            Clause::equals(AttrId::new("G", "Cat"), concl),
+        )
+        .with_support(5)
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn conflicting_rules_are_ic020() {
+        let rs = RuleSet::from_rules([rule(1, 5, "A"), rule(3, 8, "B")]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC020"), "{}", r.render_text());
+        assert!(r.has_errors());
+        let d = r.diagnostics.iter().find(|d| d.code == "IC020").unwrap();
+        assert!(d.message.contains("conflicts with R2"));
+        assert_eq!(d.notes.len(), 2, "own text + the other rule");
+    }
+
+    #[test]
+    fn disjoint_premises_do_not_conflict() {
+        let rs = RuleSet::from_rules([rule(1, 5, "A"), rule(6, 9, "B")]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(!codes(&r).contains(&"IC020"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn different_premise_attributes_do_not_conflict() {
+        let a = rule(1, 5, "A");
+        let b = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "W"), 1, 5)],
+            Clause::equals(AttrId::new("G", "Cat"), "B"),
+        )
+        .with_support(5);
+        let rs = RuleSet::from_rules([a, b]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(!codes(&r).contains(&"IC020"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn subtype_labels_clash_is_ic020() {
+        let mut a = rule(1, 5, "X");
+        a.rhs_subtype = Some("SSBN".into());
+        let mut b = rule(3, 8, "X");
+        b.rhs_subtype = Some("SSN".into());
+        let rs = RuleSet::from_rules([a, b]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC020"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn subsumed_rule_is_ic021() {
+        let rs = RuleSet::from_rules([rule(0, 100, "A"), rule(10, 20, "A")]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC021"), "{}", r.render_text());
+        let d = r.diagnostics.iter().find(|d| d.code == "IC021").unwrap();
+        assert_eq!(d.origin, "R2", "the narrow rule carries the lint");
+    }
+
+    #[test]
+    fn gap_is_ic022_info_only() {
+        let rs = RuleSet::from_rules([rule(1, 5, "A"), rule(9, 12, "A")]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC022"), "{}", r.render_text());
+        assert!(!r.fails(true), "info findings never fail the run");
+    }
+
+    #[test]
+    fn low_support_is_ic023() {
+        let rs = RuleSet::from_rules([rule(1, 5, "A").with_support(1)]);
+        let r = check_rules(&rs, None, &RuleCheckConfig { min_support: 3 });
+        assert!(codes(&r).contains(&"IC023"), "{}", r.render_text());
+        let clean = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(!clean.diagnostics.iter().any(|d| d.code == "IC023"));
+    }
+
+    #[test]
+    fn unknown_catalog_reference_is_ic024() {
+        let db = Database::new();
+        let rs = RuleSet::from_rules([rule(1, 5, "A")]);
+        let r = check_rules(&rs, Some(&db), &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC024"), "{}", r.render_text());
+    }
+}

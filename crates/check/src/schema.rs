@@ -1,0 +1,764 @@
+//! Schema lints: static analysis over a parsed KER schema.
+//!
+//! Unlike [`intensio_ker::model::KerModel::from_schema`], which stops at
+//! the first resolution error, this pass walks the raw AST and reports
+//! *every* finding it can:
+//!
+//! | code | severity | finding |
+//! |---|---|---|
+//! | IC000 | error | source failed to parse |
+//! | IC001 | error | isa/contains hierarchy cycle |
+//! | IC002 | error | reference to an undefined type or domain |
+//! | IC003 | error | duplicate object type definition |
+//! | IC004 | error | duplicate attribute on one type |
+//! | IC005 | warning | attribute shadows an inherited attribute |
+//! | IC006 | error | type given two supertypes |
+//! | IC007 | error | derivation/premise unsatisfiable (empty range) |
+//! | IC008 | warning | vacuously true derivation (no clauses) |
+//! | IC009 | error | constraint references an unknown attribute |
+//! | IC010 | warning | constant not coercible to the attribute's type, or outside its domain |
+
+use crate::diag::{locate, locate_word, Diagnostic, Report, Severity};
+use intensio_ker::ast::{
+    AttrPath, AttributeDef, ClauseAst, ConsequenceAst, ConstraintAst, DomainBase, DomainSpec,
+    KerSchema, RoleDef,
+};
+use intensio_ker::coerce_value;
+use intensio_rules::range::ValueRange;
+use intensio_storage::domain::{Bound, DomainConstraint};
+use intensio_storage::value::ValueType;
+use std::collections::HashMap;
+
+const ORIGIN: &str = "schema";
+
+fn key(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+/// Resolved-enough view of one domain definition.
+struct DomainInfo {
+    base: Option<ValueType>,
+    constraints: Vec<DomainConstraint>,
+}
+
+/// Resolved-enough view of one type: its own attributes (with resolved
+/// base types where possible) and its supertype.
+#[derive(Default)]
+struct TypeInfo {
+    name: String,
+    attrs: Vec<(String, Option<ValueType>, Vec<DomainConstraint>)>,
+    parent: Option<String>,
+}
+
+struct SchemaPass<'a> {
+    src: &'a str,
+    report: Report,
+    domains: HashMap<String, DomainInfo>,
+    types: HashMap<String, TypeInfo>,
+}
+
+/// Parse `src` and run the schema lints; a parse failure is itself the
+/// single diagnostic `IC000`.
+pub fn check_schema_text(src: &str) -> Report {
+    match intensio_ker::parse(src) {
+        Ok(schema) => check_schema(&schema, src),
+        Err(e) => {
+            let mut r = Report::new();
+            r.push(Diagnostic::new(
+                "IC000",
+                Severity::Error,
+                ORIGIN,
+                format!("schema failed to parse: {e}"),
+            ));
+            r
+        }
+    }
+}
+
+/// Run the schema lints over an already-parsed schema. `src` is used
+/// only to attach spans; pass the original text when available.
+pub fn check_schema(schema: &KerSchema, src: &str) -> Report {
+    let mut pass = SchemaPass {
+        src,
+        report: Report::new(),
+        domains: HashMap::new(),
+        types: HashMap::new(),
+    };
+    pass.run(schema);
+    let mut report = pass.report;
+    report.sort();
+    report
+}
+
+impl<'a> SchemaPass<'a> {
+    fn diag(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        message: String,
+        span_token: Option<&str>,
+    ) {
+        let span =
+            span_token.and_then(|t| locate_word(self.src, t).or_else(|| locate(self.src, t)));
+        self.report
+            .push(Diagnostic::new(code, severity, ORIGIN, message).with_span(span));
+    }
+
+    fn run(&mut self, schema: &KerSchema) {
+        self.collect_domains(schema);
+        self.collect_types(schema);
+        self.link_hierarchy(schema);
+        self.check_cycles();
+        self.check_shadowing(schema);
+        self.check_derivations(schema);
+        self.check_constraint_rules(schema);
+    }
+
+    // ---- collection --------------------------------------------------
+
+    fn collect_domains(&mut self, schema: &KerSchema) {
+        for d in schema.domains() {
+            let base = match &d.base {
+                DomainBase::Standard(t) => Some(*t),
+                DomainBase::CharN(_) => Some(ValueType::Str),
+                DomainBase::Named(n) => match self.domains.get(&key(n)) {
+                    Some(b) => b.base,
+                    None => {
+                        self.diag(
+                            "IC002",
+                            Severity::Error,
+                            format!("domain {} references undefined domain {n}", d.name),
+                            Some(n),
+                        );
+                        None
+                    }
+                },
+            };
+            let mut constraints: Vec<DomainConstraint> = match &d.base {
+                DomainBase::Named(n) => self
+                    .domains
+                    .get(&key(n))
+                    .map(|b| b.constraints.clone())
+                    .unwrap_or_default(),
+                DomainBase::CharN(n) => vec![DomainConstraint::CharLen(*n)],
+                DomainBase::Standard(_) => Vec::new(),
+            };
+            if let Some(spec) = &d.spec {
+                constraints.push(spec_to_constraint(spec));
+            }
+            self.domains
+                .insert(key(&d.name), DomainInfo { base, constraints });
+        }
+    }
+
+    /// Resolve an attribute's declared domain name to a base type. A
+    /// name that is neither a domain, `char[n]`, a standard keyword, nor
+    /// an object type is an undefined reference (IC002).
+    fn attr_base(
+        &self,
+        owner: &str,
+        a: &AttributeDef,
+        type_names: &[String],
+    ) -> (Option<ValueType>, Vec<DomainConstraint>, Option<Diagnostic>) {
+        if let Some(info) = self.domains.get(&key(&a.domain)) {
+            return (info.base, info.constraints.clone(), None);
+        }
+        if let Some(n) = parse_char_n(&a.domain) {
+            return (
+                Some(ValueType::Str),
+                vec![DomainConstraint::CharLen(n)],
+                None,
+            );
+        }
+        if let Some(t) = ValueType::from_keyword(&a.domain) {
+            return (Some(t), Vec::new(), None);
+        }
+        if type_names.iter().any(|t| t.eq_ignore_ascii_case(&a.domain)) {
+            // Object-valued attribute; its storage type is the target's
+            // key domain, which we do not chase here.
+            return (None, Vec::new(), None);
+        }
+        let span = locate_word(self.src, &a.domain).or_else(|| locate_word(self.src, &a.name));
+        let d = Diagnostic::new(
+            "IC002",
+            Severity::Error,
+            ORIGIN,
+            format!(
+                "attribute {owner}.{} has undefined domain or type {}",
+                a.name, a.domain
+            ),
+        )
+        .with_span(span);
+        (None, Vec::new(), Some(d))
+    }
+
+    fn collect_types(&mut self, schema: &KerSchema) {
+        // Every name any statement introduces, for object-valued
+        // attribute resolution.
+        let mut type_names: Vec<String> = Vec::new();
+        for ot in schema.object_types() {
+            type_names.push(ot.name.clone());
+        }
+        for c in schema.contains_defs() {
+            type_names.extend(c.subtypes.iter().cloned());
+        }
+        for i in schema.isa_defs() {
+            type_names.push(i.subtype.clone());
+        }
+
+        for ot in schema.object_types() {
+            if self.types.contains_key(&key(&ot.name)) {
+                self.diag(
+                    "IC003",
+                    Severity::Error,
+                    format!("duplicate object type definition: {}", ot.name),
+                    Some(&ot.name),
+                );
+                continue;
+            }
+            let mut info = TypeInfo {
+                name: ot.name.clone(),
+                ..TypeInfo::default()
+            };
+            self.add_attrs(&mut info, &ot.attrs, &type_names);
+            self.types.insert(key(&ot.name), info);
+        }
+
+        // Hierarchy statements may introduce subtypes and supertype-level
+        // attributes.
+        for c in schema.contains_defs() {
+            for sub in &c.subtypes {
+                self.ensure_type(sub);
+            }
+            if !c.attrs.is_empty() {
+                if let Some(sup) = self.types.get_mut(&key(&c.supertype)) {
+                    let mut info = TypeInfo {
+                        name: sup.name.clone(),
+                        attrs: std::mem::take(&mut sup.attrs),
+                        parent: None,
+                    };
+                    self.add_attrs(&mut info, &c.attrs, &type_names);
+                    let slot = self.types.get_mut(&key(&c.supertype)).expect("present");
+                    slot.attrs = info.attrs;
+                }
+            }
+        }
+        for i in schema.isa_defs() {
+            self.ensure_type(&i.subtype);
+        }
+    }
+
+    fn add_attrs(&mut self, info: &mut TypeInfo, attrs: &[AttributeDef], type_names: &[String]) {
+        for a in attrs {
+            if info
+                .attrs
+                .iter()
+                .any(|(n, _, _)| n.eq_ignore_ascii_case(&a.name))
+            {
+                let owner = info.name.clone();
+                self.diag(
+                    "IC004",
+                    Severity::Error,
+                    format!("duplicate attribute {} on type {owner}", a.name),
+                    Some(&a.name),
+                );
+                continue;
+            }
+            let owner = info.name.clone();
+            let (base, constraints, diag) = self.attr_base(&owner, a, type_names);
+            if let Some(d) = diag {
+                self.report.push(d);
+            }
+            info.attrs.push((a.name.clone(), base, constraints));
+        }
+    }
+
+    fn ensure_type(&mut self, name: &str) {
+        self.types.entry(key(name)).or_insert_with(|| TypeInfo {
+            name: name.to_string(),
+            ..TypeInfo::default()
+        });
+    }
+
+    fn link_hierarchy(&mut self, schema: &KerSchema) {
+        let mut edges: Vec<(String, String)> = Vec::new();
+        for c in schema.contains_defs() {
+            if !self.types.contains_key(&key(&c.supertype)) {
+                self.diag(
+                    "IC002",
+                    Severity::Error,
+                    format!("`contains` on undefined type {}", c.supertype),
+                    Some(&c.supertype),
+                );
+                continue;
+            }
+            for sub in &c.subtypes {
+                edges.push((sub.clone(), c.supertype.clone()));
+            }
+        }
+        for i in schema.isa_defs() {
+            if !self.types.contains_key(&key(&i.supertype)) {
+                self.diag(
+                    "IC002",
+                    Severity::Error,
+                    format!("`isa` on undefined type {}", i.supertype),
+                    Some(&i.supertype),
+                );
+                continue;
+            }
+            edges.push((i.subtype.clone(), i.supertype.clone()));
+        }
+        for (child, parent) in edges {
+            let slot = self.types.get_mut(&key(&child)).expect("ensured");
+            match &slot.parent {
+                Some(p) if !p.eq_ignore_ascii_case(&parent) => {
+                    let msg = format!("type {child} has two supertypes: {p} and {parent}");
+                    self.diag("IC006", Severity::Error, msg, Some(&child));
+                }
+                _ => slot.parent = Some(parent),
+            }
+        }
+    }
+
+    fn check_cycles(&mut self) {
+        let mut reported: Vec<String> = Vec::new();
+        // Walk in sorted order: `types` is a HashMap, and letting its
+        // iteration order pick the entry point would make the reported
+        // cycle (and its span) differ from run to run.
+        let mut keys: Vec<String> = self.types.keys().cloned().collect();
+        keys.sort_unstable();
+        for start in keys {
+            if reported.contains(&start) {
+                continue;
+            }
+            let mut seen = vec![start.clone()];
+            let mut cur = start.clone();
+            while let Some(parent) = self.types.get(&cur).and_then(|t| t.parent.clone()) {
+                let pk = key(&parent);
+                if let Some(pos) = seen.iter().position(|s| *s == pk) {
+                    let cycle: Vec<String> = seen[pos..]
+                        .iter()
+                        .map(|k| self.types[k].name.clone())
+                        .collect();
+                    if !cycle.iter().any(|n| reported.contains(&key(n))) {
+                        reported.extend(cycle.iter().map(|n| key(n)));
+                        let head = cycle[0].clone();
+                        let msg = format!("type hierarchy cycle: {} -> {head}", cycle.join(" -> "));
+                        self.diag("IC001", Severity::Error, msg, Some(&head));
+                    }
+                    break;
+                }
+                seen.push(pk.clone());
+                cur = pk;
+            }
+        }
+    }
+
+    // ---- attribute resolution along the hierarchy ---------------------
+
+    /// The attribute's base type on `type_name` or any ancestor, plus
+    /// the accumulated domain constraints. `None` when the attribute is
+    /// unknown on the whole chain.
+    fn lookup_attr(
+        &self,
+        type_name: &str,
+        attr: &str,
+    ) -> Option<(Option<ValueType>, Vec<DomainConstraint>)> {
+        let mut cur = key(type_name);
+        let mut hops = 0;
+        while let Some(t) = self.types.get(&cur) {
+            if let Some((_, base, cs)) = t
+                .attrs
+                .iter()
+                .find(|(n, _, _)| n.eq_ignore_ascii_case(attr))
+            {
+                return Some((*base, cs.clone()));
+            }
+            match &t.parent {
+                Some(p) if hops < self.types.len() => {
+                    cur = key(p);
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        None
+    }
+
+    fn check_shadowing(&mut self, schema: &KerSchema) {
+        for ot in schema.object_types() {
+            let Some(parent) = self
+                .types
+                .get(&key(&ot.name))
+                .and_then(|t| t.parent.clone())
+            else {
+                continue;
+            };
+            for a in &ot.attrs {
+                if self.lookup_attr(&parent, &a.name).is_some() {
+                    self.diag(
+                        "IC005",
+                        Severity::Warn,
+                        format!(
+                            "attribute {} on {} shadows the attribute inherited from {parent}",
+                            a.name, ot.name
+                        ),
+                        Some(&a.name),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- derivations and constraint rules -----------------------------
+
+    fn check_derivations(&mut self, schema: &KerSchema) {
+        for i in schema.isa_defs() {
+            if !self.types.contains_key(&key(&i.supertype)) {
+                continue; // already IC002
+            }
+            if i.derivation.is_empty() {
+                self.diag(
+                    "IC008",
+                    Severity::Warn,
+                    format!(
+                        "derivation of {} from {} is vacuously true (no clauses): \
+                         every instance classifies into it",
+                        i.subtype, i.supertype
+                    ),
+                    Some(&i.subtype),
+                );
+                continue;
+            }
+            let clauses: Vec<(&ClauseAst, String)> = i
+                .derivation
+                .iter()
+                .map(|c| (c, i.supertype.clone()))
+                .collect();
+            self.check_clause_block(&clauses, &format!("derivation of {}", i.subtype));
+        }
+    }
+
+    fn check_constraint_rules(&mut self, schema: &KerSchema) {
+        let mut sites: Vec<(String, Vec<ConstraintAst>)> = Vec::new();
+        for ot in schema.object_types() {
+            sites.push((ot.name.clone(), ot.constraints.clone()));
+        }
+        for c in schema.contains_defs() {
+            sites.push((c.supertype.clone(), c.constraints.clone()));
+        }
+        for (owner, constraints) in sites {
+            if !self.types.contains_key(&key(&owner)) {
+                continue;
+            }
+            for c in &constraints {
+                match c {
+                    ConstraintAst::DomainRange { attr, .. } => {
+                        if self.lookup_attr(&owner, attr).is_none() {
+                            self.diag(
+                                "IC009",
+                                Severity::Error,
+                                format!(
+                                    "range constraint on {owner} references unknown attribute {attr}"
+                                ),
+                                Some(attr),
+                            );
+                        }
+                    }
+                    ConstraintAst::Rule {
+                        roles,
+                        premise,
+                        consequence,
+                    } => {
+                        let mut clauses: Vec<(&ClauseAst, String)> = Vec::new();
+                        for cl in premise {
+                            if let Some(t) = self.resolve_qualifier(&owner, roles, &cl.attr) {
+                                clauses.push((cl, t));
+                            }
+                        }
+                        if let ConsequenceAst::Clause(cl) = consequence {
+                            if let Some(t) = self.resolve_qualifier(&owner, roles, &cl.attr) {
+                                clauses.push((cl, t));
+                            }
+                        }
+                        if let ConsequenceAst::Isa { type_name, .. } = consequence {
+                            if !self.types.contains_key(&key(type_name)) {
+                                self.diag(
+                                    "IC002",
+                                    Severity::Error,
+                                    format!(
+                                        "rule on {owner} classifies into undefined type {type_name}"
+                                    ),
+                                    Some(type_name),
+                                );
+                            }
+                        }
+                        self.check_clause_block(&clauses, &format!("rule on {owner}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve the type a clause's attribute path refers to: a declared
+    /// role variable, a type name used as qualifier, or (bare) the
+    /// owning type. Unresolvable qualifiers are skipped silently — the
+    /// Appendix B role-comment convention leaves some rules partially
+    /// declared.
+    fn resolve_qualifier(&self, owner: &str, roles: &[RoleDef], attr: &AttrPath) -> Option<String> {
+        match &attr.qualifier {
+            None => Some(owner.to_string()),
+            Some(q) => {
+                if let Some(role) = roles.iter().find(|r| r.var.eq_ignore_ascii_case(q)) {
+                    return self
+                        .types
+                        .contains_key(&key(&role.type_name))
+                        .then(|| role.type_name.clone());
+                }
+                self.types.get(&key(q)).map(|t| t.name.clone())
+            }
+        }
+    }
+
+    /// Shared checks over a block of clauses already resolved to their
+    /// owning types: unknown attributes (IC009), non-coercible constants
+    /// and domain violations (IC010), and per-attribute unsatisfiability
+    /// (IC007).
+    fn check_clause_block(&mut self, clauses: &[(&ClauseAst, String)], what: &str) {
+        let mut ranges: HashMap<(String, String), ValueRange> = HashMap::new();
+        let mut contradicted = false;
+        for (cl, type_name) in clauses {
+            let Some((base, constraints)) = self.lookup_attr(type_name, &cl.attr.name) else {
+                self.diag(
+                    "IC009",
+                    Severity::Error,
+                    format!(
+                        "{what} references unknown attribute {} on {type_name}",
+                        cl.attr.name
+                    ),
+                    Some(&cl.attr.name),
+                );
+                continue;
+            };
+            let value = match base {
+                Some(ty) => match coerce_value(&cl.value, ty) {
+                    Some(v) => v,
+                    None => {
+                        self.diag(
+                            "IC010",
+                            Severity::Warn,
+                            format!(
+                                "{what}: constant {} is not coercible to {} ({})",
+                                cl.value,
+                                cl.attr.name,
+                                ty.keyword()
+                            ),
+                            Some(&cl.attr.name),
+                        );
+                        continue;
+                    }
+                },
+                None => cl.value.clone(),
+            };
+            if cl.op == intensio_storage::expr::CmpOp::Eq
+                && !constraints.is_empty()
+                && !constraints.iter().all(|c| c.admits(&value))
+            {
+                self.diag(
+                    "IC010",
+                    Severity::Warn,
+                    format!(
+                        "{what}: value {} lies outside the declared domain of {}",
+                        value, cl.attr.name
+                    ),
+                    Some(&cl.attr.name),
+                );
+            }
+            let Some(r) = ValueRange::from_cmp(cl.op, value) else {
+                continue; // `!=` has no interval form
+            };
+            let slot = (key(type_name), key(&cl.attr.name));
+            let folded = match ranges.get(&slot) {
+                None => Some(r),
+                Some(prev) => prev.intersect(&r),
+            };
+            match folded {
+                Some(f) => {
+                    ranges.insert(slot, f);
+                }
+                None if !contradicted => {
+                    contradicted = true;
+                    self.diag(
+                        "IC007",
+                        Severity::Error,
+                        format!(
+                            "{what} is unsatisfiable: clauses on {} admit no value",
+                            cl.attr.name
+                        ),
+                        Some(&cl.attr.name),
+                    );
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+fn spec_to_constraint(spec: &DomainSpec) -> DomainConstraint {
+    match spec {
+        DomainSpec::Range {
+            lo,
+            lo_inclusive,
+            hi,
+            hi_inclusive,
+        } => DomainConstraint::Range {
+            lo: lo.clone(),
+            lo_bound: if *lo_inclusive {
+                Bound::Inclusive
+            } else {
+                Bound::Exclusive
+            },
+            hi: hi.clone(),
+            hi_bound: if *hi_inclusive {
+                Bound::Inclusive
+            } else {
+                Bound::Exclusive
+            },
+        },
+        DomainSpec::Set(vs) => DomainConstraint::Set(vs.clone()),
+    }
+}
+
+fn parse_char_n(name: &str) -> Option<usize> {
+    let lower = name.to_ascii_lowercase();
+    let rest = lower.strip_prefix("char[")?;
+    let digits = rest.strip_suffix(']')?;
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"
+        object type SUBMARINE
+          has key: Id domain: char[7]
+          has: ShipType domain: char[4]
+          has: Depth domain: integer
+        SUBMARINE contains SSBN, SSN
+        SSBN isa SUBMARINE with ShipType = "SSBN"
+        SSN isa SUBMARINE with ShipType = "SSN"
+    "#;
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_schema_is_clean() {
+        let r = check_schema_text(BASE);
+        assert!(r.diagnostics.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn parse_error_is_ic000() {
+        let r = check_schema_text("object type");
+        assert_eq!(codes(&r), vec!["IC000"]);
+    }
+
+    #[test]
+    fn cycle_is_ic001() {
+        let src = format!("{BASE}\nSUBMARINE isa SSBN with Depth >= 0\n");
+        let r = check_schema_text(&src);
+        assert!(codes(&r).contains(&"IC001"), "{}", r.render_text());
+        let d = r.diagnostics.iter().find(|d| d.code == "IC001").unwrap();
+        assert!(d.span.is_some());
+    }
+
+    #[test]
+    fn undefined_supertype_is_ic002() {
+        let src = format!("{BASE}\nSSGN isa CRUISER with Depth >= 0\n");
+        let r = check_schema_text(&src);
+        assert!(codes(&r).contains(&"IC002"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn duplicate_type_and_attribute() {
+        let src = r#"
+            object type A
+              has key: Id domain: integer
+              has: Id domain: integer
+            object type A
+              has key: Id domain: integer
+        "#;
+        let r = check_schema_text(src);
+        assert!(codes(&r).contains(&"IC003"));
+        assert!(codes(&r).contains(&"IC004"));
+    }
+
+    #[test]
+    fn shadowed_attribute_is_ic005() {
+        let src = r#"
+            object type S
+              has key: Id domain: integer
+              has: Kind domain: char[4]
+            object type T
+              has: Kind domain: char[8]
+            S contains T
+            T isa S with Kind = "T"
+        "#;
+        let r = check_schema_text(src);
+        assert!(codes(&r).contains(&"IC005"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn two_supertypes_is_ic006() {
+        let src = r#"
+            object type A
+              has key: Id domain: integer
+            object type B
+              has key: Id domain: integer
+            object type C
+              has key: Id domain: integer
+            C isa A with Id >= 0
+            C isa B with Id >= 0
+        "#;
+        let r = check_schema_text(src);
+        assert!(codes(&r).contains(&"IC006"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unsatisfiable_derivation_is_ic007() {
+        let src = format!("{BASE}\nDEEP isa SUBMARINE with Depth > 100 and Depth < 50\n");
+        let r = check_schema_text(&src);
+        assert!(codes(&r).contains(&"IC007"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unknown_attr_in_derivation_is_ic009() {
+        let src = format!("{BASE}\nDEEP isa SUBMARINE with Draft > 100\n");
+        let r = check_schema_text(&src);
+        assert!(codes(&r).contains(&"IC009"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn non_coercible_constant_is_ic010() {
+        let src = format!("{BASE}\nDEEP isa SUBMARINE with Depth = \"deep\"\n");
+        let r = check_schema_text(&src);
+        assert!(codes(&r).contains(&"IC010"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn ship_schema_is_error_free() {
+        let r = check_schema_text(intensio_shipdb_src());
+        assert!(
+            !r.has_errors(),
+            "ship schema should carry no errors:\n{}",
+            r.render_text()
+        );
+    }
+
+    fn intensio_shipdb_src() -> &'static str {
+        intensio_shipdb::SHIP_SCHEMA_KER
+    }
+}

@@ -29,6 +29,7 @@
 //! assert!(answer.intensional.render().contains("SSBN"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dictionary;

@@ -7,6 +7,7 @@
 //! same source-level API (`criterion_group!`, `criterion_main!`,
 //! `bench_function`, `bench_with_input`, `iter`, `iter_batched`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -47,6 +47,7 @@
 //! fault::clear();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;

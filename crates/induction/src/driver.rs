@@ -59,6 +59,39 @@ fn record_induction_metrics(stats: &IlsStats) {
     );
 }
 
+/// Post-induction lint hook: run the rule-set pass over freshly induced
+/// rules and surface Warn-or-worse findings. The driver never blocks on
+/// findings — enforcement belongs to the serve-layer install gate —
+/// but `induction.lint_warnings`/`lint_errors` make suspect rule sets
+/// visible in metrics, and at Verbose level each finding is printed.
+fn lint_fresh_rules(rules: &RuleSet, cfg: &InductionConfig) {
+    use intensio_check::Severity;
+    let report = intensio_check::check_rules(
+        rules,
+        None,
+        &intensio_check::RuleCheckConfig {
+            min_support: cfg.min_support,
+        },
+    );
+    let warns = report.count(Severity::Warn);
+    let errors = report.count(Severity::Error);
+    if warns > 0 {
+        intensio_obs::add("induction.lint_warnings", warns as u64);
+    }
+    if errors > 0 {
+        intensio_obs::add("induction.lint_errors", errors as u64);
+    }
+    if intensio_obs::level() >= intensio_obs::Level::Verbose {
+        for d in report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Warn)
+        {
+            eprintln!("[lint] {d}");
+        }
+    }
+}
+
 /// The model-based inductive learning subsystem.
 #[derive(Debug, Clone)]
 pub struct Ils<'m> {
@@ -110,6 +143,7 @@ impl<'m> Ils<'m> {
             rules.push(rule);
         }
         record_induction_metrics(&stats);
+        lint_fresh_rules(&rules, &self.cfg);
         Ok(IlsOutput { rules, stats })
     }
 
@@ -271,6 +305,7 @@ impl<'m> Ils<'m> {
             }
         }
         record_induction_metrics(&stats);
+        lint_fresh_rules(&rules, &self.cfg);
         Ok(IlsOutput { rules, stats })
     }
 

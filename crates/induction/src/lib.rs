@@ -25,6 +25,7 @@
 //! assert!(!out.rules.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

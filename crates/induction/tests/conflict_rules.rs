@@ -1,0 +1,60 @@
+//! The conflict fixture induces a *genuinely* conflicting rule set.
+//!
+//! Pairwise induction over one relationship relation partitions the
+//! premise axis, so a single source can never contradict itself. Two
+//! relationship relations classifying the same object type from the
+//! same premise attribute can — and the `intensio-shipdb` conflict
+//! fixture is built so they do. This is the rule set the serve-path
+//! install gate and the `IC020` lint are tested against.
+
+use intensio_check::{check_rules, RuleCheckConfig, Severity};
+use intensio_induction::{Ils, InductionConfig};
+use intensio_shipdb::{conflict_database, conflict_model};
+
+#[test]
+fn conflict_fixture_induces_rules_that_clash_on_g_cat() {
+    let db = conflict_database().unwrap();
+    let model = conflict_model().unwrap();
+    let cfg = InductionConfig::default();
+    let rules = Ils::new(&model, cfg).induce(&db).unwrap().rules;
+
+    // Both relationship relations contribute a rule about G's category.
+    let about_cat: Vec<_> = rules
+        .iter()
+        .filter(|r| r.rhs.attr.matches("G", "Cat"))
+        .collect();
+    assert!(
+        about_cat
+            .iter()
+            .any(|r| r.rhs_subtype.as_deref() == Some("GA")),
+        "expected an R1-derived rule concluding GA, got {rules:?}"
+    );
+    assert!(
+        about_cat
+            .iter()
+            .any(|r| r.rhs_subtype.as_deref() == Some("GB")),
+        "expected an R2-derived rule concluding GB, got {rules:?}"
+    );
+
+    // The checker flags the overlap as an Error-level conflict.
+    let report = check_rules(
+        &rules,
+        Some(&db),
+        &RuleCheckConfig {
+            min_support: cfg.min_support,
+        },
+    );
+    assert!(
+        report.has_errors(),
+        "no errors in: {}",
+        report.render_text()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "IC020" && d.severity == Severity::Error),
+        "expected IC020, got: {}",
+        report.render_text()
+    );
+}

@@ -15,6 +15,7 @@
 //!   constraints into rules, giving the integrity-constraint-only
 //!   baseline ([MOTR89]) the paper's conclusion compares against.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answer;

@@ -30,6 +30,7 @@
 //! assert_eq!(m.classifier_of("SUBMARINE").unwrap().attribute, "ShipType");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

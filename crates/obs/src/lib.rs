@@ -36,6 +36,7 @@
 //! assert!(snap.counters["inference.rules_fired"] >= 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

@@ -14,6 +14,7 @@
 //! generated inputs via the assertion message only. Generation is
 //! deterministic per test name, so failures reproduce exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arbitrary;

@@ -28,6 +28,7 @@
 //! assert_eq!(out.relation().unwrap().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

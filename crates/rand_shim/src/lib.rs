@@ -8,6 +8,7 @@
 //! streams differ from upstream `rand`; seeded data sets are stable
 //! across runs of *this* workspace, which is all the callers rely on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level generator interface: a source of uniform `u64`s.

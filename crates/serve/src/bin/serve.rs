@@ -107,7 +107,7 @@ fn main() {
         }
     };
     println!(
-        "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | EXPLAIN <q> | STATS | QUIT",
+        "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | EXPLAIN <q> | CHECK [q] | STATS | QUIT",
         server.local_addr(),
         workers
     );

@@ -27,6 +27,11 @@ pub struct AnswerCache {
     /// Recency index: tick -> key. Ticks are unique, so the first entry
     /// is always the least recently used.
     order: BTreeMap<u64, CacheKey>,
+    /// Highest epoch whose rule set the checker rejected. Answers at or
+    /// below this epoch were inferred from knowledge now known to be
+    /// unsound, so they must never be served — not even through the
+    /// degraded [`AnswerCache::get_stale`] path.
+    rejected_floor: Option<u64>,
 }
 
 impl AnswerCache {
@@ -37,7 +42,24 @@ impl AnswerCache {
             tick: 0,
             entries: HashMap::new(),
             order: BTreeMap::new(),
+            rejected_floor: None,
         }
+    }
+
+    fn rejected(&self, epoch: u64) -> bool {
+        self.rejected_floor.is_some_and(|floor| epoch <= floor)
+    }
+
+    /// Mark every epoch up to and including `epoch` as rejected: purge
+    /// their cached answers and refuse future lookups and inserts at
+    /// those epochs. Called when static analysis finds Error-level
+    /// defects in the rule set those answers were inferred from.
+    pub fn reject_through(&mut self, epoch: u64) {
+        let floor = self.rejected_floor.map_or(epoch, |f| f.max(epoch));
+        self.rejected_floor = Some(floor);
+        self.entries.retain(|k, _| k.1 > floor);
+        let entries = &self.entries;
+        self.order.retain(|_, k| entries.contains_key(k));
     }
 
     fn next_tick(&mut self) -> u64 {
@@ -45,8 +67,12 @@ impl AnswerCache {
         self.tick
     }
 
-    /// Look up an answer, refreshing its recency on a hit.
+    /// Look up an answer, refreshing its recency on a hit. Rejected
+    /// epochs never hit.
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<IntensionalAnswer>> {
+        if self.rejected(key.1) {
+            return None;
+        }
         let tick = self.next_tick();
         let (slot, answer) = match self.entries.get_mut(key) {
             Some((slot, answer)) => (slot, answer.clone()),
@@ -59,17 +85,23 @@ impl AnswerCache {
     }
 
     /// Insert (or refresh) an answer, evicting the least recently used
-    /// entries beyond capacity.
+    /// entries beyond capacity. Inserts at rejected epochs are dropped.
     pub fn insert(&mut self, key: CacheKey, answer: Arc<IntensionalAnswer>) {
+        if self.rejected(key.1) {
+            return;
+        }
         let tick = self.next_tick();
         if let Some((old, _)) = self.entries.insert(key.clone(), (tick, answer)) {
             self.order.remove(&old);
         }
         self.order.insert(tick, key);
         while self.entries.len() > self.capacity {
-            let (&oldest, _) = self.order.iter().next().expect("order tracks entries");
-            let key = self.order.remove(&oldest).expect("just observed");
-            self.entries.remove(&key);
+            match self.order.pop_first() {
+                Some((_, key)) => {
+                    self.entries.remove(&key);
+                }
+                None => break,
+            }
         }
     }
 
@@ -97,10 +129,12 @@ impl AnswerCache {
     /// path: the answer described an earlier knowledge state, so the
     /// caller must flag the reply accordingly.
     pub fn get_stale(&mut self, fingerprint: &str, epoch: u64) -> Option<Arc<IntensionalAnswer>> {
+        let floor = self.rejected_floor;
         let best = self
             .entries
             .keys()
             .filter(|k| k.0 == fingerprint && k.1 < epoch)
+            .filter(|k| floor.is_none_or(|f| k.1 > f))
             .map(|k| k.1)
             .max()?;
         self.get(&(fingerprint.to_string(), best))
@@ -176,6 +210,36 @@ mod tests {
         assert_eq!(c.len(), 2, "epoch 1 is outside the window");
         assert!(c.get(&key("q", 3)).is_some());
         assert!(c.get(&key("q", 4)).is_some());
+    }
+
+    #[test]
+    fn reject_through_purges_and_blocks_rejected_epochs() {
+        let mut c = AnswerCache::new(8);
+        c.insert(key("q", 1), answer("e1"));
+        c.insert(key("q", 2), answer("e2"));
+        c.insert(key("q", 3), answer("e3"));
+        c.reject_through(2);
+        assert_eq!(c.len(), 1, "epochs 1 and 2 purged");
+        assert!(c.get(&key("q", 2)).is_none(), "rejected epoch never hits");
+        assert!(c.get(&key("q", 3)).is_some(), "later epoch unaffected");
+        c.insert(key("q", 2), answer("resurrect"));
+        assert_eq!(c.len(), 1, "insert at a rejected epoch is dropped");
+        // The floor is monotonic: a lower rejection cannot re-admit.
+        c.reject_through(1);
+        assert!(c.get(&key("q", 2)).is_none());
+    }
+
+    #[test]
+    fn get_stale_skips_rejected_epochs() {
+        let mut c = AnswerCache::new(8);
+        c.insert(key("q", 1), answer("e1"));
+        c.insert(key("q", 3), answer("e3"));
+        assert!(c.get_stale("q", 5).is_some());
+        c.reject_through(3);
+        assert!(
+            c.get_stale("q", 5).is_none(),
+            "no degraded serving from rejected knowledge"
+        );
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   the intensional side (stale cache → extensional-only, always
 //!   flagged `degraded`), supervised worker restarts, and self-healing
 //!   background induction with capped, jittered retry backoff.
+//! * **A static-analysis gate** ([`service`] + [`intensio_check`]):
+//!   every induced rule set is linted before install; Error-level
+//!   findings (conflicting rules, IC020) reject the set
+//!   (`rulesets_rejected` in `STATS`). The `CHECK` protocol verb lints
+//!   the live rule set — retroactively purging cached answers inferred
+//!   from rejected knowledge — or lints a query without executing it.
 //!
 //! ```
 //! use intensio_serve::{Reply, Request, Service, ServiceConfig};
@@ -39,7 +45,12 @@
 //! assert!(again.query().unwrap().cached, "same conditions: cache hit");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The serve path must degrade, not die: panicking escape hatches are
+// lint-visible so every one needs an explicit, justified exemption.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod json;
@@ -52,6 +63,7 @@ pub use cache::AnswerCache;
 pub use protocol::{encode_reply, escape_script, parse_request, WireRequest};
 pub use server::{Client, Server};
 pub use service::{
-    QueryReply, Reply, Request, ServeError, Service, ServiceConfig, Soundness, StatsReply,
+    CheckReply, QueryReply, Reply, Request, ServeError, Service, ServiceConfig, Soundness,
+    StatsReply,
 };
 pub use snapshot::Snapshot;

@@ -71,10 +71,13 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         "SQL" | "QUEL" | "EXPLAIN" => Err(format!("{verb} requires a query argument")),
         "STATS" => Ok(WireRequest::Execute(Request::Stats)),
         "FAULT" => Ok(WireRequest::Execute(Request::Fault(rest.to_string()))),
+        "CHECK" => Ok(WireRequest::Execute(Request::Check(unescape_script(rest)))),
         "QUIT" => Ok(WireRequest::Quit),
-        "" => Err("empty request; expected SQL, QUEL, EXPLAIN, STATS, FAULT, or QUIT".to_string()),
+        "" => Err(
+            "empty request; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, or QUIT".to_string(),
+        ),
         other => Err(format!(
-            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, STATS, FAULT, or QUIT"
+            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, or QUIT"
         )),
     }
 }
@@ -161,6 +164,18 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .str_array("intensional", &intensional)
                 .opt_str("headline", e.headline.as_deref());
         }
+        Reply::Check(c) => {
+            use intensio_check::Severity;
+            w.bool("ok", true)
+                .str("kind", "check")
+                .num("epoch", c.epoch)
+                .bool("rules_fresh", c.rules_fresh)
+                .bool("rejected", c.rejected)
+                .num("errors", c.report.count(Severity::Error) as u64)
+                .num("warnings", c.report.count(Severity::Warn) as u64)
+                .num("infos", c.report.count(Severity::Info) as u64)
+                .raw("diagnostics", &c.report.render_json());
+        }
         Reply::Stats(s) => {
             w.bool("ok", true)
                 .str("kind", "stats")
@@ -178,6 +193,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("requests_shed", s.requests_shed)
                 .num("worker_restarts", s.worker_restarts)
                 .num("induction_retries", s.induction_retries)
+                .num("rulesets_rejected", s.rulesets_rejected)
                 .num("degraded_answers", s.degraded_answers)
                 .num("workers", s.workers)
                 .raw("metrics", &s.metrics.to_json());
@@ -281,6 +297,16 @@ mod tests {
             parse_request("fault"),
             Ok(WireRequest::Execute(Request::Fault(String::new())))
         );
+        assert_eq!(
+            parse_request("CHECK"),
+            Ok(WireRequest::Execute(Request::Check(String::new())))
+        );
+        assert_eq!(
+            parse_request("check SELECT 1 FROM T"),
+            Ok(WireRequest::Execute(Request::Check(
+                "SELECT 1 FROM T".into()
+            )))
+        );
         assert_eq!(parse_request("QUIT"), Ok(WireRequest::Quit));
         assert!(parse_request("SQL").is_err());
         assert!(parse_request("EXPLAIN").is_err());
@@ -315,6 +341,7 @@ mod tests {
             requests_shed: 5,
             worker_restarts: 1,
             induction_retries: 3,
+            rulesets_rejected: 1,
             degraded_answers: 2,
             workers: 4,
             metrics: reg.snapshot(),
@@ -323,6 +350,7 @@ mod tests {
         assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
         assert_eq!(v.get("cache_capacity").unwrap().as_u64(), Some(128));
         assert_eq!(v.get("requests_shed").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("rulesets_rejected").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("worker_restarts").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("induction_retries").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("degraded_answers").unwrap().as_u64(), Some(2));
@@ -406,6 +434,45 @@ mod tests {
             prov[0].get("conclusion").unwrap().as_str(),
             Some("CLASS.Type = \"SSBN\"")
         );
+    }
+
+    #[test]
+    fn check_reply_encodes_severity_counts_and_diagnostics() {
+        use intensio_check::{Diagnostic, Report, Severity};
+        let mut report = Report::new();
+        report.push(
+            Diagnostic::new(
+                "IC020",
+                Severity::Error,
+                "R5",
+                "conflicts with R24: premises overlap",
+            )
+            .with_note("R24: if ... then ..."),
+        );
+        report.push(Diagnostic::new(
+            "IC022",
+            Severity::Info,
+            "rules",
+            "gap between rules",
+        ));
+        let line = encode_reply(&Reply::Check(crate::service::CheckReply {
+            epoch: 7,
+            rules_fresh: true,
+            rejected: true,
+            report,
+        }));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("check"));
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("rejected").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("warnings").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("infos").unwrap().as_u64(), Some(1));
+        let diags = v.get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].get("code").unwrap().as_str(), Some("IC020"));
+        assert_eq!(diags[0].get("severity").unwrap().as_str(), Some("error"));
+        assert_eq!(diags[0].get("origin").unwrap().as_str(), Some("R5"));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 use crate::cache::AnswerCache;
 use crate::snapshot::Snapshot;
+use intensio_check::{check_rules, Report, RuleCheckConfig};
 use intensio_core::DataDictionary;
 use intensio_induction::{Ils, InductionConfig};
 use intensio_inference::{
@@ -91,6 +92,12 @@ pub struct ServiceConfig {
     pub induction_backoff: std::time::Duration,
     /// Upper bound on the re-induction retry delay.
     pub induction_backoff_cap: std::time::Duration,
+    /// Run [`intensio_check::check_rules`] over every induced rule set
+    /// before installing it, and refuse installs with Error-level
+    /// findings (counted in `rulesets_rejected`). The gate also backs
+    /// the `CHECK` protocol verb's ability to retroactively reject the
+    /// live rule set's cached answers.
+    pub check_rulesets: bool,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +117,7 @@ impl Default for ServiceConfig {
             stale_epochs: 2,
             induction_backoff: std::time::Duration::from_millis(50),
             induction_backoff_cap: std::time::Duration::from_secs(2),
+            check_rulesets: true,
         }
     }
 }
@@ -129,6 +137,11 @@ pub enum Request {
     Explain(String),
     /// Failpoint administration: `LIST`, `SET name=spec[;...]`, `CLEAR`.
     Fault(String),
+    /// Static analysis. An empty argument lints the live rule set
+    /// (rejecting its cached answers on Error-level findings); a
+    /// non-empty argument is a SQL query (or `QUEL <script>`) to lint
+    /// against the live catalog and rules without executing it.
+    Check(String),
 }
 
 impl Request {
@@ -140,6 +153,7 @@ impl Request {
             Request::Stats => "stats",
             Request::Explain(_) => "explain",
             Request::Fault(_) => "fault",
+            Request::Check(_) => "check",
         }
     }
 }
@@ -232,6 +246,21 @@ pub struct ExplainReply {
     pub headline: Option<String>,
 }
 
+/// The outcome of one `CHECK` request.
+#[derive(Debug, Clone)]
+pub struct CheckReply {
+    /// Epoch of the snapshot that was analyzed.
+    pub epoch: u64,
+    /// Whether the snapshot's rules matched its data version.
+    pub rules_fresh: bool,
+    /// Whether this check rejected the live rule set: Error-level
+    /// findings against the installed rules purge their epochs from the
+    /// answer cache and bump `rulesets_rejected`.
+    pub rejected: bool,
+    /// The diagnostics, sorted most severe first.
+    pub report: Report,
+}
+
 /// A point-in-time view of service counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReply {
@@ -263,6 +292,9 @@ pub struct StatsReply {
     pub worker_restarts: u64,
     /// Background re-inductions retried after a failure.
     pub induction_retries: u64,
+    /// Induced rule sets the static-analysis gate refused to install
+    /// (plus live rule sets rejected by a `CHECK` request).
+    pub rulesets_rejected: u64,
     /// Replies served with a degraded intensional side.
     pub degraded_answers: u64,
     /// Worker threads.
@@ -281,6 +313,8 @@ pub enum Reply {
     Stats(StatsReply),
     /// Answer provenance.
     Explain(ExplainReply),
+    /// Static-analysis results.
+    Check(CheckReply),
     /// The request was shed at admission: the queue is full. The client
     /// should back off and retry; nothing was executed.
     Busy,
@@ -310,6 +344,14 @@ impl Reply {
     pub fn explain(&self) -> Option<&ExplainReply> {
         match self {
             Reply::Explain(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The check payload, if this is a check reply.
+    pub fn check(&self) -> Option<&CheckReply> {
+        match self {
+            Reply::Check(c) => Some(c),
             _ => None,
         }
     }
@@ -346,6 +388,7 @@ struct Counters {
     shed: AtomicU64,
     worker_restarts: AtomicU64,
     induction_retries: AtomicU64,
+    rulesets_rejected: AtomicU64,
     degraded: AtomicU64,
 }
 
@@ -402,6 +445,29 @@ impl Shared {
         flags.dirty = true;
         self.induce_wake.notify_all();
     }
+
+    fn note_ruleset_rejected(&self) {
+        self.counters
+            .rulesets_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        intensio_obs::inc("serve.rulesets_rejected");
+    }
+}
+
+/// Lint a candidate rule set against the data it was induced from,
+/// using the induction threshold as the support floor. Error-level
+/// findings (e.g. IC020 conflicting rules) make the set uninstallable.
+fn lint_rule_set(
+    cfg: &ServiceConfig,
+    rules: &intensio_rules::rule::RuleSet,
+    db: &Database,
+) -> Report {
+    let check_cfg = RuleCheckConfig {
+        min_support: cfg.induction.min_support,
+    };
+    let mut report = check_rules(rules, Some(db), &check_cfg);
+    report.sort();
+    report
 }
 
 struct Job {
@@ -438,13 +504,22 @@ impl Service {
     ) -> Result<Service, ServeError> {
         let mut dictionary = DataDictionary::new(model);
         let mut rules_fresh = false;
+        let mut rejected_on_open = false;
         if cfg.learn_on_open {
             let ils = Ils::new(dictionary.model(), cfg.induction);
             let out = ils
                 .induce_parallel(&db, cfg.induction_threads)
                 .map_err(|e| ServeError(format!("initial induction failed: {e}")))?;
-            dictionary.set_rules(out.rules);
-            rules_fresh = true;
+            if cfg.check_rulesets && lint_rule_set(&cfg, &out.rules, &db).has_errors() {
+                // Serve without intensional rules rather than with
+                // provably unsound ones; the dictionary keeps its empty
+                // rule set and the background inducer stays quiet until
+                // the data changes.
+                rejected_on_open = true;
+            } else {
+                dictionary.set_rules(out.rules);
+                rules_fresh = true;
+            }
         }
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
@@ -458,6 +533,9 @@ impl Service {
             queue_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
+        if rejected_on_open {
+            shared.note_ruleset_rejected();
+        }
 
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -697,7 +775,53 @@ fn execute(shared: &Shared, request: &Request, deadline: Option<std::time::Insta
         Request::Stats => Reply::Stats(stats_reply(shared)),
         Request::Explain(sql) => exec_explain(shared, sql, deadline),
         Request::Fault(cmd) => exec_fault(cmd),
+        Request::Check(arg) => exec_check(shared, arg),
     }
+}
+
+/// `CHECK`: static analysis against the pinned snapshot.
+///
+/// * No argument — lint the live rule set. Error-level findings mean
+///   every answer inferred from these rules is suspect: the cache drops
+///   all epochs up to the snapshot's, `rulesets_rejected` is bumped,
+///   and the reply carries `rejected = true`.
+/// * `CHECK <sql>` / `CHECK QUEL <script>` — lint a query against the
+///   live catalog and rules without executing it (IC040–IC045,
+///   including provably-empty conditions with the refuting rule as
+///   provenance).
+fn exec_check(shared: &Shared, arg: &str) -> Reply {
+    let snap = shared.snapshot();
+    let arg = arg.trim();
+    let mut rejected = false;
+    let report = if arg.is_empty() {
+        let report = lint_rule_set(&shared.cfg, snap.dictionary.rules(), &snap.db);
+        if report.has_errors() {
+            shared
+                .cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .reject_through(snap.epoch);
+            shared.note_ruleset_rejected();
+            rejected = true;
+        }
+        report
+    } else {
+        let mut report = match arg.split_once(char::is_whitespace) {
+            Some((verb, script)) if verb.eq_ignore_ascii_case("quel") => {
+                intensio_check::check_quel(script.trim(), &snap.db, snap.dictionary.rules())
+            }
+            _ => intensio_check::check_sql(arg, &snap.db, snap.dictionary.rules()),
+        };
+        report.sort();
+        report
+    };
+    intensio_obs::inc("serve.checks");
+    Reply::Check(CheckReply {
+        epoch: snap.epoch,
+        rules_fresh: snap.rules_fresh,
+        rejected,
+        report,
+    })
 }
 
 /// `FAULT LIST` / `FAULT SET name=spec[;...]` / `FAULT CLEAR`: runtime
@@ -759,6 +883,7 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         requests_shed: c.shed.load(Ordering::Relaxed),
         worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
         induction_retries: c.induction_retries.load(Ordering::Relaxed),
+        rulesets_rejected: c.rulesets_rejected.load(Ordering::Relaxed),
         degraded_answers: c.degraded.load(Ordering::Relaxed),
         workers: shared.cfg.workers.max(1) as u64,
         metrics: intensio_obs::metrics().snapshot(),
@@ -1055,6 +1180,11 @@ enum Induce {
     Raced,
     /// Induction failed (e.g. an injected fault); retry with backoff.
     Failed,
+    /// The static-analysis gate found Error-level defects in the
+    /// induced rules. Deterministic — re-inducing the same data yields
+    /// the same rejection — so there is no retry; the service keeps its
+    /// previous rules until the data changes again.
+    Rejected,
 }
 
 fn induce_once(shared: &Shared) -> Induce {
@@ -1067,6 +1197,10 @@ fn induce_once(shared: &Shared) -> Induce {
         Ok(out) => out.rules,
         Err(_) => return Induce::Failed,
     };
+    if shared.cfg.check_rulesets && lint_rule_set(&shared.cfg, &rules, &snap.db).has_errors() {
+        shared.note_ruleset_rejected();
+        return Induce::Rejected;
+    }
 
     let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
     let current = shared.snapshot();
@@ -1126,7 +1260,9 @@ fn inducer_loop(shared: &Shared) {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| induce_once(shared)));
         match outcome {
-            Ok(Induce::Idle) | Ok(Induce::Installed) => attempt = 0,
+            // Rejection is deterministic: retrying against unchanged
+            // data cannot succeed, so wait for the next write instead.
+            Ok(Induce::Idle) | Ok(Induce::Installed) | Ok(Induce::Rejected) => attempt = 0,
             Ok(Induce::Raced) => {
                 // Go around and learn against the newer data.
                 attempt = 0;

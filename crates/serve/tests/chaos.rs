@@ -113,7 +113,7 @@ fn randomized_faults_never_produce_wrong_answers_and_recovery_follows() {
                     // Explicit failure modes are the contract working.
                     Reply::Error { .. } | Reply::Busy => {}
                     Reply::Stats(_) => {}
-                    Reply::Explain(_) | Reply::Fault { .. } => unreachable!(),
+                    Reply::Explain(_) | Reply::Fault { .. } | Reply::Check(_) => unreachable!(),
                 }
             }
         }));
@@ -263,6 +263,27 @@ fn failed_inference_falls_back_to_stale_cached_answer() {
         other => panic!("expected degraded stale reply, got {other:?}"),
     }
     assert!(service.stats().degraded_answers >= 1);
+}
+
+#[test]
+fn rejected_rule_sets_show_up_in_the_metrics_snapshot() {
+    let _gate = fault_gate();
+    // The conflict fixture's induced rules clash (IC020); the install
+    // gate rejects them at open without taking the service down.
+    let db = intensio_shipdb::conflict_database().unwrap();
+    let model = intensio_shipdb::conflict_model().unwrap();
+    let service = Service::with_config(db, model, ServiceConfig::default()).unwrap();
+
+    let stats = service.stats();
+    assert_eq!(stats.rulesets_rejected, 1);
+    assert!(!stats.rules_fresh);
+    // CI greps `serve.rulesets_rejected` out of this snapshot line.
+    println!("chaos metrics snapshot: {}", stats.metrics.to_json());
+
+    match service.submit(Request::Sql("SELECT Gid FROM G".to_string())) {
+        Reply::Query(q) => assert_eq!(q.rows.len(), 2),
+        other => panic!("extensional query failed: {other:?}"),
+    }
 }
 
 #[test]

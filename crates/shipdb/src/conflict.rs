@@ -1,0 +1,126 @@
+//! A deliberately pathological test bed whose *organically induced*
+//! rule set conflicts.
+//!
+//! Pairwise induction over a single relationship relation can never
+//! contradict itself — the runs for one `(X, Y)` pair partition the
+//! premise axis. But two relationship relations that classify the same
+//! object type from the same premise attribute can disagree, and here
+//! they do by construction:
+//!
+//! * `R1` maps entities with `V ∈ [1, 5]` to group `G00A` (`Cat = "A"`),
+//! * `R2` maps entities with `V ∈ [3, 8]` to group `G00B` (`Cat = "B"`).
+//!
+//! Both runs clear the default support threshold, their premise ranges
+//! overlap on `[3, 5]`, and their conclusions about `G.Cat` clash —
+//! exactly the shape the `IC020` conflicting-rules lint exists to
+//! catch, and the fixture the serve-path install gate is tested with.
+
+use intensio_ker::model::{KerModel, ModelError};
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::error::Result;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple;
+use intensio_storage::value::ValueType;
+
+/// KER schema for the conflicting-induction test bed.
+pub const CONFLICT_SCHEMA_KER: &str = r#"
+object type G
+  has key: Gid domain: CHAR[4]
+  has:     Cat domain: CHAR[1]
+
+G contains GA, GB
+
+GA isa G with Cat = "A"
+GB isa G with Cat = "B"
+
+object type E
+  has key: Eid domain: CHAR[4]
+  has:     V   domain: INTEGER
+
+object type R1
+  has key: Er domain: E
+  has:     Gr domain: G
+
+object type R2
+  has key: Er domain: E
+  has:     Gr domain: G
+"#;
+
+/// Parses [`CONFLICT_SCHEMA_KER`] into a model.
+pub fn conflict_model() -> std::result::Result<KerModel, ModelError> {
+    KerModel::parse(CONFLICT_SCHEMA_KER)
+}
+
+/// Builds the instance whose induced `R1`/`R2` rules conflict.
+pub fn conflict_database() -> Result<Database> {
+    let mut db = Database::new();
+
+    let g_schema = Schema::new(vec![
+        Attribute::key("Gid", Domain::char_n(4)),
+        Attribute::new("Cat", Domain::char_n(1)),
+    ])
+    .expect("static schema");
+    let mut g = Relation::new("G", g_schema);
+    g.insert(tuple!["G00A", "A"])?;
+    g.insert(tuple!["G00B", "B"])?;
+    db.create(g)?;
+
+    let e_schema = Schema::new(vec![
+        Attribute::key("Eid", Domain::char_n(4)),
+        Attribute::new("V", Domain::basic(ValueType::Int)),
+    ])
+    .expect("static schema");
+    let mut e = Relation::new("E", e_schema);
+    for v in 1..=8i64 {
+        e.insert(tuple![format!("E{v:03}"), v])?;
+    }
+    db.create(e)?;
+
+    let rel_schema = |name: &str| {
+        let schema = Schema::new(vec![
+            Attribute::key("Er", Domain::char_n(4)),
+            Attribute::new("Gr", Domain::char_n(4)),
+        ])
+        .expect("static schema");
+        Relation::new(name, schema)
+    };
+
+    // R1: V ∈ [1, 5] → "A" (support 5).
+    let mut r1 = rel_schema("R1");
+    for v in 1..=5i64 {
+        r1.insert(tuple![format!("E{v:03}"), "G00A"])?;
+    }
+    db.create(r1)?;
+
+    // R2: V ∈ [3, 8] → "B" (support 6, overlapping R1 on [3, 5]).
+    let mut r2 = rel_schema("R2");
+    for v in 3..=8i64 {
+        r2.insert(tuple![format!("E{v:03}"), "G00B"])?;
+    }
+    db.create(r2)?;
+
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_schema_parses() {
+        let model = conflict_model().unwrap();
+        assert!(model.is_subtype_of("GA", "G"));
+        assert!(model.is_subtype_of("GB", "G"));
+    }
+
+    #[test]
+    fn conflict_database_builds() {
+        let db = conflict_database().unwrap();
+        assert_eq!(db.get("G").unwrap().len(), 2);
+        assert_eq!(db.get("E").unwrap().len(), 8);
+        assert_eq!(db.get("R1").unwrap().len(), 5);
+        assert_eq!(db.get("R2").unwrap().len(), 6);
+    }
+}

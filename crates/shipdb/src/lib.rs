@@ -13,14 +13,17 @@
 //! assert!(model.is_subtype_of("C0101", "SSBN"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod battleships;
+pub mod conflict;
 pub mod data;
 pub mod schema;
 pub mod synthetic;
 pub mod visit;
 
+pub use conflict::{conflict_database, conflict_model, CONFLICT_SCHEMA_KER};
 pub use data::ship_database;
 pub use schema::{ship_model, SHIP_SCHEMA_KER};
 pub use synthetic::{generate, Fleet, FleetConfig};

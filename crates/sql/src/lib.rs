@@ -31,6 +31,7 @@
 //! assert_eq!(r.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;

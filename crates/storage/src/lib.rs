@@ -28,6 +28,7 @@
 //! assert_eq!(heavy.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

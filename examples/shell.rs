@@ -32,6 +32,9 @@ commands:
   \\explain SELECT ...     show the answer's provenance: which induced
                           rules fired, their supports, and the
                           inference direction (forward/backward)
+  .check [SELECT ...]     static analysis: lint the schema and induced
+                          rules (no argument), or lint a query against
+                          them without executing it
   .tables                 list relations
   .schema REL             show a relation's schema
   .show REL               print a relation's contents
@@ -75,6 +78,8 @@ impl Shell {
                     )
                 })
                 .map_err(|e| e.to_string())
+        } else if line == ".check" || line.starts_with(".check ") {
+            Ok(self.run_check(line.strip_prefix(".check").unwrap_or("").trim()))
         } else if line == ".rules" {
             Ok(self.iqp.dictionary().rules().to_string())
         } else if line == ".dict" {
@@ -160,6 +165,28 @@ impl Shell {
         }
         true
     }
+
+    /// `.check`: run the static analyzer against the live state — the
+    /// ship schema plus the current rule set, or (with an argument) a
+    /// query against the current catalog and rules.
+    fn run_check(&self, arg: &str) -> String {
+        use intensio::check;
+        let mut report = if arg.is_empty() {
+            let mut r = check::check_schema_text(intensio::shipdb::SHIP_SCHEMA_KER);
+            r.merge(check::check_rules(
+                self.iqp.dictionary().rules(),
+                Some(self.iqp.db()),
+                &check::RuleCheckConfig::default(),
+            ));
+            r
+        } else if arg.to_ascii_lowercase().starts_with("select") {
+            check::check_sql(arg, self.iqp.db(), self.iqp.dictionary().rules())
+        } else {
+            check::check_quel(arg, self.iqp.db(), self.iqp.dictionary().rules())
+        };
+        report.sort();
+        report.render_text().trim_end().to_string()
+    }
 }
 
 /// Render an answer's provenance for the shell's `\explain` command:
@@ -229,10 +256,19 @@ impl RemoteShell {
         if let Some(rest) = line.strip_prefix(".fault ") {
             return Ok(Some(format!("FAULT {}", rest.trim())));
         }
+        if line == ".check" {
+            return Ok(Some("CHECK".to_string()));
+        }
+        if let Some(rest) = line.strip_prefix(".check ") {
+            return Ok(Some(format!(
+                "CHECK {}",
+                intensio::serve::escape_script(rest.trim())
+            )));
+        }
         if line == ".help" {
             return Err(
                 "remote commands: SELECT ..., QUEL statements, \\explain SELECT ..., .stats, \
-                 .fault [list | set name=spec[;...] | clear], .quit"
+                 .check [query], .fault [list | set name=spec[;...] | clear], .quit"
                     .to_string(),
             );
         }
@@ -297,12 +333,50 @@ impl RemoteShell {
                     n("errors"),
                 ) + &format!(
                     "\nresilience: {} shed, {} worker restarts, {} induction retries, \
-                     {} degraded answers",
+                     {} rule sets rejected, {} degraded answers",
                     n("requests_shed"),
                     n("worker_restarts"),
                     n("induction_retries"),
+                    n("rulesets_rejected"),
                     n("degraded_answers"),
                 )
+            }
+            Some("check") => {
+                let n = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let mut out = String::new();
+                let diags = v.get("diagnostics").and_then(Json::as_array).unwrap_or(&[]);
+                for d in diags {
+                    let s = |key: &str| d.get(key).and_then(Json::as_str).unwrap_or("?");
+                    out.push_str(&format!(
+                        "{} {} [{}]: {}\n",
+                        s("code"),
+                        s("severity"),
+                        s("origin"),
+                        s("message"),
+                    ));
+                    for note in d
+                        .get("notes")
+                        .and_then(Json::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(Json::as_str)
+                    {
+                        out.push_str(&format!("  note: {note}\n"));
+                    }
+                }
+                out.push_str(&format!(
+                    "check: {} error(s), {} warning(s), {} info [epoch {}{}]",
+                    n("errors"),
+                    n("warnings"),
+                    n("infos"),
+                    n("epoch"),
+                    if v.get("rejected").and_then(Json::as_bool) == Some(true) {
+                        ", RULE SET REJECTED"
+                    } else {
+                        ""
+                    },
+                ));
+                out
             }
             Some("fault") => {
                 let points = v.get("failpoints").and_then(Json::as_array).unwrap_or(&[]);

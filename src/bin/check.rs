@@ -1,0 +1,212 @@
+//! `check` — the intensio static analyzer, wired for CI.
+//!
+//! ```text
+//! check [OPTIONS] [SCHEMA.ker ...]
+//!
+//!   --shipdb            check the built-in Appendix B/C ship database:
+//!                       schema lints + rule lints over a freshly
+//!                       induced rule set
+//!   --sql QUERY         check one SQL query (against --shipdb state)
+//!   --quel SCRIPT       check one QUEL script (against --shipdb state)
+//!   --mutate NAME       apply a seeded mutation before checking:
+//!                       isa-cycle | rule-conflict | empty-query
+//!   --nc N              support threshold for the rule lints
+//!                       (default: the induction default)
+//!   --json              machine-readable output
+//!   --deny-warnings     exit nonzero on warnings too
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any Error (or, with
+//! `--deny-warnings`, any Warn) was found, 2 on usage or I/O errors.
+
+use intensio::check::{self, Report, RuleCheckConfig};
+use intensio::induction::{Ils, InductionConfig};
+use intensio::rules::rule::{AttrId, Clause, Rule};
+use std::process::ExitCode;
+
+struct Opts {
+    files: Vec<String>,
+    shipdb: bool,
+    sql: Vec<String>,
+    quel: Vec<String>,
+    mutate: Option<String>,
+    nc: Option<usize>,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: check [--shipdb] [--sql QUERY] [--quel SCRIPT] \
+         [--mutate isa-cycle|rule-conflict|empty-query] [--nc N] \
+         [--json] [--deny-warnings] [SCHEMA.ker ...]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut opts = Opts {
+        files: Vec::new(),
+        shipdb: false,
+        sql: Vec::new(),
+        quel: Vec::new(),
+        mutate: None,
+        nc: None,
+        json: false,
+        deny_warnings: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shipdb" => opts.shipdb = true,
+            "--sql" => opts.sql.push(args.next().ok_or_else(usage)?),
+            "--quel" => opts.quel.push(args.next().ok_or_else(usage)?),
+            "--mutate" => opts.mutate = Some(args.next().ok_or_else(usage)?),
+            "--nc" => {
+                let n = args.next().ok_or_else(usage)?;
+                opts.nc = Some(n.parse().map_err(|_| usage())?);
+            }
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => return Err(usage()),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if !opts.shipdb
+        && opts.files.is_empty()
+        && opts.sql.is_empty()
+        && opts.quel.is_empty()
+        && opts.mutate.is_none()
+    {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let mutate = opts.mutate.as_deref();
+    match mutate {
+        None | Some("isa-cycle") | Some("rule-conflict") | Some("empty-query") => {}
+        Some(other) => {
+            eprintln!("check: unknown mutation {other}");
+            return usage();
+        }
+    }
+
+    let mut report = Report::new();
+
+    // Standalone schema files.
+    for f in &opts.files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => {
+                let mut r = check::check_schema_text(&src);
+                for d in &mut r.diagnostics {
+                    d.origin = f.to_string();
+                }
+                report.merge(r);
+            }
+            Err(e) => {
+                eprintln!("check: cannot read {f}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // The built-in test bed, optionally mutated.
+    let needs_shipdb =
+        opts.shipdb || mutate.is_some() || !opts.sql.is_empty() || !opts.quel.is_empty();
+    if needs_shipdb {
+        let mut schema_src = intensio::shipdb::SHIP_SCHEMA_KER.to_string();
+        if mutate == Some("isa-cycle") {
+            // SSBN already derives from CLASS; closing the loop the other
+            // way creates CLASS -> SSBN -> CLASS.
+            schema_src.push_str("\nCLASS isa SSBN with Type = \"SSBN\"\n");
+        }
+        report.merge(check::check_schema_text(&schema_src));
+
+        let db = match intensio::shipdb::ship_database() {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("check: ship database failed to load: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let model = match intensio::shipdb::ship_model() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("check: ship model failed to resolve: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+        let cfg = match opts.nc {
+            Some(n) => InductionConfig::with_min_support(n),
+            None => InductionConfig::default(),
+        };
+        let mut rules = match Ils::new(&model, cfg).induce(&db) {
+            Ok(out) => out.rules,
+            Err(e) => {
+                eprintln!("check: induction failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if mutate == Some("rule-conflict") {
+            // A premise overlapping the paper's R9 (7250 <= Displacement
+            // <= 30000 => SSBN) that concludes SSN instead.
+            rules.push(
+                Rule::new(
+                    0,
+                    vec![Clause::between(
+                        AttrId::new("CLASS", "Displacement"),
+                        6000,
+                        9000,
+                    )],
+                    Clause::equals(AttrId::new("CLASS", "Type"), "SSN"),
+                )
+                .with_subtype("SSN")
+                .with_support(4),
+            );
+        }
+        let rule_cfg = RuleCheckConfig {
+            min_support: cfg.min_support,
+        };
+        report.merge(check::check_rules(&rules, Some(&db), &rule_cfg));
+
+        let mut sql = opts.sql.clone();
+        let quel = opts.quel.clone();
+        if mutate == Some("empty-query") {
+            // The induced rule concludes Type = SSBN for every class in
+            // the 8000..9000 displacement band; requiring SSN as well is
+            // provably empty.
+            sql.push(
+                "SELECT Class FROM CLASS WHERE Displacement >= 8000 \
+                 AND Displacement <= 9000 AND Type = \"SSN\""
+                    .to_string(),
+            );
+        }
+        for q in &sql {
+            report.merge(check::check_sql(q, &db, &rules));
+        }
+        for q in &quel {
+            report.merge(check::check_quel(q, &db, &rules));
+        }
+    }
+
+    report.sort();
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.fails(opts.deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

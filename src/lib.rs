@@ -40,8 +40,10 @@
 //! assert_eq!(a.extensional.len(), 7);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use intensio_check as check;
 pub use intensio_core as core;
 pub use intensio_fault as fault;
 pub use intensio_induction as induction;

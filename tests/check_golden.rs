@@ -1,0 +1,166 @@
+//! Golden tests for the `check` CLI and the three analysis passes over
+//! the ship test bed.
+//!
+//! Two layers, pinned to stable lint codes:
+//!
+//! * **Process level** — the installed binary (`CARGO_BIN_EXE_check`)
+//!   exits 0 on the pristine Appendix C database even under
+//!   `--deny-warnings`, and exits 1 for each seeded mutation. This is
+//!   the exact contract CI scripts rely on.
+//! * **Library level** — the same mutations applied through the
+//!   `intensio-check` API produce the exact codes and spans the CLI
+//!   printed when these goldens were recorded: `IC001` at
+//!   `schema:14:49`, `IC020` naming the overlap, `IC044` at
+//!   `query:1:81` carrying the refuting rule as provenance.
+
+use intensio::check::{check_rules, check_schema_text, check_sql, RuleCheckConfig, Severity};
+use intensio::induction::{Ils, InductionConfig};
+use intensio::rules::rule::{AttrId, Clause, Rule};
+use intensio::shipdb::{ship_database, ship_model, SHIP_SCHEMA_KER};
+use std::process::Command;
+
+fn run_check(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_check"))
+        .args(args)
+        .output()
+        .expect("check binary runs")
+}
+
+#[test]
+fn cli_pristine_shipdb_is_clean_even_denying_warnings() {
+    let out = run_check(&["--shipdb", "--deny-warnings"]);
+    assert!(
+        out.status.success(),
+        "pristine ship db must pass --deny-warnings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn cli_each_seeded_mutation_fails_with_its_code() {
+    for (mutation, code) in [
+        ("isa-cycle", "IC001"),
+        ("rule-conflict", "IC020"),
+        ("empty-query", "IC044"),
+    ] {
+        let out = run_check(&["--mutate", mutation]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "--mutate {mutation} must exit 1"
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(&format!("{code} error")),
+            "--mutate {mutation} must report {code}, got:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn cli_json_output_carries_codes_and_severities() {
+    let out = run_check(&["--mutate", "isa-cycle", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(r#""code":"IC001""#), "json: {text}");
+    assert!(text.contains(r#""severity":"error""#), "json: {text}");
+}
+
+#[test]
+fn golden_isa_cycle_is_ic001_at_the_closing_edge() {
+    let mutated = format!("{SHIP_SCHEMA_KER}\nCLASS isa SSBN with Type = \"SSBN\"\n");
+    let mut report = check_schema_text(&mutated);
+    report.sort();
+
+    let cycle: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "IC001")
+        .collect();
+    assert_eq!(
+        cycle.len(),
+        1,
+        "exactly one cycle:\n{}",
+        report.render_text()
+    );
+    let d = cycle[0];
+    assert_eq!(d.severity, Severity::Error);
+    // The walk order is sorted, so the reported cycle is stable.
+    assert!(d.message.contains("SSBN -> CLASS -> SSBN"), "{}", d.message);
+    let span = d
+        .span
+        .as_ref()
+        .expect("cycle diagnostic points at the isa edge");
+    assert_eq!((span.line, span.col), (14, 49), "span drifted: {span:?}");
+}
+
+#[test]
+fn golden_seeded_conflict_is_ic020_with_the_overlap_named() {
+    let db = ship_database().unwrap();
+    let model = ship_model().unwrap();
+    let cfg = InductionConfig::default();
+    let mut rules = Ils::new(&model, cfg).induce(&db).unwrap().rules;
+    rules.push(
+        Rule::new(
+            0,
+            vec![Clause::between(
+                AttrId::new("CLASS", "Displacement"),
+                6000,
+                9000,
+            )],
+            Clause::equals(AttrId::new("CLASS", "Type"), "SSN"),
+        )
+        .with_subtype("SSN")
+        .with_support(4),
+    );
+
+    let report = check_rules(
+        &rules,
+        Some(&db),
+        &RuleCheckConfig {
+            min_support: cfg.min_support,
+        },
+    );
+    assert_eq!(report.count(Severity::Error), 1, "{}", report.render_text());
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "IC020")
+        .expect("the seeded overlap is flagged");
+    assert!(
+        d.message.contains("CLASS.Displacement in [7250, 9000]"),
+        "overlap interval drifted: {}",
+        d.message
+    );
+    // Both rules ride along as provenance.
+    assert_eq!(d.notes.len(), 2, "{d:?}");
+}
+
+#[test]
+fn golden_empty_query_is_ic044_with_the_refuting_rule() {
+    let db = ship_database().unwrap();
+    let model = ship_model().unwrap();
+    let rules = Ils::new(&model, InductionConfig::default())
+        .induce(&db)
+        .unwrap()
+        .rules;
+
+    let sql = "SELECT Class FROM CLASS WHERE Displacement >= 8000 \
+               AND Displacement <= 9000 AND Type = \"SSN\"";
+    let report = check_sql(sql, &db, &rules);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "IC044")
+        .unwrap_or_else(|| panic!("IC044 missing:\n{}", report.render_text()));
+    assert_eq!(d.severity, Severity::Error);
+    let span = d
+        .span
+        .as_ref()
+        .expect("points at the contradicted conjunct");
+    assert_eq!((span.line, span.col), (1, 81), "span drifted: {span:?}");
+    assert!(
+        d.notes.iter().any(|n| n.contains("refuted by")),
+        "the refuting rule is the answer's provenance: {d:?}"
+    );
+}
