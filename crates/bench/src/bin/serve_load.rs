@@ -3,7 +3,16 @@
 //!
 //! ```text
 //! serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]
+//!            [--durable] [--data-dir PATH] [--fsync always|batch:N|off]
 //! ```
+//!
+//! `--durable` opens the service with a write-ahead log (in a
+//! throwaway temp directory unless `--data-dir` is given) and adds a
+//! **write phase**: each client thread appends a batch of unique
+//! submarines before querying, with write latencies tracked
+//! separately. The run ends with the WAL counters (appends, bytes,
+//! fsyncs, checkpoints), which is how `BENCH_wal.json` quantifies the
+//! durability overhead per `--fsync` policy.
 //!
 //! `--obs off` disables all observability recording (spans, metrics,
 //! the ring buffer) before the run — comparing a `--obs on` run
@@ -39,10 +48,16 @@ struct Args {
     queries: usize,
     workers: usize,
     obs: bool,
+    durable: bool,
+    data_dir: Option<std::path::PathBuf>,
+    fsync: intensio_wal::FsyncPolicy,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]");
+    eprintln!(
+        "usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]\n\
+         \x20                 [--durable] [--data-dir PATH] [--fsync always|batch:N|off]"
+    );
     std::process::exit(2);
 }
 
@@ -52,6 +67,9 @@ fn parse_args() -> Args {
         queries: 1000,
         workers: 4,
         obs: true,
+        durable: false,
+        data_dir: None,
+        fsync: intensio_wal::FsyncPolicy::Always,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,8 +91,26 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            "--durable" => args.durable = true,
+            "--data-dir" => {
+                args.durable = true;
+                args.data_dir = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--fsync" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.fsync = intensio_wal::FsyncPolicy::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("serve_load: {e}");
+                    usage()
+                });
+            }
             _ => usage(),
         }
+    }
+    if args.threads > 99 {
+        eprintln!("serve_load: --threads must be <= 99 (write ids are char(7))");
+        std::process::exit(2);
     }
     args
 }
@@ -122,6 +158,7 @@ fn response_classes(v: &Json) -> Vec<String> {
 #[derive(Default)]
 struct ThreadOutcome {
     latencies_us: Vec<u64>,
+    write_latencies_us: Vec<u64>,
     wrong: u64,
     errors: u64,
     repeated_hits: u64,
@@ -141,19 +178,38 @@ fn main() {
     intensio_obs::set_enabled(args.obs);
     let db = intensio_shipdb::ship_database().expect("ship database");
     let model = intensio_shipdb::ship_model().expect("ship model");
+    // In durable mode, stage the WAL in a throwaway directory unless the
+    // caller pinned one (to measure a specific filesystem, say).
+    let scratch_dir = if args.durable && args.data_dir.is_none() {
+        let dir = std::env::temp_dir().join(format!("intensio-serve-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Some(dir)
+    } else {
+        None
+    };
     let cfg = ServiceConfig {
         workers: args.workers,
+        data_dir: args.data_dir.clone().or_else(|| scratch_dir.clone()),
+        wal: intensio_wal::WalConfig {
+            fsync: args.fsync,
+            ..intensio_wal::WalConfig::default()
+        },
         ..ServiceConfig::default()
     };
     let service = Arc::new(Service::with_config(db, model, cfg).expect("service opens"));
     let server = Server::bind(service.clone(), "127.0.0.1:0").expect("server binds");
     let addr = server.local_addr().to_string();
     println!(
-        "serve_load: {} threads x {} queries against {} ({} workers)",
+        "serve_load: {} threads x {} queries against {} ({} workers){}",
         args.threads,
         args.queries / args.threads,
         addr,
-        args.workers
+        args.workers,
+        if args.durable {
+            format!("; durable (fsync {})", args.fsync)
+        } else {
+            String::new()
+        }
     );
 
     let per_thread = (args.queries / args.threads).max(2);
@@ -165,6 +221,14 @@ fn main() {
         "SELECT Class FROM CLASS WHERE Displacement < 3000",
     ];
 
+    // Durable mode: how many appends each thread issues in its write
+    // phase, before any querying, so the WAL is on the critical path.
+    let writes_per_thread = if args.durable {
+        (per_thread / 4).clamp(2, 999)
+    } else {
+        0
+    };
+
     let write_done = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -174,6 +238,22 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let mut client = connect_with_retry(&addr).expect("client connects");
             let mut out = ThreadOutcome::default();
+            for i in 0..writes_per_thread {
+                // Unique char(7) id per (thread, write): "L" tt iii.
+                let sent = Instant::now();
+                let line = client
+                    .roundtrip(&format!(
+                        "QUEL append to SUBMARINE (Id = \"L{t:02}{i:03}\", \
+                         Name = \"WAL Probe\", Class = \"0101\")"
+                    ))
+                    .expect("write roundtrip");
+                out.write_latencies_us
+                    .push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                let v = json::parse(&line).expect("write reply parses");
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    out.errors += 1;
+                }
+            }
             let unique_phase = per_thread / 2;
             for i in 0..per_thread {
                 // Thread 0 issues the mid-run write between the phases.
@@ -255,6 +335,7 @@ fn main() {
     for h in handles {
         let out = h.join().expect("load thread panicked");
         all.latencies_us.extend(out.latencies_us);
+        all.write_latencies_us.extend(out.write_latencies_us);
         all.wrong += out.wrong;
         all.errors += out.errors;
         all.repeated_hits += out.repeated_hits;
@@ -297,6 +378,28 @@ fn main() {
         "incorrect answers: {}, request errors: {}",
         all.wrong, all.errors
     );
+    if args.durable {
+        all.write_latencies_us.sort_unstable();
+        println!(
+            "writes: {} durable appends, latency p50 {} us, p95 {} us, p99 {} us",
+            all.write_latencies_us.len(),
+            percentile(&all.write_latencies_us, 0.50),
+            percentile(&all.write_latencies_us, 0.95),
+            percentile(&all.write_latencies_us, 0.99)
+        );
+        match &stats.durability {
+            Some(d) => println!(
+                "wal (fsync {}): {} appends, {} bytes, {} fsyncs, {} checkpoints, segment {}",
+                d.fsync,
+                d.wal_appends,
+                d.wal_append_bytes,
+                d.wal_fsyncs,
+                d.wal_checkpoints,
+                d.wal_segment_seq
+            ),
+            None => println!("wal: no durability stats (?)"),
+        }
+    }
     if args.obs {
         println!("per-stage latency (from service histograms):");
         for stage in intensio_obs::Stage::ALL {
@@ -340,6 +443,21 @@ fn main() {
         all.max_epoch >= write_epoch,
         "queries must observe the post-write epoch while answering",
     );
+    if args.durable {
+        let d = stats.durability.as_ref();
+        check(d.is_some(), "durable mode must report WAL stats");
+        check(
+            d.is_some_and(|d| d.wal_appends >= all.write_latencies_us.len() as u64),
+            "every acknowledged write must have a WAL append",
+        );
+    }
+    if let Some(dir) = scratch_dir {
+        match Arc::try_unwrap(service) {
+            Ok(s) => drop(s), // close the WAL before sweeping its directory
+            Err(arc) => drop(arc),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     if failed {
         std::process::exit(1);
     }

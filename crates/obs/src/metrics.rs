@@ -23,17 +23,21 @@ pub enum Stage {
     Request,
     /// Time a serve request waited in the queue before a worker took it.
     QueueWait,
+    /// One durable WAL append, write-to-acknowledgement (fsync
+    /// included when the policy demands one).
+    WalAppend,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Parse,
         Stage::Inference,
         Stage::Induction,
         Stage::Scan,
         Stage::Request,
         Stage::QueueWait,
+        Stage::WalAppend,
     ];
 
     /// The stage's wire/metric name.
@@ -45,6 +49,7 @@ impl Stage {
             Stage::Scan => "scan",
             Stage::Request => "request",
             Stage::QueueWait => "queue_wait",
+            Stage::WalAppend => "wal_append",
         }
     }
 
@@ -56,6 +61,7 @@ impl Stage {
             Stage::Scan => 3,
             Stage::Request => 4,
             Stage::QueueWait => 5,
+            Stage::WalAppend => 6,
         }
     }
 }
@@ -201,7 +207,7 @@ impl HistogramSnapshot {
 /// independent instances exist so tests can assert exact counts.
 #[derive(Debug, Default)]
 pub struct Registry {
-    stages: [Histogram; 6],
+    stages: [Histogram; 7],
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, i64>>,
 }

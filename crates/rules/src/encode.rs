@@ -35,6 +35,31 @@ pub struct RuleRelations {
     pub meta: Relation,
 }
 
+impl RuleRelations {
+    /// The four relations, empty, under their canonical names and
+    /// schemas. Deserializers (CSV import, WAL replay, checkpoint
+    /// loading) start from this shape.
+    pub fn empty() -> RuleRelations {
+        RuleRelations {
+            rules: Relation::new("RULES", rules_schema()),
+            value_map: Relation::new("ATTRVALUEMAP", value_map_schema()),
+            attr_catalog: Relation::new("ATTRCATALOG", attr_catalog_schema()),
+            meta: Relation::new("RULEMETA", meta_schema()),
+        }
+    }
+
+    /// The relations in a stable order, paired with their names — the
+    /// relocation set of paper §5.2.2.
+    pub fn named(&self) -> [(&'static str, &Relation); 4] {
+        [
+            ("RULES", &self.rules),
+            ("ATTRVALUEMAP", &self.value_map),
+            ("ATTRCATALOG", &self.attr_catalog),
+            ("RULEMETA", &self.meta),
+        ]
+    }
+}
+
 fn rules_schema() -> Schema {
     Schema::new(vec![
         Attribute::new("RuleNo", Domain::basic(ValueType::Int)),

@@ -4,6 +4,8 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]
 //!       [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]
+//!       [--data-dir PATH] [--fsync always|batch:N|off]
+//!       [--checkpoint-every N] [--wal-segment-bytes N]
 //! ```
 //!
 //! Observability: `--verbose` logs every completed span to stderr,
@@ -20,6 +22,15 @@
 //! `storage.scan=1%error;inference.infer=5%delay:20`), and the `FAULT`
 //! protocol verb administers them at runtime.
 //!
+//! Durability: `--data-dir PATH` turns on the write-ahead log — every
+//! acknowledged mutation and rule-set install is appended to
+//! `PATH/wal/` before the new snapshot becomes visible, and boot
+//! recovers from the newest checkpoint plus the log tail. `--fsync`
+//! picks the sync policy (`always` is the crash-safe default; `batch:N`
+//! syncs every N appends; `off` leaves flushing to the OS),
+//! `--checkpoint-every N` sets how many logged records trigger a
+//! checkpoint, and `--wal-segment-bytes N` bounds segment size.
+//!
 //! Talk to it with `examples/shell.rs --connect HOST:PORT`, or any
 //! line client:
 //!
@@ -33,7 +44,9 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]\n\
-         \x20            [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]"
+         \x20            [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]\n\
+         \x20            [--data-dir PATH] [--fsync always|batch:N|off]\n\
+         \x20            [--checkpoint-every N] [--wal-segment-bytes N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +87,30 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 cfg.deadline = Some(std::time::Duration::from_millis(ms));
             }
+            "--data-dir" => {
+                cfg.data_dir = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--fsync" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cfg.wal.fsync = intensio_wal::FsyncPolicy::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("serve: {e}");
+                    usage()
+                });
+            }
+            "--checkpoint-every" => {
+                cfg.wal.checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--wal-segment-bytes" => {
+                cfg.wal.segment_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--quiet" => intensio_obs::set_level(intensio_obs::Level::Silent),
             "--verbose" => intensio_obs::set_level(intensio_obs::Level::Verbose),
             "--slow-ms" => {
@@ -91,6 +128,7 @@ fn main() {
     let db = intensio_shipdb::ship_database().expect("ship database");
     let model = intensio_shipdb::ship_model().expect("ship model");
     let workers = cfg.workers;
+    let durable = cfg.data_dir.clone().map(|dir| (dir, cfg.wal.fsync));
     let service = match Service::with_config(db, model, cfg) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -106,6 +144,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some((dir, fsync)) = durable {
+        println!(
+            "intensio-serve durable: data-dir {} (fsync {fsync})",
+            dir.display()
+        );
+    }
     println!(
         "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | EXPLAIN <q> | CHECK [q] | STATS | QUIT",
         server.local_addr(),

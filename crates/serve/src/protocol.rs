@@ -195,8 +195,25 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("induction_retries", s.induction_retries)
                 .num("rulesets_rejected", s.rulesets_rejected)
                 .num("degraded_answers", s.degraded_answers)
-                .num("workers", s.workers)
-                .raw("metrics", &s.metrics.to_json());
+                .num("workers", s.workers);
+            match &s.durability {
+                Some(d) => {
+                    let mut dw = ObjWriter::new();
+                    dw.str("fsync", &d.fsync)
+                        .num("wal_appends", d.wal_appends)
+                        .num("wal_append_bytes", d.wal_append_bytes)
+                        .num("wal_fsyncs", d.wal_fsyncs)
+                        .num("wal_checkpoints", d.wal_checkpoints)
+                        .num("wal_segment_seq", d.wal_segment_seq)
+                        .num("recovered_epoch", d.recovered_epoch)
+                        .num("replayed_records", d.replayed_records)
+                        .num("discarded_records", d.discarded_records)
+                        .num("recovery_ms", d.recovery_ms);
+                    w.raw("durability", &dw.finish())
+                }
+                None => w.raw("durability", "null"),
+            };
+            w.raw("metrics", &s.metrics.to_json());
         }
         Reply::Busy => {
             w.bool("ok", false)
@@ -344,10 +361,27 @@ mod tests {
             rulesets_rejected: 1,
             degraded_answers: 2,
             workers: 4,
+            durability: Some(crate::service::DurabilityStats {
+                fsync: "batch:8".to_string(),
+                wal_appends: 40,
+                wal_append_bytes: 4096,
+                wal_fsyncs: 5,
+                wal_checkpoints: 2,
+                wal_segment_seq: 3,
+                recovered_epoch: 2,
+                replayed_records: 7,
+                discarded_records: 1,
+                recovery_ms: 12,
+            }),
             metrics: reg.snapshot(),
         }));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
+        let dur = v.get("durability").expect("stats reply embeds durability");
+        assert_eq!(dur.get("fsync").unwrap().as_str(), Some("batch:8"));
+        assert_eq!(dur.get("wal_appends").unwrap().as_u64(), Some(40));
+        assert_eq!(dur.get("replayed_records").unwrap().as_u64(), Some(7));
+        assert_eq!(dur.get("recovered_epoch").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("cache_capacity").unwrap().as_u64(), Some(128));
         assert_eq!(v.get("requests_shed").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("rulesets_rejected").unwrap().as_u64(), Some(1));

@@ -56,7 +56,10 @@ use intensio_quel::{AccessKind, Output, Session};
 use intensio_sql::{analyze, parse};
 use intensio_storage::catalog::Database;
 use intensio_storage::relation::Relation;
+use intensio_wal::record::{Record, RecordKind};
+use intensio_wal::{rules_codec, Wal, WalConfig};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -98,6 +101,15 @@ pub struct ServiceConfig {
     /// the `CHECK` protocol verb's ability to retroactively reject the
     /// live rule set's cached answers.
     pub check_rulesets: bool,
+    /// Root directory for durable state. When set, the service recovers
+    /// its knowledge state from the directory's checkpoints and
+    /// write-ahead log at boot, and acknowledges a mutation only after
+    /// its WAL record is appended under [`ServiceConfig::wal`]'s fsync
+    /// policy. `None` keeps the service purely in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// WAL tuning (fsync policy, segment size, checkpoint cadence);
+    /// only consulted when [`ServiceConfig::data_dir`] is set.
+    pub wal: WalConfig,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +130,8 @@ impl Default for ServiceConfig {
             induction_backoff: std::time::Duration::from_millis(50),
             induction_backoff_cap: std::time::Duration::from_secs(2),
             check_rulesets: true,
+            data_dir: None,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -299,9 +313,38 @@ pub struct StatsReply {
     pub degraded_answers: u64,
     /// Worker threads.
     pub workers: u64,
+    /// Durability counters; `None` when the service runs in-memory.
+    pub durability: Option<DurabilityStats>,
     /// Full metrics snapshot: pipeline-stage latency histograms
     /// (p50/p95/p99) and every named counter/gauge.
     pub metrics: intensio_obs::MetricsSnapshot,
+}
+
+/// Durable-mode counters: the WAL's lifetime stats plus what boot
+/// recovery observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// The fsync policy in force (`always`, `batch:N`, `off`).
+    pub fsync: String,
+    /// WAL records appended since boot.
+    pub wal_appends: u64,
+    /// WAL frame bytes appended since boot.
+    pub wal_append_bytes: u64,
+    /// Explicit fsync barriers issued since boot.
+    pub wal_fsyncs: u64,
+    /// Checkpoints written since boot (the boot checkpoint included).
+    pub wal_checkpoints: u64,
+    /// Sequence number of the active WAL segment.
+    pub wal_segment_seq: u64,
+    /// Epoch the service recovered to at boot (0 on a fresh directory).
+    pub recovered_epoch: u64,
+    /// WAL records replayed during boot recovery.
+    pub replayed_records: u64,
+    /// Records discarded during boot recovery (torn tail, bad CRC, or
+    /// an epoch gap).
+    pub discarded_records: u64,
+    /// Wall-clock milliseconds boot recovery took.
+    pub recovery_ms: u64,
 }
 
 /// What the service hands back for one request.
@@ -414,6 +457,24 @@ struct Shared {
     /// Set by [`Service`]'s drop before the queue closes, so the
     /// supervisor stops resurrecting workers that exited on purpose.
     shutdown: AtomicBool,
+    /// Durable mode: the WAL writer plus what boot recovery observed.
+    /// The `Wal` mutex nests *inside* `write_lock` on the write path;
+    /// readers (stats) take it alone, so the order is acyclic.
+    durability: Option<Durability>,
+}
+
+struct Durability {
+    wal: Mutex<Wal>,
+    recovery: RecoveryReport,
+}
+
+/// What boot recovery observed, frozen for the lifetime of the process.
+#[derive(Debug, Clone, Default)]
+struct RecoveryReport {
+    recovered_epoch: u64,
+    replayed_records: u64,
+    discarded_records: u64,
+    recovery_ms: u64,
 }
 
 impl Shared {
@@ -470,6 +531,156 @@ fn lint_rule_set(
     report
 }
 
+/// Synchronous boot induction. Returns the induced rule set when it
+/// passes the static-analysis gate, `None` when the gate rejects it.
+fn boot_induce(
+    cfg: &ServiceConfig,
+    dictionary: &DataDictionary,
+    db: &Database,
+) -> Result<Option<intensio_rules::rule::RuleSet>, ServeError> {
+    let ils = Ils::new(dictionary.model(), cfg.induction);
+    let out = ils
+        .induce_parallel(db, cfg.induction_threads)
+        .map_err(|e| ServeError(format!("initial induction failed: {e}")))?;
+    if cfg.check_rulesets && lint_rule_set(cfg, &out.rules, db).has_errors() {
+        Ok(None)
+    } else {
+        Ok(Some(out.rules))
+    }
+}
+
+/// Checkpoint a snapshot. The rule set is stored only when it is fresh
+/// for this data — stale rules are cheaper to re-induce after recovery
+/// than to pin durably. Falls back to a rule-less checkpoint when the
+/// rules fail to encode.
+fn checkpoint_snapshot(
+    wal: &mut Wal,
+    snap: &Snapshot,
+) -> Result<intensio_wal::CheckpointRef, intensio_wal::WalError> {
+    let rules = snap.dictionary.rules();
+    let with_rules = (snap.rules_fresh && !rules.is_empty()).then_some(rules);
+    match wal.checkpoint(&snap.db, with_rules, snap.epoch, snap.data_version) {
+        Ok(c) => Ok(c),
+        Err(_) if with_rules.is_some() => {
+            wal.checkpoint(&snap.db, None, snap.epoch, snap.data_version)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Durable boot: recover the knowledge state from disk, replay the log
+/// through the same code paths live requests use, gate recovered rules,
+/// optionally re-induce, and pin the result with a boot checkpoint.
+fn boot_durable(
+    cfg: &ServiceConfig,
+    dir: &Path,
+    seed_db: Database,
+    model: KerModel,
+) -> Result<(Snapshot, Durability, bool), ServeError> {
+    let started = std::time::Instant::now();
+    let err = |e: intensio_wal::WalError| ServeError(format!("durability: {e}"));
+    let recovered = intensio_wal::recover(dir).map_err(err)?;
+    intensio_wal::recover::apply_sanitize(&recovered).map_err(err)?;
+
+    let mut rejected = false;
+    let (mut db, ckpt_rules, base_epoch, base_dv) = match recovered.checkpoint {
+        Some(c) => (c.db, c.rules, c.epoch, c.data_version),
+        // Fresh directory (or no readable checkpoint): replay starts
+        // from the seed database the caller provided.
+        None => (seed_db, None, 0, 0),
+    };
+    let mut epoch = base_epoch;
+    let mut data_version = base_dv;
+    let mut pending_rules = ckpt_rules;
+    let mut rules_fresh = pending_rules.is_some();
+
+    for record in &recovered.records {
+        match record.kind {
+            RecordKind::Write => {
+                let script = record.script().ok_or_else(|| {
+                    ServeError(format!(
+                        "recovery: write record at epoch {} is not UTF-8",
+                        record.epoch
+                    ))
+                })?;
+                let mut session = Session::new();
+                // A write that applied before the crash must apply
+                // again — a replay failure means the log and the
+                // checkpoint disagree, and serving from half a replay
+                // would silently drop acknowledged writes.
+                session.run_script(&mut db, script).map_err(|e| {
+                    ServeError(format!(
+                        "recovery: replaying write at epoch {}: {e}",
+                        record.epoch
+                    ))
+                })?;
+                rules_fresh = false;
+            }
+            RecordKind::Rules => match rules_codec::rules_from_bytes(&record.body) {
+                Ok(rules) => {
+                    pending_rules = Some(rules);
+                    rules_fresh = true;
+                }
+                Err(_) => {
+                    // The epoch still advances (contiguity!) but the
+                    // rules stay stale, so the inducer re-learns them.
+                    intensio_obs::inc("recovery.undecodable_rulesets");
+                    rules_fresh = false;
+                }
+            },
+        }
+        epoch = record.epoch;
+        data_version = record.data_version;
+    }
+
+    let mut dictionary = DataDictionary::new(model);
+    if let Some(rules) = pending_rules {
+        // Recovered knowledge passes the same gate a fresh induction
+        // would: replay must not reinstall a rule set the checker
+        // rejects today.
+        if cfg.check_rulesets && lint_rule_set(cfg, &rules, &db).has_errors() {
+            rejected = true;
+            rules_fresh = false;
+        } else {
+            dictionary.set_rules(rules);
+        }
+    }
+    if !rules_fresh && cfg.learn_on_open {
+        match boot_induce(cfg, &dictionary, &db)? {
+            Some(rules) => {
+                dictionary.set_rules(rules);
+                rules_fresh = true;
+            }
+            None => rejected = true,
+        }
+    }
+
+    let snapshot = Snapshot::recovered(epoch, data_version, db, dictionary, rules_fresh);
+
+    let mut wal = Wal::open(dir, cfg.wal, recovered.last_seq).map_err(err)?;
+    // The boot checkpoint makes the recovered (and boot-induced) state
+    // durable before the first acknowledgement, and retires the old
+    // segments and the torn tails they may carry.
+    checkpoint_snapshot(&mut wal, &snapshot).map_err(err)?;
+
+    let recovery = RecoveryReport {
+        recovered_epoch: epoch,
+        replayed_records: recovered.stats.replayed_records,
+        discarded_records: recovered.stats.discarded_records,
+        recovery_ms: started.elapsed().as_millis() as u64,
+    };
+    intensio_obs::gauge("recovery.ms", recovery.recovery_ms as i64);
+    intensio_obs::gauge("recovery.epoch", epoch as i64);
+    Ok((
+        snapshot,
+        Durability {
+            wal: Mutex::new(wal),
+            recovery,
+        },
+        rejected,
+    ))
+}
+
 struct Job {
     request: Request,
     reply_to: SyncSender<Reply>,
@@ -496,34 +707,46 @@ impl Service {
         Service::with_config(db, model, ServiceConfig::default())
     }
 
-    /// Open a service with explicit configuration.
+    /// Open a service with explicit configuration. With
+    /// [`ServiceConfig::data_dir`] set, boot recovers the knowledge
+    /// state from the newest valid checkpoint plus the write-ahead
+    /// log, re-checks recovered rule sets through the static-analysis
+    /// gate, and pins the result with a fresh boot checkpoint before
+    /// accepting any request.
     pub fn with_config(
         db: Database,
         model: KerModel,
         cfg: ServiceConfig,
     ) -> Result<Service, ServeError> {
-        let mut dictionary = DataDictionary::new(model);
-        let mut rules_fresh = false;
         let mut rejected_on_open = false;
-        if cfg.learn_on_open {
-            let ils = Ils::new(dictionary.model(), cfg.induction);
-            let out = ils
-                .induce_parallel(&db, cfg.induction_threads)
-                .map_err(|e| ServeError(format!("initial induction failed: {e}")))?;
-            if cfg.check_rulesets && lint_rule_set(&cfg, &out.rules, &db).has_errors() {
-                // Serve without intensional rules rather than with
-                // provably unsound ones; the dictionary keeps its empty
-                // rule set and the background inducer stays quiet until
-                // the data changes.
-                rejected_on_open = true;
-            } else {
-                dictionary.set_rules(out.rules);
-                rules_fresh = true;
+        let (snapshot, durability) = match cfg.data_dir.clone() {
+            Some(dir) => {
+                let (snap, dur, rejected) = boot_durable(&cfg, &dir, db, model)?;
+                rejected_on_open = rejected;
+                (snap, Some(dur))
             }
-        }
+            None => {
+                let mut dictionary = DataDictionary::new(model);
+                let mut rules_fresh = false;
+                if cfg.learn_on_open {
+                    match boot_induce(&cfg, &dictionary, &db)? {
+                        Some(rules) => {
+                            dictionary.set_rules(rules);
+                            rules_fresh = true;
+                        }
+                        // Serve without intensional rules rather than
+                        // with provably unsound ones; the dictionary
+                        // keeps its empty rule set and the background
+                        // inducer stays quiet until the data changes.
+                        None => rejected_on_open = true,
+                    }
+                }
+                (Snapshot::initial(db, dictionary, rules_fresh), None)
+            }
+        };
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
-            state: RwLock::new(Arc::new(Snapshot::initial(db, dictionary, rules_fresh))),
+            state: RwLock::new(Arc::new(snapshot)),
             write_lock: Mutex::new(()),
             cache: Mutex::new(AnswerCache::new(cfg.cache_capacity)),
             cfg,
@@ -532,6 +755,7 @@ impl Service {
             induce_wake: Condvar::new(),
             queue_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            durability,
         });
         if rejected_on_open {
             shared.note_ruleset_rejected();
@@ -666,6 +890,11 @@ impl Drop for Service {
             .take()
         {
             let _ = h.join();
+        }
+        // Final durability barrier: under a batch/off fsync policy the
+        // tail of the log may still be in the page cache.
+        if let Some(dur) = &self.shared.durability {
+            let _ = dur.wal.lock().unwrap_or_else(|e| e.into_inner()).sync();
         }
     }
 }
@@ -886,6 +1115,22 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         rulesets_rejected: c.rulesets_rejected.load(Ordering::Relaxed),
         degraded_answers: c.degraded.load(Ordering::Relaxed),
         workers: shared.cfg.workers.max(1) as u64,
+        durability: shared.durability.as_ref().map(|dur| {
+            let wal = dur.wal.lock().unwrap_or_else(|e| e.into_inner());
+            let ws = wal.stats();
+            DurabilityStats {
+                fsync: wal.config().fsync.to_string(),
+                wal_appends: ws.appends,
+                wal_append_bytes: ws.append_bytes,
+                wal_fsyncs: ws.fsyncs,
+                wal_checkpoints: ws.checkpoints,
+                wal_segment_seq: ws.segment_seq,
+                recovered_epoch: dur.recovery.recovered_epoch,
+                replayed_records: dur.recovery.replayed_records,
+                discarded_records: dur.recovery.discarded_records,
+                recovery_ms: dur.recovery.recovery_ms,
+            }
+        }),
         metrics: intensio_obs::metrics().snapshot(),
     }
 }
@@ -1112,6 +1357,23 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
         Err(e) => return error(format!("quel: {e}")),
     };
     let next = snap.after_write(db);
+    // Durability barrier: the record must be on the log (under the
+    // configured fsync policy) before the new epoch is published or the
+    // client acknowledged. On failure nothing is installed — the writer
+    // rewound the log, so the epoch is free for the client's retry.
+    if let Some(dur) = &shared.durability {
+        let record = Record::write(next.epoch, next.data_version, script);
+        let appended = std::time::Instant::now();
+        let result = dur
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .append(&record);
+        intensio_obs::record_stage(intensio_obs::Stage::WalAppend, appended.elapsed());
+        if let Err(e) = result {
+            return error(format!("durability: {e}"));
+        }
+    }
     let reply = {
         let mut r = quel_reply(&next, &outputs);
         r.cached = false;
@@ -1119,8 +1381,27 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
     };
     shared.install(next);
     shared.counters.writes.fetch_add(1, Ordering::Relaxed);
+    maybe_checkpoint(shared);
     shared.wake_inducer();
     Reply::Query(reply)
+}
+
+/// Take a checkpoint when enough records have accumulated. Must be
+/// called while holding `write_lock`, so the checkpointed snapshot is
+/// at least as new as every record the checkpoint retires. Failure is
+/// not fatal: the log keeps growing and the next write tries again.
+fn maybe_checkpoint(shared: &Shared) {
+    let Some(dur) = &shared.durability else {
+        return;
+    };
+    let mut wal = dur.wal.lock().unwrap_or_else(|e| e.into_inner());
+    if !wal.checkpoint_due() {
+        return;
+    }
+    let snap = shared.snapshot();
+    if checkpoint_snapshot(&mut wal, &snap).is_err() {
+        intensio_obs::inc("wal.checkpoint_failures");
+    }
 }
 
 fn quel_reply(snap: &Snapshot, outputs: &[Output]) -> QueryReply {
@@ -1207,10 +1488,39 @@ fn induce_once(shared: &Shared) -> Induce {
     if current.data_version != snap.data_version {
         return Induce::Raced;
     }
+    // Durable mode: encode the rule set for the log *before* consuming
+    // it. An install may not advance the epoch without a WAL record —
+    // a silent gap would make every later record unreplayable.
+    let rules_body = if shared.durability.is_some() {
+        match rules_codec::rules_to_bytes(&rules) {
+            Ok(body) => Some(body),
+            Err(_) => {
+                intensio_obs::inc("wal.unloggable_rulesets");
+                return Induce::Failed;
+            }
+        }
+    } else {
+        None
+    };
     let mut dictionary = current.dictionary.clone();
     dictionary.set_rules(rules);
-    shared.install(current.after_induction(dictionary));
+    let next = current.after_induction(dictionary);
+    if let (Some(dur), Some(body)) = (&shared.durability, rules_body) {
+        let record = Record::rules(next.epoch, next.data_version, body);
+        let appended = std::time::Instant::now();
+        let result = dur
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .append(&record);
+        intensio_obs::record_stage(intensio_obs::Stage::WalAppend, appended.elapsed());
+        if result.is_err() {
+            return Induce::Failed;
+        }
+    }
+    shared.install(next);
     shared.counters.inductions.fetch_add(1, Ordering::Relaxed);
+    maybe_checkpoint(shared);
     Induce::Installed
 }
 

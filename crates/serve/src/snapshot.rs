@@ -45,6 +45,24 @@ impl Snapshot {
         }
     }
 
+    /// A snapshot rebuilt by boot recovery at an explicit epoch and
+    /// data version (checkpoint state plus the replayed WAL suffix).
+    pub fn recovered(
+        epoch: u64,
+        data_version: u64,
+        db: Database,
+        dictionary: DataDictionary,
+        rules_fresh: bool,
+    ) -> Snapshot {
+        Snapshot {
+            epoch,
+            data_version,
+            db,
+            dictionary,
+            rules_fresh,
+        }
+    }
+
     /// The successor snapshot after a data mutation: new database, same
     /// (now possibly stale) rules.
     pub fn after_write(&self, db: Database) -> Snapshot {

@@ -1,0 +1,339 @@
+//! Crash-recovery harness: SIGKILL a durable `serve` process mid-write
+//! workload, restart it over the same data directory, and hold it to
+//! the durability contract:
+//!
+//! 1. **No acked write is lost.** Every `append` whose reply we fully
+//!    read before the kill is present after restart.
+//! 2. **The epoch never runs backwards.** The recovered epoch is at
+//!    least the largest epoch any acked reply reported.
+//! 3. **Recovery actually replays.** With checkpoints far apart, the
+//!    post-checkpoint writes come back from the log
+//!    (`replayed_records > 0` in the durability stats).
+//!
+//! The child is killed with SIGKILL — no destructors, no flush, no
+//! clean shutdown — which is exactly the crash the WAL exists for.
+
+#![cfg(unix)]
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "intensio-crash-recovery-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `serve` child plus the address it bound.
+struct ServeChild {
+    child: Child,
+    addr: String,
+}
+
+impl ServeChild {
+    /// Spawn the serve binary in durable mode on an ephemeral port and
+    /// wait for its "listening on" banner.
+    fn spawn(data_dir: &Path, extra: &[&str]) -> ServeChild {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--data-dir")
+            .arg(data_dir)
+            .arg("--workers")
+            .arg("2")
+            .arg("--quiet")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn serve binary");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before listening")
+                .expect("read serve stdout");
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("address after 'listening on'")
+                    .to_string();
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
+        ServeChild { child, addr }
+    }
+
+    fn connect(&self) -> Conn {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let reader = BufReader::new(stream.try_clone().unwrap());
+                    return Conn { stream, reader };
+                }
+                Err(e) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "cannot connect {}: {e}",
+                        self.addr
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// SIGKILL: the child gets no chance to flush or shut down.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL serve child");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown(self) {
+        self.kill(); // The protocol has no daemon shutdown; tests always kill.
+    }
+}
+
+/// One line-oriented protocol connection.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.stream.write_all(request.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        Ok(line)
+    }
+
+    /// Append one SUBMARINE row; `Ok(epoch)` only when the server
+    /// acknowledged the write with a well-formed reply.
+    fn append(&mut self, id: &str) -> std::io::Result<u64> {
+        let reply = self.roundtrip(&format!(
+            "QUEL append to SUBMARINE (Id = \"{id}\", Name = \"Crash Probe\", Class = \"0101\")"
+        ))?;
+        let v = intensio_serve::json::parse(&reply)
+            .unwrap_or_else(|e| panic!("undecodable reply ({e}): {reply}"));
+        use intensio_serve::json::Json;
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "append rejected: {reply}"
+        );
+        Ok(v.get("epoch").and_then(Json::as_u64).expect("epoch in ack"))
+    }
+
+    /// All SUBMARINE ids currently visible.
+    fn submarine_ids(&mut self) -> BTreeSet<String> {
+        let reply = self
+            .roundtrip("SQL SELECT Id FROM SUBMARINE")
+            .expect("id query");
+        let v = intensio_serve::json::parse(&reply).expect("id query reply");
+        use intensio_serve::json::Json;
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{reply}");
+        v.get("rows")
+            .and_then(Json::as_array)
+            .expect("rows")
+            .iter()
+            .filter_map(|row| {
+                row.as_array()
+                    .and_then(|cells| cells.first())
+                    .and_then(Json::as_str)
+                    .map(|id| id.trim().to_string())
+            })
+            .collect()
+    }
+
+    /// (epoch, replayed_records, recovered_epoch) from STATS.
+    fn stats(&mut self) -> (u64, u64, u64) {
+        let reply = self.roundtrip("STATS").expect("stats");
+        // Printed raw so CI can grep recovery metrics out of the run log.
+        println!("stats: {}", reply.trim_end());
+        let v = intensio_serve::json::parse(&reply).expect("stats reply");
+        use intensio_serve::json::Json;
+        let epoch = v.get("epoch").and_then(Json::as_u64).expect("epoch");
+        let d = v.get("durability").expect("durability object in stats");
+        let replayed = d
+            .get("replayed_records")
+            .and_then(Json::as_u64)
+            .expect("replayed_records");
+        let recovered = d
+            .get("recovered_epoch")
+            .and_then(Json::as_u64)
+            .expect("recovered_epoch");
+        (epoch, replayed, recovered)
+    }
+}
+
+/// The acked state shared between the writer thread and the killer.
+#[derive(Default)]
+struct Acked {
+    ids: Vec<String>,
+    max_epoch: u64,
+}
+
+/// Hammer writes until the connection dies (the kill), recording every
+/// acknowledged id and epoch. Returns when the server disappears.
+fn write_until_killed(mut conn: Conn, round: usize, acked: Arc<Mutex<Acked>>) {
+    for i in 0..10_000u32 {
+        // char(7) Id: round digit + 4-digit counter, prefix "CR".
+        let id = format!("CR{round}{i:04}");
+        match conn.append(&id) {
+            Ok(epoch) => {
+                let mut a = acked.lock().unwrap();
+                a.ids.push(id);
+                a.max_epoch = a.max_epoch.max(epoch);
+            }
+            Err(_) => return, // killed mid-flight; everything acked is recorded
+        }
+    }
+    panic!("writer was never killed");
+}
+
+#[test]
+fn sigkill_mid_workload_loses_no_acked_write() {
+    let dir = temp_dir("sigkill");
+    // Checkpoints far apart: every post-boot write must come back from
+    // the log itself, proving replay (not just checkpoint load) works.
+    let flags = ["--fsync", "always", "--checkpoint-every", "10000"];
+
+    let mut surviving_ids: BTreeSet<String> = BTreeSet::new();
+    let mut last_acked_epoch = 0u64;
+
+    const ROUNDS: usize = 3;
+    for round in 0..ROUNDS {
+        let server = ServeChild::spawn(&dir, &flags);
+
+        // The state acked in earlier rounds must have survived this boot.
+        let mut probe = server.connect();
+        let visible = probe.submarine_ids();
+        for id in &surviving_ids {
+            assert!(
+                visible.contains(id),
+                "round {round}: acked write {id} lost across SIGKILL"
+            );
+        }
+        let (epoch, replayed, recovered_epoch) = probe.stats();
+        assert!(
+            epoch >= last_acked_epoch,
+            "round {round}: epoch {epoch} ran backwards past acked {last_acked_epoch}"
+        );
+        assert!(
+            recovered_epoch >= last_acked_epoch,
+            "round {round}: recovery stopped at {recovered_epoch} < acked {last_acked_epoch}"
+        );
+        if round > 0 {
+            assert!(
+                replayed > 0,
+                "round {round}: writes were acked last round but nothing was replayed"
+            );
+        }
+
+        // Hammer writes from another thread; kill mid-workload.
+        let acked = Arc::new(Mutex::new(Acked::default()));
+        let writer = {
+            let conn = server.connect();
+            let acked = acked.clone();
+            std::thread::spawn(move || write_until_killed(conn, round, acked))
+        };
+        // Let some writes through, then SIGKILL while more are in flight.
+        let target = 10 + round * 7;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while acked.lock().unwrap().ids.len() < target {
+            assert!(Instant::now() < deadline, "workload stalled before kill");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.kill();
+        writer.join().expect("writer thread");
+
+        let a = acked.lock().unwrap();
+        assert!(a.ids.len() >= target, "expected ≥{target} acked writes");
+        surviving_ids.extend(a.ids.iter().cloned());
+        last_acked_epoch = last_acked_epoch.max(a.max_epoch);
+    }
+
+    // Final boot: everything ever acked, across three crashes, is there.
+    let server = ServeChild::spawn(&dir, &flags);
+    let mut probe = server.connect();
+    let visible = probe.submarine_ids();
+    for id in &surviving_ids {
+        assert!(visible.contains(id), "final boot: acked write {id} lost");
+    }
+    let (epoch, replayed, _) = probe.stats();
+    assert!(epoch >= last_acked_epoch, "final epoch ran backwards");
+    assert!(
+        replayed > 0,
+        "final boot replayed nothing despite acked writes"
+    );
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_with_checkpoints_still_recovers_everything() {
+    let dir = temp_dir("ckpt");
+    // Aggressive checkpointing: recovery mixes checkpoint state with a
+    // short log suffix, and pruning must never eat unreplayed records.
+    let flags = ["--fsync", "always", "--checkpoint-every", "3"];
+
+    let server = ServeChild::spawn(&dir, &flags);
+    let acked = Arc::new(Mutex::new(Acked::default()));
+    let writer = {
+        let conn = server.connect();
+        let acked = acked.clone();
+        std::thread::spawn(move || write_until_killed(conn, 9, acked))
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while acked.lock().unwrap().ids.len() < 20 {
+        assert!(Instant::now() < deadline, "workload stalled before kill");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.kill();
+    writer.join().expect("writer thread");
+    let a = std::mem::take(&mut *acked.lock().unwrap());
+
+    let server = ServeChild::spawn(&dir, &flags);
+    let mut probe = server.connect();
+    let visible = probe.submarine_ids();
+    for id in &a.ids {
+        assert!(visible.contains(id), "checkpointed run: acked {id} lost");
+    }
+    let (epoch, _, recovered_epoch) = probe.stats();
+    assert!(
+        epoch >= a.max_epoch,
+        "epoch ran backwards after checkpointed crash"
+    );
+    assert!(recovered_epoch >= a.max_epoch);
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

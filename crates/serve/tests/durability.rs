@@ -1,0 +1,207 @@
+//! Durable-mode round trips at the service level: a write acknowledged
+//! by a `--data-dir` service must still be there after the process
+//! state is thrown away and the service is reopened over the same
+//! directory — with the epoch having moved only forward.
+
+use intensio_serve::{Reply, Request, Service, ServiceConfig};
+use intensio_wal::{FsyncPolicy, WalConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "intensio-serve-durability-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open_durable(dir: &Path, fsync: FsyncPolicy, checkpoint_every: u64) -> Service {
+    let db = intensio_shipdb::ship_database().unwrap();
+    let model = intensio_shipdb::ship_model().unwrap();
+    let cfg = ServiceConfig {
+        workers: 2,
+        data_dir: Some(dir.to_path_buf()),
+        wal: WalConfig {
+            fsync,
+            checkpoint_every,
+            ..WalConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    Service::with_config(db, model, cfg).unwrap()
+}
+
+fn append_sub(service: &Service, id: &str, name: &str) -> u64 {
+    let reply = service.submit(Request::Quel(format!(
+        "append to SUBMARINE (Id = \"{id}\", Name = \"{name}\", Class = \"0101\")"
+    )));
+    match reply {
+        Reply::Query(q) => q.epoch,
+        other => panic!("append not acknowledged: {other:?}"),
+    }
+}
+
+fn count_subs(service: &Service, prefix: &str) -> usize {
+    let reply = service.submit(Request::Sql("SELECT Id, Name FROM SUBMARINE".to_string()));
+    match reply {
+        Reply::Query(q) => q
+            .rows
+            .iter()
+            .filter(|row| row.first().is_some_and(|id| id.starts_with(prefix)))
+            .count(),
+        other => panic!("query failed: {other:?}"),
+    }
+}
+
+fn stats(service: &Service) -> intensio_serve::StatsReply {
+    match service.submit(Request::Stats) {
+        Reply::Stats(s) => s,
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+#[test]
+fn acknowledged_writes_survive_reopen() {
+    let dir = temp_dir("roundtrip");
+
+    let mut last_epoch = 0;
+    {
+        let service = open_durable(&dir, FsyncPolicy::Always, 1_000);
+        for i in 0..5 {
+            let epoch = append_sub(&service, &format!("DUR{i:04}"), &format!("Durable {i}"));
+            assert!(epoch > last_epoch, "epoch must advance on every ack");
+            last_epoch = epoch;
+        }
+        assert_eq!(count_subs(&service, "DUR"), 5);
+
+        let s = stats(&service);
+        let d = s.durability.expect("durable mode must report wal stats");
+        assert_eq!(d.fsync, "always");
+        assert!(d.wal_appends >= 5, "five acked writes → ≥5 wal appends");
+        assert!(d.wal_fsyncs >= 5, "fsync=always syncs before every ack");
+    }
+
+    // Reopen: everything acked above must be back, at an epoch at least
+    // as large as the last one we were told about.
+    let service = open_durable(&dir, FsyncPolicy::Always, 1_000);
+    assert_eq!(
+        count_subs(&service, "DUR"),
+        5,
+        "acked writes lost on reopen"
+    );
+    let s = stats(&service);
+    assert!(
+        s.epoch >= last_epoch,
+        "recovered epoch {} ran backwards past acked epoch {last_epoch}",
+        s.epoch
+    );
+    let d = s.durability.expect("durable stats after recovery");
+    assert!(
+        d.recovered_epoch >= last_epoch,
+        "recovery reported epoch {} < acked {last_epoch}",
+        d.recovered_epoch
+    );
+
+    // The recovered service keeps working: one more write, one more read.
+    let epoch = append_sub(&service, "DUR9999", "Post-recovery");
+    assert!(epoch > s.epoch);
+    assert_eq!(count_subs(&service, "DUR"), 6);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoints_bound_replay_and_preserve_state() {
+    let dir = temp_dir("checkpoint");
+
+    {
+        // Checkpoint every 3 records: 8 writes force at least two
+        // checkpoints, so recovery starts from a checkpoint, not epoch 0.
+        let service = open_durable(&dir, FsyncPolicy::Always, 3);
+        for i in 0..8 {
+            append_sub(&service, &format!("CKP{i:04}"), &format!("Ckpt {i}"));
+        }
+        let d = stats(&service).durability.unwrap();
+        assert!(
+            d.wal_checkpoints >= 2,
+            "8 writes @ every-3 → ≥2 checkpoints"
+        );
+    }
+
+    let service = open_durable(&dir, FsyncPolicy::Always, 3);
+    assert_eq!(count_subs(&service, "CKP"), 8);
+    let d = stats(&service).durability.unwrap();
+    assert!(
+        d.recovered_epoch >= 8,
+        "recovered epoch {} below the 8 acked writes",
+        d.recovered_epoch
+    );
+    // Replay only covers the post-checkpoint suffix.
+    assert!(
+        d.replayed_records <= 3,
+        "checkpointing should bound replay, got {} records",
+        d.replayed_records
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_and_off_policies_round_trip_on_clean_shutdown() {
+    for (tag, fsync) in [("batch", FsyncPolicy::Batch(4)), ("off", FsyncPolicy::Off)] {
+        let dir = temp_dir(tag);
+        {
+            let service = open_durable(&dir, fsync, 1_000);
+            for i in 0..6 {
+                append_sub(&service, &format!("POL{i:04}"), &format!("Policy {i}"));
+            }
+        } // Drop syncs the tail, so a clean shutdown loses nothing.
+        let service = open_durable(&dir, fsync, 1_000);
+        assert_eq!(
+            count_subs(&service, "POL"),
+            6,
+            "clean shutdown under fsync={fsync} lost writes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn recovered_rules_pass_the_install_gate() {
+    let dir = temp_dir("rules");
+
+    {
+        let service = open_durable(&dir, FsyncPolicy::Always, 1_000);
+        // Wait for boot induction's rule set to be installed and logged.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if stats(&service).rules_fresh {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "boot induction never installed rules"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    let service = open_durable(&dir, FsyncPolicy::Always, 1_000);
+    let s = stats(&service);
+    assert!(
+        s.rules_fresh,
+        "recovered rule set should be installed without re-induction"
+    );
+    assert_eq!(
+        s.rulesets_rejected, 0,
+        "recovered rules must pass the same check gate they passed live"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,6 +30,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The storage layer underpins durability: a panic here can tear a save
+// half-done. Panicking escape hatches are lint-visible so every one
+// needs an explicit, justified exemption.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod catalog;
 pub mod csv;

@@ -27,7 +27,7 @@ use crate::value::{Value, ValueType};
 use std::fs;
 use std::path::Path;
 
-fn schema_manifest_schema() -> Schema {
+fn schema_manifest_schema() -> Result<Schema> {
     Schema::new(vec![
         Attribute::new("Relation", Domain::basic(ValueType::Str)),
         Attribute::new("Position", Domain::basic(ValueType::Int)),
@@ -36,12 +36,12 @@ fn schema_manifest_schema() -> Schema {
         Attribute::new("Type", Domain::basic(ValueType::Str)),
         Attribute::new("CharLen", Domain::basic(ValueType::Int)),
     ])
-    .expect("static schema")
+    .map_err(|e| StorageError::Invalid(format!("manifest schema: {e}")))
 }
 
 /// Serialize the catalog's schemas into the manifest relation.
 fn manifest_of(db: &Database) -> Result<Relation> {
-    let mut m = Relation::new("_schema", schema_manifest_schema());
+    let mut m = Relation::new("_schema", schema_manifest_schema()?);
     for rel in db.relations() {
         for (pos, a) in rel.schema().attributes().iter().enumerate() {
             let char_len = a
@@ -66,24 +66,84 @@ fn manifest_of(db: &Database) -> Result<Relation> {
     Ok(m)
 }
 
-/// Save a database to a directory (created if missing; existing relation
-/// files are overwritten).
-pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
-    let io_err = |e: std::io::Error| StorageError::Invalid(format!("io error: {e}"));
-    fs::create_dir_all(dir).map_err(io_err)?;
-    let manifest = manifest_of(db)?;
-    fs::write(dir.join("_schema.csv"), to_csv(&manifest)).map_err(io_err)?;
-    for rel in db.relations() {
-        fs::write(dir.join(format!("{}.csv", rel.name())), to_csv(rel)).map_err(io_err)?;
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Invalid(format!("io error: {e}"))
+}
+
+/// Write one file and flush it to stable storage before returning.
+fn write_sync(path: &Path, contents: &str) -> Result<()> {
+    let mut f = fs::File::create(path).map_err(io_err)?;
+    std::io::Write::write_all(&mut f, contents.as_bytes()).map_err(io_err)?;
+    f.sync_all().map_err(io_err)
+}
+
+/// Flush a directory entry itself (best effort — not all filesystems
+/// support syncing directories).
+fn sync_dir(path: &Path) {
+    if let Ok(d) = fs::File::open(path) {
+        let _ = d.sync_all();
     }
+}
+
+/// Save a database to a directory, atomically: the full layout is
+/// staged in a temporary sibling directory, synced, and renamed into
+/// place. A crash mid-save leaves either the old directory or the new
+/// one, never a torn mix; concurrent readers of the old path keep a
+/// consistent view until the rename lands.
+pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
+    let manifest = manifest_of(db)?;
+
+    let parent = dir.parent().unwrap_or_else(|| Path::new("."));
+    let name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StorageError::Invalid(format!("bad save path {}", dir.display())))?;
+    if !parent.as_os_str().is_empty() {
+        fs::create_dir_all(parent).map_err(io_err)?;
+    }
+    let staging = parent.join(format!(".{name}.saving-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&staging);
+    fs::create_dir_all(&staging).map_err(io_err)?;
+
+    let staged = (|| -> Result<()> {
+        write_sync(&staging.join("_schema.csv"), &to_csv(&manifest))?;
+        for rel in db.relations() {
+            write_sync(&staging.join(format!("{}.csv", rel.name())), &to_csv(rel))?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = staged {
+        let _ = fs::remove_dir_all(&staging);
+        return Err(e);
+    }
+    sync_dir(&staging);
+
+    // Swap in. `rename` won't replace a non-empty directory, so an
+    // existing save is moved aside first and only deleted once the new
+    // one is in place — the window where neither exists is gone.
+    let old = parent.join(format!(".{name}.old-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&old);
+    let had_old = dir.exists();
+    if had_old {
+        fs::rename(dir, &old).map_err(io_err)?;
+    }
+    if let Err(e) = fs::rename(&staging, dir) {
+        // Try to put the old save back before reporting failure.
+        if had_old {
+            let _ = fs::rename(&old, dir);
+        }
+        let _ = fs::remove_dir_all(&staging);
+        return Err(io_err(e));
+    }
+    let _ = fs::remove_dir_all(&old);
+    sync_dir(parent);
     Ok(())
 }
 
 /// Load a database previously written by [`save_database`].
 pub fn load_database(dir: &Path) -> Result<Database> {
-    let io_err = |e: std::io::Error| StorageError::Invalid(format!("io error: {e}"));
     let manifest_text = fs::read_to_string(dir.join("_schema.csv")).map_err(io_err)?;
-    let manifest = from_csv("_schema", schema_manifest_schema(), &manifest_text)?;
+    let manifest = from_csv("_schema", schema_manifest_schema()?, &manifest_text)?;
 
     // Group manifest rows by relation, ordered by position.
     let mut relations: Vec<String> = Vec::new();

@@ -131,6 +131,9 @@ impl Schema {
 
     /// A schema with the given attributes projected out, preserving order
     /// of `indices`. Key flags are dropped (a projection loses keyness).
+    // Infallible by construction: a subset of a valid schema's attributes
+    // keeps names unique, so `Schema::new` cannot reject it.
+    #[allow(clippy::expect_used)]
     pub fn project(&self, indices: &[usize]) -> Schema {
         let attrs = indices
             .iter()
@@ -144,6 +147,9 @@ impl Schema {
 
     /// Concatenate two schemas for a join result; colliding names are
     /// prefixed with the relation aliases.
+    // Infallible by construction: colliding names are alias-prefixed
+    // before `Schema::new` sees them.
+    #[allow(clippy::expect_used)]
     pub fn join(&self, self_alias: &str, other: &Schema, other_alias: &str) -> Schema {
         let mut attrs = Vec::with_capacity(self.arity() + other.arity());
         for a in &self.attrs {

@@ -1,0 +1,143 @@
+//! Property tests for directory persistence: `save_database` followed
+//! by `load_database` must reproduce the database exactly — every
+//! tuple, every key flag, every `char[n]` width — for arbitrary
+//! schemas and CSV-hostile values (commas, quotes, embedded newlines).
+
+use intensio_storage::persist::{load_database, save_database};
+use intensio_storage::prelude::*;
+use intensio_storage::tuple::Tuple;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> std::path::PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("intensio-persist-props-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Alphabet chosen to stress CSV quoting: separators, quotes, newline.
+const ALPHABET: [char; 12] = ['a', 'B', 'z', '0', '7', ' ', ',', '"', '\n', '.', '-', ';'];
+
+/// One non-key attribute, encoded for the generator: `0` = Int,
+/// `w > 0` = `char[w]`.
+fn build_relation(name: &str, specs: &[usize], rows: &[Vec<u64>]) -> Relation {
+    let mut attrs = vec![Attribute::key("Id", Domain::char_n(7))];
+    for (j, &spec) in specs.iter().enumerate() {
+        let domain = if spec == 0 {
+            Domain::basic(ValueType::Int)
+        } else {
+            Domain::char_n(spec)
+        };
+        attrs.push(Attribute::new(format!("A{j}"), domain));
+    }
+    let mut rel = Relation::new(name, Schema::new(attrs).unwrap());
+    for (i, row) in rows.iter().enumerate() {
+        let mut vals = vec![Value::str(format!("K{i:05}"))];
+        for (j, &spec) in specs.iter().enumerate() {
+            let seed = row.get(j).copied().unwrap_or(0);
+            let v = if spec == 0 {
+                if seed % 7 == 0 {
+                    Value::Null // exercise Null round-tripping
+                } else {
+                    Value::Int(seed as i64 - 500)
+                }
+            } else {
+                // 1..=spec chars from the alphabet (empty cells load as
+                // Null, so strings are never empty).
+                let len = 1 + (seed as usize % spec);
+                let s: String = (0..len)
+                    .map(|k| ALPHABET[(seed as usize + k * 5) % ALPHABET.len()])
+                    .collect();
+                Value::str(s)
+            };
+            vals.push(v);
+        }
+        rel.insert(Tuple::new(vals)).unwrap();
+    }
+    rel
+}
+
+fn char_widths(schema: &Schema) -> Vec<Option<usize>> {
+    schema
+        .attributes()
+        .iter()
+        .map(|a| {
+            a.domain().constraints().iter().find_map(|c| match c {
+                DomainConstraint::CharLen(n) => Some(*n),
+                _ => None,
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_load_round_trip_is_exact(
+        spec1 in prop::collection::vec(0usize..9, 0..4),
+        spec2 in prop::collection::vec(0usize..9, 0..4),
+        rows1 in prop::collection::vec(prop::collection::vec(0u64..10_000, 0..4), 0..30),
+        rows2 in prop::collection::vec(prop::collection::vec(0u64..10_000, 0..4), 0..30),
+    ) {
+        let mut db = Database::new();
+        db.create(build_relation("ALPHA", &spec1, &rows1)).unwrap();
+        db.create(build_relation("BETA", &spec2, &rows2)).unwrap();
+
+        let dir = temp_dir();
+        save_database(&db, &dir).unwrap();
+        let loaded = load_database(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(loaded.len(), db.len());
+        for rel in db.relations() {
+            let got = loaded.get(rel.name()).unwrap();
+
+            // Tuples: exact values in exact order.
+            prop_assert_eq!(got.tuples(), rel.tuples(), "tuples of {}", rel.name());
+
+            // Key flags: attribute-by-attribute.
+            let keys: Vec<bool> = rel.schema().attributes().iter().map(|a| a.is_key()).collect();
+            let got_keys: Vec<bool> =
+                got.schema().attributes().iter().map(|a| a.is_key()).collect();
+            prop_assert_eq!(got_keys, keys, "key flags of {}", rel.name());
+
+            // char[n] widths: preserved wherever declared.
+            prop_assert_eq!(
+                char_widths(got.schema()),
+                char_widths(rel.schema()),
+                "char[n] widths of {}",
+                rel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_save_replaces_previous_save_completely(
+        spec in prop::collection::vec(0usize..9, 0..4),
+        rows in prop::collection::vec(prop::collection::vec(0u64..10_000, 0..4), 1..20),
+    ) {
+        // First save: a database with an extra relation.
+        let mut first = Database::new();
+        first.create(build_relation("ALPHA", &spec, &rows)).unwrap();
+        first.create(build_relation("STALE", &[], &rows)).unwrap();
+        let dir = temp_dir();
+        save_database(&first, &dir).unwrap();
+
+        // Second save over the same directory drops STALE; the load must
+        // see only the new state — no leftover relation files.
+        let mut second = Database::new();
+        second.create(build_relation("ALPHA", &spec, &rows)).unwrap();
+        save_database(&second, &dir).unwrap();
+
+        let loaded = load_database(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(loaded.len(), 1);
+        prop_assert!(loaded.get("ALPHA").is_ok());
+        prop_assert!(loaded.get("STALE").is_err(), "stale relation file survived the swap");
+    }
+}

@@ -1,0 +1,350 @@
+//! Checkpoints: a durable, atomic materialization of one knowledge
+//! state — the database (via [`intensio_storage::persist`]), the rule
+//! relations, and a `MANIFEST` pinning the epoch and data version.
+//!
+//! A checkpoint is written into a temporary directory and renamed into
+//! place, so a crash mid-checkpoint leaves either the previous state or
+//! the new one, never a half-written directory that recovery could
+//! mistake for valid. Checkpoint directories are never reused: each
+//! write gets a fresh `ckpt-<epoch>-<seq>` name, and recovery picks the
+//! newest `(epoch, seq)` whose manifest verifies.
+
+use crate::crc::crc32;
+use crate::segment::CHECKPOINT_SUBDIR;
+use crate::WalError;
+use intensio_rules::encode::{decode as decode_rules, encode as encode_rules, RuleRelations};
+use intensio_rules::rule::RuleSet;
+use intensio_storage::catalog::Database;
+use intensio_storage::persist::{load_database, save_database};
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_HEADER: &str = "intensio-checkpoint v1";
+
+/// A checkpoint directory on disk, identified but not yet loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRef {
+    /// The epoch the checkpoint pins.
+    pub epoch: u64,
+    /// Write sequence, to order checkpoints at the same epoch (a boot
+    /// re-checkpoint after recovery reuses the recovered epoch).
+    pub seq: u64,
+    /// The checkpoint directory.
+    pub path: PathBuf,
+}
+
+/// A checkpoint loaded back into memory.
+#[derive(Debug, Clone)]
+pub struct LoadedCheckpoint {
+    /// The epoch the checkpoint pins.
+    pub epoch: u64,
+    /// The data version at that epoch.
+    pub data_version: u64,
+    /// The database.
+    pub db: Database,
+    /// The rule set, when one was installed at checkpoint time.
+    pub rules: Option<RuleSet>,
+}
+
+fn dir_name(epoch: u64, seq: u64) -> String {
+    format!("ckpt-{epoch:016x}-{seq:04x}")
+}
+
+fn parse_dir_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("ckpt-")?;
+    let (epoch_hex, seq_hex) = rest.split_once('-')?;
+    if epoch_hex.len() != 16 || seq_hex.len() != 4 {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(epoch_hex, 16).ok()?,
+        u64::from_str_radix(seq_hex, 16).ok()?,
+    ))
+}
+
+/// Checkpoints under `data_dir/checkpoints`, sorted oldest-first by
+/// `(epoch, seq)`. Temporary (`.tmp-*`) and unparseable directories are
+/// ignored — a crash mid-checkpoint must not confuse recovery.
+pub fn list_checkpoints(data_dir: &Path) -> std::io::Result<Vec<CheckpointRef>> {
+    let dir = data_dir.join(CHECKPOINT_SUBDIR);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some((epoch, seq)) = name.to_str().and_then(parse_dir_name) {
+            out.push(CheckpointRef {
+                epoch,
+                seq,
+                path: entry.path(),
+            });
+        }
+    }
+    out.sort_by_key(|c| (c.epoch, c.seq));
+    Ok(out)
+}
+
+fn manifest_text(epoch: u64, data_version: u64, has_rules: bool) -> String {
+    let body = format!(
+        "{MANIFEST_HEADER}\nepoch {epoch}\ndata_version {data_version}\nrules {}\n",
+        u8::from(has_rules)
+    );
+    let crc = crc32(body.as_bytes());
+    format!("{body}crc {crc}\n")
+}
+
+fn parse_manifest(text: &str) -> Result<(u64, u64, bool), WalError> {
+    let bad = |why: &str| WalError(format!("invalid checkpoint manifest: {why}"));
+    let (body, crc_line) = text
+        .trim_end_matches('\n')
+        .rsplit_once('\n')
+        .ok_or_else(|| bad("too short"))?;
+    let body = format!("{body}\n");
+    let crc: u32 = crc_line
+        .strip_prefix("crc ")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| bad("missing crc line"))?;
+    if crc32(body.as_bytes()) != crc {
+        return Err(bad("checksum mismatch"));
+    }
+    let mut lines = body.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(bad("wrong header"));
+    }
+    let mut field = |key: &str| -> Result<u64, WalError> {
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix(key))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| bad(&format!("missing {key}")))
+    };
+    let epoch = field("epoch ")?;
+    let data_version = field("data_version ")?;
+    let rules = field("rules ")?;
+    Ok((epoch, data_version, rules != 0))
+}
+
+/// Write a checkpoint of `(db, rules)` at `(epoch, data_version)`.
+///
+/// The `wal.checkpoint` failpoint aborts after the database directory
+/// is written but before the manifest and rename — the partial-
+/// checkpoint crash shape recovery must ignore.
+pub fn write_checkpoint(
+    data_dir: &Path,
+    db: &Database,
+    rules: Option<&RuleSet>,
+    epoch: u64,
+    data_version: u64,
+) -> Result<CheckpointRef, WalError> {
+    let io = |e: std::io::Error| WalError(format!("checkpoint io: {e}"));
+    let parent = data_dir.join(CHECKPOINT_SUBDIR);
+    std::fs::create_dir_all(&parent).map_err(io)?;
+    let seq = list_checkpoints(data_dir)
+        .map_err(io)?
+        .iter()
+        .map(|c| c.seq)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let name = dir_name(epoch, seq);
+    let tmp = parent.join(format!("{name}.tmp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    save_database(db, &tmp.join("db")).map_err(|e| WalError(format!("checkpoint db: {e}")))?;
+    intensio_fault::fire("wal.checkpoint")
+        .map_err(|f| WalError(format!("checkpoint aborted: {f}")))?;
+    if let Some(rules) = rules {
+        let rels = encode_rules(rules).map_err(|e| WalError(format!("checkpoint rules: {e}")))?;
+        let mut rules_db = Database::new();
+        for (_, rel) in rels.named() {
+            rules_db
+                .create(rel.clone())
+                .map_err(|e| WalError(format!("checkpoint rules: {e}")))?;
+        }
+        save_database(&rules_db, &tmp.join("rules"))
+            .map_err(|e| WalError(format!("checkpoint rules: {e}")))?;
+    }
+    std::fs::write(
+        tmp.join(MANIFEST),
+        manifest_text(epoch, data_version, rules.is_some()),
+    )
+    .map_err(io)?;
+
+    let final_path = parent.join(&name);
+    std::fs::rename(&tmp, &final_path).map_err(io)?;
+    intensio_obs::inc("wal.checkpoints");
+    intensio_obs::gauge("wal.checkpoint_epoch", epoch as i64);
+    Ok(CheckpointRef {
+        epoch,
+        seq,
+        path: final_path,
+    })
+}
+
+/// Load a checkpoint back: manifest, database, rule relations.
+pub fn load_checkpoint(ckpt: &CheckpointRef) -> Result<LoadedCheckpoint, WalError> {
+    let io = |e: std::io::Error| WalError(format!("checkpoint io: {e}"));
+    let manifest = std::fs::read_to_string(ckpt.path.join(MANIFEST)).map_err(io)?;
+    let (epoch, data_version, has_rules) = parse_manifest(&manifest)?;
+    if epoch != ckpt.epoch {
+        return Err(WalError(format!(
+            "checkpoint directory {} claims epoch {epoch} in its manifest",
+            ckpt.path.display()
+        )));
+    }
+    let db = load_database(&ckpt.path.join("db"))
+        .map_err(|e| WalError(format!("loading checkpoint db: {e}")))?;
+    let rules = if has_rules {
+        let rules_db = load_database(&ckpt.path.join("rules"))
+            .map_err(|e| WalError(format!("loading checkpoint rules: {e}")))?;
+        let mut rels = RuleRelations::empty();
+        rels.rules = take_relation(&rules_db, "RULES")?;
+        rels.value_map = take_relation(&rules_db, "ATTRVALUEMAP")?;
+        rels.attr_catalog = take_relation(&rules_db, "ATTRCATALOG")?;
+        rels.meta = take_relation(&rules_db, "RULEMETA")?;
+        Some(decode_rules(&rels).map_err(|e| WalError(format!("decoding checkpoint rules: {e}")))?)
+    } else {
+        None
+    };
+    Ok(LoadedCheckpoint {
+        epoch,
+        data_version,
+        db,
+        rules,
+    })
+}
+
+fn take_relation(db: &Database, name: &str) -> Result<intensio_storage::Relation, WalError> {
+    db.get(name)
+        .cloned()
+        .map_err(|_| WalError(format!("checkpoint rules missing relation {name}")))
+}
+
+/// Delete all but the newest `keep` checkpoints. Best-effort: a
+/// checkpoint that will not delete is skipped, not fatal.
+pub fn prune_checkpoints(data_dir: &Path, keep: usize) -> std::io::Result<()> {
+    let mut all = list_checkpoints(data_dir)?;
+    let n = all.len().saturating_sub(keep.max(1));
+    for ckpt in all.drain(..n) {
+        let _ = std::fs::remove_dir_all(&ckpt.path);
+    }
+    // Also sweep stale temporaries from crashed checkpoints.
+    let parent = data_dir.join(CHECKPOINT_SUBDIR);
+    if let Ok(entries) = std::fs::read_dir(&parent) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.contains(".tmp-") {
+                let _ = std::fs::remove_dir_all(entry.path());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_storage::prelude::*;
+    use intensio_storage::tuple;
+
+    fn sample_db() -> Database {
+        let schema = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(7)),
+            Attribute::new("Displacement", Domain::basic(ValueType::Int)),
+        ])
+        .unwrap();
+        let mut ships = Relation::new("SHIPS", schema);
+        ships.insert(tuple!["SSBN730", 16600]).unwrap();
+        let mut db = Database::new();
+        db.create(ships).unwrap();
+        db
+    }
+
+    fn sample_rules() -> RuleSet {
+        use intensio_rules::rule::{AttrId, Clause, Rule};
+        RuleSet::from_rules([Rule::new(
+            1,
+            vec![Clause::between(
+                AttrId::new("SHIPS", "Displacement"),
+                7250,
+                30000,
+            )],
+            Clause::equals(AttrId::new("SHIPS", "Type"), "SSBN"),
+        )
+        .with_support(3)])
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("intensio_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let rules = sample_rules();
+        let r = write_checkpoint(&dir, &sample_db(), Some(&rules), 5, 3).unwrap();
+        assert_eq!((r.epoch, r.seq), (5, 1));
+        let loaded = load_checkpoint(&r).unwrap();
+        assert_eq!(loaded.epoch, 5);
+        assert_eq!(loaded.data_version, 3);
+        assert_eq!(loaded.db.get("SHIPS").unwrap().len(), 1);
+        let back = loaded.rules.unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(1).unwrap().support, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_checkpoint_wins_and_same_epoch_reuses() {
+        let dir = tmpdir("newest");
+        write_checkpoint(&dir, &sample_db(), None, 2, 1).unwrap();
+        write_checkpoint(&dir, &sample_db(), None, 7, 4).unwrap();
+        write_checkpoint(&dir, &sample_db(), None, 7, 4).unwrap();
+        let list = list_checkpoints(&dir).unwrap();
+        assert_eq!(list.len(), 3);
+        let newest = list.last().unwrap();
+        assert_eq!((newest.epoch, newest.seq), (7, 3), "seq breaks the tie");
+        prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let r = write_checkpoint(&dir, &sample_db(), None, 3, 3).unwrap();
+        let path = r.path.join(MANIFEST);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("epoch 3", "epoch 4");
+        std::fs::write(&path, text).unwrap();
+        assert!(load_checkpoint(&r).is_err(), "tampered manifest must fail");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_checkpoint_failpoint_leaves_no_valid_checkpoint() {
+        let dir = tmpdir("partial");
+        intensio_fault::configure("wal.checkpoint", "error*1").unwrap();
+        let err = write_checkpoint(&dir, &sample_db(), None, 1, 1);
+        intensio_fault::remove("wal.checkpoint");
+        assert!(err.is_err());
+        assert!(
+            list_checkpoints(&dir).unwrap().is_empty(),
+            "aborted checkpoint must not be listed"
+        );
+        // The torn temporary is swept by the next prune.
+        prune_checkpoints(&dir, 2).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir.join(CHECKPOINT_SUBDIR))
+            .unwrap()
+            .collect();
+        assert!(leftovers.is_empty(), "tmp dir swept");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,227 @@
+//! The WAL record format: length-prefixed, CRC-checksummed frames.
+//!
+//! ```text
+//! frame    = len:u32le  crc:u32le  payload
+//! payload  = kind:u8  epoch:u64le  data_version:u64le  body
+//! ```
+//!
+//! `len` is the payload length and `crc` is the CRC-32 of the payload,
+//! so a frame is self-validating: a reader that finds fewer bytes than
+//! `len` promises has hit a *torn tail* (the expected shape of a crash
+//! mid-append), and a reader whose checksum disagrees has hit
+//! *corruption*. Both stop replay; the distinction is reported so
+//! operators can tell an ordinary crash from bit rot.
+
+use crate::crc::crc32;
+
+/// Frame header: length + checksum.
+pub const FRAME_HEADER_BYTES: usize = 8;
+/// Payload prefix: kind + epoch + data_version.
+pub const PAYLOAD_PREFIX_BYTES: usize = 1 + 8 + 8;
+/// Upper bound on one record's payload; anything larger is treated as
+/// corruption (a garbage length prefix), not an allocation request.
+pub const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// What one WAL record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A data mutation: the body is the UTF-8 QUEL script that was
+    /// applied. Replay re-runs the script.
+    Write,
+    /// A rule-set install: the body is the encoded rule relations (see
+    /// [`crate::rules_codec`]). Replay re-installs the rules (after the
+    /// caller's static-analysis gate).
+    Rules,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::Write => 1,
+            RecordKind::Rules => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<RecordKind> {
+        match tag {
+            1 => Some(RecordKind::Write),
+            2 => Some(RecordKind::Rules),
+            _ => None,
+        }
+    }
+
+    /// The record kind's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::Write => "write",
+            RecordKind::Rules => "rules",
+        }
+    }
+}
+
+/// One durable log entry: the knowledge-state transition it caused
+/// (epoch, data version) plus the bytes needed to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// What the record describes.
+    pub kind: RecordKind,
+    /// The epoch the snapshot *created by this record* carries.
+    pub epoch: u64,
+    /// The data version of that snapshot.
+    pub data_version: u64,
+    /// Kind-specific payload.
+    pub body: Vec<u8>,
+}
+
+impl Record {
+    /// A data-mutation record carrying the QUEL script that ran.
+    pub fn write(epoch: u64, data_version: u64, script: &str) -> Record {
+        Record {
+            kind: RecordKind::Write,
+            epoch,
+            data_version,
+            body: script.as_bytes().to_vec(),
+        }
+    }
+
+    /// A rule-set-install record carrying encoded rule relations.
+    pub fn rules(epoch: u64, data_version: u64, body: Vec<u8>) -> Record {
+        Record {
+            kind: RecordKind::Rules,
+            epoch,
+            data_version,
+            body,
+        }
+    }
+
+    /// The QUEL script of a [`RecordKind::Write`] record.
+    pub fn script(&self) -> Option<&str> {
+        match self.kind {
+            RecordKind::Write => std::str::from_utf8(&self.body).ok(),
+            RecordKind::Rules => None,
+        }
+    }
+
+    /// Encode the full frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = PAYLOAD_PREFIX_BYTES + self.body.len();
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + len);
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+        out.extend_from_slice(&[0, 0, 0, 0]); // crc placeholder
+        out.push(self.kind.tag());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.data_version.to_le_bytes());
+        out.extend_from_slice(&self.body);
+        let crc = crc32(&out[FRAME_HEADER_BYTES..]);
+        out[4..8].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// The outcome of decoding one frame from the front of `buf`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// A valid record, and how many bytes it consumed.
+    Complete(Record, usize),
+    /// The buffer ends mid-frame: a torn tail (crash mid-append).
+    Torn,
+    /// The frame is structurally invalid (bad checksum, impossible
+    /// length, unknown kind): corruption, with a description.
+    Corrupt(String),
+}
+
+/// Decode the frame at the front of `buf` (an empty buffer is a clean
+/// end of log, reported as [`FrameOutcome::Torn`] with zero bytes —
+/// callers distinguish by checking `buf.is_empty()` first).
+pub fn decode_frame(buf: &[u8]) -> FrameOutcome {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return FrameOutcome::Torn;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if len > MAX_PAYLOAD_BYTES {
+        return FrameOutcome::Corrupt(format!("frame length {len} exceeds maximum"));
+    }
+    let len = len as usize;
+    if len < PAYLOAD_PREFIX_BYTES {
+        return FrameOutcome::Corrupt(format!("frame length {len} below payload prefix"));
+    }
+    let Some(payload) = buf.get(FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len) else {
+        return FrameOutcome::Torn;
+    };
+    if crc32(payload) != crc {
+        return FrameOutcome::Corrupt("checksum mismatch".to_string());
+    }
+    let Some(kind) = RecordKind::from_tag(payload[0]) else {
+        return FrameOutcome::Corrupt(format!("unknown record kind {}", payload[0]));
+    };
+    let mut epoch = [0u8; 8];
+    epoch.copy_from_slice(&payload[1..9]);
+    let mut dv = [0u8; 8];
+    dv.copy_from_slice(&payload[9..17]);
+    FrameOutcome::Complete(
+        Record {
+            kind,
+            epoch: u64::from_le_bytes(epoch),
+            data_version: u64::from_le_bytes(dv),
+            body: payload[PAYLOAD_PREFIX_BYTES..].to_vec(),
+        },
+        FRAME_HEADER_BYTES + len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let rec = Record::write(7, 3, "append to SUBMARINE (Id = \"X\")");
+        let frame = rec.encode();
+        match decode_frame(&frame) {
+            FrameOutcome::Complete(back, consumed) => {
+                assert_eq!(back, rec);
+                assert_eq!(consumed, frame.len());
+                assert_eq!(back.script(), Some("append to SUBMARINE (Id = \"X\")"));
+            }
+            other => panic!("expected complete frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_torn() {
+        let frame = Record::rules(2, 1, vec![1, 2, 3, 4, 5]).encode();
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..cut]),
+                FrameOutcome::Torn,
+                "prefix of {cut} bytes must read as torn"
+            );
+        }
+    }
+
+    #[test]
+    fn any_flip_is_corrupt_or_torn_never_wrong() {
+        let rec = Record::write(9, 4, "delete s where s.Id = \"A\"");
+        let frame = rec.encode();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            match decode_frame(&bad) {
+                FrameOutcome::Complete(back, _) => {
+                    panic!("flip at {i} decoded as {back:?}")
+                }
+                FrameOutcome::Torn | FrameOutcome::Corrupt(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_lengths_are_corrupt() {
+        let mut frame = Record::write(1, 1, "x").encode();
+        frame[0..4].copy_from_slice(&(MAX_PAYLOAD_BYTES + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&frame), FrameOutcome::Corrupt(_)));
+        frame[0..4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(decode_frame(&frame), FrameOutcome::Corrupt(_)));
+    }
+}

@@ -1,0 +1,373 @@
+//! Boot-time recovery: rebuild the newest consistent knowledge state
+//! from checkpoints plus the log.
+//!
+//! # Procedure
+//!
+//! 1. Load the newest checkpoint whose manifest verifies (older ones
+//!    are fallbacks; unverifiable ones are ignored).
+//! 2. Scan segments in sequence order, decoding frames. A record is
+//!    *replayed* only if its epoch is exactly one past the last
+//!    accepted epoch — the log is a chain, and contiguity is what makes
+//!    a replayed suffix sound. Records at or below the checkpoint epoch
+//!    are *skipped* (already materialized).
+//! 3. A torn frame ends that segment: the expected shape of a crash
+//!    mid-append. Replay continues with the next segment (a writer
+//!    never appends after a tail it did not write, so later segments
+//!    can legitimately follow a torn one), still under the contiguity
+//!    rule. Torn tails are reported so the caller can truncate them.
+//! 4. A corrupt frame (bad checksum, impossible length) or an epoch
+//!    gap ends replay entirely: frame boundaries or ordering can no
+//!    longer be trusted, and everything after is discarded and counted.
+//!
+//! The function is read-only; [`apply_sanitize`] performs the
+//! truncations recovery recommends.
+
+use crate::checkpoint::{list_checkpoints, load_checkpoint, LoadedCheckpoint};
+use crate::record::{decode_frame, FrameOutcome, Record};
+use crate::segment::list_segments;
+use crate::WalError;
+use std::path::{Path, PathBuf};
+
+/// What recovery observed, for STATS and the `recovery.*` metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records accepted for replay.
+    pub replayed_records: u64,
+    /// Complete records already covered by the checkpoint.
+    pub skipped_records: u64,
+    /// Complete records rejected (after corruption or an epoch gap).
+    pub discarded_records: u64,
+    /// Bytes dropped: torn tails plus everything after corruption.
+    pub discarded_bytes: u64,
+    /// Whether any segment ended in a torn frame.
+    pub torn_tail: bool,
+    /// Whether a corrupt frame or epoch gap ended replay early.
+    pub corrupt: bool,
+    /// Epoch of the checkpoint recovery started from (0 if none).
+    pub checkpoint_epoch: u64,
+}
+
+/// The result of scanning a data directory.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The newest valid checkpoint, if any.
+    pub checkpoint: Option<LoadedCheckpoint>,
+    /// The epoch-contiguous record suffix to replay, oldest first.
+    pub records: Vec<Record>,
+    /// Accounting for STATS and metrics.
+    pub stats: RecoveryStats,
+    /// Highest segment sequence number present (0 on a fresh
+    /// directory); the writer opens segment `last_seq + 1`.
+    pub last_seq: u64,
+    /// Truncation plan: `(segment, keep_bytes)` for every torn tail.
+    pub torn: Vec<(PathBuf, u64)>,
+}
+
+impl Recovered {
+    /// The epoch of the recovered state (after replay).
+    pub fn final_epoch(&self) -> u64 {
+        self.records
+            .last()
+            .map(|r| r.epoch)
+            .unwrap_or(self.stats.checkpoint_epoch)
+    }
+
+    /// The data version of the recovered state (after replay).
+    pub fn final_data_version(&self) -> u64 {
+        self.records
+            .last()
+            .map(|r| r.data_version)
+            .or_else(|| self.checkpoint.as_ref().map(|c| c.data_version))
+            .unwrap_or(0)
+    }
+}
+
+/// Scan `data_dir` and compute the newest consistent state. Read-only:
+/// nothing on disk changes. Fails only on I/O errors reading intact
+/// files — corruption and torn tails are outcomes, not errors.
+pub fn recover(data_dir: &Path) -> Result<Recovered, WalError> {
+    let io = |e: std::io::Error| WalError(format!("recovery io: {e}"));
+
+    let mut checkpoint = None;
+    for ckpt in list_checkpoints(data_dir).map_err(io)?.iter().rev() {
+        match load_checkpoint(ckpt) {
+            Ok(loaded) => {
+                checkpoint = Some(loaded);
+                break;
+            }
+            Err(_) => continue, // unverifiable checkpoint: fall back
+        }
+    }
+    let base_epoch = checkpoint.as_ref().map(|c| c.epoch).unwrap_or(0);
+
+    let mut stats = RecoveryStats {
+        checkpoint_epoch: base_epoch,
+        ..RecoveryStats::default()
+    };
+    let mut records: Vec<Record> = Vec::new();
+    let mut torn: Vec<(PathBuf, u64)> = Vec::new();
+    let mut last_epoch = base_epoch;
+    let mut stopped = false;
+
+    let segments = list_segments(data_dir).map_err(io)?;
+    let last_seq = segments.last().map(|(seq, _)| *seq).unwrap_or(0);
+
+    for (_seq, path) in &segments {
+        let buf = std::fs::read(path).map_err(io)?;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            match decode_frame(&buf[pos..]) {
+                FrameOutcome::Complete(rec, consumed) => {
+                    pos += consumed;
+                    if stopped {
+                        stats.discarded_records += 1;
+                        stats.discarded_bytes += consumed as u64;
+                        continue;
+                    }
+                    let duplicates_tail = rec.epoch == last_epoch
+                        && records.last().is_some_and(|prev| prev.epoch == rec.epoch);
+                    if duplicates_tail {
+                        // Two records for one epoch: the earlier append
+                        // was logged but its in-process install failed
+                        // before acknowledgement, so the writer reused
+                        // the epoch. The later record is the transition
+                        // that was actually acknowledged — it wins.
+                        if let Some(prev) = records.last_mut() {
+                            *prev = rec;
+                        }
+                        stats.skipped_records += 1;
+                    } else if rec.epoch <= last_epoch {
+                        stats.skipped_records += 1;
+                    } else if rec.epoch == last_epoch + 1 {
+                        last_epoch = rec.epoch;
+                        stats.replayed_records += 1;
+                        records.push(rec);
+                    } else {
+                        // An epoch gap: records are missing between the
+                        // accepted prefix and this one. Nothing after
+                        // can be trusted to describe a state we hold.
+                        stats.corrupt = true;
+                        stopped = true;
+                        stats.discarded_records += 1;
+                        stats.discarded_bytes += consumed as u64;
+                    }
+                }
+                FrameOutcome::Torn => {
+                    stats.torn_tail = true;
+                    stats.discarded_bytes += (buf.len() - pos) as u64;
+                    torn.push((path.clone(), pos as u64));
+                    break; // next segment may still continue the chain
+                }
+                FrameOutcome::Corrupt(_) => {
+                    stats.corrupt = true;
+                    stats.discarded_bytes += (buf.len() - pos) as u64;
+                    stopped = true;
+                    break; // framing is lost for the rest of this file
+                }
+            }
+        }
+    }
+
+    intensio_obs::gauge("recovery.replayed_records", stats.replayed_records as i64);
+    intensio_obs::gauge("recovery.skipped_records", stats.skipped_records as i64);
+    intensio_obs::gauge("recovery.discarded_records", stats.discarded_records as i64);
+    intensio_obs::gauge("recovery.discarded_bytes", stats.discarded_bytes as i64);
+    intensio_obs::gauge("recovery.checkpoint_epoch", base_epoch as i64);
+
+    Ok(Recovered {
+        checkpoint,
+        records,
+        stats,
+        last_seq,
+        torn,
+    })
+}
+
+/// Truncate the torn tails recovery found, making the on-disk log equal
+/// to the replayed prefix. Safe to re-run; a no-op when nothing tore.
+pub fn apply_sanitize(recovered: &Recovered) -> Result<(), WalError> {
+    for (path, keep) in &recovered.torn {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| WalError(format!("opening {} to truncate: {e}", path.display())))?;
+        file.set_len(*keep)
+            .map_err(|e| WalError(format!("truncating {}: {e}", path.display())))?;
+        file.sync_all()
+            .map_err(|e| WalError(format!("syncing {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Wal;
+    use crate::segment::{segment_file_name, WAL_SUBDIR};
+    use crate::{FsyncPolicy, WalConfig};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("intensio_recover_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg() -> WalConfig {
+        WalConfig {
+            segment_bytes: 200,
+            fsync: FsyncPolicy::Off,
+            checkpoint_every: 1000,
+            keep_checkpoints: 2,
+        }
+    }
+
+    fn write_n(dir: &Path, n: u64) {
+        let mut wal = Wal::open(dir, cfg(), 0).unwrap();
+        for i in 1..=n {
+            wal.append(&Record::write(i, i, &format!("script {i}")))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmpdir("fresh");
+        let rec = recover(&dir).unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.final_epoch(), 0);
+        assert_eq!(rec.last_seq, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let dir = tmpdir("torn");
+        write_n(&dir, 5);
+        // Tear the last segment: chop a few bytes off its tail.
+        let segments = list_segments(&dir).unwrap();
+        let (_, last) = segments.last().unwrap();
+        let bytes = std::fs::read(last).unwrap();
+        std::fs::write(last, &bytes[..bytes.len() - 3]).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 4, "the torn record is dropped");
+        assert!(rec.stats.torn_tail);
+        assert!(!rec.stats.corrupt);
+        assert_eq!(rec.final_epoch(), 4);
+        assert_eq!(rec.torn.len(), 1);
+
+        apply_sanitize(&rec).unwrap();
+        let again = recover(&dir).unwrap();
+        assert_eq!(again.records.len(), 4);
+        assert!(!again.stats.torn_tail, "sanitize removed the tear");
+    }
+
+    #[test]
+    fn corruption_stops_replay_and_counts_the_rest() {
+        let dir = tmpdir("corrupt");
+        write_n(&dir, 6);
+        // Flip a byte inside the second record of the first segment.
+        let segments = list_segments(&dir).unwrap();
+        let (_, first) = segments.first().unwrap();
+        let mut bytes = std::fs::read(first).unwrap();
+        let first_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize + 8;
+        bytes[first_len + 10] ^= 0xFF;
+        std::fs::write(first, &bytes).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1, "only the record before the damage");
+        assert!(rec.stats.corrupt);
+        assert!(rec.stats.discarded_records >= 1 || rec.stats.discarded_bytes > 0);
+        assert_eq!(rec.final_epoch(), 1);
+    }
+
+    #[test]
+    fn epoch_gap_discards_the_suffix() {
+        let dir = tmpdir("gap");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Record::write(1, 1, "a").encode());
+        buf.extend_from_slice(&Record::write(3, 3, "c").encode()); // gap: no epoch 2
+        buf.extend_from_slice(&Record::write(4, 4, "d").encode());
+        std::fs::write(wal_dir.join(segment_file_name(1)), &buf).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.stats.discarded_records, 2);
+        assert!(rec.stats.corrupt);
+    }
+
+    #[test]
+    fn later_segment_continues_past_a_sanitized_boot() {
+        // Boot 1 writes records 1-2 and tears record 3's frame; boot 2
+        // starts a fresh segment and appends records 3-4. Recovery must
+        // replay 1-4 across the tear.
+        let dir = tmpdir("reboot");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut seg1 = Vec::new();
+        seg1.extend_from_slice(&Record::write(1, 1, "a").encode());
+        seg1.extend_from_slice(&Record::write(2, 2, "b").encode());
+        let torn = Record::write(3, 3, "lost").encode();
+        seg1.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(wal_dir.join(segment_file_name(1)), &seg1).unwrap();
+        let mut seg2 = Vec::new();
+        seg2.extend_from_slice(&Record::write(3, 3, "c").encode());
+        seg2.extend_from_slice(&Record::write(4, 4, "d").encode());
+        std::fs::write(wal_dir.join(segment_file_name(2)), &seg2).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        assert_eq!(rec.records[2].script(), Some("c"));
+        assert!(rec.stats.torn_tail);
+        assert!(!rec.stats.corrupt);
+        assert_eq!(rec.last_seq, 2);
+    }
+
+    #[test]
+    fn duplicate_epoch_last_record_wins() {
+        // Epoch 2 appears twice: the first append's install failed
+        // before acknowledgement and the epoch was reused. The later,
+        // acknowledged record must be the one replayed.
+        let dir = tmpdir("dup");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Record::write(1, 1, "a").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "unacked").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "acked").encode());
+        buf.extend_from_slice(&Record::write(3, 3, "c").encode());
+        std::fs::write(wal_dir.join(segment_file_name(1)), &buf).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[1].script(), Some("acked"));
+        assert_eq!(rec.stats.skipped_records, 1);
+        assert!(!rec.stats.corrupt);
+        assert_eq!(rec.final_epoch(), 3);
+    }
+
+    #[test]
+    fn checkpoint_plus_suffix_replay() {
+        use intensio_storage::prelude::*;
+        let dir = tmpdir("ckpt");
+        let db = Database::new();
+        crate::checkpoint::write_checkpoint(&dir, &db, None, 3, 2).unwrap();
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        for (e, s) in [(2, "old"), (3, "old"), (4, "new"), (5, "new2")] {
+            buf.extend_from_slice(&Record::write(e, e, s).encode());
+        }
+        std::fs::write(wal_dir.join(segment_file_name(7)), &buf).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.stats.checkpoint_epoch, 3);
+        assert_eq!(rec.stats.skipped_records, 2, "records at or below epoch 3");
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.final_epoch(), 5);
+        assert_eq!(rec.last_seq, 7);
+    }
+}

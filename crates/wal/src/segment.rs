@@ -1,0 +1,81 @@
+//! WAL segment files: naming, listing, and the on-disk layout.
+//!
+//! ```text
+//! <data-dir>/
+//!   wal/
+//!     wal-0000000000000001.log     segment 1 (oldest)
+//!     wal-0000000000000002.log     segment 2 (active)
+//!   checkpoints/
+//!     ckpt-000000000000000c-0001/  checkpoint at epoch 12
+//!       MANIFEST
+//!       db/       storage::persist directory of the database
+//!       rules/    storage::persist directory of the rule relations
+//! ```
+//!
+//! Segments are pure record streams (no per-file header); the sequence
+//! number in the file name orders them. The writer rotates to a new
+//! segment when the active one grows past the configured size, and a
+//! successful checkpoint starts a fresh segment and deletes the ones
+//! before it (every record they hold is covered by the checkpoint).
+
+use std::path::{Path, PathBuf};
+
+/// Subdirectory holding the log segments.
+pub const WAL_SUBDIR: &str = "wal";
+/// Subdirectory holding checkpoints.
+pub const CHECKPOINT_SUBDIR: &str = "checkpoints";
+
+/// The file name of segment `seq`.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.log")
+}
+
+/// Parse a segment file name back into its sequence number.
+pub fn parse_segment_seq(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// The segments under `data_dir/wal`, sorted by sequence number.
+/// A missing directory is an empty log, not an error.
+pub fn list_segments(data_dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let dir = data_dir.join(WAL_SUBDIR);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_segment_seq) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort_textually() {
+        assert_eq!(segment_file_name(1), "wal-0000000000000001.log");
+        assert_eq!(parse_segment_seq("wal-0000000000000001.log"), Some(1));
+        assert_eq!(
+            parse_segment_seq(&segment_file_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_segment_seq("wal-xyz.log"), None);
+        assert_eq!(parse_segment_seq("wal-01.log"), None, "fixed width only");
+        assert_eq!(parse_segment_seq("ckpt-0000000000000001"), None);
+        // Textual order == numeric order, so `ls` shows replay order.
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+}

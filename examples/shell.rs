@@ -339,7 +339,26 @@ impl RemoteShell {
                     n("induction_retries"),
                     n("rulesets_rejected"),
                     n("degraded_answers"),
-                )
+                ) + &match v.get("durability") {
+                    Some(d) if d.get("fsync").is_some() => {
+                        let dn = |key: &str| d.get(key).and_then(Json::as_u64).unwrap_or(0);
+                        format!(
+                            "\ndurability: fsync {}, {} appends ({} bytes, {} fsyncs), \
+                             {} checkpoints; recovered epoch {} ({} replayed, \
+                             {} discarded, {} ms)",
+                            d.get("fsync").and_then(Json::as_str).unwrap_or("?"),
+                            dn("wal_appends"),
+                            dn("wal_append_bytes"),
+                            dn("wal_fsyncs"),
+                            dn("wal_checkpoints"),
+                            dn("recovered_epoch"),
+                            dn("replayed_records"),
+                            dn("discarded_records"),
+                            dn("recovery_ms"),
+                        )
+                    }
+                    _ => String::new(),
+                }
             }
             Some("check") => {
                 let n = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
