@@ -38,6 +38,13 @@
 //!   with capped exponential backoff plus jitter (`induction_retries`),
 //!   so a transient fault cannot strand the service at
 //!   `rules_fresh = false` forever.
+//! * **Checkpoints run off the request path.** In durable mode a write
+//!   only appends its WAL record; when the checkpoint cadence comes
+//!   due, a background checkpointer materializes the pinned snapshot
+//!   through `storage::persist` without holding the write lock or the
+//!   WAL lock, then briefly takes the WAL lock to delete only the log
+//!   segments the checkpoint fully covers. Writers and `STATS` never
+//!   stall behind full-state serialization.
 //!
 //! Failpoints from [`intensio_fault`] (`serve.cache`, `serve.install`,
 //! `serve.worker`, plus the storage/induction/inference points) exercise
@@ -56,6 +63,7 @@ use intensio_quel::{AccessKind, Output, Session};
 use intensio_sql::{analyze, parse};
 use intensio_storage::catalog::Database;
 use intensio_storage::relation::Relation;
+use intensio_wal::checkpoint::write_checkpoint;
 use intensio_wal::record::{Record, RecordKind};
 use intensio_wal::{rules_codec, Wal, WalConfig};
 use std::fmt;
@@ -435,8 +443,10 @@ struct Counters {
     degraded: AtomicU64,
 }
 
+/// Wake-up state for a condvar-driven background thread (the inducer
+/// and the checkpointer each own one).
 #[derive(Default)]
-struct InduceFlags {
+struct WakeFlags {
     dirty: bool,
     shutdown: bool,
 }
@@ -449,8 +459,11 @@ struct Shared {
     cache: Mutex<AnswerCache>,
     cfg: ServiceConfig,
     counters: Counters,
-    induce: Mutex<InduceFlags>,
+    induce: Mutex<WakeFlags>,
     induce_wake: Condvar,
+    /// Signals the background checkpointer (durable mode only).
+    ckpt: Mutex<WakeFlags>,
+    ckpt_wake: Condvar,
     /// Jobs accepted but not yet picked up by a worker; the admission
     /// gauge for load shedding.
     queue_depth: AtomicUsize,
@@ -459,11 +472,15 @@ struct Shared {
     shutdown: AtomicBool,
     /// Durable mode: the WAL writer plus what boot recovery observed.
     /// The `Wal` mutex nests *inside* `write_lock` on the write path;
-    /// readers (stats) take it alone, so the order is acyclic.
+    /// readers (stats) and the background checkpointer take it alone,
+    /// never `write_lock`, so the order is acyclic.
     durability: Option<Durability>,
 }
 
 struct Durability {
+    /// The data-dir root; the background checkpointer writes checkpoint
+    /// directories here without holding the WAL lock.
+    dir: PathBuf,
     wal: Mutex<Wal>,
     recovery: RecoveryReport,
 }
@@ -505,6 +522,12 @@ impl Shared {
         let mut flags = self.induce.lock().unwrap_or_else(|e| e.into_inner());
         flags.dirty = true;
         self.induce_wake.notify_all();
+    }
+
+    fn wake_checkpointer(&self) {
+        let mut flags = self.ckpt.lock().unwrap_or_else(|e| e.into_inner());
+        flags.dirty = true;
+        self.ckpt_wake.notify_all();
     }
 
     fn note_ruleset_rejected(&self) {
@@ -549,10 +572,12 @@ fn boot_induce(
     }
 }
 
-/// Checkpoint a snapshot. The rule set is stored only when it is fresh
-/// for this data — stale rules are cheaper to re-induce after recovery
-/// than to pin durably. Falls back to a rule-less checkpoint when the
-/// rules fail to encode.
+/// Checkpoint a snapshot through the *exclusive* [`Wal::checkpoint`]
+/// path — boot only, before any worker thread exists. The rule set is
+/// stored only when it is fresh for this data — stale rules are cheaper
+/// to re-induce after recovery than to pin durably. Falls back to a
+/// rule-less checkpoint when the rules fail to encode. The live service
+/// checkpoints via [`checkpoint_once`] instead.
 fn checkpoint_snapshot(
     wal: &mut Wal,
     snap: &Snapshot,
@@ -674,6 +699,7 @@ fn boot_durable(
     Ok((
         snapshot,
         Durability {
+            dir: dir.to_path_buf(),
             wal: Mutex::new(wal),
             recovery,
         },
@@ -698,6 +724,8 @@ pub struct Service {
     /// The supervisor owns the worker handles; see [`supervise`].
     supervisor: Mutex<Option<JoinHandle<()>>>,
     inducer: Mutex<Option<JoinHandle<()>>>,
+    /// Background checkpointer; `None` for in-memory services.
+    checkpointer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Service {
@@ -751,8 +779,10 @@ impl Service {
             cache: Mutex::new(AnswerCache::new(cfg.cache_capacity)),
             cfg,
             counters: Counters::default(),
-            induce: Mutex::new(InduceFlags::default()),
+            induce: Mutex::new(WakeFlags::default()),
             induce_wake: Condvar::new(),
+            ckpt: Mutex::new(WakeFlags::default()),
+            ckpt_wake: Condvar::new(),
             queue_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             durability,
@@ -785,12 +815,24 @@ impl Service {
                 .spawn(move || inducer_loop(&shared))
                 .map_err(|e| ServeError(format!("spawning inducer: {e}")))?
         };
+        let checkpointer = if shared.durability.is_some() {
+            let shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("intensio-checkpointer".to_string())
+                    .spawn(move || checkpointer_loop(&shared))
+                    .map_err(|e| ServeError(format!("spawning checkpointer: {e}")))?,
+            )
+        } else {
+            None
+        };
 
         Ok(Service {
             shared,
             queue: Mutex::new(Some(tx)),
             supervisor: Mutex::new(Some(supervisor)),
             inducer: Mutex::new(Some(inducer)),
+            checkpointer: Mutex::new(checkpointer),
         })
     }
 
@@ -885,6 +927,23 @@ impl Drop for Service {
         }
         if let Some(h) = self
             .inducer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = h.join();
+        }
+        // The checkpointer goes down last among the writers' helpers: a
+        // cadence signal raised by the final writes or rule installs is
+        // still honored, so the shutdown checkpoint bounds the next
+        // boot's replay.
+        {
+            let mut flags = self.shared.ckpt.lock().unwrap_or_else(|e| e.into_inner());
+            flags.shutdown = true;
+            self.shared.ckpt_wake.notify_all();
+        }
+        if let Some(h) = self
+            .checkpointer
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take()
@@ -1386,21 +1445,103 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
     Reply::Query(reply)
 }
 
-/// Take a checkpoint when enough records have accumulated. Must be
-/// called while holding `write_lock`, so the checkpointed snapshot is
-/// at least as new as every record the checkpoint retires. Failure is
-/// not fatal: the log keeps growing and the next write tries again.
+/// Hand the checkpoint to the background checkpointer when enough
+/// records have accumulated. The request path only peeks at the cadence
+/// counter under a briefly held WAL lock; the expensive full-state
+/// materialization happens on the checkpointer thread, off the write
+/// path (see [`checkpointer_loop`]).
 fn maybe_checkpoint(shared: &Shared) {
     let Some(dur) = &shared.durability else {
         return;
     };
-    let mut wal = dur.wal.lock().unwrap_or_else(|e| e.into_inner());
-    if !wal.checkpoint_due() {
-        return;
+    let due = dur
+        .wal
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .checkpoint_due();
+    if due {
+        shared.wake_checkpointer();
     }
+}
+
+/// Materialize `snap` as an on-disk checkpoint, with the same rule-less
+/// fallback [`checkpoint_snapshot`] applies on the boot path.
+fn write_snapshot_checkpoint(
+    dir: &Path,
+    snap: &Snapshot,
+) -> Result<intensio_wal::CheckpointRef, intensio_wal::WalError> {
+    let rules = snap.dictionary.rules();
+    let with_rules = (snap.rules_fresh && !rules.is_empty()).then_some(rules);
+    match write_checkpoint(dir, &snap.db, with_rules, snap.epoch, snap.data_version) {
+        Ok(c) => Ok(c),
+        Err(_) if with_rules.is_some() => {
+            write_checkpoint(dir, &snap.db, None, snap.epoch, snap.data_version)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One checkpointer pass: pin the current snapshot, materialize it into
+/// a checkpoint directory with *no* locks held (appends, reads, and
+/// STATS all keep flowing), then take the WAL lock just long enough to
+/// delete the segments the checkpoint fully covers. Records appended
+/// while the checkpoint was being written are above its epoch and are
+/// never deleted ([`Wal::truncate_covered`]). Failure is not fatal: the
+/// log keeps growing and the next due write re-signals.
+fn checkpoint_once(shared: &Shared) {
+    let Some(dur) = &shared.durability else {
+        return;
+    };
     let snap = shared.snapshot();
-    if checkpoint_snapshot(&mut wal, &snap).is_err() {
-        intensio_obs::inc("wal.checkpoint_failures");
+    let started = std::time::Instant::now();
+    match write_snapshot_checkpoint(&dur.dir, &snap) {
+        Ok(_) => {
+            let truncated = dur
+                .wal
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .truncate_covered(snap.epoch);
+            match truncated {
+                Ok(()) => {
+                    intensio_obs::gauge("wal.checkpoint_ms", started.elapsed().as_millis() as i64);
+                }
+                Err(_) => intensio_obs::inc("wal.checkpoint_failures"),
+            }
+        }
+        Err(_) => intensio_obs::inc("wal.checkpoint_failures"),
+    }
+}
+
+/// The background checkpointer loop. Signaled by the write path when
+/// the cadence counter comes due; coalesces bursts (a signal raised
+/// mid-pass triggers one more pass against the then-newer snapshot). A
+/// signal pending at shutdown still runs, so the final checkpoint
+/// bounds the next boot's replay.
+fn checkpointer_loop(shared: &Shared) {
+    loop {
+        let (dirty, shutdown) = {
+            let mut flags = shared.ckpt.lock().unwrap_or_else(|e| e.into_inner());
+            while !flags.dirty && !flags.shutdown {
+                let (next, _) = shared
+                    .ckpt_wake
+                    .wait_timeout(flags, std::time::Duration::from_millis(200))
+                    .unwrap_or_else(|e| e.into_inner());
+                flags = next;
+            }
+            let out = (flags.dirty, flags.shutdown);
+            flags.dirty = false;
+            out
+        };
+        if dirty {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checkpoint_once(shared)));
+            if outcome.is_err() {
+                intensio_obs::inc("wal.checkpoint_failures");
+            }
+        }
+        if shutdown {
+            return;
+        }
     }
 }
 

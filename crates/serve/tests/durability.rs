@@ -127,11 +127,21 @@ fn checkpoints_bound_replay_and_preserve_state() {
         for i in 0..8 {
             append_sub(&service, &format!("CKP{i:04}"), &format!("Ckpt {i}"));
         }
-        let d = stats(&service).durability.unwrap();
-        assert!(
-            d.wal_checkpoints >= 2,
-            "8 writes @ every-3 → ≥2 checkpoints"
-        );
+        // Checkpoints are materialized by a background thread; wait for
+        // the cadence signals to land (the boot checkpoint counts too).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let d = stats(&service).durability.unwrap();
+            if d.wal_checkpoints >= 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "8 writes @ every-3 → ≥2 checkpoints, saw {}",
+                d.wal_checkpoints
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
 
     let service = open_durable(&dir, FsyncPolicy::Always, 3);

@@ -85,11 +85,32 @@ fn sync_dir(path: &Path) {
     }
 }
 
-/// Save a database to a directory, atomically: the full layout is
-/// staged in a temporary sibling directory, synced, and renamed into
-/// place. A crash mid-save leaves either the old directory or the new
-/// one, never a torn mix; concurrent readers of the old path keep a
-/// consistent view until the rename lands.
+/// The hidden siblings [`save_database`]'s rename dance leaves next to
+/// `dir`: `.{name}.{marker}-{pid}` directories, any pid.
+fn hidden_siblings(parent: &Path, name: &str, marker: &str) -> Vec<std::path::PathBuf> {
+    let prefix = format!(".{name}.{marker}-");
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(parent) {
+        for entry in entries.flatten() {
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix))
+            {
+                out.push(entry.path());
+            }
+        }
+    }
+    out
+}
+
+/// Save a database to a directory: the full layout is staged in a
+/// temporary sibling directory, synced, and renamed into place. A crash
+/// mid-save never leaves a torn mix — readers see the old save, the new
+/// save, or (in the brief window between the two renames) no directory
+/// plus an `.old-*` sibling that [`load_database`] falls back to.
+/// Saves to one destination are single-writer: stale `.saving-*` and
+/// `.old-*` siblings from a crashed process are swept here.
 pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
     let manifest = manifest_of(db)?;
 
@@ -101,8 +122,10 @@ pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
     if !parent.as_os_str().is_empty() {
         fs::create_dir_all(parent).map_err(io_err)?;
     }
+    for stale in hidden_siblings(parent, name, "saving") {
+        let _ = fs::remove_dir_all(&stale);
+    }
     let staging = parent.join(format!(".{name}.saving-{}", std::process::id()));
-    let _ = fs::remove_dir_all(&staging);
     fs::create_dir_all(&staging).map_err(io_err)?;
 
     let staged = (|| -> Result<()> {
@@ -120,7 +143,10 @@ pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
 
     // Swap in. `rename` won't replace a non-empty directory, so an
     // existing save is moved aside first and only deleted once the new
-    // one is in place — the window where neither exists is gone.
+    // one is in place. A crash between the two renames leaves nothing
+    // at `dir`, but the previous save survives as the `.old-*` sibling
+    // and `load_database` consults it — the worst case is reading the
+    // previous save, never a torn one.
     let old = parent.join(format!(".{name}.old-{}", std::process::id()));
     let _ = fs::remove_dir_all(&old);
     let had_old = dir.exists();
@@ -135,13 +161,42 @@ pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
         let _ = fs::remove_dir_all(&staging);
         return Err(io_err(e));
     }
-    let _ = fs::remove_dir_all(&old);
+    // The new save is in place; every `.old-*` sibling (ours, or a
+    // crashed process's with another pid) is now stale.
+    for stale in hidden_siblings(parent, name, "old") {
+        let _ = fs::remove_dir_all(&stale);
+    }
     sync_dir(parent);
     Ok(())
 }
 
-/// Load a database previously written by [`save_database`].
+/// Load a database previously written by [`save_database`]. When `dir`
+/// itself is missing but a crash left an `.old-*` sibling behind (the
+/// window between `save_database`'s two renames), the newest such
+/// sibling is read instead; nothing on disk is modified — the next
+/// successful save sweeps the relic.
 pub fn load_database(dir: &Path) -> Result<Database> {
+    if !dir.exists() {
+        if let Some(old) = newest_old_save(dir) {
+            return load_database_dir(&old);
+        }
+    }
+    load_database_dir(dir)
+}
+
+/// The newest `.old-*` sibling of `dir`, by modification time.
+fn newest_old_save(dir: &Path) -> Option<std::path::PathBuf> {
+    let parent = match dir.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = dir.file_name()?.to_str()?;
+    hidden_siblings(parent, name, "old")
+        .into_iter()
+        .max_by_key(|p| fs::metadata(p).and_then(|m| m.modified()).ok())
+}
+
+fn load_database_dir(dir: &Path) -> Result<Database> {
     let manifest_text = fs::read_to_string(dir.join("_schema.csv")).map_err(io_err)?;
     let manifest = from_csv("_schema", schema_manifest_schema()?, &manifest_text)?;
 
@@ -262,6 +317,41 @@ mod tests {
     fn missing_directory_errors() {
         let dir = tmpdir("missing").join("nope");
         assert!(load_database(&dir).is_err());
+    }
+
+    #[test]
+    fn load_falls_back_to_old_sibling_in_the_crash_window() {
+        let dir = tmpdir("oldfallback");
+        let db = sample_db();
+        save_database(&db, &dir).unwrap();
+        // Simulate a crash between save's two renames: `dir` is gone
+        // and only an `.old-*` sibling (another pid's) remains.
+        let parent = dir.parent().unwrap().to_path_buf();
+        let name = dir.file_name().unwrap().to_str().unwrap().to_string();
+        let old = parent.join(format!(".{name}.old-999999"));
+        fs::rename(&dir, &old).unwrap();
+
+        let loaded = load_database(&dir).unwrap();
+        assert_eq!(loaded.total_tuples(), db.total_tuples());
+        assert!(!dir.exists(), "the fallback load must not modify disk");
+
+        // The next successful save restores `dir` and sweeps the relic.
+        save_database(&db, &dir).unwrap();
+        assert!(dir.exists());
+        assert!(!old.exists(), "stale .old-* swept after a save");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_staging_directories_are_swept_on_save() {
+        let dir = tmpdir("sweepstaging");
+        let parent = dir.parent().unwrap().to_path_buf();
+        let name = dir.file_name().unwrap().to_str().unwrap().to_string();
+        let stale = parent.join(format!(".{name}.saving-999999"));
+        fs::create_dir_all(&stale).unwrap();
+        save_database(&sample_db(), &dir).unwrap();
+        assert!(!stale.exists(), "crashed staging dir swept by the save");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -5,9 +5,15 @@
 //! A checkpoint is written into a temporary directory and renamed into
 //! place, so a crash mid-checkpoint leaves either the previous state or
 //! the new one, never a half-written directory that recovery could
-//! mistake for valid. Checkpoint directories are never reused: each
-//! write gets a fresh `ckpt-<epoch>-<seq>` name, and recovery picks the
-//! newest `(epoch, seq)` whose manifest verifies.
+//! mistake for valid. The write order is a durability chain: every data
+//! file is fsynced, then the `MANIFEST` (written last, fsynced), then
+//! the temporary directory itself, then — after the rename — the
+//! `checkpoints/` parent. Only once [`write_checkpoint`] returns is the
+//! checkpoint guaranteed to survive a power cut, which is what lets the
+//! caller delete the log records it replaces. Checkpoint directories
+//! are never reused: each write gets a fresh `ckpt-<epoch>-<seq>` name,
+//! and recovery picks the newest `(epoch, seq)` whose manifest
+//! verifies.
 
 use crate::crc::crc32;
 use crate::segment::CHECKPOINT_SUBDIR;
@@ -143,6 +149,9 @@ pub fn write_checkpoint(
     let io = |e: std::io::Error| WalError(format!("checkpoint io: {e}"));
     let parent = data_dir.join(CHECKPOINT_SUBDIR);
     std::fs::create_dir_all(&parent).map_err(io)?;
+    // On the first checkpoint the `checkpoints/` entry itself must
+    // survive a power cut, or everything under it is unreachable.
+    crate::sync_dir(data_dir);
     let seq = list_checkpoints(data_dir)
         .map_err(io)?
         .iter()
@@ -168,14 +177,22 @@ pub fn write_checkpoint(
         save_database(&rules_db, &tmp.join("rules"))
             .map_err(|e| WalError(format!("checkpoint rules: {e}")))?;
     }
-    std::fs::write(
-        tmp.join(MANIFEST),
-        manifest_text(epoch, data_version, rules.is_some()),
+    // The manifest is what recovery verifies, and the caller truncates
+    // the log the moment this function returns — so the manifest, its
+    // directory entry, and the rename below must all reach stable
+    // storage here, not whenever the OS flushes. Otherwise a power cut
+    // could persist the log truncation but not the checkpoint,
+    // destroying acknowledged writes even under fsync=always.
+    crate::write_sync(
+        &tmp.join(MANIFEST),
+        &manifest_text(epoch, data_version, rules.is_some()),
     )
     .map_err(io)?;
+    crate::sync_dir(&tmp);
 
     let final_path = parent.join(&name);
     std::fs::rename(&tmp, &final_path).map_err(io)?;
+    crate::sync_dir(&parent);
     intensio_obs::inc("wal.checkpoints");
     intensio_obs::gauge("wal.checkpoint_epoch", epoch as i64);
     Ok(CheckpointRef {

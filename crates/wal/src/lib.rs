@@ -41,6 +41,23 @@ pub use record::{Record, RecordKind};
 pub use recover::{recover, Recovered, RecoveryStats};
 
 use std::fmt;
+use std::path::Path;
+
+/// Best-effort fsync of a directory, so renames and new files inside it
+/// survive a power cut. Ignored on platforms where directories cannot
+/// be opened for reading.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Write one file and flush it to stable storage before returning.
+pub(crate) fn write_sync(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    std::io::Write::write_all(&mut f, contents.as_bytes())?;
+    f.sync_all()
+}
 
 /// A durability error: failed append, unreadable checkpoint, corrupt
 /// log, or a poisoned writer.

@@ -24,8 +24,9 @@
 //!   written but before the manifest and rename (see [`checkpoint`]).
 
 use crate::checkpoint::{self, CheckpointRef};
-use crate::record::Record;
+use crate::record::{Record, MAX_PAYLOAD_BYTES, PAYLOAD_PREFIX_BYTES};
 use crate::segment::{segment_file_name, WAL_SUBDIR};
+use crate::sync_dir;
 use crate::{FsyncPolicy, WalConfig, WalError};
 use intensio_rules::rule::RuleSet;
 use intensio_storage::catalog::Database;
@@ -59,6 +60,12 @@ pub struct Wal {
     file: File,
     seg_seq: u64,
     seg_bytes: u64,
+    /// Highest epoch appended to the active segment (0 when empty).
+    seg_max_epoch: u64,
+    /// Segments this writer closed and has not yet truncated, as
+    /// `(seq, highest epoch)` — what [`Wal::truncate_covered`] consults
+    /// to delete only segments a checkpoint fully covers.
+    closed: Vec<(u64, u64)>,
     unsynced: u32,
     since_checkpoint: u64,
     stats: WalStats,
@@ -67,15 +74,6 @@ pub struct Wal {
 
 fn io_err(what: &str) -> impl Fn(std::io::Error) -> WalError + '_ {
     move |e| WalError(format!("{what}: {e}"))
-}
-
-/// Best-effort fsync of a directory, so renames and new files inside
-/// it survive a power cut. Ignored on platforms where directories
-/// cannot be opened.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
 }
 
 impl Wal {
@@ -102,6 +100,8 @@ impl Wal {
             file,
             seg_seq,
             seg_bytes: 0,
+            seg_max_epoch: 0,
+            closed: Vec::new(),
             unsynced: 0,
             since_checkpoint: 0,
             stats: WalStats {
@@ -181,9 +181,23 @@ impl Wal {
 
     /// Append one record and make it as durable as the policy promises.
     /// On `Ok(())` the record is part of the log; on `Err` it is not
-    /// (the segment was rewound), so the caller must not acknowledge.
+    /// (the segment was rewound, or nothing was written), so the caller
+    /// must not acknowledge.
+    ///
+    /// A record whose payload exceeds [`MAX_PAYLOAD_BYTES`] is rejected
+    /// here, before anything touches disk: recovery classifies such a
+    /// frame as corruption and stops replay, so logging it would
+    /// acknowledge a mutation that poisons every later record at the
+    /// next boot. The oversized request fails instead.
     pub fn append(&mut self, record: &Record) -> Result<(), WalError> {
         self.check_poison()?;
+        let payload = PAYLOAD_PREFIX_BYTES as u64 + record.body.len() as u64;
+        if payload > u64::from(MAX_PAYLOAD_BYTES) {
+            return Err(WalError(format!(
+                "record payload of {payload} bytes exceeds the \
+                 {MAX_PAYLOAD_BYTES}-byte maximum"
+            )));
+        }
         intensio_fault::fire("wal.append")
             .map_err(|f| WalError(format!("append failed (injected): {f}")))?;
 
@@ -223,6 +237,7 @@ impl Wal {
         }
 
         self.since_checkpoint += 1;
+        self.seg_max_epoch = self.seg_max_epoch.max(record.epoch);
         self.stats.appends += 1;
         self.stats.append_bytes += frame.len() as u64;
         intensio_obs::inc("wal.appends");
@@ -262,9 +277,11 @@ impl Wal {
             .open(dir.join(segment_file_name(next)))
             .map_err(io_err("creating wal segment"))?;
         sync_dir(&dir);
+        self.closed.push((self.seg_seq, self.seg_max_epoch));
         self.file = file;
         self.seg_seq = next;
         self.seg_bytes = 0;
+        self.seg_max_epoch = 0;
         Ok(())
     }
 
@@ -272,9 +289,14 @@ impl Wal {
     /// then truncate the log: rotate to a fresh segment, delete every
     /// segment the checkpoint covers, and prune old checkpoints.
     ///
-    /// Must be called with the same serialization the appends use (the
-    /// serve layer holds its write lock), so the checkpoint observes a
-    /// state at least as new as every deleted record.
+    /// Requires exclusive access: nothing may append between the state
+    /// observation and this call, because *every* earlier segment is
+    /// deleted — including ones this writer did not create, such as a
+    /// previous boot's (that is the point: the boot checkpoint retires
+    /// old segments and the torn tails they may carry). The live serve
+    /// path must not use this; it materializes the checkpoint off the
+    /// write path with [`checkpoint::write_checkpoint`] and then calls
+    /// [`Wal::truncate_covered`], which tolerates concurrent appends.
     pub fn checkpoint(
         &mut self,
         db: &Database,
@@ -296,10 +318,49 @@ impl Wal {
             }
         }
         sync_dir(&dir);
+        self.closed.clear();
         let _ = checkpoint::prune_checkpoints(&self.root, self.cfg.keep_checkpoints);
         self.since_checkpoint = 0;
         self.stats.checkpoints += 1;
         Ok(ckpt)
+    }
+
+    /// Truncate the log after an externally materialized checkpoint at
+    /// `epoch` (see [`checkpoint::write_checkpoint`]): delete the
+    /// closed segments whose records all sit at or below `epoch`, prune
+    /// old checkpoints, and reset the checkpoint cadence.
+    ///
+    /// Unlike [`Wal::checkpoint`], this is safe while appends land
+    /// between the checkpoint's state observation and this call: a
+    /// segment holding even one record above `epoch` is kept, so
+    /// nothing acknowledged after the checkpointed snapshot is ever
+    /// deleted. The checkpoint must be durable before this is called —
+    /// `write_checkpoint` guarantees that on return.
+    pub fn truncate_covered(&mut self, epoch: u64) -> Result<(), WalError> {
+        self.check_poison()?;
+        if self.seg_bytes > 0 && self.seg_max_epoch <= epoch {
+            // The active segment is fully covered too; close it so the
+            // sweep below can reclaim it.
+            self.rotate()?;
+        }
+        let dir = self.root.join(WAL_SUBDIR);
+        let mut deleted = false;
+        self.closed.retain(|&(seq, max_epoch)| {
+            if max_epoch <= epoch {
+                let _ = std::fs::remove_file(dir.join(segment_file_name(seq)));
+                deleted = true;
+                false
+            } else {
+                true
+            }
+        });
+        if deleted {
+            sync_dir(&dir);
+        }
+        let _ = checkpoint::prune_checkpoints(&self.root, self.cfg.keep_checkpoints);
+        self.since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+        Ok(())
     }
 }
 
@@ -422,6 +483,70 @@ mod tests {
         }
         wal.append(&Record::write(4, 4, "x")).unwrap();
         assert!(wal.checkpoint_due());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_before_touching_disk() {
+        let dir = tmpdir("oversize");
+        let mut wal = Wal::open(&dir, cfg(), 0).unwrap();
+        let body = vec![0u8; MAX_PAYLOAD_BYTES as usize + 1];
+        assert!(
+            wal.append(&Record::rules(1, 1, body)).is_err(),
+            "a payload recovery would reject as corrupt must fail the append"
+        );
+        // The log is untouched and still appendable: the next record
+        // takes epoch 1 and recovery sees a clean single-record log.
+        wal.append(&Record::write(1, 1, "append to R (Id = \"a\")"))
+            .unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.stats.discarded_records, 0);
+        assert!(!rec.stats.corrupt);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_covered_keeps_records_past_the_checkpoint() {
+        use intensio_storage::catalog::Database;
+        let dir = tmpdir("covered");
+        let mut wal = Wal::open(&dir, cfg(), 0).unwrap();
+        for i in 1..=12u64 {
+            wal.append(&Record::write(i, i, &format!("append to R (Id = \"{i}\")")))
+                .unwrap();
+        }
+        assert!(list_segments(&dir).unwrap().len() > 1, "rotation happened");
+        // A checkpoint materialized at epoch 8 while epochs 9..=12 were
+        // already on the log — the background-checkpointer shape.
+        crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 8, 8).unwrap();
+        wal.truncate_covered(8).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.stats.checkpoint_epoch, 8);
+        assert_eq!(
+            rec.records.first().map(|r| r.epoch),
+            Some(9),
+            "records above the checkpoint epoch must survive truncation"
+        );
+        assert_eq!(rec.final_epoch(), 12);
+        // The writer keeps going normally afterwards.
+        wal.append(&Record::write(13, 13, "x")).unwrap();
+        assert_eq!(recover(&dir).unwrap().final_epoch(), 13);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_covered_reclaims_a_fully_covered_log() {
+        use intensio_storage::catalog::Database;
+        let dir = tmpdir("covered_all");
+        let mut wal = Wal::open(&dir, cfg(), 0).unwrap();
+        for i in 1..=5u64 {
+            wal.append(&Record::write(i, i, "x")).unwrap();
+        }
+        crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 5, 5).unwrap();
+        wal.truncate_covered(5).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert!(rec.records.is_empty(), "everything was covered");
+        assert_eq!(rec.final_epoch(), 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
