@@ -4,7 +4,21 @@
 //! ```text
 //! serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]
 //!            [--durable] [--data-dir PATH] [--fsync always|batch:N|off]
+//!            [--topology 1p2f]
 //! ```
+//!
+//! `--topology 1p2f` switches to the replication workload: one durable
+//! primary and two in-process followers, with reader threads
+//! round-robining across all three nodes while a writer streams
+//! durable appends into the primary. Every few reads a thread issues a
+//! `SQL@<acked epoch>` read-your-writes probe for the most recently
+//! acked row (following a `REDIRECT` to the primary if the follower
+//! can't serve that epoch in time). Mid-run one follower is killed and
+//! a fresh one bootstraps in its place; at quiesce the run fails
+//! unless every node converged to the primary's exact epoch, every
+//! acked write is readable on every node, the primary shipped records
+//! (`repl.records_shipped > 0`), and every lag gauge reads zero. This
+//! is how `BENCH_repl.json` measures scale-out read throughput.
 //!
 //! `--durable` opens the service with a write-ahead log (in a
 //! throwaway temp directory unless `--data-dir` is given) and adds a
@@ -51,12 +65,14 @@ struct Args {
     durable: bool,
     data_dir: Option<std::path::PathBuf>,
     fsync: intensio_wal::FsyncPolicy,
+    topology: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]\n\
-         \x20                 [--durable] [--data-dir PATH] [--fsync always|batch:N|off]"
+         \x20                 [--durable] [--data-dir PATH] [--fsync always|batch:N|off]\n\
+         \x20                 [--topology 1p2f]"
     );
     std::process::exit(2);
 }
@@ -70,6 +86,7 @@ fn parse_args() -> Args {
         durable: false,
         data_dir: None,
         fsync: intensio_wal::FsyncPolicy::Always,
+        topology: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -105,6 +122,13 @@ fn parse_args() -> Args {
                     usage()
                 });
             }
+            "--topology" => match it.next().as_deref() {
+                Some("1p2f") => args.topology = true,
+                other => {
+                    eprintln!("serve_load: unsupported topology {other:?} (only 1p2f)");
+                    usage()
+                }
+            },
             _ => usage(),
         }
     }
@@ -115,18 +139,25 @@ fn parse_args() -> Args {
     args
 }
 
-/// Connect to the server, retrying briefly: under load (or CI) the
-/// accept backlog can transiently refuse a burst of simultaneous
-/// connects, which is not worth failing a whole run over.
-fn connect_with_retry(addr: &str) -> std::io::Result<Client> {
+/// Connect to one of `targets`, rotating from `start` and retrying
+/// briefly: under load (or CI) the accept backlog can transiently
+/// refuse a burst of simultaneous connects, and in a replicated
+/// topology a node may be mid-restart — neither is worth failing a
+/// whole run over when a sibling target can serve. Returns the client
+/// and the index of the target that accepted.
+fn connect_with_retry(targets: &[String], start: usize) -> std::io::Result<(Client, usize)> {
+    assert!(!targets.is_empty(), "no targets to connect to");
     let mut last_err = None;
-    for _ in 0..5 {
-        match Client::connect(addr) {
-            Ok(c) => return Ok(c),
-            Err(e) => {
-                last_err = Some(e);
-                std::thread::sleep(Duration::from_millis(100));
+    for round in 0..5 {
+        for offset in 0..targets.len() {
+            let idx = (start + offset) % targets.len();
+            match Client::connect(&targets[idx]) {
+                Ok(c) => return Ok((c, idx)),
+                Err(e) => last_err = Some(e),
             }
+        }
+        if round + 1 < 5 {
+            std::thread::sleep(Duration::from_millis(100));
         }
     }
     Err(last_err.expect("at least one attempt"))
@@ -173,9 +204,391 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// Build a follower service replicating from `primary`, bound on an
+/// ephemeral port. Followers here are memory-only: the topology run
+/// exercises wire bootstrap, not follower-local durability (the
+/// replication tests cover that).
+fn spawn_follower(workers: usize, primary: &str) -> (Arc<Service>, Server) {
+    let db = intensio_shipdb::ship_database().expect("ship database");
+    let model = intensio_shipdb::ship_model().expect("ship model");
+    let cfg = ServiceConfig {
+        workers,
+        replicate_from: Some(primary.to_string()),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::with_config(db, model, cfg).expect("follower opens"));
+    let server = Server::bind(service.clone(), "127.0.0.1:0").expect("follower binds");
+    (service, server)
+}
+
+/// The `--topology 1p2f` workload: durable writes into the primary,
+/// reads fanned across the cluster, one follower killed and replaced
+/// mid-run, and a zero-loss / zero-lag audit at quiesce.
+fn topology_main(args: &Args) {
+    use std::sync::RwLock;
+
+    let scratch = std::env::temp_dir().join(format!("intensio-serve-1p2f-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let db = intensio_shipdb::ship_database().expect("ship database");
+    let model = intensio_shipdb::ship_model().expect("ship model");
+    let pcfg = ServiceConfig {
+        workers: args.workers,
+        data_dir: Some(args.data_dir.clone().unwrap_or_else(|| scratch.clone())),
+        wal: intensio_wal::WalConfig {
+            fsync: args.fsync,
+            ..intensio_wal::WalConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let primary = Arc::new(Service::with_config(db, model, pcfg).expect("primary opens"));
+    let pserver = Server::bind(primary.clone(), "127.0.0.1:0").expect("primary binds");
+    let paddr = pserver.local_addr().to_string();
+    let (f1, f1_server) = spawn_follower(args.workers, &paddr);
+    let (f2, f2_server) = spawn_follower(args.workers, &paddr);
+    // Reads fan over every node; index 0 is always the primary so a
+    // REDIRECT reply has a known place to go.
+    let targets = Arc::new(RwLock::new(vec![
+        paddr.clone(),
+        f1_server.local_addr().to_string(),
+        f2_server.local_addr().to_string(),
+    ]));
+    println!(
+        "serve_load 1p2f: primary {paddr} (fsync {}), followers {} + {}; {} reader threads x {} reads",
+        args.fsync,
+        f1_server.local_addr(),
+        f2_server.local_addr(),
+        args.threads,
+        args.queries / args.threads,
+    );
+
+    let total_writes = (args.queries / 10).clamp(30, 2000);
+    // The most recent acked write, for read-your-writes probes:
+    // (epoch, sequence of the id "TP{seq:04}").
+    let acked_epoch = Arc::new(AtomicU64::new(0));
+    let acked_seq = Arc::new(AtomicU64::new(u64::MAX));
+    let writer = {
+        let paddr = paddr.clone();
+        let acked_epoch = acked_epoch.clone();
+        let acked_seq = acked_seq.clone();
+        std::thread::spawn(move || -> (Vec<String>, u64) {
+            let (mut client, _) =
+                connect_with_retry(std::slice::from_ref(&paddr), 0).expect("writer connects");
+            let mut acked = Vec::new();
+            let mut errors = 0u64;
+            for i in 0..total_writes {
+                let id = format!("TP{i:04}");
+                let line = client
+                    .roundtrip(&format!(
+                        "QUEL append to SUBMARINE (Id = \"{id}\", \
+                         Name = \"Topo Probe\", Class = \"0101\")"
+                    ))
+                    .expect("write roundtrip");
+                let v = json::parse(&line).expect("write reply parses");
+                match (
+                    v.get("ok").and_then(Json::as_bool),
+                    v.get("epoch").and_then(Json::as_u64),
+                ) {
+                    (Some(true), Some(epoch)) => {
+                        acked.push(id);
+                        acked_epoch.store(epoch, Ordering::SeqCst);
+                        acked_seq.store(i as u64, Ordering::SeqCst);
+                    }
+                    _ => errors += 1,
+                }
+            }
+            client.quit();
+            (acked, errors)
+        })
+    };
+
+    let reads_per_thread = (args.queries / args.threads).max(10);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..args.threads {
+        let targets = targets.clone();
+        let acked_epoch = acked_epoch.clone();
+        let acked_seq = acked_seq.clone();
+        handles.push(std::thread::spawn(move || {
+            let snapshot = |targets: &Arc<RwLock<Vec<String>>>| -> Vec<String> {
+                targets.read().unwrap_or_else(|e| e.into_inner()).clone()
+            };
+            let (mut client, mut node) =
+                connect_with_retry(&snapshot(&targets), t).expect("reader connects");
+            let mut out = ThreadOutcome::default();
+            let mut ryw_checked = 0u64;
+            let mut redirects = 0u64;
+            let mut i = 0usize;
+            while i < reads_per_thread {
+                // Every 4th read is a read-your-writes probe at the
+                // writer's latest acked epoch; the rest are the plain
+                // oracle-checked query mix.
+                let probe = i % 4 == 3 && acked_seq.load(Ordering::SeqCst) != u64::MAX;
+                let (request, oracle, want_id) = if probe {
+                    let epoch = acked_epoch.load(Ordering::SeqCst);
+                    let seq = acked_seq.load(Ordering::SeqCst);
+                    (
+                        format!("SQL@{epoch} SELECT Id FROM SUBMARINE WHERE Id = \"TP{seq:04}\""),
+                        None,
+                        Some(()),
+                    )
+                } else {
+                    let n = 1000 + ((t * reads_per_thread + i) % 20_000) as i64;
+                    (
+                        format!("SQL SELECT Class FROM CLASS WHERE Displacement > {n}"),
+                        Some(expected_classes(n)),
+                        None,
+                    )
+                };
+                let sent = Instant::now();
+                let line = match client.roundtrip(&request) {
+                    Ok(l) => l,
+                    Err(_) => {
+                        // The node died under us (the mid-run kill):
+                        // rotate to the next live target and retry the
+                        // same read — node loss must not lose reads.
+                        let (c, n) = connect_with_retry(&snapshot(&targets), node + 1)
+                            .expect("reader reconnects");
+                        client = c;
+                        node = n;
+                        continue;
+                    }
+                };
+                out.latencies_us
+                    .push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                let v = match json::parse(&line) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        out.errors += 1;
+                        i += 1;
+                        continue;
+                    }
+                };
+                let ok = v.get("ok").and_then(Json::as_bool) == Some(true);
+                if !ok {
+                    let msg = v.get("error").and_then(Json::as_str).unwrap_or("");
+                    if probe && msg.starts_with("REDIRECT") {
+                        // The follower couldn't reach the epoch in its
+                        // deadline; the contract says the primary can.
+                        redirects += 1;
+                        let ryw = {
+                            let t = snapshot(&targets);
+                            let (mut pc, _) =
+                                connect_with_retry(&t[..1], 0).expect("redirect connect");
+                            let line = pc.roundtrip(&request).expect("redirected read");
+                            json::parse(&line).expect("redirected reply parses")
+                        };
+                        if ryw.get("ok").and_then(Json::as_bool) == Some(true)
+                            && ryw.get("rows").and_then(Json::as_array).map(<[Json]>::len)
+                                == Some(1)
+                        {
+                            ryw_checked += 1;
+                        } else {
+                            out.wrong += 1;
+                        }
+                    } else {
+                        out.errors += 1;
+                    }
+                    i += 1;
+                    continue;
+                }
+                if let Some(epoch) = v.get("epoch").and_then(Json::as_u64) {
+                    out.max_epoch = out.max_epoch.max(epoch);
+                }
+                if want_id.is_some() {
+                    // An ok reply at min_epoch MUST contain the acked row.
+                    if v.get("rows").and_then(Json::as_array).map(<[Json]>::len) == Some(1) {
+                        ryw_checked += 1;
+                    } else {
+                        out.wrong += 1;
+                    }
+                } else if let Some(want) = oracle {
+                    if response_classes(&v) != want {
+                        out.wrong += 1;
+                    }
+                }
+                i += 1;
+            }
+            client.quit();
+            // Reuse repeated_hits to carry the read-your-writes count
+            // and write_latencies to carry redirects (both are unused
+            // by the topology reader otherwise).
+            out.repeated_hits = ryw_checked;
+            out.write_latencies_us = vec![redirects];
+            out
+        }));
+    }
+
+    // Mid-run chaos: once the writer is half done, kill follower #2 and
+    // bootstrap a replacement. Acked writes must survive on every node.
+    let half = (total_writes / 2) as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while acked_seq.load(Ordering::SeqCst) == u64::MAX
+        || acked_seq.load(Ordering::SeqCst) < half.saturating_sub(1)
+    {
+        assert!(Instant::now() < deadline, "writer stalled before the kill");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    f2_server.shutdown();
+    drop(f2);
+    let (f2, f2_server) = spawn_follower(args.workers, &paddr);
+    {
+        let mut t = targets.write().unwrap_or_else(|e| e.into_inner());
+        t[2] = f2_server.local_addr().to_string();
+    }
+    println!(
+        "killed follower #2 mid-run; replacement bootstrapping at {}",
+        f2_server.local_addr()
+    );
+
+    let mut all = ThreadOutcome::default();
+    let mut ryw_checked = 0u64;
+    let mut redirects = 0u64;
+    for h in handles {
+        let out = h.join().expect("reader thread panicked");
+        all.latencies_us.extend(out.latencies_us);
+        all.wrong += out.wrong;
+        all.errors += out.errors;
+        ryw_checked += out.repeated_hits;
+        redirects += out.write_latencies_us.first().copied().unwrap_or(0);
+        all.max_epoch = all.max_epoch.max(out.max_epoch);
+    }
+    let elapsed = started.elapsed();
+    let (acked_ids, write_errors) = writer.join().expect("writer thread panicked");
+
+    // Quiesce: primary induction settles, then both followers must hit
+    // the primary's exact epoch with zero lag.
+    let fresh = primary.wait_rules_fresh(Duration::from_secs(10));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (mut lag1, mut lag2);
+    loop {
+        let pe = primary.stats().epoch;
+        let s1 = f1.stats();
+        let s2 = f2.stats();
+        lag1 = s1.repl.as_ref().map_or(u64::MAX, |r| r.lag_epochs);
+        lag2 = s2.repl.as_ref().map_or(u64::MAX, |r| r.lag_epochs);
+        if lag1 == 0 && lag2 == 0 && s1.epoch == pe && s2.epoch == pe {
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Zero lost acked writes: every acked id readable on every node.
+    let mut lost = 0u64;
+    let target_list = targets.read().unwrap_or_else(|e| e.into_inner()).clone();
+    for addr in &target_list {
+        let (mut c, _) = connect_with_retry(std::slice::from_ref(addr), 0).expect("audit connects");
+        let line = c
+            .roundtrip("SQL SELECT Id FROM SUBMARINE")
+            .expect("audit read");
+        let v = json::parse(&line).expect("audit reply parses");
+        let present: std::collections::BTreeSet<String> = v
+            .get("rows")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|row| {
+                row.as_array()?
+                    .first()?
+                    .as_str()
+                    .map(|s| s.trim().to_string())
+            })
+            .collect();
+        for id in &acked_ids {
+            if !present.contains(id) {
+                eprintln!("LOST: acked write {id} missing on {addr}");
+                lost += 1;
+            }
+        }
+        // Raw quiesce-time STATS, so CI can grep the replication
+        // counters (repl.records_shipped, repl.lag_epochs) per node.
+        let line = c.roundtrip("STATS").expect("audit stats");
+        println!("stats[{addr}]: {}", line.trim_end());
+        c.quit();
+    }
+
+    let pstats = primary.stats();
+    let shipped = pstats
+        .metrics
+        .counters
+        .get("repl.records_shipped")
+        .copied()
+        .unwrap_or(0);
+    all.latencies_us.sort_unstable();
+    let total = all.latencies_us.len() as u64;
+    let qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "completed {total} reads in {:.2}s ({qps:.0} q/s aggregate across 3 nodes)",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "read latency p50 {} us, p95 {} us, p99 {} us",
+        percentile(&all.latencies_us, 0.50),
+        percentile(&all.latencies_us, 0.95),
+        percentile(&all.latencies_us, 0.99)
+    );
+    println!(
+        "writes: {} acked ({} errors); read-your-writes: {} verified, {} redirected",
+        acked_ids.len(),
+        write_errors,
+        ryw_checked,
+        redirects
+    );
+    println!(
+        "replication: {} records shipped, follower lags at quiesce {} / {}, epoch {}",
+        shipped, lag1, lag2, pstats.epoch
+    );
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(all.wrong == 0, "every answer must match its oracle");
+    check(all.errors == 0, "no read may error");
+    check(write_errors == 0, "no write may error");
+    check(
+        lost == 0,
+        "zero lost acked writes after follower kill/rejoin",
+    );
+    check(fresh, "primary induction must settle");
+    check(shipped > 0, "the primary must ship records");
+    check(
+        lag1 == 0 && lag2 == 0,
+        "both followers must reach lag 0 at quiesce",
+    );
+    check(
+        ryw_checked > 0,
+        "read-your-writes probes must verify at least once",
+    );
+
+    f1_server.shutdown();
+    f2_server.shutdown();
+    pserver.shutdown();
+    drop((f1, f2));
+    if args.data_dir.is_none() {
+        match Arc::try_unwrap(primary) {
+            Ok(s) => drop(s),
+            Err(arc) => drop(arc),
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
 fn main() {
     let args = parse_args();
     intensio_obs::set_enabled(args.obs);
+    if args.topology {
+        return topology_main(&args);
+    }
     let db = intensio_shipdb::ship_database().expect("ship database");
     let model = intensio_shipdb::ship_model().expect("ship model");
     // In durable mode, stage the WAL in a throwaway directory unless the
@@ -236,7 +649,8 @@ fn main() {
         let addr = addr.clone();
         let write_done = write_done.clone();
         handles.push(std::thread::spawn(move || {
-            let mut client = connect_with_retry(&addr).expect("client connects");
+            let (mut client, _) =
+                connect_with_retry(std::slice::from_ref(&addr), 0).expect("client connects");
             let mut out = ThreadOutcome::default();
             for i in 0..writes_per_thread {
                 // Unique char(7) id per (thread, write): "L" tt iii.

@@ -56,6 +56,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+pub mod backoff;
+pub use backoff::Backoff;
+
 /// What an armed failpoint does when it triggers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {

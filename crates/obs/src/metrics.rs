@@ -26,11 +26,13 @@ pub enum Stage {
     /// One durable WAL append, write-to-acknowledgement (fsync
     /// included when the policy demands one).
     WalAppend,
+    /// One replicated record applied on a follower, receipt-to-install.
+    ReplApply,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Parse,
         Stage::Inference,
         Stage::Induction,
@@ -38,6 +40,7 @@ impl Stage {
         Stage::Request,
         Stage::QueueWait,
         Stage::WalAppend,
+        Stage::ReplApply,
     ];
 
     /// The stage's wire/metric name.
@@ -50,6 +53,7 @@ impl Stage {
             Stage::Request => "request",
             Stage::QueueWait => "queue_wait",
             Stage::WalAppend => "wal_append",
+            Stage::ReplApply => "repl_apply",
         }
     }
 
@@ -62,6 +66,7 @@ impl Stage {
             Stage::Request => 4,
             Stage::QueueWait => 5,
             Stage::WalAppend => 6,
+            Stage::ReplApply => 7,
         }
     }
 }
@@ -207,7 +212,7 @@ impl HistogramSnapshot {
 /// independent instances exist so tests can assert exact counts.
 #[derive(Debug, Default)]
 pub struct Registry {
-    stages: [Histogram; 7],
+    stages: [Histogram; Stage::ALL.len()],
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, i64>>,
 }

@@ -1,0 +1,98 @@
+//! The primary-side broadcast hub: fan freshly committed WAL records
+//! out to every live replication stream.
+//!
+//! The serve write path publishes each record *after* its snapshot
+//! installs, while still holding the write lock — so subscribers
+//! observe records in strict epoch order with no interleaving. A
+//! stream handler subscribes *before* reading the historical tail and
+//! dedupes by epoch, which closes the bootstrap race: any record not in
+//! the history it read is waiting in its channel.
+//!
+//! Channels are unbounded: a stalled follower buffers records in the
+//! primary's memory rather than back-pressuring the write path. A
+//! disconnected subscriber's channel errors on the next publish and is
+//! dropped then.
+
+use intensio_wal::Record;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+/// A broadcast of committed records to replication streams.
+#[derive(Debug, Default)]
+pub struct ReplHub {
+    subs: Mutex<Vec<Sender<Record>>>,
+}
+
+impl ReplHub {
+    /// A hub with no subscribers.
+    pub fn new() -> ReplHub {
+        ReplHub::default()
+    }
+
+    /// Register a new stream: every record published after this call is
+    /// delivered to the returned receiver, in publish order.
+    pub fn subscribe(&self) -> Receiver<Record> {
+        let (tx, rx) = channel();
+        self.subs.lock().unwrap_or_else(|e| e.into_inner()).push(tx);
+        rx
+    }
+
+    /// Deliver one committed record to every live subscriber, dropping
+    /// the ones whose stream has disconnected.
+    pub fn publish(&self, record: &Record) {
+        let mut subs = self.subs.lock().unwrap_or_else(|e| e.into_inner());
+        subs.retain(|tx| tx.send(record.clone()).is_ok());
+    }
+
+    /// How many streams are currently registered. Counts channels not
+    /// yet swept by a publish, so it may briefly overcount after a
+    /// disconnect.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_in_order_to_every_subscriber() {
+        let hub = ReplHub::new();
+        let a = hub.subscribe();
+        let b = hub.subscribe();
+        for e in 1..=3u64 {
+            hub.publish(&Record::write(e, e, "x"));
+        }
+        for rx in [a, b] {
+            let epochs: Vec<u64> = rx.try_iter().map(|r| r.epoch).collect();
+            assert_eq!(epochs, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_swept() {
+        let hub = ReplHub::new();
+        let a = hub.subscribe();
+        let b = hub.subscribe();
+        assert_eq!(hub.subscriber_count(), 2);
+        drop(a);
+        hub.publish(&Record::write(1, 1, "x"));
+        assert_eq!(hub.subscriber_count(), 1);
+        assert_eq!(b.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn late_subscribers_miss_earlier_records() {
+        let hub = ReplHub::new();
+        hub.publish(&Record::write(1, 1, "x"));
+        let rx = hub.subscribe();
+        hub.publish(&Record::write(2, 2, "y"));
+        let epochs: Vec<u64> = rx.try_iter().map(|r| r.epoch).collect();
+        assert_eq!(
+            epochs,
+            vec![2],
+            "history must come from the log, not the hub"
+        );
+    }
+}

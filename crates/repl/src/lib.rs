@@ -1,0 +1,55 @@
+//! intensio-repl: WAL-shipping replication for the intensional query
+//! service.
+//!
+//! The paper's intensional answers are computed from a small induced
+//! rule set, not the raw tuples — so once the log carries both QUEL
+//! writes and rule-set installs as §5.2.2 rule relations, a follower
+//! that replays that log serves intensional and extensional reads with
+//! full fidelity. This crate provides the pieces a primary and its
+//! followers share:
+//!
+//! - **Wire format** ([`wire`]): the line-oriented replication stream a
+//!   `REPLICATE <from_epoch>` request switches a protocol connection
+//!   into — a bootstrap (snapshot or log tail), then live records, with
+//!   heartbeats carrying the primary's epoch so followers can measure
+//!   lag.
+//! - **State codec** ([`snapshot`]): a whole database serialized to one
+//!   byte buffer (sectioned CSV, mirroring `storage::persist`'s
+//!   directory layout), so a follower too far behind the truncated log
+//!   can bootstrap over the wire. Rule sets travel separately in their
+//!   WAL record encoding (`intensio_wal::rules_codec`) — shipping the
+//!   *induced* rules rather than re-inducing per follower is what keeps
+//!   intensional answers identical cluster-wide.
+//! - **Hub** ([`hub`]): the primary-side broadcast that fans freshly
+//!   committed records out to every live replication stream.
+//!
+//! The follower-side apply loop lives in `intensio-serve`, which owns
+//! the snapshot installation machinery; everything protocol-shaped
+//! lives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod hub;
+pub mod snapshot;
+pub mod wire;
+
+pub use hub::ReplHub;
+pub use wire::StreamMsg;
+
+use std::fmt;
+
+/// A replication error: malformed stream line, undecodable snapshot,
+/// or a broken record chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplError(pub String);
+
+impl fmt::Display for ReplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "repl: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReplError {}

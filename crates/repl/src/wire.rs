@@ -1,0 +1,250 @@
+//! The replication stream's wire format.
+//!
+//! A follower sends the ordinary protocol line `REPLICATE <from_epoch>`
+//! and the connection switches from request/response into a one-way
+//! stream of `#repl`-prefixed lines:
+//!
+//! ```text
+//! #repl ok 42                          handshake: primary is at epoch 42
+//! #repl snapshot 42 17 <db-hex> <rules-hex|->   full-state bootstrap
+//! #repl record write 43 18 <body-hex>  one shipped WAL record
+//! #repl record rules 44 18 <body-hex>
+//! #repl heartbeat 44                   idle keepalive with primary epoch
+//! #repl error <message>                stream is over; reconnect
+//! ```
+//!
+//! Bodies are lowercase hex so the stream stays line-framed like the
+//! rest of the protocol (a record body is a QUEL script or encoded rule
+//! relations — both may contain newlines). The handshake line always
+//! comes first; exactly one of snapshot-then-records or records-only
+//! follows, depending on whether the primary's log still covers
+//! `from_epoch` (see `intensio_wal::read`).
+
+use crate::ReplError;
+use intensio_wal::{Record, RecordKind};
+
+/// One line of the replication stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamMsg {
+    /// Handshake: the stream is live; the primary's committed epoch.
+    Ok {
+        /// The primary's committed epoch at stream start.
+        epoch: u64,
+    },
+    /// Full-state bootstrap: the primary's pinned snapshot.
+    Snapshot {
+        /// Epoch of the shipped state.
+        epoch: u64,
+        /// Data version of the shipped state.
+        data_version: u64,
+        /// The database, encoded by [`crate::snapshot::db_to_bytes`].
+        db: Vec<u8>,
+        /// The installed rule set in its WAL record encoding
+        /// (`intensio_wal::rules_codec`), when one was installed.
+        rules: Option<Vec<u8>>,
+    },
+    /// One shipped WAL record (a QUEL write or a rule-set install).
+    Record(Record),
+    /// Idle keepalive carrying the primary's current committed epoch,
+    /// so followers track lag even between writes.
+    Heartbeat {
+        /// The primary's committed epoch.
+        epoch: u64,
+    },
+    /// The stream is over; the follower should reconnect.
+    Error(String),
+}
+
+const PREFIX: &str = "#repl ";
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, ReplError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(ReplError("odd-length hex body".to_string()));
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    let nibble = |c: u8| -> Result<u8, ReplError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(ReplError(format!("bad hex digit {:?}", c as char))),
+        }
+    };
+    for pair in bytes.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+impl StreamMsg {
+    /// Render the message as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            StreamMsg::Ok { epoch } => format!("{PREFIX}ok {epoch}"),
+            StreamMsg::Snapshot {
+                epoch,
+                data_version,
+                db,
+                rules,
+            } => {
+                let rules = match rules {
+                    Some(r) => hex_encode(r),
+                    None => "-".to_string(),
+                };
+                format!(
+                    "{PREFIX}snapshot {epoch} {data_version} {} {rules}",
+                    hex_encode(db)
+                )
+            }
+            StreamMsg::Record(rec) => format!(
+                "{PREFIX}record {} {} {} {}",
+                rec.kind.name(),
+                rec.epoch,
+                rec.data_version,
+                hex_encode(&rec.body)
+            ),
+            StreamMsg::Heartbeat { epoch } => format!("{PREFIX}heartbeat {epoch}"),
+            StreamMsg::Error(msg) => {
+                format!("{PREFIX}error {}", msg.replace(['\n', '\r'], " "))
+            }
+        }
+    }
+
+    /// Parse one stream line (as produced by [`StreamMsg::encode`]).
+    pub fn parse(line: &str) -> Result<StreamMsg, ReplError> {
+        let rest = line
+            .trim_end_matches(['\r', '\n'])
+            .strip_prefix(PREFIX)
+            .ok_or_else(|| ReplError(format!("not a replication line: {line:?}")))?;
+        let (verb, args) = rest.split_once(' ').unwrap_or((rest, ""));
+        let int = |s: &str| -> Result<u64, ReplError> {
+            s.parse()
+                .map_err(|_| ReplError(format!("bad integer {s:?} in {verb} line")))
+        };
+        match verb {
+            "ok" => Ok(StreamMsg::Ok { epoch: int(args)? }),
+            "heartbeat" => Ok(StreamMsg::Heartbeat { epoch: int(args)? }),
+            "error" => Ok(StreamMsg::Error(args.to_string())),
+            "snapshot" => {
+                let mut it = args.split(' ');
+                let mut next = || -> Result<&str, ReplError> {
+                    it.next()
+                        .ok_or_else(|| ReplError("snapshot line missing fields".to_string()))
+                };
+                let epoch = int(next()?)?;
+                let data_version = int(next()?)?;
+                let db = hex_decode(next()?)?;
+                let rules = match next()? {
+                    "-" => None,
+                    hex => Some(hex_decode(hex)?),
+                };
+                Ok(StreamMsg::Snapshot {
+                    epoch,
+                    data_version,
+                    db,
+                    rules,
+                })
+            }
+            "record" => {
+                let mut it = args.split(' ');
+                let mut next = || -> Result<&str, ReplError> {
+                    it.next()
+                        .ok_or_else(|| ReplError("record line missing fields".to_string()))
+                };
+                let kind = match next()? {
+                    "write" => RecordKind::Write,
+                    "rules" => RecordKind::Rules,
+                    other => return Err(ReplError(format!("unknown record kind {other:?}"))),
+                };
+                let epoch = int(next()?)?;
+                let data_version = int(next()?)?;
+                let body = hex_decode(next()?)?;
+                Ok(StreamMsg::Record(Record {
+                    kind,
+                    epoch,
+                    data_version,
+                    body,
+                }))
+            }
+            other => Err(ReplError(format!("unknown replication verb {other:?}"))),
+        }
+    }
+
+    /// Whether a protocol line belongs to a replication stream.
+    pub fn is_stream_line(line: &str) -> bool {
+        line.starts_with(PREFIX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let msgs = [
+            StreamMsg::Ok { epoch: 42 },
+            StreamMsg::Snapshot {
+                epoch: 7,
+                data_version: 3,
+                db: b"%intensio-db v1\n".to_vec(),
+                rules: Some(vec![0, 1, 254, 255]),
+            },
+            StreamMsg::Snapshot {
+                epoch: 0,
+                data_version: 0,
+                db: Vec::new(),
+                rules: None,
+            },
+            StreamMsg::Record(Record::write(9, 4, "append to R (Id = \"x\")\nmore")),
+            StreamMsg::Record(Record::rules(10, 4, vec![7; 33])),
+            StreamMsg::Heartbeat { epoch: 11 },
+            StreamMsg::Error("primary shutting down".to_string()),
+        ];
+        for msg in msgs {
+            let line = msg.encode();
+            assert!(StreamMsg::is_stream_line(&line));
+            assert!(!line.contains('\n'), "stream lines must stay line-framed");
+            assert_eq!(StreamMsg::parse(&line).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_misread() {
+        for bad in [
+            "",
+            "SQL select 1",
+            "#repl",
+            "#repl bogus 1",
+            "#repl ok",
+            "#repl ok notanumber",
+            "#repl record write 1",
+            "#repl record write 1 2 xyz",
+            "#repl record mystery 1 2 00",
+            "#repl snapshot 1 2",
+            "#repl snapshot 1 2 0g -",
+        ] {
+            assert!(StreamMsg::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn error_messages_with_newlines_stay_on_one_line() {
+        let msg = StreamMsg::Error("two\nlines".to_string());
+        let line = msg.encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            StreamMsg::parse(&line).unwrap(),
+            StreamMsg::Error("two lines".to_string())
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //!       [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]
 //!       [--data-dir PATH] [--fsync always|batch:N|off]
 //!       [--checkpoint-every N] [--wal-segment-bytes N]
+//!       [--replicate-from HOST:PORT]
 //! ```
 //!
 //! Observability: `--verbose` logs every completed span to stderr,
@@ -31,6 +32,15 @@
 //! `--checkpoint-every N` sets how many logged records trigger a
 //! checkpoint, and `--wal-segment-bytes N` bounds segment size.
 //!
+//! Replication: `--replicate-from HOST:PORT` starts this node as a
+//! read-only *follower* of the primary at that address — it bootstraps
+//! over the wire (log tail or full snapshot), applies shipped records
+//! into its own epoch chain, re-gates shipped rule sets through the
+//! same static-analysis check a primary uses, and rejects mutating
+//! requests with a `READONLY` error naming the primary. Combine with
+//! `--data-dir` for a durable follower that recovers locally and
+//! rejoins from its recovered epoch.
+//!
 //! Talk to it with `examples/shell.rs --connect HOST:PORT`, or any
 //! line client:
 //!
@@ -46,7 +56,8 @@ fn usage() -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]\n\
          \x20            [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]\n\
          \x20            [--data-dir PATH] [--fsync always|batch:N|off]\n\
-         \x20            [--checkpoint-every N] [--wal-segment-bytes N]"
+         \x20            [--checkpoint-every N] [--wal-segment-bytes N]\n\
+         \x20            [--replicate-from HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -111,6 +122,9 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--replicate-from" => {
+                cfg.replicate_from = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--quiet" => intensio_obs::set_level(intensio_obs::Level::Silent),
             "--verbose" => intensio_obs::set_level(intensio_obs::Level::Verbose),
             "--slow-ms" => {
@@ -129,6 +143,7 @@ fn main() {
     let model = intensio_shipdb::ship_model().expect("ship model");
     let workers = cfg.workers;
     let durable = cfg.data_dir.clone().map(|dir| (dir, cfg.wal.fsync));
+    let follower_of = cfg.replicate_from.clone();
     let service = match Service::with_config(db, model, cfg) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -149,6 +164,9 @@ fn main() {
             "intensio-serve durable: data-dir {} (fsync {fsync})",
             dir.display()
         );
+    }
+    if let Some(primary) = follower_of {
+        println!("intensio-serve follower: replicating from {primary} (reads only)");
     }
     println!(
         "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | EXPLAIN <q> | CHECK [q] | STATS | QUIT",

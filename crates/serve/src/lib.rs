@@ -63,7 +63,7 @@ pub use cache::AnswerCache;
 pub use protocol::{encode_reply, escape_script, parse_request, WireRequest};
 pub use server::{Client, Server};
 pub use service::{
-    CheckReply, DurabilityStats, QueryReply, Reply, Request, ServeError, Service, ServiceConfig,
-    Soundness, StatsReply,
+    CheckReply, DurabilityStats, QueryReply, ReplStats, Reply, Request, ServeError, Service,
+    ServiceConfig, Soundness, StatsReply,
 };
 pub use snapshot::Snapshot;

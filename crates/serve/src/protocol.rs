@@ -48,6 +48,12 @@ use crate::service::{Reply, Request};
 pub enum WireRequest {
     /// Execute via [`crate::Service::submit`].
     Execute(Request),
+    /// Execute once the node's epoch reaches the given minimum
+    /// (read-your-writes on a follower), via [`crate::Service::submit_at`].
+    ExecuteAt(Request, u64),
+    /// Switch the connection into a replication stream from the given
+    /// epoch, via [`crate::Service::replicate`].
+    Replicate(u64),
     /// Close the connection.
     Quit,
 }
@@ -60,24 +66,46 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         Some((v, r)) => (v, r.trim()),
         None => (line, ""),
     };
-    match verb.to_ascii_uppercase().as_str() {
-        "SQL" if !rest.is_empty() => Ok(WireRequest::Execute(Request::Sql(rest.to_string()))),
-        "QUEL" if !rest.is_empty() => {
-            Ok(WireRequest::Execute(Request::Quel(unescape_script(rest))))
+    let upper = verb.to_ascii_uppercase();
+    // `SQL@7` / `QUEL@7` / `EXPLAIN@7`: don't answer from state older
+    // than epoch 7 (read-your-writes against a lagging follower).
+    let (base, min_epoch) = match upper.split_once('@') {
+        Some((base, at)) => {
+            let epoch: u64 = at
+                .parse()
+                .map_err(|_| format!("bad min-epoch in {verb:?}; expected e.g. SQL@7"))?;
+            if !matches!(base, "SQL" | "QUEL" | "EXPLAIN") {
+                return Err(format!(
+                    "the @min-epoch suffix applies to SQL, QUEL, and EXPLAIN, not {base}"
+                ));
+            }
+            (base.to_string(), Some(epoch))
         }
-        "EXPLAIN" if !rest.is_empty() => {
-            Ok(WireRequest::Execute(Request::Explain(rest.to_string())))
-        }
-        "SQL" | "QUEL" | "EXPLAIN" => Err(format!("{verb} requires a query argument")),
+        None => (upper, None),
+    };
+    let execute = |req: Request| match min_epoch {
+        Some(epoch) => WireRequest::ExecuteAt(req, epoch),
+        None => WireRequest::Execute(req),
+    };
+    match base.as_str() {
+        "SQL" if !rest.is_empty() => Ok(execute(Request::Sql(rest.to_string()))),
+        "QUEL" if !rest.is_empty() => Ok(execute(Request::Quel(unescape_script(rest)))),
+        "EXPLAIN" if !rest.is_empty() => Ok(execute(Request::Explain(rest.to_string()))),
+        "SQL" | "QUEL" | "EXPLAIN" => Err(format!("{base} requires a query argument")),
         "STATS" => Ok(WireRequest::Execute(Request::Stats)),
         "FAULT" => Ok(WireRequest::Execute(Request::Fault(rest.to_string()))),
         "CHECK" => Ok(WireRequest::Execute(Request::Check(unescape_script(rest)))),
+        "REPLICATE" => rest
+            .parse::<u64>()
+            .map(WireRequest::Replicate)
+            .map_err(|_| format!("REPLICATE requires a from-epoch argument, got {rest:?}")),
         "QUIT" => Ok(WireRequest::Quit),
         "" => Err(
-            "empty request; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, or QUIT".to_string(),
+            "empty request; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, REPLICATE, or QUIT"
+                .to_string(),
         ),
         other => Err(format!(
-            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, or QUIT"
+            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, REPLICATE, or QUIT"
         )),
     }
 }
@@ -195,7 +223,21 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("induction_retries", s.induction_retries)
                 .num("rulesets_rejected", s.rulesets_rejected)
                 .num("degraded_answers", s.degraded_answers)
-                .num("workers", s.workers);
+                .num("workers", s.workers)
+                .str("role", &s.role);
+            match &s.repl {
+                Some(r) => {
+                    let mut rw = ObjWriter::new();
+                    rw.str("primary", &r.primary)
+                        .bool("connected", r.connected)
+                        .num("primary_epoch", r.primary_epoch)
+                        .num("lag_epochs", r.lag_epochs)
+                        .num("records_applied", r.records_applied)
+                        .num("reconnects", r.reconnects);
+                    w.raw("repl", &rw.finish())
+                }
+                None => w.raw("repl", "null"),
+            };
             match &s.durability {
                 Some(d) => {
                     let mut dw = ObjWriter::new();
@@ -332,6 +374,45 @@ mod tests {
     }
 
     #[test]
+    fn parses_min_epoch_suffix_and_replicate() {
+        assert_eq!(
+            parse_request("SQL@7 SELECT 1 FROM T"),
+            Ok(WireRequest::ExecuteAt(
+                Request::Sql("SELECT 1 FROM T".into()),
+                7
+            ))
+        );
+        assert_eq!(
+            parse_request("quel@12 range of s is S\\nretrieve (s.Id)"),
+            Ok(WireRequest::ExecuteAt(
+                Request::Quel("range of s is S\nretrieve (s.Id)".into()),
+                12
+            ))
+        );
+        assert_eq!(
+            parse_request("EXPLAIN@0 SELECT 1 FROM T"),
+            Ok(WireRequest::ExecuteAt(
+                Request::Explain("SELECT 1 FROM T".into()),
+                0
+            ))
+        );
+        assert_eq!(
+            parse_request("REPLICATE 42"),
+            Ok(WireRequest::Replicate(42))
+        );
+        assert_eq!(parse_request("replicate 0"), Ok(WireRequest::Replicate(0)));
+        assert!(parse_request("SQL@ SELECT 1 FROM T").is_err());
+        assert!(parse_request("SQL@x SELECT 1 FROM T").is_err());
+        assert!(parse_request("STATS@3").is_err());
+        assert!(
+            parse_request("SQL@7").is_err(),
+            "suffix still needs a query"
+        );
+        assert!(parse_request("REPLICATE").is_err());
+        assert!(parse_request("REPLICATE later").is_err());
+    }
+
+    #[test]
     fn script_escaping_round_trips() {
         let script = "range of s is S\ndelete s where s.Id = \"a\\b\"";
         assert_eq!(unescape_script(&escape_script(script)), script);
@@ -343,7 +424,7 @@ mod tests {
         reg.inc("serve.queries");
         reg.add("serve.cache_hits", 2);
         reg.stage(intensio_obs::Stage::Parse).record_us(1500);
-        let line = encode_reply(&Reply::Stats(crate::service::StatsReply {
+        let line = encode_reply(&Reply::Stats(Box::new(crate::service::StatsReply {
             epoch: 3,
             data_version: 4,
             rules_fresh: true,
@@ -361,6 +442,15 @@ mod tests {
             rulesets_rejected: 1,
             degraded_answers: 2,
             workers: 4,
+            role: "follower".to_string(),
+            repl: Some(crate::service::ReplStats {
+                primary: "127.0.0.1:4050".to_string(),
+                connected: true,
+                primary_epoch: 5,
+                lag_epochs: 2,
+                records_applied: 3,
+                reconnects: 1,
+            }),
             durability: Some(crate::service::DurabilityStats {
                 fsync: "batch:8".to_string(),
                 wal_appends: 40,
@@ -374,7 +464,7 @@ mod tests {
                 recovery_ms: 12,
             }),
             metrics: reg.snapshot(),
-        }));
+        })));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
         let dur = v.get("durability").expect("stats reply embeds durability");
@@ -388,6 +478,16 @@ mod tests {
         assert_eq!(v.get("worker_restarts").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("induction_retries").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("degraded_answers").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("role").unwrap().as_str(), Some("follower"));
+        let repl = v.get("repl").expect("stats reply embeds repl");
+        assert_eq!(
+            repl.get("primary").unwrap().as_str(),
+            Some("127.0.0.1:4050")
+        );
+        assert_eq!(repl.get("connected").unwrap().as_bool(), Some(true));
+        assert_eq!(repl.get("lag_epochs").unwrap().as_u64(), Some(2));
+        assert_eq!(repl.get("records_applied").unwrap().as_u64(), Some(3));
+        assert_eq!(repl.get("reconnects").unwrap().as_u64(), Some(1));
         let metrics = v.get("metrics").expect("stats reply embeds metrics");
         let counters = metrics.get("counters").unwrap();
         assert_eq!(counters.get("serve.queries").unwrap().as_u64(), Some(1));

@@ -155,6 +155,15 @@ fn handle_connection(
                 let response = match parse_request(&request) {
                     Ok(WireRequest::Quit) => return Ok(()),
                     Ok(WireRequest::Execute(req)) => encode_reply(&service.submit(req)),
+                    Ok(WireRequest::ExecuteAt(req, min_epoch)) => {
+                        encode_reply(&service.submit_at(req, Some(min_epoch)))
+                    }
+                    Ok(WireRequest::Replicate(from)) => {
+                        // The connection stops being request/response and
+                        // becomes a one-way record stream until the
+                        // follower disconnects or the server stops.
+                        return service.replicate(from, &mut writer, stop);
+                    }
                     Err(message) => encode_protocol_error(&message),
                 };
                 writer.write_all(response.as_bytes())?;

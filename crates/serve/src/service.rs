@@ -60,6 +60,7 @@ use intensio_inference::{
 };
 use intensio_ker::model::KerModel;
 use intensio_quel::{AccessKind, Output, Session};
+use intensio_repl::{snapshot as repl_codec, ReplHub, StreamMsg};
 use intensio_sql::{analyze, parse};
 use intensio_storage::catalog::Database;
 use intensio_storage::relation::Relation;
@@ -69,7 +70,7 @@ use intensio_wal::{rules_codec, Wal, WalConfig};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
@@ -118,6 +119,15 @@ pub struct ServiceConfig {
     /// WAL tuning (fsync policy, segment size, checkpoint cadence);
     /// only consulted when [`ServiceConfig::data_dir`] is set.
     pub wal: WalConfig,
+    /// Primary address (`HOST:PORT`) to replicate from. When set, this
+    /// node boots as a read-only **follower**: it bootstraps over the
+    /// wire (log tail or full snapshot), tails the primary's committed
+    /// records, and re-gates every shipped rule set through the same
+    /// static-analysis check a local install would pass. Mutating
+    /// requests are refused with a `READONLY` error, and the node never
+    /// runs its own induction — shipping the *induced* rules is what
+    /// keeps intensional answers identical cluster-wide.
+    pub replicate_from: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -140,6 +150,7 @@ impl Default for ServiceConfig {
             check_rulesets: true,
             data_dir: None,
             wal: WalConfig::default(),
+            replicate_from: None,
         }
     }
 }
@@ -323,9 +334,31 @@ pub struct StatsReply {
     pub workers: u64,
     /// Durability counters; `None` when the service runs in-memory.
     pub durability: Option<DurabilityStats>,
+    /// This node's replication role: `"primary"` or `"follower"`.
+    pub role: String,
+    /// Follower-side replication counters; `None` on a primary.
+    pub repl: Option<ReplStats>,
     /// Full metrics snapshot: pipeline-stage latency histograms
     /// (p50/p95/p99) and every named counter/gauge.
     pub metrics: intensio_obs::MetricsSnapshot,
+}
+
+/// Follower-side replication counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStats {
+    /// The primary address this follower tails.
+    pub primary: String,
+    /// Whether the replication stream is currently established.
+    pub connected: bool,
+    /// Highest committed epoch the primary has reported (records and
+    /// heartbeats both carry it).
+    pub primary_epoch: u64,
+    /// How many epochs this follower trails the primary.
+    pub lag_epochs: u64,
+    /// Shipped records applied since boot.
+    pub records_applied: u64,
+    /// Stream reconnects since boot (lost or unreachable primary).
+    pub reconnects: u64,
 }
 
 /// Durable-mode counters: the WAL's lifetime stats plus what boot
@@ -361,7 +394,7 @@ pub enum Reply {
     /// A query (or mutation) completed.
     Query(QueryReply),
     /// Statistics.
-    Stats(StatsReply),
+    Stats(Box<StatsReply>),
     /// Answer provenance.
     Explain(ExplainReply),
     /// Static-analysis results.
@@ -475,6 +508,27 @@ struct Shared {
     /// readers (stats) and the background checkpointer take it alone,
     /// never `write_lock`, so the order is acyclic.
     durability: Option<Durability>,
+    /// Primary-side replication fan-out: the write path publishes every
+    /// committed record here (after install, still under `write_lock`,
+    /// so streams observe strict epoch order).
+    repl_hub: ReplHub,
+    /// Follower-side replication state; `None` on a primary.
+    repl: Option<ReplState>,
+}
+
+/// Follower-side replication state, updated by the replicator thread
+/// and read by `STATS`.
+struct ReplState {
+    /// The primary address this follower tails.
+    primary: String,
+    /// Highest committed epoch the primary has reported.
+    primary_epoch: AtomicU64,
+    /// Shipped records applied since boot.
+    records_applied: AtomicU64,
+    /// Stream reconnects since boot.
+    reconnects: AtomicU64,
+    /// Whether the stream is currently established.
+    connected: AtomicBool,
 }
 
 struct Durability {
@@ -535,6 +589,25 @@ impl Shared {
             .rulesets_rejected
             .fetch_add(1, Ordering::Relaxed);
         intensio_obs::inc("serve.rulesets_rejected");
+    }
+
+    /// This node's replication role, for `STATS` and error messages.
+    fn role(&self) -> &'static str {
+        if self.repl.is_some() {
+            "follower"
+        } else {
+            "primary"
+        }
+    }
+
+    /// Refresh the `repl.lag_epochs` gauge from the follower's local
+    /// epoch and the highest epoch the primary has reported.
+    fn update_lag(&self) {
+        if let Some(repl) = &self.repl {
+            let primary = repl.primary_epoch.load(Ordering::Relaxed);
+            let local = self.snapshot().epoch;
+            intensio_obs::gauge("repl.lag_epochs", primary.saturating_sub(local) as i64);
+        }
     }
 }
 
@@ -714,6 +787,10 @@ struct Job {
     enqueued: std::time::Instant,
     /// Absolute deadline, from [`ServiceConfig::deadline`].
     deadline: Option<std::time::Instant>,
+    /// Read-your-writes floor: the worker waits (bounded by the
+    /// deadline ladder) for the local epoch to reach this before
+    /// executing; a still-behind follower redirects to its primary.
+    min_epoch: Option<u64>,
 }
 
 /// The concurrent intensional query service. See the module docs for
@@ -723,9 +800,12 @@ pub struct Service {
     queue: Mutex<Option<Sender<Job>>>,
     /// The supervisor owns the worker handles; see [`supervise`].
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    /// Background inducer; `None` on followers (rules are shipped).
     inducer: Mutex<Option<JoinHandle<()>>>,
     /// Background checkpointer; `None` for in-memory services.
     checkpointer: Mutex<Option<JoinHandle<()>>>,
+    /// Follower-side apply/reconnect loop; `None` on a primary.
+    replicator: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Service {
@@ -744,8 +824,14 @@ impl Service {
     pub fn with_config(
         db: Database,
         model: KerModel,
-        cfg: ServiceConfig,
+        mut cfg: ServiceConfig,
     ) -> Result<Service, ServeError> {
+        // A follower never induces: its rule sets arrive over the wire
+        // from the primary (re-gated locally), which is what keeps
+        // intensional answers identical cluster-wide.
+        if cfg.replicate_from.is_some() {
+            cfg.learn_on_open = false;
+        }
         let mut rejected_on_open = false;
         let (snapshot, durability) = match cfg.data_dir.clone() {
             Some(dir) => {
@@ -773,6 +859,13 @@ impl Service {
             }
         };
         let workers = cfg.workers.max(1);
+        let repl = cfg.replicate_from.clone().map(|primary| ReplState {
+            primary,
+            primary_epoch: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+        });
         let shared = Arc::new(Shared {
             state: RwLock::new(Arc::new(snapshot)),
             write_lock: Mutex::new(()),
@@ -786,6 +879,8 @@ impl Service {
             queue_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             durability,
+            repl_hub: ReplHub::new(),
+            repl,
         });
         if rejected_on_open {
             shared.note_ruleset_rejected();
@@ -808,12 +903,27 @@ impl Service {
                 .spawn(move || supervise(&shared, &rx, handles))
                 .map_err(|e| ServeError(format!("spawning supervisor: {e}")))?
         };
-        let inducer = {
+        let inducer = if shared.repl.is_none() {
             let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("intensio-inducer".to_string())
-                .spawn(move || inducer_loop(&shared))
-                .map_err(|e| ServeError(format!("spawning inducer: {e}")))?
+            Some(
+                std::thread::Builder::new()
+                    .name("intensio-inducer".to_string())
+                    .spawn(move || inducer_loop(&shared))
+                    .map_err(|e| ServeError(format!("spawning inducer: {e}")))?,
+            )
+        } else {
+            None
+        };
+        let replicator = if shared.repl.is_some() {
+            let shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("intensio-replicator".to_string())
+                    .spawn(move || replicator_loop(&shared))
+                    .map_err(|e| ServeError(format!("spawning replicator: {e}")))?,
+            )
+        } else {
+            None
         };
         let checkpointer = if shared.durability.is_some() {
             let shared = shared.clone();
@@ -831,8 +941,9 @@ impl Service {
             shared,
             queue: Mutex::new(Some(tx)),
             supervisor: Mutex::new(Some(supervisor)),
-            inducer: Mutex::new(Some(inducer)),
+            inducer: Mutex::new(inducer),
             checkpointer: Mutex::new(checkpointer),
+            replicator: Mutex::new(replicator),
         })
     }
 
@@ -840,6 +951,15 @@ impl Service {
     /// Returns [`Reply::Busy`] without executing anything when the
     /// queue is at capacity.
     pub fn submit(&self, request: Request) -> Reply {
+        self.submit_at(request, None)
+    }
+
+    /// [`Service::submit`] with a read-your-writes floor: the request
+    /// does not execute until this node's epoch reaches `min_epoch`
+    /// (e.g. the epoch a write acknowledgement carried). The wait is
+    /// bounded by the deadline ladder; a follower still behind at the
+    /// bound answers with a `REDIRECT` error naming its primary.
+    pub fn submit_at(&self, request: Request, min_epoch: Option<u64>) -> Reply {
         let shared = &self.shared;
         let cap = shared.cfg.queue_capacity;
         if cap > 0 && shared.queue_depth.load(Ordering::Relaxed) >= cap {
@@ -861,6 +981,7 @@ impl Service {
                         reply_to: reply_tx,
                         enqueued: std::time::Instant::now(),
                         deadline,
+                        min_epoch,
                     })
                     .is_ok(),
                 None => false,
@@ -904,6 +1025,123 @@ impl Service {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
     }
+
+    /// Serve one replication stream (the `REPLICATE <from_epoch>` verb):
+    /// write `#repl` lines to `out` until the follower disconnects, the
+    /// server stops, or the service shuts down. Runs on the connection
+    /// thread, not the worker pool — a slow follower never occupies a
+    /// query worker.
+    ///
+    /// The bootstrap closes the history/live race by subscribing to the
+    /// record hub *before* reading the log: any record missing from the
+    /// history read below is already waiting in the channel, and the
+    /// monotone `last_sent` epoch dedupes the overlap. When the log no
+    /// longer reaches back to `from_epoch` (a checkpoint truncated it),
+    /// the stream falls back to shipping a full state snapshot.
+    pub fn replicate(
+        &self,
+        from_epoch: u64,
+        out: &mut dyn std::io::Write,
+        stop: &AtomicBool,
+    ) -> std::io::Result<()> {
+        let shared = &self.shared;
+        let mut send = |msg: &StreamMsg| -> std::io::Result<()> {
+            out.write_all(msg.encode().as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()
+        };
+        if shared.repl.is_some() {
+            return send(&StreamMsg::Error(
+                "this node is itself a follower; replicate from the primary".to_string(),
+            ));
+        }
+        let Some(dur) = &shared.durability else {
+            return send(&StreamMsg::Error(
+                "replication requires a durable primary (start it with --data-dir)".to_string(),
+            ));
+        };
+        let rx = shared.repl_hub.subscribe();
+        intensio_obs::inc("repl.streams_opened");
+        // History: collect the whole log tail up front so a chain break
+        // discovered halfway (gap, corruption, truncation race) can
+        // still fall back to a clean snapshot bootstrap.
+        let history: Option<Vec<Record>> = match intensio_wal::LogTail::open(&dur.dir, from_epoch) {
+            Ok(tail) => {
+                let mut records = Vec::new();
+                let mut intact = true;
+                for item in tail {
+                    match item {
+                        Ok(rec) => records.push(rec),
+                        Err(_) => {
+                            intact = false;
+                            break;
+                        }
+                    }
+                }
+                intact.then_some(records)
+            }
+            Err(_) => None,
+        };
+        send(&StreamMsg::Ok {
+            epoch: shared.snapshot().epoch,
+        })?;
+        let mut last_sent = from_epoch;
+        match history {
+            Some(records) => {
+                for rec in records {
+                    last_sent = rec.epoch;
+                    send(&StreamMsg::Record(rec))?;
+                    intensio_obs::inc("repl.records_shipped");
+                }
+            }
+            None => {
+                // Pinned after the subscribe, so every later record is
+                // either above this epoch or waiting in the channel.
+                let snap = shared.snapshot();
+                let db = match repl_codec::db_to_bytes(&snap.db) {
+                    Ok(db) => db,
+                    Err(e) => return send(&StreamMsg::Error(format!("encoding snapshot: {e}"))),
+                };
+                let rules = snap.dictionary.rules();
+                let rules = (snap.rules_fresh && !rules.is_empty())
+                    .then(|| rules_codec::rules_to_bytes(rules).ok())
+                    .flatten();
+                last_sent = snap.epoch;
+                send(&StreamMsg::Snapshot {
+                    epoch: snap.epoch,
+                    data_version: snap.data_version,
+                    db,
+                    rules,
+                })?;
+                intensio_obs::inc("repl.snapshots_shipped");
+            }
+        }
+        // Live tail: forward hub records (the bootstrap overlap dedupes
+        // on `last_sent`), heartbeat the current epoch when idle.
+        loop {
+            if stop.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+                return send(&StreamMsg::Error("primary shutting down".to_string()));
+            }
+            match rx.recv_timeout(std::time::Duration::from_millis(500)) {
+                Ok(rec) => {
+                    if rec.epoch <= last_sent {
+                        continue;
+                    }
+                    last_sent = rec.epoch;
+                    send(&StreamMsg::Record(rec))?;
+                    intensio_obs::inc("repl.records_shipped");
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    send(&StreamMsg::Heartbeat {
+                        epoch: shared.snapshot().epoch,
+                    })?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return send(&StreamMsg::Error("record hub closed".to_string()));
+                }
+            }
+        }
+    }
 }
 
 impl Drop for Service {
@@ -914,6 +1152,16 @@ impl Drop for Service {
         self.queue.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(h) = self
             .supervisor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = h.join();
+        }
+        // The replicator polls the shutdown flag on its read ticks and
+        // between reconnect backoff steps; no wake needed.
+        if let Some(h) = self
+            .replicator
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take()
@@ -1028,9 +1276,13 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         if intensio_fault::fire("serve.worker").is_err() {
             return;
         }
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(shared, &job.request, job.deadline)
-        }));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match await_min_epoch(shared, job.min_epoch, job.deadline) {
+                    Some(reply) => reply,
+                    None => execute(shared, &job.request, job.deadline),
+                }
+            }));
         let reply = outcome.unwrap_or_else(|p| Reply::Error {
             message: format!("request panicked: {}", panic_message(p.as_ref())),
         });
@@ -1050,6 +1302,46 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("opaque panic payload")
 }
 
+/// How long a `min_epoch` request may wait for replication to catch up
+/// when no per-request deadline is configured.
+const MIN_EPOCH_WAIT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Read-your-writes barrier: block (briefly) until this node's epoch
+/// reaches `min_epoch`. `None` means proceed; `Some(reply)` is the
+/// ready-made answer for a node that stayed behind past the bound — a
+/// follower redirects to its primary, a primary reports the requested
+/// epoch as unknown (it is the commit point; a higher epoch does not
+/// exist yet).
+fn await_min_epoch(
+    shared: &Shared,
+    min_epoch: Option<u64>,
+    deadline: Option<std::time::Instant>,
+) -> Option<Reply> {
+    let min_epoch = min_epoch?;
+    let bound = deadline.unwrap_or_else(|| std::time::Instant::now() + MIN_EPOCH_WAIT);
+    loop {
+        let epoch = shared.snapshot().epoch;
+        if epoch >= min_epoch {
+            return None;
+        }
+        if std::time::Instant::now() >= bound {
+            intensio_obs::inc("repl.min_epoch_timeouts");
+            let message = match &shared.repl {
+                Some(repl) => format!(
+                    "REDIRECT {}: epoch {min_epoch} not yet replicated here (follower at {epoch})",
+                    repl.primary
+                ),
+                None => format!(
+                    "min_epoch {min_epoch} is ahead of the primary (epoch {epoch}); \
+                     no node can satisfy it"
+                ),
+            };
+            return Some(error(message));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
 fn execute(shared: &Shared, request: &Request, deadline: Option<std::time::Instant>) -> Reply {
     let mut span = intensio_obs::Span::stage("serve.request", intensio_obs::Stage::Request)
         .with_field("verb", request.verb());
@@ -1060,9 +1352,9 @@ fn execute(shared: &Shared, request: &Request, deadline: Option<std::time::Insta
     match request {
         Request::Sql(sql) => exec_sql(shared, sql, deadline),
         Request::Quel(script) => exec_quel(shared, script),
-        Request::Stats => Reply::Stats(stats_reply(shared)),
+        Request::Stats => Reply::Stats(Box::new(stats_reply(shared))),
         Request::Explain(sql) => exec_explain(shared, sql, deadline),
-        Request::Fault(cmd) => exec_fault(cmd),
+        Request::Fault(cmd) => exec_fault(shared, cmd),
         Request::Check(arg) => exec_check(shared, arg),
     }
 }
@@ -1113,14 +1405,22 @@ fn exec_check(shared: &Shared, arg: &str) -> Reply {
 }
 
 /// `FAULT LIST` / `FAULT SET name=spec[;...]` / `FAULT CLEAR`: runtime
-/// failpoint administration over the wire.
-fn exec_fault(cmd: &str) -> Reply {
+/// failpoint administration over the wire. On a follower only `LIST`
+/// is allowed: arming or clearing failpoints mutates node state, and a
+/// replica's state is owned by its primary's log.
+fn exec_fault(shared: &Shared, cmd: &str) -> Reply {
     let cmd = cmd.trim();
     let (op, rest) = match cmd.split_once(char::is_whitespace) {
         Some((op, rest)) => (op, rest.trim()),
         None => (cmd, ""),
     };
-    match op.to_ascii_uppercase().as_str() {
+    let op = op.to_ascii_uppercase();
+    if let Some(repl) = &shared.repl {
+        if matches!(op.as_str(), "SET" | "CLEAR") {
+            return error(readonly_message(&repl.primary, "FAULT administration"));
+        }
+    }
+    match op.as_str() {
         "" | "LIST" => Reply::Fault {
             failpoints: intensio_fault::list(),
         },
@@ -1188,6 +1488,18 @@ fn stats_reply(shared: &Shared) -> StatsReply {
                 replayed_records: dur.recovery.replayed_records,
                 discarded_records: dur.recovery.discarded_records,
                 recovery_ms: dur.recovery.recovery_ms,
+            }
+        }),
+        role: shared.role().to_string(),
+        repl: shared.repl.as_ref().map(|r| {
+            let primary_epoch = r.primary_epoch.load(Ordering::Relaxed);
+            ReplStats {
+                primary: r.primary.clone(),
+                connected: r.connected.load(Ordering::Relaxed),
+                primary_epoch,
+                lag_epochs: primary_epoch.saturating_sub(snap.epoch),
+                records_applied: r.records_applied.load(Ordering::Relaxed),
+                reconnects: r.reconnects.load(Ordering::Relaxed),
             }
         }),
         metrics: intensio_obs::metrics().snapshot(),
@@ -1379,10 +1691,20 @@ fn exec_quel(shared: &Shared, script: &str) -> Reply {
     }
     let writes = stmts.iter().any(|s| s.access() == AccessKind::Write);
     if writes {
+        if let Some(repl) = &shared.repl {
+            return error(readonly_message(&repl.primary, "mutating QUEL"));
+        }
         quel_write(shared, script)
     } else {
         quel_read(shared, script)
     }
+}
+
+/// The error a follower answers to any state-mutating verb. Starts with
+/// the literal token `READONLY` so clients (and greps) can detect it,
+/// and names the primary so they know where to go.
+fn readonly_message(primary: &str, what: &str) -> String {
+    format!("READONLY: this node is a follower of {primary}; {what} must go to the primary")
 }
 
 /// Read-only scripts run against a *private copy-on-write clone* of the
@@ -1420,6 +1742,7 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
     // configured fsync policy) before the new epoch is published or the
     // client acknowledged. On failure nothing is installed — the writer
     // rewound the log, so the epoch is free for the client's retry.
+    let mut committed = None;
     if let Some(dur) = &shared.durability {
         let record = Record::write(next.epoch, next.data_version, script);
         let appended = std::time::Instant::now();
@@ -1432,6 +1755,7 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
         if let Err(e) = result {
             return error(format!("durability: {e}"));
         }
+        committed = Some(record);
     }
     let reply = {
         let mut r = quel_reply(&next, &outputs);
@@ -1439,6 +1763,12 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
         r
     };
     shared.install(next);
+    // Fan the committed record out to replication streams after the
+    // install, still under `write_lock`: every stream observes records
+    // in strict epoch order.
+    if let Some(record) = committed {
+        shared.repl_hub.publish(&record);
+    }
     shared.counters.writes.fetch_add(1, Ordering::Relaxed);
     maybe_checkpoint(shared);
     shared.wake_inducer();
@@ -1646,6 +1976,7 @@ fn induce_once(shared: &Shared) -> Induce {
     let mut dictionary = current.dictionary.clone();
     dictionary.set_rules(rules);
     let next = current.after_induction(dictionary);
+    let mut committed = None;
     if let (Some(dur), Some(body)) = (&shared.durability, rules_body) {
         let record = Record::rules(next.epoch, next.data_version, body);
         let appended = std::time::Instant::now();
@@ -1658,40 +1989,31 @@ fn induce_once(shared: &Shared) -> Induce {
         if result.is_err() {
             return Induce::Failed;
         }
+        committed = Some(record);
     }
     shared.install(next);
+    // Rule installs replicate like writes: publish after install, still
+    // under `write_lock`, so followers see the same epoch order.
+    if let Some(record) = committed {
+        shared.repl_hub.publish(&record);
+    }
     shared.counters.inductions.fetch_add(1, Ordering::Relaxed);
     maybe_checkpoint(shared);
     Induce::Installed
 }
 
-/// Retry delay for `attempt` (1-based): capped exponential backoff from
-/// [`ServiceConfig::induction_backoff`], with deterministic jitter in
-/// `[delay/2, delay)` so repeated failures don't retry in lockstep with
-/// the writes that triggered them.
-fn induction_backoff(cfg: &ServiceConfig, attempt: u32, jitter: &mut u64) -> std::time::Duration {
-    let base = cfg
-        .induction_backoff
-        .max(std::time::Duration::from_millis(1));
-    let cap = cfg.induction_backoff_cap.max(base);
-    let exp = base.saturating_mul(1u32 << attempt.min(20).saturating_sub(1));
-    let delay = exp.min(cap);
-    // xorshift64: cheap, deterministic, good enough to decorrelate.
-    *jitter ^= *jitter << 13;
-    *jitter ^= *jitter >> 7;
-    *jitter ^= *jitter << 17;
-    let half_ms = (delay.as_millis() as u64 / 2).max(1);
-    delay / 2 + std::time::Duration::from_millis(*jitter % half_ms)
-}
-
 /// The background induction loop: wake on write, learn from a pinned
 /// snapshot, install only if the data did not move underneath. A failed
-/// or panicking attempt self-heals: it retries with capped exponential
-/// backoff (plus jitter) until induction succeeds, so `rules_fresh`
-/// always recovers once the fault clears.
+/// or panicking attempt self-heals: it retries with the capped,
+/// jittered exponential backoff of [`intensio_fault::Backoff`] (the
+/// same helper the follower reconnect loop uses) until induction
+/// succeeds, so `rules_fresh` always recovers once the fault clears.
 fn inducer_loop(shared: &Shared) {
-    let mut attempt: u32 = 0;
-    let mut jitter: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut backoff = intensio_fault::Backoff::new(
+        shared.cfg.induction_backoff,
+        shared.cfg.induction_backoff_cap,
+        0,
+    );
     loop {
         {
             let mut flags = shared.induce.lock().unwrap_or_else(|e| e.into_inner());
@@ -1713,20 +2035,19 @@ fn inducer_loop(shared: &Shared) {
         match outcome {
             // Rejection is deterministic: retrying against unchanged
             // data cannot succeed, so wait for the next write instead.
-            Ok(Induce::Idle) | Ok(Induce::Installed) | Ok(Induce::Rejected) => attempt = 0,
+            Ok(Induce::Idle) | Ok(Induce::Installed) | Ok(Induce::Rejected) => backoff.reset(),
             Ok(Induce::Raced) => {
                 // Go around and learn against the newer data.
-                attempt = 0;
+                backoff.reset();
                 shared.wake_inducer();
             }
             Ok(Induce::Failed) | Err(_) => {
-                attempt = attempt.saturating_add(1);
                 shared
                     .counters
                     .induction_retries
                     .fetch_add(1, Ordering::Relaxed);
                 intensio_obs::inc("serve.induction_retries");
-                let delay = induction_backoff(&shared.cfg, attempt, &mut jitter);
+                let delay = backoff.next_delay();
                 let mut flags = shared.induce.lock().unwrap_or_else(|e| e.into_inner());
                 if !flags.shutdown {
                     let (next, _) = shared
@@ -1743,4 +2064,298 @@ fn inducer_loop(shared: &Shared) {
             }
         }
     }
+}
+
+/// How a follower's stream attempt ended.
+enum FollowEnd {
+    /// The service is shutting down; exit the loop.
+    Shutdown,
+    /// The connection failed, broke, or the primary ended the stream;
+    /// reconnect after a backoff.
+    Lost,
+}
+
+/// The follower-side replication driver: connect to the primary,
+/// request the tail after the local epoch, apply what arrives, and on
+/// any break reconnect with the capped jittered backoff of
+/// [`intensio_fault::Backoff`]. A divergence (epoch gap, failed
+/// replay) also lands here: the reconnect re-requests from the local
+/// epoch, and the primary's snapshot fallback repairs the state.
+fn replicator_loop(shared: &Shared) {
+    let Some(repl) = &shared.repl else { return };
+    let mut backoff = intensio_fault::Backoff::new(
+        std::time::Duration::from_millis(100),
+        std::time::Duration::from_secs(5),
+        0,
+    );
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let end = follow_once(shared, repl);
+        // `connected` doubles as the made-progress flag: a stream that
+        // got as far as the handshake earns a backoff reset.
+        let progressed = repl.connected.swap(false, Ordering::Relaxed);
+        match end {
+            FollowEnd::Shutdown => return,
+            FollowEnd::Lost => {
+                repl.reconnects.fetch_add(1, Ordering::Relaxed);
+                intensio_obs::inc("repl.reconnects");
+                if progressed {
+                    backoff.reset();
+                }
+                let until = std::time::Instant::now() + backoff.next_delay();
+                while std::time::Instant::now() < until {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+            }
+        }
+    }
+}
+
+/// One stream attempt: connect, send `REPLICATE <local epoch>`, and
+/// apply messages until the stream breaks or shutdown.
+fn follow_once(shared: &Shared, repl: &ReplState) -> FollowEnd {
+    use std::io::Write as _;
+    let Ok(stream) = std::net::TcpStream::connect(&repl.primary) else {
+        return FollowEnd::Lost;
+    };
+    let setup = stream
+        .set_nodelay(true)
+        .and_then(|()| stream.set_read_timeout(Some(std::time::Duration::from_millis(200))));
+    if setup.is_err() {
+        return FollowEnd::Lost;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return FollowEnd::Lost;
+    };
+    let from = shared.snapshot().epoch;
+    let hello = format!("REPLICATE {from}\n");
+    if writer
+        .write_all(hello.as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return FollowEnd::Lost;
+    }
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match std::io::BufRead::read_line(&mut reader, &mut line) {
+            Ok(0) => return FollowEnd::Lost,
+            Ok(_) => {
+                let stream_line = std::mem::take(&mut line);
+                let msg = match StreamMsg::parse(&stream_line) {
+                    Ok(msg) => msg,
+                    Err(_) => {
+                        intensio_obs::inc("repl.bad_stream_lines");
+                        return FollowEnd::Lost;
+                    }
+                };
+                match apply_stream_msg(shared, repl, msg) {
+                    Ok(true) => {}
+                    Ok(false) => return FollowEnd::Lost,
+                    Err(_) => {
+                        intensio_obs::inc("repl.apply_failures");
+                        return FollowEnd::Lost;
+                    }
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return FollowEnd::Shutdown;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle tick; a partial line survives in `line`.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return FollowEnd::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FollowEnd::Lost,
+        }
+    }
+}
+
+/// Apply one stream message on the follower. `Ok(true)` keeps the
+/// stream, `Ok(false)` ends it cleanly (the primary said stop), `Err`
+/// is a divergence that forces a reconnect-and-rebootstrap.
+fn apply_stream_msg(shared: &Shared, repl: &ReplState, msg: StreamMsg) -> Result<bool, String> {
+    match msg {
+        StreamMsg::Ok { epoch } | StreamMsg::Heartbeat { epoch } => {
+            repl.primary_epoch.fetch_max(epoch, Ordering::Relaxed);
+            repl.connected.store(true, Ordering::Relaxed);
+            shared.update_lag();
+            Ok(true)
+        }
+        StreamMsg::Error(_) => {
+            intensio_obs::inc("repl.stream_errors");
+            Ok(false)
+        }
+        StreamMsg::Snapshot {
+            epoch,
+            data_version,
+            db,
+            rules,
+        } => {
+            apply_wire_snapshot(shared, repl, epoch, data_version, &db, rules.as_deref())?;
+            Ok(true)
+        }
+        StreamMsg::Record(rec) => {
+            apply_record(shared, repl, &rec)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Install a full-state bootstrap shipped by the primary (the log no
+/// longer covered this follower's epoch).
+fn apply_wire_snapshot(
+    shared: &Shared,
+    repl: &ReplState,
+    epoch: u64,
+    data_version: u64,
+    db_bytes: &[u8],
+    rules_bytes: Option<&[u8]>,
+) -> Result<(), String> {
+    let db = repl_codec::db_from_bytes(db_bytes).map_err(|e| e.to_string())?;
+    let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let current = shared.snapshot();
+    repl.primary_epoch.fetch_max(epoch, Ordering::Relaxed);
+    if epoch < current.epoch {
+        return Err(format!(
+            "shipped snapshot at epoch {epoch} is older than local epoch {}",
+            current.epoch
+        ));
+    }
+    if epoch == current.epoch {
+        shared.update_lag();
+        return Ok(()); // already caught up (reconnect overlap)
+    }
+    let mut dictionary = DataDictionary::new(current.dictionary.model().clone());
+    let mut rules_fresh = false;
+    if let Some(bytes) = rules_bytes {
+        match rules_codec::rules_from_bytes(bytes) {
+            // Shipped rules pass the same static-analysis gate a local
+            // install would: a primary/follower checker version skew
+            // must not smuggle rejected rules into service.
+            Ok(rules) => {
+                if shared.cfg.check_rulesets && lint_rule_set(&shared.cfg, &rules, &db).has_errors()
+                {
+                    shared.note_ruleset_rejected();
+                } else {
+                    dictionary.set_rules(rules);
+                    rules_fresh = true;
+                }
+            }
+            Err(_) => intensio_obs::inc("repl.undecodable_rulesets"),
+        }
+    }
+    let snap = Snapshot::recovered(epoch, data_version, db, dictionary, rules_fresh);
+    if let Some(dur) = &shared.durability {
+        // A wire snapshot papers over exactly the records this
+        // follower's own log is missing: persist it as a local
+        // checkpoint so a restart recovers contiguously, then retire
+        // the now-covered local segments.
+        write_snapshot_checkpoint(&dur.dir, &snap)
+            .map_err(|e| format!("follower checkpoint: {e}"))?;
+        let _ = dur
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .truncate_covered(epoch);
+    }
+    shared.install(snap);
+    intensio_obs::inc("repl.snapshots_applied");
+    shared.update_lag();
+    Ok(())
+}
+
+/// Apply one shipped record on the follower: replay a write through the
+/// same QUEL session a primary uses, or install a (re-gated) rule set.
+/// Exactly-once by construction — a record at or below the local epoch
+/// is the bootstrap/reconnect overlap and is skipped, a record further
+/// ahead than `local + 1` is a chain break.
+fn apply_record(shared: &Shared, repl: &ReplState, rec: &Record) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    repl.primary_epoch.fetch_max(rec.epoch, Ordering::Relaxed);
+    let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let current = shared.snapshot();
+    if rec.epoch <= current.epoch {
+        shared.update_lag();
+        return Ok(()); // duplicate from the bootstrap overlap: never re-applied
+    }
+    if rec.epoch != current.epoch + 1 {
+        return Err(format!(
+            "record chain gap: local epoch {}, shipped {}",
+            current.epoch, rec.epoch
+        ));
+    }
+    let next = match rec.kind {
+        RecordKind::Write => {
+            let script = rec
+                .script()
+                .ok_or_else(|| format!("write record at epoch {} is not UTF-8", rec.epoch))?;
+            let mut db = current.db.clone();
+            let mut session = Session::new();
+            session
+                .run_script(&mut db, script)
+                .map_err(|e| format!("replaying shipped write at epoch {}: {e}", rec.epoch))?;
+            Snapshot::recovered(
+                rec.epoch,
+                rec.data_version,
+                db,
+                current.dictionary.clone(),
+                false,
+            )
+        }
+        RecordKind::Rules => {
+            let mut dictionary = current.dictionary.clone();
+            let mut rules_fresh = false;
+            match rules_codec::rules_from_bytes(&rec.body) {
+                Ok(rules) => {
+                    // Re-gated like a local install; the epoch advances
+                    // either way (contiguity with the primary), but
+                    // rejected rules are never served.
+                    if shared.cfg.check_rulesets
+                        && lint_rule_set(&shared.cfg, &rules, &current.db).has_errors()
+                    {
+                        shared.note_ruleset_rejected();
+                    } else {
+                        dictionary.set_rules(rules);
+                        rules_fresh = true;
+                    }
+                }
+                Err(_) => intensio_obs::inc("repl.undecodable_rulesets"),
+            }
+            Snapshot::recovered(
+                rec.epoch,
+                rec.data_version,
+                current.db.clone(),
+                dictionary,
+                rules_fresh,
+            )
+        }
+    };
+    // A durable follower logs the record before installing it, so a
+    // restart recovers locally and re-joins from its recovered epoch.
+    if let Some(dur) = &shared.durability {
+        dur.wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .append(rec)
+            .map_err(|e| format!("follower wal append: {e}"))?;
+    }
+    shared.install(next);
+    repl.records_applied.fetch_add(1, Ordering::Relaxed);
+    intensio_obs::inc("repl.records_applied");
+    intensio_obs::record_stage(intensio_obs::Stage::ReplApply, started.elapsed());
+    maybe_checkpoint(shared);
+    shared.update_lag();
+    Ok(())
 }

@@ -61,7 +61,7 @@ fn count_subs(service: &Service, prefix: &str) -> usize {
 
 fn stats(service: &Service) -> intensio_serve::StatsReply {
     match service.submit(Request::Stats) {
-        Reply::Stats(s) => s,
+        Reply::Stats(s) => *s,
         other => panic!("stats failed: {other:?}"),
     }
 }

@@ -30,6 +30,7 @@ mod crc;
 
 pub mod checkpoint;
 pub mod log;
+pub mod read;
 pub mod record;
 pub mod recover;
 pub mod rules_codec;
@@ -37,6 +38,7 @@ pub mod segment;
 
 pub use checkpoint::{CheckpointRef, LoadedCheckpoint};
 pub use log::{Wal, WalStats};
+pub use read::LogTail;
 pub use record::{Record, RecordKind};
 pub use recover::{recover, Recovered, RecoveryStats};
 

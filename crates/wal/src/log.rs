@@ -126,6 +126,16 @@ impl Wal {
         }
     }
 
+    /// Stream the log's records with epoch strictly greater than
+    /// `from_epoch` — the replication feed (see [`crate::read`]). The
+    /// returned iterator reads the segment files independently of this
+    /// writer, so the caller may release any lock guarding the `Wal`
+    /// while draining it; records appended after this call may or may
+    /// not be observed.
+    pub fn read_from(&self, from_epoch: u64) -> Result<crate::read::LogTail, WalError> {
+        crate::read::LogTail::open(&self.root, from_epoch)
+    }
+
     /// Whether enough records have accumulated to warrant a checkpoint.
     pub fn checkpoint_due(&self) -> bool {
         self.cfg.checkpoint_every > 0 && self.since_checkpoint >= self.cfg.checkpoint_every

@@ -1,0 +1,347 @@
+//! Streaming reads of the log: the replication feed.
+//!
+//! [`LogTail`] walks the on-disk segments and yields the epoch-
+//! contiguous chain of records strictly above a starting epoch — the
+//! same acceptance rules boot recovery applies (contiguity, torn tails
+//! end a segment, duplicate epochs last-wins), but incrementally, one
+//! segment in memory at a time, so a replication stream can ship a
+//! multi-gigabyte log without materializing it.
+//!
+//! The chain must *begin* at `from_epoch + 1`. When the oldest record
+//! still on disk is newer than that (a checkpoint truncated the log
+//! past the requested point), the stream fails immediately with a gap
+//! error — the signal a replication source uses to fall back to
+//! shipping a full snapshot instead of a log tail.
+
+use crate::record::{decode_frame, FrameOutcome, Record};
+use crate::segment::list_segments;
+use crate::WalError;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+/// A streaming iterator over the log's records with epoch strictly
+/// greater than the `from_epoch` it was opened at. See the module docs
+/// for the acceptance rules. Yields every sound record, then `Err`
+/// exactly once (and ends) when the chain breaks: an epoch gap, a
+/// corrupt frame, or a segment deleted mid-stream.
+pub struct LogTail {
+    segments: VecDeque<(u64, PathBuf)>,
+    /// Bytes of the segment currently being walked.
+    buf: Vec<u8>,
+    pos: usize,
+    in_segment: bool,
+    /// Lookahead slot: the next record to yield, held back one step so
+    /// a duplicate epoch (an unacked append whose epoch was reused) can
+    /// replace it before the caller sees it — recovery's last-wins rule.
+    pending: Option<Record>,
+    /// An error to report after the lookahead is flushed.
+    deferred: Option<WalError>,
+    last_epoch: u64,
+    done: bool,
+}
+
+impl LogTail {
+    /// Open a tail over `data_dir`'s log starting after `from_epoch`.
+    /// The segment list is snapshotted here; records appended to the
+    /// active segment after this call may or may not be observed.
+    pub fn open(data_dir: &std::path::Path, from_epoch: u64) -> Result<LogTail, WalError> {
+        let segments =
+            list_segments(data_dir).map_err(|e| WalError(format!("listing wal segments: {e}")))?;
+        Ok(LogTail {
+            segments: segments.into(),
+            buf: Vec::new(),
+            pos: 0,
+            in_segment: false,
+            pending: None,
+            deferred: None,
+            last_epoch: from_epoch,
+            done: false,
+        })
+    }
+
+    /// Stop the stream: flush the lookahead first, then report `err`.
+    fn stop(&mut self, err: WalError) -> Option<Result<Record, WalError>> {
+        self.segments.clear();
+        self.in_segment = false;
+        match self.pending.take() {
+            Some(rec) => {
+                self.deferred = Some(err);
+                Some(Ok(rec))
+            }
+            None => {
+                self.done = true;
+                Some(Err(err))
+            }
+        }
+    }
+}
+
+impl Iterator for LogTail {
+    type Item = Result<Record, WalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(err) = self.deferred.take() {
+            self.done = true;
+            return Some(Err(err));
+        }
+        loop {
+            if !self.in_segment || self.pos >= self.buf.len() {
+                // Advance to the next segment with bytes to decode.
+                let Some((_seq, path)) = self.segments.pop_front() else {
+                    // End of log: flush the lookahead.
+                    if let Some(rec) = self.pending.take() {
+                        return Some(Ok(rec));
+                    }
+                    self.done = true;
+                    return None;
+                };
+                match std::fs::read(&path) {
+                    Ok(bytes) => {
+                        self.buf = bytes;
+                        self.pos = 0;
+                        self.in_segment = true;
+                        continue;
+                    }
+                    Err(e) => {
+                        // A segment vanished mid-stream (checkpoint
+                        // truncation raced us): the chain is broken.
+                        return self
+                            .stop(WalError(format!("reading segment {}: {e}", path.display())));
+                    }
+                }
+            }
+            match decode_frame(&self.buf[self.pos..]) {
+                FrameOutcome::Complete(rec, consumed) => {
+                    self.pos += consumed;
+                    let duplicates_tail = self
+                        .pending
+                        .as_ref()
+                        .is_some_and(|prev| prev.epoch == rec.epoch);
+                    if duplicates_tail {
+                        // Last-wins: the earlier append was never
+                        // acknowledged and its epoch was reused.
+                        self.pending = Some(rec);
+                    } else if rec.epoch <= self.last_epoch {
+                        continue; // already covered by the caller
+                    } else if rec.epoch == self.last_epoch + 1 {
+                        self.last_epoch = rec.epoch;
+                        if let Some(out) = self.pending.replace(rec) {
+                            return Some(Ok(out));
+                        }
+                    } else {
+                        let wanted = self.last_epoch + 1;
+                        return self.stop(WalError(format!(
+                            "epoch gap in log tail: wanted {wanted}, found {}",
+                            rec.epoch
+                        )));
+                    }
+                }
+                FrameOutcome::Torn => {
+                    // Expected crash shape: this segment ends here, but
+                    // a later segment may continue the chain.
+                    self.in_segment = false;
+                    self.pos = self.buf.len();
+                }
+                FrameOutcome::Corrupt(why) => {
+                    return self.stop(WalError(format!("corrupt frame in log tail: {why}")));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Wal;
+    use crate::segment::{segment_file_name, WAL_SUBDIR};
+    use crate::{FsyncPolicy, WalConfig};
+    use std::path::Path;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("intensio_read_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(segment_bytes: u64) -> WalConfig {
+        WalConfig {
+            segment_bytes,
+            fsync: FsyncPolicy::Off,
+            checkpoint_every: 1000,
+            keep_checkpoints: 2,
+        }
+    }
+
+    fn collect(dir: &Path, from: u64) -> (Vec<Record>, Option<WalError>) {
+        let mut records = Vec::new();
+        let mut err = None;
+        for item in LogTail::open(dir, from).unwrap() {
+            match item {
+                Ok(rec) => records.push(rec),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        (records, err)
+    }
+
+    #[test]
+    fn streams_across_a_segment_rotation_boundary() {
+        let dir = tmpdir("rotation");
+        // Tiny segments force several rotations mid-stream.
+        let mut wal = Wal::open(&dir, cfg(128), 0).unwrap();
+        for i in 1..=20u64 {
+            wal.append(&Record::write(i, i, &format!("script {i}")))
+                .unwrap();
+        }
+        assert!(
+            crate::segment::list_segments(&dir).unwrap().len() > 2,
+            "the stream must cross at least two rotation boundaries"
+        );
+        let (records, err) = collect(&dir, 0);
+        assert!(err.is_none());
+        assert_eq!(records.len(), 20);
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            (1..=20).collect::<Vec<_>>()
+        );
+        // A mid-stream start also lands exactly on the chain.
+        let (tail, err) = collect(&dir, 13);
+        assert!(err.is_none());
+        assert_eq!(tail.first().map(|r| r.epoch), Some(14));
+        assert_eq!(tail.len(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn start_past_the_end_is_empty_not_an_error() {
+        let dir = tmpdir("past_end");
+        let mut wal = Wal::open(&dir, cfg(4096), 0).unwrap();
+        for i in 1..=3u64 {
+            wal.append(&Record::write(i, i, "x")).unwrap();
+        }
+        let (records, err) = collect(&dir, 3);
+        assert!(records.is_empty());
+        assert!(err.is_none());
+        let (records, err) = collect(&dir, 7);
+        assert!(records.is_empty(), "nothing newer than epoch 7 exists");
+        assert!(err.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_log_reports_a_gap_for_old_epochs() {
+        let dir = tmpdir("gap");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        for e in 5..=8u64 {
+            buf.extend_from_slice(&Record::write(e, e, "x").encode());
+        }
+        std::fs::write(wal_dir.join(segment_file_name(3)), &buf).unwrap();
+        // The log starts at epoch 5; asking for the tail after epoch 2
+        // cannot produce a contiguous chain.
+        let (records, err) = collect(&dir, 2);
+        assert!(records.is_empty());
+        assert!(err.unwrap().to_string().contains("epoch gap"));
+        // Asking from epoch 4 works: the chain starts at 5.
+        let (records, err) = collect(&dir, 4);
+        assert!(err.is_none());
+        assert_eq!(records.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_ends_a_segment_but_later_segments_continue() {
+        let dir = tmpdir("torn");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut seg1 = Vec::new();
+        seg1.extend_from_slice(&Record::write(1, 1, "a").encode());
+        let torn = Record::write(2, 2, "lost").encode();
+        seg1.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(wal_dir.join(segment_file_name(1)), &seg1).unwrap();
+        let mut seg2 = Vec::new();
+        seg2.extend_from_slice(&Record::write(2, 2, "b").encode());
+        seg2.extend_from_slice(&Record::write(3, 3, "c").encode());
+        std::fs::write(wal_dir.join(segment_file_name(2)), &seg2).unwrap();
+
+        let (records, err) = collect(&dir, 0);
+        assert!(err.is_none());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[1].script(), Some("b"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_epoch_last_record_wins_even_at_the_tail() {
+        let dir = tmpdir("dup");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Record::write(1, 1, "a").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "unacked").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "acked").encode());
+        std::fs::write(wal_dir.join(segment_file_name(1)), &buf).unwrap();
+        let (records, err) = collect(&dir, 0);
+        assert!(err.is_none());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].script(), Some("acked"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_flushes_sound_records_then_errors_once() {
+        let dir = tmpdir("corrupt");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Record::write(1, 1, "a").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "b").encode());
+        let mut bad = Record::write(3, 3, "c").encode();
+        bad[12] ^= 0xFF;
+        buf.extend_from_slice(&bad);
+        std::fs::write(wal_dir.join(segment_file_name(1)), &buf).unwrap();
+        let mut tail = LogTail::open(&dir, 0).unwrap();
+        assert_eq!(tail.next().unwrap().unwrap().epoch, 1);
+        assert_eq!(tail.next().unwrap().unwrap().epoch, 2);
+        assert!(tail.next().unwrap().is_err());
+        assert!(tail.next().is_none(), "the stream ends after the error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_writer_appends_are_visible_to_a_fresh_tail() {
+        let dir = tmpdir("live");
+        let mut wal = Wal::open(&dir, cfg(4096), 0).unwrap();
+        wal.append(&Record::write(1, 1, "x")).unwrap();
+        let (records, _) = collect(&dir, 0);
+        assert_eq!(records.len(), 1);
+        wal.append(&Record::write(2, 2, "y")).unwrap();
+        let (records, _) = wal.read_from(1).map(collect_tail).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn collect_tail(tail: LogTail) -> (Vec<Record>, Option<WalError>) {
+        let mut records = Vec::new();
+        let mut err = None;
+        for item in tail {
+            match item {
+                Ok(rec) => records.push(rec),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        (records, err)
+    }
+}

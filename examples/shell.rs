@@ -232,13 +232,24 @@ impl LearnWithNc for IntensionalQueryProcessor {
 /// requests and render the JSON replies.
 struct RemoteShell {
     client: intensio::serve::Client,
+    /// The node's role ("primary" / "follower"), fetched at connect so
+    /// the prompt shows where writes will and won't be accepted.
+    role: String,
 }
 
 impl RemoteShell {
     fn connect(addr: &str) -> std::io::Result<RemoteShell> {
-        Ok(RemoteShell {
-            client: intensio::serve::Client::connect(addr)?,
-        })
+        let mut client = intensio::serve::Client::connect(addr)?;
+        let role = client
+            .roundtrip("STATS")
+            .ok()
+            .and_then(|line| {
+                use intensio::serve::json;
+                let v = json::parse(&line).ok()?;
+                Some(v.get("role")?.as_str()?.to_string())
+            })
+            .unwrap_or_else(|| "primary".to_string());
+        Ok(RemoteShell { client, role })
     }
 
     /// Map a shell line to a request line, or `None` to quit.
@@ -339,7 +350,27 @@ impl RemoteShell {
                     n("induction_retries"),
                     n("rulesets_rejected"),
                     n("degraded_answers"),
-                ) + &match v.get("durability") {
+                ) + &match v.get("repl") {
+                    Some(r) if r.get("primary").is_some() => {
+                        let rn = |key: &str| r.get(key).and_then(Json::as_u64).unwrap_or(0);
+                        format!(
+                            "\nreplication: {} of {} ({}), primary epoch {}, lag {}, \
+                             {} records applied, {} reconnects",
+                            v.get("role").and_then(Json::as_str).unwrap_or("follower"),
+                            r.get("primary").and_then(Json::as_str).unwrap_or("?"),
+                            if r.get("connected").and_then(Json::as_bool) == Some(true) {
+                                "connected"
+                            } else {
+                                "disconnected"
+                            },
+                            rn("primary_epoch"),
+                            rn("lag_epochs"),
+                            rn("records_applied"),
+                            rn("reconnects"),
+                        )
+                    }
+                    _ => String::new(),
+                } + &match v.get("durability") {
                     Some(d) if d.get("fsync").is_some() => {
                         let dn = |key: &str| d.get(key).and_then(Json::as_u64).unwrap_or(0);
                         format!(
@@ -550,12 +581,15 @@ fn remote_main(addr: &str) {
             std::process::exit(1);
         }
     };
-    println!("intensio shell — connected to {addr}; SELECT/QUEL/\\explain/.stats/.quit");
+    println!(
+        "intensio shell — connected to {addr} ({}); SELECT/QUEL/\\explain/.stats/.quit",
+        shell.role
+    );
     let stdin = io::stdin();
     let interactive = atty_stdin();
     loop {
         if interactive {
-            print!("intensio@{addr}> ");
+            print!("intensio@{addr} [{}]> ", shell.role);
             let _ = io::stdout().flush();
         }
         let mut line = String::new();
