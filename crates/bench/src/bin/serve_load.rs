@@ -66,13 +66,17 @@ struct Args {
     data_dir: Option<std::path::PathBuf>,
     fsync: intensio_wal::FsyncPolicy,
     topology: bool,
+    trace_dir: Option<std::path::PathBuf>,
+    trace_sample: f64,
+    profile: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]\n\
          \x20                 [--durable] [--data-dir PATH] [--fsync always|batch:N|off]\n\
-         \x20                 [--topology 1p2f]"
+         \x20                 [--topology 1p2f] [--trace-dir PATH] [--trace-sample RATE]\n\
+         \x20                 [--profile]"
     );
     std::process::exit(2);
 }
@@ -87,6 +91,9 @@ fn parse_args() -> Args {
         data_dir: None,
         fsync: intensio_wal::FsyncPolicy::Always,
         topology: false,
+        trace_dir: None,
+        trace_sample: 1.0,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -129,6 +136,19 @@ fn parse_args() -> Args {
                     usage()
                 }
             },
+            "--trace-dir" => {
+                args.trace_dir = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--trace-sample" => {
+                args.trace_sample = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s| (0.0..=1.0).contains(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--profile" => args.profile = true,
             _ => usage(),
         }
     }
@@ -509,6 +529,68 @@ fn topology_main(args: &Args) {
         c.quit();
     }
 
+    // A traced redirect probe: one trace id must span the follower's
+    // admission (the REDIRECT) and the primary's execution — the
+    // context survives both wire hops. All three nodes live in this
+    // process, so one sink file carries both legs.
+    let mut trace_ok = true;
+    if let Some(trace_dir) = &args.trace_dir {
+        let trace = format!("{:016x}", intensio_obs::trace::mint_id());
+        let (mut fc, _) = connect_with_retry(&target_list[1..2], 0).expect("trace probe connects");
+        let line = fc
+            .roundtrip(&format!(
+                "#trace {trace}/0000000000000000 SQL@{} SELECT Id FROM SUBMARINE",
+                all.max_epoch + 1_000_000
+            ))
+            .expect("trace probe roundtrip");
+        fc.quit();
+        let v = json::parse(&line).expect("trace probe reply parses");
+        let redirected = v
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.starts_with("REDIRECT"));
+        // The client-side stitch: re-issue against the primary under
+        // the same trace id, exactly as a redirected caller would.
+        let (mut pc, _) = connect_with_retry(&target_list[..1], 0).expect("trace probe primary");
+        let _ = pc.roundtrip(&format!(
+            "#trace {trace}/0000000000000000 SQL SELECT Id FROM SUBMARINE"
+        ));
+        pc.quit();
+        let has_leg = |needle: &str| -> bool {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                intensio_obs::flush_trace_sink();
+                let found = std::fs::read_dir(trace_dir).ok().is_some_and(|rd| {
+                    rd.flatten().any(|entry| {
+                        std::fs::read_to_string(entry.path()).is_ok_and(|content| {
+                            content
+                                .lines()
+                                .any(|l| l.contains(&trace) && l.contains(needle))
+                        })
+                    })
+                });
+                if found || Instant::now() >= deadline {
+                    return found;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        };
+        let follower_leg = has_leg("serve.admission");
+        let primary_leg = has_leg("serve.request");
+        trace_ok = redirected && follower_leg && primary_leg;
+        if trace_ok {
+            println!(
+                "trace-propagation: OK trace {trace} spans follower admission \
+                 and primary execution"
+            );
+        } else {
+            eprintln!(
+                "trace-propagation: FAIL trace {trace} (redirected {redirected}, \
+                 follower leg {follower_leg}, primary leg {primary_leg})"
+            );
+        }
+    }
+
     let pstats = primary.stats();
     let shipped = pstats
         .metrics
@@ -565,6 +647,10 @@ fn topology_main(args: &Args) {
         ryw_checked > 0,
         "read-your-writes probes must verify at least once",
     );
+    check(
+        trace_ok,
+        "the traced redirect probe must span both wire hops",
+    );
 
     f1_server.shutdown();
     f2_server.shutdown();
@@ -586,6 +672,14 @@ fn topology_main(args: &Args) {
 fn main() {
     let args = parse_args();
     intensio_obs::set_enabled(args.obs);
+    if let Some(dir) = &args.trace_dir {
+        let path = intensio_obs::set_trace_sink(dir, args.trace_sample).expect("open trace sink");
+        println!(
+            "serve_load tracing: {} (sample {})",
+            path.display(),
+            args.trace_sample
+        );
+    }
     if args.topology {
         return topology_main(&args);
     }
@@ -757,6 +851,37 @@ fn main() {
     }
     let elapsed = started.elapsed();
 
+    // `--profile`: ask the live server to PROFILE a representative
+    // intensional query and print the flattened stage list, so CI can
+    // grep the plan stages out of a load run.
+    let mut profile_ok = true;
+    if args.profile {
+        fn flat_names(node: &Json, out: &mut Vec<String>) {
+            if let Some(name) = node.get("name").and_then(Json::as_str) {
+                out.push(name.to_string());
+            }
+            for child in node.get("children").and_then(Json::as_array).unwrap_or(&[]) {
+                flat_names(child, out);
+            }
+        }
+        let (mut c, _) =
+            connect_with_retry(std::slice::from_ref(&addr), 0).expect("profile connects");
+        let line = c
+            .roundtrip("PROFILE SELECT Class FROM CLASS WHERE Displacement > 4000")
+            .expect("profile roundtrip");
+        c.quit();
+        let v = json::parse(&line).expect("profile reply parses");
+        let mut names = Vec::new();
+        for node in v.get("tree").and_then(Json::as_array).unwrap_or(&[]) {
+            flat_names(node, &mut names);
+        }
+        let total_us = v.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+        profile_ok = v.get("ok").and_then(Json::as_bool) == Some(true)
+            && total_us > 0
+            && names.iter().any(|n| n == "parse.sql");
+        println!("profile stages ({total_us} us total): {}", names.join(" "));
+    }
+
     // Let the triggered re-induction land, then read the final stats.
     let fresh = service.wait_rules_fresh(Duration::from_secs(10));
     let stats = service.stats();
@@ -856,6 +981,10 @@ fn main() {
     check(
         all.max_epoch >= write_epoch,
         "queries must observe the post-write epoch while answering",
+    );
+    check(
+        profile_ok,
+        "the PROFILE probe must return a timed plan with pipeline stages",
     );
     if args.durable {
         let d = stats.durability.as_ref();

@@ -39,11 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flightrec;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
+pub use flightrec::flight_record;
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Stage};
 pub use span::{recent_spans, Span, SpanRecord};
+pub use trace::{flush_trace_sink, set_trace_sink, start_trace, with_context, TraceContext};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -141,6 +145,25 @@ pub fn slow_span_threshold_us() -> u64 {
 /// exceeds it is logged to stderr (unless the level is silent).
 pub fn set_slow_span_threshold(d: Duration) {
     SLOW_US.store(
+        d.as_micros().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+}
+
+static SLOW_STAGE_US: [AtomicU64; Stage::ALL.len()] =
+    [const { AtomicU64::new(0) }; Stage::ALL.len()];
+
+/// The per-stage slow-span threshold in microseconds (`0` means the
+/// stage falls back to the request-scope [`slow_span_threshold_us`]).
+pub fn stage_slow_threshold_us(stage: Stage) -> u64 {
+    SLOW_STAGE_US[stage.index()].load(Ordering::Relaxed)
+}
+
+/// Set a per-stage slow-span threshold. A stage span whose duration
+/// meets or exceeds it is logged even when the request-scope threshold
+/// would let it pass — a 2 ms scan is notable inside a 50 ms budget.
+pub fn set_stage_slow_threshold(stage: Stage, d: Duration) {
+    SLOW_STAGE_US[stage.index()].store(
         d.as_micros().min(u64::MAX as u128) as u64,
         Ordering::Relaxed,
     );

@@ -57,7 +57,7 @@ impl Stage {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Stage::Parse => 0,
             Stage::Inference => 1,
@@ -266,6 +266,15 @@ impl Registry {
             .insert(name.to_string(), value);
     }
 
+    /// Read one gauge (`None` when never set).
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+    }
+
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -392,6 +401,14 @@ impl MetricsSnapshot {
             }
             let _ = writeln!(out, "{name}_sum {}", h.sum_us);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            // A pre-computed summary alongside the raw buckets, so
+            // scrapers without histogram_quantile get p50/p95/p99.
+            let _ = writeln!(out, "# TYPE {name}_summary summary");
+            for (q, v) in [("0.5", h.p50_us), ("0.95", h.p95_us), ("0.99", h.p99_us)] {
+                let _ = writeln!(out, "{name}_summary{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_summary_sum {}", h.sum_us);
+            let _ = writeln!(out, "{name}_summary_count {}", h.count);
         }
         out
     }
@@ -502,6 +519,12 @@ mod tests {
         assert!(prom.contains("intensio_serve_cache_hits_total 1"));
         assert!(prom.contains("intensio_parse_latency_us_count 1"));
         assert!(prom.contains("le=\"+Inf\""));
+        // Summary quantiles ride alongside the raw buckets, for every
+        // stage including the replication-era ones.
+        assert!(prom.contains("intensio_parse_latency_us_summary{quantile=\"0.5\"} 10"));
+        assert!(prom.contains("intensio_parse_latency_us_summary{quantile=\"0.99\"} 10"));
+        assert!(prom.contains("intensio_repl_apply_latency_us_summary{quantile=\"0.95\"} 0"));
+        assert!(prom.contains("intensio_wal_append_latency_us_summary{quantile=\"0.5\"} 0"));
     }
 
     #[test]

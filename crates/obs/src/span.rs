@@ -24,6 +24,13 @@ pub struct SpanRecord {
     pub depth: usize,
     /// Wall-clock duration in microseconds (monotonic clock).
     pub duration_us: u64,
+    /// The trace this span belongs to (0 = not traced).
+    pub trace_id: u64,
+    /// This span's id within its trace (0 = not traced).
+    pub span_id: u64,
+    /// The parent span's id: the enclosing span on this thread, or the
+    /// previous hop's span for a cross-node trace (0 = root).
+    pub parent_span: u64,
     /// Key/value fields attached while the span was open.
     pub fields: Vec<(&'static str, String)>,
 }
@@ -69,8 +76,8 @@ pub fn clear_spans() {
 }
 
 thread_local! {
-    /// Names of the open spans on this thread, innermost last.
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// The open spans on this thread (name, span id), innermost last.
+    static STACK: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An open, RAII-timed span. Created with [`Span::enter`] (trace-only)
@@ -82,26 +89,41 @@ pub struct Span {
     stage: Option<Stage>,
     parent: Option<&'static str>,
     depth: usize,
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
     start: Instant,
     fields: Vec<(&'static str, String)>,
 }
 
 impl Span {
     /// Open a span. Nesting is tracked per thread: the innermost open
-    /// span on this thread becomes the parent.
+    /// span on this thread becomes the parent. When a trace context is
+    /// installed ([`crate::trace::with_context`]) the span joins the
+    /// trace: it mints a span id, and its parent span id is the
+    /// enclosing span on this thread or, at the top, the previous
+    /// hop's span from the context.
     pub fn enter(name: &'static str) -> Span {
-        let (parent, depth) = STACK.with(|s| {
+        let (trace_id, span_id, ctx_parent) = match crate::trace::current() {
+            Some(ctx) => (ctx.trace_id, crate::trace::mint_id(), ctx.parent_span),
+            None => (0, 0, 0),
+        };
+        let (parent, parent_span, depth) = STACK.with(|s| {
             let mut s = s.borrow_mut();
-            let parent = s.last().copied();
+            let parent = s.last().map(|(n, _)| *n);
+            let parent_span = s.last().map(|(_, id)| *id).unwrap_or(ctx_parent);
             let depth = s.len();
-            s.push(name);
-            (parent, depth)
+            s.push((name, span_id));
+            (parent, parent_span, depth)
         });
         Span {
             name,
             stage: None,
             parent,
             depth,
+            trace_id,
+            span_id,
+            parent_span,
             start: Instant::now(),
             fields: Vec::new(),
         }
@@ -130,6 +152,13 @@ impl Span {
     pub fn elapsed_us(&self) -> u64 {
         self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
     }
+
+    /// The `(trace_id, span_id)` pair when this span belongs to a
+    /// trace, for propagating the context to another hop (the `#repl`
+    /// stream ships the commit span's ids to its followers).
+    pub fn trace_ids(&self) -> Option<(u64, u64)> {
+        (self.trace_id != 0).then_some((self.trace_id, self.span_id))
+    }
 }
 
 impl Drop for Span {
@@ -138,7 +167,7 @@ impl Drop for Span {
             let mut s = s.borrow_mut();
             // Pop our own entry; spans are dropped innermost-first in
             // normal control flow, but be tolerant of odd drop orders.
-            if let Some(pos) = s.iter().rposition(|n| *n == self.name) {
+            if let Some(pos) = s.iter().rposition(|(n, _)| *n == self.name) {
                 s.remove(pos);
             }
         });
@@ -154,17 +183,35 @@ impl Drop for Span {
             parent: self.parent,
             depth: self.depth,
             duration_us,
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_span: self.parent_span,
             fields: std::mem::take(&mut self.fields),
         };
         let level = crate::level();
         if level >= crate::Level::Verbose {
             eprintln!("[span] {}", record.render());
-        } else {
-            let slow = crate::slow_span_threshold_us();
-            if slow > 0 && duration_us >= slow && level >= crate::Level::Normal {
-                eprintln!("[slow] {}", record.render());
+        } else if level >= crate::Level::Normal {
+            // The effective threshold is per stage when one is set,
+            // falling back to the request-scope global: a 2 ms scan is
+            // worth a line even when the request budget is 50 ms.
+            let slow = self
+                .stage
+                .map(crate::stage_slow_threshold_us)
+                .filter(|&t| t > 0)
+                .unwrap_or_else(crate::slow_span_threshold_us);
+            if slow > 0 && duration_us >= slow {
+                // trace id + epoch join this line against the sink.
+                let trace = if self.trace_id != 0 {
+                    format!("{:016x}", self.trace_id)
+                } else {
+                    "-".to_string()
+                };
+                let epoch = crate::metrics().gauge_value("serve.epoch").unwrap_or(0);
+                eprintln!("[slow] trace={trace} epoch={epoch} {}", record.render());
             }
         }
+        crate::trace::record_closed(&record);
         let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
         if ring.len() == RING_CAPACITY {
             ring.pop_front();
@@ -238,8 +285,44 @@ mod tests {
             parent: Some("a"),
             depth: 2,
             duration_us: 5,
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
             fields: vec![("n", "3".to_string())],
         };
         assert_eq!(r.render(), "    a.b 5us n=3");
+    }
+
+    #[test]
+    fn spans_join_an_installed_trace_context() {
+        let _guard = ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ctx = crate::trace::TraceContext {
+            trace_id: 0xabcd,
+            parent_span: 0x42,
+        };
+        let _g = crate::trace::with_context(Some(ctx));
+        {
+            let outer = Span::enter("test.trace.outer");
+            let outer_id = outer.trace_ids().expect("traced").1;
+            {
+                let inner = Span::enter("test.trace.inner");
+                let (tid, sid) = inner.trace_ids().expect("traced");
+                assert_eq!(tid, 0xabcd);
+                assert_ne!(sid, outer_id);
+            }
+        }
+        let spans = recent_spans();
+        let outer = spans
+            .iter()
+            .find(|s| s.name == "test.trace.outer")
+            .expect("outer recorded");
+        // The top span's parent is the previous hop's span id.
+        assert_eq!(outer.parent_span, 0x42);
+        let inner = spans
+            .iter()
+            .find(|s| s.name == "test.trace.inner")
+            .expect("inner recorded");
+        assert_eq!(inner.trace_id, 0xabcd);
+        assert_eq!(inner.parent_span, outer.span_id);
     }
 }

@@ -1,0 +1,133 @@
+//! Span ring buffer coverage: wraparound past the 512-entry capacity,
+//! nested spans surviving `catch_unwind` (the serve tier's worker
+//! restart path), and N concurrent writer threads (the same hammer
+//! pattern as the registry tests).
+//!
+//! The ring and the enabled flag are process-global, so every test in
+//! this binary serializes on one gate.
+
+use intensio_obs::span::{clear_spans, RING_CAPACITY};
+use intensio_obs::{recent_spans, Span};
+use std::sync::{Mutex, MutexGuard};
+
+fn ring_gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    clear_spans();
+    guard
+}
+
+#[test]
+fn ring_wraps_past_capacity_keeping_the_newest_spans() {
+    let _gate = ring_gate();
+    // 3 batches of spans, far past capacity; names cycle through a
+    // small static set (span names are &'static str).
+    const NAMES: [&str; 4] = ["wrap.a", "wrap.b", "wrap.c", "wrap.d"];
+    let total = RING_CAPACITY * 3;
+    for i in 0..total {
+        drop(Span::enter(NAMES[i % NAMES.len()]).with_field("i", i));
+    }
+    let spans = recent_spans();
+    assert_eq!(spans.len(), RING_CAPACITY, "ring is bounded at capacity");
+    // The survivors are exactly the newest `RING_CAPACITY` spans, in
+    // completion order: their `i` fields are contiguous and end at the
+    // last one pushed.
+    let seqs: Vec<usize> = spans
+        .iter()
+        .map(|s| s.fields[0].1.parse::<usize>().unwrap())
+        .collect();
+    assert_eq!(*seqs.last().unwrap(), total - 1);
+    assert_eq!(*seqs.first().unwrap(), total - RING_CAPACITY);
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1),
+        "oldest evicted first, order kept"
+    );
+}
+
+#[test]
+fn nested_spans_survive_catch_unwind_without_corrupting_the_stack() {
+    let _gate = ring_gate();
+    // A panic mid-span (the worker-restart path): the open span's drop
+    // still runs during unwinding, the thread-local stack pops back to
+    // empty, and spans opened after the restart nest correctly.
+    let unwound = std::panic::catch_unwind(|| {
+        let _outer = Span::enter("unwind.outer");
+        let _inner = Span::enter("unwind.inner");
+        panic!("worker dies mid-span");
+    });
+    assert!(unwound.is_err());
+    {
+        let _outer = Span::enter("unwind.after.outer");
+        drop(Span::enter("unwind.after.inner"));
+    }
+    let spans = recent_spans();
+    // Both panicked spans were recorded on the way out, innermost first.
+    let inner_pos = spans.iter().position(|s| s.name == "unwind.inner");
+    let outer_pos = spans.iter().position(|s| s.name == "unwind.outer");
+    assert!(inner_pos.is_some() && inner_pos < outer_pos);
+    // The post-restart spans see a clean stack: depth restarts at 0.
+    let after_outer = spans
+        .iter()
+        .find(|s| s.name == "unwind.after.outer")
+        .expect("post-unwind span recorded");
+    assert_eq!(after_outer.depth, 0);
+    assert_eq!(after_outer.parent, None);
+    let after_inner = spans
+        .iter()
+        .find(|s| s.name == "unwind.after.inner")
+        .expect("post-unwind nested span recorded");
+    assert_eq!(after_inner.depth, 1);
+    assert_eq!(after_inner.parent, Some("unwind.after.outer"));
+}
+
+#[test]
+fn concurrent_writers_never_corrupt_the_ring() {
+    let _gate = ring_gate();
+    const THREADS: usize = 8;
+    const ITERS: usize = 2_000; // well past capacity in aggregate
+    const NAMES: [&str; 8] = [
+        "hammer.t0",
+        "hammer.t1",
+        "hammer.t2",
+        "hammer.t3",
+        "hammer.t4",
+        "hammer.t5",
+        "hammer.t6",
+        "hammer.t7",
+    ];
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let outer = Span::enter(NAMES[t]).with_field("i", i);
+                    drop(Span::enter("hammer.inner"));
+                    drop(outer);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread never panics");
+    }
+    let spans = recent_spans();
+    assert_eq!(
+        spans.len(),
+        RING_CAPACITY,
+        "ring stays bounded under contention"
+    );
+    // Every record is intact: a known name, sane depth, parented inner
+    // spans (nesting is per-thread, so an inner span's parent is its
+    // own thread's outer span, whatever interleaving happened).
+    for s in &spans {
+        assert!(
+            s.name == "hammer.inner" || NAMES.contains(&s.name),
+            "unexpected record {s:?}"
+        );
+        if s.name == "hammer.inner" {
+            assert_eq!(s.depth, 1);
+            assert!(NAMES.contains(&s.parent.expect("inner has a parent")));
+        } else {
+            assert_eq!(s.depth, 0);
+        }
+    }
+}

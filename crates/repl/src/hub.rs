@@ -17,10 +17,16 @@ use intensio_wal::Record;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 
+/// One published item: a committed record paired with the committing
+/// request's trace context (`(trace id, commit span id)`, when
+/// traced), so followers can parent their apply span on the primary's
+/// commit span.
+pub type TracedRecord = (Record, Option<(u64, u64)>);
+
 /// A broadcast of committed records to replication streams.
 #[derive(Debug, Default)]
 pub struct ReplHub {
-    subs: Mutex<Vec<Sender<Record>>>,
+    subs: Mutex<Vec<Sender<TracedRecord>>>,
 }
 
 impl ReplHub {
@@ -30,8 +36,9 @@ impl ReplHub {
     }
 
     /// Register a new stream: every record published after this call is
-    /// delivered to the returned receiver, in publish order.
-    pub fn subscribe(&self) -> Receiver<Record> {
+    /// delivered to the returned receiver, in publish order, paired
+    /// with its commit trace context (if any).
+    pub fn subscribe(&self) -> Receiver<TracedRecord> {
         let (tx, rx) = channel();
         self.subs.lock().unwrap_or_else(|e| e.into_inner()).push(tx);
         rx
@@ -39,9 +46,9 @@ impl ReplHub {
 
     /// Deliver one committed record to every live subscriber, dropping
     /// the ones whose stream has disconnected.
-    pub fn publish(&self, record: &Record) {
+    pub fn publish(&self, record: &Record, trace: Option<(u64, u64)>) {
         let mut subs = self.subs.lock().unwrap_or_else(|e| e.into_inner());
-        subs.retain(|tx| tx.send(record.clone()).is_ok());
+        subs.retain(|tx| tx.send((record.clone(), trace)).is_ok());
     }
 
     /// How many streams are currently registered. Counts channels not
@@ -62,11 +69,15 @@ mod tests {
         let a = hub.subscribe();
         let b = hub.subscribe();
         for e in 1..=3u64 {
-            hub.publish(&Record::write(e, e, "x"));
+            hub.publish(&Record::write(e, e, "x"), Some((7, e)));
         }
         for rx in [a, b] {
-            let epochs: Vec<u64> = rx.try_iter().map(|r| r.epoch).collect();
-            assert_eq!(epochs, vec![1, 2, 3]);
+            let records: Vec<(u64, Option<(u64, u64)>)> =
+                rx.try_iter().map(|(r, t)| (r.epoch, t)).collect();
+            assert_eq!(
+                records,
+                vec![(1, Some((7, 1))), (2, Some((7, 2))), (3, Some((7, 3)))]
+            );
         }
     }
 
@@ -77,7 +88,7 @@ mod tests {
         let b = hub.subscribe();
         assert_eq!(hub.subscriber_count(), 2);
         drop(a);
-        hub.publish(&Record::write(1, 1, "x"));
+        hub.publish(&Record::write(1, 1, "x"), None);
         assert_eq!(hub.subscriber_count(), 1);
         assert_eq!(b.try_iter().count(), 1);
     }
@@ -85,10 +96,10 @@ mod tests {
     #[test]
     fn late_subscribers_miss_earlier_records() {
         let hub = ReplHub::new();
-        hub.publish(&Record::write(1, 1, "x"));
+        hub.publish(&Record::write(1, 1, "x"), None);
         let rx = hub.subscribe();
-        hub.publish(&Record::write(2, 2, "y"));
-        let epochs: Vec<u64> = rx.try_iter().map(|r| r.epoch).collect();
+        hub.publish(&Record::write(2, 2, "y"), None);
+        let epochs: Vec<u64> = rx.try_iter().map(|(r, _)| r.epoch).collect();
         assert_eq!(
             epochs,
             vec![2],

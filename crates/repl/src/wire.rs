@@ -9,9 +9,17 @@
 //! #repl snapshot 42 17 <db-hex> <rules-hex|->   full-state bootstrap
 //! #repl record write 43 18 <body-hex>  one shipped WAL record
 //! #repl record rules 44 18 <body-hex>
+//! #repl record write 45 19 <body-hex> <trace:016x>:<span:016x>
 //! #repl heartbeat 44                   idle keepalive with primary epoch
 //! #repl error <message>                stream is over; reconnect
 //! ```
+//!
+//! A record line may carry one optional trailing token: the trace
+//! context of the primary-side commit (`<trace id>:<commit span id>`,
+//! both 16 lowercase hex digits). A follower installs it before
+//! applying, so its apply span joins the same trace with the primary's
+//! commit span as its parent. Records replayed from history (which the
+//! WAL does not trace) ship without the token.
 //!
 //! Bodies are lowercase hex so the stream stays line-framed like the
 //! rest of the protocol (a record body is a QUEL script or encoded rule
@@ -44,7 +52,14 @@ pub enum StreamMsg {
         rules: Option<Vec<u8>>,
     },
     /// One shipped WAL record (a QUEL write or a rule-set install).
-    Record(Record),
+    Record {
+        /// The shipped record.
+        rec: Record,
+        /// The primary-side commit's `(trace id, span id)`, when the
+        /// committing request was traced. Followers parent their apply
+        /// span on it.
+        trace: Option<(u64, u64)>,
+    },
     /// Idle keepalive carrying the primary's current committed epoch,
     /// so followers track lag even between writes.
     Heartbeat {
@@ -105,13 +120,22 @@ impl StreamMsg {
                     hex_encode(db)
                 )
             }
-            StreamMsg::Record(rec) => format!(
-                "{PREFIX}record {} {} {} {}",
-                rec.kind.name(),
-                rec.epoch,
-                rec.data_version,
-                hex_encode(&rec.body)
-            ),
+            StreamMsg::Record { rec, trace } => {
+                let mut line = format!(
+                    "{PREFIX}record {} {} {} {}",
+                    rec.kind.name(),
+                    rec.epoch,
+                    rec.data_version,
+                    hex_encode(&rec.body)
+                );
+                if let Some((trace_id, span_id)) = trace {
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut line,
+                        format_args!(" {trace_id:016x}:{span_id:016x}"),
+                    );
+                }
+                line
+            }
             StreamMsg::Heartbeat { epoch } => format!("{PREFIX}heartbeat {epoch}"),
             StreamMsg::Error(msg) => {
                 format!("{PREFIX}error {}", msg.replace(['\n', '\r'], " "))
@@ -168,12 +192,22 @@ impl StreamMsg {
                 let epoch = int(next()?)?;
                 let data_version = int(next()?)?;
                 let body = hex_decode(next()?)?;
-                Ok(StreamMsg::Record(Record {
-                    kind,
-                    epoch,
-                    data_version,
-                    body,
-                }))
+                let trace = match it.next() {
+                    None => None,
+                    Some(tok) => Some(parse_trace_token(tok)?),
+                };
+                if it.next().is_some() {
+                    return Err(ReplError("trailing fields on record line".to_string()));
+                }
+                Ok(StreamMsg::Record {
+                    rec: Record {
+                        kind,
+                        epoch,
+                        data_version,
+                        body,
+                    },
+                    trace,
+                })
             }
             other => Err(ReplError(format!("unknown replication verb {other:?}"))),
         }
@@ -183,6 +217,21 @@ impl StreamMsg {
     pub fn is_stream_line(line: &str) -> bool {
         line.starts_with(PREFIX)
     }
+}
+
+/// Parse the optional `<trace:016x>:<span:016x>` token on a record line.
+fn parse_trace_token(tok: &str) -> Result<(u64, u64), ReplError> {
+    let bad = || ReplError(format!("bad trace token {tok:?} on record line"));
+    let (t, s) = tok.split_once(':').ok_or_else(bad)?;
+    if t.len() != 16 || s.len() != 16 {
+        return Err(bad());
+    }
+    let trace_id = u64::from_str_radix(t, 16).map_err(|_| bad())?;
+    let span_id = u64::from_str_radix(s, 16).map_err(|_| bad())?;
+    if trace_id == 0 {
+        return Err(bad());
+    }
+    Ok((trace_id, span_id))
 }
 
 #[cfg(test)]
@@ -205,8 +254,18 @@ mod tests {
                 db: Vec::new(),
                 rules: None,
             },
-            StreamMsg::Record(Record::write(9, 4, "append to R (Id = \"x\")\nmore")),
-            StreamMsg::Record(Record::rules(10, 4, vec![7; 33])),
+            StreamMsg::Record {
+                rec: Record::write(9, 4, "append to R (Id = \"x\")\nmore"),
+                trace: None,
+            },
+            StreamMsg::Record {
+                rec: Record::rules(10, 4, vec![7; 33]),
+                trace: None,
+            },
+            StreamMsg::Record {
+                rec: Record::write(11, 5, "append to R (Id = \"y\")"),
+                trace: Some((0xdead_beef_cafe_f00d, 0x0000_0000_0000_002a)),
+            },
             StreamMsg::Heartbeat { epoch: 11 },
             StreamMsg::Error("primary shutting down".to_string()),
         ];
@@ -230,6 +289,9 @@ mod tests {
             "#repl record write 1",
             "#repl record write 1 2 xyz",
             "#repl record mystery 1 2 00",
+            "#repl record write 1 2 00 nottrace",
+            "#repl record write 1 2 00 0000000000000000:0000000000000001",
+            "#repl record write 1 2 00 0000000000000001:0000000000000002 extra",
             "#repl snapshot 1 2",
             "#repl snapshot 1 2 0g -",
         ] {

@@ -3,17 +3,33 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]
-//!       [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]
+//!       [--quiet] [--verbose] [--slow-ms N] [--slow-stage-ms STAGE=MS[,..]]
+//!       [--queue N] [--deadline-ms N]
+//!       [--trace-dir PATH] [--trace-sample F]
 //!       [--data-dir PATH] [--fsync always|batch:N|off]
 //!       [--checkpoint-every N] [--wal-segment-bytes N]
-//!       [--replicate-from HOST:PORT]
+//!       [--replicate-from HOST:PORT] [--peers HOST:PORT,..]
 //! ```
 //!
 //! Observability: `--verbose` logs every completed span to stderr,
 //! `--quiet` silences logging entirely, and `--slow-ms N` logs only
-//! spans slower than `N` milliseconds (the slow-query log). The
-//! `INTENSIO_LOG` environment variable (`silent`/`normal`/`verbose`)
-//! sets the default level; the flags override it.
+//! spans slower than `N` milliseconds (the slow-query log);
+//! `--slow-stage-ms scan=2,inference=10` tightens the threshold for
+//! individual stages. The `INTENSIO_LOG` environment variable
+//! (`silent`/`normal`/`verbose`) sets the default level; the flags
+//! override it.
+//!
+//! Tracing: `--trace-dir PATH` opens a bounded JSONL trace sink
+//! (`PATH/trace-<pid>.jsonl`); `--trace-sample F` sets the fraction of
+//! untraced requests that mint a fresh trace at admission (default
+//! 0.01 once a trace dir is set — requests arriving with a `#trace`
+//! prefix are always recorded). `PROFILE <query>` works regardless:
+//! span collection for a profile is per-request, not sampled.
+//!
+//! Cluster telemetry: `--peers HOST:PORT[,HOST:PORT..]` makes this node
+//! poll each listed peer's `TELEMETRY` verb about once a second and
+//! fold per-node lag/apply-rate/health into its own `STATS` reply and
+//! Prometheus export (typically set on the primary, listing followers).
 //!
 //! Fault tolerance: `--queue N` bounds the admission queue (overflow is
 //! shed with a `BUSY` reply; `0` disables shedding) and `--deadline-ms N`
@@ -54,17 +70,48 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache N] [--no-learn]\n\
-         \x20            [--quiet] [--verbose] [--slow-ms N] [--queue N] [--deadline-ms N]\n\
+         \x20            [--quiet] [--verbose] [--slow-ms N] [--slow-stage-ms STAGE=MS[,..]]\n\
+         \x20            [--queue N] [--deadline-ms N]\n\
+         \x20            [--trace-dir PATH] [--trace-sample F]\n\
          \x20            [--data-dir PATH] [--fsync always|batch:N|off]\n\
          \x20            [--checkpoint-every N] [--wal-segment-bytes N]\n\
-         \x20            [--replicate-from HOST:PORT]"
+         \x20            [--replicate-from HOST:PORT] [--peers HOST:PORT,..]"
     );
     std::process::exit(2);
+}
+
+/// Parse `STAGE=MS[,STAGE=MS...]` (stage names as they appear in
+/// `STATS` histograms, e.g. `scan=2,inference=10`) into per-stage
+/// slow-span thresholds.
+fn apply_slow_stage_spec(spec: &str) -> Result<(), String> {
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (name, ms) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad --slow-stage-ms entry {part:?}; expected STAGE=MS"))?;
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad millisecond count in {part:?}"))?;
+        let stage = intensio_obs::Stage::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = intensio_obs::Stage::ALL.iter().map(|s| s.name()).collect();
+                format!(
+                    "unknown stage {name:?}; expected one of {}",
+                    known.join(", ")
+                )
+            })?;
+        intensio_obs::set_stage_slow_threshold(stage, std::time::Duration::from_millis(ms));
+    }
+    Ok(())
 }
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cfg = ServiceConfig::default();
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut trace_sample = 0.01f64;
+    let mut peers: Vec<String> = Vec::new();
     intensio_obs::init_from_env();
     intensio_fault::init_from_env();
 
@@ -125,6 +172,34 @@ fn main() {
             "--replicate-from" => {
                 cfg.replicate_from = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--peers" => {
+                peers = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--trace-dir" => {
+                trace_dir = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--trace-sample" => {
+                trace_sample = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| usage());
+            }
+            "--slow-stage-ms" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                if let Err(e) = apply_slow_stage_spec(&spec) {
+                    eprintln!("serve: {e}");
+                    usage();
+                }
+            }
             "--quiet" => intensio_obs::set_level(intensio_obs::Level::Silent),
             "--verbose" => intensio_obs::set_level(intensio_obs::Level::Verbose),
             "--slow-ms" => {
@@ -136,6 +211,19 @@ fn main() {
             }
             "--help" | "-h" => usage(),
             _ => usage(),
+        }
+    }
+
+    if let Some(dir) = &trace_dir {
+        match intensio_obs::set_trace_sink(dir, trace_sample) {
+            Ok(path) => println!(
+                "intensio-serve tracing: {} (sample {trace_sample})",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("serve: cannot open trace sink in {}: {e}", dir.display());
+                std::process::exit(1);
+            }
         }
     }
 
@@ -151,6 +239,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if !peers.is_empty() {
+        println!("intensio-serve cluster: polling {} peer(s)", peers.len());
+        service.set_peers(peers);
+    }
 
     let server = match Server::bind(service, &addr) {
         Ok(s) => s,

@@ -60,10 +60,13 @@ pub mod service;
 pub mod snapshot;
 
 pub use cache::AnswerCache;
-pub use protocol::{encode_reply, escape_script, parse_request, WireRequest};
+pub use protocol::{
+    encode_reply, encode_reply_with_trace, escape_script, format_trace_prefix, parse_request,
+    parse_traced, WireRequest,
+};
 pub use server::{Client, Server};
 pub use service::{
-    CheckReply, DurabilityStats, QueryReply, ReplStats, Reply, Request, ServeError, Service,
-    ServiceConfig, Soundness, StatsReply,
+    CheckReply, DurabilityStats, PeerTelemetry, ProfileNode, ProfileReply, QueryReply, ReplStats,
+    Reply, Request, ServeError, Service, ServiceConfig, Soundness, StatsReply, TelemetryReply,
 };
 pub use snapshot::Snapshot;

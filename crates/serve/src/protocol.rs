@@ -39,6 +39,16 @@
 //! answers `{"ok":false,"kind":"busy",...}` without executing; and the
 //! `FAULT` verb (`FAULT LIST` / `FAULT SET name=spec[;...]` /
 //! `FAULT CLEAR`) administers [`intensio_fault`] failpoints at runtime.
+//!
+//! Observability on the wire: `PROFILE <sql>` runs the query and
+//! answers with an EXPLAIN-ANALYZE-style timing tree; `TELEMETRY`
+//! returns one node's replication/latency sample (the cluster poller's
+//! probe). A request line may carry a distributed-tracing prefix,
+//! `#trace <trace-id>/<parent-span>` (two 16-digit lowercase hex
+//! fields), before the verb — see [`parse_traced`]. Replies to traced
+//! requests lead with a `"trace"` field echoing the trace id, so a
+//! client that was REDIRECTed can re-issue under the same id and stitch
+//! one trace across nodes.
 
 use crate::json::ObjWriter;
 use crate::service::{Reply, Request};
@@ -91,8 +101,10 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         "SQL" if !rest.is_empty() => Ok(execute(Request::Sql(rest.to_string()))),
         "QUEL" if !rest.is_empty() => Ok(execute(Request::Quel(unescape_script(rest)))),
         "EXPLAIN" if !rest.is_empty() => Ok(execute(Request::Explain(rest.to_string()))),
-        "SQL" | "QUEL" | "EXPLAIN" => Err(format!("{base} requires a query argument")),
+        "PROFILE" if !rest.is_empty() => Ok(execute(Request::Profile(rest.to_string()))),
+        "SQL" | "QUEL" | "EXPLAIN" | "PROFILE" => Err(format!("{base} requires a query argument")),
         "STATS" => Ok(WireRequest::Execute(Request::Stats)),
+        "TELEMETRY" => Ok(WireRequest::Execute(Request::Telemetry)),
         "FAULT" => Ok(WireRequest::Execute(Request::Fault(rest.to_string()))),
         "CHECK" => Ok(WireRequest::Execute(Request::Check(unescape_script(rest)))),
         "REPLICATE" => rest
@@ -101,12 +113,84 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
             .map_err(|_| format!("REPLICATE requires a from-epoch argument, got {rest:?}")),
         "QUIT" => Ok(WireRequest::Quit),
         "" => Err(
-            "empty request; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, REPLICATE, or QUIT"
+            "empty request; expected SQL, QUEL, EXPLAIN, PROFILE, CHECK, STATS, TELEMETRY, FAULT, REPLICATE, or QUIT"
                 .to_string(),
         ),
         other => Err(format!(
-            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, CHECK, STATS, FAULT, REPLICATE, or QUIT"
+            "unknown verb {other:?}; expected SQL, QUEL, EXPLAIN, PROFILE, CHECK, STATS, TELEMETRY, FAULT, REPLICATE, or QUIT"
         )),
+    }
+}
+
+/// The request-line prefix that carries distributed-tracing context.
+const TRACE_PREFIX: &str = "#trace ";
+
+/// Decode one request line, honoring an optional `#trace
+/// <trace-id>/<parent-span> ` prefix ahead of the verb. Returns the
+/// trace context (if a well-formed prefix was present) alongside the
+/// ordinary [`parse_request`] result. A malformed prefix fails the
+/// whole line — silently dropping it would break the client's trace
+/// stitching without telling anyone.
+pub fn parse_traced(
+    line: &str,
+) -> (
+    Option<intensio_obs::TraceContext>,
+    Result<WireRequest, String>,
+) {
+    let trimmed = line.trim_start();
+    let Some(rest) = trimmed.strip_prefix(TRACE_PREFIX) else {
+        return (None, parse_request(line));
+    };
+    let Some((token, request)) = rest.trim_start().split_once(char::is_whitespace) else {
+        return (None, Err("#trace prefix without a request".to_string()));
+    };
+    match parse_trace_token(token) {
+        Some(ctx) => (Some(ctx), parse_request(request)),
+        None => (
+            None,
+            Err(format!(
+                "bad trace token {token:?}; expected <16-hex-trace-id>/<16-hex-span-id>"
+            )),
+        ),
+    }
+}
+
+/// Parse `<trace:016x>/<span:016x>`. A zero trace id is reserved for
+/// "untraced" and rejected.
+fn parse_trace_token(token: &str) -> Option<intensio_obs::TraceContext> {
+    let (t, s) = token.split_once('/')?;
+    if t.len() != 16 || s.len() != 16 {
+        return None;
+    }
+    let trace_id = u64::from_str_radix(t, 16).ok()?;
+    let parent_span = u64::from_str_radix(s, 16).ok()?;
+    if trace_id == 0 {
+        return None;
+    }
+    Some(intensio_obs::TraceContext {
+        trace_id,
+        parent_span,
+    })
+}
+
+/// Render a trace context as the client-side request prefix.
+pub fn format_trace_prefix(ctx: intensio_obs::TraceContext) -> String {
+    format!(
+        "{TRACE_PREFIX}{:016x}/{:016x} ",
+        ctx.trace_id, ctx.parent_span
+    )
+}
+
+/// [`encode_reply`], but leading with a `"trace"` field echoing the
+/// request's trace id when the request was traced. The echo is what
+/// lets a client stitch a REDIRECTed read into one cross-node trace: it
+/// re-issues against the primary under the id the reply confirmed.
+pub fn encode_reply_with_trace(reply: &Reply, ctx: Option<intensio_obs::TraceContext>) -> String {
+    let s = encode_reply(reply);
+    match ctx {
+        // `encode_reply` always produces `{"..."` — splice after the brace.
+        Some(t) => format!("{{\"trace\":\"{:016x}\",{}", t.trace_id, &s[1..]),
+        None => s,
     }
 }
 
@@ -255,7 +339,56 @@ pub fn encode_reply(reply: &Reply) -> String {
                 }
                 None => w.raw("durability", "null"),
             };
+            let mut cluster = String::from("[");
+            for (i, p) in s.cluster.iter().enumerate() {
+                if i > 0 {
+                    cluster.push(',');
+                }
+                let mut pw = ObjWriter::new();
+                pw.str("addr", &p.addr)
+                    .bool("ok", p.ok)
+                    .str("role", &p.role)
+                    .num("epoch", p.epoch)
+                    .num("lag_epochs", p.lag_epochs)
+                    .num("records_applied", p.records_applied)
+                    .num("apply_rate", p.apply_rate)
+                    .num("reconnects", p.reconnects)
+                    .num("degraded_answers", p.degraded_answers)
+                    .num("requests_shed", p.requests_shed)
+                    .num("worker_restarts", p.worker_restarts);
+                cluster.push_str(&pw.finish());
+            }
+            cluster.push(']');
+            w.raw("cluster", &cluster);
             w.raw("metrics", &s.metrics.to_json());
+        }
+        Reply::Profile(p) => {
+            w.bool("ok", true)
+                .str("kind", "profile")
+                .num("epoch", p.epoch)
+                .bool("cached", p.cached)
+                .bool("rules_fresh", p.rules_fresh)
+                .bool("degraded", p.degraded)
+                .num("rows", p.rows)
+                .num("total_us", p.total_us)
+                .raw("tree", &encode_profile_nodes(&p.tree));
+        }
+        Reply::Telemetry(t) => {
+            w.bool("ok", true)
+                .str("kind", "telemetry")
+                .str("role", &t.role)
+                .num("epoch", t.epoch)
+                .bool("rules_fresh", t.rules_fresh)
+                .bool("connected", t.connected)
+                .num("lag_epochs", t.lag_epochs)
+                .num("records_applied", t.records_applied)
+                .num("reconnects", t.reconnects)
+                .num("queries", t.queries)
+                .num("degraded_answers", t.degraded_answers)
+                .num("requests_shed", t.requests_shed)
+                .num("worker_restarts", t.worker_restarts)
+                .num("repl_apply_p99_us", t.repl_apply_p99_us)
+                .num("wal_append_p99_us", t.wal_append_p99_us);
         }
         Reply::Busy => {
             w.bool("ok", false)
@@ -287,6 +420,29 @@ fn encode_failpoints(points: &[intensio_fault::FailpointStatus]) -> String {
             .str("spec", &p.spec)
             .num("hits", p.hits)
             .num("triggered", p.triggered);
+        out.push_str(&w.finish());
+    }
+    out.push(']');
+    out
+}
+
+/// Encode a profile timing tree as a JSON array of
+/// `{"name":..,"us":..,"fields":{..},"children":[..]}` nodes.
+fn encode_profile_nodes(nodes: &[crate::service::ProfileNode]) -> String {
+    let mut out = String::from("[");
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut fields = ObjWriter::new();
+        for (k, v) in &n.fields {
+            fields.str(k, v);
+        }
+        let mut w = ObjWriter::new();
+        w.str("name", &n.name)
+            .num("us", n.duration_us)
+            .raw("fields", &fields.finish())
+            .raw("children", &encode_profile_nodes(&n.children));
         out.push_str(&w.finish());
     }
     out.push(']');
@@ -413,6 +569,145 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_and_telemetry_verbs() {
+        assert_eq!(
+            parse_request("profile SELECT 1 FROM T"),
+            Ok(WireRequest::Execute(Request::Profile(
+                "SELECT 1 FROM T".into()
+            )))
+        );
+        assert_eq!(
+            parse_request("TELEMETRY"),
+            Ok(WireRequest::Execute(Request::Telemetry))
+        );
+        assert!(parse_request("PROFILE").is_err(), "PROFILE needs a query");
+    }
+
+    #[test]
+    fn trace_prefix_round_trips_and_bad_tokens_fail_loudly() {
+        let ctx = intensio_obs::TraceContext {
+            trace_id: 0xdead_beef_cafe_f00d,
+            parent_span: 0x2a,
+        };
+        let line = format!("{}SQL SELECT 1 FROM T", format_trace_prefix(ctx));
+        let (parsed_ctx, req) = parse_traced(&line);
+        assert_eq!(parsed_ctx, Some(ctx));
+        assert_eq!(
+            req,
+            Ok(WireRequest::Execute(Request::Sql("SELECT 1 FROM T".into())))
+        );
+        // No prefix: plain parse, no context.
+        let (none_ctx, req) = parse_traced("STATS");
+        assert_eq!(none_ctx, None);
+        assert_eq!(req, Ok(WireRequest::Execute(Request::Stats)));
+        // Malformed prefixes fail the line instead of silently dropping
+        // the trace.
+        for bad in [
+            "#trace deadbeef SQL SELECT 1 FROM T",
+            "#trace 0000000000000000/000000000000002a SQL SELECT 1 FROM T",
+            "#trace xyzc0ffee0000000/000000000000002a SQL SELECT 1 FROM T",
+            "#trace deadbeefcafef00d/000000000000002a",
+        ] {
+            let (ctx, req) = parse_traced(bad);
+            assert_eq!(ctx, None, "{bad:?}");
+            assert!(req.is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn traced_replies_lead_with_the_trace_id() {
+        let ctx = intensio_obs::TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            parent_span: 0,
+        };
+        let reply = Reply::Error {
+            message: "nope".to_string(),
+        };
+        let line = encode_reply_with_trace(&reply, Some(ctx));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("trace").unwrap().as_str(), Some("1122334455667788"));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("nope"));
+        // Untraced replies are byte-identical to `encode_reply`.
+        assert_eq!(encode_reply_with_trace(&reply, None), encode_reply(&reply));
+    }
+
+    #[test]
+    fn profile_reply_encodes_the_timing_tree() {
+        use crate::service::{ProfileNode, ProfileReply};
+        let reply = Reply::Profile(Box::new(ProfileReply {
+            epoch: 2,
+            cached: false,
+            rules_fresh: true,
+            degraded: false,
+            rows: 3,
+            total_us: 1200,
+            tree: vec![ProfileNode {
+                name: "request".to_string(),
+                duration_us: 1200,
+                fields: vec![("rows".to_string(), "3".to_string())],
+                children: vec![ProfileNode {
+                    name: "inference.infer".to_string(),
+                    duration_us: 800,
+                    fields: Vec::new(),
+                    children: vec![ProfileNode {
+                        name: "rule R5".to_string(),
+                        duration_us: 0,
+                        fields: vec![("direction".to_string(), "backward".to_string())],
+                        children: Vec::new(),
+                    }],
+                }],
+            }],
+        }));
+        let v = json::parse(&encode_reply(&reply)).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("profile"));
+        assert_eq!(v.get("total_us").unwrap().as_u64(), Some(1200));
+        let tree = v.get("tree").unwrap().as_array().unwrap();
+        assert_eq!(tree[0].get("name").unwrap().as_str(), Some("request"));
+        let children = tree[0].get("children").unwrap().as_array().unwrap();
+        assert_eq!(
+            children[0].get("name").unwrap().as_str(),
+            Some("inference.infer")
+        );
+        let rules = children[0].get("children").unwrap().as_array().unwrap();
+        assert_eq!(rules[0].get("name").unwrap().as_str(), Some("rule R5"));
+        assert_eq!(
+            rules[0]
+                .get("fields")
+                .unwrap()
+                .get("direction")
+                .unwrap()
+                .as_str(),
+            Some("backward")
+        );
+    }
+
+    #[test]
+    fn telemetry_reply_encodes_as_json() {
+        use crate::service::TelemetryReply;
+        let line = encode_reply(&Reply::Telemetry(Box::new(TelemetryReply {
+            role: "follower".to_string(),
+            epoch: 9,
+            rules_fresh: true,
+            connected: true,
+            lag_epochs: 1,
+            records_applied: 42,
+            reconnects: 2,
+            queries: 100,
+            degraded_answers: 3,
+            requests_shed: 0,
+            worker_restarts: 1,
+            repl_apply_p99_us: 450,
+            wal_append_p99_us: 90,
+        })));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("telemetry"));
+        assert_eq!(v.get("role").unwrap().as_str(), Some("follower"));
+        assert_eq!(v.get("lag_epochs").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("records_applied").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("repl_apply_p99_us").unwrap().as_u64(), Some(450));
+    }
+
+    #[test]
     fn script_escaping_round_trips() {
         let script = "range of s is S\ndelete s where s.Id = \"a\\b\"";
         assert_eq!(unescape_script(&escape_script(script)), script);
@@ -464,6 +759,19 @@ mod tests {
                 recovery_ms: 12,
             }),
             metrics: reg.snapshot(),
+            cluster: vec![crate::service::PeerTelemetry {
+                addr: "127.0.0.1:4061".to_string(),
+                ok: true,
+                role: "follower".to_string(),
+                epoch: 3,
+                lag_epochs: 0,
+                records_applied: 9,
+                apply_rate: 4,
+                reconnects: 0,
+                degraded_answers: 0,
+                requests_shed: 0,
+                worker_restarts: 0,
+            }],
         })));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("stats"));
@@ -488,6 +796,14 @@ mod tests {
         assert_eq!(repl.get("lag_epochs").unwrap().as_u64(), Some(2));
         assert_eq!(repl.get("records_applied").unwrap().as_u64(), Some(3));
         assert_eq!(repl.get("reconnects").unwrap().as_u64(), Some(1));
+        let cluster = v.get("cluster").unwrap().as_array().unwrap();
+        assert_eq!(cluster.len(), 1);
+        assert_eq!(
+            cluster[0].get("addr").unwrap().as_str(),
+            Some("127.0.0.1:4061")
+        );
+        assert_eq!(cluster[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(cluster[0].get("apply_rate").unwrap().as_u64(), Some(4));
         let metrics = v.get("metrics").expect("stats reply embeds metrics");
         let counters = metrics.get("counters").unwrap();
         assert_eq!(counters.get("serve.queries").unwrap().as_u64(), Some(1));

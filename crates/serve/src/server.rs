@@ -4,7 +4,7 @@
 //! worker pool, not the connection count, bounds execution
 //! concurrency.
 
-use crate::protocol::{encode_protocol_error, encode_reply, parse_request, WireRequest};
+use crate::protocol::{encode_protocol_error, encode_reply_with_trace, parse_traced, WireRequest};
 use crate::service::Service;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -152,11 +152,23 @@ fn handle_connection(
             Ok(0) => return Ok(()), // client closed
             Ok(_) => {
                 let request = std::mem::take(&mut line);
-                let response = match parse_request(&request) {
+                // Decode the optional `#trace` prefix; if the client
+                // sent none, admission may still mint a sampled trace —
+                // minting here (not in the worker) lets the reply echo
+                // the id so the client can stitch REDIRECT hops.
+                let (ctx, parsed) = parse_traced(&request);
+                let response = match parsed {
                     Ok(WireRequest::Quit) => return Ok(()),
-                    Ok(WireRequest::Execute(req)) => encode_reply(&service.submit(req)),
+                    Ok(WireRequest::Execute(req)) => {
+                        let ctx = ctx.or_else(intensio_obs::start_trace);
+                        encode_reply_with_trace(&service.submit_traced(req, None, ctx), ctx)
+                    }
                     Ok(WireRequest::ExecuteAt(req, min_epoch)) => {
-                        encode_reply(&service.submit_at(req, Some(min_epoch)))
+                        let ctx = ctx.or_else(intensio_obs::start_trace);
+                        encode_reply_with_trace(
+                            &service.submit_traced(req, Some(min_epoch), ctx),
+                            ctx,
+                        )
                     }
                     Ok(WireRequest::Replicate(from)) => {
                         // The connection stops being request/response and

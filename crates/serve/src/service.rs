@@ -175,6 +175,15 @@ pub enum Request {
     /// non-empty argument is a SQL query (or `QUEL <script>`) to lint
     /// against the live catalog and rules without executing it.
     Check(String),
+    /// Profile a SQL query: execute it like [`Request::Sql`] would,
+    /// but answer with an EXPLAIN-ANALYZE-style timing tree (parse →
+    /// cache → inference → scan, with per-rule attempts) instead of
+    /// the rows.
+    Profile(String),
+    /// This node's own telemetry sample: role, epoch, lag, apply and
+    /// shed counters, and tail latencies. Polled by the primary's
+    /// cluster-telemetry loop.
+    Telemetry,
 }
 
 impl Request {
@@ -187,6 +196,8 @@ impl Request {
             Request::Explain(_) => "explain",
             Request::Fault(_) => "fault",
             Request::Check(_) => "check",
+            Request::Profile(_) => "profile",
+            Request::Telemetry => "telemetry",
         }
     }
 }
@@ -341,6 +352,104 @@ pub struct StatsReply {
     /// Full metrics snapshot: pipeline-stage latency histograms
     /// (p50/p95/p99) and every named counter/gauge.
     pub metrics: intensio_obs::MetricsSnapshot,
+    /// The latest cluster-wide telemetry sample, one entry per peer
+    /// configured with [`Service::set_peers`] (empty otherwise).
+    pub cluster: Vec<PeerTelemetry>,
+}
+
+/// One node of a `PROFILE` timing tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// The span name (e.g. `inference.infer`) or a synthetic label
+    /// (the `request` root, per-rule `rule R<n>` attempts).
+    pub name: String,
+    /// Wall-clock duration in microseconds (0 for synthetic nodes).
+    pub duration_us: u64,
+    /// Key/value annotations captured while the span was open.
+    pub fields: Vec<(String, String)>,
+    /// Child stages, in completion order.
+    pub children: Vec<ProfileNode>,
+}
+
+/// The timing tree a `PROFILE <query>` request answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReply {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Whether the intensional part came from the cache.
+    pub cached: bool,
+    /// Whether the snapshot's rules matched its data version.
+    pub rules_fresh: bool,
+    /// Whether the intensional side was degraded.
+    pub degraded: bool,
+    /// Extensional rows the query produced (the rows themselves are
+    /// not returned; `SQL` does that).
+    pub rows: u64,
+    /// End-to-end execution time in microseconds.
+    pub total_us: u64,
+    /// The timing tree, rooted at a synthetic `request` node.
+    pub tree: Vec<ProfileNode>,
+}
+
+/// One node's self-reported telemetry sample (the `TELEMETRY` verb).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryReply {
+    /// `"primary"` or `"follower"`.
+    pub role: String,
+    /// Current knowledge epoch.
+    pub epoch: u64,
+    /// Whether current rules match the current data.
+    pub rules_fresh: bool,
+    /// Whether the replication stream is established (always true on a
+    /// primary).
+    pub connected: bool,
+    /// Epochs this node trails its primary (0 on a primary).
+    pub lag_epochs: u64,
+    /// Shipped records applied since boot (0 on a primary).
+    pub records_applied: u64,
+    /// Replication stream reconnects since boot (0 on a primary).
+    pub reconnects: u64,
+    /// Queries answered since boot.
+    pub queries: u64,
+    /// Replies served with a degraded intensional side.
+    pub degraded_answers: u64,
+    /// Requests shed at admission.
+    pub requests_shed: u64,
+    /// Worker threads restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// p99 of the replication-apply stage, in microseconds.
+    pub repl_apply_p99_us: u64,
+    /// p99 of the WAL-append stage, in microseconds.
+    pub wal_append_p99_us: u64,
+}
+
+/// One peer's telemetry as sampled by the cluster poller, merged into
+/// the primary's `STATS`/Prometheus view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerTelemetry {
+    /// The peer's address as configured with [`Service::set_peers`].
+    pub addr: String,
+    /// Whether the last poll round-trip succeeded; the remaining
+    /// fields are the last good sample (zeros if never reached).
+    pub ok: bool,
+    /// The peer's replication role.
+    pub role: String,
+    /// The peer's knowledge epoch.
+    pub epoch: u64,
+    /// Epochs the peer trails its primary.
+    pub lag_epochs: u64,
+    /// Shipped records the peer has applied since boot.
+    pub records_applied: u64,
+    /// Records applied per second, from successive poll deltas.
+    pub apply_rate: u64,
+    /// The peer's replication reconnects since boot.
+    pub reconnects: u64,
+    /// The peer's degraded answers since boot.
+    pub degraded_answers: u64,
+    /// Requests the peer shed at admission since boot.
+    pub requests_shed: u64,
+    /// Worker restarts on the peer since boot.
+    pub worker_restarts: u64,
 }
 
 /// Follower-side replication counters.
@@ -399,6 +508,10 @@ pub enum Reply {
     Explain(ExplainReply),
     /// Static-analysis results.
     Check(CheckReply),
+    /// A `PROFILE` timing tree.
+    Profile(Box<ProfileReply>),
+    /// One node's telemetry sample.
+    Telemetry(Box<TelemetryReply>),
     /// The request was shed at admission: the queue is full. The client
     /// should back off and retry; nothing was executed.
     Busy,
@@ -436,6 +549,22 @@ impl Reply {
     pub fn check(&self) -> Option<&CheckReply> {
         match self {
             Reply::Check(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The profile payload, if this is a profile reply.
+    pub fn profile(&self) -> Option<&ProfileReply> {
+        match self {
+            Reply::Profile(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The telemetry payload, if this is a telemetry reply.
+    pub fn telemetry(&self) -> Option<&TelemetryReply> {
+        match self {
+            Reply::Telemetry(t) => Some(t),
             _ => None,
         }
     }
@@ -514,6 +643,11 @@ struct Shared {
     repl_hub: ReplHub,
     /// Follower-side replication state; `None` on a primary.
     repl: Option<ReplState>,
+    /// Peer addresses the cluster-telemetry poller samples
+    /// ([`Service::set_peers`]); empty until configured.
+    peers: RwLock<Vec<String>>,
+    /// The latest cluster-wide telemetry sample, merged into `STATS`.
+    cluster: Mutex<Vec<PeerTelemetry>>,
 }
 
 /// Follower-side replication state, updated by the replicator thread
@@ -693,6 +827,8 @@ fn boot_durable(
     let mut rules_fresh = pending_rules.is_some();
 
     for record in &recovered.records {
+        let mut replay_span = intensio_obs::Span::enter("wal.replay");
+        replay_span.field("epoch", record.epoch);
         match record.kind {
             RecordKind::Write => {
                 let script = record.script().ok_or_else(|| {
@@ -791,6 +927,11 @@ struct Job {
     /// deadline ladder) for the local epoch to reach this before
     /// executing; a still-behind follower redirects to its primary.
     min_epoch: Option<u64>,
+    /// The request's trace context: propagated from the wire (`#trace`
+    /// prefix) or minted at admission under the sink's sampling rate.
+    /// The worker installs it for the job's duration so every span the
+    /// request opens joins the trace.
+    trace: Option<intensio_obs::TraceContext>,
 }
 
 /// The concurrent intensional query service. See the module docs for
@@ -806,6 +947,8 @@ pub struct Service {
     checkpointer: Mutex<Option<JoinHandle<()>>>,
     /// Follower-side apply/reconnect loop; `None` on a primary.
     replicator: Mutex<Option<JoinHandle<()>>>,
+    /// Cluster-telemetry poller; idle until [`Service::set_peers`].
+    poller: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Service {
@@ -858,6 +1001,11 @@ impl Service {
                 (Snapshot::initial(db, dictionary, rules_fresh), None)
             }
         };
+        // Arm the flight recorder: worker panics, shed onset, ladder
+        // degradation, and shutdown dump the span ring + metrics here.
+        if let Some(dir) = &cfg.data_dir {
+            intensio_obs::flightrec::set_dir(Some(dir));
+        }
         let workers = cfg.workers.max(1);
         let repl = cfg.replicate_from.clone().map(|primary| ReplState {
             primary,
@@ -881,6 +1029,8 @@ impl Service {
             durability,
             repl_hub: ReplHub::new(),
             repl,
+            peers: RwLock::new(Vec::new()),
+            cluster: Mutex::new(Vec::new()),
         });
         if rejected_on_open {
             shared.note_ruleset_rejected();
@@ -936,6 +1086,13 @@ impl Service {
         } else {
             None
         };
+        let poller = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("intensio-telemetry".to_string())
+                .spawn(move || poller_loop(&shared))
+                .map_err(|e| ServeError(format!("spawning telemetry poller: {e}")))?
+        };
 
         Ok(Service {
             shared,
@@ -944,7 +1101,15 @@ impl Service {
             inducer: Mutex::new(inducer),
             checkpointer: Mutex::new(checkpointer),
             replicator: Mutex::new(replicator),
+            poller: Mutex::new(Some(poller)),
         })
+    }
+
+    /// Name the peers the cluster-telemetry poller samples (follower
+    /// addresses on a primary, or any set of nodes to watch). Replaces
+    /// any previous set; the next poll round uses it.
+    pub fn set_peers(&self, peers: Vec<String>) {
+        *self.shared.peers.write().unwrap_or_else(|e| e.into_inner()) = peers;
     }
 
     /// Execute a request on the worker pool and wait for its reply.
@@ -960,11 +1125,29 @@ impl Service {
     /// bounded by the deadline ladder; a follower still behind at the
     /// bound answers with a `REDIRECT` error naming its primary.
     pub fn submit_at(&self, request: Request, min_epoch: Option<u64>) -> Reply {
+        self.submit_traced(request, min_epoch, None)
+    }
+
+    /// [`Service::submit_at`] with an explicit trace context (e.g. one
+    /// propagated from the wire's `#trace` prefix). With `None`, a
+    /// fresh root trace is minted under the sink's sampling rate.
+    pub fn submit_traced(
+        &self,
+        request: Request,
+        min_epoch: Option<u64>,
+        trace: Option<intensio_obs::TraceContext>,
+    ) -> Reply {
         let shared = &self.shared;
+        let trace = trace.or_else(intensio_obs::start_trace);
         let cap = shared.cfg.queue_capacity;
         if cap > 0 && shared.queue_depth.load(Ordering::Relaxed) >= cap {
-            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let prev = shared.counters.shed.fetch_add(1, Ordering::Relaxed);
             intensio_obs::inc("serve.requests_shed");
+            if prev == 0 {
+                // First shed since boot: capture the span ring while
+                // the overload that caused it is still in view.
+                let _ = intensio_obs::flight_record("shed_onset");
+            }
             return Reply::Busy;
         }
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
@@ -982,6 +1165,7 @@ impl Service {
                         enqueued: std::time::Instant::now(),
                         deadline,
                         min_epoch,
+                        trace,
                     })
                     .is_ok(),
                 None => false,
@@ -1090,7 +1274,9 @@ impl Service {
             Some(records) => {
                 for rec in records {
                     last_sent = rec.epoch;
-                    send(&StreamMsg::Record(rec))?;
+                    // History comes from the log, which stores no trace
+                    // context: only live-tail records ship one.
+                    send(&StreamMsg::Record { rec, trace: None })?;
                     intensio_obs::inc("repl.records_shipped");
                 }
             }
@@ -1123,12 +1309,12 @@ impl Service {
                 return send(&StreamMsg::Error("primary shutting down".to_string()));
             }
             match rx.recv_timeout(std::time::Duration::from_millis(500)) {
-                Ok(rec) => {
+                Ok((rec, trace)) => {
                     if rec.epoch <= last_sent {
                         continue;
                     }
                     last_sent = rec.epoch;
-                    send(&StreamMsg::Record(rec))?;
+                    send(&StreamMsg::Record { rec, trace })?;
                     intensio_obs::inc("repl.records_shipped");
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -1146,9 +1332,18 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
+        // Final flight-recorder dump. The workspace forbids unsafe
+        // code, so there is no signal handler to hook SIGTERM: orderly
+        // shutdown (which a caught SIGTERM funnels into by dropping
+        // the service) dumps here instead.
+        let _ = intensio_obs::flight_record("shutdown");
+        intensio_obs::flush_trace_sink();
         // Tell the supervisor this is a planned exit, then close the
         // queue; workers drain and exit, the supervisor joins them.
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.poller.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = h.join();
+        }
         self.queue.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(h) = self
             .supervisor
@@ -1276,15 +1471,21 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         if intensio_fault::fire("serve.worker").is_err() {
             return;
         }
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                match await_min_epoch(shared, job.min_epoch, job.deadline) {
-                    Some(reply) => reply,
-                    None => execute(shared, &job.request, job.deadline),
-                }
-            }));
-        let reply = outcome.unwrap_or_else(|p| Reply::Error {
-            message: format!("request panicked: {}", panic_message(p.as_ref())),
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Install the job's trace context for its whole run;
+            // the guard restores the previous one (workers are
+            // reused) even when the request panics.
+            let _trace = intensio_obs::with_context(job.trace);
+            match await_min_epoch(shared, job.min_epoch, job.deadline) {
+                Some(reply) => reply,
+                None => execute(shared, &job.request, job.deadline),
+            }
+        }));
+        let reply = outcome.unwrap_or_else(|p| {
+            let _ = intensio_obs::flight_record("request_panic");
+            Reply::Error {
+                message: format!("request panicked: {}", panic_message(p.as_ref())),
+            }
         });
         if matches!(reply, Reply::Error { .. }) {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -1326,15 +1527,27 @@ fn await_min_epoch(
         }
         if std::time::Instant::now() >= bound {
             intensio_obs::inc("repl.min_epoch_timeouts");
+            // Admission span: with tracing on, the REDIRECT leg of a
+            // cross-node read shows up in this node's trace under the
+            // same trace id the primary's execution will carry.
+            let mut admission = intensio_obs::Span::enter("serve.admission");
+            admission.field("epoch", epoch);
+            admission.field("min_epoch", min_epoch);
             let message = match &shared.repl {
-                Some(repl) => format!(
-                    "REDIRECT {}: epoch {min_epoch} not yet replicated here (follower at {epoch})",
-                    repl.primary
-                ),
-                None => format!(
-                    "min_epoch {min_epoch} is ahead of the primary (epoch {epoch}); \
-                     no node can satisfy it"
-                ),
+                Some(repl) => {
+                    admission.field("outcome", "redirect");
+                    format!(
+                        "REDIRECT {}: epoch {min_epoch} not yet replicated here (follower at {epoch})",
+                        repl.primary
+                    )
+                }
+                None => {
+                    admission.field("outcome", "unsatisfiable");
+                    format!(
+                        "min_epoch {min_epoch} is ahead of the primary (epoch {epoch}); \
+                         no node can satisfy it"
+                    )
+                }
             };
             return Some(error(message));
         }
@@ -1345,7 +1558,8 @@ fn await_min_epoch(
 fn execute(shared: &Shared, request: &Request, deadline: Option<std::time::Instant>) -> Reply {
     let mut span = intensio_obs::Span::stage("serve.request", intensio_obs::Stage::Request)
         .with_field("verb", request.verb());
-    if let Request::Sql(q) | Request::Explain(q) | Request::Quel(q) = request {
+    if let Request::Sql(q) | Request::Explain(q) | Request::Quel(q) | Request::Profile(q) = request
+    {
         // The query text makes the slow-request log actionable.
         span.field("query", truncate(q, 120));
     }
@@ -1356,6 +1570,8 @@ fn execute(shared: &Shared, request: &Request, deadline: Option<std::time::Insta
         Request::Explain(sql) => exec_explain(shared, sql, deadline),
         Request::Fault(cmd) => exec_fault(shared, cmd),
         Request::Check(arg) => exec_check(shared, arg),
+        Request::Profile(sql) => exec_profile(shared, sql, deadline),
+        Request::Telemetry => Reply::Telemetry(Box::new(telemetry_reply(shared))),
     }
 }
 
@@ -1503,6 +1719,11 @@ fn stats_reply(shared: &Shared) -> StatsReply {
             }
         }),
         metrics: intensio_obs::metrics().snapshot(),
+        cluster: shared
+            .cluster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone(),
     }
 }
 
@@ -1541,12 +1762,15 @@ fn intensional_for(
     // this request (no lookup, no insert) — a miss, never a wrong hit.
     let cache_ok = intensio_fault::fire("serve.cache").is_ok();
     if cache_ok {
+        let mut cache_span =
+            intensio_obs::Span::enter("serve.cache").with_field("epoch", snap.epoch);
         let hit = shared
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(&(fingerprint.clone(), snap.epoch));
         if let Some(answer) = hit {
+            cache_span.field("outcome", "hit");
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             intensio_obs::inc("serve.cache_hits");
             return Ok(Intension {
@@ -1556,6 +1780,7 @@ fn intensional_for(
                 degraded: false,
             });
         }
+        cache_span.field("outcome", "miss");
     }
     shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
     intensio_obs::inc("serve.cache_misses");
@@ -1590,8 +1815,14 @@ fn intensional_for(
     }
 
     // Degraded path: stale cached answer, else extensional-only.
-    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    let prev = shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
     intensio_obs::inc("serve.degraded_answers");
+    if prev == 0 {
+        // First ladder descent since boot: capture the span ring while
+        // the deadline pressure that forced it is still in view.
+        let _ = intensio_obs::flight_record("degraded_onset");
+    }
+    let mut degrade = intensio_obs::Span::enter("serve.degrade").with_field("epoch", snap.epoch);
     if cache_ok {
         let stale = shared
             .cache
@@ -1599,6 +1830,7 @@ fn intensional_for(
             .unwrap_or_else(|e| e.into_inner())
             .get_stale(&fingerprint, snap.epoch);
         if let Some(answer) = stale {
+            degrade.field("step", "stale");
             return Ok(Intension {
                 q,
                 answer,
@@ -1607,6 +1839,7 @@ fn intensional_for(
             });
         }
     }
+    degrade.field("step", "extensional");
     Ok(Intension {
         q,
         answer: Arc::new(IntensionalAnswer::default()),
@@ -1681,6 +1914,255 @@ fn exec_explain(shared: &Shared, sql: &str, deadline: Option<std::time::Instant>
     })
 }
 
+/// `PROFILE <sql>`: execute the query exactly as `SQL` would while a
+/// per-thread span collector is active, then fold the collected spans
+/// into an EXPLAIN-ANALYZE-style timing tree. A cache miss yields the
+/// full ladder — parse → cache → inference (with per-rule attempts
+/// grafted from the answer's provenance) → scan; a hit yields the
+/// shorter parse → cache tree.
+fn exec_profile(shared: &Shared, sql: &str, deadline: Option<std::time::Instant>) -> Reply {
+    let collector = intensio_obs::trace::collect_spans();
+    let started = std::time::Instant::now();
+    let reply = exec_sql(shared, sql, deadline);
+    let total_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let spans = collector.take();
+    let q = match reply {
+        Reply::Query(q) => q,
+        // Parse/analyze errors (and shed/panic replies) have no tree.
+        other => return other,
+    };
+    let mut children = build_profile_tree(&spans);
+    graft_rule_attempts(&mut children, &q.intensional.provenance);
+    intensio_obs::inc("serve.profiles");
+    Reply::Profile(Box::new(ProfileReply {
+        epoch: q.epoch,
+        cached: q.cached,
+        rules_fresh: q.rules_fresh,
+        degraded: q.degraded,
+        rows: q.rows.len() as u64,
+        total_us,
+        tree: vec![ProfileNode {
+            name: "request".to_string(),
+            duration_us: total_us,
+            fields: vec![("rows".to_string(), q.rows.len().to_string())],
+            children,
+        }],
+    }))
+}
+
+/// Fold completion-ordered span records into a tree. Spans close
+/// children-first on one worker thread, so a node at depth `d` adopts
+/// every already-closed node one level deeper. Depths are normalized
+/// against the shallowest record (the collector starts inside the
+/// already-open `serve.request` span).
+fn build_profile_tree(spans: &[intensio_obs::SpanRecord]) -> Vec<ProfileNode> {
+    let Some(min_depth) = spans.iter().map(|s| s.depth).min() else {
+        return Vec::new();
+    };
+    let max_depth = spans.iter().map(|s| s.depth - min_depth).max().unwrap_or(0);
+    let mut pending: Vec<Vec<ProfileNode>> = vec![Vec::new(); max_depth + 2];
+    for s in spans {
+        let d = s.depth - min_depth;
+        let children = std::mem::take(&mut pending[d + 1]);
+        pending[d].push(ProfileNode {
+            name: s.name.to_string(),
+            duration_us: s.duration_us,
+            fields: s
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            children,
+        });
+    }
+    // Orphans (a deeper span whose parent closed before collection
+    // started) fold up a level rather than vanish.
+    for d in (1..pending.len()).rev() {
+        let orphans = std::mem::take(&mut pending[d]);
+        pending[d - 1].extend(orphans);
+    }
+    std::mem::take(&mut pending[0])
+}
+
+/// Attach one child per rule application under the `inference.infer`
+/// node, from the answer's provenance: rule id, direction (forward
+/// conclusions vs backward characterizations), and support.
+fn graft_rule_attempts(tree: &mut [ProfileNode], uses: &[intensio_inference::RuleUse]) {
+    for node in tree.iter_mut() {
+        if node.name == "inference.infer" {
+            for u in uses {
+                node.children.push(ProfileNode {
+                    name: format!("rule R{}", u.rule_id),
+                    duration_us: 0,
+                    fields: vec![
+                        ("direction".to_string(), u.direction.as_str().to_string()),
+                        ("support".to_string(), u.support.to_string()),
+                        ("conclusion".to_string(), u.conclusion.clone()),
+                    ],
+                    children: Vec::new(),
+                });
+            }
+            return;
+        }
+        graft_rule_attempts(&mut node.children, uses);
+    }
+}
+
+/// This node's own telemetry sample, for the `TELEMETRY` verb.
+fn telemetry_reply(shared: &Shared) -> TelemetryReply {
+    let snap = shared.snapshot();
+    let c = &shared.counters;
+    let m = intensio_obs::metrics();
+    let (connected, lag_epochs, records_applied, reconnects) = match &shared.repl {
+        Some(r) => {
+            let primary_epoch = r.primary_epoch.load(Ordering::Relaxed);
+            (
+                r.connected.load(Ordering::Relaxed),
+                primary_epoch.saturating_sub(snap.epoch),
+                r.records_applied.load(Ordering::Relaxed),
+                r.reconnects.load(Ordering::Relaxed),
+            )
+        }
+        None => (true, 0, 0, 0),
+    };
+    TelemetryReply {
+        role: shared.role().to_string(),
+        epoch: snap.epoch,
+        rules_fresh: snap.rules_fresh,
+        connected,
+        lag_epochs,
+        records_applied,
+        reconnects,
+        queries: c.queries.load(Ordering::Relaxed),
+        degraded_answers: c.degraded.load(Ordering::Relaxed),
+        requests_shed: c.shed.load(Ordering::Relaxed),
+        worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+        repl_apply_p99_us: m.stage(intensio_obs::Stage::ReplApply).snapshot().p99_us,
+        wal_append_p99_us: m.stage(intensio_obs::Stage::WalAppend).snapshot().p99_us,
+    }
+}
+
+/// How often the cluster poller samples its peers.
+const POLL_PERIOD: std::time::Duration = std::time::Duration::from_millis(1000);
+
+/// The cluster-telemetry poller: about once a second, round-trip the
+/// `TELEMETRY` verb to every peer named by [`Service::set_peers`] and
+/// merge the samples into this node's `STATS`/Prometheus view (the
+/// `cluster` array plus `cluster.peer<i>.*` gauges). Runs on every
+/// node but does nothing until peers are configured; a dead peer costs
+/// one short connect timeout per round, never a query worker.
+fn poller_loop(shared: &Shared) {
+    let mut prev: std::collections::HashMap<String, (u64, std::time::Instant)> =
+        std::collections::HashMap::new();
+    let mut next_poll = std::time::Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if std::time::Instant::now() < next_poll {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        }
+        next_poll = std::time::Instant::now() + POLL_PERIOD;
+        let peers = shared
+            .peers
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if peers.is_empty() {
+            continue;
+        }
+        let mut cluster = Vec::with_capacity(peers.len());
+        for (i, addr) in peers.iter().enumerate() {
+            let mut peer = poll_peer(addr).unwrap_or_else(|| PeerTelemetry {
+                addr: addr.clone(),
+                ok: false,
+                role: String::new(),
+                epoch: 0,
+                lag_epochs: 0,
+                records_applied: 0,
+                apply_rate: 0,
+                reconnects: 0,
+                degraded_answers: 0,
+                requests_shed: 0,
+                worker_restarts: 0,
+            });
+            if peer.ok {
+                let now = std::time::Instant::now();
+                if let Some(&(applied, at)) = prev.get(addr) {
+                    let dt = now.duration_since(at).as_secs_f64();
+                    if dt > 0.0 && peer.records_applied >= applied {
+                        peer.apply_rate =
+                            ((peer.records_applied - applied) as f64 / dt).round() as u64;
+                    }
+                }
+                prev.insert(addr.clone(), (peer.records_applied, now));
+                intensio_obs::gauge(&format!("cluster.peer{i}.epoch"), peer.epoch as i64);
+                intensio_obs::gauge(
+                    &format!("cluster.peer{i}.lag_epochs"),
+                    peer.lag_epochs as i64,
+                );
+                intensio_obs::gauge(
+                    &format!("cluster.peer{i}.apply_rate"),
+                    peer.apply_rate as i64,
+                );
+                intensio_obs::gauge(
+                    &format!("cluster.peer{i}.reconnects"),
+                    peer.reconnects as i64,
+                );
+                intensio_obs::gauge(
+                    &format!("cluster.peer{i}.degraded_answers"),
+                    peer.degraded_answers as i64,
+                );
+            }
+            intensio_obs::gauge(&format!("cluster.peer{i}.up"), i64::from(peer.ok));
+            cluster.push(peer);
+        }
+        *shared.cluster.lock().unwrap_or_else(|e| e.into_inner()) = cluster;
+    }
+}
+
+/// One `TELEMETRY` round trip, with short timeouts so an unreachable
+/// peer delays the poll loop, not the serve path.
+fn poll_peer(addr: &str) -> Option<PeerTelemetry> {
+    use std::io::{BufRead as _, Write as _};
+    use std::net::ToSocketAddrs as _;
+    let sock = addr.to_socket_addrs().ok()?.next()?;
+    let stream =
+        std::net::TcpStream::connect_timeout(&sock, std::time::Duration::from_millis(250)).ok()?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+        .ok()?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(b"TELEMETRY\n").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    std::io::BufReader::new(stream).read_line(&mut line).ok()?;
+    let v = crate::json::parse(line.trim()).ok()?;
+    if !v.get("ok")?.as_bool()? || v.get("kind")?.as_str()? != "telemetry" {
+        return None;
+    }
+    let num = |k: &str| v.get(k).and_then(crate::json::Json::as_u64).unwrap_or(0);
+    Some(PeerTelemetry {
+        addr: addr.to_string(),
+        ok: true,
+        role: v
+            .get("role")
+            .and_then(crate::json::Json::as_str)
+            .unwrap_or("")
+            .to_string(),
+        epoch: num("epoch"),
+        lag_epochs: num("lag_epochs"),
+        records_applied: num("records_applied"),
+        apply_rate: 0,
+        reconnects: num("reconnects"),
+        degraded_answers: num("degraded_answers"),
+        requests_shed: num("requests_shed"),
+        worker_restarts: num("worker_restarts"),
+    })
+}
+
 fn exec_quel(shared: &Shared, script: &str) -> Reply {
     let stmts = match intensio_quel::parse_script(script) {
         Ok(s) => s,
@@ -1745,17 +2227,21 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
     let mut committed = None;
     if let Some(dur) = &shared.durability {
         let record = Record::write(next.epoch, next.data_version, script);
-        let appended = std::time::Instant::now();
+        let span = intensio_obs::Span::stage("wal.append", intensio_obs::Stage::WalAppend)
+            .with_field("epoch", next.epoch);
         let result = dur
             .wal
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .append(&record);
-        intensio_obs::record_stage(intensio_obs::Stage::WalAppend, appended.elapsed());
+        // The commit span's ids ride the replication stream so a
+        // follower's apply span joins this trace.
+        let trace = span.trace_ids();
+        drop(span);
         if let Err(e) = result {
             return error(format!("durability: {e}"));
         }
-        committed = Some(record);
+        committed = Some((record, trace));
     }
     let reply = {
         let mut r = quel_reply(&next, &outputs);
@@ -1766,8 +2252,8 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
     // Fan the committed record out to replication streams after the
     // install, still under `write_lock`: every stream observes records
     // in strict epoch order.
-    if let Some(record) = committed {
-        shared.repl_hub.publish(&record);
+    if let Some((record, trace)) = committed {
+        shared.repl_hub.publish(&record, trace);
     }
     shared.counters.writes.fetch_add(1, Ordering::Relaxed);
     maybe_checkpoint(shared);
@@ -1979,23 +2465,27 @@ fn induce_once(shared: &Shared) -> Induce {
     let mut committed = None;
     if let (Some(dur), Some(body)) = (&shared.durability, rules_body) {
         let record = Record::rules(next.epoch, next.data_version, body);
-        let appended = std::time::Instant::now();
+        let span = intensio_obs::Span::stage("wal.append", intensio_obs::Stage::WalAppend)
+            .with_field("epoch", next.epoch);
         let result = dur
             .wal
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .append(&record);
-        intensio_obs::record_stage(intensio_obs::Stage::WalAppend, appended.elapsed());
+        // Inducer-thread appends run outside any request trace, so this
+        // is normally `None` — the record then ships untraced.
+        let trace = span.trace_ids();
+        drop(span);
         if result.is_err() {
             return Induce::Failed;
         }
-        committed = Some(record);
+        committed = Some((record, trace));
     }
     shared.install(next);
     // Rule installs replicate like writes: publish after install, still
     // under `write_lock`, so followers see the same epoch order.
-    if let Some(record) = committed {
-        shared.repl_hub.publish(&record);
+    if let Some((record, trace)) = committed {
+        shared.repl_hub.publish(&record, trace);
     }
     shared.counters.inductions.fetch_add(1, Ordering::Relaxed);
     maybe_checkpoint(shared);
@@ -2206,8 +2696,8 @@ fn apply_stream_msg(shared: &Shared, repl: &ReplState, msg: StreamMsg) -> Result
             apply_wire_snapshot(shared, repl, epoch, data_version, &db, rules.as_deref())?;
             Ok(true)
         }
-        StreamMsg::Record(rec) => {
-            apply_record(shared, repl, &rec)?;
+        StreamMsg::Record { rec, trace } => {
+            apply_record(shared, repl, &rec, trace)?;
             Ok(true)
         }
     }
@@ -2281,8 +2771,22 @@ fn apply_wire_snapshot(
 /// Exactly-once by construction — a record at or below the local epoch
 /// is the bootstrap/reconnect overlap and is skipped, a record further
 /// ahead than `local + 1` is a chain break.
-fn apply_record(shared: &Shared, repl: &ReplState, rec: &Record) -> Result<(), String> {
-    let started = std::time::Instant::now();
+fn apply_record(
+    shared: &Shared,
+    repl: &ReplState,
+    rec: &Record,
+    trace: Option<(u64, u64)>,
+) -> Result<(), String> {
+    // Join the primary-side commit's trace (if the record shipped with
+    // one): the apply span below cites the commit span as its parent,
+    // so one trace covers a write from client admission on the primary
+    // through its installation on this follower.
+    let _trace = intensio_obs::with_context(trace.map(|(trace_id, parent_span)| {
+        intensio_obs::TraceContext {
+            trace_id,
+            parent_span,
+        }
+    }));
     repl.primary_epoch.fetch_max(rec.epoch, Ordering::Relaxed);
     let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
     let current = shared.snapshot();
@@ -2296,6 +2800,9 @@ fn apply_record(shared: &Shared, repl: &ReplState, rec: &Record) -> Result<(), S
             current.epoch, rec.epoch
         ));
     }
+    let mut apply_span = intensio_obs::Span::stage("repl.apply", intensio_obs::Stage::ReplApply);
+    apply_span.field("epoch", rec.epoch);
+    apply_span.field("kind", rec.kind.name());
     let next = match rec.kind {
         RecordKind::Write => {
             let script = rec
@@ -2352,9 +2859,9 @@ fn apply_record(shared: &Shared, repl: &ReplState, rec: &Record) -> Result<(), S
             .map_err(|e| format!("follower wal append: {e}"))?;
     }
     shared.install(next);
+    drop(apply_span);
     repl.records_applied.fetch_add(1, Ordering::Relaxed);
     intensio_obs::inc("repl.records_applied");
-    intensio_obs::record_stage(intensio_obs::Stage::ReplApply, started.elapsed());
     maybe_checkpoint(shared);
     shared.update_lag();
     Ok(())

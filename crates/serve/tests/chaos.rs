@@ -113,7 +113,11 @@ fn randomized_faults_never_produce_wrong_answers_and_recovery_follows() {
                     // Explicit failure modes are the contract working.
                     Reply::Error { .. } | Reply::Busy => {}
                     Reply::Stats(_) => {}
-                    Reply::Explain(_) | Reply::Fault { .. } | Reply::Check(_) => unreachable!(),
+                    Reply::Explain(_)
+                    | Reply::Fault { .. }
+                    | Reply::Check(_)
+                    | Reply::Profile(_)
+                    | Reply::Telemetry(_) => unreachable!(),
                 }
             }
         }));
@@ -339,4 +343,72 @@ fn queue_overflow_sheds_with_busy() {
         Reply::Query(q) => assert_stable_rows(&q.rows),
         other => panic!("post-shed query failed: {other:?}"),
     }
+}
+
+#[test]
+fn flight_recorder_dumps_on_request_panic_and_shutdown() {
+    let _gate = fault_gate();
+    // A durable service arms the flight recorder at its data dir.
+    let dir = std::env::temp_dir().join(format!("intensio-flightrec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let service = open_service(|cfg| {
+        cfg.data_dir = Some(dir.clone());
+        cfg.wal.fsync = intensio_wal::FsyncPolicy::Off;
+    });
+
+    // A panic mid-install: the worker's catch_unwind turns it into an
+    // error reply AND dumps the span ring for the post-mortem.
+    intensio_fault::configure_str("serve.install=panic*1").unwrap();
+    let reply = service.submit(Request::Quel(
+        "append to SUBMARINE (Id = \"FR00001\", Name = \"Doomed\", Class = \"0101\")".to_string(),
+    ));
+    assert!(
+        reply.error().is_some(),
+        "panicked request must error, got {reply:?}"
+    );
+    intensio_fault::clear();
+
+    let dumps = |reason: &str| -> Vec<std::path::PathBuf> {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&format!("flightrec-{reason}-")))
+            })
+            .collect()
+    };
+    let panic_dumps = dumps("request_panic");
+    assert_eq!(panic_dumps.len(), 1, "one dump per panic onset");
+    let body = std::fs::read_to_string(&panic_dumps[0]).unwrap();
+    let v = intensio_serve::json::parse(&body).expect("dump is valid JSON");
+    assert_eq!(
+        v.get("reason").and_then(intensio_serve::json::Json::as_str),
+        Some("request_panic")
+    );
+    assert!(
+        !v.get("spans")
+            .and_then(intensio_serve::json::Json::as_array)
+            .expect("dump carries the span ring")
+            .is_empty(),
+        "span ring in the dump is not empty"
+    );
+    assert!(
+        v.get("metrics").is_some(),
+        "dump carries a metrics snapshot"
+    );
+
+    // Shutdown (the SIGTERM stand-in under forbid(unsafe_code): the
+    // service's Drop) leaves a second dump behind.
+    drop(service);
+    assert_eq!(dumps("shutdown").len(), 1, "shutdown leaves a dump");
+    // CI greps this line, then checks the files exist on disk.
+    println!(
+        "flight-recorder dumps: {} at {}",
+        dumps("request_panic").len() + dumps("shutdown").len(),
+        dir.display()
+    );
 }

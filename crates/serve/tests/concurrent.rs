@@ -85,7 +85,12 @@ fn hammer_mixed_reads_and_writes_from_eight_threads() {
                     }
                     Reply::Error { message } => panic!("request failed: {message}"),
                     Reply::Busy => panic!("shed with the default (large) queue capacity"),
-                    Reply::Stats(_) | Reply::Explain(_) | Reply::Fault { .. } | Reply::Check(_) => {
+                    Reply::Stats(_)
+                    | Reply::Explain(_)
+                    | Reply::Fault { .. }
+                    | Reply::Check(_)
+                    | Reply::Profile(_)
+                    | Reply::Telemetry(_) => {
                         unreachable!()
                     }
                 }

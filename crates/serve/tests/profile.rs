@@ -1,0 +1,139 @@
+//! `PROFILE` coverage: the timing tree of a cache-miss intensional
+//! query carries every pipeline stage plus per-rule inference attempts,
+//! a cache-hit profile shows the short path, and the wire encoding
+//! round-trips through the TCP front end.
+
+use intensio_serve::{json, Client, ProfileNode, Reply, Request, Server, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn open_service() -> Service {
+    let db = intensio_shipdb::ship_database().unwrap();
+    let model = intensio_shipdb::ship_model().unwrap();
+    let cfg = ServiceConfig {
+        workers: 2,
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    };
+    Service::with_config(db, model, cfg).unwrap()
+}
+
+/// The paper's Example 1 conditions: fires induced rules, so the
+/// profile must show inference work.
+const STABLE: &str = "SELECT Class FROM CLASS WHERE Displacement > 8000";
+
+fn stage_names(tree: &[ProfileNode], out: &mut Vec<String>) {
+    for n in tree {
+        out.push(n.name.clone());
+        stage_names(&n.children, out);
+    }
+}
+
+#[test]
+fn cache_miss_profile_carries_all_stages_and_rule_attempts() {
+    let service = open_service();
+    let reply = service.submit(Request::Profile(STABLE.to_string()));
+    let p = match reply {
+        Reply::Profile(p) => p,
+        other => panic!("expected a profile reply, got {other:?}"),
+    };
+    assert!(!p.cached, "first profile of a query is a cache miss");
+    assert!(p.total_us > 0);
+    assert_eq!(p.rows, 2);
+    assert_eq!(p.tree.len(), 1, "one root node per request");
+    assert_eq!(p.tree[0].name, "request");
+
+    let mut names = Vec::new();
+    stage_names(&p.tree, &mut names);
+    for stage in [
+        "parse.sql",
+        "serve.cache",
+        "inference.infer",
+        "storage.scan",
+    ] {
+        assert!(
+            names.iter().any(|n| n == stage),
+            "profile tree missing stage {stage:?}; got {names:?}"
+        );
+    }
+    // Per-rule inference attempts are grafted under inference.infer.
+    let rules: Vec<&String> = names.iter().filter(|n| n.starts_with("rule R")).collect();
+    assert!(
+        !rules.is_empty(),
+        "Example 1 conditions fire rules; got {names:?}"
+    );
+    // The cache stage recorded its outcome.
+    fn find<'a>(tree: &'a [ProfileNode], name: &str) -> Option<&'a ProfileNode> {
+        for n in tree {
+            if n.name == name {
+                return Some(n);
+            }
+            if let Some(hit) = find(&n.children, name) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+    let cache = find(&p.tree, "serve.cache").unwrap();
+    assert!(
+        cache
+            .fields
+            .iter()
+            .any(|(k, v)| k == "outcome" && v == "miss"),
+        "cache span records the miss: {:?}",
+        cache.fields
+    );
+
+    // Second profile of the same query: a hit — the short path, no
+    // inference stage, outcome=hit.
+    let p = match service.submit(Request::Profile(STABLE.to_string())) {
+        Reply::Profile(p) => p,
+        other => panic!("expected a profile reply, got {other:?}"),
+    };
+    assert!(p.cached);
+    let mut names = Vec::new();
+    stage_names(&p.tree, &mut names);
+    assert!(
+        !names.iter().any(|n| n == "inference.infer"),
+        "a cache hit runs no inference; got {names:?}"
+    );
+    let cache = find(&p.tree, "serve.cache").unwrap();
+    assert!(cache
+        .fields
+        .iter()
+        .any(|(k, v)| k == "outcome" && v == "hit"));
+}
+
+#[test]
+fn profile_of_a_bad_query_is_a_plain_error() {
+    let service = open_service();
+    let reply = service.submit(Request::Profile("SELEKT nope".to_string()));
+    assert!(reply.error().is_some(), "got {reply:?}");
+}
+
+#[test]
+fn profile_round_trips_over_the_wire() {
+    let service = Arc::new(open_service());
+    let server = Server::bind(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let line = client.roundtrip(&format!("PROFILE {STABLE}")).unwrap();
+    let v = json::parse(&line).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("profile"));
+    assert_eq!(v.get("cached").unwrap().as_bool(), Some(false));
+    assert!(v.get("total_us").unwrap().as_u64().unwrap() > 0);
+    let tree = v.get("tree").unwrap().as_array().unwrap();
+    assert_eq!(tree[0].get("name").unwrap().as_str(), Some("request"));
+    assert!(
+        !tree[0]
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "wire profile tree has stage children"
+    );
+    client.quit();
+    server.shutdown();
+}

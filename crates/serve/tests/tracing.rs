@@ -1,0 +1,222 @@
+//! Distributed-tracing contract, against real `serve` processes: one
+//! trace id spans a REDIRECTed read's follower admission and primary
+//! execution, and a traced write's commit span reappears in the
+//! follower's apply span via the `#repl` stream.
+
+#![cfg(unix)]
+
+use intensio_serve::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("intensio-tracing-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `serve` child with tracing armed at sample 1.0.
+struct ServeChild {
+    child: Child,
+    addr: String,
+    trace_dir: PathBuf,
+}
+
+impl ServeChild {
+    fn spawn(data_dir: &Path, trace_dir: &Path, extra: &[&str]) -> ServeChild {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--data-dir")
+            .arg(data_dir)
+            .arg("--trace-dir")
+            .arg(trace_dir)
+            .arg("--trace-sample")
+            .arg("1.0")
+            .arg("--fsync")
+            .arg("off")
+            .arg("--workers")
+            .arg("2")
+            .arg("--quiet")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn serve binary");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before listening")
+                .expect("read serve stdout");
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("address after 'listening on'")
+                    .to_string();
+            }
+        };
+        std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
+        ServeChild {
+            child,
+            addr,
+            trace_dir: trace_dir.to_path_buf(),
+        }
+    }
+
+    fn connect(&self) -> Conn {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let reader = BufReader::new(stream.try_clone().unwrap());
+                    return Conn { stream, reader };
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("cannot connect to {}: {e}", self.addr),
+            }
+        }
+    }
+
+    /// Poll the child's trace file (the background flusher writes it
+    /// every ~200ms) until `pred` matches some line.
+    fn await_trace_line(&self, what: &str, pred: impl Fn(&str) -> bool) -> String {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            for entry in std::fs::read_dir(&self.trace_dir).unwrap().flatten() {
+                if let Ok(content) = std::fs::read_to_string(entry.path()) {
+                    if let Some(line) = content.lines().find(|l| pred(l)) {
+                        return line.to_string();
+                    }
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no trace line matching {what} in {}",
+                self.trace_dir.display()
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        json::parse(reply.trim()).unwrap_or_else(|e| panic!("undecodable reply ({e}): {reply}"))
+    }
+}
+
+const READ: &str = "SELECT Class FROM CLASS WHERE Displacement > 8000";
+
+#[test]
+fn one_trace_spans_follower_redirect_and_primary_execution() {
+    let primary = ServeChild::spawn(&temp_dir("p-data"), &temp_dir("p-trace"), &[]);
+    // Two followers (the 1p2f topology); the REDIRECT probe goes
+    // through the first. `--deadline-ms` keeps the redirect prompt.
+    let f1 = ServeChild::spawn(
+        &temp_dir("f1-data"),
+        &temp_dir("f1-trace"),
+        &["--replicate-from", &primary.addr, "--deadline-ms", "300"],
+    );
+    let _f2 = ServeChild::spawn(
+        &temp_dir("f2-data"),
+        &temp_dir("f2-trace"),
+        &["--replicate-from", &primary.addr, "--deadline-ms", "300"],
+    );
+
+    let mut pc = primary.connect();
+    let mut fc = f1.connect();
+
+    // A traced write on the primary: its commit span ids ride the
+    // `#repl` stream to both followers.
+    let write_trace = "11c0ffee00000001";
+    let v = pc.roundtrip(&format!(
+        "#trace {write_trace}/0000000000000000 QUEL append to SUBMARINE \
+         (Id = \"TRC0001\", Name = \"Trace Probe\", Class = \"0101\")"
+    ));
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "append failed"
+    );
+    assert_eq!(v.get("trace").and_then(Json::as_str), Some(write_trace));
+    let acked_epoch = v.get("epoch").and_then(Json::as_u64).expect("acked epoch");
+
+    // A REDIRECTed read: ask the follower for an epoch nobody has.
+    // The reply is the redirect, under the same trace id.
+    let read_trace = "22c0ffee00000002";
+    let v = fc.roundtrip(&format!(
+        "#trace {read_trace}/0000000000000000 SQL@{} {READ}",
+        acked_epoch + 1000
+    ));
+    assert_eq!(v.get("trace").and_then(Json::as_str), Some(read_trace));
+    let err = v
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("redirect error");
+    assert!(
+        err.starts_with("REDIRECT "),
+        "expected a redirect, got {err:?}"
+    );
+    let target = err.split_whitespace().nth(1).unwrap().trim_end_matches(':');
+    assert_eq!(target, primary.addr, "redirect names the primary");
+
+    // The client re-issues against the primary under the same id —
+    // that is the stitch that makes one cross-node trace.
+    let v = pc.roundtrip(&format!("#trace {read_trace}/0000000000000000 SQL {READ}"));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("trace").and_then(Json::as_str), Some(read_trace));
+
+    // Both nodes' trace files carry spans of the read's trace: the
+    // follower its admission/redirect leg, the primary the execution.
+    let follower_leg = f1.await_trace_line("follower redirect span", |l| {
+        l.contains(read_trace) && l.contains("serve.admission")
+    });
+    assert!(follower_leg.contains("redirect"), "got {follower_leg}");
+    primary.await_trace_line("primary execution span", |l| {
+        l.contains(read_trace) && l.contains("serve.request")
+    });
+
+    // The traced write reappears on the follower as a repl.apply span
+    // under the write's trace id (shipped on the record line).
+    f1.await_trace_line("follower apply span", |l| {
+        l.contains(write_trace) && l.contains("repl.apply")
+    });
+    // And the primary logged the commit (wal.append) under it.
+    primary.await_trace_line("primary commit span", |l| {
+        l.contains(write_trace) && l.contains("wal.append")
+    });
+}

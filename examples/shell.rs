@@ -276,10 +276,14 @@ impl RemoteShell {
                 intensio::serve::escape_script(rest.trim())
             )));
         }
+        if let Some(rest) = line.strip_prefix(".profile ") {
+            return Ok(Some(format!("PROFILE {}", rest.trim())));
+        }
         if line == ".help" {
             return Err(
-                "remote commands: SELECT ..., QUEL statements, \\explain SELECT ..., .stats, \
-                 .check [query], .fault [list | set name=spec[;...] | clear], .quit"
+                "remote commands: SELECT ..., QUEL statements, \\explain SELECT ..., \
+                 .profile <query>, .stats, .check [query], \
+                 .fault [list | set name=spec[;...] | clear], .quit"
                     .to_string(),
             );
         }
@@ -389,7 +393,89 @@ impl RemoteShell {
                         )
                     }
                     _ => String::new(),
+                } + &match v.get("metrics").and_then(|m| m.get("histograms")) {
+                    Some(Json::Obj(stages)) if !stages.is_empty() => {
+                        // Every pipeline stage, including repl_apply and
+                        // wal_append on durable/replicated nodes.
+                        let mut out = String::from("\nlatency us (p50/p95/p99):");
+                        for (stage, h) in stages {
+                            let q = |key: &str| h.get(key).and_then(Json::as_u64).unwrap_or(0);
+                            out.push_str(&format!(
+                                "\n  {stage}: {}/{}/{} over {} samples",
+                                q("p50_us"),
+                                q("p95_us"),
+                                q("p99_us"),
+                                q("count"),
+                            ));
+                        }
+                        out
+                    }
+                    _ => String::new(),
+                } + &match v.get("cluster").and_then(Json::as_array) {
+                    Some(peers) if !peers.is_empty() => {
+                        let mut out = String::from("\ncluster:");
+                        for p in peers {
+                            let s = |key: &str| p.get(key).and_then(Json::as_str).unwrap_or("?");
+                            let pn = |key: &str| p.get(key).and_then(Json::as_u64).unwrap_or(0);
+                            if p.get("ok").and_then(Json::as_bool) == Some(true) {
+                                out.push_str(&format!(
+                                    "\n  {} {} epoch {} (lag {}), {} applied ({}/s), \
+                                     {} reconnects",
+                                    s("addr"),
+                                    s("role"),
+                                    pn("epoch"),
+                                    pn("lag_epochs"),
+                                    pn("records_applied"),
+                                    pn("apply_rate"),
+                                    pn("reconnects"),
+                                ));
+                            } else {
+                                out.push_str(&format!("\n  {} DOWN", s("addr")));
+                            }
+                        }
+                        out
+                    }
+                    _ => String::new(),
                 }
+            }
+            Some("profile") => {
+                fn walk(out: &mut String, node: &Json, indent: usize) {
+                    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+                    let us = node.get("us").and_then(Json::as_u64).unwrap_or(0);
+                    out.push_str(&format!("{:indent$}{name}  {us} us", ""));
+                    if let Some(Json::Obj(fields)) = node.get("fields") {
+                        for (k, fv) in fields {
+                            out.push_str(&format!("  {k}={}", fv.as_str().unwrap_or("?")));
+                        }
+                    }
+                    out.push('\n');
+                    for child in node.get("children").and_then(Json::as_array).unwrap_or(&[]) {
+                        walk(out, child, indent + 2);
+                    }
+                }
+                let flag = |key: &str| v.get(key).and_then(Json::as_bool) == Some(true);
+                let mut out = format!(
+                    "PROFILE: {} row(s) in {} us [epoch {}, {}, rules {}{}]\n",
+                    v.get("rows").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("total_us").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                    if flag("cached") {
+                        "cache hit"
+                    } else {
+                        "cache miss"
+                    },
+                    if flag("rules_fresh") {
+                        "fresh"
+                    } else {
+                        "stale"
+                    },
+                    if flag("degraded") { ", DEGRADED" } else { "" },
+                );
+                for node in v.get("tree").and_then(Json::as_array).unwrap_or(&[]) {
+                    walk(&mut out, node, 0);
+                }
+                out.pop();
+                out
             }
             Some("check") => {
                 let n = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
