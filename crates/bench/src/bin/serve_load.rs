@@ -4,7 +4,7 @@
 //! ```text
 //! serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]
 //!            [--durable] [--data-dir PATH] [--fsync always|batch:N|off]
-//!            [--topology 1p2f]
+//!            [--topology 1p2f|failover] [--rounds N] [--failover-timeout-ms MS]
 //! ```
 //!
 //! `--topology 1p2f` switches to the replication workload: one durable
@@ -19,6 +19,18 @@
 //! acked write is readable on every node, the primary shipped records
 //! (`repl.records_shipped > 0`), and every lag gauge reads zero. This
 //! is how `BENCH_repl.json` measures scale-out read throughput.
+//!
+//! `--topology failover` runs `--rounds` seeded kill/promote rounds: a
+//! durable primary, a durable `--candidate` tailing it, and a
+//! memory-only follower. Mid-write-burst the primary is killed; the
+//! candidate promotes on heartbeat loss (bumping the term and fsyncing
+//! a `TERM` fencepost), the writer retries idempotently against the
+//! rotation, and the deposed primary is restarted so the `STALE_TERM`
+//! fence demotes it and a snapshot bootstrap retracts any unshipped
+//! suffix. Each round ends with an exact-set audit (every acked write
+//! present on all three nodes, none applied twice); the run prints
+//! time-to-promotion and write-unavailability percentiles, which is
+//! how `BENCH_failover.json` is measured.
 //!
 //! `--durable` opens the service with a write-ahead log (in a
 //! throwaway temp directory unless `--data-dir` is given) and adds a
@@ -57,6 +69,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Topology {
+    /// One durable primary, two followers, mid-run follower kill.
+    OnePrimaryTwoFollowers,
+    /// Term-fenced failover rounds: kill the primary, promote the
+    /// candidate, fence and rejoin the deposed primary, audit.
+    Failover,
+}
+
 struct Args {
     threads: usize,
     queries: usize,
@@ -65,7 +86,9 @@ struct Args {
     durable: bool,
     data_dir: Option<std::path::PathBuf>,
     fsync: intensio_wal::FsyncPolicy,
-    topology: bool,
+    topology: Option<Topology>,
+    rounds: usize,
+    failover_timeout_ms: u64,
     trace_dir: Option<std::path::PathBuf>,
     trace_sample: f64,
     profile: bool,
@@ -75,8 +98,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]\n\
          \x20                 [--durable] [--data-dir PATH] [--fsync always|batch:N|off]\n\
-         \x20                 [--topology 1p2f] [--trace-dir PATH] [--trace-sample RATE]\n\
-         \x20                 [--profile]"
+         \x20                 [--topology 1p2f|failover] [--rounds N]\n\
+         \x20                 [--failover-timeout-ms MS] [--trace-dir PATH]\n\
+         \x20                 [--trace-sample RATE] [--profile]"
     );
     std::process::exit(2);
 }
@@ -90,7 +114,9 @@ fn parse_args() -> Args {
         durable: false,
         data_dir: None,
         fsync: intensio_wal::FsyncPolicy::Always,
-        topology: false,
+        topology: None,
+        rounds: 3,
+        failover_timeout_ms: 800,
         trace_dir: None,
         trace_sample: 1.0,
         profile: false,
@@ -130,12 +156,21 @@ fn parse_args() -> Args {
                 });
             }
             "--topology" => match it.next().as_deref() {
-                Some("1p2f") => args.topology = true,
+                Some("1p2f") => args.topology = Some(Topology::OnePrimaryTwoFollowers),
+                Some("failover") => args.topology = Some(Topology::Failover),
                 other => {
-                    eprintln!("serve_load: unsupported topology {other:?} (only 1p2f)");
+                    eprintln!("serve_load: unsupported topology {other:?} (1p2f or failover)");
                     usage()
                 }
             },
+            "--rounds" => num(&mut args.rounds),
+            "--failover-timeout-ms" => {
+                args.failover_timeout_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--trace-dir" => {
                 args.trace_dir = Some(std::path::PathBuf::from(
                     it.next().unwrap_or_else(|| usage()),
@@ -669,6 +704,385 @@ fn topology_main(args: &Args) {
     println!("PASS");
 }
 
+/// What one kill/promote/rejoin round measured and verified.
+struct FailoverRound {
+    /// Kill of the primary to the candidate's `role == "primary"`.
+    promotion: Duration,
+    /// Kill of the primary to the first successfully acked write.
+    unavailable: Duration,
+    acked: Vec<String>,
+    lost: u64,
+    duplicates: u64,
+    stale_fenced: bool,
+    deposed_rejoined: bool,
+}
+
+/// Write `id` into whichever target currently accepts writes, retrying
+/// across the rotation until one acks. Idempotent under lost acks: a
+/// presence probe runs before every (re-)issue, so an append whose ack
+/// died on the wire is never applied twice in the surviving lineage.
+fn write_failover(targets: &[String], id: &str) -> Result<Instant, String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let probe = format!("SQL SELECT Id FROM SUBMARINE WHERE Id = \"{id}\"");
+    let append = format!(
+        "QUEL append to SUBMARINE (Id = \"{id}\", \
+         Name = \"Failover Probe\", Class = \"0101\")"
+    );
+    loop {
+        for addr in targets {
+            let Ok(mut c) = Client::connect(addr) else {
+                continue;
+            };
+            if let Ok(line) = c.roundtrip(&probe) {
+                if let Ok(v) = json::parse(&line) {
+                    if v.get("ok").and_then(Json::as_bool) == Some(true)
+                        && v.get("rows").and_then(Json::as_array).map(<[Json]>::len) == Some(1)
+                    {
+                        return Ok(Instant::now()); // a lost ack: already applied
+                    }
+                }
+            }
+            if let Ok(line) = c.roundtrip(&append) {
+                if let Ok(v) = json::parse(&line) {
+                    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                        return Ok(Instant::now());
+                    }
+                    // READONLY / candidate refusal: try the next target.
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("no target acked write {id} within 30s"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Tear a service down, waiting out any straggler connection handlers
+/// still holding an `Arc` clone, so its WAL directory can be reopened.
+fn drop_service(mut svc: Arc<Service>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Arc::try_unwrap(svc) {
+            Ok(s) => return drop(s),
+            Err(arc) => {
+                if Instant::now() >= deadline {
+                    return drop(arc); // leak rather than hang the run
+                }
+                svc = arc;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// One `--topology failover` round: durable primary, durable candidate,
+/// and memory-only follower; kill the primary mid-burst, measure the
+/// candidate's term-bumped promotion and the write-unavailability
+/// window, restart the deposed primary so the term fence (`STALE_TERM`)
+/// demotes it, and audit the exact acked-write set on all three nodes.
+fn failover_round(args: &Args, round: usize) -> Result<FailoverRound, String> {
+    let timeout = Duration::from_millis(args.failover_timeout_ms);
+    let base =
+        std::env::temp_dir().join(format!("intensio-failover-{}-{round}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mk = |data_dir: Option<std::path::PathBuf>,
+              replicate_from: Option<String>,
+              candidate: bool,
+              seed: u64| ServiceConfig {
+        workers: args.workers,
+        data_dir,
+        wal: intensio_wal::WalConfig {
+            fsync: args.fsync,
+            ..intensio_wal::WalConfig::default()
+        },
+        replicate_from,
+        candidate,
+        failover_timeout: timeout,
+        failover_seed: seed,
+        repl_heartbeat: Duration::from_millis(100),
+        ..ServiceConfig::default()
+    };
+    let open = |cfg: ServiceConfig| -> Result<(Arc<Service>, Server, String), String> {
+        let db = intensio_shipdb::ship_database().map_err(|e| e.to_string())?;
+        let model = intensio_shipdb::ship_model().map_err(|e| e.to_string())?;
+        let svc = Arc::new(Service::with_config(db, model, cfg).map_err(|e| e.to_string())?);
+        let server = Server::bind(svc.clone(), "127.0.0.1:0").map_err(|e| e.to_string())?;
+        let addr = server.local_addr().to_string();
+        Ok((svc, server, addr))
+    };
+
+    let (primary, pserver, paddr) = open(mk(Some(base.join("primary")), None, false, 0))?;
+    let (cand, cserver, caddr) = open(mk(
+        Some(base.join("candidate")),
+        Some(paddr.clone()),
+        true,
+        0x5eed + round as u64,
+    ))?;
+    let (follower, fserver, faddr) = open(mk(None, Some(format!("{paddr},{caddr}")), false, 0))?;
+
+    // Both replicas must be caught up before the chaos starts.
+    let catchup = Instant::now() + Duration::from_secs(30);
+    loop {
+        let pe = primary.stats().epoch;
+        if cand.stats().epoch == pe && follower.stats().epoch == pe {
+            break;
+        }
+        if Instant::now() >= catchup {
+            return Err("replicas never caught up to the primary".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let total_writes = 30usize;
+    let kill_at = total_writes / 2;
+    let targets = vec![paddr.clone(), caddr.clone()];
+    let mut acked = Vec::with_capacity(total_writes);
+    let mut primary_slot = Some((primary, pserver));
+    let mut killed_at = None;
+    let mut unavailable = None;
+    let mut watcher: Option<std::thread::JoinHandle<Option<Duration>>> = None;
+    for i in 0..total_writes {
+        if i == kill_at {
+            // Replication is async and single-copy: an acked term-0
+            // write is only guaranteed once shipped. Let the candidate
+            // hold the whole prefix before the kill so the audit can
+            // demand zero loss of every acked write.
+            let ship = Instant::now() + Duration::from_secs(30);
+            if let Some((svc, _)) = primary_slot.as_ref() {
+                let pe = svc.stats().epoch;
+                while cand.stats().epoch < pe {
+                    if Instant::now() >= ship {
+                        return Err("prefix never shipped to the candidate".to_string());
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            // The kill: stop serving mid-burst and release the WAL so
+            // the deposed primary can be restarted from its directory.
+            let (svc, server) = primary_slot.take().ok_or("primary already killed")?;
+            server.shutdown();
+            drop_service(svc);
+            let t0 = Instant::now();
+            killed_at = Some(t0);
+            let cand = cand.clone();
+            watcher = Some(std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(60);
+                while Instant::now() < deadline {
+                    if cand.stats().role == "primary" {
+                        return Some(t0.elapsed());
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                None
+            }));
+        }
+        let id = format!("TP{i:04}");
+        let acked_at = write_failover(&targets, &id)?;
+        acked.push(id);
+        if let (Some(t0), None) = (killed_at, unavailable) {
+            unavailable = Some(acked_at.duration_since(t0));
+        }
+    }
+    let promotion = watcher
+        .ok_or("kill never happened")?
+        .join()
+        .map_err(|_| "promotion watcher panicked")?
+        .ok_or("candidate never promoted within 60s")?;
+    let unavailable = unavailable.ok_or("no write acked after the kill")?;
+    let new_term = cand.stats().term;
+
+    // The deposed primary wakes up: same WAL directory, no knowledge of
+    // the failover beyond `--peers`. It boots as a primary of the old
+    // term; the fence must demote it, and the new primary's snapshot
+    // bootstrap must retract any acked-but-unshipped suffix.
+    let (deposed, dserver, daddr) = open(mk(Some(base.join("primary")), None, false, 0))?;
+    // A stale-lineage handshake observes the fence directly: any node
+    // that has durably seen the new term is rejected with STALE_TERM.
+    // Probe *before* handing it peers — once the telemetry poller can
+    // discover the new primary it may demote this node first, and a
+    // demoted node answers "I'm a follower" instead of the fence.
+    let stale_fenced = Client::connect(&daddr)
+        .ok()
+        .and_then(|mut c| c.roundtrip(&format!("REPLICATE 0 term={new_term}")).ok())
+        .is_some_and(|line| line.contains("STALE_TERM"));
+    deposed.set_peers(vec![caddr.clone()]);
+
+    // Rejoin: the deposed primary demotes (probe and telemetry poll
+    // both fence it) and both replicas converge on the new lineage.
+    let converge = Instant::now() + Duration::from_secs(60);
+    let mut deposed_rejoined = false;
+    while Instant::now() < converge {
+        let ce = cand.stats().epoch;
+        let ds = deposed.stats();
+        let fs = follower.stats();
+        if ds.role == "follower" && ds.epoch == ce && fs.epoch == ce {
+            deposed_rejoined = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Exact-set audit on every node: all acked writes present, none
+    // applied twice.
+    let mut lost = 0u64;
+    let mut duplicates = 0u64;
+    for addr in [&caddr, &daddr, &faddr] {
+        let (mut c, _) = connect_with_retry(std::slice::from_ref(addr), 0)
+            .map_err(|e| format!("audit connect {addr}: {e}"))?;
+        let line = c
+            .roundtrip("SQL SELECT Id FROM SUBMARINE")
+            .map_err(|e| format!("audit read {addr}: {e}"))?;
+        let v = json::parse(&line).map_err(|e| format!("audit reply {addr}: {e}"))?;
+        let mut counts: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for row in v.get("rows").and_then(Json::as_array).unwrap_or(&[]) {
+            if let Some(id) = row
+                .as_array()
+                .and_then(|r| r.first())
+                .and_then(Json::as_str)
+            {
+                *counts.entry(id.trim().to_string()).or_insert(0) += 1;
+            }
+        }
+        for id in &acked {
+            match counts.get(id).copied().unwrap_or(0) {
+                0 => {
+                    eprintln!("LOST: acked write {id} missing on {addr}");
+                    lost += 1;
+                }
+                1 => {}
+                n => {
+                    eprintln!("DUPLICATE: acked write {id} applied {n} times on {addr}");
+                    duplicates += 1;
+                }
+            }
+        }
+        c.quit();
+    }
+
+    dserver.shutdown();
+    cserver.shutdown();
+    fserver.shutdown();
+    drop_service(deposed);
+    drop_service(cand);
+    drop(follower);
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(FailoverRound {
+        promotion,
+        unavailable,
+        acked,
+        lost,
+        duplicates,
+        stale_fenced,
+        deposed_rejoined,
+    })
+}
+
+/// The `--topology failover` workload: `--rounds` seeded kill/promote
+/// rounds (see [`failover_round`]), with time-to-promotion and
+/// write-unavailability percentiles, a zero-loss / zero-duplicate
+/// audit, and the replication counters CI greps. This is how
+/// `BENCH_failover.json` is measured.
+fn failover_main(args: &Args) {
+    println!(
+        "serve_load failover: {} round(s), failover timeout {} ms (fsync {})",
+        args.rounds, args.failover_timeout_ms, args.fsync
+    );
+    let mut promotions_ms = Vec::with_capacity(args.rounds);
+    let mut unavailable_ms = Vec::with_capacity(args.rounds);
+    let mut acked_total = 0u64;
+    let mut lost = 0u64;
+    let mut duplicates = 0u64;
+    let mut failed = false;
+    for round in 0..args.rounds {
+        match failover_round(args, round) {
+            Ok(r) => {
+                println!(
+                    "round {round}: promoted in {} ms, writes unavailable {} ms, \
+                     {} acked, stale-term fence {}, deposed primary {}",
+                    r.promotion.as_millis(),
+                    r.unavailable.as_millis(),
+                    r.acked.len(),
+                    if r.stale_fenced { "OK" } else { "MISSING" },
+                    if r.deposed_rejoined {
+                        "demoted and converged"
+                    } else {
+                        "NEVER REJOINED"
+                    },
+                );
+                promotions_ms.push(r.promotion.as_millis() as u64);
+                unavailable_ms.push(r.unavailable.as_millis() as u64);
+                acked_total += r.acked.len() as u64;
+                lost += r.lost;
+                duplicates += r.duplicates;
+                if !r.stale_fenced || !r.deposed_rejoined {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: round {round}: {e}");
+                failed = true;
+            }
+        }
+    }
+    promotions_ms.sort_unstable();
+    unavailable_ms.sort_unstable();
+    println!(
+        "failover timing: rounds={} timeout_ms={} promotion_p50_ms={} promotion_p95_ms={} \
+         unavailability_p50_ms={} unavailability_p95_ms={}",
+        promotions_ms.len(),
+        args.failover_timeout_ms,
+        percentile(&promotions_ms, 0.50),
+        percentile(&promotions_ms, 0.95),
+        percentile(&unavailable_ms, 0.50),
+        percentile(&unavailable_ms, 0.95),
+    );
+    println!(
+        "failover audit: acked={acked_total} present={} lost={lost} duplicates={duplicates}",
+        acked_total - lost,
+    );
+    // Process-global counters, so these totals span every round.
+    let counters = intensio_obs::metrics().snapshot().counters;
+    let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
+    println!(
+        "counters: repl.promotions={} repl.demotions={} repl.stale_term_rejections={} \
+         repl.lineage_bootstraps={} repl.promotion_failures={}",
+        counter("repl.promotions"),
+        counter("repl.demotions"),
+        counter("repl.stale_term_rejections"),
+        counter("repl.lineage_bootstraps"),
+        counter("repl.promotion_failures"),
+    );
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(
+        promotions_ms.len() == args.rounds,
+        "every round must complete",
+    );
+    check(lost == 0, "zero lost acked writes across all rounds");
+    check(
+        duplicates == 0,
+        "zero duplicate applications across all rounds",
+    );
+    check(
+        counter("repl.promotions") >= args.rounds as u64,
+        "every round must record a promotion",
+    );
+    check(
+        counter("repl.stale_term_rejections") >= args.rounds as u64,
+        "every round must fence the deposed primary",
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
 fn main() {
     let args = parse_args();
     intensio_obs::set_enabled(args.obs);
@@ -680,8 +1094,10 @@ fn main() {
             args.trace_sample
         );
     }
-    if args.topology {
-        return topology_main(&args);
+    match args.topology {
+        Some(Topology::OnePrimaryTwoFollowers) => return topology_main(&args),
+        Some(Topology::Failover) => return failover_main(&args),
+        None => {}
     }
     let db = intensio_shipdb::ship_database().expect("ship database");
     let model = intensio_shipdb::ship_model().expect("ship model");

@@ -37,7 +37,7 @@ pub mod snapshot;
 pub mod wire;
 
 pub use hub::ReplHub;
-pub use wire::StreamMsg;
+pub use wire::{StreamMsg, STALE_TERM};
 
 use std::fmt;
 

@@ -1,18 +1,28 @@
 //! The replication stream's wire format.
 //!
 //! A follower sends the ordinary protocol line `REPLICATE <from_epoch>`
-//! and the connection switches from request/response into a one-way
-//! stream of `#repl`-prefixed lines:
+//! (optionally `REPLICATE <from_epoch> term=<t>` to declare the highest
+//! term it has durably observed) and the connection switches from
+//! request/response into a one-way stream of `#repl`-prefixed lines:
 //!
 //! ```text
-//! #repl ok 42                          handshake: primary is at epoch 42
-//! #repl snapshot 42 17 <db-hex> <rules-hex|->   full-state bootstrap
-//! #repl record write 43 18 <body-hex>  one shipped WAL record
-//! #repl record rules 44 18 <body-hex>
-//! #repl record write 45 19 <body-hex> <trace:016x>:<span:016x>
-//! #repl heartbeat 44                   idle keepalive with primary epoch
+//! #repl ok 42 3                        handshake: primary at epoch 42, term 3
+//! #repl snapshot 42 17 3 <db-hex> <rules-hex|->   full-state bootstrap
+//! #repl record write 3 43 18 <body-hex>   one shipped WAL record
+//! #repl record rules 3 44 18 <body-hex>
+//! #repl record term 4 45 18               a promotion fencepost (empty body)
+//! #repl record write 4 46 19 <body-hex> <trace:016x>:<span:016x>
+//! #repl heartbeat 44 3                 idle keepalive: primary epoch + term
 //! #repl error <message>                stream is over; reconnect
 //! ```
+//!
+//! Every frame that describes primary state carries the primary's
+//! **term** — the monotonic failover counter (see `intensio_wal`'s
+//! record format). A follower that has durably observed term `t`
+//! rejects any stream whose frames carry a lower term: that stream
+//! comes from a deposed primary that has not yet noticed its own
+//! demotion. The rejection travels as an `error` frame whose message
+//! starts with `STALE_TERM`.
 //!
 //! A record line may carry one optional trailing token: the trace
 //! context of the primary-side commit (`<trace id>:<commit span id>`,
@@ -31,13 +41,20 @@
 use crate::ReplError;
 use intensio_wal::{Record, RecordKind};
 
+/// The message prefix an `error` frame uses to tell a peer its term is
+/// stale. Receivers match on this prefix to distinguish fencing (which
+/// demands demotion or target rotation) from ordinary stream teardown.
+pub const STALE_TERM: &str = "STALE_TERM";
+
 /// One line of the replication stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamMsg {
-    /// Handshake: the stream is live; the primary's committed epoch.
+    /// Handshake: the stream is live; the primary's committed position.
     Ok {
         /// The primary's committed epoch at stream start.
         epoch: u64,
+        /// The primary's current term.
+        term: u64,
     },
     /// Full-state bootstrap: the primary's pinned snapshot.
     Snapshot {
@@ -45,13 +62,17 @@ pub enum StreamMsg {
         epoch: u64,
         /// Data version of the shipped state.
         data_version: u64,
+        /// Term under which the shipped state was committed.
+        term: u64,
         /// The database, encoded by [`crate::snapshot::db_to_bytes`].
         db: Vec<u8>,
         /// The installed rule set in its WAL record encoding
         /// (`intensio_wal::rules_codec`), when one was installed.
         rules: Option<Vec<u8>>,
     },
-    /// One shipped WAL record (a QUEL write or a rule-set install).
+    /// One shipped WAL record (a QUEL write, a rule-set install, or a
+    /// term-bump fencepost). The record's own `term` field is on the
+    /// wire, so fencing survives history replay.
     Record {
         /// The shipped record.
         rec: Record,
@@ -60,13 +81,17 @@ pub enum StreamMsg {
         /// span on it.
         trace: Option<(u64, u64)>,
     },
-    /// Idle keepalive carrying the primary's current committed epoch,
-    /// so followers track lag even between writes.
+    /// Idle keepalive carrying the primary's current committed epoch
+    /// and term, so followers track lag (and fence) between writes.
     Heartbeat {
         /// The primary's committed epoch.
         epoch: u64,
+        /// The primary's current term.
+        term: u64,
     },
-    /// The stream is over; the follower should reconnect.
+    /// The stream is over; the follower should reconnect. A message
+    /// starting with [`STALE_TERM`] means the receiver's lineage lost a
+    /// failover and it must not retry the same target unchanged.
     Error(String),
 }
 
@@ -104,10 +129,11 @@ impl StreamMsg {
     /// Render the message as one protocol line (no trailing newline).
     pub fn encode(&self) -> String {
         match self {
-            StreamMsg::Ok { epoch } => format!("{PREFIX}ok {epoch}"),
+            StreamMsg::Ok { epoch, term } => format!("{PREFIX}ok {epoch} {term}"),
             StreamMsg::Snapshot {
                 epoch,
                 data_version,
+                term,
                 db,
                 rules,
             } => {
@@ -116,14 +142,15 @@ impl StreamMsg {
                     None => "-".to_string(),
                 };
                 format!(
-                    "{PREFIX}snapshot {epoch} {data_version} {} {rules}",
+                    "{PREFIX}snapshot {epoch} {data_version} {term} {} {rules}",
                     hex_encode(db)
                 )
             }
             StreamMsg::Record { rec, trace } => {
                 let mut line = format!(
-                    "{PREFIX}record {} {} {} {}",
+                    "{PREFIX}record {} {} {} {} {}",
                     rec.kind.name(),
+                    rec.term,
                     rec.epoch,
                     rec.data_version,
                     hex_encode(&rec.body)
@@ -136,7 +163,7 @@ impl StreamMsg {
                 }
                 line
             }
-            StreamMsg::Heartbeat { epoch } => format!("{PREFIX}heartbeat {epoch}"),
+            StreamMsg::Heartbeat { epoch, term } => format!("{PREFIX}heartbeat {epoch} {term}"),
             StreamMsg::Error(msg) => {
                 format!("{PREFIX}error {}", msg.replace(['\n', '\r'], " "))
             }
@@ -154,9 +181,24 @@ impl StreamMsg {
             s.parse()
                 .map_err(|_| ReplError(format!("bad integer {s:?} in {verb} line")))
         };
+        let two_ints = |args: &str| -> Result<(u64, u64), ReplError> {
+            let (a, b) = args
+                .split_once(' ')
+                .ok_or_else(|| ReplError(format!("{verb} line missing term field")))?;
+            if b.contains(' ') {
+                return Err(ReplError(format!("trailing fields on {verb} line")));
+            }
+            Ok((int(a)?, int(b)?))
+        };
         match verb {
-            "ok" => Ok(StreamMsg::Ok { epoch: int(args)? }),
-            "heartbeat" => Ok(StreamMsg::Heartbeat { epoch: int(args)? }),
+            "ok" => {
+                let (epoch, term) = two_ints(args)?;
+                Ok(StreamMsg::Ok { epoch, term })
+            }
+            "heartbeat" => {
+                let (epoch, term) = two_ints(args)?;
+                Ok(StreamMsg::Heartbeat { epoch, term })
+            }
             "error" => Ok(StreamMsg::Error(args.to_string())),
             "snapshot" => {
                 let mut it = args.split(' ');
@@ -166,14 +208,19 @@ impl StreamMsg {
                 };
                 let epoch = int(next()?)?;
                 let data_version = int(next()?)?;
+                let term = int(next()?)?;
                 let db = hex_decode(next()?)?;
                 let rules = match next()? {
                     "-" => None,
                     hex => Some(hex_decode(hex)?),
                 };
+                if it.next().is_some() {
+                    return Err(ReplError("trailing fields on snapshot line".to_string()));
+                }
                 Ok(StreamMsg::Snapshot {
                     epoch,
                     data_version,
+                    term,
                     db,
                     rules,
                 })
@@ -187,8 +234,10 @@ impl StreamMsg {
                 let kind = match next()? {
                     "write" => RecordKind::Write,
                     "rules" => RecordKind::Rules,
+                    "term" => RecordKind::Term,
                     other => return Err(ReplError(format!("unknown record kind {other:?}"))),
                 };
+                let term = int(next()?)?;
                 let epoch = int(next()?)?;
                 let data_version = int(next()?)?;
                 let body = hex_decode(next()?)?;
@@ -202,6 +251,7 @@ impl StreamMsg {
                 Ok(StreamMsg::Record {
                     rec: Record {
                         kind,
+                        term,
                         epoch,
                         data_version,
                         body,
@@ -216,6 +266,12 @@ impl StreamMsg {
     /// Whether a protocol line belongs to a replication stream.
     pub fn is_stream_line(line: &str) -> bool {
         line.starts_with(PREFIX)
+    }
+
+    /// Whether the message is a fencing rejection (an `error` frame
+    /// whose message starts with [`STALE_TERM`]).
+    pub fn is_stale_term(&self) -> bool {
+        matches!(self, StreamMsg::Error(msg) if msg.starts_with(STALE_TERM))
     }
 }
 
@@ -241,16 +297,18 @@ mod tests {
     #[test]
     fn every_variant_round_trips() {
         let msgs = [
-            StreamMsg::Ok { epoch: 42 },
+            StreamMsg::Ok { epoch: 42, term: 3 },
             StreamMsg::Snapshot {
                 epoch: 7,
                 data_version: 3,
+                term: 2,
                 db: b"%intensio-db v1\n".to_vec(),
                 rules: Some(vec![0, 1, 254, 255]),
             },
             StreamMsg::Snapshot {
                 epoch: 0,
                 data_version: 0,
+                term: 0,
                 db: Vec::new(),
                 rules: None,
             },
@@ -259,14 +317,18 @@ mod tests {
                 trace: None,
             },
             StreamMsg::Record {
-                rec: Record::rules(10, 4, vec![7; 33]),
+                rec: Record::rules(10, 4, vec![7; 33]).with_term(1),
                 trace: None,
             },
             StreamMsg::Record {
-                rec: Record::write(11, 5, "append to R (Id = \"y\")"),
+                rec: Record::term_bump(2, 11, 4),
+                trace: None,
+            },
+            StreamMsg::Record {
+                rec: Record::write(12, 5, "append to R (Id = \"y\")").with_term(2),
                 trace: Some((0xdead_beef_cafe_f00d, 0x0000_0000_0000_002a)),
             },
-            StreamMsg::Heartbeat { epoch: 11 },
+            StreamMsg::Heartbeat { epoch: 11, term: 2 },
             StreamMsg::Error("primary shutting down".to_string()),
         ];
         for msg in msgs {
@@ -285,15 +347,21 @@ mod tests {
             "#repl",
             "#repl bogus 1",
             "#repl ok",
-            "#repl ok notanumber",
+            "#repl ok 1",
+            "#repl ok notanumber 2",
+            "#repl ok 1 2 3",
+            "#repl heartbeat 4",
             "#repl record write 1",
-            "#repl record write 1 2 xyz",
-            "#repl record mystery 1 2 00",
-            "#repl record write 1 2 00 nottrace",
-            "#repl record write 1 2 00 0000000000000000:0000000000000001",
-            "#repl record write 1 2 00 0000000000000001:0000000000000002 extra",
+            "#repl record write 1 2 3",
+            "#repl record write 0 1 2 xyz",
+            "#repl record mystery 0 1 2 00",
+            "#repl record write 0 1 2 00 nottrace",
+            "#repl record write 0 1 2 00 0000000000000000:0000000000000001",
+            "#repl record write 0 1 2 00 0000000000000001:0000000000000002 extra",
             "#repl snapshot 1 2",
-            "#repl snapshot 1 2 0g -",
+            "#repl snapshot 1 2 3",
+            "#repl snapshot 1 2 3 0g -",
+            "#repl snapshot 1 2 3 00 - extra",
         ] {
             assert!(StreamMsg::parse(bad).is_err(), "{bad:?} must not parse");
         }
@@ -308,5 +376,124 @@ mod tests {
             StreamMsg::parse(&line).unwrap(),
             StreamMsg::Error("two lines".to_string())
         );
+    }
+
+    #[test]
+    fn stale_term_errors_are_recognized() {
+        let msg = StreamMsg::Error(format!("{STALE_TERM}: stream term 1 below follower term 2"));
+        assert!(msg.is_stale_term());
+        assert!(StreamMsg::parse(&msg.encode()).unwrap().is_stale_term());
+        assert!(!StreamMsg::Error("primary shutting down".into()).is_stale_term());
+        assert!(!StreamMsg::Heartbeat { epoch: 1, term: 1 }.is_stale_term());
+    }
+
+    /// xorshift64: deterministic pseudo-random stream for the property
+    /// tests below — no external crates, seed-reproducible.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn random_msg(rng: &mut Rng) -> StreamMsg {
+        let body = |rng: &mut Rng| -> Vec<u8> {
+            let len = (rng.next() % 64) as usize;
+            (0..len).map(|_| (rng.next() & 0xff) as u8).collect()
+        };
+        match rng.next() % 5 {
+            0 => StreamMsg::Ok {
+                epoch: rng.next(),
+                term: rng.next(),
+            },
+            1 => StreamMsg::Heartbeat {
+                epoch: rng.next(),
+                term: rng.next(),
+            },
+            2 => StreamMsg::Snapshot {
+                epoch: rng.next(),
+                data_version: rng.next(),
+                term: rng.next(),
+                db: body(rng),
+                rules: if rng.next().is_multiple_of(2) {
+                    Some(body(rng))
+                } else {
+                    None
+                },
+            },
+            3 => {
+                let kind = match rng.next() % 3 {
+                    0 => RecordKind::Write,
+                    1 => RecordKind::Rules,
+                    _ => RecordKind::Term,
+                };
+                let trace = if rng.next().is_multiple_of(2) {
+                    Some((rng.next() | 1, rng.next()))
+                } else {
+                    None
+                };
+                StreamMsg::Record {
+                    rec: Record {
+                        kind,
+                        term: rng.next(),
+                        epoch: rng.next(),
+                        data_version: rng.next(),
+                        body: body(rng),
+                    },
+                    trace,
+                }
+            }
+            _ => {
+                let len = 1 + (rng.next() % 40) as usize;
+                let msg: String = (0..len)
+                    .map(|_| (b'a' + (rng.next() % 26) as u8) as char)
+                    .collect();
+                StreamMsg::Error(msg)
+            }
+        }
+    }
+
+    #[test]
+    fn property_random_frames_round_trip() {
+        let mut rng = Rng(0x5eed_f011_0b5e_55ed);
+        for i in 0..500 {
+            let msg = random_msg(&mut rng);
+            let line = msg.encode();
+            let back = StreamMsg::parse(&line)
+                .unwrap_or_else(|e| panic!("round {i}: {line:?} failed to parse: {e:?}"));
+            assert_eq!(back, msg, "round {i}: {line:?} round-tripped wrong");
+        }
+    }
+
+    #[test]
+    fn property_mutated_frames_never_misread() {
+        // Deleting any single token from an encoded frame must yield a
+        // parse error or a *different* message — never the original
+        // (i.e. no field is silently defaulted).
+        let mut rng = Rng(0xdefa_ced5_7a1e_7e12);
+        for _ in 0..200 {
+            let msg = random_msg(&mut rng);
+            let line = msg.encode();
+            let tokens: Vec<&str> = line.split(' ').collect();
+            // Skip the "#repl" prefix and verb; removing those makes a
+            // trivially-not-a-stream-line string.
+            for drop_at in 2..tokens.len() {
+                let mut kept: Vec<&str> = tokens.clone();
+                kept.remove(drop_at);
+                let mutated = kept.join(" ");
+                if let Ok(back) = StreamMsg::parse(&mutated) {
+                    assert_ne!(
+                        back, msg,
+                        "dropping token {drop_at} from {line:?} still read as the original"
+                    );
+                }
+            }
+        }
     }
 }

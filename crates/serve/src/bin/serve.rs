@@ -8,7 +8,9 @@
 //!       [--trace-dir PATH] [--trace-sample F]
 //!       [--data-dir PATH] [--fsync always|batch:N|off]
 //!       [--checkpoint-every N] [--wal-segment-bytes N]
-//!       [--replicate-from HOST:PORT] [--peers HOST:PORT,..]
+//!       [--replicate-from HOST:PORT[,HOST:PORT..]] [--peers HOST:PORT,..]
+//!       [--candidate] [--failover-timeout-ms N] [--failover-seed N]
+//!       [--repl-heartbeat-ms N]
 //! ```
 //!
 //! Observability: `--verbose` logs every completed span to stderr,
@@ -55,7 +57,20 @@
 //! same static-analysis check a primary uses, and rejects mutating
 //! requests with a `READONLY` error naming the primary. Combine with
 //! `--data-dir` for a durable follower that recovers locally and
-//! rejoins from its recovered epoch.
+//! rejoins from its recovered epoch. `--replicate-from` accepts a
+//! comma-separated rotation of upstream addresses, tried in order.
+//!
+//! Failover: `--candidate` makes a follower monitor the replication
+//! stream's heartbeats and, when none arrives for the failover
+//! deadline (`--failover-timeout-ms`, default 1000, plus a jitter
+//! seeded by `--failover-seed` so dueling candidates tie-break
+//! deterministically), promote itself to primary: it bumps the
+//! monotonic **term**, fsyncs a `TERM` fencepost record into its WAL
+//! before accepting any write, and announces the new term on its
+//! `REPLICATE` streams. A deposed primary that wakes up is rejected
+//! with a `STALE_TERM` wire error and demotes itself to follower of
+//! the new primary. `--repl-heartbeat-ms` sets the primary's idle
+//! heartbeat cadence (default 500).
 //!
 //! Talk to it with `examples/shell.rs --connect HOST:PORT`, or any
 //! line client:
@@ -75,7 +90,9 @@ fn usage() -> ! {
          \x20            [--trace-dir PATH] [--trace-sample F]\n\
          \x20            [--data-dir PATH] [--fsync always|batch:N|off]\n\
          \x20            [--checkpoint-every N] [--wal-segment-bytes N]\n\
-         \x20            [--replicate-from HOST:PORT] [--peers HOST:PORT,..]"
+         \x20            [--replicate-from HOST:PORT[,HOST:PORT..]] [--peers HOST:PORT,..]\n\
+         \x20            [--candidate] [--failover-timeout-ms N] [--failover-seed N]\n\
+         \x20            [--repl-heartbeat-ms N]"
     );
     std::process::exit(2);
 }
@@ -172,6 +189,29 @@ fn main() {
             "--replicate-from" => {
                 cfg.replicate_from = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--candidate" => cfg.candidate = true,
+            "--failover-timeout-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage());
+                cfg.failover_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--failover-seed" => {
+                cfg.failover_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--repl-heartbeat-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage());
+                cfg.repl_heartbeat = std::time::Duration::from_millis(ms);
+            }
             "--peers" => {
                 peers = args
                     .next()
@@ -214,6 +254,18 @@ fn main() {
         }
     }
 
+    // Distinct candidates must jitter differently or a dueling
+    // promotion never tie-breaks: an unset (or zero) seed derives one
+    // from the listen address (FNV-1a), which is unique per node.
+    if cfg.failover_seed == 0 {
+        cfg.failover_seed = addr
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            })
+            .max(1);
+    }
+
     if let Some(dir) = &trace_dir {
         match intensio_obs::set_trace_sink(dir, trace_sample) {
             Ok(path) => println!(
@@ -232,6 +284,8 @@ fn main() {
     let workers = cfg.workers;
     let durable = cfg.data_dir.clone().map(|dir| (dir, cfg.wal.fsync));
     let follower_of = cfg.replicate_from.clone();
+    let candidate = cfg.candidate;
+    let failover_timeout = cfg.failover_timeout;
     let service = match Service::with_config(db, model, cfg) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -258,7 +312,15 @@ fn main() {
         );
     }
     if let Some(primary) = follower_of {
-        println!("intensio-serve follower: replicating from {primary} (reads only)");
+        if candidate {
+            println!(
+                "intensio-serve candidate: replicating from {primary} (reads only; \
+                 promotes after {}ms of heartbeat loss)",
+                failover_timeout.as_millis()
+            );
+        } else {
+            println!("intensio-serve follower: replicating from {primary} (reads only)");
+        }
     }
     println!(
         "intensio-serve listening on {} ({} workers); protocol: SQL <q> | QUEL <script> | EXPLAIN <q> | CHECK [q] | STATS | QUIT",

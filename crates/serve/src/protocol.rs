@@ -62,8 +62,11 @@ pub enum WireRequest {
     /// (read-your-writes on a follower), via [`crate::Service::submit_at`].
     ExecuteAt(Request, u64),
     /// Switch the connection into a replication stream from the given
-    /// epoch, via [`crate::Service::replicate`].
-    Replicate(u64),
+    /// epoch, via [`crate::Service::replicate`]. The second field is
+    /// the follower's highest durably observed primary term
+    /// (`REPLICATE <from-epoch> [term=<t>]`; a missing suffix means
+    /// term 0, for pre-failover clients).
+    Replicate(u64, u64),
     /// Close the connection.
     Quit,
 }
@@ -107,10 +110,24 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         "TELEMETRY" => Ok(WireRequest::Execute(Request::Telemetry)),
         "FAULT" => Ok(WireRequest::Execute(Request::Fault(rest.to_string()))),
         "CHECK" => Ok(WireRequest::Execute(Request::Check(unescape_script(rest)))),
-        "REPLICATE" => rest
-            .parse::<u64>()
-            .map(WireRequest::Replicate)
-            .map_err(|_| format!("REPLICATE requires a from-epoch argument, got {rest:?}")),
+        "REPLICATE" => {
+            let (from, term) = match rest.split_once(char::is_whitespace) {
+                Some((from, suffix)) => {
+                    let term = suffix
+                        .trim()
+                        .strip_prefix("term=")
+                        .and_then(|t| t.parse::<u64>().ok())
+                        .ok_or_else(|| {
+                            format!("bad REPLICATE suffix {suffix:?}; expected term=<n>")
+                        })?;
+                    (from, term)
+                }
+                None => (rest, 0),
+            };
+            from.parse::<u64>()
+                .map(|from| WireRequest::Replicate(from, term))
+                .map_err(|_| format!("REPLICATE requires a from-epoch argument, got {rest:?}"))
+        }
         "QUIT" => Ok(WireRequest::Quit),
         "" => Err(
             "empty request; expected SQL, QUEL, EXPLAIN, PROFILE, CHECK, STATS, TELEMETRY, FAULT, REPLICATE, or QUIT"
@@ -308,7 +325,8 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("rulesets_rejected", s.rulesets_rejected)
                 .num("degraded_answers", s.degraded_answers)
                 .num("workers", s.workers)
-                .str("role", &s.role);
+                .str("role", &s.role)
+                .num("term", s.term);
             match &s.repl {
                 Some(r) => {
                     let mut rw = ObjWriter::new();
@@ -317,7 +335,12 @@ pub fn encode_reply(reply: &Reply) -> String {
                         .num("primary_epoch", r.primary_epoch)
                         .num("lag_epochs", r.lag_epochs)
                         .num("records_applied", r.records_applied)
-                        .num("reconnects", r.reconnects);
+                        .num("reconnects", r.reconnects)
+                        .num("stale_term_rejections", r.stale_term_rejections);
+                    match r.heartbeat_age_ms {
+                        Some(age) => rw.num("heartbeat_age_ms", age),
+                        None => rw.raw("heartbeat_age_ms", "null"),
+                    };
                     w.raw("repl", &rw.finish())
                 }
                 None => w.raw("repl", "null"),
@@ -349,6 +372,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                     .bool("ok", p.ok)
                     .str("role", &p.role)
                     .num("epoch", p.epoch)
+                    .num("term", p.term)
                     .num("lag_epochs", p.lag_epochs)
                     .num("records_applied", p.records_applied)
                     .num("apply_rate", p.apply_rate)
@@ -378,6 +402,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .str("kind", "telemetry")
                 .str("role", &t.role)
                 .num("epoch", t.epoch)
+                .num("term", t.term)
                 .bool("rules_fresh", t.rules_fresh)
                 .bool("connected", t.connected)
                 .num("lag_epochs", t.lag_epochs)
@@ -554,9 +579,18 @@ mod tests {
         );
         assert_eq!(
             parse_request("REPLICATE 42"),
-            Ok(WireRequest::Replicate(42))
+            Ok(WireRequest::Replicate(42, 0))
         );
-        assert_eq!(parse_request("replicate 0"), Ok(WireRequest::Replicate(0)));
+        assert_eq!(
+            parse_request("replicate 0"),
+            Ok(WireRequest::Replicate(0, 0))
+        );
+        assert_eq!(
+            parse_request("REPLICATE 42 term=3"),
+            Ok(WireRequest::Replicate(42, 3))
+        );
+        assert!(parse_request("REPLICATE 42 term=").is_err());
+        assert!(parse_request("REPLICATE 42 epoch=3").is_err());
         assert!(parse_request("SQL@ SELECT 1 FROM T").is_err());
         assert!(parse_request("SQL@x SELECT 1 FROM T").is_err());
         assert!(parse_request("STATS@3").is_err());
@@ -687,6 +721,7 @@ mod tests {
         let line = encode_reply(&Reply::Telemetry(Box::new(TelemetryReply {
             role: "follower".to_string(),
             epoch: 9,
+            term: 2,
             rules_fresh: true,
             connected: true,
             lag_epochs: 1,
@@ -702,6 +737,7 @@ mod tests {
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("telemetry"));
         assert_eq!(v.get("role").unwrap().as_str(), Some("follower"));
+        assert_eq!(v.get("term").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("lag_epochs").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("records_applied").unwrap().as_u64(), Some(42));
         assert_eq!(v.get("repl_apply_p99_us").unwrap().as_u64(), Some(450));
@@ -738,6 +774,7 @@ mod tests {
             degraded_answers: 2,
             workers: 4,
             role: "follower".to_string(),
+            term: 6,
             repl: Some(crate::service::ReplStats {
                 primary: "127.0.0.1:4050".to_string(),
                 connected: true,
@@ -745,6 +782,8 @@ mod tests {
                 lag_epochs: 2,
                 records_applied: 3,
                 reconnects: 1,
+                heartbeat_age_ms: Some(120),
+                stale_term_rejections: 1,
             }),
             durability: Some(crate::service::DurabilityStats {
                 fsync: "batch:8".to_string(),
@@ -764,6 +803,7 @@ mod tests {
                 ok: true,
                 role: "follower".to_string(),
                 epoch: 3,
+                term: 6,
                 lag_epochs: 0,
                 records_applied: 9,
                 apply_rate: 4,
@@ -787,6 +827,7 @@ mod tests {
         assert_eq!(v.get("induction_retries").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("degraded_answers").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("role").unwrap().as_str(), Some("follower"));
+        assert_eq!(v.get("term").unwrap().as_u64(), Some(6));
         let repl = v.get("repl").expect("stats reply embeds repl");
         assert_eq!(
             repl.get("primary").unwrap().as_str(),
@@ -796,6 +837,8 @@ mod tests {
         assert_eq!(repl.get("lag_epochs").unwrap().as_u64(), Some(2));
         assert_eq!(repl.get("records_applied").unwrap().as_u64(), Some(3));
         assert_eq!(repl.get("reconnects").unwrap().as_u64(), Some(1));
+        assert_eq!(repl.get("heartbeat_age_ms").unwrap().as_u64(), Some(120));
+        assert_eq!(repl.get("stale_term_rejections").unwrap().as_u64(), Some(1));
         let cluster = v.get("cluster").unwrap().as_array().unwrap();
         assert_eq!(cluster.len(), 1);
         assert_eq!(
@@ -803,6 +846,7 @@ mod tests {
             Some("127.0.0.1:4061")
         );
         assert_eq!(cluster[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(cluster[0].get("term").unwrap().as_u64(), Some(6));
         assert_eq!(cluster[0].get("apply_rate").unwrap().as_u64(), Some(4));
         let metrics = v.get("metrics").expect("stats reply embeds metrics");
         let counters = metrics.get("counters").unwrap();

@@ -170,11 +170,11 @@ fn handle_connection(
                             ctx,
                         )
                     }
-                    Ok(WireRequest::Replicate(from)) => {
+                    Ok(WireRequest::Replicate(from, peer_term)) => {
                         // The connection stops being request/response and
                         // becomes a one-way record stream until the
                         // follower disconnects or the server stops.
-                        return service.replicate(from, &mut writer, stop);
+                        return service.replicate(from, peer_term, &mut writer, stop);
                     }
                     Err(message) => encode_protocol_error(&message),
                 };

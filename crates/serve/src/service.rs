@@ -119,15 +119,34 @@ pub struct ServiceConfig {
     /// WAL tuning (fsync policy, segment size, checkpoint cadence);
     /// only consulted when [`ServiceConfig::data_dir`] is set.
     pub wal: WalConfig,
-    /// Primary address (`HOST:PORT`) to replicate from. When set, this
-    /// node boots as a read-only **follower**: it bootstraps over the
-    /// wire (log tail or full snapshot), tails the primary's committed
-    /// records, and re-gates every shipped rule set through the same
-    /// static-analysis check a local install would pass. Mutating
-    /// requests are refused with a `READONLY` error, and the node never
-    /// runs its own induction — shipping the *induced* rules is what
-    /// keeps intensional answers identical cluster-wide.
+    /// Primary address(es) (`HOST:PORT[,HOST:PORT...]`) to replicate
+    /// from, tried in order. When set, this node boots as a read-only
+    /// **follower**: it bootstraps over the wire (log tail or full
+    /// snapshot), tails the primary's committed records, and re-gates
+    /// every shipped rule set through the same static-analysis check a
+    /// local install would pass. Mutating requests are refused with a
+    /// `READONLY` error, and the node never runs its own induction —
+    /// shipping the *induced* rules is what keeps intensional answers
+    /// identical cluster-wide.
     pub replicate_from: Option<String>,
+    /// Boot as a failover **candidate**: a follower that monitors the
+    /// replication stream's heartbeats and, on loss past
+    /// [`ServiceConfig::failover_timeout`] (plus seeded jitter),
+    /// promotes itself to primary — bumping the term, fsyncing a
+    /// `TERM` record, and fencing the deposed primary's lineage.
+    pub candidate: bool,
+    /// Heartbeat-loss budget before a candidate starts promotion. The
+    /// effective deadline is `timeout/2 + jitter`, with jitter drawn
+    /// seeded from `[timeout/2, timeout)` — i.e. in
+    /// `[timeout, 1.5*timeout)` — so dueling candidates with equal
+    /// timeouts break the tie deterministically by seed.
+    pub failover_timeout: std::time::Duration,
+    /// Seed for the promotion jitter (and reconnect backoff). Give each
+    /// candidate a distinct seed; 0 is a valid seed.
+    pub failover_seed: u64,
+    /// Cadence of `#repl heartbeat` frames on idle primary streams, and
+    /// the follower's staleness baseline.
+    pub repl_heartbeat: std::time::Duration,
 }
 
 impl Default for ServiceConfig {
@@ -151,6 +170,49 @@ impl Default for ServiceConfig {
             data_dir: None,
             wal: WalConfig::default(),
             replicate_from: None,
+            candidate: false,
+            failover_timeout: std::time::Duration::from_millis(1000),
+            failover_seed: 0,
+            repl_heartbeat: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
+/// Replication roles, stored in [`Shared::role`] as a `usize` so role
+/// transitions (promotion, demotion) are a single atomic store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes, runs induction, serves `REPLICATE` streams.
+    Primary,
+    /// Read-only; tails a primary's stream.
+    Follower,
+    /// A follower that promotes itself on heartbeat loss.
+    Candidate,
+}
+
+impl Role {
+    fn from_usize(v: usize) -> Role {
+        match v {
+            0 => Role::Primary,
+            2 => Role::Candidate,
+            _ => Role::Follower,
+        }
+    }
+
+    fn as_usize(self) -> usize {
+        match self {
+            Role::Primary => 0,
+            Role::Follower => 1,
+            Role::Candidate => 2,
+        }
+    }
+
+    /// Wire name, as reported by `STATS` and `TELEMETRY`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+            Role::Candidate => "candidate",
         }
     }
 }
@@ -345,8 +407,12 @@ pub struct StatsReply {
     pub workers: u64,
     /// Durability counters; `None` when the service runs in-memory.
     pub durability: Option<DurabilityStats>,
-    /// This node's replication role: `"primary"` or `"follower"`.
+    /// This node's replication role: `"primary"`, `"follower"`, or
+    /// `"candidate"`.
     pub role: String,
+    /// The primary term this node's knowledge state was committed
+    /// under. Bumped by failover promotions; fences deposed lineages.
+    pub term: u64,
     /// Follower-side replication counters; `None` on a primary.
     pub repl: Option<ReplStats>,
     /// Full metrics snapshot: pipeline-stage latency histograms
@@ -394,10 +460,14 @@ pub struct ProfileReply {
 /// One node's self-reported telemetry sample (the `TELEMETRY` verb).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetryReply {
-    /// `"primary"` or `"follower"`.
+    /// `"primary"`, `"follower"`, or `"candidate"`.
     pub role: String,
     /// Current knowledge epoch.
     pub epoch: u64,
+    /// The primary term of this node's knowledge state. Pollers compare
+    /// it against their own: a primary that sees a peer at a higher
+    /// term has been deposed and demotes itself.
+    pub term: u64,
     /// Whether current rules match the current data.
     pub rules_fresh: bool,
     /// Whether the replication stream is established (always true on a
@@ -436,6 +506,8 @@ pub struct PeerTelemetry {
     pub role: String,
     /// The peer's knowledge epoch.
     pub epoch: u64,
+    /// The peer's primary term.
+    pub term: u64,
     /// Epochs the peer trails its primary.
     pub lag_epochs: u64,
     /// Shipped records the peer has applied since boot.
@@ -468,6 +540,12 @@ pub struct ReplStats {
     pub records_applied: u64,
     /// Stream reconnects since boot (lost or unreachable primary).
     pub reconnects: u64,
+    /// Milliseconds since the last frame arrived on the replication
+    /// stream; `None` when no frame has ever arrived.
+    pub heartbeat_age_ms: Option<u64>,
+    /// Streams and snapshots this node rejected because they carried a
+    /// term below its own (a deposed primary's lineage).
+    pub stale_term_rejections: u64,
 }
 
 /// Durable-mode counters: the WAL's lifetime stats plus what boot
@@ -641,8 +719,16 @@ struct Shared {
     /// committed record here (after install, still under `write_lock`,
     /// so streams observe strict epoch order).
     repl_hub: ReplHub,
-    /// Follower-side replication state; `None` on a primary.
-    repl: Option<ReplState>,
+    /// This node's replication role (see [`Role`]); transitions are a
+    /// single atomic store (promotion, demotion).
+    role: AtomicUsize,
+    /// Mirror of the installed snapshot's term, kept current by
+    /// [`Shared::install`] and raised eagerly when a higher term is
+    /// observed on the wire. Monotonic.
+    term: AtomicU64,
+    /// Replication state: always present so a deposed primary can
+    /// demote into a follower and tail its successor.
+    repl: ReplState,
     /// Peer addresses the cluster-telemetry poller samples
     /// ([`Service::set_peers`]); empty until configured.
     peers: RwLock<Vec<String>>,
@@ -650,11 +736,19 @@ struct Shared {
     cluster: Mutex<Vec<PeerTelemetry>>,
 }
 
-/// Follower-side replication state, updated by the replicator thread
-/// and read by `STATS`.
+/// Replication state, updated by the replicator thread and read by
+/// `STATS`. Present on every node: a primary's copy idles until a
+/// demotion turns the node into a follower.
 struct ReplState {
-    /// The primary address this follower tails.
-    primary: String,
+    /// Upstream addresses to try, in rotation. Seeded from
+    /// [`ServiceConfig::replicate_from`]; a demotion discovered through
+    /// the telemetry poller prepends the new primary here.
+    targets: Mutex<Vec<String>>,
+    /// Index of the target the replicator tries next.
+    target_idx: AtomicUsize,
+    /// The address of the stream's current (or last) upstream, for
+    /// `STATS` and `REDIRECT`s. Empty when never connected.
+    primary: Mutex<String>,
     /// Highest committed epoch the primary has reported.
     primary_epoch: AtomicU64,
     /// Shipped records applied since boot.
@@ -663,6 +757,81 @@ struct ReplState {
     reconnects: AtomicU64,
     /// Whether the stream is currently established.
     connected: AtomicBool,
+    /// When the last stream frame arrived (any frame counts as a
+    /// heartbeat); `None` until the first frame.
+    last_heartbeat: Mutex<Option<std::time::Instant>>,
+    /// Streams/snapshots rejected for carrying a stale term.
+    stale_term_rejections: AtomicU64,
+    /// Next stream attempt must re-bootstrap from epoch 0: the local
+    /// suffix was orphaned by a higher term and only a full snapshot
+    /// (shipped at the new term) may rewind it.
+    force_bootstrap: AtomicBool,
+}
+
+impl ReplState {
+    fn new(targets: Vec<String>) -> ReplState {
+        ReplState {
+            targets: Mutex::new(targets),
+            target_idx: AtomicUsize::new(0),
+            primary: Mutex::new(String::new()),
+            primary_epoch: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+            last_heartbeat: Mutex::new(None),
+            stale_term_rejections: AtomicU64::new(0),
+            force_bootstrap: AtomicBool::new(false),
+        }
+    }
+
+    /// The upstream address for `STATS`/`REDIRECT`: the live stream's
+    /// target, else the first configured one, else `"unknown"`.
+    fn primary_hint(&self) -> String {
+        let cur = self.primary.lock().unwrap_or_else(|e| e.into_inner());
+        if !cur.is_empty() {
+            return cur.clone();
+        }
+        drop(cur);
+        self.targets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+
+    /// Record a frame arrival (resets the failover clock).
+    fn note_heartbeat(&self) {
+        *self
+            .last_heartbeat
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(std::time::Instant::now());
+    }
+
+    /// Milliseconds since the last frame, `None` if never.
+    fn heartbeat_age_ms(&self) -> Option<u64> {
+        self.last_heartbeat
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|t| t.elapsed().as_millis() as u64)
+    }
+
+    /// Count one stale-term rejection (issued by this node, in either
+    /// direction: a follower refusing a deposed primary's stream, or a
+    /// deposed primary refusing a higher-term handshake).
+    fn note_stale_term(&self) {
+        self.stale_term_rejections.fetch_add(1, Ordering::Relaxed);
+        intensio_obs::inc("repl.stale_term_rejections");
+    }
+
+    /// Put `addr` at the front of the rotation (the poller found the
+    /// new primary there).
+    fn prefer_target(&self, addr: &str) {
+        let mut targets = self.targets.lock().unwrap_or_else(|e| e.into_inner());
+        targets.retain(|t| t != addr);
+        targets.insert(0, addr.to_string());
+        self.target_idx.store(0, Ordering::Relaxed);
+    }
 }
 
 struct Durability {
@@ -697,6 +866,7 @@ impl Shared {
             panic!("{f}");
         }
         let epoch = snapshot.epoch;
+        self.term.fetch_max(snapshot.term, Ordering::Relaxed);
         *self.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
         self.cache
             .lock()
@@ -725,22 +895,49 @@ impl Shared {
         intensio_obs::inc("serve.rulesets_rejected");
     }
 
-    /// This node's replication role, for `STATS` and error messages.
-    fn role(&self) -> &'static str {
-        if self.repl.is_some() {
-            "follower"
-        } else {
-            "primary"
-        }
+    /// This node's current replication role.
+    fn role(&self) -> Role {
+        Role::from_usize(self.role.load(Ordering::SeqCst))
+    }
+
+    /// Whether this node currently accepts writes and serves streams.
+    fn is_primary(&self) -> bool {
+        self.role() == Role::Primary
+    }
+
+    /// The highest term this node has durably observed.
+    fn current_term(&self) -> u64 {
+        self.term.load(Ordering::SeqCst)
     }
 
     /// Refresh the `repl.lag_epochs` gauge from the follower's local
     /// epoch and the highest epoch the primary has reported.
     fn update_lag(&self) {
-        if let Some(repl) = &self.repl {
-            let primary = repl.primary_epoch.load(Ordering::Relaxed);
+        if !self.is_primary() {
+            let primary = self.repl.primary_epoch.load(Ordering::Relaxed);
             let local = self.snapshot().epoch;
             intensio_obs::gauge("repl.lag_epochs", primary.saturating_sub(local) as i64);
+        }
+    }
+
+    /// Demote this node to follower after observing `new_term` (higher
+    /// than its own) from `source`. The local state is left as-is — the
+    /// replicator will tail the new primary, whose higher-term stream
+    /// is allowed to rewind any orphaned local suffix. Idempotent per
+    /// term: a second observation of the same term is a no-op.
+    fn demote(&self, new_term: u64, source: &str) {
+        if self.term.fetch_max(new_term, Ordering::SeqCst) >= new_term {
+            return;
+        }
+        let was = self.role.swap(Role::Follower.as_usize(), Ordering::SeqCst);
+        if Role::from_usize(was) == Role::Primary {
+            intensio_obs::inc("repl.demotions");
+            intensio_obs::gauge("repl.term", new_term as i64);
+            let _ = intensio_obs::flight_record("demotion");
+            eprintln!(
+                "intensio-serve: demoted to follower — observed term {new_term} from {source} \
+                 (own lineage fenced)"
+            );
         }
     }
 }
@@ -791,10 +988,16 @@ fn checkpoint_snapshot(
 ) -> Result<intensio_wal::CheckpointRef, intensio_wal::WalError> {
     let rules = snap.dictionary.rules();
     let with_rules = (snap.rules_fresh && !rules.is_empty()).then_some(rules);
-    match wal.checkpoint(&snap.db, with_rules, snap.epoch, snap.data_version) {
+    match wal.checkpoint(
+        &snap.db,
+        with_rules,
+        snap.epoch,
+        snap.data_version,
+        snap.term,
+    ) {
         Ok(c) => Ok(c),
         Err(_) if with_rules.is_some() => {
-            wal.checkpoint(&snap.db, None, snap.epoch, snap.data_version)
+            wal.checkpoint(&snap.db, None, snap.epoch, snap.data_version, snap.term)
         }
         Err(e) => Err(e),
     }
@@ -815,14 +1018,15 @@ fn boot_durable(
     intensio_wal::recover::apply_sanitize(&recovered).map_err(err)?;
 
     let mut rejected = false;
-    let (mut db, ckpt_rules, base_epoch, base_dv) = match recovered.checkpoint {
-        Some(c) => (c.db, c.rules, c.epoch, c.data_version),
+    let (mut db, ckpt_rules, base_epoch, base_dv, base_term) = match recovered.checkpoint {
+        Some(c) => (c.db, c.rules, c.epoch, c.data_version, c.term),
         // Fresh directory (or no readable checkpoint): replay starts
         // from the seed database the caller provided.
-        None => (seed_db, None, 0, 0),
+        None => (seed_db, None, 0, 0, 0),
     };
     let mut epoch = base_epoch;
     let mut data_version = base_dv;
+    let mut term = base_term;
     let mut pending_rules = ckpt_rules;
     let mut rules_fresh = pending_rules.is_some();
 
@@ -862,9 +1066,13 @@ fn boot_durable(
                     rules_fresh = false;
                 }
             },
+            // A promotion fencepost: no data change, but the epoch is
+            // consumed and the term adopted.
+            RecordKind::Term => {}
         }
         epoch = record.epoch;
         data_version = record.data_version;
+        term = term.max(record.term);
     }
 
     let mut dictionary = DataDictionary::new(model);
@@ -889,7 +1097,7 @@ fn boot_durable(
         }
     }
 
-    let snapshot = Snapshot::recovered(epoch, data_version, db, dictionary, rules_fresh);
+    let snapshot = Snapshot::recovered(epoch, data_version, term, db, dictionary, rules_fresh);
 
     let mut wal = Wal::open(dir, cfg.wal, recovered.last_seq).map_err(err)?;
     // The boot checkpoint makes the recovered (and boot-induced) state
@@ -941,11 +1149,13 @@ pub struct Service {
     queue: Mutex<Option<Sender<Job>>>,
     /// The supervisor owns the worker handles; see [`supervise`].
     supervisor: Mutex<Option<JoinHandle<()>>>,
-    /// Background inducer; `None` on followers (rules are shipped).
+    /// Background inducer; runs on every node but only learns while
+    /// the node is primary (rules are shipped to followers).
     inducer: Mutex<Option<JoinHandle<()>>>,
     /// Background checkpointer; `None` for in-memory services.
     checkpointer: Mutex<Option<JoinHandle<()>>>,
-    /// Follower-side apply/reconnect loop; `None` on a primary.
+    /// Apply/reconnect/failover loop; runs on every node but idles
+    /// while the node is primary.
     replicator: Mutex<Option<JoinHandle<()>>>,
     /// Cluster-telemetry poller; idle until [`Service::set_peers`].
     poller: Mutex<Option<JoinHandle<()>>>,
@@ -1007,13 +1217,23 @@ impl Service {
             intensio_obs::flightrec::set_dir(Some(dir));
         }
         let workers = cfg.workers.max(1);
-        let repl = cfg.replicate_from.clone().map(|primary| ReplState {
-            primary,
-            primary_epoch: AtomicU64::new(0),
-            records_applied: AtomicU64::new(0),
-            reconnects: AtomicU64::new(0),
-            connected: AtomicBool::new(false),
-        });
+        let targets: Vec<String> = cfg
+            .replicate_from
+            .as_deref()
+            .unwrap_or("")
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(str::to_string)
+            .collect();
+        let role = if targets.is_empty() {
+            Role::Primary
+        } else if cfg.candidate {
+            Role::Candidate
+        } else {
+            Role::Follower
+        };
+        let term = snapshot.term;
         let shared = Arc::new(Shared {
             state: RwLock::new(Arc::new(snapshot)),
             write_lock: Mutex::new(()),
@@ -1028,10 +1248,13 @@ impl Service {
             shutdown: AtomicBool::new(false),
             durability,
             repl_hub: ReplHub::new(),
-            repl,
+            role: AtomicUsize::new(role.as_usize()),
+            term: AtomicU64::new(term),
+            repl: ReplState::new(targets),
             peers: RwLock::new(Vec::new()),
             cluster: Mutex::new(Vec::new()),
         });
+        intensio_obs::gauge("repl.term", term as i64);
         if rejected_on_open {
             shared.note_ruleset_rejected();
         }
@@ -1053,7 +1276,11 @@ impl Service {
                 .spawn(move || supervise(&shared, &rx, handles))
                 .map_err(|e| ServeError(format!("spawning supervisor: {e}")))?
         };
-        let inducer = if shared.repl.is_none() {
+        // Every node runs an inducer and a replicator: the inducer
+        // idles unless the node is primary, the replicator idles unless
+        // it is not — so a promotion or demotion is a role flip, not a
+        // thread lifecycle event.
+        let inducer = {
             let shared = shared.clone();
             Some(
                 std::thread::Builder::new()
@@ -1061,10 +1288,8 @@ impl Service {
                     .spawn(move || inducer_loop(&shared))
                     .map_err(|e| ServeError(format!("spawning inducer: {e}")))?,
             )
-        } else {
-            None
         };
-        let replicator = if shared.repl.is_some() {
+        let replicator = {
             let shared = shared.clone();
             Some(
                 std::thread::Builder::new()
@@ -1072,8 +1297,6 @@ impl Service {
                     .spawn(move || replicator_loop(&shared))
                     .map_err(|e| ServeError(format!("spawning replicator: {e}")))?,
             )
-        } else {
-            None
         };
         let checkpointer = if shared.durability.is_some() {
             let shared = shared.clone();
@@ -1210,11 +1433,16 @@ impl Service {
         }
     }
 
-    /// Serve one replication stream (the `REPLICATE <from_epoch>` verb):
-    /// write `#repl` lines to `out` until the follower disconnects, the
-    /// server stops, or the service shuts down. Runs on the connection
-    /// thread, not the worker pool — a slow follower never occupies a
-    /// query worker.
+    /// Serve one replication stream (the `REPLICATE <from_epoch>
+    /// [term=<t>]` verb): write `#repl` lines to `out` until the
+    /// follower disconnects, the server stops, or the service shuts
+    /// down. Runs on the connection thread, not the worker pool — a
+    /// slow follower never occupies a query worker.
+    ///
+    /// `peer_term` is the highest term the follower has durably
+    /// observed. A primary asked to serve a follower from a *higher*
+    /// term has been deposed without noticing: it answers with a
+    /// `STALE_TERM` error and demotes itself to follower.
     ///
     /// The bootstrap closes the history/live race by subscribing to the
     /// record hub *before* reading the log: any record missing from the
@@ -1225,6 +1453,7 @@ impl Service {
     pub fn replicate(
         &self,
         from_epoch: u64,
+        peer_term: u64,
         out: &mut dyn std::io::Write,
         stop: &AtomicBool,
     ) -> std::io::Result<()> {
@@ -1234,10 +1463,24 @@ impl Service {
             out.write_all(b"\n")?;
             out.flush()
         };
-        if shared.repl.is_some() {
-            return send(&StreamMsg::Error(
-                "this node is itself a follower; replicate from the primary".to_string(),
-            ));
+        let own_term = shared.current_term();
+        if peer_term > own_term {
+            // The follower has durably seen a term this node never
+            // committed: a failover happened while this node was down
+            // (or partitioned). Fence the stream and step down.
+            shared.repl.note_stale_term();
+            shared.demote(peer_term, "REPLICATE handshake");
+            return send(&StreamMsg::Error(format!(
+                "{}: this node is at term {own_term}, you have durably observed \
+                 term {peer_term}; it is no longer primary",
+                intensio_repl::STALE_TERM,
+            )));
+        }
+        if !shared.is_primary() {
+            return send(&StreamMsg::Error(format!(
+                "this node is itself a {}; replicate from the primary",
+                shared.role().as_str()
+            )));
         }
         let Some(dur) = &shared.durability else {
             return send(&StreamMsg::Error(
@@ -1248,26 +1491,40 @@ impl Service {
         intensio_obs::inc("repl.streams_opened");
         // History: collect the whole log tail up front so a chain break
         // discovered halfway (gap, corruption, truncation race) can
-        // still fall back to a clean snapshot bootstrap.
-        let history: Option<Vec<Record>> = match intensio_wal::LogTail::open(&dur.dir, from_epoch) {
-            Ok(tail) => {
-                let mut records = Vec::new();
-                let mut intact = true;
-                for item in tail {
-                    match item {
-                        Ok(rec) => records.push(rec),
-                        Err(_) => {
-                            intact = false;
-                            break;
+        // still fall back to a clean snapshot bootstrap. A follower
+        // that has not durably observed this term never gets a tail:
+        // its log may end in a divergent suffix from a deposed lineage
+        // (a SIGKILLed primary's acked-but-unshipped writes), and a
+        // tail appended past its claimed epoch would silently merge
+        // the two lineages. Only a full snapshot at the current term
+        // is safe; the follower's orphaned suffix is retracted by the
+        // snapshot install (and by recovery's term fencing on its next
+        // restart).
+        let history: Option<Vec<Record>> = if peer_term < own_term {
+            intensio_obs::inc("repl.lineage_bootstraps");
+            None
+        } else {
+            match intensio_wal::LogTail::open(&dur.dir, from_epoch) {
+                Ok(tail) => {
+                    let mut records = Vec::new();
+                    let mut intact = true;
+                    for item in tail {
+                        match item {
+                            Ok(rec) => records.push(rec),
+                            Err(_) => {
+                                intact = false;
+                                break;
+                            }
                         }
                     }
+                    intact.then_some(records)
                 }
-                intact.then_some(records)
+                Err(_) => None,
             }
-            Err(_) => None,
         };
         send(&StreamMsg::Ok {
             epoch: shared.snapshot().epoch,
+            term: shared.current_term(),
         })?;
         let mut last_sent = from_epoch;
         match history {
@@ -1296,6 +1553,7 @@ impl Service {
                 send(&StreamMsg::Snapshot {
                     epoch: snap.epoch,
                     data_version: snap.data_version,
+                    term: snap.term,
                     db,
                     rules,
                 })?;
@@ -1308,7 +1566,16 @@ impl Service {
             if stop.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
                 return send(&StreamMsg::Error("primary shutting down".to_string()));
             }
-            match rx.recv_timeout(std::time::Duration::from_millis(500)) {
+            if !shared.is_primary() {
+                // Demoted mid-stream (a higher term was observed): end
+                // the stream so the follower re-resolves the primary.
+                return send(&StreamMsg::Error(format!(
+                    "{}: this node was demoted to follower at term {}",
+                    intensio_repl::STALE_TERM,
+                    shared.current_term(),
+                )));
+            }
+            match rx.recv_timeout(shared.cfg.repl_heartbeat) {
                 Ok((rec, trace)) => {
                     if rec.epoch <= last_sent {
                         continue;
@@ -1318,8 +1585,10 @@ impl Service {
                     intensio_obs::inc("repl.records_shipped");
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    let snap = shared.snapshot();
                     send(&StreamMsg::Heartbeat {
-                        epoch: shared.snapshot().epoch,
+                        epoch: snap.epoch,
+                        term: snap.term,
                     })?;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -1533,21 +1802,19 @@ fn await_min_epoch(
             let mut admission = intensio_obs::Span::enter("serve.admission");
             admission.field("epoch", epoch);
             admission.field("min_epoch", min_epoch);
-            let message = match &shared.repl {
-                Some(repl) => {
-                    admission.field("outcome", "redirect");
-                    format!(
-                        "REDIRECT {}: epoch {min_epoch} not yet replicated here (follower at {epoch})",
-                        repl.primary
-                    )
-                }
-                None => {
-                    admission.field("outcome", "unsatisfiable");
-                    format!(
-                        "min_epoch {min_epoch} is ahead of the primary (epoch {epoch}); \
-                         no node can satisfy it"
-                    )
-                }
+            let message = if !shared.is_primary() {
+                admission.field("outcome", "redirect");
+                format!(
+                    "REDIRECT {} term={}: epoch {min_epoch} not yet replicated here (follower at {epoch})",
+                    shared.repl.primary_hint(),
+                    shared.current_term(),
+                )
+            } else {
+                admission.field("outcome", "unsatisfiable");
+                format!(
+                    "min_epoch {min_epoch} is ahead of the primary (epoch {epoch}); \
+                     no node can satisfy it"
+                )
             };
             return Some(error(message));
         }
@@ -1631,10 +1898,11 @@ fn exec_fault(shared: &Shared, cmd: &str) -> Reply {
         None => (cmd, ""),
     };
     let op = op.to_ascii_uppercase();
-    if let Some(repl) = &shared.repl {
-        if matches!(op.as_str(), "SET" | "CLEAR") {
-            return error(readonly_message(&repl.primary, "FAULT administration"));
-        }
+    if !shared.is_primary() && matches!(op.as_str(), "SET" | "CLEAR") {
+        return error(readonly_message(
+            &shared.repl.primary_hint(),
+            "FAULT administration",
+        ));
     }
     match op.as_str() {
         "" | "LIST" => Reply::Fault {
@@ -1706,16 +1974,20 @@ fn stats_reply(shared: &Shared) -> StatsReply {
                 recovery_ms: dur.recovery.recovery_ms,
             }
         }),
-        role: shared.role().to_string(),
-        repl: shared.repl.as_ref().map(|r| {
+        role: shared.role().as_str().to_string(),
+        term: shared.current_term(),
+        repl: (!shared.is_primary()).then(|| {
+            let r = &shared.repl;
             let primary_epoch = r.primary_epoch.load(Ordering::Relaxed);
             ReplStats {
-                primary: r.primary.clone(),
+                primary: r.primary_hint(),
                 connected: r.connected.load(Ordering::Relaxed),
                 primary_epoch,
                 lag_epochs: primary_epoch.saturating_sub(snap.epoch),
                 records_applied: r.records_applied.load(Ordering::Relaxed),
                 reconnects: r.reconnects.load(Ordering::Relaxed),
+                heartbeat_age_ms: r.heartbeat_age_ms(),
+                stale_term_rejections: r.stale_term_rejections.load(Ordering::Relaxed),
             }
         }),
         metrics: intensio_obs::metrics().snapshot(),
@@ -2013,21 +2285,22 @@ fn telemetry_reply(shared: &Shared) -> TelemetryReply {
     let snap = shared.snapshot();
     let c = &shared.counters;
     let m = intensio_obs::metrics();
-    let (connected, lag_epochs, records_applied, reconnects) = match &shared.repl {
-        Some(r) => {
-            let primary_epoch = r.primary_epoch.load(Ordering::Relaxed);
-            (
-                r.connected.load(Ordering::Relaxed),
-                primary_epoch.saturating_sub(snap.epoch),
-                r.records_applied.load(Ordering::Relaxed),
-                r.reconnects.load(Ordering::Relaxed),
-            )
-        }
-        None => (true, 0, 0, 0),
+    let (connected, lag_epochs, records_applied, reconnects) = if shared.is_primary() {
+        (true, 0, 0, 0)
+    } else {
+        let r = &shared.repl;
+        let primary_epoch = r.primary_epoch.load(Ordering::Relaxed);
+        (
+            r.connected.load(Ordering::Relaxed),
+            primary_epoch.saturating_sub(snap.epoch),
+            r.records_applied.load(Ordering::Relaxed),
+            r.reconnects.load(Ordering::Relaxed),
+        )
     };
     TelemetryReply {
-        role: shared.role().to_string(),
+        role: shared.role().as_str().to_string(),
         epoch: snap.epoch,
+        term: shared.current_term(),
         rules_fresh: snap.rules_fresh,
         connected,
         lag_epochs,
@@ -2079,6 +2352,7 @@ fn poller_loop(shared: &Shared) {
                 ok: false,
                 role: String::new(),
                 epoch: 0,
+                term: 0,
                 lag_epochs: 0,
                 records_applied: 0,
                 apply_rate: 0,
@@ -2088,6 +2362,17 @@ fn poller_loop(shared: &Shared) {
                 worker_restarts: 0,
             });
             if peer.ok {
+                // Failover discovery: a peer serving as primary at a
+                // term at least ours is where the write lineage lives —
+                // re-point the replication rotation at it (a deposed
+                // primary restarted with only `--peers` has no
+                // replication targets until this fires). At a strictly
+                // higher term it also means this node's lineage is
+                // fenced: a (deposed) primary demotes.
+                if peer.role == "primary" && peer.term >= shared.current_term() {
+                    shared.repl.prefer_target(&peer.addr);
+                    shared.demote(peer.term, &format!("telemetry poll of {}", peer.addr));
+                }
                 let now = std::time::Instant::now();
                 if let Some(&(applied, at)) = prev.get(addr) {
                     let dt = now.duration_since(at).as_secs_f64();
@@ -2153,6 +2438,7 @@ fn poll_peer(addr: &str) -> Option<PeerTelemetry> {
             .unwrap_or("")
             .to_string(),
         epoch: num("epoch"),
+        term: num("term"),
         lag_epochs: num("lag_epochs"),
         records_applied: num("records_applied"),
         apply_rate: 0,
@@ -2173,8 +2459,11 @@ fn exec_quel(shared: &Shared, script: &str) -> Reply {
     }
     let writes = stmts.iter().any(|s| s.access() == AccessKind::Write);
     if writes {
-        if let Some(repl) = &shared.repl {
-            return error(readonly_message(&repl.primary, "mutating QUEL"));
+        if !shared.is_primary() {
+            return error(readonly_message(
+                &shared.repl.primary_hint(),
+                "mutating QUEL",
+            ));
         }
         quel_write(shared, script)
     } else {
@@ -2226,7 +2515,7 @@ fn quel_write(shared: &Shared, script: &str) -> Reply {
     // rewound the log, so the epoch is free for the client's retry.
     let mut committed = None;
     if let Some(dur) = &shared.durability {
-        let record = Record::write(next.epoch, next.data_version, script);
+        let record = Record::write(next.epoch, next.data_version, script).with_term(next.term);
         let span = intensio_obs::Span::stage("wal.append", intensio_obs::Stage::WalAppend)
             .with_field("epoch", next.epoch);
         let result = dur
@@ -2288,11 +2577,23 @@ fn write_snapshot_checkpoint(
 ) -> Result<intensio_wal::CheckpointRef, intensio_wal::WalError> {
     let rules = snap.dictionary.rules();
     let with_rules = (snap.rules_fresh && !rules.is_empty()).then_some(rules);
-    match write_checkpoint(dir, &snap.db, with_rules, snap.epoch, snap.data_version) {
+    match write_checkpoint(
+        dir,
+        &snap.db,
+        with_rules,
+        snap.epoch,
+        snap.data_version,
+        snap.term,
+    ) {
         Ok(c) => Ok(c),
-        Err(_) if with_rules.is_some() => {
-            write_checkpoint(dir, &snap.db, None, snap.epoch, snap.data_version)
-        }
+        Err(_) if with_rules.is_some() => write_checkpoint(
+            dir,
+            &snap.db,
+            None,
+            snap.epoch,
+            snap.data_version,
+            snap.term,
+        ),
         Err(e) => Err(e),
     }
 }
@@ -2426,6 +2727,11 @@ enum Induce {
 }
 
 fn induce_once(shared: &Shared) -> Induce {
+    // Only a primary learns: follower rule sets arrive over the wire,
+    // and a candidate must not fork the rule lineage pre-promotion.
+    if !shared.is_primary() {
+        return Induce::Idle;
+    }
     let snap = shared.snapshot();
     if snap.rules_fresh {
         return Induce::Idle;
@@ -2464,7 +2770,7 @@ fn induce_once(shared: &Shared) -> Induce {
     let next = current.after_induction(dictionary);
     let mut committed = None;
     if let (Some(dur), Some(body)) = (&shared.durability, rules_body) {
-        let record = Record::rules(next.epoch, next.data_version, body);
+        let record = Record::rules(next.epoch, next.data_version, body).with_term(next.term);
         let span = intensio_obs::Span::stage("wal.append", intensio_obs::Stage::WalAppend)
             .with_field("epoch", next.epoch);
         let result = dur
@@ -2563,31 +2869,83 @@ enum FollowEnd {
     /// The connection failed, broke, or the primary ended the stream;
     /// reconnect after a backoff.
     Lost,
+    /// A candidate's failover deadline expired with no live stream;
+    /// the replicator loop runs the promotion protocol.
+    Deadline,
 }
 
-/// The follower-side replication driver: connect to the primary,
-/// request the tail after the local epoch, apply what arrives, and on
-/// any break reconnect with the capped jittered backoff of
+/// Whether a candidate's failover clock has expired. `deadline` is the
+/// seeded per-node promotion deadline (see [`replicator_loop`]).
+fn failover_due(shared: &Shared, deadline: std::time::Duration) -> bool {
+    shared.role() == Role::Candidate
+        && shared
+            .repl
+            .heartbeat_age_ms()
+            .is_some_and(|age| std::time::Duration::from_millis(age) >= deadline)
+}
+
+/// The follower-side replication driver: connect to a primary out of
+/// the target rotation, request the tail after the local epoch, apply
+/// what arrives, and on any break reconnect (rotating to the next
+/// target) with the capped jittered backoff of
 /// [`intensio_fault::Backoff`]. A divergence (epoch gap, failed
 /// replay) also lands here: the reconnect re-requests from the local
 /// epoch, and the primary's snapshot fallback repairs the state.
+///
+/// On a **candidate**, this loop doubles as the failover watchdog: if
+/// no stream frame arrives for the node's promotion deadline —
+/// `failover_timeout/2` plus a jitter drawn seeded from
+/// `[timeout/2, timeout)`, i.e. a deadline in `[timeout, 1.5*timeout)`
+/// — it first sweeps the other targets for an already-promoted primary
+/// (joining it instead of dueling), then promotes itself via
+/// [`promote`]. Runs on every node; it idles while the node is
+/// primary, so a demotion simply un-idles it.
 fn replicator_loop(shared: &Shared) {
-    let Some(repl) = &shared.repl else { return };
+    let repl = &shared.repl;
     let mut backoff = intensio_fault::Backoff::new(
         std::time::Duration::from_millis(100),
         std::time::Duration::from_secs(5),
-        0,
+        shared.cfg.failover_seed,
     );
+    // The promotion deadline is fixed per process: dueling candidates
+    // with equal timeouts still diverge through their seeds.
+    let deadline = shared.cfg.failover_timeout / 2
+        + intensio_fault::Backoff::new(
+            shared.cfg.failover_timeout,
+            shared.cfg.failover_timeout,
+            shared.cfg.failover_seed.wrapping_add(1),
+        )
+        .delay_for(0);
+    // Arm the failover clock at boot: a candidate that never reaches
+    // any primary must still promote after the deadline.
+    repl.note_heartbeat();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let end = follow_once(shared, repl);
+        if shared.is_primary() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        }
+        if failover_due(shared, deadline) {
+            if let Some(primary) = discover_promoted_primary(shared) {
+                // Someone else already won: join them instead of
+                // splitting the cluster into dueling primaries.
+                repl.prefer_target(&primary);
+                repl.note_heartbeat();
+            } else {
+                promote(shared);
+                continue;
+            }
+        }
+        let end = follow_once(shared, repl, deadline);
         // `connected` doubles as the made-progress flag: a stream that
         // got as far as the handshake earns a backoff reset.
         let progressed = repl.connected.swap(false, Ordering::Relaxed);
         match end {
             FollowEnd::Shutdown => return,
+            // Re-enter the loop head, which re-checks the clock.
+            FollowEnd::Deadline => {}
             FollowEnd::Lost => {
                 repl.reconnects.fetch_add(1, Ordering::Relaxed);
                 intensio_obs::inc("repl.reconnects");
@@ -2599,6 +2957,9 @@ fn replicator_loop(shared: &Shared) {
                     if shared.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
+                    if failover_due(shared, deadline) {
+                        break; // don't sit out the backoff while due
+                    }
                     std::thread::sleep(std::time::Duration::from_millis(25));
                 }
             }
@@ -2606,50 +2967,158 @@ fn replicator_loop(shared: &Shared) {
     }
 }
 
-/// One stream attempt: connect, send `REPLICATE <local epoch>`, and
-/// apply messages until the stream breaks or shutdown.
-fn follow_once(shared: &Shared, repl: &ReplState) -> FollowEnd {
+/// Pre-promotion sweep: poll every target's `TELEMETRY` for a node
+/// already serving as primary at this node's term or higher. Returns
+/// its address, or `None` when this candidate should promote itself.
+fn discover_promoted_primary(shared: &Shared) -> Option<String> {
+    let targets = shared
+        .repl
+        .targets
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let own_term = shared.current_term();
+    targets
+        .iter()
+        .find(|addr| {
+            poll_peer(addr).is_some_and(|peer| peer.role == "primary" && peer.term >= own_term)
+        })
+        .cloned()
+}
+
+/// Promote this candidate to primary: bump the term, fsync a `TERM`
+/// fencepost record into the local WAL *before* accepting any write,
+/// install the new-term snapshot, and announce the term on every
+/// replication stream (the fencepost ships like any record). The role
+/// flips last, so no write can be acknowledged under the new term
+/// until the term is durable.
+fn promote(shared: &Shared) {
+    let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+    if shared.role() != Role::Candidate {
+        return; // demoted (or already promoted) while waiting for the lock
+    }
+    let current = shared.snapshot();
+    let new_term = shared.current_term().max(current.term) + 1;
+    let next = current.after_term(new_term);
+    let mut committed = None;
+    if let Some(dur) = &shared.durability {
+        let record = Record::term_bump(new_term, next.epoch, next.data_version);
+        let mut wal = dur.wal.lock().unwrap_or_else(|e| e.into_inner());
+        // The fencepost is fsynced regardless of the configured policy:
+        // a promotion that is not durable is not a promotion.
+        if wal.append(&record).is_err() || wal.sync().is_err() {
+            intensio_obs::inc("repl.promotion_failures");
+            shared.repl.note_heartbeat(); // re-arm; retry after another deadline
+            return;
+        }
+        committed = Some(record);
+    }
+    shared.install(next);
+    if let Some(record) = committed {
+        shared.repl_hub.publish(&record, None);
+    }
+    shared
+        .role
+        .store(Role::Primary.as_usize(), Ordering::SeqCst);
+    shared.repl.connected.store(false, Ordering::Relaxed);
+    intensio_obs::inc("repl.promotions");
+    intensio_obs::gauge("repl.term", new_term as i64);
+    intensio_obs::gauge("repl.lag_epochs", 0);
+    let _ = intensio_obs::flight_record("promotion");
+    // The rules may be stale (mid-induction primary death); the
+    // inducer un-idles now that the node is primary.
+    shared.wake_inducer();
+    eprintln!(
+        "intensio-serve: promoted to primary at term {new_term} \
+         (heartbeat lost past the failover deadline)"
+    );
+}
+
+/// One stream attempt: connect to the rotation's current target, send
+/// `REPLICATE <local epoch> term=<own term>`, and apply messages until
+/// the stream breaks, the failover deadline expires, or shutdown.
+fn follow_once(shared: &Shared, repl: &ReplState, deadline: std::time::Duration) -> FollowEnd {
     use std::io::Write as _;
-    let Ok(stream) = std::net::TcpStream::connect(&repl.primary) else {
+    let target = {
+        let targets = repl.targets.lock().unwrap_or_else(|e| e.into_inner());
+        if targets.is_empty() {
+            return FollowEnd::Lost;
+        }
+        let idx = repl.target_idx.load(Ordering::Relaxed) % targets.len();
+        targets[idx].clone()
+    };
+    // Rotate eagerly: any failure below tries the next target; a
+    // healthy stream re-pins its own index on the next reconnect via
+    // `prefer_target` or simply wraps around.
+    let rotate = || {
+        repl.target_idx.fetch_add(1, Ordering::Relaxed);
+    };
+    let Ok(stream) = std::net::TcpStream::connect(&target) else {
+        rotate();
         return FollowEnd::Lost;
     };
     let setup = stream
         .set_nodelay(true)
         .and_then(|()| stream.set_read_timeout(Some(std::time::Duration::from_millis(200))));
     if setup.is_err() {
+        rotate();
         return FollowEnd::Lost;
     }
     let Ok(mut writer) = stream.try_clone() else {
+        rotate();
         return FollowEnd::Lost;
     };
-    let from = shared.snapshot().epoch;
-    let hello = format!("REPLICATE {from}\n");
+    // A suffix orphaned by a higher term can only be repaired by a
+    // full snapshot shipped at the new term: request from epoch 0.
+    let snap = shared.snapshot();
+    let from = if repl.force_bootstrap.swap(false, Ordering::SeqCst) {
+        0
+    } else {
+        snap.epoch
+    };
+    // Announce the term of the last *applied* record (the snapshot's
+    // lineage), not the volatile term counter: a deposed primary whose
+    // poller already learned the new term via demote() still carries a
+    // divergent term-0 suffix, and only the lineage term lets the
+    // upstream see that and force a snapshot bootstrap instead of
+    // merging a log tail onto ghost records.
+    let hello = format!("REPLICATE {from} term={}\n", snap.term);
     if writer
         .write_all(hello.as_bytes())
         .and_then(|()| writer.flush())
         .is_err()
     {
+        rotate();
         return FollowEnd::Lost;
     }
+    *repl.primary.lock().unwrap_or_else(|e| e.into_inner()) = target;
     let mut reader = std::io::BufReader::new(stream);
     let mut line = String::new();
     loop {
         match std::io::BufRead::read_line(&mut reader, &mut line) {
-            Ok(0) => return FollowEnd::Lost,
+            Ok(0) => {
+                rotate();
+                return FollowEnd::Lost;
+            }
             Ok(_) => {
                 let stream_line = std::mem::take(&mut line);
                 let msg = match StreamMsg::parse(&stream_line) {
                     Ok(msg) => msg,
                     Err(_) => {
                         intensio_obs::inc("repl.bad_stream_lines");
+                        rotate();
                         return FollowEnd::Lost;
                     }
                 };
                 match apply_stream_msg(shared, repl, msg) {
                     Ok(true) => {}
-                    Ok(false) => return FollowEnd::Lost,
+                    Ok(false) => {
+                        rotate();
+                        return FollowEnd::Lost;
+                    }
                     Err(_) => {
                         intensio_obs::inc("repl.apply_failures");
+                        rotate();
                         return FollowEnd::Lost;
                     }
                 }
@@ -2665,9 +3134,18 @@ fn follow_once(shared: &Shared, repl: &ReplState) -> FollowEnd {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return FollowEnd::Shutdown;
                 }
+                if let Some(age) = repl.heartbeat_age_ms() {
+                    intensio_obs::gauge("repl.heartbeat_age_ms", age as i64);
+                }
+                if failover_due(shared, deadline) {
+                    return FollowEnd::Deadline;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return FollowEnd::Lost,
+            Err(_) => {
+                rotate();
+                return FollowEnd::Lost;
+            }
         }
     }
 }
@@ -2676,8 +3154,17 @@ fn follow_once(shared: &Shared, repl: &ReplState) -> FollowEnd {
 /// stream, `Ok(false)` ends it cleanly (the primary said stop), `Err`
 /// is a divergence that forces a reconnect-and-rebootstrap.
 fn apply_stream_msg(shared: &Shared, repl: &ReplState, msg: StreamMsg) -> Result<bool, String> {
+    // Every frame counts as a heartbeat: the failover clock measures
+    // stream liveness, not write traffic.
+    repl.note_heartbeat();
     match msg {
-        StreamMsg::Ok { epoch } | StreamMsg::Heartbeat { epoch } => {
+        StreamMsg::Ok { epoch, term } | StreamMsg::Heartbeat { epoch, term } => {
+            if term < shared.snapshot().term {
+                // A deposed primary's stream: its lineage is fenced.
+                // Drop the stream; the rotation tries the next target.
+                repl.note_stale_term();
+                return Ok(false);
+            }
             repl.primary_epoch.fetch_max(epoch, Ordering::Relaxed);
             repl.connected.store(true, Ordering::Relaxed);
             shared.update_lag();
@@ -2690,13 +3177,26 @@ fn apply_stream_msg(shared: &Shared, repl: &ReplState, msg: StreamMsg) -> Result
         StreamMsg::Snapshot {
             epoch,
             data_version,
+            term,
             db,
             rules,
         } => {
-            apply_wire_snapshot(shared, repl, epoch, data_version, &db, rules.as_deref())?;
+            apply_wire_snapshot(
+                shared,
+                repl,
+                epoch,
+                data_version,
+                term,
+                &db,
+                rules.as_deref(),
+            )?;
             Ok(true)
         }
         StreamMsg::Record { rec, trace } => {
+            if rec.term < shared.snapshot().term {
+                repl.note_stale_term();
+                return Ok(false);
+            }
             apply_record(shared, repl, &rec, trace)?;
             Ok(true)
         }
@@ -2705,25 +3205,44 @@ fn apply_stream_msg(shared: &Shared, repl: &ReplState, msg: StreamMsg) -> Result
 
 /// Install a full-state bootstrap shipped by the primary (the log no
 /// longer covered this follower's epoch).
+///
+/// Term rules: a snapshot below this node's term is a deposed
+/// primary's state and is refused outright (`stale_term_rejections`).
+/// A same-term snapshot may never rewind the local epoch — that would
+/// silently drop durably applied records — so an epoch regression is
+/// an explicit wire error (`repl.snapshot_regressions`) and the
+/// follower re-syncs from its own durable epoch on reconnect. Only a
+/// *higher*-term snapshot may rewind: a failover legitimately
+/// truncates the old lineage's unshipped suffix.
 fn apply_wire_snapshot(
     shared: &Shared,
     repl: &ReplState,
     epoch: u64,
     data_version: u64,
+    term: u64,
     db_bytes: &[u8],
     rules_bytes: Option<&[u8]>,
 ) -> Result<(), String> {
     let db = repl_codec::db_from_bytes(db_bytes).map_err(|e| e.to_string())?;
     let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
     let current = shared.snapshot();
-    repl.primary_epoch.fetch_max(epoch, Ordering::Relaxed);
-    if epoch < current.epoch {
+    if term < current.term {
+        repl.note_stale_term();
         return Err(format!(
-            "shipped snapshot at epoch {epoch} is older than local epoch {}",
+            "shipped snapshot carries fenced term {term} (local term {})",
+            current.term
+        ));
+    }
+    repl.primary_epoch.fetch_max(epoch, Ordering::Relaxed);
+    if epoch < current.epoch && term == current.term {
+        intensio_obs::inc("repl.snapshot_regressions");
+        return Err(format!(
+            "shipped snapshot at epoch {epoch} would rewind local epoch {} within term {term}; \
+             refusing silent rewind — re-syncing from the durable epoch",
             current.epoch
         ));
     }
-    if epoch == current.epoch {
+    if epoch == current.epoch && term == current.term {
         shared.update_lag();
         return Ok(()); // already caught up (reconnect overlap)
     }
@@ -2746,7 +3265,7 @@ fn apply_wire_snapshot(
             Err(_) => intensio_obs::inc("repl.undecodable_rulesets"),
         }
     }
-    let snap = Snapshot::recovered(epoch, data_version, db, dictionary, rules_fresh);
+    let snap = Snapshot::recovered(epoch, data_version, term, db, dictionary, rules_fresh);
     if let Some(dur) = &shared.durability {
         // A wire snapshot papers over exactly the records this
         // follower's own log is missing: persist it as a local
@@ -2791,6 +3310,18 @@ fn apply_record(
     let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
     let current = shared.snapshot();
     if rec.epoch <= current.epoch {
+        if rec.term > current.term {
+            // A higher-term record at or below the local epoch means
+            // this node's suffix belongs to a fenced lineage (it was
+            // ahead of the new primary's fork point). Only a full
+            // snapshot shipped at the new term may rewind it.
+            repl.force_bootstrap.store(true, Ordering::SeqCst);
+            return Err(format!(
+                "term conflict: shipped record (term {}, epoch {}) fences local suffix \
+                 (term {}, epoch {}); re-bootstrapping",
+                rec.term, rec.epoch, current.term, current.epoch
+            ));
+        }
         shared.update_lag();
         return Ok(()); // duplicate from the bootstrap overlap: never re-applied
     }
@@ -2816,11 +3347,23 @@ fn apply_record(
             Snapshot::recovered(
                 rec.epoch,
                 rec.data_version,
+                rec.term,
                 db,
                 current.dictionary.clone(),
                 false,
             )
         }
+        // A promotion fencepost: adopt the new term; data, dictionary,
+        // and rule freshness are unchanged (the epoch is consumed so
+        // the bump ships through the exactly-once chain).
+        RecordKind::Term => Snapshot::recovered(
+            rec.epoch,
+            rec.data_version,
+            rec.term,
+            current.db.clone(),
+            current.dictionary.clone(),
+            current.rules_fresh,
+        ),
         RecordKind::Rules => {
             let mut dictionary = current.dictionary.clone();
             let mut rules_fresh = false;
@@ -2843,6 +3386,7 @@ fn apply_record(
             Snapshot::recovered(
                 rec.epoch,
                 rec.data_version,
+                rec.term,
                 current.db.clone(),
                 dictionary,
                 rules_fresh,

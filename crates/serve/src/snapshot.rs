@@ -8,6 +8,11 @@
 //! catalog) and install it atomically. Two answers computed at the same
 //! epoch are answers to the same knowledge state, which is what makes
 //! `(condition fingerprint, epoch)` a sound cache key.
+//!
+//! The snapshot also carries the primary **term** under which it was
+//! committed (see `intensio_wal`): answers computed at `(term, epoch)`
+//! are answers on one authoritative lineage, so a failover that fences
+//! the old term can never mix two primaries' knowledge states.
 
 use intensio_core::DataDictionary;
 use intensio_storage::catalog::Database;
@@ -22,6 +27,9 @@ pub struct Snapshot {
     /// records the data version it learned from and only installs its
     /// rules if the data has not moved since.
     pub data_version: u64,
+    /// The primary term this state was committed under. Bumped only by
+    /// a failover promotion; writes inherit it unchanged.
+    pub term: u64,
     /// The database at this epoch.
     pub db: Database,
     /// The dictionary (KER model + rule set) at this epoch.
@@ -34,22 +42,26 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// The initial snapshot (epoch 0) over a database and dictionary.
+    /// The initial snapshot (epoch 0, term 0) over a database and
+    /// dictionary.
     pub fn initial(db: Database, dictionary: DataDictionary, rules_fresh: bool) -> Snapshot {
         Snapshot {
             epoch: 0,
             data_version: 0,
+            term: 0,
             db,
             dictionary,
             rules_fresh,
         }
     }
 
-    /// A snapshot rebuilt by boot recovery at an explicit epoch and
-    /// data version (checkpoint state plus the replayed WAL suffix).
+    /// A snapshot rebuilt by boot recovery at an explicit epoch, data
+    /// version, and term (checkpoint state plus the replayed WAL
+    /// suffix).
     pub fn recovered(
         epoch: u64,
         data_version: u64,
+        term: u64,
         db: Database,
         dictionary: DataDictionary,
         rules_fresh: bool,
@@ -57,6 +69,7 @@ impl Snapshot {
         Snapshot {
             epoch,
             data_version,
+            term,
             db,
             dictionary,
             rules_fresh,
@@ -64,11 +77,12 @@ impl Snapshot {
     }
 
     /// The successor snapshot after a data mutation: new database, same
-    /// (now possibly stale) rules.
+    /// term, same (now possibly stale) rules.
     pub fn after_write(&self, db: Database) -> Snapshot {
         Snapshot {
             epoch: self.epoch + 1,
             data_version: self.data_version + 1,
+            term: self.term,
             db,
             dictionary: self.dictionary.clone(),
             rules_fresh: false,
@@ -76,14 +90,29 @@ impl Snapshot {
     }
 
     /// The successor snapshot after installing a freshly induced rule
-    /// set: same data, new dictionary.
+    /// set: same data, same term, new dictionary.
     pub fn after_induction(&self, dictionary: DataDictionary) -> Snapshot {
         Snapshot {
             epoch: self.epoch + 1,
             data_version: self.data_version,
+            term: self.term,
             db: self.db.clone(),
             dictionary,
             rules_fresh: true,
+        }
+    }
+
+    /// The successor snapshot after a failover promotion: same data and
+    /// dictionary, new term. Consumes an epoch so the term bump ships
+    /// through the ordinary exactly-once replication chain.
+    pub fn after_term(&self, term: u64) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch + 1,
+            data_version: self.data_version,
+            term,
+            db: self.db.clone(),
+            dictionary: self.dictionary.clone(),
+            rules_fresh: self.rules_fresh,
         }
     }
 }

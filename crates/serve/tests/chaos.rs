@@ -412,3 +412,60 @@ fn flight_recorder_dumps_on_request_panic_and_shutdown() {
         dir.display()
     );
 }
+
+#[test]
+fn promotion_dumps_a_flight_record() {
+    let _gate = fault_gate();
+    let pdir = std::env::temp_dir().join(format!("intensio-fr-promo-p-{}", std::process::id()));
+    let cdir = std::env::temp_dir().join(format!("intensio-fr-promo-c-{}", std::process::id()));
+    for dir in [&pdir, &cdir] {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    let primary = Arc::new(open_service(|cfg| {
+        cfg.data_dir = Some(pdir.clone());
+        cfg.wal.fsync = intensio_wal::FsyncPolicy::Off;
+    }));
+    let pserver = intensio_serve::Server::bind(primary.clone(), "127.0.0.1:0").unwrap();
+    let paddr = pserver.local_addr().to_string();
+    let candidate = open_service(|cfg| {
+        cfg.data_dir = Some(cdir.clone());
+        cfg.wal.fsync = intensio_wal::FsyncPolicy::Off;
+        cfg.replicate_from = Some(paddr);
+        cfg.candidate = true;
+        cfg.failover_timeout = Duration::from_millis(200);
+        cfg.failover_seed = 7;
+        cfg.repl_heartbeat = Duration::from_millis(40);
+    });
+
+    // Silence the heartbeat stream: the candidate's deadline elapses
+    // and the promotion path — which dumps the span ring — fires.
+    pserver.shutdown();
+    drop(primary);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while candidate.stats().role != "primary" {
+        assert!(Instant::now() < deadline, "candidate never promoted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let dump = std::fs::read_dir(&cdir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec-promotion-"))
+        })
+        .expect("promotion left no flight-recorder dump");
+    let body = std::fs::read_to_string(&dump).unwrap();
+    let v = intensio_serve::json::parse(&body).expect("dump is valid JSON");
+    assert_eq!(
+        v.get("reason").and_then(intensio_serve::json::Json::as_str),
+        Some("promotion")
+    );
+    // CI greps this line, then checks the file exists on disk.
+    println!("promotion flight record: {}", dump.display());
+    drop(candidate);
+    let _ = std::fs::remove_dir_all(&pdir);
+}

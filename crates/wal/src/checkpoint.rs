@@ -46,6 +46,9 @@ pub struct LoadedCheckpoint {
     pub epoch: u64,
     /// The data version at that epoch.
     pub data_version: u64,
+    /// The primary term the checkpointed state was committed under
+    /// (0 for manifests written before terms existed).
+    pub term: u64,
     /// The database.
     pub db: Database,
     /// The rule set, when one was installed at checkpoint time.
@@ -94,16 +97,17 @@ pub fn list_checkpoints(data_dir: &Path) -> std::io::Result<Vec<CheckpointRef>> 
     Ok(out)
 }
 
-fn manifest_text(epoch: u64, data_version: u64, has_rules: bool) -> String {
+fn manifest_text(epoch: u64, data_version: u64, term: u64, has_rules: bool) -> String {
     let body = format!(
-        "{MANIFEST_HEADER}\nepoch {epoch}\ndata_version {data_version}\nrules {}\n",
+        "{MANIFEST_HEADER}\nepoch {epoch}\ndata_version {data_version}\nterm {term}\nrules {}\n",
         u8::from(has_rules)
     );
     let crc = crc32(body.as_bytes());
     format!("{body}crc {crc}\n")
 }
 
-fn parse_manifest(text: &str) -> Result<(u64, u64, bool), WalError> {
+/// `(epoch, data_version, term, has_rules)`.
+fn parse_manifest(text: &str) -> Result<(u64, u64, u64, bool), WalError> {
     let bad = |why: &str| WalError(format!("invalid checkpoint manifest: {why}"));
     let (body, crc_line) = text
         .trim_end_matches('\n')
@@ -121,20 +125,28 @@ fn parse_manifest(text: &str) -> Result<(u64, u64, bool), WalError> {
     if lines.next() != Some(MANIFEST_HEADER) {
         return Err(bad("wrong header"));
     }
+    let rest: Vec<&str> = lines.collect();
+    let mut at = 0usize;
     let mut field = |key: &str| -> Result<u64, WalError> {
-        lines
-            .next()
+        let v = rest
+            .get(at)
             .and_then(|l| l.strip_prefix(key))
             .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| bad(&format!("missing {key}")))
+            .ok_or_else(|| bad(&format!("missing {key}")))?;
+        at += 1;
+        Ok(v)
     };
     let epoch = field("epoch ")?;
     let data_version = field("data_version ")?;
+    // Manifests written before failover existed have no `term` line;
+    // they pin term 0 (the pre-election lineage).
+    let term = field("term ").unwrap_or(0);
     let rules = field("rules ")?;
-    Ok((epoch, data_version, rules != 0))
+    Ok((epoch, data_version, term, rules != 0))
 }
 
-/// Write a checkpoint of `(db, rules)` at `(epoch, data_version)`.
+/// Write a checkpoint of `(db, rules)` at `(epoch, data_version)`
+/// committed under `term`.
 ///
 /// The `wal.checkpoint` failpoint aborts after the database directory
 /// is written but before the manifest and rename — the partial-
@@ -145,6 +157,7 @@ pub fn write_checkpoint(
     rules: Option<&RuleSet>,
     epoch: u64,
     data_version: u64,
+    term: u64,
 ) -> Result<CheckpointRef, WalError> {
     let io = |e: std::io::Error| WalError(format!("checkpoint io: {e}"));
     let parent = data_dir.join(CHECKPOINT_SUBDIR);
@@ -185,7 +198,7 @@ pub fn write_checkpoint(
     // destroying acknowledged writes even under fsync=always.
     crate::write_sync(
         &tmp.join(MANIFEST),
-        &manifest_text(epoch, data_version, rules.is_some()),
+        &manifest_text(epoch, data_version, term, rules.is_some()),
     )
     .map_err(io)?;
     crate::sync_dir(&tmp);
@@ -206,7 +219,7 @@ pub fn write_checkpoint(
 pub fn load_checkpoint(ckpt: &CheckpointRef) -> Result<LoadedCheckpoint, WalError> {
     let io = |e: std::io::Error| WalError(format!("checkpoint io: {e}"));
     let manifest = std::fs::read_to_string(ckpt.path.join(MANIFEST)).map_err(io)?;
-    let (epoch, data_version, has_rules) = parse_manifest(&manifest)?;
+    let (epoch, data_version, term, has_rules) = parse_manifest(&manifest)?;
     if epoch != ckpt.epoch {
         return Err(WalError(format!(
             "checkpoint directory {} claims epoch {epoch} in its manifest",
@@ -230,6 +243,7 @@ pub fn load_checkpoint(ckpt: &CheckpointRef) -> Result<LoadedCheckpoint, WalErro
     Ok(LoadedCheckpoint {
         epoch,
         data_version,
+        term,
         db,
         rules,
     })
@@ -306,11 +320,12 @@ mod tests {
     fn write_load_round_trip() {
         let dir = tmpdir("roundtrip");
         let rules = sample_rules();
-        let r = write_checkpoint(&dir, &sample_db(), Some(&rules), 5, 3).unwrap();
+        let r = write_checkpoint(&dir, &sample_db(), Some(&rules), 5, 3, 2).unwrap();
         assert_eq!((r.epoch, r.seq), (5, 1));
         let loaded = load_checkpoint(&r).unwrap();
         assert_eq!(loaded.epoch, 5);
         assert_eq!(loaded.data_version, 3);
+        assert_eq!(loaded.term, 2);
         assert_eq!(loaded.db.get("SHIPS").unwrap().len(), 1);
         let back = loaded.rules.unwrap();
         assert_eq!(back.len(), 1);
@@ -321,9 +336,9 @@ mod tests {
     #[test]
     fn newest_checkpoint_wins_and_same_epoch_reuses() {
         let dir = tmpdir("newest");
-        write_checkpoint(&dir, &sample_db(), None, 2, 1).unwrap();
-        write_checkpoint(&dir, &sample_db(), None, 7, 4).unwrap();
-        write_checkpoint(&dir, &sample_db(), None, 7, 4).unwrap();
+        write_checkpoint(&dir, &sample_db(), None, 2, 1, 0).unwrap();
+        write_checkpoint(&dir, &sample_db(), None, 7, 4, 0).unwrap();
+        write_checkpoint(&dir, &sample_db(), None, 7, 4, 0).unwrap();
         let list = list_checkpoints(&dir).unwrap();
         assert_eq!(list.len(), 3);
         let newest = list.last().unwrap();
@@ -336,7 +351,7 @@ mod tests {
     #[test]
     fn corrupt_manifest_is_rejected() {
         let dir = tmpdir("corrupt");
-        let r = write_checkpoint(&dir, &sample_db(), None, 3, 3).unwrap();
+        let r = write_checkpoint(&dir, &sample_db(), None, 3, 3, 0).unwrap();
         let path = r.path.join(MANIFEST);
         let mut text = std::fs::read_to_string(&path).unwrap();
         text = text.replace("epoch 3", "epoch 4");
@@ -346,10 +361,19 @@ mod tests {
     }
 
     #[test]
+    fn manifest_without_term_line_pins_term_zero() {
+        // A manifest written before failover existed: no `term` line.
+        let body = format!("{MANIFEST_HEADER}\nepoch 9\ndata_version 4\nrules 0\n");
+        let crc = crc32(body.as_bytes());
+        let (epoch, dv, term, rules) = parse_manifest(&format!("{body}crc {crc}\n")).unwrap();
+        assert_eq!((epoch, dv, term, rules), (9, 4, 0, false));
+    }
+
+    #[test]
     fn partial_checkpoint_failpoint_leaves_no_valid_checkpoint() {
         let dir = tmpdir("partial");
         intensio_fault::configure("wal.checkpoint", "error*1").unwrap();
-        let err = write_checkpoint(&dir, &sample_db(), None, 1, 1);
+        let err = write_checkpoint(&dir, &sample_db(), None, 1, 1, 0);
         intensio_fault::remove("wal.checkpoint");
         assert!(err.is_err());
         assert!(

@@ -313,9 +313,10 @@ impl Wal {
         rules: Option<&RuleSet>,
         epoch: u64,
         data_version: u64,
+        term: u64,
     ) -> Result<CheckpointRef, WalError> {
         self.check_poison()?;
-        let ckpt = checkpoint::write_checkpoint(&self.root, db, rules, epoch, data_version)?;
+        let ckpt = checkpoint::write_checkpoint(&self.root, db, rules, epoch, data_version, term)?;
         // The checkpoint is durable; everything logged before it is now
         // redundant. Start a fresh segment and drop the covered ones.
         self.rotate()?;
@@ -528,7 +529,7 @@ mod tests {
         assert!(list_segments(&dir).unwrap().len() > 1, "rotation happened");
         // A checkpoint materialized at epoch 8 while epochs 9..=12 were
         // already on the log — the background-checkpointer shape.
-        crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 8, 8).unwrap();
+        crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 8, 8, 0).unwrap();
         wal.truncate_covered(8).unwrap();
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.stats.checkpoint_epoch, 8);
@@ -552,7 +553,7 @@ mod tests {
         for i in 1..=5u64 {
             wal.append(&Record::write(i, i, "x")).unwrap();
         }
-        crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 5, 5).unwrap();
+        crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 5, 5, 0).unwrap();
         wal.truncate_covered(5).unwrap();
         let rec = recover(&dir).unwrap();
         assert!(rec.records.is_empty(), "everything was covered");

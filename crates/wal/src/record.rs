@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! frame    = len:u32le  crc:u32le  payload
-//! payload  = kind:u8  epoch:u64le  data_version:u64le  body
+//! payload  = kind:u8  term:u64le  epoch:u64le  data_version:u64le  body
 //! ```
 //!
 //! `len` is the payload length and `crc` is the CRC-32 of the payload,
@@ -16,8 +16,8 @@ use crate::crc::crc32;
 
 /// Frame header: length + checksum.
 pub const FRAME_HEADER_BYTES: usize = 8;
-/// Payload prefix: kind + epoch + data_version.
-pub const PAYLOAD_PREFIX_BYTES: usize = 1 + 8 + 8;
+/// Payload prefix: kind + term + epoch + data_version.
+pub const PAYLOAD_PREFIX_BYTES: usize = 1 + 8 + 8 + 8;
 /// Upper bound on one record's payload; anything larger is treated as
 /// corruption (a garbage length prefix), not an allocation request.
 pub const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
@@ -32,6 +32,11 @@ pub enum RecordKind {
     /// [`crate::rules_codec`]). Replay re-installs the rules (after the
     /// caller's static-analysis gate).
     Rules,
+    /// A term bump: a newly promoted primary fsyncs one of these before
+    /// accepting writes. The record consumes an epoch (so it replicates
+    /// through the ordinary exactly-once chain) but changes no data;
+    /// replay adopts the record's term. The body is empty.
+    Term,
 }
 
 impl RecordKind {
@@ -39,6 +44,7 @@ impl RecordKind {
         match self {
             RecordKind::Write => 1,
             RecordKind::Rules => 2,
+            RecordKind::Term => 3,
         }
     }
 
@@ -46,6 +52,7 @@ impl RecordKind {
         match tag {
             1 => Some(RecordKind::Write),
             2 => Some(RecordKind::Rules),
+            3 => Some(RecordKind::Term),
             _ => None,
         }
     }
@@ -55,6 +62,7 @@ impl RecordKind {
         match self {
             RecordKind::Write => "write",
             RecordKind::Rules => "rules",
+            RecordKind::Term => "term",
         }
     }
 }
@@ -65,6 +73,10 @@ impl RecordKind {
 pub struct Record {
     /// What the record describes.
     pub kind: RecordKind,
+    /// The primary term under which the record was committed. Terms
+    /// fence failover: a record from a lower term than the reader's
+    /// established term belongs to a deposed primary's lineage.
+    pub term: u64,
     /// The epoch the snapshot *created by this record* carries.
     pub epoch: u64,
     /// The data version of that snapshot.
@@ -74,31 +86,53 @@ pub struct Record {
 }
 
 impl Record {
-    /// A data-mutation record carrying the QUEL script that ran.
+    /// A data-mutation record carrying the QUEL script that ran
+    /// (term 0; see [`Record::with_term`]).
     pub fn write(epoch: u64, data_version: u64, script: &str) -> Record {
         Record {
             kind: RecordKind::Write,
+            term: 0,
             epoch,
             data_version,
             body: script.as_bytes().to_vec(),
         }
     }
 
-    /// A rule-set-install record carrying encoded rule relations.
+    /// A rule-set-install record carrying encoded rule relations
+    /// (term 0; see [`Record::with_term`]).
     pub fn rules(epoch: u64, data_version: u64, body: Vec<u8>) -> Record {
         Record {
             kind: RecordKind::Rules,
+            term: 0,
             epoch,
             data_version,
             body,
         }
     }
 
+    /// A term-bump record: the fencepost a promoted primary fsyncs at
+    /// `term` before accepting its first write.
+    pub fn term_bump(term: u64, epoch: u64, data_version: u64) -> Record {
+        Record {
+            kind: RecordKind::Term,
+            term,
+            epoch,
+            data_version,
+            body: Vec::new(),
+        }
+    }
+
+    /// The same record stamped with a primary term.
+    pub fn with_term(mut self, term: u64) -> Record {
+        self.term = term;
+        self
+    }
+
     /// The QUEL script of a [`RecordKind::Write`] record.
     pub fn script(&self) -> Option<&str> {
         match self.kind {
             RecordKind::Write => std::str::from_utf8(&self.body).ok(),
-            RecordKind::Rules => None,
+            RecordKind::Rules | RecordKind::Term => None,
         }
     }
 
@@ -109,6 +143,7 @@ impl Record {
         out.extend_from_slice(&(len as u32).to_le_bytes());
         out.extend_from_slice(&[0, 0, 0, 0]); // crc placeholder
         out.push(self.kind.tag());
+        out.extend_from_slice(&self.term.to_le_bytes());
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.data_version.to_le_bytes());
         out.extend_from_slice(&self.body);
@@ -155,13 +190,16 @@ pub fn decode_frame(buf: &[u8]) -> FrameOutcome {
     let Some(kind) = RecordKind::from_tag(payload[0]) else {
         return FrameOutcome::Corrupt(format!("unknown record kind {}", payload[0]));
     };
+    let mut term = [0u8; 8];
+    term.copy_from_slice(&payload[1..9]);
     let mut epoch = [0u8; 8];
-    epoch.copy_from_slice(&payload[1..9]);
+    epoch.copy_from_slice(&payload[9..17]);
     let mut dv = [0u8; 8];
-    dv.copy_from_slice(&payload[9..17]);
+    dv.copy_from_slice(&payload[17..25]);
     FrameOutcome::Complete(
         Record {
             kind,
+            term: u64::from_le_bytes(term),
             epoch: u64::from_le_bytes(epoch),
             data_version: u64::from_le_bytes(dv),
             body: payload[PAYLOAD_PREFIX_BYTES..].to_vec(),
@@ -176,13 +214,29 @@ mod tests {
 
     #[test]
     fn round_trips() {
-        let rec = Record::write(7, 3, "append to SUBMARINE (Id = \"X\")");
+        let rec = Record::write(7, 3, "append to SUBMARINE (Id = \"X\")").with_term(5);
         let frame = rec.encode();
         match decode_frame(&frame) {
             FrameOutcome::Complete(back, consumed) => {
                 assert_eq!(back, rec);
+                assert_eq!(back.term, 5);
                 assert_eq!(consumed, frame.len());
                 assert_eq!(back.script(), Some("append to SUBMARINE (Id = \"X\")"));
+            }
+            other => panic!("expected complete frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn term_bump_round_trips_with_empty_body() {
+        let rec = Record::term_bump(4, 11, 6);
+        match decode_frame(&rec.encode()) {
+            FrameOutcome::Complete(back, _) => {
+                assert_eq!(back, rec);
+                assert_eq!(back.kind, RecordKind::Term);
+                assert_eq!((back.term, back.epoch, back.data_version), (4, 11, 6));
+                assert!(back.body.is_empty());
+                assert_eq!(back.script(), None);
             }
             other => panic!("expected complete frame, got {other:?}"),
         }

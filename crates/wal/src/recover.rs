@@ -18,9 +18,20 @@
 //! 4. A corrupt frame (bad checksum, impossible length) or an epoch
 //!    gap ends replay entirely: frame boundaries or ordering can no
 //!    longer be trusted, and everything after is discarded and counted.
+//! 5. Terms fence failover lineages. Replay tracks the highest term
+//!    established so far (seeded from the checkpoint manifest). A
+//!    record from a *lower* term is a higher-term-orphaned suffix — a
+//!    deposed primary's unshipped tail, already superseded by a rewind
+//!    checkpoint — and is skipped, counted as orphaned. A record from a
+//!    *higher* term first retracts any accepted records at or above its
+//!    epoch (they were orphaned by the failover) and then chains
+//!    normally under the new term.
 //!
 //! The function is read-only; [`apply_sanitize`] performs the
-//! truncations recovery recommends.
+//! truncations recovery recommends. Orphaned records interleaved
+//! mid-log are dropped logically here and physically retired by the
+//! caller's next checkpoint (the serve boot path always re-checkpoints
+//! the recovered state, which truncates the covered log).
 
 use crate::checkpoint::{list_checkpoints, load_checkpoint, LoadedCheckpoint};
 use crate::record::{decode_frame, FrameOutcome, Record};
@@ -45,6 +56,11 @@ pub struct RecoveryStats {
     pub corrupt: bool,
     /// Epoch of the checkpoint recovery started from (0 if none).
     pub checkpoint_epoch: u64,
+    /// Records dropped because a higher term superseded their lineage
+    /// (a deposed primary's unshipped suffix).
+    pub orphaned_records: u64,
+    /// Term of the checkpoint recovery started from (0 if none).
+    pub checkpoint_term: u64,
 }
 
 /// The result of scanning a data directory.
@@ -80,6 +96,17 @@ impl Recovered {
             .or_else(|| self.checkpoint.as_ref().map(|c| c.data_version))
             .unwrap_or(0)
     }
+
+    /// The primary term of the recovered state: the highest term on
+    /// the replayed suffix, or the checkpoint's term.
+    pub fn final_term(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.term)
+            .max()
+            .unwrap_or(0)
+            .max(self.stats.checkpoint_term)
+    }
 }
 
 /// Scan `data_dir` and compute the newest consistent state. Read-only:
@@ -99,14 +126,17 @@ pub fn recover(data_dir: &Path) -> Result<Recovered, WalError> {
         }
     }
     let base_epoch = checkpoint.as_ref().map(|c| c.epoch).unwrap_or(0);
+    let base_term = checkpoint.as_ref().map(|c| c.term).unwrap_or(0);
 
     let mut stats = RecoveryStats {
         checkpoint_epoch: base_epoch,
+        checkpoint_term: base_term,
         ..RecoveryStats::default()
     };
     let mut records: Vec<Record> = Vec::new();
     let mut torn: Vec<(PathBuf, u64)> = Vec::new();
     let mut last_epoch = base_epoch;
+    let mut last_term = base_term;
     let mut stopped = false;
 
     let segments = list_segments(data_dir).map_err(io)?;
@@ -123,6 +153,28 @@ pub fn recover(data_dir: &Path) -> Result<Recovered, WalError> {
                         stats.discarded_records += 1;
                         stats.discarded_bytes += consumed as u64;
                         continue;
+                    }
+                    if rec.term < last_term {
+                        // A deposed primary's lineage: a later term has
+                        // already been established (by the checkpoint
+                        // or an earlier record), so this suffix was
+                        // fenced off at failover. Never replay it.
+                        stats.orphaned_records += 1;
+                        stats.discarded_bytes += consumed as u64;
+                        continue;
+                    }
+                    if rec.term > last_term {
+                        // A new term begins. Anything accepted at or
+                        // above its epoch belonged to the previous
+                        // term's unshipped tail and was orphaned by the
+                        // failover — retract it before chaining.
+                        while records.last().is_some_and(|p| p.epoch >= rec.epoch) {
+                            records.pop();
+                            stats.replayed_records -= 1;
+                            stats.orphaned_records += 1;
+                        }
+                        last_epoch = records.last().map(|r| r.epoch).unwrap_or(base_epoch);
+                        last_term = rec.term;
                     }
                     let duplicates_tail = rec.epoch == last_epoch
                         && records.last().is_some_and(|prev| prev.epoch == rec.epoch);
@@ -173,6 +225,7 @@ pub fn recover(data_dir: &Path) -> Result<Recovered, WalError> {
     intensio_obs::gauge("recovery.discarded_records", stats.discarded_records as i64);
     intensio_obs::gauge("recovery.discarded_bytes", stats.discarded_bytes as i64);
     intensio_obs::gauge("recovery.checkpoint_epoch", base_epoch as i64);
+    intensio_obs::gauge("recovery.orphaned_records", stats.orphaned_records as i64);
 
     Ok(Recovered {
         checkpoint,
@@ -354,7 +407,7 @@ mod tests {
         use intensio_storage::prelude::*;
         let dir = tmpdir("ckpt");
         let db = Database::new();
-        crate::checkpoint::write_checkpoint(&dir, &db, None, 3, 2).unwrap();
+        crate::checkpoint::write_checkpoint(&dir, &db, None, 3, 2, 0).unwrap();
         let wal_dir = dir.join(WAL_SUBDIR);
         std::fs::create_dir_all(&wal_dir).unwrap();
         let mut buf = Vec::new();
@@ -369,5 +422,84 @@ mod tests {
         assert_eq!(rec.records.len(), 2);
         assert_eq!(rec.final_epoch(), 5);
         assert_eq!(rec.last_seq, 7);
+    }
+
+    #[test]
+    fn term_record_chains_and_raises_the_term() {
+        let dir = tmpdir("termchain");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Record::write(1, 1, "a").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "b").encode());
+        buf.extend_from_slice(&Record::term_bump(1, 3, 2).encode());
+        buf.extend_from_slice(&Record::write(4, 3, "c").with_term(1).encode());
+        std::fs::write(wal_dir.join(segment_file_name(1)), &buf).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        assert_eq!(rec.final_epoch(), 4);
+        assert_eq!(rec.final_term(), 1);
+        assert_eq!(rec.stats.orphaned_records, 0);
+        assert!(!rec.stats.corrupt);
+    }
+
+    #[test]
+    fn higher_term_retracts_the_orphaned_suffix() {
+        // A deposed primary logged epochs 1-4 at term 0, then (after
+        // demoting and rewinding to the new lineage) appended the new
+        // primary's term-1 chain from epoch 3. The term-0 records at
+        // epochs 3-4 are orphans: replay must retract them and follow
+        // the term-1 chain.
+        let dir = tmpdir("orphan");
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Record::write(1, 1, "a").encode());
+        buf.extend_from_slice(&Record::write(2, 2, "b").encode());
+        buf.extend_from_slice(&Record::write(3, 3, "orphan3").encode());
+        buf.extend_from_slice(&Record::write(4, 4, "orphan4").encode());
+        buf.extend_from_slice(&Record::term_bump(1, 3, 2).encode());
+        buf.extend_from_slice(&Record::write(4, 3, "kept4").with_term(1).encode());
+        std::fs::write(wal_dir.join(segment_file_name(1)), &buf).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        assert_eq!(rec.records[2].kind, crate::RecordKind::Term);
+        assert_eq!(rec.records[3].script(), Some("kept4"));
+        assert_eq!(rec.final_epoch(), 4);
+        assert_eq!(rec.final_term(), 1);
+        assert_eq!(rec.stats.orphaned_records, 2);
+        assert!(!rec.stats.corrupt, "an orphaned suffix is not corruption");
+    }
+
+    #[test]
+    fn stale_term_suffix_after_a_rewind_checkpoint_is_skipped() {
+        // A durable follower rewound onto the new primary's lineage:
+        // its checkpoint pins (epoch 3, term 2), but older segments
+        // still hold the deposed primary's term-0 records at epochs
+        // 4-5. Those are orphans; the term-2 chain from epoch 4 in the
+        // later segment is the real suffix.
+        use intensio_storage::prelude::*;
+        let dir = tmpdir("stale");
+        let db = Database::new();
+        crate::checkpoint::write_checkpoint(&dir, &db, None, 3, 2, 2).unwrap();
+        let wal_dir = dir.join(WAL_SUBDIR);
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let mut seg1 = Vec::new();
+        seg1.extend_from_slice(&Record::write(4, 4, "orphan4").encode());
+        seg1.extend_from_slice(&Record::write(5, 5, "orphan5").encode());
+        std::fs::write(wal_dir.join(segment_file_name(1)), &seg1).unwrap();
+        let mut seg2 = Vec::new();
+        seg2.extend_from_slice(&Record::write(4, 3, "kept4").with_term(2).encode());
+        std::fs::write(wal_dir.join(segment_file_name(2)), &seg2).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.stats.checkpoint_term, 2);
+        assert_eq!(rec.stats.orphaned_records, 2);
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].script(), Some("kept4"));
+        assert_eq!(rec.final_epoch(), 4);
+        assert_eq!(rec.final_term(), 2);
     }
 }

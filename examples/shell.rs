@@ -232,8 +232,12 @@ impl LearnWithNc for IntensionalQueryProcessor {
 /// requests and render the JSON replies.
 struct RemoteShell {
     client: intensio::serve::Client,
-    /// The node's role ("primary" / "follower"), fetched at connect so
-    /// the prompt shows where writes will and won't be accepted.
+    /// The address currently connected to; changes when a failover
+    /// redirect points the shell at the new primary.
+    addr: String,
+    /// The node's role ("primary" / "follower" / "candidate"), fetched
+    /// at connect so the prompt shows where writes will and won't be
+    /// accepted.
     role: String,
 }
 
@@ -249,7 +253,43 @@ impl RemoteShell {
                 Some(v.get("role")?.as_str()?.to_string())
             })
             .unwrap_or_else(|| "primary".to_string());
-        Ok(RemoteShell { client, role })
+        Ok(RemoteShell {
+            client,
+            addr: addr.to_string(),
+            role,
+        })
+    }
+
+    /// When a reply is a failover redirect — `REDIRECT <host:port>
+    /// term=<t>: ...` from a lagging follower, or a `READONLY: this
+    /// node is a follower of <host:port>; ...` write refusal — return
+    /// the primary's address so the request can be retried there.
+    fn failover_target(json_line: &str) -> Option<String> {
+        use intensio::serve::json::{self, Json};
+        let v = json::parse(json_line).ok()?;
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            return None;
+        }
+        let msg = v.get("error").and_then(Json::as_str)?;
+        let addr = if let Some(rest) = msg.strip_prefix("REDIRECT ") {
+            rest.split_whitespace().next()?.to_string()
+        } else if let Some(rest) = msg.strip_prefix("READONLY: this node is a follower of ") {
+            rest.split([';', ' ']).next()?.to_string()
+        } else {
+            return None;
+        };
+        addr.contains(':').then_some(addr)
+    }
+
+    /// Follow a failover redirect: reconnect to the named primary and
+    /// retry the request once. The refusing node never applied the
+    /// request, so the retry cannot double-apply a write.
+    fn retry_at(&mut self, target: &str, request: &str) -> std::io::Result<String> {
+        let mut next = RemoteShell::connect(target)?;
+        let reply = next.client.roundtrip(request)?;
+        let note = format!("(redirected to {target} [{}])", next.role);
+        *self = next;
+        Ok(format!("{note}\n{}", Self::render(&reply)))
     }
 
     /// Map a shell line to a request line, or `None` to quit.
@@ -643,7 +683,19 @@ impl RemoteShell {
             Ok(None) => false,
             Ok(Some(request)) => {
                 match self.client.roundtrip(&request) {
-                    Ok(reply) => println!("{}", Self::render(&reply)),
+                    Ok(reply) => {
+                        let out = match Self::failover_target(&reply) {
+                            Some(target) => match self.retry_at(&target, &request) {
+                                Ok(rendered) => rendered,
+                                Err(e) => format!(
+                                    "{}\n(redirect to {target} failed: {e})",
+                                    Self::render(&reply)
+                                ),
+                            },
+                            None => Self::render(&reply),
+                        };
+                        println!("{out}");
+                    }
                     Err(e) => {
                         println!("error: connection lost: {e}");
                         return false;
@@ -675,7 +727,7 @@ fn remote_main(addr: &str) {
     let interactive = atty_stdin();
     loop {
         if interactive {
-            print!("intensio@{addr} [{}]> ", shell.role);
+            print!("intensio@{} [{}]> ", shell.addr, shell.role);
             let _ = io::stdout().flush();
         }
         let mut line = String::new();
