@@ -139,16 +139,26 @@ impl Report {
         self.diagnostics.extend(other.diagnostics);
     }
 
-    /// Sort by severity (errors first), then code, then span position.
+    /// Sort by severity (errors first), then code, then subject
+    /// (origin), then span position, then message and notes.
+    ///
+    /// The trailing keys make this a *total* order over every field a
+    /// renderer prints, so two passes that found the same facts in a
+    /// different order (for instance via hash-map iteration) render
+    /// byte-identical reports — golden tests and `--deny-warnings` CI
+    /// runs depend on that stability.
     pub fn sort(&mut self) {
         self.diagnostics.sort_by(|a, b| {
             b.severity
                 .cmp(&a.severity)
                 .then_with(|| a.code.cmp(b.code))
+                .then_with(|| a.origin.cmp(&b.origin))
                 .then_with(|| {
-                    let pos = |d: &Diagnostic| d.span.as_ref().map(|s| (s.line, s.col));
+                    let pos = |d: &Diagnostic| d.span.as_ref().map(|s| (s.line, s.col, s.len));
                     pos(a).cmp(&pos(b))
                 })
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.notes.cmp(&b.notes))
         });
     }
 

@@ -12,12 +12,19 @@
 //!
 //! The passes:
 //! * [`schema::check_schema_text`] — IC000–IC010 over the KER AST;
-//! * [`rules::check_rules`] — IC020–IC024 over a [`intensio_rules::rule::RuleSet`];
+//! * [`rules::check_rules`] — IC020–IC027 over a [`intensio_rules::rule::RuleSet`],
+//!   including the saturation lints (chain subsumption, dead premises,
+//!   chained conflicts) built on the shared abstract-interpretation
+//!   engine in `intensio_inference::absint`;
 //! * [`query::check_sql`] / [`query::check_quel`] — IC040–IC045 over
-//!   parsed queries against the catalog and rules.
+//!   parsed queries against the catalog and rules, with fixpoint rule
+//!   chaining and disjunct-wise emptiness proofs;
+//! * [`fsck::check_data_dir`] — IC060–IC066 offline audit of a serve
+//!   data directory (WAL frames, epochs, terms, checkpoints, debris).
 //!
-//! Consumers: the `check` CLI binary (CI gate), the serve-layer install
-//! gate (rejects Error-level rule-set epochs), the `CHECK` protocol
+//! Consumers: the `check` CLI binary (CI gate and the `fsck`
+//! subcommand), the serve-layer install gate (rejects Error-level rule
+//! set epochs and prunes directly-subsumed rules), the `CHECK` protocol
 //! verb, and the induction driver's post-induction lint hook.
 //!
 //! ```
@@ -35,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod fsck;
 pub mod query;
 pub mod rules;
 pub mod schema;
 
 pub use diag::{Diagnostic, Report, Severity, Span};
+pub use fsck::check_data_dir;
 pub use query::{check_quel, check_sql};
-pub use rules::{check_rules, RuleCheckConfig};
+pub use rules::{check_rules, prunable_rules, RuleCheckConfig};
 pub use schema::{check_schema, check_schema_text};

@@ -9,20 +9,28 @@
 //! | IC042 | error | type-mismatched comparison |
 //! | IC043 | error | contradictory restrictions (condition self-empty) |
 //! | IC044 | error | condition provably empty under the induced rules |
-//! | IC045 | warning | equality constant outside the attribute's declared domain |
+//! | IC045 | warning | restriction vacuously false (or true) against the declared domain |
 //!
-//! **Soundness of IC043/IC044.** Only top-level conjuncts of the form
-//! `attr op constant` participate. Dropping the other conjuncts (joins,
-//! disjunctions, negations) keeps a *superset* of the answer set, so
-//! proving the superset empty proves the query empty. IC044 applies a
-//! rule *forward* (the paper's Modus Ponens direction): when the query's
-//! restriction on a rule's premise attribute is contained in the premise
-//! range, the rule's conclusion holds for **every** answer tuple; if the
-//! query also restricts the conclusion attribute to a range disjoint
-//! from the rule's conclusion, no tuple can satisfy both — the rule is
-//! returned as the refuting provenance.
+//! **Soundness of IC043/IC044.** The condition is split into a bounded
+//! disjunctive normal form; within each disjunct only conjuncts of the
+//! form `attr op constant` participate. Dropping the other conjuncts
+//! (joins, negations, arithmetic) keeps a *superset* of the disjunct's
+//! answer set, and a disjunction is empty iff **all** its disjuncts
+//! are, so proving every abstract disjunct empty proves the query
+//! empty. Per disjunct the restrictions seed an
+//! [`AbstractState`](intensio_inference::absint::AbstractState) (meet
+//! of the declared domain and the query ranges, every other attribute
+//! of the relation at its domain value) and the rule set is applied
+//! forward to **saturation** — the paper's Modus Ponens direction,
+//! chained: when the state's value on every premise attribute is
+//! contained in the premise range, the conclusion holds for every
+//! admitted tuple and is met into the state, possibly enabling further
+//! rules. Each meet only removes tuples the rules prove impossible, so
+//! a ⊥ state is a sound emptiness proof; the fired rules are returned
+//! as the derivation chain.
 
 use crate::diag::{locate_word, Diagnostic, Report, Severity};
+use intensio_inference::absint::{saturate, AbstractState, AbstractValue};
 use intensio_ker::coerce_value;
 use intensio_rules::range::ValueRange;
 use intensio_rules::rule::RuleSet;
@@ -30,6 +38,11 @@ use intensio_storage::catalog::Database;
 use intensio_storage::expr::{AttrRef, CmpOp, Expr};
 use intensio_storage::value::Value;
 use std::collections::BTreeMap;
+
+/// Disjunct cap for the DNF split. A condition that expands past this
+/// is analyzed as an opaque (unconstrained) leaf instead — sound, just
+/// imprecise.
+const MAX_DISJUNCTS: usize = 16;
 
 /// One resolved `attr op constant` restriction, tagged with the tuple
 /// variable (SQL alias or QUEL range variable) it constrains.
@@ -39,10 +52,11 @@ struct Cond {
     attribute: String,
     op: CmpOp,
     value: Value,
-    /// The attribute's declared domain range, when one exists. Query
-    /// ranges are clamped by it before forward inference — exactly what
-    /// lets `Displacement > 8000` sit inside a `[7250, 30000]` premise.
-    domain_range: Option<ValueRange>,
+    /// The attribute's declared domain as an abstract value (interval
+    /// and/or finite set). Query ranges are clamped by it before
+    /// forward inference — exactly what lets `Displacement > 8000` sit
+    /// inside a `[7250, 30000]` premise.
+    domain: AbstractValue,
 }
 
 /// Check one SQL `SELECT` against the catalog and rules.
@@ -103,12 +117,9 @@ pub fn check_sql(sql_text: &str, db: &Database, rules: &RuleSet) -> Report {
         return report;
     }
 
-    // Restrictions from top-level conjuncts.
-    let mut conds = Vec::new();
     if let Some(w) = &q.where_clause {
-        collect_conds(sql_text, db, &tables, w, &mut conds, &mut report);
+        check_qual(sql_text, db, rules, &tables, w, &mut report);
     }
-    check_conditions(sql_text, db, rules, &conds, &mut report);
     report.sort();
     report
 }
@@ -194,16 +205,7 @@ fn self_check_qual(
     if report.has_errors() {
         return;
     }
-    let mut conds = Vec::new();
-    collect_conds(text, db, tables, qual, &mut conds, report);
-    check_conditions(text, db, rules, &conds, report);
-}
-
-fn endpoint(v: &Value, b: intensio_storage::domain::Bound) -> intensio_rules::range::Endpoint {
-    intensio_rules::range::Endpoint {
-        value: v.clone(),
-        inclusive: b == intensio_storage::domain::Bound::Inclusive,
-    }
+    check_qual(text, db, rules, tables, qual, report);
 }
 
 fn unknown_relation(text: &str, name: &str) -> Diagnostic {
@@ -267,125 +269,198 @@ fn resolve(
     Ok((alias, relation))
 }
 
-/// Extract `attr op constant` conjuncts (either orientation), resolving
-/// each side and flagging type mismatches (IC042).
-fn collect_conds(
-    text: &str,
-    db: &Database,
-    tables: &[(String, String)],
-    expr: &Expr,
-    conds: &mut Vec<Cond>,
-    report: &mut Report,
-) {
-    for c in expr.conjuncts() {
-        let Expr::Cmp { op, left, right } = c else {
-            continue;
-        };
-        let (attr, op, value) = match (left.as_ref(), right.as_ref()) {
-            (Expr::Attr(a), Expr::Const(v)) => (a, *op, v),
-            (Expr::Const(v), Expr::Attr(a)) => (a, op.flip(), v),
-            _ => continue,
-        };
-        let Ok((alias, relation)) = resolve(text, db, tables, attr) else {
-            continue; // already reported
-        };
-        let schema_attr = {
-            let rel = db.get(&relation).expect("resolved above");
-            let idx = rel.schema().index_of(&attr.name).expect("resolved above");
-            rel.schema().attr(idx).clone()
-        };
-        let coerced = match value.value_type() {
-            None => continue, // NULL comparisons never participate
-            Some(vt) if vt == schema_attr.value_type() => value.clone(),
-            Some(_) => match coerce_value(value, schema_attr.value_type()) {
-                Some(v) => v,
-                None => {
-                    report.push(
-                        Diagnostic::new(
-                            "IC042",
-                            Severity::Error,
-                            "query",
-                            format!(
-                                "type mismatch: {}.{} is {} but is compared with {}",
-                                relation,
-                                schema_attr.name(),
-                                schema_attr.value_type().keyword(),
-                                value
-                            ),
-                        )
-                        .with_span(locate_word(text, &attr.name)),
-                    );
-                    continue;
-                }
-            },
-        };
-        let domain_range = schema_attr
-            .domain()
-            .constraints()
-            .iter()
-            .find_map(|c| match c {
-                intensio_storage::domain::DomainConstraint::Range {
-                    lo,
-                    lo_bound,
-                    hi,
-                    hi_bound,
-                } => Some(ValueRange {
-                    lo: Some(endpoint(lo, *lo_bound)),
-                    hi: Some(endpoint(hi, *hi_bound)),
-                }),
-                _ => None,
-            });
-        let out_of_domain = (op == CmpOp::Eq && !schema_attr.domain().admits(&coerced))
-            || match (&domain_range, ValueRange::from_cmp(op, coerced.clone())) {
-                (Some(d), Some(r)) => !d.intersects(&r),
-                _ => false,
-            };
-        if out_of_domain {
-            report.push(
-                Diagnostic::new(
-                    "IC045",
-                    Severity::Warn,
-                    "query",
-                    format!(
-                        "restriction on {}.{} lies outside its declared domain {}: \
-                         no stored value can satisfy it",
-                        relation,
-                        schema_attr.name(),
-                        schema_attr.domain().name(),
-                    ),
-                )
-                .with_span(locate_word(text, &attr.name)),
-            );
-            continue;
-        }
-        conds.push(Cond {
-            alias,
-            relation,
-            attribute: schema_attr.name().to_string(),
-            op,
-            value: coerced,
-            domain_range,
-        });
+/// Push a diagnostic unless an identical one is already present — DNF
+/// disjuncts can share leaves, and a shared leaf's finding must render
+/// once.
+fn push_once(report: &mut Report, d: Diagnostic) {
+    if !report.diagnostics.contains(&d) {
+        report.push(d);
     }
 }
 
-/// Fold the restrictions per tuple variable and attribute (IC043), then
-/// apply the rules forward (IC044).
-fn check_conditions(
+/// Bounded disjunctive normal form: each inner vec is one disjunct's
+/// leaf conjuncts. `And` distributes over `Or`; when the expansion
+/// would exceed [`MAX_DISJUNCTS`], the subtree collapses to a single
+/// opaque leaf (non-`Cmp`, so it constrains nothing — a superset).
+fn dnf(expr: &Expr) -> Vec<Vec<&Expr>> {
+    match expr {
+        Expr::And(a, b) => {
+            let l = dnf(a);
+            let r = dnf(b);
+            if l.len() * r.len() > MAX_DISJUNCTS {
+                return vec![vec![expr]];
+            }
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for x in &l {
+                for y in &r {
+                    let mut d = x.clone();
+                    d.extend(y.iter().copied());
+                    out.push(d);
+                }
+            }
+            out
+        }
+        Expr::Or(a, b) => {
+            let mut l = dnf(a);
+            let r = dnf(b);
+            if l.len() + r.len() > MAX_DISJUNCTS {
+                return vec![vec![expr]];
+            }
+            l.extend(r);
+            l
+        }
+        other => vec![vec![other]],
+    }
+}
+
+/// Extract the `attr op constant` restriction of one leaf (either
+/// orientation), resolving the attribute, flagging type mismatches
+/// (IC042) and domain-vacuous restrictions (IC045).
+fn leaf_cond(
     text: &str,
     db: &Database,
-    rules: &RuleSet,
-    conds: &[Cond],
+    tables: &[(String, String)],
+    leaf: &Expr,
     report: &mut Report,
-) {
-    let _ = db;
+) -> Option<Cond> {
+    let Expr::Cmp { op, left, right } = leaf else {
+        return None;
+    };
+    let (attr, op, value) = match (left.as_ref(), right.as_ref()) {
+        (Expr::Attr(a), Expr::Const(v)) => (a, *op, v),
+        (Expr::Const(v), Expr::Attr(a)) => (a, op.flip(), v),
+        _ => return None,
+    };
+    let Ok((alias, relation)) = resolve(text, db, tables, attr) else {
+        return None; // already reported
+    };
+    let schema_attr = {
+        let rel = db.get(&relation).expect("resolved above");
+        let idx = rel.schema().index_of(&attr.name).expect("resolved above");
+        rel.schema().attr(idx).clone()
+    };
+    let coerced = match value.value_type() {
+        None => return None, // NULL comparisons never participate
+        Some(vt) if vt == schema_attr.value_type() => value.clone(),
+        Some(_) => match coerce_value(value, schema_attr.value_type()) {
+            Some(v) => v,
+            None => {
+                push_once(
+                    report,
+                    Diagnostic::new(
+                        "IC042",
+                        Severity::Error,
+                        "query",
+                        format!(
+                            "type mismatch: {}.{} is {} but is compared with {}",
+                            relation,
+                            schema_attr.name(),
+                            schema_attr.value_type().keyword(),
+                            value
+                        ),
+                    )
+                    .with_span(locate_word(text, &attr.name)),
+                );
+                return None;
+            }
+        },
+    };
+    let domain = AbstractValue::from_domain(schema_attr.domain());
+    let query_range = ValueRange::from_cmp(op, coerced.clone());
+    let vacuously_false = (op == CmpOp::Eq && !schema_attr.domain().admits(&coerced))
+        || query_range
+            .as_ref()
+            .map(|r| domain.meet(&AbstractValue::Range(r.clone())).is_bottom())
+            .unwrap_or(false);
+    if vacuously_false {
+        push_once(
+            report,
+            Diagnostic::new(
+                "IC045",
+                Severity::Warn,
+                "query",
+                format!(
+                    "restriction on {}.{} lies outside its declared domain {}: \
+                     no stored value can satisfy it",
+                    relation,
+                    schema_attr.name(),
+                    schema_attr.domain().name(),
+                ),
+            )
+            .with_span(locate_word(text, &attr.name)),
+        );
+        return None;
+    }
+    // The mirror image: the comparison excludes nothing the domain
+    // admits — `Displacement < 50000` against `range [2000..30000]`.
+    let vacuously_true = query_range
+        .as_ref()
+        .map(|r| {
+            (r.lo.is_some() || r.hi.is_some())
+                && !matches!(domain, AbstractValue::Top)
+                && domain.within(r)
+        })
+        .unwrap_or(false);
+    if vacuously_true {
+        push_once(
+            report,
+            Diagnostic::new(
+                "IC045",
+                Severity::Warn,
+                "query",
+                format!(
+                    "restriction on {}.{} is vacuously true: every value of its \
+                     declared domain {} satisfies {} {} {}",
+                    relation,
+                    schema_attr.name(),
+                    schema_attr.domain().name(),
+                    schema_attr.name(),
+                    op,
+                    coerced,
+                ),
+            )
+            .with_span(locate_word(text, &attr.name)),
+        );
+        // A no-op restriction still participates (it is satisfiable).
+    }
+    Some(Cond {
+        alias,
+        relation,
+        attribute: schema_attr.name().to_string(),
+        op,
+        value: coerced,
+        domain,
+    })
+}
+
+/// How one disjunct was proven empty.
+enum EmptyProof {
+    /// The query's own restrictions on one attribute contradict each
+    /// other (no rules needed).
+    Contradiction { relation: String, attribute: String },
+    /// Forward saturation of the rule set drove the state to ⊥.
+    Refuted {
+        /// Productively fired rule ids, in firing order.
+        chain: Vec<u32>,
+        /// The attribute whose abstract value reached ⊥.
+        object: String,
+        attribute: String,
+        /// Rendering of the pre-saturation constraint on that slot.
+        required: String,
+    },
+}
+
+/// Try to prove one disjunct's restrictions empty. `None` = no proof
+/// (the disjunct may well be satisfiable — the analysis is sound, not
+/// complete).
+fn prove_empty(db: &Database, rules: &RuleSet, conds: &[Cond]) -> Option<EmptyProof> {
     // (alias, attribute-lowercase) -> (relation, attribute, folded range)
     let mut folded: BTreeMap<(String, String), (String, String, ValueRange)> = BTreeMap::new();
     for c in conds {
         let Some(mut r) = ValueRange::from_cmp(c.op, c.value.clone()) else {
             continue; // `<>` has no interval form
         };
-        if let Some(clamp) = &c.domain_range {
+        if let Some(clamp) = c.domain.as_range() {
             // Nonempty by construction: empty clamps were IC045'd away.
             if let Some(tight) = clamp.intersect(&r) {
                 r = tight;
@@ -399,70 +474,247 @@ fn check_conditions(
             None => {
                 folded.insert(slot, (c.relation.clone(), c.attribute.clone(), r));
             }
-            Some((_, _, prev)) => match prev.intersect(&r) {
+            Some((rel, attr, prev)) => match prev.intersect(&r) {
                 Some(tight) => *prev = tight,
                 None => {
-                    report.push(
-                        Diagnostic::new(
-                            "IC043",
-                            Severity::Error,
-                            "query",
-                            format!(
-                                "contradictory restrictions on {}.{}: the condition admits \
-                                 no value and the answer is provably empty",
-                                c.relation, c.attribute
-                            ),
-                        )
-                        .with_span(locate_word(text, &c.attribute)),
-                    );
-                    return; // further analysis is moot
+                    return Some(EmptyProof::Contradiction {
+                        relation: rel.clone(),
+                        attribute: attr.clone(),
+                    });
                 }
             },
         }
     }
 
-    // Forward rule application, per tuple variable.
+    // Forward saturation, one abstract state per tuple variable.
     let mut aliases: Vec<&str> = folded.keys().map(|(a, _)| a.as_str()).collect();
     aliases.dedup();
     for alias in aliases {
-        let range_of = |object: &str, attribute: &str| -> Option<&ValueRange> {
-            folded
-                .get(&(alias.to_string(), attribute.to_ascii_lowercase()))
-                .filter(|(rel, _, _)| rel.eq_ignore_ascii_case(object))
-                .map(|(_, _, r)| r)
-        };
-        for rule in rules.iter() {
-            // Forward-applicable: every premise clause's range contains
-            // the query's restriction on that attribute.
-            let applicable = !rule.lhs.is_empty()
-                && rule.lhs.iter().all(|cl| {
-                    range_of(&cl.attr.object, &cl.attr.attribute)
-                        .map(|qr| cl.range.subsumes(qr))
-                        .unwrap_or(false)
+        let mut state = AbstractState::new();
+        let mut relation = None;
+        // Every attribute of the alias's relation starts at its domain
+        // value: rules whose premises the schema alone satisfies apply
+        // to every tuple, enabling cross-attribute propagation.
+        for ((a, _), (rel, _, _)) in &folded {
+            if a == alias {
+                relation = Some(rel.clone());
+                break;
+            }
+        }
+        let relation = relation.expect("alias came from folded");
+        if let Ok(rel) = db.get(&relation) {
+            for sa in rel.schema().attributes() {
+                let dv = AbstractValue::from_domain(sa.domain());
+                if !matches!(dv, AbstractValue::Top) {
+                    state.constrain(&relation, sa.name(), &dv);
+                }
+            }
+        }
+        for ((a, _), (rel, attr, r)) in &folded {
+            if a != alias {
+                continue;
+            }
+            state.constrain(rel, attr, &AbstractValue::Range(r.clone()));
+            if state.is_empty() {
+                // Query range vs a set-valued domain — a contradiction
+                // the interval clamp above could not see.
+                return Some(EmptyProof::Contradiction {
+                    relation: rel.clone(),
+                    attribute: attr.clone(),
                 });
-            if !applicable {
-                continue;
             }
-            let Some(qr) = range_of(&rule.rhs.attr.object, &rule.rhs.attr.attribute) else {
-                continue;
-            };
-            if qr.intersects(&rule.rhs.range) {
-                continue;
-            }
+        }
+        let seeded = state.clone();
+        let sat = saturate(rules, &mut state);
+        if sat.empty {
+            let ((object, attr_lc), _) = state
+                .slots()
+                .find(|(_, v)| v.is_bottom())
+                .expect("an empty state has a bottom slot");
+            // Recover the display-cased relation/attribute names and
+            // the pre-saturation requirement on the slot.
+            let (display_rel, attribute) = folded
+                .get(&(alias.to_string(), attr_lc.clone()))
+                .map(|(rel, attr, _)| (rel.clone(), attr.clone()))
+                .unwrap_or_else(|| (relation.clone(), attr_lc.clone()));
+            let required = seeded.value_of(object, attr_lc).to_string();
+            return Some(EmptyProof::Refuted {
+                chain: sat.fired,
+                object: display_rel,
+                attribute,
+                required,
+            });
+        }
+    }
+    None
+}
+
+/// Analyze a qualification: split into disjuncts, extract restrictions
+/// (IC042/IC045 ride along), and prove emptiness (IC043/IC044). The
+/// whole condition is provably empty iff **every** disjunct is.
+fn check_qual(
+    text: &str,
+    db: &Database,
+    rules: &RuleSet,
+    tables: &[(String, String)],
+    qual: &Expr,
+    report: &mut Report,
+) {
+    let disjuncts = dnf(qual);
+    let mut proofs = Vec::with_capacity(disjuncts.len());
+    for leaves in &disjuncts {
+        let conds: Vec<Cond> = leaves
+            .iter()
+            .filter_map(|leaf| leaf_cond(text, db, tables, leaf, report))
+            .collect();
+        proofs.push(prove_empty(db, rules, &conds));
+    }
+    if proofs.iter().any(|p| p.is_none()) {
+        return; // at least one disjunct may be satisfiable
+    }
+    let proofs: Vec<EmptyProof> = proofs.into_iter().flatten().collect();
+
+    if proofs.len() == 1 {
+        report_single_proof(text, rules, &proofs[0], report);
+        return;
+    }
+
+    // Several disjuncts, all provably empty: one summary diagnostic.
+    let any_rules = proofs
+        .iter()
+        .any(|p| matches!(p, EmptyProof::Refuted { .. }));
+    let span_attr = proofs
+        .iter()
+        .map(|p| match p {
+            EmptyProof::Refuted { attribute, .. } => attribute.as_str(),
+            EmptyProof::Contradiction { attribute, .. } => attribute.as_str(),
+        })
+        .next();
+    let (code, message) = if any_rules {
+        (
+            "IC044",
+            "condition is provably empty: every disjunct is refuted under the \
+             induced rules"
+                .to_string(),
+        )
+    } else {
+        (
+            "IC043",
+            "contradictory restrictions: every disjunct of the condition admits \
+             no value and the answer is provably empty"
+                .to_string(),
+        )
+    };
+    let mut d = Diagnostic::new(code, Severity::Error, "query", message)
+        .with_span(span_attr.and_then(|a| locate_word(text, a)));
+    for (i, p) in proofs.iter().enumerate() {
+        d = d.with_note(match p {
+            EmptyProof::Contradiction {
+                relation,
+                attribute,
+            } => format!(
+                "disjunct {}: contradictory restrictions on {relation}.{attribute}",
+                i + 1
+            ),
+            EmptyProof::Refuted {
+                chain,
+                object,
+                attribute,
+                ..
+            } => format!(
+                "disjunct {}: {}.{attribute} refuted by {}",
+                i + 1,
+                object,
+                chain_label(rules, chain),
+            ),
+        });
+    }
+    report.push(d);
+}
+
+/// `R1 -> R2 -> R4` for a derivation chain.
+fn chain_label(rules: &RuleSet, chain: &[u32]) -> String {
+    let _ = rules;
+    chain
+        .iter()
+        .map(|id| format!("R{id}"))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn report_single_proof(text: &str, rules: &RuleSet, proof: &EmptyProof, report: &mut Report) {
+    match proof {
+        EmptyProof::Contradiction {
+            relation,
+            attribute,
+        } => {
             report.push(
                 Diagnostic::new(
+                    "IC043",
+                    Severity::Error,
+                    "query",
+                    format!(
+                        "contradictory restrictions on {relation}.{attribute}: the condition \
+                         admits no value and the answer is provably empty"
+                    ),
+                )
+                .with_span(locate_word(text, attribute)),
+            );
+        }
+        EmptyProof::Refuted {
+            chain,
+            object,
+            attribute,
+            required,
+        } => {
+            let last = chain.last().and_then(|id| rules.get(*id));
+            let mut d = match (chain.len(), last) {
+                (1, Some(rule)) => Diagnostic::new(
                     "IC044",
                     Severity::Error,
                     "query",
                     format!(
                         "condition is provably empty: R{} concludes {} {} for every \
                          tuple the condition admits, but the query requires {} {}",
-                        rule.id, rule.rhs.attr, rule.rhs.range, rule.rhs.attr, qr
+                        rule.id, rule.rhs.attr, rule.rhs.range, rule.rhs.attr, required
                     ),
-                )
-                .with_span(locate_word(text, &rule.rhs.attr.attribute))
-                .with_note(format!("refuted by {rule}")),
-            );
+                ),
+                (_, Some(rule)) => Diagnostic::new(
+                    "IC044",
+                    Severity::Error,
+                    "query",
+                    format!(
+                        "condition is provably empty under rule chaining: {} concludes \
+                         {} {} for every tuple the condition admits, but the \
+                         condition requires {}.{} {}",
+                        chain_label(rules, chain),
+                        rule.rhs.attr,
+                        rule.rhs.range,
+                        object,
+                        attribute,
+                        required
+                    ),
+                ),
+                _ => Diagnostic::new(
+                    "IC044",
+                    Severity::Error,
+                    "query",
+                    format!(
+                        "condition is provably empty: the restriction on {object}.{attribute} \
+                         ({required}) admits no value of the declared domain"
+                    ),
+                ),
+            };
+            d = d.with_span(locate_word(text, attribute));
+            if let Some(rule) = last {
+                d = d.with_note(format!("refuted by {rule}"));
+            }
+            for id in chain.iter().rev().skip(1).rev() {
+                if let Some(rule) = rules.get(*id) {
+                    d = d.with_note(format!("via {rule}"));
+                }
+            }
+            report.push(d);
         }
     }
 }
@@ -604,6 +856,152 @@ mod tests {
         );
         assert!(codes(&r).contains(&"IC045"), "{}", r.render_text());
         assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn out_of_domain_inequality_is_ic045() {
+        // `Displacement > 40000` can never hold in `range [2000..30000]`.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement > 40000",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC045"), "{}", r.render_text());
+        assert!(!r.has_errors());
+        // ... and `< 1000` is its mirror image.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement < 1000",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC045"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn vacuously_true_inequality_is_ic045() {
+        // Every DISPLACEMENT value satisfies `< 50000`: a no-op filter.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement < 50000",
+            &db(),
+            &rules(),
+        );
+        let d = r.diagnostics.iter().find(|d| d.code == "IC045").unwrap();
+        assert!(d.message.contains("vacuously true"), "{}", d.message);
+        assert!(!r.has_errors());
+        // An in-domain bound is a real filter, not vacuous.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement < 20000",
+            &db(),
+            &rules(),
+        );
+        assert!(!codes(&r).contains(&"IC045"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn chained_rules_prove_emptiness_ic044() {
+        // R1: Displacement in [8000, 9000] -> Crew in [100, 120]
+        // R2: Crew in [90, 130]            -> Reactors = 1
+        // Query: Displacement = 8500 AND Reactors = 2.
+        // Neither rule alone refutes the query (it never restricts
+        // Crew); chaining R1 then R2 derives Reactors = 1, which
+        // contradicts the required Reactors = 2.
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Attribute::key("Class", Domain::char_n(4)),
+            Attribute::new(
+                "Displacement",
+                Domain::int_range("DISPLACEMENT", 2000, 30000),
+            ),
+            Attribute::new("Crew", Domain::int_range("CREW", 50, 200)),
+            Attribute::new("Reactors", Domain::int_range("REACTORS", 1, 4)),
+        ])
+        .unwrap();
+        let mut class = Relation::new("CLASS", schema);
+        class.insert(tuple!["0101", 8500, 110, 1]).unwrap();
+        db.create(class).unwrap();
+        let rules = RuleSet::from_rules([
+            Rule::new(
+                0,
+                vec![Clause::between(
+                    AttrId::new("CLASS", "Displacement"),
+                    8000,
+                    9000,
+                )],
+                Clause::between(AttrId::new("CLASS", "Crew"), 100, 120),
+            )
+            .with_support(4),
+            Rule::new(
+                0,
+                vec![Clause::between(AttrId::new("CLASS", "Crew"), 90, 130)],
+                Clause::equals(AttrId::new("CLASS", "Reactors"), 1),
+            )
+            .with_support(4),
+        ]);
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement = 8500 AND Reactors = 2",
+            &db,
+            &rules,
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IC044")
+            .unwrap_or_else(|| panic!("chained refutation missed:\n{}", r.render_text()));
+        assert!(
+            d.message.contains("R1 -> R2"),
+            "the derivation chain is cited: {}",
+            d.message
+        );
+        assert!(
+            d.notes.iter().any(|n| n.contains("refuted by")),
+            "{:?}",
+            d.notes
+        );
+        // Sanity: each rule alone does not refute.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE Displacement = 8500",
+            &db,
+            &rules,
+        );
+        assert!(r.diagnostics.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn disjunction_empty_only_when_all_disjuncts_are() {
+        // One empty disjunct + one satisfiable disjunct = satisfiable.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE (Displacement > 8000 AND Type = \"SSN\") \
+             OR Type = \"SSN\"",
+            &db(),
+            &rules(),
+        );
+        assert!(
+            !codes(&r).contains(&"IC044"),
+            "a satisfiable disjunct saves the query: {}",
+            r.render_text()
+        );
+        // Both disjuncts refuted -> IC044 with per-disjunct provenance.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE (Displacement > 8000 AND Type = \"SSN\") \
+             OR (Displacement = 9000 AND Type = \"CVN\")",
+            &db(),
+            &rules(),
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IC044")
+            .unwrap_or_else(|| panic!("all-empty disjunction missed:\n{}", r.render_text()));
+        assert!(d.message.contains("every disjunct"), "{}", d.message);
+        assert_eq!(d.notes.len(), 2, "{:?}", d.notes);
+        // Both disjuncts self-contradictory -> IC043.
+        let r = check_sql(
+            "SELECT Class FROM CLASS WHERE (Displacement > 9000 AND Displacement < 8000) \
+             OR (Displacement > 20000 AND Displacement < 10000)",
+            &db(),
+            &rules(),
+        );
+        assert!(codes(&r).contains(&"IC043"), "{}", r.render_text());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! | IC022 | info | range gap between premises concluding on the same attribute (weakens backward inference) |
 //! | IC023 | warning | support below the configured `N_c` |
 //! | IC024 | warning | rule references a relation or attribute missing from the catalog |
+//! | IC025 | warning | rule derivable from the rest of the set by chaining (prune candidate) |
+//! | IC026 | warning | dead rule: premise unsatisfiable given the schema domains |
+//! | IC027 | error | chained conflict: firing the rule enables a derivation that admits no tuple |
 //!
 //! **Conflicts (IC020).** Two rules conflict when a single tuple could
 //! fire both while their conclusions disagree. That requires (a)
@@ -24,8 +27,28 @@
 //! leaves gaps between runs (`6955 < Displacement < 7250` belongs to no
 //! rule), and a backward query landing in the gap simply gets no
 //! intensional answer. The lint surfaces where that will happen.
+//!
+//! **Saturation lints (IC025–IC027)** reason over the *whole* rule base
+//! with the shared abstract-interpretation engine. For each rule the
+//! premise seeds an abstract state and the **rest** of the set is
+//! applied forward to saturation: if the state ends up inside the
+//! rule's own conclusion, the rule is derivable by chaining and a prune
+//! candidate (IC025 — a strict superset of IC021's direct subsumption,
+//! which is reported there and skipped here); if additionally meeting
+//! the rule's own conclusion lets the chain drive the state to ⊥, any
+//! instance firing the rule is contradictory (IC027 — the chained
+//! upgrade of the pairwise IC020). IC026 holds the schema domains
+//! against each premise clause: a premise no domain value can satisfy
+//! means the rule can never fire.
+//!
+//! Only **directly** subsumed rules (IC021, [`RuleSet::minimize`]) are
+//! safe to auto-prune: the inference engine applies rules one at a
+//! time, so a chain-derivable rule (IC025) may still be the only
+//! single-step answer to some query. IC025 therefore reports a prune
+//! list ([`prunable_rules`]) but serve only ever minimizes.
 
 use crate::diag::{locate, Diagnostic, Report, Severity};
+use intensio_inference::absint::{saturate_excluding, AbstractState, AbstractValue};
 use intensio_rules::range::ValueRange;
 use intensio_rules::rule::{Rule, RuleSet};
 use intensio_storage::catalog::Database;
@@ -110,8 +133,228 @@ pub fn check_rules(rules: &RuleSet, db: Option<&Database>, cfg: &RuleCheckConfig
     }
 
     gaps(all, &mut report);
+    saturation_lints(rules, db, &mut report);
     report.sort();
     report
+}
+
+/// IC025/IC026/IC027 over the whole rule base.
+fn saturation_lints(rules: &RuleSet, db: Option<&Database>, report: &mut Report) {
+    let all = rules.rules();
+    for r in all {
+        if r.lhs.is_empty() {
+            continue;
+        }
+        // IC026: a premise clause the schema domain cannot satisfy, or a
+        // self-contradictory premise, makes the rule dead weight.
+        if let Some(d) = dead_premise(r, db) {
+            report.push(d);
+            continue; // the other lints assume a satisfiable premise
+        }
+        let mut premise = AbstractState::new();
+        for c in &r.lhs {
+            premise.constrain(
+                &c.attr.object,
+                &c.attr.attribute,
+                &AbstractValue::Range(c.range.clone()),
+            );
+        }
+        if premise.is_empty() {
+            continue; // handled by dead_premise above
+        }
+
+        // IC025: is the conclusion derivable from the rest of the set?
+        // (Direct one-rule subsumption is IC021's finding — skip it.)
+        let directly_subsumed = all.iter().any(|o| o.id != r.id && subsumes(o, r));
+        if !directly_subsumed {
+            let mut st = premise.clone();
+            let sat = saturate_excluding(rules, &mut st, &[r.id]);
+            if !sat.empty && !sat.fired.is_empty() {
+                let derived = st.value_of(&r.rhs.attr.object, &r.rhs.attr.attribute);
+                let range_ok =
+                    !matches!(derived, AbstractValue::Top) && derived.within(&r.rhs.range);
+                // A subtype-labelled conclusion must be re-derived with
+                // the same label, not just a compatible range.
+                let label_ok = r.rhs_subtype.is_none()
+                    || sat.fired.iter().filter_map(|id| rules.get(*id)).any(|s| {
+                        s.rhs
+                            .attr
+                            .matches(&r.rhs.attr.object, &r.rhs.attr.attribute)
+                            && s.rhs_subtype == r.rhs_subtype
+                    });
+                if range_ok && label_ok {
+                    let chain = sat
+                        .fired
+                        .iter()
+                        .map(|id| format!("R{id}"))
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
+                    let mut d = rule_diag(
+                        "IC025",
+                        Severity::Warn,
+                        r,
+                        format!(
+                            "derivable by chaining {chain}: from this rule's premise the rest \
+                             of the set already concludes {} {derived}",
+                            r.rhs.attr
+                        ),
+                        &format!("R{}", r.id),
+                    )
+                    .with_note(format!("prune-candidate: R{}", r.id));
+                    for id in &sat.fired {
+                        if let Some(s) = rules.get(*id) {
+                            d = d.with_note(format!("via {s}"));
+                        }
+                    }
+                    report.push(d);
+                }
+            }
+        }
+
+        // IC027: firing the rule, does the chained closure contradict
+        // itself? (Pairwise direct conflicts stay IC020's finding.)
+        let mut st = premise.clone();
+        st.constrain(
+            &r.rhs.attr.object,
+            &r.rhs.attr.attribute,
+            &AbstractValue::Range(r.rhs.range.clone()),
+        );
+        if st.is_empty() {
+            continue; // conclusion contradicts own premise: dead_premise territory
+        }
+        let sat = saturate_excluding(rules, &mut st, &[r.id]);
+        if !sat.empty || sat.fired.is_empty() {
+            continue;
+        }
+        if sat.fired.len() == 1 {
+            let direct = rules
+                .get(sat.fired[0])
+                .map(|s| conflict(r, s).is_some() || conflict(s, r).is_some())
+                .unwrap_or(false);
+            if direct {
+                continue; // already an IC020
+            }
+        }
+        let chain = std::iter::once(format!("R{}", r.id))
+            .chain(sat.fired.iter().map(|id| format!("R{id}")))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let mut d = rule_diag(
+            "IC027",
+            Severity::Error,
+            r,
+            format!(
+                "chained conflict: any instance firing R{} is contradicted by the \
+                 derivation {chain} — the closure admits no tuple",
+                r.id
+            ),
+            &format!("R{}", r.id),
+        );
+        for id in &sat.fired {
+            if let Some(s) = rules.get(*id) {
+                d = d.with_note(format!("via {s}"));
+            }
+        }
+        report.push(d);
+    }
+}
+
+/// IC026: hold each premise clause against the declared domain (when a
+/// catalog is available) and against the rule's own other clauses.
+fn dead_premise(r: &Rule, db: Option<&Database>) -> Option<Diagnostic> {
+    if let Some(db) = db {
+        for c in &r.lhs {
+            let Ok(rel) = db.get(&c.attr.object) else {
+                continue; // IC024 reports missing catalog entries
+            };
+            let Some(idx) = rel.schema().index_of(&c.attr.attribute) else {
+                continue;
+            };
+            let dom = rel.schema().attr(idx).domain();
+            let dv = AbstractValue::from_domain(dom);
+            if dv.meet(&AbstractValue::Range(c.range.clone())).is_bottom() {
+                return Some(rule_diag(
+                    "IC026",
+                    Severity::Warn,
+                    r,
+                    format!(
+                        "dead rule: the declared domain {} admits no value in the premise \
+                         {} {} — the rule can never fire",
+                        dom.name(),
+                        c.attr,
+                        c.range
+                    ),
+                    &c.attr.attribute,
+                ));
+            }
+        }
+    }
+    // Self-contradictory premise: two clauses on one attribute with an
+    // empty intersection.
+    for (i, a) in r.lhs.iter().enumerate() {
+        for b in r.lhs.iter().skip(i + 1) {
+            if a.attr.matches(&b.attr.object, &b.attr.attribute) && !a.range.intersects(&b.range) {
+                return Some(rule_diag(
+                    "IC026",
+                    Severity::Warn,
+                    r,
+                    format!(
+                        "dead rule: premise clauses {} {} and {} {} admit no common value — \
+                         the rule can never fire",
+                        a.attr, a.range, b.attr, b.range
+                    ),
+                    &a.attr.attribute,
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// The machine-readable prune list: ids of rules redundant under the
+/// rest of the set — directly subsumed (IC021, what
+/// [`RuleSet::minimize`] removes) or derivable by chaining (IC025).
+/// Deterministic: ascending id order.
+pub fn prunable_rules(rules: &RuleSet) -> Vec<u32> {
+    let all = rules.rules();
+    let mut out = Vec::new();
+    for r in all {
+        if r.lhs.is_empty() {
+            continue;
+        }
+        if all.iter().any(|o| o.id != r.id && subsumes(o, r)) {
+            out.push(r.id);
+            continue;
+        }
+        let mut st = AbstractState::new();
+        for c in &r.lhs {
+            st.constrain(
+                &c.attr.object,
+                &c.attr.attribute,
+                &AbstractValue::Range(c.range.clone()),
+            );
+        }
+        if st.is_empty() {
+            continue;
+        }
+        let sat = saturate_excluding(rules, &mut st, &[r.id]);
+        if sat.empty || sat.fired.is_empty() {
+            continue;
+        }
+        let derived = st.value_of(&r.rhs.attr.object, &r.rhs.attr.attribute);
+        let range_ok = !matches!(derived, AbstractValue::Top) && derived.within(&r.rhs.range);
+        let label_ok = r.rhs_subtype.is_none()
+            || sat.fired.iter().filter_map(|id| rules.get(*id)).any(|s| {
+                s.rhs
+                    .attr
+                    .matches(&r.rhs.attr.object, &r.rhs.attr.attribute)
+                    && s.rhs_subtype == r.rhs_subtype
+            });
+        if range_ok && label_ok {
+            out.push(r.id);
+        }
+    }
+    out
 }
 
 /// IC020: could one tuple fire both rules while the conclusions
@@ -367,5 +610,149 @@ mod tests {
         let rs = RuleSet::from_rules([rule(1, 5, "A")]);
         let r = check_rules(&rs, Some(&db), &RuleCheckConfig::default());
         assert!(codes(&r).contains(&"IC024"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn chain_derivable_rule_is_ic025_with_prune_note() {
+        // R1: V in [0,10] -> W = 5;  R2: W in [4,6] -> Cat = A;
+        // R3: V in [2,8]  -> Cat = A   — derivable by chaining R1 -> R2,
+        // but NOT directly subsumed (no single rule with a wider premise
+        // over V concludes Cat = A).
+        let r1 = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "V"), 0, 10)],
+            Clause::equals(AttrId::new("E", "W"), 5),
+        )
+        .with_support(5);
+        let r2 = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "W"), 4, 6)],
+            Clause::equals(AttrId::new("G", "Cat"), "A"),
+        )
+        .with_support(5);
+        let r3 = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "V"), 2, 8)],
+            Clause::equals(AttrId::new("G", "Cat"), "A"),
+        )
+        .with_support(5);
+        let rs = RuleSet::from_rules([r1, r2, r3]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IC025")
+            .unwrap_or_else(|| panic!("chain subsumption missed:\n{}", r.render_text()));
+        assert_eq!(d.origin, "R3", "the redundant rule carries the lint");
+        assert!(d.message.contains("R1 -> R2"), "{}", d.message);
+        assert!(
+            d.notes.iter().any(|n| n == "prune-candidate: R3"),
+            "machine-readable prune note: {:?}",
+            d.notes
+        );
+        assert!(!codes(&r).contains(&"IC021"), "not a direct subsumption");
+        assert_eq!(prunable_rules(&rs), vec![3]);
+    }
+
+    #[test]
+    fn directly_subsumed_rule_stays_ic021_not_ic025() {
+        let rs = RuleSet::from_rules([rule(0, 100, "A"), rule(10, 20, "A")]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC021"), "{}", r.render_text());
+        assert!(!codes(&r).contains(&"IC025"), "{}", r.render_text());
+        // ... but the prune list covers both kinds of redundancy.
+        assert_eq!(prunable_rules(&rs), vec![2]);
+    }
+
+    #[test]
+    fn domain_dead_premise_is_ic026() {
+        use intensio_storage::domain::Domain;
+        use intensio_storage::relation::Relation;
+        use intensio_storage::schema::{Attribute, Schema};
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(8)),
+            Attribute::new("V", Domain::int_range("V_DOM", 0, 100)),
+        ])
+        .unwrap();
+        db.create(Relation::new("E", schema)).unwrap();
+        // Premise V in [500, 900] can never hold in range [0..100].
+        let dead = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "V"), 500, 900)],
+            Clause::equals(AttrId::new("E", "Id"), "X"),
+        )
+        .with_support(5);
+        let rs = RuleSet::from_rules([dead]);
+        let r = check_rules(&rs, Some(&db), &RuleCheckConfig::default());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IC026")
+            .unwrap_or_else(|| panic!("dead premise missed:\n{}", r.render_text()));
+        assert!(d.message.contains("can never fire"), "{}", d.message);
+        assert!(!r.has_errors(), "IC026 is a warning");
+    }
+
+    #[test]
+    fn self_contradictory_premise_is_ic026_without_a_catalog() {
+        let dead = Rule::new(
+            0,
+            vec![
+                Clause::between(AttrId::new("E", "V"), 0, 5),
+                Clause::between(AttrId::new("E", "V"), 10, 20),
+            ],
+            Clause::equals(AttrId::new("G", "Cat"), "A"),
+        )
+        .with_support(5);
+        let rs = RuleSet::from_rules([dead]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC026"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn conflict_reachable_only_through_chaining_is_ic027() {
+        // R1: V in [0,10] -> W = 5;  R2: W in [4,6] -> X = 1;
+        // R3: V in [2,8]  -> X = 9.
+        // R3 and R2 share no premise attribute (IC020 stays silent), yet
+        // any instance firing R3 also fires R1 then R2, deriving X = 1
+        // against R3's own X = 9.
+        let r1 = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "V"), 0, 10)],
+            Clause::equals(AttrId::new("E", "W"), 5),
+        )
+        .with_support(5);
+        let r2 = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "W"), 4, 6)],
+            Clause::equals(AttrId::new("E", "X"), 1),
+        )
+        .with_support(5);
+        let r3 = Rule::new(
+            0,
+            vec![Clause::between(AttrId::new("E", "V"), 2, 8)],
+            Clause::equals(AttrId::new("E", "X"), 9),
+        )
+        .with_support(5);
+        let rs = RuleSet::from_rules([r1, r2, r3]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(!codes(&r).contains(&"IC020"), "{}", r.render_text());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IC027")
+            .unwrap_or_else(|| panic!("chained conflict missed:\n{}", r.render_text()));
+        assert_eq!(d.origin, "R3");
+        assert!(d.message.contains("R3 -> R1 -> R2"), "{}", d.message);
+        assert!(r.has_errors(), "IC027 is an error");
+    }
+
+    #[test]
+    fn direct_conflicts_stay_ic020_not_ic027() {
+        let rs = RuleSet::from_rules([rule(1, 5, "A"), rule(3, 8, "B")]);
+        let r = check_rules(&rs, None, &RuleCheckConfig::default());
+        assert!(codes(&r).contains(&"IC020"), "{}", r.render_text());
+        assert!(!codes(&r).contains(&"IC027"), "{}", r.render_text());
     }
 }

@@ -1,0 +1,190 @@
+//! Soundness property for the emptiness lints.
+//!
+//! IC043 (contradictory selection) and IC044 (rule-derived emptiness)
+//! both claim a query is *provably* empty. The proof obligation behind
+//! either claim is: over any database instance on which every installed
+//! rule holds, the query returns zero tuples. This test generates
+//! random rule sets, databases rejection-sampled to satisfy those
+//! rules, and random conjunctive queries — and checks the claim
+//! extensionally every time the analyzer makes it.
+//!
+//! The rules may contradict each other on part of the domain; that is
+//! deliberate. Rejection sampling then keeps no tuple in the disputed
+//! band, so a query the abstract interpreter collapses to bottom there
+//! is still extensionally empty — exactly the soundness argument.
+
+use intensio_check::check_sql;
+use intensio_rules::rule::{AttrId, Clause, Rule, RuleSet};
+use intensio_storage::catalog::Database;
+use intensio_storage::domain::Domain;
+use intensio_storage::relation::Relation;
+use intensio_storage::schema::{Attribute, Schema};
+use intensio_storage::tuple;
+use proptest::prelude::*;
+
+const OPS: [&str; 5] = ["=", "<", "<=", ">", ">="];
+
+/// (premise attr: 0 = V / 1 = W, premise lo, premise width,
+/// conclusion value on the other attribute)
+type RuleSpec = (usize, i64, i64, i64);
+/// (condition attr, index into [`OPS`], constant)
+type CondSpec = (usize, usize, i64);
+
+fn attr_name(i: usize) -> &'static str {
+    if i == 0 {
+        "V"
+    } else {
+        "W"
+    }
+}
+
+fn build_rules(specs: &[RuleSpec]) -> RuleSet {
+    RuleSet::from_rules(specs.iter().map(|&(p, lo, width, out)| {
+        Rule::new(
+            0,
+            vec![Clause::between(
+                AttrId::new("E", attr_name(p)),
+                lo,
+                lo + width,
+            )],
+            Clause::equals(AttrId::new("E", attr_name(1 - p)), out),
+        )
+        .with_support(5)
+    }))
+}
+
+/// Does every generated rule hold on the point `(v, w)`?
+fn holds(specs: &[RuleSpec], v: i64, w: i64) -> bool {
+    specs.iter().all(|&(p, lo, width, out)| {
+        let (premise, conclusion) = if p == 0 { (v, w) } else { (w, v) };
+        premise < lo || premise > lo + width || conclusion == out
+    })
+}
+
+fn cond_holds(&(attr, op, k): &CondSpec, v: i64, w: i64) -> bool {
+    let x = if attr == 0 { v } else { w };
+    match OPS[op] {
+        "=" => x == k,
+        "<" => x < k,
+        "<=" => x <= k,
+        ">" => x > k,
+        _ => x >= k,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn provably_empty_claims_hold_extensionally(
+        rule_specs in prop::collection::vec((0usize..2, 0i64..90, 0i64..30, 0i64..100), 1..5),
+        points in prop::collection::vec((0i64..100, 0i64..100), 8..40),
+        conds in prop::collection::vec((0usize..2, 0usize..5, 0i64..100), 1..4),
+        probe in (0usize..8, 0i64..100),
+    ) {
+        // Purely random conjunctions almost always trip IC043 (a
+        // contradiction within the query itself), not IC044. Half the
+        // time, aim a probe at a generated rule: pin its premise
+        // attribute inside the premise range and equate the conclusion
+        // attribute to a random value. When that value differs from the
+        // rule's conclusion the query is empty *only because of the
+        // rule* — the IC044 path; when it matches, the query is
+        // satisfiable and must not be flagged.
+        let mut conds = conds;
+        if let Some(&(p, lo, width, _)) = rule_specs.get(probe.0) {
+            conds.push((p, 0, lo + width / 2));
+            conds.push((1 - p, 0, probe.1));
+        }
+        // The soundness precondition is "the rules describe the data":
+        // keep only the sampled points every rule holds on.
+        let kept: Vec<(i64, i64)> = points
+            .iter()
+            .copied()
+            .filter(|&(v, w)| holds(&rule_specs, v, w))
+            .collect();
+
+        let schema = Schema::new(vec![
+            Attribute::key("Id", Domain::char_n(8)),
+            Attribute::new("V", Domain::int_range("V_DOM", 0, 100)),
+            Attribute::new("W", Domain::int_range("W_DOM", 0, 100)),
+        ])
+        .unwrap();
+        let mut e = Relation::new("E", schema);
+        for (i, &(v, w)) in kept.iter().enumerate() {
+            e.insert(tuple![format!("ROW{i:04}"), v, w]).unwrap();
+        }
+        let mut db = Database::new();
+        db.create(e).unwrap();
+        let rules = build_rules(&rule_specs);
+
+        let where_clause = conds
+            .iter()
+            .map(|&(attr, op, k)| format!("{} {} {k}", attr_name(attr), OPS[op]))
+            .collect::<Vec<_>>()
+            .join(" AND ");
+        let sql = format!("SELECT Id FROM E WHERE {where_clause}");
+
+        let report = check_sql(&sql, &db, &rules);
+        prop_assert!(
+            !report.diagnostics.iter().any(|d| d.code == "IC000"),
+            "generated query failed to parse: {sql}\n{}",
+            report.render_text()
+        );
+        let claims_empty = report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "IC043" || d.code == "IC044");
+        if claims_empty {
+            let matched = kept
+                .iter()
+                .filter(|&&(v, w)| conds.iter().all(|c| cond_holds(c, v, w)))
+                .count();
+            prop_assert_eq!(
+                matched,
+                0,
+                "flagged provably empty but {} tuple(s) match: {}\nrules: {:?}\n{}",
+                matched,
+                sql,
+                rule_specs,
+                report.render_text()
+            );
+        }
+    }
+}
+
+/// The complementary direction on a fixed, known-satisfiable setup: a
+/// query the data can actually answer is never flagged empty. Not a
+/// completeness guarantee — just a tripwire against the analyzer
+/// collapsing everything to bottom and "passing" the property above
+/// vacuously.
+#[test]
+fn satisfiable_queries_on_rule_consistent_data_are_not_flagged() {
+    let specs: Vec<RuleSpec> = vec![(0, 10, 20, 7)];
+    let rules = build_rules(&specs);
+    let schema = Schema::new(vec![
+        Attribute::key("Id", Domain::char_n(8)),
+        Attribute::new("V", Domain::int_range("V_DOM", 0, 100)),
+        Attribute::new("W", Domain::int_range("W_DOM", 0, 100)),
+    ])
+    .unwrap();
+    let mut e = Relation::new("E", schema);
+    e.insert(tuple!["ROW0000", 15, 7]).unwrap();
+    e.insert(tuple!["ROW0001", 50, 3]).unwrap();
+    let mut db = Database::new();
+    db.create(e).unwrap();
+
+    for sql in [
+        "SELECT Id FROM E WHERE V >= 10 AND V <= 30",
+        "SELECT Id FROM E WHERE V = 15 AND W = 7",
+        "SELECT Id FROM E WHERE W < 5",
+    ] {
+        let report = check_sql(sql, &db, &rules);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "IC043" || d.code == "IC044"),
+            "satisfiable query flagged empty: {sql}\n{}",
+            report.render_text()
+        );
+    }
+}

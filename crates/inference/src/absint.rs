@@ -1,0 +1,492 @@
+//! Rule application over **abstract states**: the interval-lattice
+//! abstract interpretation engine shared by the inference optimizer and
+//! the `intensio-check` static analyzer.
+//!
+//! An [`AbstractState`] maps attributes to [`AbstractValue`]s — an
+//! over-approximation of the set of tuples satisfying some condition.
+//! The lattice per attribute is
+//!
+//! ```text
+//!            ⊤  (unconstrained)
+//!          /   \
+//!   Range(..)   Set{..}      intervals with open/closed bounds,
+//!          \   /             finite scalar sets
+//!            ⊥  (provably empty)
+//! ```
+//!
+//! [`saturate`] applies a rule set *forward* (the paper's Modus Ponens
+//! direction) to a state until fixpoint: a rule fires when every premise
+//! clause's range contains the state's abstract value for that
+//! attribute — then **every** concrete tuple the state admits satisfies
+//! the premise, so the conclusion must hold for all of them and is met
+//! (∧) into the state. Chained derivations fall out naturally: one
+//! rule's conclusion can tighten an attribute enough to fire another
+//! rule premised on it. The result stays a superset of the concrete
+//! answer set at every step (each meet only removes tuples the rules
+//! prove impossible), so a ⊥ state is a *sound* emptiness proof —
+//! assuming the rules themselves hold on the data, which is exactly the
+//! contract induced rules carry.
+
+use intensio_rules::range::ValueRange;
+use intensio_rules::rule::RuleSet;
+use intensio_storage::domain::{Bound, Domain, DomainConstraint};
+use intensio_storage::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The abstract value of one attribute: an over-approximation of the
+/// values it can take in any tuple of the concrete set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbstractValue {
+    /// ⊤ — any value of the attribute's type.
+    Top,
+    /// An interval with optional open/closed endpoints (ints, floats,
+    /// and lexicographically ordered strings all use this form).
+    Range(ValueRange),
+    /// A finite set of admissible scalars (e.g. a `set of {..}` domain),
+    /// sorted and deduplicated for canonical display.
+    Set(Vec<Value>),
+    /// ⊥ — no value is admissible; the concrete set is provably empty.
+    Bottom,
+}
+
+impl AbstractValue {
+    /// A finite set, canonicalized (sorted, semantically deduplicated).
+    /// An empty set is ⊥.
+    pub fn set(mut values: Vec<Value>) -> AbstractValue {
+        values.sort_by(|a, b| a.compare(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup_by(|a, b| a.sem_eq(b));
+        if values.is_empty() {
+            AbstractValue::Bottom
+        } else {
+            AbstractValue::Set(values)
+        }
+    }
+
+    /// Whether this is ⊥.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, AbstractValue::Bottom)
+    }
+
+    /// The meet (∧, conjunction): the abstract value admitting exactly
+    /// what both operands admit — up to the usual interval imprecision,
+    /// which only ever keeps the result a superset, never smaller.
+    pub fn meet(&self, other: &AbstractValue) -> AbstractValue {
+        match (self, other) {
+            (AbstractValue::Bottom, _) | (_, AbstractValue::Bottom) => AbstractValue::Bottom,
+            (AbstractValue::Top, v) | (v, AbstractValue::Top) => v.clone(),
+            (AbstractValue::Range(a), AbstractValue::Range(b)) => match a.intersect(b) {
+                Some(r) => AbstractValue::Range(r),
+                None => AbstractValue::Bottom,
+            },
+            (AbstractValue::Set(a), AbstractValue::Set(b)) => AbstractValue::set(
+                a.iter()
+                    .filter(|v| b.iter().any(|w| w.sem_eq(v)))
+                    .cloned()
+                    .collect(),
+            ),
+            (AbstractValue::Set(s), AbstractValue::Range(r))
+            | (AbstractValue::Range(r), AbstractValue::Set(s)) => {
+                AbstractValue::set(s.iter().filter(|v| r.contains(v)).cloned().collect())
+            }
+        }
+    }
+
+    /// The join (∨, disjunction): the smallest representable value
+    /// admitting everything either operand admits. Disjoint intervals
+    /// join to their hull — an over-approximation, which is the sound
+    /// direction for a superset analysis.
+    pub fn join(&self, other: &AbstractValue) -> AbstractValue {
+        match (self, other) {
+            (AbstractValue::Top, _) | (_, AbstractValue::Top) => AbstractValue::Top,
+            (AbstractValue::Bottom, v) | (v, AbstractValue::Bottom) => v.clone(),
+            (AbstractValue::Set(a), AbstractValue::Set(b)) => {
+                AbstractValue::set(a.iter().chain(b.iter()).cloned().collect())
+            }
+            (a, b) => match (a.as_range(), b.as_range()) {
+                (Some(x), Some(y)) => match x.merge(&y) {
+                    Some(hull) => AbstractValue::Range(hull),
+                    // Disjoint and non-adjacent: take the convex hull.
+                    None => match hull(&x, &y) {
+                        Some(h) => AbstractValue::Range(h),
+                        None => AbstractValue::Top,
+                    },
+                },
+                _ => AbstractValue::Top,
+            },
+        }
+    }
+
+    /// An interval covering this value (exact for `Range`, the convex
+    /// hull for `Set`), `None` for ⊤ (⊥ yields an empty-ish point-free
+    /// `None` too — callers check [`AbstractValue::is_bottom`] first).
+    pub fn as_range(&self) -> Option<ValueRange> {
+        match self {
+            AbstractValue::Range(r) => Some(r.clone()),
+            AbstractValue::Set(vs) => {
+                let lo = vs.first()?.clone();
+                let hi = vs.last()?.clone();
+                Some(ValueRange::closed(lo, hi))
+            }
+            AbstractValue::Top | AbstractValue::Bottom => None,
+        }
+    }
+
+    /// Whether every concrete value this abstract value admits lies in
+    /// `range` — the premise-containment test of forward application.
+    /// ⊤ is contained only in the full range; ⊥ vacuously in anything.
+    pub fn within(&self, range: &ValueRange) -> bool {
+        match self {
+            AbstractValue::Bottom => true,
+            AbstractValue::Top => range.lo.is_none() && range.hi.is_none(),
+            AbstractValue::Range(r) => range.subsumes(r),
+            AbstractValue::Set(vs) => vs.iter().all(|v| range.contains(v)),
+        }
+    }
+
+    /// The abstract value of an attribute constrained only by its
+    /// declared domain: the meet of the domain's constraint stack
+    /// (`range [..]` → interval, `set of {..}` → finite set; `char[n]`
+    /// does not restrict the value lattice).
+    pub fn from_domain(domain: &Domain) -> AbstractValue {
+        let mut out = AbstractValue::Top;
+        for c in domain.constraints() {
+            let v = match c {
+                DomainConstraint::Range {
+                    lo,
+                    lo_bound,
+                    hi,
+                    hi_bound,
+                } => AbstractValue::Range(ValueRange {
+                    lo: Some(endpoint(lo, *lo_bound)),
+                    hi: Some(endpoint(hi, *hi_bound)),
+                }),
+                DomainConstraint::Set(vs) => AbstractValue::set(vs.clone()),
+                DomainConstraint::CharLen(_) => continue,
+            };
+            out = out.meet(&v);
+        }
+        out
+    }
+}
+
+fn endpoint(v: &Value, b: Bound) -> intensio_rules::range::Endpoint {
+    intensio_rules::range::Endpoint {
+        value: v.clone(),
+        inclusive: b == Bound::Inclusive,
+    }
+}
+
+/// The convex hull of two intervals whose endpoints compare.
+fn hull(a: &ValueRange, b: &ValueRange) -> Option<ValueRange> {
+    // `merge` already handles the touching cases; here the intervals are
+    // disjoint, so the hull is simply the outermost bounds.
+    let lo = match (&a.lo, &b.lo) {
+        (None, _) | (_, None) => None,
+        (Some(x), Some(y)) => match x.value.compare(&y.value).ok()? {
+            std::cmp::Ordering::Less => Some(x.clone()),
+            std::cmp::Ordering::Greater => Some(y.clone()),
+            std::cmp::Ordering::Equal => Some(if x.inclusive { x.clone() } else { y.clone() }),
+        },
+    };
+    let hi = match (&a.hi, &b.hi) {
+        (None, _) | (_, None) => None,
+        (Some(x), Some(y)) => match x.value.compare(&y.value).ok()? {
+            std::cmp::Ordering::Greater => Some(x.clone()),
+            std::cmp::Ordering::Less => Some(y.clone()),
+            std::cmp::Ordering::Equal => Some(if x.inclusive { x.clone() } else { y.clone() }),
+        },
+    };
+    Some(ValueRange { lo, hi })
+}
+
+impl fmt::Display for AbstractValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractValue::Top => write!(f, "⊤"),
+            AbstractValue::Bottom => write!(f, "⊥"),
+            AbstractValue::Range(r) => write!(f, "{r}"),
+            AbstractValue::Set(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// An abstract state: per-attribute abstract values, keyed by
+/// `(object, attribute)` lowercased. Attributes not present are ⊤.
+/// The state as a whole is ⊥ as soon as any attribute is.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AbstractState {
+    slots: BTreeMap<(String, String), AbstractValue>,
+    empty: bool,
+}
+
+impl AbstractState {
+    /// The ⊤ state (no constraints).
+    pub fn new() -> AbstractState {
+        AbstractState::default()
+    }
+
+    /// Whether the state is ⊥ — the concrete set is provably empty.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// The abstract value of `object.attribute` (⊤ when unconstrained).
+    pub fn value_of(&self, object: &str, attribute: &str) -> &AbstractValue {
+        self.slots
+            .get(&key(object, attribute))
+            .unwrap_or(&AbstractValue::Top)
+    }
+
+    /// Meet `v` into the slot for `object.attribute`. Returns whether
+    /// the slot actually tightened. A ⊥ result marks the whole state ⊥.
+    pub fn constrain(&mut self, object: &str, attribute: &str, v: &AbstractValue) -> bool {
+        let slot = self
+            .slots
+            .entry(key(object, attribute))
+            .or_insert(AbstractValue::Top);
+        let met = slot.meet(v);
+        if met == *slot {
+            return false;
+        }
+        if met.is_bottom() {
+            self.empty = true;
+        }
+        *slot = met;
+        true
+    }
+
+    /// The constrained slots, in deterministic key order.
+    pub fn slots(&self) -> impl Iterator<Item = (&(String, String), &AbstractValue)> {
+        self.slots.iter()
+    }
+}
+
+fn key(object: &str, attribute: &str) -> (String, String) {
+    (object.to_ascii_lowercase(), attribute.to_ascii_lowercase())
+}
+
+/// The outcome of saturating a rule set over a state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Saturation {
+    /// Rule ids in the order they (productively) fired. A rule appears
+    /// each time its application tightened the state, so this is the
+    /// derivation chain a refutation can cite.
+    pub fired: Vec<u32>,
+    /// Whether the state reached ⊥.
+    pub empty: bool,
+}
+
+/// Apply `rules` forward over `state` until fixpoint (or until the
+/// state reaches ⊥). Deterministic: rules are tried in id order, and
+/// each pass applies every currently-enabled rule before re-testing.
+///
+/// Termination: every productive application strictly tightens one
+/// slot by meeting it with a rule conclusion, and each slot can only
+/// tighten finitely often (each meet either yields ⊥ or an interval
+/// whose endpoints come from the finite set of rule/seed endpoints), so
+/// the pass loop reaches a fixpoint; a generous pass cap guards the
+/// degenerate cases.
+pub fn saturate(rules: &RuleSet, state: &mut AbstractState) -> Saturation {
+    saturate_excluding(rules, state, &[])
+}
+
+/// [`saturate`] with some rules held out — the rule-base lints saturate
+/// a rule's premise over *the rest* of the set to test whether its own
+/// conclusion is derivable without it.
+pub fn saturate_excluding(rules: &RuleSet, state: &mut AbstractState, skip: &[u32]) -> Saturation {
+    let mut out = Saturation::default();
+    if state.is_empty() {
+        out.empty = true;
+        return out;
+    }
+    // Each productive pass fires at least one rule; a rule's conclusion
+    // can tighten a slot at most twice (once per endpoint) before the
+    // meet is idempotent, so 2·|rules| + 1 passes always suffice.
+    let max_passes = rules.len() * 2 + 1;
+    for _ in 0..max_passes {
+        let mut changed = false;
+        for rule in rules.iter() {
+            if rule.lhs.is_empty() || skip.contains(&rule.id) {
+                continue;
+            }
+            let applicable = rule.lhs.iter().all(|cl| {
+                let v = state.value_of(&cl.attr.object, &cl.attr.attribute);
+                !matches!(v, AbstractValue::Top) && v.within(&cl.range)
+            });
+            if !applicable {
+                continue;
+            }
+            let conclusion = AbstractValue::Range(rule.rhs.range.clone());
+            if state.constrain(&rule.rhs.attr.object, &rule.rhs.attr.attribute, &conclusion) {
+                out.fired.push(rule.id);
+                changed = true;
+                if state.is_empty() {
+                    out.empty = true;
+                    return out;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out.empty = state.is_empty();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intensio_rules::rule::{AttrId, Clause, Rule};
+    use intensio_storage::value::ValueType;
+
+    fn rule(id: u32, attr: &str, lo: i64, hi: i64, concl_attr: &str, clo: i64, chi: i64) -> Rule {
+        Rule::new(
+            id,
+            vec![Clause::between(AttrId::new("R", attr), lo, hi)],
+            Clause::between(AttrId::new("R", concl_attr), clo, chi),
+        )
+        .with_support(5)
+    }
+
+    #[test]
+    fn meet_and_join_lattice_laws() {
+        let a = AbstractValue::Range(ValueRange::closed(0, 10));
+        let b = AbstractValue::Range(ValueRange::closed(5, 20));
+        assert_eq!(a.meet(&b), AbstractValue::Range(ValueRange::closed(5, 10)));
+        assert_eq!(a.join(&b), AbstractValue::Range(ValueRange::closed(0, 20)));
+        assert_eq!(a.meet(&AbstractValue::Top), a);
+        assert_eq!(a.join(&AbstractValue::Top), AbstractValue::Top);
+        assert_eq!(a.meet(&AbstractValue::Bottom), AbstractValue::Bottom);
+        assert_eq!(a.join(&AbstractValue::Bottom), a);
+        let c = AbstractValue::Range(ValueRange::closed(30, 40));
+        assert_eq!(a.meet(&c), AbstractValue::Bottom);
+        // Disjoint join over-approximates to the hull: sound for meets.
+        assert_eq!(a.join(&c), AbstractValue::Range(ValueRange::closed(0, 40)));
+    }
+
+    #[test]
+    fn sets_meet_ranges() {
+        let s = AbstractValue::set(vec![Value::Int(1), Value::Int(5), Value::Int(9)]);
+        let r = AbstractValue::Range(ValueRange::closed(2, 9));
+        assert_eq!(
+            s.meet(&r),
+            AbstractValue::set(vec![Value::Int(5), Value::Int(9)])
+        );
+        let empty = s.meet(&AbstractValue::Range(ValueRange::closed(2, 4)));
+        assert!(empty.is_bottom());
+        assert!(s.within(&ValueRange::closed(0, 10)));
+        assert!(!s.within(&ValueRange::closed(2, 10)));
+    }
+
+    #[test]
+    fn from_domain_covers_constraint_kinds() {
+        let d = Domain::int_range("DISPLACEMENT", 2000, 30000);
+        assert_eq!(
+            AbstractValue::from_domain(&d),
+            AbstractValue::Range(ValueRange::closed(2000, 30000))
+        );
+        let s = Domain::named("TYPE", ValueType::Str).with_constraint(DomainConstraint::Set(vec![
+            Value::str("SSN"),
+            Value::str("SSBN"),
+        ]));
+        assert_eq!(
+            AbstractValue::from_domain(&s),
+            AbstractValue::set(vec![Value::str("SSBN"), Value::str("SSN")])
+        );
+        assert_eq!(
+            AbstractValue::from_domain(&Domain::char_n(4)),
+            AbstractValue::Top
+        );
+    }
+
+    #[test]
+    fn saturation_chains_two_rules() {
+        // R1: A in [0,10] -> B in [5,5];  R2: B in [4,6] -> C in [1,2].
+        let rules = RuleSet::from_rules([
+            rule(0, "A", 0, 10, "B", 5, 5),
+            rule(0, "B", 4, 6, "C", 1, 2),
+        ]);
+        let mut state = AbstractState::new();
+        state.constrain("R", "A", &AbstractValue::Range(ValueRange::point(3)));
+        let sat = saturate(&rules, &mut state);
+        assert_eq!(sat.fired, vec![1, 2], "the chain fires in order");
+        assert!(!sat.empty);
+        assert_eq!(
+            state.value_of("R", "C"),
+            &AbstractValue::Range(ValueRange::closed(1, 2))
+        );
+        // Now also require C = 9: the meet is ⊥.
+        let mut state = AbstractState::new();
+        state.constrain("R", "A", &AbstractValue::Range(ValueRange::point(3)));
+        state.constrain("R", "C", &AbstractValue::Range(ValueRange::point(9)));
+        let sat = saturate(&rules, &mut state);
+        assert!(sat.empty);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn top_premise_never_fires() {
+        let rules = RuleSet::from_rules([rule(0, "A", 0, 10, "B", 5, 5)]);
+        let mut state = AbstractState::new();
+        state.constrain("R", "C", &AbstractValue::Range(ValueRange::point(1)));
+        let sat = saturate(&rules, &mut state);
+        assert!(
+            sat.fired.is_empty(),
+            "A is ⊤ — not every tuple satisfies the premise"
+        );
+    }
+
+    #[test]
+    fn partial_premise_coverage_never_fires() {
+        let rules = RuleSet::from_rules([rule(0, "A", 0, 10, "B", 5, 5)]);
+        let mut state = AbstractState::new();
+        state.constrain("R", "A", &AbstractValue::Range(ValueRange::closed(5, 20)));
+        let sat = saturate(&rules, &mut state);
+        assert!(sat.fired.is_empty());
+    }
+
+    #[test]
+    fn saturation_terminates_on_cyclic_rules() {
+        // A -> B and B -> A: the fixpoint exists and is reached.
+        let rules = RuleSet::from_rules([
+            rule(0, "A", 0, 10, "B", 0, 10),
+            rule(0, "B", 0, 10, "A", 0, 10),
+        ]);
+        let mut state = AbstractState::new();
+        state.constrain("R", "A", &AbstractValue::Range(ValueRange::closed(2, 4)));
+        let sat = saturate(&rules, &mut state);
+        assert!(!sat.empty);
+        assert!(sat.fired.len() <= 2);
+    }
+
+    #[test]
+    fn multi_premise_rules_need_every_clause_contained() {
+        let two = Rule::new(
+            0,
+            vec![
+                Clause::between(AttrId::new("R", "A"), 0, 10),
+                Clause::between(AttrId::new("R", "B"), 0, 10),
+            ],
+            Clause::between(AttrId::new("R", "C"), 1, 1),
+        );
+        let rules = RuleSet::from_rules([two]);
+        let mut state = AbstractState::new();
+        state.constrain("R", "A", &AbstractValue::Range(ValueRange::point(5)));
+        let sat = saturate(&rules, &mut state);
+        assert!(sat.fired.is_empty(), "B is unconstrained");
+        state.constrain("R", "B", &AbstractValue::Range(ValueRange::point(5)));
+        let sat = saturate(&rules, &mut state);
+        assert_eq!(sat.fired, vec![1]);
+    }
+}

@@ -311,6 +311,18 @@ impl<'a> InferenceEngine<'a> {
                 _ => true,
             }
         });
+        // Two rules with the same premise and conclusion (a redundant
+        // duplicate the install-time prune would drop) invert to the
+        // same description; keep the first — iteration is in rule-id
+        // order, so the citation is stable — and the answer reads the
+        // same whether or not the duplicate was pruned.
+        let mut seen_descriptions = BTreeSet::new();
+        answer.partial.retain(|b| {
+            seen_descriptions.insert(format!(
+                "{}|{}|{}|{}|{:?}",
+                b.x, b.range, b.y, b.value, b.subtype
+            ))
+        });
         // Keep provenance consistent with the surviving characterizations.
         let kept_backward: BTreeSet<u32> = answer.partial.iter().map(|b| b.rule_id).collect();
         answer.provenance.retain(|u| match u.direction {

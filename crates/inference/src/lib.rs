@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod answer;
 pub mod engine;
 pub mod fingerprint;
@@ -25,6 +26,7 @@ pub mod optimizer;
 pub mod quality;
 pub mod schema_rules;
 
+pub use absint::{saturate, saturate_excluding, AbstractState, AbstractValue, Saturation};
 pub use answer::{BackwardCharacterization, Direction, ForwardFact, IntensionalAnswer, RuleUse};
 pub use engine::{InferenceConfig, InferenceEngine, SubsumptionMode};
 pub use fingerprint::condition_fingerprint;

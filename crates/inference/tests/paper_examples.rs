@@ -341,3 +341,67 @@ fn headlines_read_like_the_paper() {
         "empty answers have no headline"
     );
 }
+
+#[test]
+fn pruning_directly_subsumed_rules_preserves_the_example_answers() {
+    // The serve install path drops rules whose premise lies inside a
+    // wider rule with the same conclusion (`RuleSet::minimize`). That
+    // prune is answer-preserving: the engine applies rules one at a
+    // time, so a narrower duplicate can never contribute a fact the
+    // wider rule does not. Plant redundant duplicates *after* the
+    // organic set (so surviving rule ids — and therefore citations —
+    // are untouched by the renumber) and require byte-identical
+    // renders for Examples 1-3 before and after the prune.
+    use intensio_rules::rule::{Clause, Rule};
+
+    let (db, model, organic) = setup();
+    let mut with_redundant: Vec<Rule> = organic.iter().cloned().collect();
+    let mut planted = 0usize;
+    for r in organic.iter() {
+        // Duplicate each single-clause rule with the identical premise
+        // and conclusion: subsumed by its original by construction.
+        if let [clause] = r.lhs.as_slice() {
+            let mut dup = Rule::new(
+                0,
+                vec![Clause {
+                    attr: clause.attr.clone(),
+                    range: clause.range.clone(),
+                }],
+                r.rhs.clone(),
+            )
+            .with_support(r.support);
+            dup.rhs_subtype = r.rhs_subtype.clone();
+            with_redundant.push(dup);
+            planted += 1;
+            if planted == 3 {
+                break;
+            }
+        }
+    }
+    assert_eq!(planted, 3, "shipdb induces single-clause rules");
+    let unpruned = RuleSet::from_rules(with_redundant);
+
+    let mut pruned = unpruned.clone();
+    let removed = pruned.minimize();
+    assert_eq!(removed, 3, "every planted duplicate is dropped");
+    assert_eq!(pruned.len(), organic.len(), "the organic set shrinks back");
+    for (a, b) in organic.iter().zip(pruned.iter()) {
+        assert_eq!(a, b, "survivors keep their ids and content");
+    }
+
+    for sql in [EXAMPLE1, EXAMPLE2, EXAMPLE3] {
+        let q = parse(sql).unwrap();
+        let analysis = analyze(&db, &q).unwrap();
+        let before = InferenceEngine::new(&model, &unpruned, &db, InferenceConfig::default())
+            .unwrap()
+            .infer(&analysis);
+        let after = InferenceEngine::new(&model, &pruned, &db, InferenceConfig::default())
+            .unwrap()
+            .infer(&analysis);
+        assert_eq!(
+            before.render(),
+            after.render(),
+            "prune changed the intensional answer for {sql}"
+        );
+    }
+}

@@ -323,6 +323,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                 .num("worker_restarts", s.worker_restarts)
                 .num("induction_retries", s.induction_retries)
                 .num("rulesets_rejected", s.rulesets_rejected)
+                .num("rules_pruned", s.rules_pruned)
                 .num("degraded_answers", s.degraded_answers)
                 .num("workers", s.workers)
                 .str("role", &s.role)
@@ -771,6 +772,7 @@ mod tests {
             worker_restarts: 1,
             induction_retries: 3,
             rulesets_rejected: 1,
+            rules_pruned: 3,
             degraded_answers: 2,
             workers: 4,
             role: "follower".to_string(),
@@ -823,6 +825,7 @@ mod tests {
         assert_eq!(v.get("cache_capacity").unwrap().as_u64(), Some(128));
         assert_eq!(v.get("requests_shed").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("rulesets_rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("rules_pruned").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("worker_restarts").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("induction_retries").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("degraded_answers").unwrap().as_u64(), Some(2));

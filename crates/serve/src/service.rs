@@ -401,6 +401,10 @@ pub struct StatsReply {
     /// Induced rule sets the static-analysis gate refused to install
     /// (plus live rule sets rejected by a `CHECK` request).
     pub rulesets_rejected: u64,
+    /// Directly-subsumed rules dropped by the install-time prune (a
+    /// narrower premise under a wider rule with the same conclusion
+    /// adds nothing the inference engine can use).
+    pub rules_pruned: u64,
     /// Replies served with a degraded intensional side.
     pub degraded_answers: u64,
     /// Worker threads.
@@ -680,6 +684,7 @@ struct Counters {
     worker_restarts: AtomicU64,
     induction_retries: AtomicU64,
     rulesets_rejected: AtomicU64,
+    rules_pruned: AtomicU64,
     degraded: AtomicU64,
 }
 
@@ -888,6 +893,12 @@ impl Shared {
         self.ckpt_wake.notify_all();
     }
 
+    fn note_rules_pruned(&self, n: u64) {
+        if n > 0 {
+            self.counters.rules_pruned.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     fn note_ruleset_rejected(&self) {
         self.counters
             .rulesets_rejected
@@ -958,21 +969,38 @@ fn lint_rule_set(
     report
 }
 
+/// Drop directly-subsumed rules from a gated set before install. The
+/// engine applies rules one at a time, so a rule whose premise lies
+/// inside a wider rule with the same conclusion can never contribute a
+/// fact the wider rule does not — removing it is answer-preserving.
+/// Chain-redundant rules (IC025) are only ever *reported* by the
+/// checker, never auto-pruned: deriving their conclusion takes more
+/// than one step. Returns how many rules were dropped.
+fn prune_rule_set(rules: &mut intensio_rules::rule::RuleSet) -> u64 {
+    let pruned = rules.minimize() as u64;
+    if pruned > 0 {
+        intensio_obs::add("serve.rules_pruned", pruned);
+    }
+    pruned
+}
+
 /// Synchronous boot induction. Returns the induced rule set when it
 /// passes the static-analysis gate, `None` when the gate rejects it.
 fn boot_induce(
     cfg: &ServiceConfig,
     dictionary: &DataDictionary,
     db: &Database,
-) -> Result<Option<intensio_rules::rule::RuleSet>, ServeError> {
+) -> Result<(Option<intensio_rules::rule::RuleSet>, u64), ServeError> {
     let ils = Ils::new(dictionary.model(), cfg.induction);
     let out = ils
         .induce_parallel(db, cfg.induction_threads)
         .map_err(|e| ServeError(format!("initial induction failed: {e}")))?;
     if cfg.check_rulesets && lint_rule_set(cfg, &out.rules, db).has_errors() {
-        Ok(None)
+        Ok((None, 0))
     } else {
-        Ok(Some(out.rules))
+        let mut rules = out.rules;
+        let pruned = prune_rule_set(&mut rules);
+        Ok((Some(rules), pruned))
     }
 }
 
@@ -1011,13 +1039,14 @@ fn boot_durable(
     dir: &Path,
     seed_db: Database,
     model: KerModel,
-) -> Result<(Snapshot, Durability, bool), ServeError> {
+) -> Result<(Snapshot, Durability, bool, u64), ServeError> {
     let started = std::time::Instant::now();
     let err = |e: intensio_wal::WalError| ServeError(format!("durability: {e}"));
     let recovered = intensio_wal::recover(dir).map_err(err)?;
     intensio_wal::recover::apply_sanitize(&recovered).map_err(err)?;
 
     let mut rejected = false;
+    let mut pruned_on_open = 0u64;
     let (mut db, ckpt_rules, base_epoch, base_dv, base_term) = match recovered.checkpoint {
         Some(c) => (c.db, c.rules, c.epoch, c.data_version, c.term),
         // Fresh directory (or no readable checkpoint): replay starts
@@ -1076,7 +1105,7 @@ fn boot_durable(
     }
 
     let mut dictionary = DataDictionary::new(model);
-    if let Some(rules) = pending_rules {
+    if let Some(mut rules) = pending_rules {
         // Recovered knowledge passes the same gate a fresh induction
         // would: replay must not reinstall a rule set the checker
         // rejects today.
@@ -1084,16 +1113,18 @@ fn boot_durable(
             rejected = true;
             rules_fresh = false;
         } else {
+            pruned_on_open += prune_rule_set(&mut rules);
             dictionary.set_rules(rules);
         }
     }
     if !rules_fresh && cfg.learn_on_open {
         match boot_induce(cfg, &dictionary, &db)? {
-            Some(rules) => {
+            (Some(rules), pruned) => {
+                pruned_on_open += pruned;
                 dictionary.set_rules(rules);
                 rules_fresh = true;
             }
-            None => rejected = true,
+            (None, _) => rejected = true,
         }
     }
 
@@ -1121,6 +1152,7 @@ fn boot_durable(
             recovery,
         },
         rejected,
+        pruned_on_open,
     ))
 }
 
@@ -1186,10 +1218,12 @@ impl Service {
             cfg.learn_on_open = false;
         }
         let mut rejected_on_open = false;
+        let mut pruned_on_open = 0u64;
         let (snapshot, durability) = match cfg.data_dir.clone() {
             Some(dir) => {
-                let (snap, dur, rejected) = boot_durable(&cfg, &dir, db, model)?;
+                let (snap, dur, rejected, pruned) = boot_durable(&cfg, &dir, db, model)?;
                 rejected_on_open = rejected;
+                pruned_on_open = pruned;
                 (snap, Some(dur))
             }
             None => {
@@ -1197,7 +1231,8 @@ impl Service {
                 let mut rules_fresh = false;
                 if cfg.learn_on_open {
                     match boot_induce(&cfg, &dictionary, &db)? {
-                        Some(rules) => {
+                        (Some(rules), pruned) => {
+                            pruned_on_open = pruned;
                             dictionary.set_rules(rules);
                             rules_fresh = true;
                         }
@@ -1205,7 +1240,7 @@ impl Service {
                         // with provably unsound ones; the dictionary
                         // keeps its empty rule set and the background
                         // inducer stays quiet until the data changes.
-                        None => rejected_on_open = true,
+                        (None, _) => rejected_on_open = true,
                     }
                 }
                 (Snapshot::initial(db, dictionary, rules_fresh), None)
@@ -1258,6 +1293,7 @@ impl Service {
         if rejected_on_open {
             shared.note_ruleset_rejected();
         }
+        shared.note_rules_pruned(pruned_on_open);
 
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -1956,6 +1992,7 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
         induction_retries: c.induction_retries.load(Ordering::Relaxed),
         rulesets_rejected: c.rulesets_rejected.load(Ordering::Relaxed),
+        rules_pruned: c.rules_pruned.load(Ordering::Relaxed),
         degraded_answers: c.degraded.load(Ordering::Relaxed),
         workers: shared.cfg.workers.max(1) as u64,
         durability: shared.durability.as_ref().map(|dur| {
@@ -2737,7 +2774,7 @@ fn induce_once(shared: &Shared) -> Induce {
         return Induce::Idle;
     }
     let ils = Ils::new(snap.dictionary.model(), shared.cfg.induction);
-    let rules = match ils.induce_parallel(&snap.db, shared.cfg.induction_threads) {
+    let mut rules = match ils.induce_parallel(&snap.db, shared.cfg.induction_threads) {
         Ok(out) => out.rules,
         Err(_) => return Induce::Failed,
     };
@@ -2745,6 +2782,9 @@ fn induce_once(shared: &Shared) -> Induce {
         shared.note_ruleset_rejected();
         return Induce::Rejected;
     }
+    // Prune before the durable encode below: the WAL record and the
+    // bytes shipped to followers must carry the set actually served.
+    shared.note_rules_pruned(prune_rule_set(&mut rules));
 
     let _writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
     let current = shared.snapshot();
@@ -3253,11 +3293,12 @@ fn apply_wire_snapshot(
             // Shipped rules pass the same static-analysis gate a local
             // install would: a primary/follower checker version skew
             // must not smuggle rejected rules into service.
-            Ok(rules) => {
+            Ok(mut rules) => {
                 if shared.cfg.check_rulesets && lint_rule_set(&shared.cfg, &rules, &db).has_errors()
                 {
                     shared.note_ruleset_rejected();
                 } else {
+                    shared.note_rules_pruned(prune_rule_set(&mut rules));
                     dictionary.set_rules(rules);
                     rules_fresh = true;
                 }
@@ -3368,7 +3409,7 @@ fn apply_record(
             let mut dictionary = current.dictionary.clone();
             let mut rules_fresh = false;
             match rules_codec::rules_from_bytes(&rec.body) {
-                Ok(rules) => {
+                Ok(mut rules) => {
                     // Re-gated like a local install; the epoch advances
                     // either way (contiguity with the primary), but
                     // rejected rules are never served.
@@ -3377,6 +3418,7 @@ fn apply_record(
                     {
                         shared.note_ruleset_rejected();
                     } else {
+                        shared.note_rules_pruned(prune_rule_set(&mut rules));
                         dictionary.set_rules(rules);
                         rules_fresh = true;
                     }

@@ -295,6 +295,15 @@ fn sigkill_mid_workload_loses_no_acked_write() {
     );
     server.shutdown();
 
+    // The offline auditor must agree with recovery: three SIGKILLs may
+    // leave torn tails (warnings), but never a broken chain (errors).
+    let report = intensio_check::check_data_dir(&dir);
+    assert!(
+        !report.has_errors(),
+        "fsck found errors in a crash-recovered dir:\n{}",
+        report.render_text()
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

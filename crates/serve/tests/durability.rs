@@ -215,3 +215,55 @@ fn recovered_rules_pass_the_install_gate() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn directly_subsumed_recovered_rules_are_pruned_on_install() {
+    use intensio_rules::rule::{AttrId, Clause, Rule, RuleSet};
+    use intensio_wal::record::Record;
+    use intensio_wal::segment::{segment_file_name, WAL_SUBDIR};
+
+    // A logged rule set carrying a redundant narrower duplicate of the
+    // paper's R5: same conclusion, premise strictly inside the wider
+    // rule. The install gate passes it (IC021 is a warning), and the
+    // install path drops the duplicate before serving.
+    let dir = temp_dir("prune");
+    let wide = Rule::new(
+        0,
+        vec![Clause::between(
+            AttrId::new("CLASS", "Displacement"),
+            7250,
+            30000,
+        )],
+        Clause::equals(AttrId::new("CLASS", "Type"), "SSBN"),
+    )
+    .with_subtype("SSBN")
+    .with_support(5);
+    let narrow = Rule::new(
+        0,
+        vec![Clause::between(
+            AttrId::new("CLASS", "Displacement"),
+            8000,
+            9000,
+        )],
+        Clause::equals(AttrId::new("CLASS", "Type"), "SSBN"),
+    )
+    .with_subtype("SSBN")
+    .with_support(3);
+    let rules = RuleSet::from_rules([wide, narrow]);
+    let body = intensio_wal::rules_codec::rules_to_bytes(&rules).unwrap();
+    let wal_dir = dir.join(WAL_SUBDIR);
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    std::fs::write(
+        wal_dir.join(segment_file_name(1)),
+        Record::rules(1, 0, body).encode(),
+    )
+    .unwrap();
+
+    let service = open_durable(&dir, FsyncPolicy::Always, 1_000);
+    let s = stats(&service);
+    assert!(s.rules_fresh, "the recovered set installs");
+    assert_eq!(s.rulesets_rejected, 0, "a redundant set is not rejected");
+    assert_eq!(s.rules_pruned, 1, "the narrower duplicate is dropped");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

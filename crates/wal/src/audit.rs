@@ -1,0 +1,208 @@
+//! Read-only audit accessors for offline analysis of a data directory.
+//!
+//! [`crate::recover`] answers "what state do I boot into?"; the
+//! accessors here answer the *auditor's* questions — what is physically
+//! on disk, frame by frame and manifest by manifest, without deciding
+//! anything. `intensio-check fsck` builds its diagnostics on top of
+//! these; nothing in this module writes, truncates, or repairs.
+
+use crate::checkpoint::{parse_manifest, MANIFEST};
+use crate::record::{decode_frame, FrameOutcome};
+use crate::segment::{CHECKPOINT_SUBDIR, WAL_SUBDIR};
+use crate::WalError;
+use std::path::{Path, PathBuf};
+
+/// One on-disk checkpoint directory: its path, plus the `(epoch, seq)`
+/// parsed from its name when the name parses.
+pub type CheckpointDirEntry = (PathBuf, Option<(u64, u64)>);
+
+/// The fields a checkpoint `MANIFEST` pins, decoded without loading the
+/// database or rules it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestInfo {
+    /// The epoch the checkpoint pins.
+    pub epoch: u64,
+    /// The data version at that epoch.
+    pub data_version: u64,
+    /// The primary term the state was committed under (0 for manifests
+    /// written before terms existed).
+    pub term: u64,
+    /// Whether the checkpoint carries a rule set.
+    pub has_rules: bool,
+}
+
+/// Read and verify the `MANIFEST` of one checkpoint directory. Fails on
+/// a missing file, a checksum mismatch, or a malformed field — the
+/// caller decides whether that is fatal or a fallback.
+pub fn read_manifest(ckpt_dir: &Path) -> Result<ManifestInfo, WalError> {
+    let text = std::fs::read_to_string(ckpt_dir.join(MANIFEST))
+        .map_err(|e| WalError(format!("reading manifest: {e}")))?;
+    let (epoch, data_version, term, has_rules) = parse_manifest(&text)?;
+    Ok(ManifestInfo {
+        epoch,
+        data_version,
+        term,
+        has_rules,
+    })
+}
+
+/// Decode every frame in one segment's bytes, oldest first, pairing
+/// each outcome with its byte offset. Decoding stops after the first
+/// [`FrameOutcome::Torn`] or [`FrameOutcome::Corrupt`] — past either,
+/// frame boundaries are no longer trustworthy — so those can only be
+/// the final element. A clean end of file produces no trailing entry.
+pub fn scan_frames(buf: &[u8]) -> Vec<(u64, FrameOutcome)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let outcome = decode_frame(&buf[pos..]);
+        let consumed = match &outcome {
+            FrameOutcome::Complete(_, consumed) => *consumed,
+            FrameOutcome::Torn | FrameOutcome::Corrupt(_) => {
+                out.push((pos as u64, outcome));
+                break;
+            }
+        };
+        out.push((pos as u64, outcome));
+        pos += consumed;
+    }
+    out
+}
+
+/// Checkpoint directories exactly as named on disk, including ones
+/// [`crate::checkpoint::list_checkpoints`] would skip as unparseable.
+/// Each entry is `(path, parsed (epoch, seq) when the name parses)`.
+pub fn list_checkpoint_dirs(
+    data_dir: &Path,
+) -> std::io::Result<Vec<CheckpointDirEntry>> {
+    let dir = data_dir.join(CHECKPOINT_SUBDIR);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_debris_name(name) {
+            continue; // reported by `debris`, not as a checkpoint
+        }
+        out.push((entry.path(), parse_ckpt_name(name)));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn parse_ckpt_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("ckpt-")?;
+    let (epoch_hex, seq_hex) = rest.split_once('-')?;
+    if epoch_hex.len() != 16 || seq_hex.len() != 4 {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(epoch_hex, 16).ok()?,
+        u64::from_str_radix(seq_hex, 16).ok()?,
+    ))
+}
+
+fn is_debris_name(name: &str) -> bool {
+    name.contains(".tmp-") || name.contains(".saving-") || name.contains(".old-")
+}
+
+/// Leftover atomic-write intermediates: `.tmp-*` checkpoint staging
+/// directories and `.saving-*` / `.old-*` persist siblings. Each is the
+/// footprint of a crash mid-write — harmless to recovery (which ignores
+/// them) but disk an operator may want back. Scans the data directory
+/// root, `wal/`, `checkpoints/`, and one level inside each checkpoint.
+pub fn debris(data_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut roots = vec![
+        data_dir.to_path_buf(),
+        data_dir.join(WAL_SUBDIR),
+        data_dir.join(CHECKPOINT_SUBDIR),
+    ];
+    for (path, _) in list_checkpoint_dirs(data_dir)? {
+        roots.push(path);
+    }
+    for root in roots {
+        let entries = match std::fs::read_dir(&root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            if name.to_str().is_some_and(is_debris_name) {
+                out.push(entry.path());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    #[test]
+    fn scan_frames_walks_offsets_and_stops_on_damage() {
+        let a = Record::write(1, 1, "a").encode();
+        let b = Record::write(2, 2, "b").encode();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b);
+        let frames = scan_frames(&buf);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, 0);
+        assert_eq!(frames[1].0, a.len() as u64);
+
+        // Tear the tail: the final entry is Torn at its offset.
+        let torn = scan_frames(&buf[..buf.len() - 3]);
+        assert_eq!(torn.len(), 2);
+        assert!(matches!(torn[1].1, FrameOutcome::Torn));
+
+        // Flip a byte in the second frame: Corrupt ends the scan.
+        let mut bad = buf.clone();
+        bad[a.len() + 10] ^= 0xFF;
+        let corrupt = scan_frames(&bad);
+        assert_eq!(corrupt.len(), 2);
+        assert!(matches!(corrupt[1].1, FrameOutcome::Corrupt(_)));
+    }
+
+    #[test]
+    fn manifest_reads_back_and_debris_is_found() {
+        use intensio_storage::catalog::Database;
+        let dir = std::env::temp_dir().join(format!("intensio_audit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = crate::checkpoint::write_checkpoint(&dir, &Database::new(), None, 4, 2, 3).unwrap();
+        let info = read_manifest(&r.path).unwrap();
+        assert_eq!(
+            info,
+            ManifestInfo {
+                epoch: 4,
+                data_version: 2,
+                term: 3,
+                has_rules: false
+            }
+        );
+        assert!(debris(&dir).unwrap().is_empty());
+
+        // Plant a crashed checkpoint staging dir and a persist sibling.
+        let tmp = dir.join(CHECKPOINT_SUBDIR).join("ckpt-x.tmp-999");
+        std::fs::create_dir_all(&tmp).unwrap();
+        std::fs::create_dir_all(r.path.join(".db.saving-999")).unwrap();
+        let found = debris(&dir).unwrap();
+        assert_eq!(found.len(), 2, "{found:?}");
+        let dirs = list_checkpoint_dirs(&dir).unwrap();
+        assert_eq!(dirs.len(), 1, "debris is not a checkpoint: {dirs:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

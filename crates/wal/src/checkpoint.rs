@@ -24,7 +24,7 @@ use intensio_storage::catalog::Database;
 use intensio_storage::persist::{load_database, save_database};
 use std::path::{Path, PathBuf};
 
-const MANIFEST: &str = "MANIFEST";
+pub(crate) const MANIFEST: &str = "MANIFEST";
 const MANIFEST_HEADER: &str = "intensio-checkpoint v1";
 
 /// A checkpoint directory on disk, identified but not yet loaded.
@@ -107,7 +107,7 @@ fn manifest_text(epoch: u64, data_version: u64, term: u64, has_rules: bool) -> S
 }
 
 /// `(epoch, data_version, term, has_rules)`.
-fn parse_manifest(text: &str) -> Result<(u64, u64, u64, bool), WalError> {
+pub(crate) fn parse_manifest(text: &str) -> Result<(u64, u64, u64, bool), WalError> {
     let bad = |why: &str| WalError(format!("invalid checkpoint manifest: {why}"));
     let (body, crc_line) = text
         .trim_end_matches('\n')

@@ -28,6 +28,7 @@
 
 mod crc;
 
+pub mod audit;
 pub mod checkpoint;
 pub mod log;
 pub mod read;

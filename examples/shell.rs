@@ -388,11 +388,12 @@ impl RemoteShell {
                     n("errors"),
                 ) + &format!(
                     "\nresilience: {} shed, {} worker restarts, {} induction retries, \
-                     {} rule sets rejected, {} degraded answers",
+                     {} rule sets rejected, {} rules pruned, {} degraded answers",
                     n("requests_shed"),
                     n("worker_restarts"),
                     n("induction_retries"),
                     n("rulesets_rejected"),
+                    n("rules_pruned"),
                     n("degraded_answers"),
                 ) + &match v.get("repl") {
                     Some(r) if r.get("primary").is_some() => {

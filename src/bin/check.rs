@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! check [OPTIONS] [SCHEMA.ker ...]
+//! check fsck [--json] [--deny-warnings] DATA_DIR
 //!
+//!   fsck DATA_DIR       offline audit of a serve data directory:
+//!                       WAL frame walk, epoch/term chain, checkpoint
+//!                       manifests, atomic-write debris (IC060-IC066)
 //!   --shipdb            check the built-in Appendix B/C ship database:
 //!                       schema lints + rule lints over a freshly
 //!                       induced rule set
@@ -39,9 +43,44 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: check [--shipdb] [--sql QUERY] [--quel SCRIPT] \
          [--mutate isa-cycle|rule-conflict|empty-query] [--nc N] \
-         [--json] [--deny-warnings] [SCHEMA.ker ...]"
+         [--json] [--deny-warnings] [SCHEMA.ker ...]\n       \
+         check fsck [--json] [--deny-warnings] DATA_DIR"
     );
     ExitCode::from(2)
+}
+
+/// `check fsck [--json] [--deny-warnings] DATA_DIR` — audit a serve
+/// data directory offline and render the findings like any other pass.
+fn run_fsck(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut dir = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => return usage(),
+            f if !f.starts_with('-') && dir.is_none() => dir = Some(f.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
+    let path = std::path::Path::new(&dir);
+    if !path.is_dir() {
+        eprintln!("check: fsck: {dir} is not a directory");
+        return ExitCode::from(2);
+    }
+    let report = check::check_data_dir(path);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.fails(deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn parse_args() -> Result<Opts, ExitCode> {
@@ -85,6 +124,11 @@ fn parse_args() -> Result<Opts, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("fsck") {
+        return run_fsck(&argv[1..]);
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
