@@ -4,7 +4,8 @@
 //! ```text
 //! serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]
 //!            [--durable] [--data-dir PATH] [--fsync always|batch:N|off]
-//!            [--topology 1p2f|failover] [--rounds N] [--failover-timeout-ms MS]
+//!            [--topology 1p2f|failover|partition] [--rounds N]
+//!            [--failover-timeout-ms MS]
 //! ```
 //!
 //! `--topology 1p2f` switches to the replication workload: one durable
@@ -31,6 +32,18 @@
 //! present on all three nodes, none applied twice); the run prints
 //! time-to-promotion and write-unavailability percentiles, which is
 //! how `BENCH_failover.json` is measured.
+//!
+//! `--topology partition` keeps every process alive and injects link
+//! faults instead (`intensio_net`): a symmetric split, a one-way
+//! (half-open) link, flapping links, and pure heartbeat delay. All
+//! three in-process nodes share this process's fault registry, so one
+//! `net.*` spec governs both ends of a link — the same physics a real
+//! partition has. Per scenario the run measures time-to-promotion,
+//! write unavailability, minority stale-read availability, and
+//! time-to-heal after the fault clears, then audits the exact acked
+//! set (and, for the one-way split, that minority-acked writes were
+//! retracted on rejoin). This is how `BENCH_partition.json` is
+//! measured.
 //!
 //! `--durable` opens the service with a write-ahead log (in a
 //! throwaway temp directory unless `--data-dir` is given) and adds a
@@ -76,6 +89,10 @@ enum Topology {
     /// Term-fenced failover rounds: kill the primary, promote the
     /// candidate, fence and rejoin the deposed primary, audit.
     Failover,
+    /// Injected link-fault rounds: no process dies, the network does.
+    /// Measures availability during the partition, time-to-promotion,
+    /// and time-to-heal per scenario; feeds `BENCH_partition.json`.
+    Partition,
 }
 
 struct Args {
@@ -98,7 +115,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--threads N] [--queries N] [--workers N] [--obs on|off]\n\
          \x20                 [--durable] [--data-dir PATH] [--fsync always|batch:N|off]\n\
-         \x20                 [--topology 1p2f|failover] [--rounds N]\n\
+         \x20                 [--topology 1p2f|failover|partition] [--rounds N]\n\
          \x20                 [--failover-timeout-ms MS] [--trace-dir PATH]\n\
          \x20                 [--trace-sample RATE] [--profile]"
     );
@@ -158,8 +175,11 @@ fn parse_args() -> Args {
             "--topology" => match it.next().as_deref() {
                 Some("1p2f") => args.topology = Some(Topology::OnePrimaryTwoFollowers),
                 Some("failover") => args.topology = Some(Topology::Failover),
+                Some("partition") => args.topology = Some(Topology::Partition),
                 other => {
-                    eprintln!("serve_load: unsupported topology {other:?} (1p2f or failover)");
+                    eprintln!(
+                        "serve_load: unsupported topology {other:?} (1p2f, failover, or partition)"
+                    );
                     usage()
                 }
             },
@@ -1083,6 +1103,682 @@ fn failover_main(args: &Args) {
     println!("PASS");
 }
 
+/// What one injected-fault scenario measured and verified.
+struct PartitionOutcome {
+    /// Fault injection to the winner candidate's `role == "primary"`;
+    /// `None` for scenarios that must not promote at all.
+    promotion: Option<Duration>,
+    /// Fault injection to the first write acked on the majority side.
+    unavailable: Option<Duration>,
+    /// Stale reads served by the stranded minority primary while the
+    /// partition was up: (answered, attempted).
+    minority_reads: (u64, u64),
+    /// Fault clear to full convergence: one primary, one term,
+    /// identical epochs on all three nodes.
+    heal: Duration,
+    acked: Vec<String>,
+    lost: u64,
+    duplicates: u64,
+    /// Minority-acked writes still visible anywhere after the heal —
+    /// the single-copy contract says the rejoin must retract them.
+    leaked: u64,
+    /// The term the cluster converged on.
+    final_term: u64,
+    /// Invariant violations observed mid-scenario (empty on success).
+    notes: Vec<String>,
+}
+
+/// Failover seeds whose deterministic promotion deadlines are far
+/// enough apart that the earlier one (the winner) always promotes
+/// before the later one's pre-promotion sweep runs — the same scan the
+/// dueling-candidates drill in the serve test suite uses. Requires
+/// `--failover-timeout-ms >= 400` so the jitter band is wide enough.
+fn partition_seeds(timeout: Duration) -> (u64, u64) {
+    let deadline_for = |seed: u64| {
+        timeout / 2
+            + intensio_fault::Backoff::new(timeout, timeout, seed.wrapping_add(1)).delay_for(0)
+    };
+    let (win, lose) = (1u64..=64)
+        .flat_map(|x| (1u64..=64).map(move |y| (x, y)))
+        .filter(|(x, y)| x != y && deadline_for(*x) < deadline_for(*y))
+        .max_by_key(|(x, y)| deadline_for(*y) - deadline_for(*x))
+        .expect("seed pool yields a winner/loser pair");
+    assert!(
+        deadline_for(lose) - deadline_for(win) >= Duration::from_millis(150),
+        "seed pool too narrow for a deterministic winner"
+    );
+    (win, lose)
+}
+
+/// Three in-process nodes sharing this process's link-fault registry:
+/// primary `a` polling its peers, durable candidate `b` (seeded to win
+/// any promotion race), memory candidate `c` (seeded to lose). Address
+/// aliases are registered so a `net.*` spec written in terms of labels
+/// also governs dials that only know a peer's address.
+struct PartitionCluster {
+    a: Arc<Service>,
+    b: Arc<Service>,
+    c: Arc<Service>,
+    servers: Vec<Server>,
+    /// `[a, b, c]` listen addresses.
+    addrs: [String; 3],
+    base: std::path::PathBuf,
+}
+
+impl PartitionCluster {
+    fn spawn(args: &Args, tag: &str) -> Result<PartitionCluster, String> {
+        intensio_net::faults::clear();
+        intensio_net::faults::clear_aliases();
+        let timeout = Duration::from_millis(args.failover_timeout_ms);
+        let (win, lose) = partition_seeds(timeout);
+        let base =
+            std::env::temp_dir().join(format!("intensio-partition-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mk = |label: &str,
+                  data_dir: Option<std::path::PathBuf>,
+                  replicate_from: Option<String>,
+                  candidate: bool,
+                  seed: u64| ServiceConfig {
+            workers: args.workers,
+            data_dir,
+            wal: intensio_wal::WalConfig {
+                fsync: args.fsync,
+                ..intensio_wal::WalConfig::default()
+            },
+            replicate_from,
+            candidate,
+            failover_timeout: timeout,
+            failover_seed: seed,
+            repl_heartbeat: Duration::from_millis(100),
+            net_label: label.to_string(),
+            ..ServiceConfig::default()
+        };
+        let open = |cfg: ServiceConfig| -> Result<(Arc<Service>, Server, String), String> {
+            let db = intensio_shipdb::ship_database().map_err(|e| e.to_string())?;
+            let model = intensio_shipdb::ship_model().map_err(|e| e.to_string())?;
+            let svc = Arc::new(Service::with_config(db, model, cfg).map_err(|e| e.to_string())?);
+            let server = Server::bind(svc.clone(), "127.0.0.1:0").map_err(|e| e.to_string())?;
+            let addr = server.local_addr().to_string();
+            Ok((svc, server, addr))
+        };
+        let (a, aserver, paddr) = open(mk("a", Some(base.join("a")), None, false, 0))?;
+        let (b, bserver, baddr) = open(mk(
+            "b",
+            Some(base.join("b")),
+            Some(paddr.clone()),
+            true,
+            win,
+        ))?;
+        // `c` cannot know `b`'s address before `b` binds, so its
+        // rotation is primary-first with the sibling as the fallback
+        // the pre-promotion sweep probes.
+        let (c, cserver, caddr) =
+            open(mk("c", None, Some(format!("{paddr},{baddr}")), true, lose))?;
+        intensio_net::faults::register_alias(&paddr, "a");
+        intensio_net::faults::register_alias(&baddr, "b");
+        intensio_net::faults::register_alias(&caddr, "c");
+        // The poller is how a stranded primary discovers a newer term
+        // after a heal — without peers it would stay primary forever.
+        a.set_peers(vec![baddr.clone(), caddr.clone()]);
+        let cluster = PartitionCluster {
+            a,
+            b,
+            c,
+            servers: vec![aserver, bserver, cserver],
+            addrs: [paddr, baddr, caddr],
+            base,
+        };
+        cluster.await_shipped("initial catch-up")?;
+        Ok(cluster)
+    }
+
+    /// Wait until all three nodes sit at the same epoch.
+    fn await_shipped(&self, what: &str) -> Result<Duration, String> {
+        let start = Instant::now();
+        loop {
+            let (ea, eb, ec) = (
+                self.a.stats().epoch,
+                self.b.stats().epoch,
+                self.c.stats().epoch,
+            );
+            if ea == eb && eb == ec {
+                return Ok(start.elapsed());
+            }
+            if start.elapsed() >= Duration::from_secs(30) {
+                return Err(format!("{what}: epochs stuck at {ea}/{eb}/{ec}"));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Wait until the cluster has exactly one primary, every node is on
+    /// `want_term`, and all epochs match; returns the elapsed time.
+    fn await_converged(&self, want_term: u64, what: &str) -> Result<Duration, String> {
+        let start = Instant::now();
+        loop {
+            let (sa, sb, sc) = (self.a.stats(), self.b.stats(), self.c.stats());
+            let primaries = [&sa, &sb, &sc]
+                .iter()
+                .filter(|s| s.role == "primary")
+                .count();
+            if primaries == 1
+                && [sa.term, sb.term, sc.term] == [want_term; 3]
+                && sa.epoch == sb.epoch
+                && sb.epoch == sc.epoch
+            {
+                return Ok(start.elapsed());
+            }
+            if start.elapsed() >= Duration::from_secs(60) {
+                return Err(format!(
+                    "{what}: never converged (roles {}/{}/{}, terms {}/{}/{}, epochs {}/{}/{})",
+                    sa.role,
+                    sb.role,
+                    sc.role,
+                    sa.term,
+                    sb.term,
+                    sc.term,
+                    sa.epoch,
+                    sb.epoch,
+                    sc.epoch,
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Watch `b` (via its in-process handle — the control plane is not
+    /// the network) until it reports `role == "primary"`.
+    fn watch_promotion(&self, from: Instant) -> std::thread::JoinHandle<Option<Duration>> {
+        let b = self.b.clone();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while Instant::now() < deadline {
+                if b.stats().role == "primary" {
+                    return Some(from.elapsed());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            None
+        })
+    }
+
+    /// Exact-set audit over the wire on all three nodes: every acked
+    /// write present exactly once, every `banned` (retracted) write
+    /// absent. Returns `(lost, duplicates, leaked)`.
+    fn audit(&self, acked: &[String], banned: &[String]) -> Result<(u64, u64, u64), String> {
+        let (mut lost, mut duplicates, mut leaked) = (0u64, 0u64, 0u64);
+        for addr in &self.addrs {
+            let (mut c, _) = connect_with_retry(std::slice::from_ref(addr), 0)
+                .map_err(|e| format!("audit connect {addr}: {e}"))?;
+            let line = c
+                .roundtrip("SQL SELECT Id FROM SUBMARINE")
+                .map_err(|e| format!("audit read {addr}: {e}"))?;
+            let v = json::parse(&line).map_err(|e| format!("audit reply {addr}: {e}"))?;
+            let mut counts: std::collections::BTreeMap<String, usize> =
+                std::collections::BTreeMap::new();
+            for row in v.get("rows").and_then(Json::as_array).unwrap_or(&[]) {
+                if let Some(id) = row
+                    .as_array()
+                    .and_then(|r| r.first())
+                    .and_then(Json::as_str)
+                {
+                    *counts.entry(id.trim().to_string()).or_insert(0) += 1;
+                }
+            }
+            for id in acked {
+                match counts.get(id).copied().unwrap_or(0) {
+                    0 => {
+                        eprintln!("LOST: acked write {id} missing on {addr}");
+                        lost += 1;
+                    }
+                    1 => {}
+                    n => {
+                        eprintln!("DUPLICATE: acked write {id} applied {n} times on {addr}");
+                        duplicates += 1;
+                    }
+                }
+            }
+            for id in banned {
+                if counts.get(id).copied().unwrap_or(0) > 0 {
+                    eprintln!("LEAKED: retracted minority write {id} still visible on {addr}");
+                    leaked += 1;
+                }
+            }
+            c.quit();
+        }
+        Ok((lost, duplicates, leaked))
+    }
+
+    fn teardown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+        drop_service(self.a);
+        drop_service(self.b);
+        drop_service(self.c);
+        intensio_net::faults::clear();
+        intensio_net::faults::clear_aliases();
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}
+
+/// Append one row through a plain client connection (clients dial with
+/// the `client` label, so node-targeted link faults never touch them).
+fn partition_append(addr: &str, id: &str) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let line = c
+        .roundtrip(&format!(
+            "QUEL append to SUBMARINE (Id = \"{id}\", \
+             Name = \"Partition Probe\", Class = \"0101\")"
+        ))
+        .map_err(|e| format!("append {id} on {addr}: {e}"))?;
+    let v = json::parse(&line).map_err(|e| format!("append reply: {e}"))?;
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("append {id} rejected on {addr}: {}", line.trim()));
+    }
+    Ok(())
+}
+
+/// One stale-read probe: does `addr` still answer a SQL read?
+fn partition_read_ok(addr: &str) -> bool {
+    Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.roundtrip("SQL SELECT Id FROM SUBMARINE").ok())
+        .and_then(|line| json::parse(&line).ok())
+        .is_some_and(|v| v.get("ok").and_then(Json::as_bool) == Some(true))
+}
+
+/// Inject `specs` into the shared registry, failing the scenario on a
+/// refused spec rather than silently running without the fault.
+fn partition_inject(specs: &str) -> Result<(), String> {
+    intensio_net::faults::configure_str(specs).map_err(|e| format!("fault spec {specs:?}: {e}"))
+}
+
+/// Symmetric split: `a` loses both followers at once. The majority
+/// promotes `b`, the stranded primary keeps serving stale reads until
+/// the term fence demotes it, and the heal converges everyone on the
+/// new lineage.
+fn partition_scenario_symmetric(args: &Args) -> Result<PartitionOutcome, String> {
+    let cluster = PartitionCluster::spawn(args, "symmetric")?;
+    let [paddr, baddr, caddr] = cluster.addrs.clone();
+    let mut notes = Vec::new();
+    let mut acked = Vec::new();
+    for i in 0..4 {
+        let id = format!("SP{i:04}");
+        partition_append(&paddr, &id)?;
+        acked.push(id);
+    }
+    cluster.await_shipped("pre-cut prefix")?;
+
+    partition_inject("net.partition=a<->b;net.partition#2=a<->c")?;
+    let cut = Instant::now();
+    let watcher = cluster.watch_promotion(cut);
+    // The writer fails over to the majority rotation; the first ack
+    // bounds the write-unavailability window.
+    let mut unavailable = None;
+    let majority = [baddr.clone(), caddr.clone()];
+    for i in 0..4 {
+        let id = format!("SPM{i:04}");
+        let at = write_failover(&majority, &id)?;
+        acked.push(id);
+        if unavailable.is_none() {
+            unavailable = Some(at.duration_since(cut));
+        }
+    }
+    let promotion = watcher
+        .join()
+        .map_err(|_| "promotion watcher panicked")?
+        .ok_or("b never promoted behind the symmetric split")?;
+    // The stranded minority primary must keep answering stale reads
+    // (and must still believe it is the term-0 primary).
+    let mut minority_reads = (0u64, 0u64);
+    for _ in 0..20 {
+        minority_reads.1 += 1;
+        if partition_read_ok(&paddr) {
+            minority_reads.0 += 1;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stranded = cluster.a.stats();
+    if stranded.role != "primary" || stranded.term != 0 {
+        notes.push(format!(
+            "stranded primary should still be term-0 primary, is {} at term {}",
+            stranded.role, stranded.term
+        ));
+    }
+    // The fence, observed directly: a handshake carrying the new term
+    // is rejected with STALE_TERM and demotes the stranded primary.
+    let new_term = cluster.b.stats().term;
+    let fenced = Client::connect(&paddr)
+        .ok()
+        .and_then(|mut c| c.roundtrip(&format!("REPLICATE 0 term={new_term}")).ok())
+        .is_some_and(|line| line.contains("STALE_TERM"));
+    if !fenced {
+        notes.push("stale-term fence missing on the stranded primary".to_string());
+    }
+
+    intensio_net::faults::clear();
+    let heal = cluster.await_converged(new_term, "post-heal")?;
+    let _ = caddr;
+    let (lost, duplicates, leaked) = cluster.audit(&acked, &[])?;
+    cluster.teardown();
+    Ok(PartitionOutcome {
+        promotion: Some(promotion),
+        unavailable,
+        minority_reads,
+        heal,
+        acked,
+        lost,
+        duplicates,
+        leaked,
+        final_term: new_term,
+        notes,
+    })
+}
+
+/// One-way (half-open) link: `a`'s frames to `b` vanish while `b`'s
+/// dials still reach `a`. `b` starves and takes over; writes acked by
+/// the oblivious minority primary during the split must be retracted
+/// when it rejoins the new lineage.
+fn partition_scenario_oneway(args: &Args) -> Result<PartitionOutcome, String> {
+    let cluster = PartitionCluster::spawn(args, "oneway")?;
+    let [paddr, baddr, _caddr] = cluster.addrs.clone();
+    let mut notes = Vec::new();
+    let mut acked = Vec::new();
+    for i in 0..4 {
+        let id = format!("OW{i:04}");
+        partition_append(&paddr, &id)?;
+        acked.push(id);
+    }
+    cluster.await_shipped("pre-cut prefix")?;
+
+    partition_inject("net.oneway=a->b")?;
+    let cut = Instant::now();
+    let watcher = cluster.watch_promotion(cut);
+    let mut unavailable = None;
+    for i in 0..4 {
+        let id = format!("OWM{i:04}");
+        let at = write_failover(std::slice::from_ref(&baddr), &id)?;
+        acked.push(id);
+        if unavailable.is_none() {
+            unavailable = Some(at.duration_since(cut));
+        }
+    }
+    let promotion = watcher
+        .join()
+        .map_err(|_| "promotion watcher panicked")?
+        .ok_or("b never promoted behind the one-way link")?;
+    // Split brain, live: `a` cannot hear the new term (its poll dials
+    // toward `b` die on the severed direction), so it keeps acking
+    // writes. The single-copy contract retracts them on rejoin.
+    let mut banned = Vec::new();
+    for i in 0..2 {
+        let id = format!("OWX{i:03}");
+        partition_append(&paddr, &id)?;
+        banned.push(id);
+    }
+    let oblivious = cluster.a.stats();
+    if oblivious.role != "primary" || oblivious.term != 0 {
+        notes.push(format!(
+            "minority primary should still be term-0 primary, is {} at term {}",
+            oblivious.role, oblivious.term
+        ));
+    }
+    if cluster.c.stats().term != 0 {
+        notes.push("follower c crossed terms before the heal".to_string());
+    }
+    let new_term = cluster.b.stats().term;
+
+    intensio_net::faults::clear();
+    let heal = cluster.await_converged(new_term, "post-heal")?;
+    let (lost, duplicates, leaked) = cluster.audit(&acked, &banned)?;
+    cluster.teardown();
+    Ok(PartitionOutcome {
+        promotion: Some(promotion),
+        unavailable,
+        minority_reads: (0, 0),
+        heal,
+        acked,
+        lost,
+        duplicates,
+        leaked,
+        final_term: new_term,
+        notes,
+    })
+}
+
+/// Flapping links: short full cuts, each healed well inside the
+/// failover timeout. Nobody may promote; every blackholed record must
+/// resync after each heal (a post-heal marker write trips the
+/// followers' gap detection — heartbeats alone never replay history).
+fn partition_scenario_flapping(args: &Args) -> Result<PartitionOutcome, String> {
+    let cluster = PartitionCluster::spawn(args, "flapping")?;
+    let [paddr, _baddr, _caddr] = cluster.addrs.clone();
+    let mut notes = Vec::new();
+    let mut acked = Vec::new();
+    let flap_hold = Duration::from_millis((args.failover_timeout_ms / 4).min(150));
+    let mut heal = Duration::ZERO;
+    for flap in 0..4 {
+        partition_inject("net.partition=a<->b;net.partition#2=a<->c")?;
+        for i in 0..2 {
+            let id = format!("FL{flap}{i:03}");
+            partition_append(&paddr, &id)?;
+            acked.push(id);
+        }
+        std::thread::sleep(flap_hold);
+        intensio_net::faults::clear();
+        let marker = format!("FLM{flap:04}");
+        partition_append(&paddr, &marker)?;
+        acked.push(marker);
+        heal = heal.max(cluster.await_shipped(&format!("flap {flap} resync"))?);
+    }
+    let (sa, sb, sc) = (cluster.a.stats(), cluster.b.stats(), cluster.c.stats());
+    if sa.role != "primary" || sb.role == "primary" || sc.role == "primary" {
+        notes.push(format!(
+            "flapping must not change roles (got {}/{}/{})",
+            sa.role, sb.role, sc.role
+        ));
+    }
+    if [sa.term, sb.term, sc.term] != [0; 3] {
+        notes.push(format!(
+            "flapping must not bump terms (got {}/{}/{})",
+            sa.term, sb.term, sc.term
+        ));
+    }
+    let (lost, duplicates, leaked) = cluster.audit(&acked, &[])?;
+    cluster.teardown();
+    Ok(PartitionOutcome {
+        promotion: None,
+        unavailable: None,
+        minority_reads: (0, 0),
+        heal,
+        acked,
+        lost,
+        duplicates,
+        leaked,
+        final_term: 0,
+        notes,
+    })
+}
+
+/// Pure heartbeat delay, well past the failover timeout: candidates
+/// come due, but their pre-promotion sweep still reaches the primary
+/// (poll replies ride unlabeled connections), so slow must never be
+/// mistaken for dead — no promotion, no term bump, full availability.
+fn partition_scenario_delay(args: &Args) -> Result<PartitionOutcome, String> {
+    let cluster = PartitionCluster::spawn(args, "delay")?;
+    let [paddr, _baddr, _caddr] = cluster.addrs.clone();
+    let mut notes = Vec::new();
+    let mut acked = Vec::new();
+    for i in 0..2 {
+        let id = format!("DL{i:04}");
+        partition_append(&paddr, &id)?;
+        acked.push(id);
+    }
+    cluster.await_shipped("pre-delay prefix")?;
+
+    let delay_ms = args.failover_timeout_ms * 2;
+    partition_inject(&format!(
+        "net.delay:{delay_ms}=a->b;net.delay:{delay_ms}#2=a->c"
+    ))?;
+    // Several failover timeouts under delayed heartbeats: every
+    // candidate becomes due at least once.
+    std::thread::sleep(Duration::from_millis(args.failover_timeout_ms * 3));
+    let mut minority_reads = (0u64, 0u64);
+    for _ in 0..10 {
+        minority_reads.1 += 1;
+        if partition_read_ok(&paddr) {
+            minority_reads.0 += 1;
+        }
+    }
+    let id = "DLW0000".to_string();
+    partition_append(&paddr, &id)?;
+    acked.push(id);
+    let (sb, sc) = (cluster.b.stats(), cluster.c.stats());
+    if sb.role == "primary" || sc.role == "primary" || sb.term != 0 || sc.term != 0 {
+        notes.push(format!(
+            "delay caused a false promotion (roles {}/{}, terms {}/{})",
+            sb.role, sc.role, sb.term, sc.term
+        ));
+    }
+
+    intensio_net::faults::clear();
+    let heal = cluster.await_converged(0, "post-delay")?;
+    let (lost, duplicates, leaked) = cluster.audit(&acked, &[])?;
+    cluster.teardown();
+    Ok(PartitionOutcome {
+        promotion: None,
+        unavailable: None,
+        minority_reads,
+        heal,
+        acked,
+        lost,
+        duplicates,
+        leaked,
+        final_term: 0,
+        notes,
+    })
+}
+
+/// The `--topology partition` workload: four injected-link-fault
+/// scenarios (see the module docs), each with promotion / availability
+/// / heal timings and a zero-loss, zero-duplicate, zero-leak audit.
+/// This is how `BENCH_partition.json` is measured.
+fn partition_main(args: &Args) {
+    if args.failover_timeout_ms < 400 {
+        eprintln!(
+            "serve_load: --topology partition needs --failover-timeout-ms >= 400 \
+             (the deterministic winner/loser seed scan needs the jitter band)"
+        );
+        std::process::exit(2);
+    }
+    let seed = std::env::var("INTENSIO_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    intensio_net::faults::set_seed(seed);
+    println!(
+        "serve_load partition: 4 scenario(s), failover timeout {} ms, chaos seed {seed} (fsync {})",
+        args.failover_timeout_ms, args.fsync
+    );
+    let counters_before = intensio_obs::metrics().snapshot().counters;
+    type Scenario = fn(&Args) -> Result<PartitionOutcome, String>;
+    let scenarios: [(&str, Scenario); 4] = [
+        ("symmetric-split", partition_scenario_symmetric),
+        ("oneway-link", partition_scenario_oneway),
+        ("flapping-links", partition_scenario_flapping),
+        ("heartbeat-delay", partition_scenario_delay),
+    ];
+    let mut failed = false;
+    let mut acked_total = 0u64;
+    for (name, run) in scenarios {
+        match run(args) {
+            Ok(o) => {
+                let promotion = match o.promotion {
+                    Some(d) => format!("promoted in {} ms", d.as_millis()),
+                    None => "no promotion (by design)".to_string(),
+                };
+                let unavailable = match o.unavailable {
+                    Some(d) => format!("writes unavailable {} ms", d.as_millis()),
+                    None => "writes never unavailable".to_string(),
+                };
+                println!(
+                    "scenario {name}: {promotion}, {unavailable}, \
+                     minority stale reads {}/{}, healed in {} ms, \
+                     {} acked, lost {}, duplicates {}, leaked {}, final term {}",
+                    o.minority_reads.0,
+                    o.minority_reads.1,
+                    o.heal.as_millis(),
+                    o.acked.len(),
+                    o.lost,
+                    o.duplicates,
+                    o.leaked,
+                    o.final_term,
+                );
+                acked_total += o.acked.len() as u64;
+                for note in &o.notes {
+                    eprintln!("FAIL: {name}: {note}");
+                    failed = true;
+                }
+                if o.lost > 0 || o.duplicates > 0 || o.leaked > 0 {
+                    failed = true;
+                }
+                if o.minority_reads.0 < o.minority_reads.1 {
+                    eprintln!(
+                        "FAIL: {name}: {} of {} minority stale reads went unanswered",
+                        o.minority_reads.1 - o.minority_reads.0,
+                        o.minority_reads.1
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: scenario {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    // Counter deltas across the whole run: exactly the two scenarios
+    // that partition the majority away may promote, and the symmetric
+    // split must have fenced its stranded primary.
+    let counters = intensio_obs::metrics().snapshot().counters;
+    let delta = |name: &str| {
+        counters.get(name).copied().unwrap_or(0) - counters_before.get(name).copied().unwrap_or(0)
+    };
+    println!(
+        "counters: repl.promotions={} repl.demotions={} repl.stale_term_rejections={} \
+         repl.half_open_drops={} repl.lineage_bootstraps={}",
+        delta("repl.promotions"),
+        delta("repl.demotions"),
+        delta("repl.stale_term_rejections"),
+        delta("repl.half_open_drops"),
+        delta("repl.lineage_bootstraps"),
+    );
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(
+        delta("repl.promotions") == 2,
+        "exactly two promotions (symmetric split and one-way link, nothing else)",
+    );
+    check(
+        delta("repl.stale_term_rejections") >= 1,
+        "the stranded primary must be fenced at least once",
+    );
+    check(
+        delta("repl.demotions") >= 2,
+        "both partition scenarios must demote the stranded primary",
+    );
+    check(acked_total > 0, "scenarios must ack writes");
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
 fn main() {
     let args = parse_args();
     intensio_obs::set_enabled(args.obs);
@@ -1097,6 +1793,7 @@ fn main() {
     match args.topology {
         Some(Topology::OnePrimaryTwoFollowers) => return topology_main(&args),
         Some(Topology::Failover) => return failover_main(&args),
+        Some(Topology::Partition) => return partition_main(&args),
         None => {}
     }
     let db = intensio_shipdb::ship_database().expect("ship database");

@@ -1,0 +1,166 @@
+//! The reconnecting client: bounded, jittered redial over [`NetConn`].
+//!
+//! Cluster code that "retries until it works" is how outages turn into
+//! thundering herds; a [`Dialer`] makes the retry policy explicit — a
+//! connect timeout per attempt, read/write timeouts applied to the won
+//! connection, `intensio_fault::Backoff` jitter between attempts, and a
+//! total attempt budget after which the caller gets the last error and
+//! must decide for itself.
+
+use crate::{connect_timeout, NetConn};
+use std::time::Duration;
+
+/// Timeouts and retry policy for a [`Dialer`].
+#[derive(Debug, Clone)]
+pub struct DialConfig {
+    /// Per-attempt connect bound.
+    pub connect_timeout: Duration,
+    /// Applied to the connection once established (`None`: blocking).
+    pub read_timeout: Option<Duration>,
+    /// Applied to the connection once established (`None`: blocking).
+    pub write_timeout: Option<Duration>,
+    /// Total connect attempts across the dialer's lifetime before
+    /// [`Dialer::dial`] stops retrying.
+    pub retry_budget: u32,
+    /// First retry delay; doubles (with seeded jitter) up to the cap.
+    pub backoff_initial: Duration,
+    /// Retry delay ceiling.
+    pub backoff_cap: Duration,
+    /// Jitter seed, so drills redial deterministically.
+    pub seed: u64,
+}
+
+impl Default for DialConfig {
+    fn default() -> DialConfig {
+        DialConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: None,
+            write_timeout: None,
+            retry_budget: 8,
+            backoff_initial: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+/// A reconnecting client for one target address. Each [`Dialer::dial`]
+/// call makes up to the *remaining* retry budget's worth of attempts,
+/// sleeping a jittered backoff between them; a success resets the
+/// backoff (but never refills the budget — reconnect storms stay
+/// bounded for the dialer's lifetime).
+#[derive(Debug)]
+pub struct Dialer {
+    label: String,
+    addr: String,
+    cfg: DialConfig,
+    backoff: intensio_fault::Backoff,
+    attempts_left: u32,
+}
+
+impl Dialer {
+    /// A dialer for `addr`, dialing as `local_label`, with defaults.
+    pub fn new(local_label: &str, addr: &str) -> Dialer {
+        Dialer::with_config(local_label, addr, DialConfig::default())
+    }
+
+    /// A dialer with an explicit policy.
+    pub fn with_config(local_label: &str, addr: &str, cfg: DialConfig) -> Dialer {
+        let backoff = intensio_fault::Backoff::new(cfg.backoff_initial, cfg.backoff_cap, cfg.seed);
+        let attempts_left = cfg.retry_budget.max(1);
+        Dialer {
+            label: local_label.to_string(),
+            addr: addr.to_string(),
+            cfg,
+            backoff,
+            attempts_left,
+        }
+    }
+
+    /// The target address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Connect attempts left before [`Dialer::dial`] gives up.
+    pub fn budget_left(&self) -> u32 {
+        self.attempts_left
+    }
+
+    /// One bounded attempt, no backoff sleep and no budget spend on
+    /// success; spends one attempt on failure.
+    pub fn try_once(&mut self) -> std::io::Result<NetConn> {
+        match connect_timeout(&self.label, &self.addr, self.cfg.connect_timeout) {
+            Ok(conn) => {
+                conn.set_read_timeout(self.cfg.read_timeout)?;
+                conn.set_write_timeout(self.cfg.write_timeout)?;
+                self.backoff.reset();
+                Ok(conn)
+            }
+            Err(e) => {
+                self.attempts_left = self.attempts_left.saturating_sub(1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Connect, retrying with jittered backoff until the total budget
+    /// runs out; the final error is the last attempt's.
+    pub fn dial(&mut self) -> std::io::Result<NetConn> {
+        loop {
+            match self.try_once() {
+                Ok(conn) => return Ok(conn),
+                Err(e) => {
+                    if self.attempts_left == 0 {
+                        return Err(std::io::Error::new(
+                            e.kind(),
+                            format!(
+                                "retry budget exhausted dialing {} ({} attempts): {e}",
+                                self.addr,
+                                self.cfg.retry_budget.max(1)
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(self.backoff.next_delay());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn dial_connects_to_a_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut dialer = Dialer::new("cli", &addr);
+        assert!(dialer.dial().is_ok());
+        assert_eq!(dialer.budget_left(), 8, "success spends no budget");
+    }
+
+    #[test]
+    fn dial_exhausts_its_budget_against_a_dead_port() {
+        // Bind-then-drop: the port is (very likely) refused, not filtered,
+        // so each attempt fails fast.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cfg = DialConfig {
+            retry_budget: 3,
+            backoff_initial: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..DialConfig::default()
+        };
+        let mut dialer = Dialer::with_config("cli", &addr, cfg);
+        let err = dialer.dial().unwrap_err();
+        assert!(err.to_string().contains("retry budget exhausted"), "{err}");
+        assert_eq!(dialer.budget_left(), 0);
+        // A later call fails immediately — the budget is for a lifetime.
+        assert!(dialer.dial().is_err());
+    }
+}

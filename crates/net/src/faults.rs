@@ -1,0 +1,516 @@
+//! The link-fault registry: named, seeded network faults over
+//! (directed or symmetric) links between labeled endpoints.
+//!
+//! A fault is configured as `name=spec`, exactly like an
+//! `intensio-fault` failpoint, and shares the `FAULT SET` / `FAULT
+//! LIST` / `FAULT CLEAR` administration surface — specs whose name
+//! starts with `net.` route here. The *name* carries the fault kind,
+//! the *spec* carries the link:
+//!
+//! ```text
+//! net.partition=a<->b        sever the a↔b link (both directions)
+//! net.oneway=a->b            drop only a→b traffic (asymmetric)
+//! net.delay:50=a->b          add 50ms to every a→b operation
+//! net.dup=a->b               every a→b frame arrives twice
+//! net.torn_write=a->b*1      the next a→b write ships half, then dies
+//! net.reset=25%a<->b         25% of a↔b operations see ECONNRESET
+//! net.partition#2=a<->c      `#tag` makes names unique per link
+//! ```
+//!
+//! Endpoints are node labels (`--net-name`), raw `host:port` addresses,
+//! registered aliases ([`register_alias`]), or `*`. The optional
+//! modifiers mirror `intensio-fault`: a leading `P%` probability
+//! (seeded, deterministic — see [`set_seed`]) and a trailing `*N`
+//! trigger budget. Spec value `off` removes the fault.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a fault does to matching traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Sever both directions: connects refuse, writes blackhole, reads
+    /// starve (buffered data survives for the heal).
+    Partition,
+    /// Sever one direction only (the spec's `->` direction).
+    Oneway,
+    /// Sleep before every matching operation.
+    Delay,
+    /// Write every matching chunk twice.
+    Dup,
+    /// Ship half of one matching write, then fail it.
+    TornWrite,
+    /// Fail matching operations with `ECONNRESET`.
+    Reset,
+}
+
+impl Kind {
+    fn parse(token: &str) -> Option<Kind> {
+        Some(match token {
+            "partition" => Kind::Partition,
+            "oneway" => Kind::Oneway,
+            "delay" => Kind::Delay,
+            "dup" => Kind::Dup,
+            "torn_write" => Kind::TornWrite,
+            "reset" => Kind::Reset,
+            _ => return None,
+        })
+    }
+}
+
+/// One configured link fault.
+#[derive(Debug, Clone)]
+struct LinkFault {
+    kind: Kind,
+    /// Source endpoint pattern (label, address, alias, or `*`).
+    a: String,
+    /// Destination endpoint pattern.
+    b: String,
+    /// `a<->b` (either direction) vs `a->b` (src→dst only).
+    symmetric: bool,
+    /// [`Kind::Delay`] only.
+    delay: Duration,
+    /// Probability in parts-per-million (1_000_000 = always).
+    prob_ppm: u32,
+    /// Remaining trigger budget (`*N`); `None` = unbounded.
+    remaining: Option<u64>,
+    /// The spec text as configured, echoed by `FAULT LIST`.
+    spec: String,
+    /// Times a matching operation consulted this fault.
+    hits: u64,
+    /// Times it actually fired.
+    triggered: u64,
+}
+
+/// The effects the caller must apply to one operation, merged across
+/// every fault matching the link direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkEffects {
+    /// The direction is severed (partition or oneway): blackhole
+    /// writes, starve reads, refuse connects.
+    pub severed: bool,
+    /// Sleep this long before the operation.
+    pub delay: Option<Duration>,
+    /// Write the chunk twice.
+    pub dup: bool,
+    /// Ship half the chunk, then fail.
+    pub torn: bool,
+    /// Fail with `ECONNRESET`.
+    pub reset: bool,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RNG: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
+
+fn registry() -> &'static Mutex<BTreeMap<String, LinkFault>> {
+    static REGISTRY: Mutex<BTreeMap<String, LinkFault>> = Mutex::new(BTreeMap::new());
+    &REGISTRY
+}
+
+fn aliases() -> &'static Mutex<BTreeMap<String, String>> {
+    static ALIASES: Mutex<BTreeMap<String, String>> = Mutex::new(BTreeMap::new());
+    &ALIASES
+}
+
+/// Seed the probability RNG (deterministic drills set this from
+/// `INTENSIO_CHAOS_SEED`, like the failpoint registry).
+pub fn set_seed(seed: u64) {
+    RNG.store(seed | 1, Ordering::SeqCst);
+}
+
+/// xorshift64* step, same generator the failpoint registry uses.
+fn next_rand() -> u64 {
+    let mut x = RNG.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    RNG.store(x, Ordering::Relaxed);
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Does this failpoint name belong to the net registry?
+pub fn is_net_name(name: &str) -> bool {
+    name.starts_with("net.")
+}
+
+/// Map a listening address to a node label, so fault specs written
+/// against labels also catch connections that only know the address
+/// (in-process multi-node harnesses register every node here).
+pub fn register_alias(addr: &str, label: &str) {
+    aliases()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(addr.to_string(), label.to_string());
+}
+
+/// Drop every registered alias (test isolation).
+pub fn clear_aliases() {
+    aliases().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Configure one link fault: `configure("net.partition", "a<->b")`.
+/// Spec `off` removes the named fault.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    let name = name.trim();
+    let spec = spec.trim();
+    if !is_net_name(name) {
+        return Err(format!("not a net fault: {name:?} (expected net.<kind>)"));
+    }
+    if spec.eq_ignore_ascii_case("off") {
+        remove(name);
+        return Ok(());
+    }
+    let fault = parse(name, spec)?;
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.insert(name.to_string(), fault);
+    ACTIVE.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Configure several faults at once: `"net.partition=a<->b;net.delay:50=a->c"`.
+pub fn configure_str(s: &str) -> Result<(), String> {
+    for part in s.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, spec) = part
+            .split_once('=')
+            .ok_or_else(|| format!("net fault spec without '=': {part:?}"))?;
+        configure(name, spec)?;
+    }
+    Ok(())
+}
+
+/// Remove one fault by name. Returns whether it existed.
+pub fn remove(name: &str) -> bool {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let existed = reg.remove(name).is_some();
+    if reg.is_empty() {
+        ACTIVE.store(false, Ordering::SeqCst);
+    }
+    existed
+}
+
+/// Remove every configured fault (aliases survive — they are topology,
+/// not faults).
+pub fn clear() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Configure from `INTENSIO_NET_FAULTS` (same format as
+/// [`configure_str`]); invalid specs are reported on stderr, not fatal.
+/// `INTENSIO_CHAOS_SEED` (the same knob the chaos suites honor) seeds
+/// the probability RNG first, so a `P%` spec replays identically.
+pub fn init_from_env() {
+    if let Ok(s) = std::env::var("INTENSIO_CHAOS_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            set_seed(seed);
+        }
+    }
+    if let Ok(s) = std::env::var("INTENSIO_NET_FAULTS") {
+        if let Err(e) = configure_str(&s) {
+            eprintln!("intensio-net: ignoring INTENSIO_NET_FAULTS: {e}");
+        }
+    }
+}
+
+/// Every configured link fault, for `FAULT LIST` (merged with the
+/// failpoint registry's own listing).
+pub fn list() -> Vec<intensio_fault::FailpointStatus> {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(name, f)| intensio_fault::FailpointStatus {
+            name: name.clone(),
+            spec: f.spec.clone(),
+            hits: f.hits,
+            triggered: f.triggered,
+        })
+        .collect()
+}
+
+/// Parse `[P%]A<->B[*N]` / `[P%]A->B[@MS][*N]` under `net.<kind>[:MS][#tag]`.
+fn parse(name: &str, spec: &str) -> Result<LinkFault, String> {
+    let body = &name["net.".len()..];
+    let body = body.split('#').next().unwrap_or(body);
+    let (kind_token, name_arg) = match body.split_once(':') {
+        Some((k, arg)) => (k, Some(arg)),
+        None => (body, None),
+    };
+    let kind = Kind::parse(kind_token).ok_or_else(|| {
+        format!(
+            "unknown net fault kind {kind_token:?} \
+             (expected partition|oneway|delay|dup|torn_write|reset)"
+        )
+    })?;
+    let mut rest = spec;
+    // Leading probability: `25%...`.
+    let mut prob_ppm = 1_000_000u32;
+    if let Some(pct) = rest.find('%') {
+        if rest[..pct].chars().all(|c| c.is_ascii_digit()) && pct > 0 {
+            let p: u32 = rest[..pct]
+                .parse()
+                .map_err(|_| format!("bad probability in {spec:?}"))?;
+            if p > 100 {
+                return Err(format!("probability over 100% in {spec:?}"));
+            }
+            prob_ppm = p * 10_000;
+            rest = &rest[pct + 1..];
+        }
+    }
+    // Trailing trigger budget: `...*N`.
+    let mut remaining = None;
+    if let Some(star) = rest.rfind('*') {
+        let tail = &rest[star + 1..];
+        if !tail.is_empty() && tail.chars().all(|c| c.is_ascii_digit()) {
+            remaining = Some(
+                tail.parse::<u64>()
+                    .map_err(|_| format!("bad trigger budget in {spec:?}"))?,
+            );
+            rest = &rest[..star];
+        }
+    }
+    // Trailing delay: `...@MS` (alternative to `net.delay:MS`).
+    let mut delay_ms: Option<u64> = name_arg
+        .map(|arg| {
+            arg.parse::<u64>()
+                .map_err(|_| format!("bad delay in fault name {name:?}"))
+        })
+        .transpose()?;
+    if let Some(at) = rest.rfind('@') {
+        let tail = &rest[at + 1..];
+        if !tail.is_empty() && tail.chars().all(|c| c.is_ascii_digit()) {
+            delay_ms = Some(
+                tail.parse::<u64>()
+                    .map_err(|_| format!("bad delay in {spec:?}"))?,
+            );
+            rest = &rest[..at];
+        }
+    }
+    if kind == Kind::Delay && delay_ms.is_none() {
+        return Err(format!(
+            "net.delay needs a duration: net.delay:MS={spec} or {name}={rest}@MS"
+        ));
+    }
+    // The link itself: `A<->B` or `A->B`.
+    let (a, b, symmetric) = if let Some((a, b)) = rest.split_once("<->") {
+        (a, b, true)
+    } else if let Some((a, b)) = rest.split_once("->") {
+        (a, b, false)
+    } else {
+        return Err(format!(
+            "net fault spec {spec:?} has no link (expected A<->B or A->B)"
+        ));
+    };
+    let (a, b) = (a.trim(), b.trim());
+    if a.is_empty() || b.is_empty() {
+        return Err(format!("net fault spec {spec:?} has an empty endpoint"));
+    }
+    Ok(LinkFault {
+        kind,
+        a: a.to_string(),
+        b: b.to_string(),
+        symmetric,
+        delay: Duration::from_millis(delay_ms.unwrap_or(0)),
+        prob_ppm,
+        remaining,
+        spec: spec.to_string(),
+        hits: 0,
+        triggered: 0,
+    })
+}
+
+/// Does `pattern` name this endpoint? An endpoint is known by its label
+/// (when any), its address, and the label its address is aliased to.
+fn endpoint_matches(
+    pattern: &str,
+    label: Option<&str>,
+    addr: &str,
+    aliases: &BTreeMap<String, String>,
+) -> bool {
+    if pattern == "*" {
+        return true;
+    }
+    if let Some(l) = label {
+        if !l.is_empty() && pattern == l {
+            return true;
+        }
+    }
+    if !addr.is_empty() {
+        if pattern == addr {
+            return true;
+        }
+        if aliases.get(addr).is_some_and(|l| l == pattern) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Merge the effects of every fault matching traffic flowing
+/// `src → dst`. `src`/`dst` are each identified by an optional label
+/// and an address (either may be empty).
+fn effects_for(
+    src_label: Option<&str>,
+    src_addr: &str,
+    dst_label: Option<&str>,
+    dst_addr: &str,
+) -> LinkEffects {
+    let mut fx = LinkEffects::default();
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return fx;
+    }
+    let al = aliases().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for fault in reg.values_mut() {
+        let forward = endpoint_matches(&fault.a, src_label, src_addr, &al)
+            && endpoint_matches(&fault.b, dst_label, dst_addr, &al);
+        let backward = fault.symmetric
+            && endpoint_matches(&fault.a, dst_label, dst_addr, &al)
+            && endpoint_matches(&fault.b, src_label, src_addr, &al);
+        if !forward && !backward {
+            continue;
+        }
+        fault.hits += 1;
+        if fault.remaining == Some(0) {
+            continue;
+        }
+        if fault.prob_ppm < 1_000_000 && (next_rand() % 1_000_000) as u32 >= fault.prob_ppm {
+            continue;
+        }
+        if let Some(n) = fault.remaining.as_mut() {
+            *n -= 1;
+        }
+        fault.triggered += 1;
+        match fault.kind {
+            Kind::Partition | Kind::Oneway => fx.severed = true,
+            Kind::Delay => {
+                fx.delay = Some(fx.delay.map_or(fault.delay, |d| d + fault.delay));
+            }
+            Kind::Dup => fx.dup = true,
+            Kind::TornWrite => fx.torn = true,
+            Kind::Reset => fx.reset = true,
+        }
+    }
+    fx
+}
+
+/// Effects for traffic *leaving* the local endpoint for the peer.
+pub fn effects(
+    local_label: &str,
+    local_addr: &str,
+    peer_label: Option<&str>,
+    peer_addr: &str,
+) -> LinkEffects {
+    effects_for(Some(local_label), local_addr, peer_label, peer_addr)
+}
+
+/// Effects for traffic *arriving* at the local endpoint from the peer.
+pub fn effects_inbound(
+    local_label: &str,
+    local_addr: &str,
+    peer_label: Option<&str>,
+    peer_addr: &str,
+) -> LinkEffects {
+    effects_for(peer_label, peer_addr, Some(local_label), local_addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        clear_aliases();
+        guard
+    }
+
+    #[test]
+    fn parses_the_grammar() {
+        let f = parse("net.partition", "a<->b").unwrap();
+        assert!(f.symmetric);
+        assert_eq!((f.a.as_str(), f.b.as_str()), ("a", "b"));
+        let f = parse("net.oneway", "a->b").unwrap();
+        assert!(!f.symmetric);
+        let f = parse("net.delay:50", "a->b").unwrap();
+        assert_eq!(f.delay, Duration::from_millis(50));
+        let f = parse("net.delay", "a->b@75").unwrap();
+        assert_eq!(f.delay, Duration::from_millis(75));
+        let f = parse("net.reset", "25%a<->b*3").unwrap();
+        assert_eq!(f.prob_ppm, 250_000);
+        assert_eq!(f.remaining, Some(3));
+        assert!(parse("net.delay", "a->b").is_err(), "delay needs MS");
+        assert!(parse("net.partition", "ab").is_err(), "no link arrow");
+        assert!(parse("net.bogus", "a->b").is_err(), "unknown kind");
+    }
+
+    #[test]
+    fn direction_and_symmetry() {
+        let _g = lock();
+        configure("net.oneway", "a->b").unwrap();
+        assert!(effects("a", "", Some("b"), "").severed);
+        assert!(!effects("b", "", Some("a"), "").severed, "reverse is open");
+        assert!(!effects_inbound("a", "", Some("b"), "").severed);
+        assert!(effects_inbound("b", "", Some("a"), "").severed);
+        configure("net.partition", "a<->c").unwrap();
+        assert!(effects("a", "", Some("c"), "").severed);
+        assert!(effects("c", "", Some("a"), "").severed);
+    }
+
+    #[test]
+    fn aliases_resolve_addresses_to_labels() {
+        let _g = lock();
+        register_alias("127.0.0.1:9999", "b");
+        configure("net.partition", "a<->b").unwrap();
+        assert!(effects("a", "", None, "127.0.0.1:9999").severed);
+        assert!(!effects("c", "", None, "127.0.0.1:9999").severed);
+    }
+
+    #[test]
+    fn trigger_budget_depletes() {
+        let _g = lock();
+        configure("net.torn_write", "a->b*2").unwrap();
+        assert!(effects("a", "", Some("b"), "").torn);
+        assert!(effects("a", "", Some("b"), "").torn);
+        assert!(!effects("a", "", Some("b"), "").torn, "budget spent");
+        let status = list();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].triggered, 2);
+        assert_eq!(status[0].hits, 3);
+    }
+
+    #[test]
+    fn seeded_probability_is_deterministic() {
+        let _g = lock();
+        configure("net.reset", "50%a->b").unwrap();
+        set_seed(42);
+        let run1: Vec<bool> = (0..32)
+            .map(|_| effects("a", "", Some("b"), "").reset)
+            .collect();
+        set_seed(42);
+        let run2: Vec<bool> = (0..32)
+            .map(|_| effects("a", "", Some("b"), "").reset)
+            .collect();
+        assert_eq!(run1, run2);
+        assert!(run1.iter().any(|&b| b) && run1.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn off_and_clear_remove() {
+        let _g = lock();
+        configure_str("net.partition=a<->b;net.dup=a->b").unwrap();
+        assert_eq!(list().len(), 2);
+        configure("net.dup", "off").unwrap();
+        assert_eq!(list().len(), 1);
+        clear();
+        assert!(list().is_empty());
+        assert!(!effects("a", "", Some("b"), "").severed);
+    }
+}

@@ -472,6 +472,57 @@ mod tests {
     }
 
     #[test]
+    fn property_truncated_frames_error_or_differ_never_panic() {
+        // A frame cut anywhere — a peer dying mid-write, a link fault
+        // tearing the line — must parse to an error or to a *different*
+        // message. Parsing a strict prefix back to the original would
+        // mean a field silently defaulted under truncation.
+        let mut rng = Rng(0x070c_47ed_f4a3_3751);
+        for _ in 0..200 {
+            let msg = random_msg(&mut rng);
+            let line = msg.encode(); // always ASCII, so byte cuts are char-safe
+            for keep in 0..line.len() {
+                if let Ok(back) = StreamMsg::parse(&line[..keep]) {
+                    assert_ne!(
+                        back, msg,
+                        "prefix of {keep} bytes of {line:?} still read as the original"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property_interleaved_garbage_never_panics() {
+        // Bytes that were never a frame — noise spliced into the stream
+        // by a duplicating or tearing link — may only ever produce a
+        // parse error (or, by blind luck, a syntactically valid frame);
+        // the reader must not panic on any of them.
+        let mut rng = Rng(0x6a5b_a6e5_eed1_1235);
+        for i in 0..500 {
+            let len = (rng.next() % 120) as usize;
+            let mut s = if rng.next().is_multiple_of(2) {
+                String::new()
+            } else {
+                // Half the inputs start as stream lines so the garbage
+                // reaches the per-verb field parsers, not just the
+                // prefix check.
+                "#repl ".to_string()
+            };
+            for _ in 0..len {
+                // Printable ASCII, space-heavy to vary token counts.
+                let c = match rng.next() % 4 {
+                    0 => b' ',
+                    _ => (0x20 + (rng.next() % 0x5f) as u8).min(0x7e),
+                };
+                s.push(c as char);
+            }
+            let _ = StreamMsg::parse(&s); // round {i}: must return, not panic
+            let _ = i;
+        }
+    }
+
+    #[test]
     fn property_mutated_frames_never_misread() {
         // Deleting any single token from an encoded frame must yield a
         // parse error or a *different* message — never the original

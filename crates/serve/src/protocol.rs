@@ -64,9 +64,13 @@ pub enum WireRequest {
     /// Switch the connection into a replication stream from the given
     /// epoch, via [`crate::Service::replicate`]. The second field is
     /// the follower's highest durably observed primary term
-    /// (`REPLICATE <from-epoch> [term=<t>]`; a missing suffix means
-    /// term 0, for pre-failover clients).
-    Replicate(u64, u64),
+    /// (`REPLICATE <from-epoch> [term=<t>] [node=<label>]`; a missing
+    /// term means term 0, for pre-failover clients). The optional
+    /// `node=` token names the follower (`--net-name`), so the primary
+    /// can attribute the stream to a cluster link — that is what lets
+    /// `net.dup=a->b`-style fault specs tear exactly this stream
+    /// without touching any client connection.
+    Replicate(u64, u64, Option<String>),
     /// Close the connection.
     Quit,
 }
@@ -111,22 +115,28 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         "FAULT" => Ok(WireRequest::Execute(Request::Fault(rest.to_string()))),
         "CHECK" => Ok(WireRequest::Execute(Request::Check(unescape_script(rest)))),
         "REPLICATE" => {
-            let (from, term) = match rest.split_once(char::is_whitespace) {
-                Some((from, suffix)) => {
-                    let term = suffix
-                        .trim()
-                        .strip_prefix("term=")
-                        .and_then(|t| t.parse::<u64>().ok())
-                        .ok_or_else(|| {
-                            format!("bad REPLICATE suffix {suffix:?}; expected term=<n>")
-                        })?;
-                    (from, term)
+            let mut tokens = rest.split_whitespace();
+            let from = tokens
+                .next()
+                .unwrap_or("")
+                .parse::<u64>()
+                .map_err(|_| format!("REPLICATE requires a from-epoch argument, got {rest:?}"))?;
+            let mut term = 0u64;
+            let mut node = None;
+            for suffix in tokens {
+                if let Some(t) = suffix.strip_prefix("term=") {
+                    term = t.parse::<u64>().map_err(|_| {
+                        format!("bad REPLICATE suffix {suffix:?}; expected term=<n>")
+                    })?;
+                } else if let Some(label) = suffix.strip_prefix("node=") {
+                    node = Some(label.to_string());
+                } else {
+                    return Err(format!(
+                        "bad REPLICATE suffix {suffix:?}; expected term=<n> or node=<label>"
+                    ));
                 }
-                None => (rest, 0),
-            };
-            from.parse::<u64>()
-                .map(|from| WireRequest::Replicate(from, term))
-                .map_err(|_| format!("REPLICATE requires a from-epoch argument, got {rest:?}"))
+            }
+            Ok(WireRequest::Replicate(from, term, node))
         }
         "QUIT" => Ok(WireRequest::Quit),
         "" => Err(
@@ -337,6 +347,7 @@ pub fn encode_reply(reply: &Reply) -> String {
                         .num("lag_epochs", r.lag_epochs)
                         .num("records_applied", r.records_applied)
                         .num("reconnects", r.reconnects)
+                        .num("half_open_drops", r.half_open_drops)
                         .num("stale_term_rejections", r.stale_term_rejections);
                     match r.heartbeat_age_ms {
                         Some(age) => rw.num("heartbeat_age_ms", age),
@@ -580,15 +591,23 @@ mod tests {
         );
         assert_eq!(
             parse_request("REPLICATE 42"),
-            Ok(WireRequest::Replicate(42, 0))
+            Ok(WireRequest::Replicate(42, 0, None))
         );
         assert_eq!(
             parse_request("replicate 0"),
-            Ok(WireRequest::Replicate(0, 0))
+            Ok(WireRequest::Replicate(0, 0, None))
         );
         assert_eq!(
             parse_request("REPLICATE 42 term=3"),
-            Ok(WireRequest::Replicate(42, 3))
+            Ok(WireRequest::Replicate(42, 3, None))
+        );
+        assert_eq!(
+            parse_request("REPLICATE 42 term=3 node=b"),
+            Ok(WireRequest::Replicate(42, 3, Some("b".into())))
+        );
+        assert_eq!(
+            parse_request("REPLICATE 7 node=f1"),
+            Ok(WireRequest::Replicate(7, 0, Some("f1".into())))
         );
         assert!(parse_request("REPLICATE 42 term=").is_err());
         assert!(parse_request("REPLICATE 42 epoch=3").is_err());
@@ -784,6 +803,7 @@ mod tests {
                 lag_epochs: 2,
                 records_applied: 3,
                 reconnects: 1,
+                half_open_drops: 1,
                 heartbeat_age_ms: Some(120),
                 stale_term_rejections: 1,
             }),
@@ -840,6 +860,7 @@ mod tests {
         assert_eq!(repl.get("lag_epochs").unwrap().as_u64(), Some(2));
         assert_eq!(repl.get("records_applied").unwrap().as_u64(), Some(3));
         assert_eq!(repl.get("reconnects").unwrap().as_u64(), Some(1));
+        assert_eq!(repl.get("half_open_drops").unwrap().as_u64(), Some(1));
         assert_eq!(repl.get("heartbeat_age_ms").unwrap().as_u64(), Some(120));
         assert_eq!(repl.get("stale_term_rejections").unwrap().as_u64(), Some(1));
         let cluster = v.get("cluster").unwrap().as_array().unwrap();

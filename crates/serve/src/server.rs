@@ -6,8 +6,9 @@
 
 use crate::protocol::{encode_protocol_error, encode_reply_with_trace, parse_traced, WireRequest};
 use crate::service::Service;
+use intensio_net::{NetConn, NetListener};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,11 +34,21 @@ const READ_TICK: std::time::Duration = std::time::Duration::from_millis(100);
 /// finish their in-flight request and close.
 const DRAIN_WAIT: std::time::Duration = std::time::Duration::from_secs(5);
 
+/// Bound on the shutdown self-connect that unblocks `accept()`. The
+/// connect is fault-exempt ([`intensio_net::connect_raw`]): a node with
+/// its links severed by an injected partition must still shut down.
+const UNBLOCK_CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Bound on a [`Client::connect`] attempt — the shell, the load
+/// generator, and tests all go through it, and none of them may hang
+/// forever on an unreachable address.
+const CLIENT_CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:7878"`, or port `0` for an
     /// ephemeral port) and start serving `service`.
     pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = NetListener::bind(service.net_label(), addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(AtomicUsize::new(0));
@@ -69,8 +80,10 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return; // already stopped and drained (shutdown, then drop)
         }
-        // Unblock the accept() call with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept() call with a no-op connection. Fault
+        // exempt: an injected `net.partition` isolating this node must
+        // never turn its own shutdown into a deadlock.
+        let _ = intensio_net::connect_raw(&self.addr.to_string(), UNBLOCK_CONNECT_TIMEOUT);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -100,19 +113,22 @@ impl Drop for ConnGuard {
 }
 
 fn accept_loop(
-    listener: &TcpListener,
+    listener: &NetListener,
     service: &Arc<Service>,
     stop: &Arc<AtomicBool>,
     conns: &Arc<AtomicUsize>,
 ) {
-    for conn in listener.incoming() {
+    loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let stream = match conn {
+        let stream = match listener.accept() {
             Ok(s) => s,
             Err(_) => continue,
         };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
         let service = service.clone();
         let stop = stop.clone();
         // Count the connection before the handler thread exists, so a
@@ -133,11 +149,7 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    service: &Service,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
+fn handle_connection(stream: NetConn, service: &Service, stop: &AtomicBool) -> std::io::Result<()> {
     // One small request line begets one small response line: waiting to
     // coalesce segments (Nagle) only adds delayed-ACK latency.
     stream.set_nodelay(true)?;
@@ -170,10 +182,16 @@ fn handle_connection(
                             ctx,
                         )
                     }
-                    Ok(WireRequest::Replicate(from, peer_term)) => {
+                    Ok(WireRequest::Replicate(from, peer_term, node)) => {
                         // The connection stops being request/response and
                         // becomes a one-way record stream until the
-                        // follower disconnects or the server stops.
+                        // follower disconnects or the server stops. The
+                        // handshake's `node=` token names the follower, so
+                        // link faults (net.dup, net.torn_write, ...) can
+                        // target exactly this stream from the primary side.
+                        if let Some(label) = node {
+                            writer.set_peer_label(&label);
+                        }
                         return service.replicate(from, peer_term, &mut writer, stop);
                     }
                     Err(message) => encode_protocol_error(&message),
@@ -205,16 +223,40 @@ fn handle_connection(
 }
 
 /// A minimal blocking client for the line protocol, used by the shell's
-/// `--connect` mode, the load generator, and tests.
+/// `--connect` mode, the load generator, and tests. Connections go
+/// through [`intensio_net`], so a chaos drill can sever, skew, or tear
+/// a specific client's link like any cluster link.
 pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    writer: NetConn,
+    reader: BufReader<NetConn>,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server under the default `client` label,
+    /// bounded by [`CLIENT_CONNECT_TIMEOUT`].
     pub fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_as("client", addr)
+    }
+
+    /// Connect under an explicit net label — chaos harnesses label
+    /// their probes so fault specs can hit (or spare) them by name.
+    pub fn connect_as(label: &str, addr: &str) -> std::io::Result<Client> {
+        let stream = intensio_net::connect_timeout(label, addr, CLIENT_CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connect with bounded, jittered retry: up to the dialer's budget
+    /// of attempts before the last error surfaces. The shell's
+    /// failover-redirect follow uses this — a promotion can land a few
+    /// hundred milliseconds after the `REDIRECT` that names it.
+    pub fn connect_retrying(addr: &str) -> std::io::Result<Client> {
+        let mut dialer = intensio_net::Dialer::new("client", addr);
+        let stream = dialer.dial()?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {

@@ -147,6 +147,13 @@ pub struct ServiceConfig {
     /// Cadence of `#repl heartbeat` frames on idle primary streams, and
     /// the follower's staleness baseline.
     pub repl_heartbeat: std::time::Duration,
+    /// This node's name on the cluster network (`--net-name`): the
+    /// local label every [`intensio_net`] connection carries, announced
+    /// to the primary in the `REPLICATE ... node=<label>` handshake.
+    /// Link-fault specs (`net.partition=a<->b`) address nodes by this
+    /// label; empty means unlabeled (specs can still match by raw
+    /// address, or `*`).
+    pub net_label: String,
 }
 
 impl Default for ServiceConfig {
@@ -174,9 +181,36 @@ impl Default for ServiceConfig {
             failover_timeout: std::time::Duration::from_millis(1000),
             failover_seed: 0,
             repl_heartbeat: std::time::Duration::from_millis(500),
+            net_label: String::new(),
         }
     }
 }
+
+/// The named timeout set for every short cluster-I/O wait in this
+/// module — each bound used to be an ad-hoc literal at its call site.
+mod timeouts {
+    use std::time::Duration;
+
+    /// Read tick on a follower's replication stream: how often a
+    /// blocked stream read wakes to check the failover clock, shutdown,
+    /// and half-open staleness.
+    pub const STREAM_READ_TICK: Duration = Duration::from_millis(200);
+    /// Connect bound for one `TELEMETRY` poll of a peer (an unreachable
+    /// peer costs the poll loop this much, never a query worker).
+    pub const PEER_CONNECT: Duration = Duration::from_millis(250);
+    /// Reply bound for one `TELEMETRY` poll round trip.
+    pub const PEER_REPLY: Duration = Duration::from_millis(500);
+    /// Connect bound for a follower's replication stream attempt.
+    pub const REPL_CONNECT: Duration = Duration::from_millis(500);
+    /// Tick for condvar waits on the background inducer/checkpointer
+    /// loops (how often they re-check shutdown without a wake).
+    pub const BACKGROUND_WAIT_TICK: Duration = Duration::from_millis(200);
+}
+
+/// A replication stream with no frame (not even a heartbeat) for this
+/// many heartbeat intervals is treated as half-open: the follower drops
+/// it and redials rather than blocking on a silently dead link.
+const HALF_OPEN_HEARTBEATS: u32 = 3;
 
 /// Replication roles, stored in [`Shared::role`] as a `usize` so role
 /// transitions (promotion, demotion) are a single atomic store.
@@ -544,6 +578,10 @@ pub struct ReplStats {
     pub records_applied: u64,
     /// Stream reconnects since boot (lost or unreachable primary).
     pub reconnects: u64,
+    /// Streams this follower dropped as half-open: the socket stayed
+    /// readable but no frame arrived for 3× the heartbeat cadence
+    /// (each drop also counts as a reconnect).
+    pub half_open_drops: u64,
     /// Milliseconds since the last frame arrived on the replication
     /// stream; `None` when no frame has ever arrived.
     pub heartbeat_age_ms: Option<u64>,
@@ -760,6 +798,9 @@ struct ReplState {
     records_applied: AtomicU64,
     /// Stream reconnects since boot.
     reconnects: AtomicU64,
+    /// Half-open streams dropped: the read side stayed quiet past 3×
+    /// the heartbeat cadence while the socket itself reported nothing.
+    half_open_drops: AtomicU64,
     /// Whether the stream is currently established.
     connected: AtomicBool,
     /// When the last stream frame arrived (any frame counts as a
@@ -782,6 +823,7 @@ impl ReplState {
             primary_epoch: AtomicU64::new(0),
             records_applied: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            half_open_drops: AtomicU64::new(0),
             connected: AtomicBool::new(false),
             last_heartbeat: Mutex::new(None),
             stale_term_rejections: AtomicU64::new(0),
@@ -1371,6 +1413,13 @@ impl Service {
         *self.shared.peers.write().unwrap_or_else(|e| e.into_inner()) = peers;
     }
 
+    /// This node's cluster-network label ([`ServiceConfig::net_label`]);
+    /// empty when unlabeled. The TCP server stamps it on every accepted
+    /// connection, and the replicator announces it upstream.
+    pub fn net_label(&self) -> &str {
+        &self.shared.cfg.net_label
+    }
+
     /// Execute a request on the worker pool and wait for its reply.
     /// Returns [`Reply::Busy`] without executing anything when the
     /// queue is at capacity.
@@ -1495,8 +1544,14 @@ impl Service {
     ) -> std::io::Result<()> {
         let shared = &self.shared;
         let mut send = |msg: &StreamMsg| -> std::io::Result<()> {
-            out.write_all(msg.encode().as_bytes())?;
-            out.write_all(b"\n")?;
+            // One frame, one write call: injected link faults
+            // (`net.dup`, `net.torn_write`) act on write-call
+            // boundaries, so this keeps duplication and tearing
+            // whole-frame — the failure modes the follower's reader is
+            // specified (and property-tested) against.
+            let mut frame = msg.encode();
+            frame.push('\n');
+            out.write_all(frame.as_bytes())?;
             out.flush()
         };
         let own_term = shared.current_term();
@@ -1934,25 +1989,66 @@ fn exec_fault(shared: &Shared, cmd: &str) -> Reply {
         None => (cmd, ""),
     };
     let op = op.to_ascii_uppercase();
-    if !shared.is_primary() && matches!(op.as_str(), "SET" | "CLEAR") {
+    // Transport faults (`net.*`) are node-local link state, not
+    // replicated knowledge: a partition drill must be able to sever a
+    // follower's own links, so the READONLY guard exempts specs that
+    // only touch the net registry.
+    let net_only = !rest.is_empty()
+        && rest.split(';').all(|part| {
+            let name = part.trim().split('=').next().unwrap_or("");
+            intensio_net::faults::is_net_name(name)
+        });
+    // (A follower CLEAR is allowed through, but only empties the net
+    // registry — see the CLEAR arm below.)
+    if !shared.is_primary() && op == "SET" && !net_only {
         return error(readonly_message(
             &shared.repl.primary_hint(),
             "FAULT administration",
         ));
     }
+    // `FAULT LIST` merges both registries; SET routes each `name=spec`
+    // by prefix; CLEAR empties both.
+    let merged_list = || {
+        let mut failpoints = intensio_fault::list();
+        failpoints.extend(intensio_net::faults::list());
+        failpoints
+    };
+    let route = |part: &str| -> Result<(), String> {
+        let part = part.trim();
+        if part.is_empty() {
+            return Ok(());
+        }
+        let (name, spec) = part
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec without '=': {part:?}"))?;
+        if intensio_net::faults::is_net_name(name.trim()) {
+            intensio_net::faults::configure(name, spec)
+        } else {
+            intensio_fault::configure(name.trim(), spec.trim())
+        }
+    };
     match op.as_str() {
         "" | "LIST" => Reply::Fault {
-            failpoints: intensio_fault::list(),
+            failpoints: merged_list(),
         },
-        "SET" if !rest.is_empty() => match intensio_fault::configure_str(rest) {
+        "SET" if !rest.is_empty() => match rest.split(';').try_for_each(route) {
             Ok(()) => Reply::Fault {
-                failpoints: intensio_fault::list(),
+                failpoints: merged_list(),
             },
             Err(e) => error(format!("fault: {e}")),
         },
         "SET" => error("FAULT SET requires name=spec[;...]".to_string()),
+        "CLEAR" if !shared.is_primary() => {
+            // A follower may clear only its transport faults (healing
+            // its own links); the failpoint registry stays primary-run.
+            intensio_net::faults::clear();
+            Reply::Fault {
+                failpoints: intensio_fault::list(),
+            }
+        }
         "CLEAR" => {
             intensio_fault::clear();
+            intensio_net::faults::clear();
             Reply::Fault {
                 failpoints: Vec::new(),
             }
@@ -2023,6 +2119,7 @@ fn stats_reply(shared: &Shared) -> StatsReply {
                 lag_epochs: primary_epoch.saturating_sub(snap.epoch),
                 records_applied: r.records_applied.load(Ordering::Relaxed),
                 reconnects: r.reconnects.load(Ordering::Relaxed),
+                half_open_drops: r.half_open_drops.load(Ordering::Relaxed),
                 heartbeat_age_ms: r.heartbeat_age_ms(),
                 stale_term_rejections: r.stale_term_rejections.load(Ordering::Relaxed),
             }
@@ -2384,20 +2481,21 @@ fn poller_loop(shared: &Shared) {
         }
         let mut cluster = Vec::with_capacity(peers.len());
         for (i, addr) in peers.iter().enumerate() {
-            let mut peer = poll_peer(addr).unwrap_or_else(|| PeerTelemetry {
-                addr: addr.clone(),
-                ok: false,
-                role: String::new(),
-                epoch: 0,
-                term: 0,
-                lag_epochs: 0,
-                records_applied: 0,
-                apply_rate: 0,
-                reconnects: 0,
-                degraded_answers: 0,
-                requests_shed: 0,
-                worker_restarts: 0,
-            });
+            let mut peer =
+                poll_peer(&shared.cfg.net_label, addr).unwrap_or_else(|| PeerTelemetry {
+                    addr: addr.clone(),
+                    ok: false,
+                    role: String::new(),
+                    epoch: 0,
+                    term: 0,
+                    lag_epochs: 0,
+                    records_applied: 0,
+                    apply_rate: 0,
+                    reconnects: 0,
+                    degraded_answers: 0,
+                    requests_shed: 0,
+                    worker_restarts: 0,
+                });
             if peer.ok {
                 // Failover discovery: a peer serving as primary at a
                 // term at least ours is where the write lineage lives —
@@ -2444,17 +2542,15 @@ fn poller_loop(shared: &Shared) {
     }
 }
 
-/// One `TELEMETRY` round trip, with short timeouts so an unreachable
-/// peer delays the poll loop, not the serve path.
-fn poll_peer(addr: &str) -> Option<PeerTelemetry> {
+/// One `TELEMETRY` round trip, with short timeouts
+/// ([`timeouts::PEER_CONNECT`], [`timeouts::PEER_REPLY`]) so an
+/// unreachable peer delays the poll loop, not the serve path. Routed
+/// through [`intensio_net`]: a severed link makes the peer look down,
+/// which is exactly what a partitioned poller should see.
+fn poll_peer(local_label: &str, addr: &str) -> Option<PeerTelemetry> {
     use std::io::{BufRead as _, Write as _};
-    use std::net::ToSocketAddrs as _;
-    let sock = addr.to_socket_addrs().ok()?.next()?;
-    let stream =
-        std::net::TcpStream::connect_timeout(&sock, std::time::Duration::from_millis(250)).ok()?;
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(500)))
-        .ok()?;
+    let stream = intensio_net::connect_timeout(local_label, addr, timeouts::PEER_CONNECT).ok()?;
+    stream.set_read_timeout(Some(timeouts::PEER_REPLY)).ok()?;
     let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().ok()?;
     writer.write_all(b"TELEMETRY\n").ok()?;
@@ -2678,7 +2774,7 @@ fn checkpointer_loop(shared: &Shared) {
             while !flags.dirty && !flags.shutdown {
                 let (next, _) = shared
                     .ckpt_wake
-                    .wait_timeout(flags, std::time::Duration::from_millis(200))
+                    .wait_timeout(flags, timeouts::BACKGROUND_WAIT_TICK)
                     .unwrap_or_else(|e| e.into_inner());
                 flags = next;
             }
@@ -2856,7 +2952,7 @@ fn inducer_loop(shared: &Shared) {
             while !flags.dirty && !flags.shutdown {
                 let (next, _) = shared
                     .induce_wake
-                    .wait_timeout(flags, std::time::Duration::from_millis(200))
+                    .wait_timeout(flags, timeouts::BACKGROUND_WAIT_TICK)
                     .unwrap_or_else(|e| e.into_inner());
                 flags = next;
             }
@@ -3021,7 +3117,8 @@ fn discover_promoted_primary(shared: &Shared) -> Option<String> {
     targets
         .iter()
         .find(|addr| {
-            poll_peer(addr).is_some_and(|peer| peer.role == "primary" && peer.term >= own_term)
+            poll_peer(&shared.cfg.net_label, addr)
+                .is_some_and(|peer| peer.role == "primary" && peer.term >= own_term)
         })
         .cloned()
 }
@@ -3093,13 +3190,15 @@ fn follow_once(shared: &Shared, repl: &ReplState, deadline: std::time::Duration)
     let rotate = || {
         repl.target_idx.fetch_add(1, Ordering::Relaxed);
     };
-    let Ok(stream) = std::net::TcpStream::connect(&target) else {
+    let Ok(stream) =
+        intensio_net::connect_timeout(&shared.cfg.net_label, &target, timeouts::REPL_CONNECT)
+    else {
         rotate();
         return FollowEnd::Lost;
     };
     let setup = stream
         .set_nodelay(true)
-        .and_then(|()| stream.set_read_timeout(Some(std::time::Duration::from_millis(200))));
+        .and_then(|()| stream.set_read_timeout(Some(timeouts::STREAM_READ_TICK)));
     if setup.is_err() {
         rotate();
         return FollowEnd::Lost;
@@ -3122,7 +3221,15 @@ fn follow_once(shared: &Shared, repl: &ReplState, deadline: std::time::Duration)
     // divergent term-0 suffix, and only the lineage term lets the
     // upstream see that and force a snapshot bootstrap instead of
     // merging a log tail onto ghost records.
-    let hello = format!("REPLICATE {from} term={}\n", snap.term);
+    // `node=` announces this follower's net label so the primary can
+    // attribute the stream to a cluster link (and link faults can
+    // target it from the primary side).
+    let node = &shared.cfg.net_label;
+    let hello = if node.is_empty() {
+        format!("REPLICATE {from} term={}\n", snap.term)
+    } else {
+        format!("REPLICATE {from} term={} node={node}\n", snap.term)
+    };
     if writer
         .write_all(hello.as_bytes())
         .and_then(|()| writer.flush())
@@ -3134,6 +3241,15 @@ fn follow_once(shared: &Shared, repl: &ReplState, deadline: std::time::Duration)
     *repl.primary.lock().unwrap_or_else(|e| e.into_inner()) = target;
     let mut reader = std::io::BufReader::new(stream);
     let mut line = String::new();
+    // Half-open detection is per-stream: this clock starts at the
+    // handshake and resets on every frame. It is NOT the promotion
+    // clock (`repl.last_heartbeat`) — resetting that one per reconnect
+    // attempt would postpone a candidate's failover deadline forever.
+    let mut last_frame = std::time::Instant::now();
+    let half_open_after = shared
+        .cfg
+        .repl_heartbeat
+        .saturating_mul(HALF_OPEN_HEARTBEATS);
     loop {
         match std::io::BufRead::read_line(&mut reader, &mut line) {
             Ok(0) => {
@@ -3141,6 +3257,7 @@ fn follow_once(shared: &Shared, repl: &ReplState, deadline: std::time::Duration)
                 return FollowEnd::Lost;
             }
             Ok(_) => {
+                last_frame = std::time::Instant::now();
                 let stream_line = std::mem::take(&mut line);
                 let msg = match StreamMsg::parse(&stream_line) {
                     Ok(msg) => msg,
@@ -3179,6 +3296,18 @@ fn follow_once(shared: &Shared, repl: &ReplState, deadline: std::time::Duration)
                 }
                 if failover_due(shared, deadline) {
                     return FollowEnd::Deadline;
+                }
+                // Half-open stream: the socket is "connected" but no
+                // frame (not even a heartbeat) has crossed it for 3×
+                // the heartbeat cadence — a silent partition, a peer
+                // frozen mid-write, or a NAT that dropped the mapping.
+                // Blocking forever here would pin the follower to a
+                // dead primary; drop and redial instead.
+                if last_frame.elapsed() > half_open_after {
+                    repl.half_open_drops.fetch_add(1, Ordering::Relaxed);
+                    intensio_obs::inc("repl.half_open_drops");
+                    rotate();
+                    return FollowEnd::Lost;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}

@@ -15,6 +15,8 @@
 //! and this file is its own test binary. The schedule is deterministic
 //! for a given `INTENSIO_CHAOS_SEED` (default 42).
 
+mod support;
+
 use intensio_serve::{Reply, Request, Service, ServiceConfig};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
@@ -31,10 +33,7 @@ fn fault_gate() -> MutexGuard<'static, ()> {
 }
 
 fn chaos_seed() -> u64 {
-    std::env::var("INTENSIO_CHAOS_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
+    support::chaos_seed(42)
 }
 
 fn open_service(tweak: impl FnOnce(&mut ServiceConfig)) -> Service {

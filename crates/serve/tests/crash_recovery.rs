@@ -15,182 +15,31 @@
 
 #![cfg(unix)]
 
+mod support;
+
 use std::collections::BTreeSet;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use support::{temp_dir, Conn, ServeChild};
 
-static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-fn temp_dir(tag: &str) -> PathBuf {
-    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "intensio-crash-recovery-{}-{tag}-{n}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// A running `serve` child plus the address it bound.
-struct ServeChild {
-    child: Child,
-    addr: String,
-}
-
-impl ServeChild {
-    /// Spawn the serve binary in durable mode on an ephemeral port and
-    /// wait for its "listening on" banner.
-    fn spawn(data_dir: &Path, extra: &[&str]) -> ServeChild {
-        let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
-        cmd.arg("--addr")
-            .arg("127.0.0.1:0")
-            .arg("--data-dir")
-            .arg(data_dir)
-            .arg("--workers")
-            .arg("2")
-            .arg("--quiet")
-            .args(extra)
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null());
-        let mut child = cmd.spawn().expect("spawn serve binary");
-        let stdout = child.stdout.take().expect("child stdout");
-        let mut lines = BufReader::new(stdout).lines();
-        let addr = loop {
-            let line = lines
-                .next()
-                .expect("serve exited before listening")
-                .expect("read serve stdout");
-            if let Some(rest) = line.split("listening on ").nth(1) {
-                break rest
-                    .split_whitespace()
-                    .next()
-                    .expect("address after 'listening on'")
-                    .to_string();
-            }
-        };
-        // Keep draining stdout so the child never blocks on a full pipe.
-        std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
-        ServeChild { child, addr }
-    }
-
-    fn connect(&self) -> Conn {
-        let deadline = Instant::now() + Duration::from_secs(10);
-        loop {
-            match TcpStream::connect(&self.addr) {
-                Ok(stream) => {
-                    stream
-                        .set_read_timeout(Some(Duration::from_secs(30)))
-                        .unwrap();
-                    let reader = BufReader::new(stream.try_clone().unwrap());
-                    return Conn { stream, reader };
-                }
-                Err(e) => {
-                    assert!(
-                        Instant::now() < deadline,
-                        "cannot connect {}: {e}",
-                        self.addr
-                    );
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-            }
-        }
-    }
-
-    /// SIGKILL: the child gets no chance to flush or shut down.
-    fn kill(mut self) {
-        self.child.kill().expect("SIGKILL serve child");
-        let _ = self.child.wait();
-    }
-
-    fn shutdown(self) {
-        self.kill(); // The protocol has no daemon shutdown; tests always kill.
-    }
-}
-
-/// One line-oriented protocol connection.
-struct Conn {
-    stream: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
-impl Conn {
-    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
-        self.stream.write_all(request.as_bytes())?;
-        self.stream.write_all(b"\n")?;
-        let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        if line.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed connection",
-            ));
-        }
-        Ok(line)
-    }
-
-    /// Append one SUBMARINE row; `Ok(epoch)` only when the server
-    /// acknowledged the write with a well-formed reply.
-    fn append(&mut self, id: &str) -> std::io::Result<u64> {
-        let reply = self.roundtrip(&format!(
-            "QUEL append to SUBMARINE (Id = \"{id}\", Name = \"Crash Probe\", Class = \"0101\")"
-        ))?;
-        let v = intensio_serve::json::parse(&reply)
-            .unwrap_or_else(|e| panic!("undecodable reply ({e}): {reply}"));
-        use intensio_serve::json::Json;
-        assert_eq!(
-            v.get("ok").and_then(Json::as_bool),
-            Some(true),
-            "append rejected: {reply}"
-        );
-        Ok(v.get("epoch").and_then(Json::as_u64).expect("epoch in ack"))
-    }
-
-    /// All SUBMARINE ids currently visible.
-    fn submarine_ids(&mut self) -> BTreeSet<String> {
-        let reply = self
-            .roundtrip("SQL SELECT Id FROM SUBMARINE")
-            .expect("id query");
-        let v = intensio_serve::json::parse(&reply).expect("id query reply");
-        use intensio_serve::json::Json;
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{reply}");
-        v.get("rows")
-            .and_then(Json::as_array)
-            .expect("rows")
-            .iter()
-            .filter_map(|row| {
-                row.as_array()
-                    .and_then(|cells| cells.first())
-                    .and_then(Json::as_str)
-                    .map(|id| id.trim().to_string())
-            })
-            .collect()
-    }
-
-    /// (epoch, replayed_records, recovered_epoch) from STATS.
-    fn stats(&mut self) -> (u64, u64, u64) {
-        let reply = self.roundtrip("STATS").expect("stats");
-        // Printed raw so CI can grep recovery metrics out of the run log.
-        println!("stats: {}", reply.trim_end());
-        let v = intensio_serve::json::parse(&reply).expect("stats reply");
-        use intensio_serve::json::Json;
-        let epoch = v.get("epoch").and_then(Json::as_u64).expect("epoch");
-        let d = v.get("durability").expect("durability object in stats");
-        let replayed = d
-            .get("replayed_records")
-            .and_then(Json::as_u64)
-            .expect("replayed_records");
-        let recovered = d
-            .get("recovered_epoch")
-            .and_then(Json::as_u64)
-            .expect("recovered_epoch");
-        (epoch, replayed, recovered)
-    }
+/// (epoch, replayed_records, recovered_epoch) from STATS.
+fn durability_stats(conn: &mut Conn) -> (u64, u64, u64) {
+    let reply = conn.roundtrip("STATS").expect("stats");
+    // Printed raw so CI can grep recovery metrics out of the run log.
+    println!("stats: {}", reply.trim_end());
+    let v = intensio_serve::json::parse(&reply).expect("stats reply");
+    use intensio_serve::json::Json;
+    let epoch = v.get("epoch").and_then(Json::as_u64).expect("epoch");
+    let d = v.get("durability").expect("durability object in stats");
+    let replayed = d
+        .get("replayed_records")
+        .and_then(Json::as_u64)
+        .expect("replayed_records");
+    let recovered = d
+        .get("recovered_epoch")
+        .and_then(Json::as_u64)
+        .expect("recovered_epoch");
+    (epoch, replayed, recovered)
 }
 
 /// The acked state shared between the writer thread and the killer.
@@ -241,7 +90,7 @@ fn sigkill_mid_workload_loses_no_acked_write() {
                 "round {round}: acked write {id} lost across SIGKILL"
             );
         }
-        let (epoch, replayed, recovered_epoch) = probe.stats();
+        let (epoch, replayed, recovered_epoch) = durability_stats(&mut probe);
         assert!(
             epoch >= last_acked_epoch,
             "round {round}: epoch {epoch} ran backwards past acked {last_acked_epoch}"
@@ -287,7 +136,7 @@ fn sigkill_mid_workload_loses_no_acked_write() {
     for id in &surviving_ids {
         assert!(visible.contains(id), "final boot: acked write {id} lost");
     }
-    let (epoch, replayed, _) = probe.stats();
+    let (epoch, replayed, _) = durability_stats(&mut probe);
     assert!(epoch >= last_acked_epoch, "final epoch ran backwards");
     assert!(
         replayed > 0,
@@ -336,7 +185,7 @@ fn sigkill_with_checkpoints_still_recovers_everything() {
     for id in &a.ids {
         assert!(visible.contains(id), "checkpointed run: acked {id} lost");
     }
-    let (epoch, _, recovered_epoch) = probe.stats();
+    let (epoch, _, recovered_epoch) = durability_stats(&mut probe);
     assert!(
         epoch >= a.max_epoch,
         "epoch ran backwards after checkpointed crash"

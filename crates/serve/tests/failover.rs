@@ -21,233 +21,22 @@
 
 #![cfg(unix)]
 
-use intensio_serve::json::{self, Json};
+mod support;
+
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::path::Path;
-use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use support::{await_epoch_match, await_role, temp_dir, write_retrying, Conn};
 
-static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "intensio-failover-{}-{tag}-{n}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// A running `serve` child on an ephemeral port.
-struct ServeChild {
-    child: Child,
-    addr: String,
-}
+/// These drills audit exact epochs, so learning must not move them on
+/// its own.
+struct ServeChild;
 
 impl ServeChild {
-    fn spawn(data_dir: &Path, extra: &[&str]) -> ServeChild {
-        let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
-        cmd.arg("--addr")
-            .arg("127.0.0.1:0")
-            .arg("--data-dir")
-            .arg(data_dir)
-            .arg("--workers")
-            .arg("2")
-            .arg("--no-learn")
-            .arg("--quiet")
-            .args(extra)
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null());
-        let mut child = cmd.spawn().expect("spawn serve binary");
-        let stdout = child.stdout.take().expect("child stdout");
-        let mut lines = BufReader::new(stdout).lines();
-        let addr = loop {
-            let line = lines
-                .next()
-                .expect("serve exited before listening")
-                .expect("read serve stdout");
-            if let Some(rest) = line.split("listening on ").nth(1) {
-                break rest
-                    .split_whitespace()
-                    .next()
-                    .expect("address after 'listening on'")
-                    .to_string();
-            }
-        };
-        std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
-        ServeChild { child, addr }
-    }
-
-    fn connect(&self) -> Conn {
-        Conn::to(&self.addr)
-    }
-
-    /// SIGKILL — no flush, no clean shutdown.
-    fn kill(mut self) {
-        self.child.kill().expect("SIGKILL serve child");
-        let _ = self.child.wait();
-    }
-}
-
-struct Conn {
-    stream: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
-impl Conn {
-    fn to(addr: &str) -> Conn {
-        let deadline = Instant::now() + Duration::from_secs(10);
-        loop {
-            match TcpStream::connect(addr) {
-                Ok(stream) => {
-                    stream
-                        .set_read_timeout(Some(Duration::from_secs(30)))
-                        .unwrap();
-                    let reader = BufReader::new(stream.try_clone().unwrap());
-                    return Conn { stream, reader };
-                }
-                Err(e) => {
-                    assert!(Instant::now() < deadline, "cannot connect {addr}: {e}");
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-            }
-        }
-    }
-
-    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
-        self.stream.write_all(request.as_bytes())?;
-        self.stream.write_all(b"\n")?;
-        let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        if line.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed connection",
-            ));
-        }
-        Ok(line)
-    }
-
-    fn json(&mut self, request: &str) -> Json {
-        let reply = self.roundtrip(request).expect("roundtrip");
-        json::parse(&reply).unwrap_or_else(|e| panic!("undecodable reply ({e}): {reply}"))
-    }
-
-    /// (epoch, role, term) from `STATS`.
-    fn status(&mut self) -> (u64, String, u64) {
-        let v = self.json("STATS");
-        (
-            v.get("epoch").and_then(Json::as_u64).expect("epoch"),
-            v.get("role")
-                .and_then(Json::as_str)
-                .expect("role")
-                .to_string(),
-            v.get("term").and_then(Json::as_u64).expect("term"),
-        )
-    }
-
-    /// SUBMARINE ids with their multiplicities — the audit needs to
-    /// see a double application, which a set would hide.
-    fn submarine_id_counts(&mut self) -> BTreeMap<String, usize> {
-        let v = self.json("SQL SELECT Id FROM SUBMARINE");
-        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
-        let mut counts = BTreeMap::new();
-        for row in v.get("rows").and_then(Json::as_array).expect("rows") {
-            if let Some(id) = row
-                .as_array()
-                .and_then(|cells| cells.first())
-                .and_then(Json::as_str)
-            {
-                *counts.entry(id.trim().to_string()).or_insert(0) += 1;
-            }
-        }
-        counts
-    }
-}
-
-/// Poll `addr` until its STATS shows `role`, returning elapsed time.
-fn await_role(addr: &str, role: &str, within: Duration, what: &str) -> Duration {
-    let start = Instant::now();
-    let deadline = start + within;
-    loop {
-        let (_, r, _) = Conn::to(addr).status();
-        if r == role {
-            return start.elapsed();
-        }
-        assert!(
-            Instant::now() < deadline,
-            "{what}: {addr} never reached role {role} (still {r})"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
-
-/// Append `id`, retrying across the address rotation until some node
-/// acks. Idempotent under lost acks: a presence probe runs before
-/// every (re-)issue. Returns the acked epoch.
-fn write_retrying(targets: &[&str], id: &str) -> u64 {
-    let deadline = Instant::now() + Duration::from_secs(30);
-    let probe = format!("SQL SELECT Id FROM SUBMARINE WHERE Id = \"{id}\"");
-    let append =
-        format!("QUEL append to SUBMARINE (Id = \"{id}\", Name = \"Fo Probe\", Class = \"0101\")");
-    loop {
-        for addr in targets {
-            let Ok(stream) = TcpStream::connect(addr) else {
-                continue;
-            };
-            stream
-                .set_read_timeout(Some(Duration::from_secs(10)))
-                .unwrap();
-            let mut conn = Conn {
-                reader: BufReader::new(stream.try_clone().unwrap()),
-                stream,
-            };
-            if let Ok(line) = conn.roundtrip(&probe) {
-                if let Ok(v) = json::parse(&line) {
-                    if v.get("ok").and_then(Json::as_bool) == Some(true)
-                        && v.get("rows").and_then(Json::as_array).map(<[Json]>::len) == Some(1)
-                    {
-                        // A lost ack: the append already applied.
-                        return v.get("epoch").and_then(Json::as_u64).unwrap_or(0);
-                    }
-                }
-            }
-            if let Ok(line) = conn.roundtrip(&append) {
-                if let Ok(v) = json::parse(&line) {
-                    if v.get("ok").and_then(Json::as_bool) == Some(true) {
-                        return v.get("epoch").and_then(Json::as_u64).expect("epoch");
-                    }
-                }
-            }
-        }
-        assert!(
-            Instant::now() < deadline,
-            "no target acked write {id} within 30s"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
-
-/// Wait until `follower_addr` converges to the exact epoch of
-/// `primary_addr` (which must be quiescent).
-fn await_epoch_match(primary_addr: &str, follower_addr: &str, what: &str) -> u64 {
-    let deadline = Instant::now() + Duration::from_secs(30);
-    loop {
-        let (pe, _, _) = Conn::to(primary_addr).status();
-        let (fe, _, _) = Conn::to(follower_addr).status();
-        if pe == fe {
-            return pe;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "{what}: {follower_addr} stuck at {fe}, primary at {pe}"
-        );
-        std::thread::sleep(Duration::from_millis(15));
+    fn spawn(data_dir: &Path, extra: &[&str]) -> support::ServeChild {
+        let mut args = vec!["--no-learn"];
+        args.extend_from_slice(extra);
+        support::ServeChild::spawn(data_dir, &args)
     }
 }
 

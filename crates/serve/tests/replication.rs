@@ -19,6 +19,8 @@
 
 #![cfg(unix)]
 
+mod support;
+
 use intensio_serve::json::{self, Json};
 use intensio_serve::{Client, Server, Service, ServiceConfig};
 use std::collections::BTreeSet;
@@ -272,158 +274,11 @@ fn follower_serves_read_your_writes_via_min_epoch() {
 
 mod chaos {
     use super::*;
-    use std::io::{BufRead, BufReader, Write};
-    use std::net::TcpStream;
-    use std::path::Path;
-    use std::process::{Child, Command, Stdio};
-
-    /// A running `serve` child on an ephemeral port.
-    struct ServeChild {
-        child: Child,
-        addr: String,
-    }
-
-    impl ServeChild {
-        fn spawn(data_dir: &Path, extra: &[&str]) -> ServeChild {
-            let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
-            cmd.arg("--addr")
-                .arg("127.0.0.1:0")
-                .arg("--data-dir")
-                .arg(data_dir)
-                .arg("--workers")
-                .arg("2")
-                .arg("--quiet")
-                .args(extra)
-                .stdout(Stdio::piped())
-                .stderr(Stdio::null());
-            let mut child = cmd.spawn().expect("spawn serve binary");
-            let stdout = child.stdout.take().expect("child stdout");
-            let mut lines = BufReader::new(stdout).lines();
-            let addr = loop {
-                let line = lines
-                    .next()
-                    .expect("serve exited before listening")
-                    .expect("read serve stdout");
-                if let Some(rest) = line.split("listening on ").nth(1) {
-                    break rest
-                        .split_whitespace()
-                        .next()
-                        .expect("address after 'listening on'")
-                        .to_string();
-                }
-            };
-            std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
-            ServeChild { child, addr }
-        }
-
-        fn connect(&self) -> Conn {
-            let deadline = Instant::now() + Duration::from_secs(10);
-            loop {
-                match TcpStream::connect(&self.addr) {
-                    Ok(stream) => {
-                        stream
-                            .set_read_timeout(Some(Duration::from_secs(30)))
-                            .unwrap();
-                        let reader = BufReader::new(stream.try_clone().unwrap());
-                        return Conn { stream, reader };
-                    }
-                    Err(e) => {
-                        assert!(
-                            Instant::now() < deadline,
-                            "cannot connect {}: {e}",
-                            self.addr
-                        );
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                }
-            }
-        }
-
-        /// SIGKILL — no flush, no clean shutdown, mid-replay.
-        fn kill(mut self) {
-            self.child.kill().expect("SIGKILL serve child");
-            let _ = self.child.wait();
-        }
-    }
-
-    struct Conn {
-        stream: TcpStream,
-        reader: BufReader<TcpStream>,
-    }
-
-    impl Conn {
-        fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
-            self.stream.write_all(request.as_bytes())?;
-            self.stream.write_all(b"\n")?;
-            let mut line = String::new();
-            self.reader.read_line(&mut line)?;
-            if line.is_empty() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed connection",
-                ));
-            }
-            Ok(line)
-        }
-
-        fn json(&mut self, request: &str) -> Json {
-            let reply = self.roundtrip(request).expect("roundtrip");
-            json::parse(&reply).unwrap_or_else(|e| panic!("undecodable reply ({e}): {reply}"))
-        }
-
-        fn epoch_and_lag_and_applied(&mut self) -> (u64, u64, u64) {
-            let v = self.json("STATS");
-            let epoch = v.get("epoch").and_then(Json::as_u64).expect("epoch");
-            let lag = v
-                .get("repl")
-                .and_then(|r| r.get("lag_epochs"))
-                .and_then(Json::as_u64)
-                .unwrap_or(u64::MAX);
-            let applied = v
-                .get("repl")
-                .and_then(|r| r.get("records_applied"))
-                .and_then(Json::as_u64)
-                .unwrap_or(0);
-            (epoch, lag, applied)
-        }
-
-        fn submarine_ids(&mut self) -> BTreeSet<String> {
-            let v = self.json("SQL SELECT Id FROM SUBMARINE");
-            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
-            v.get("rows")
-                .and_then(Json::as_array)
-                .expect("rows")
-                .iter()
-                .filter_map(|row| {
-                    row.as_array()
-                        .and_then(|cells| cells.first())
-                        .and_then(Json::as_str)
-                        .map(|id| id.trim().to_string())
-                })
-                .collect()
-        }
-    }
-
-    /// Deterministic xorshift64 stream for workload shaping.
-    struct Rng(u64);
-
-    impl Rng {
-        fn next(&mut self) -> u64 {
-            let mut x = self.0;
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            self.0 = x;
-            x
-        }
-    }
+    use crate::support::{chaos_seed, Conn, Rng, ServeChild};
 
     #[test]
     fn sigkill_follower_mid_replay_rejoins_without_duplicate_application() {
-        let seed: u64 = std::env::var("INTENSIO_CHAOS_SEED")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0xC0FFEE);
+        let seed: u64 = chaos_seed(0xC0FFEE);
         println!("chaos seed: {seed} (set INTENSIO_CHAOS_SEED to reproduce)");
         let mut rng = Rng(seed | 1);
 

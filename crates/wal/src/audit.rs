@@ -72,9 +72,7 @@ pub fn scan_frames(buf: &[u8]) -> Vec<(u64, FrameOutcome)> {
 /// Checkpoint directories exactly as named on disk, including ones
 /// [`crate::checkpoint::list_checkpoints`] would skip as unparseable.
 /// Each entry is `(path, parsed (epoch, seq) when the name parses)`.
-pub fn list_checkpoint_dirs(
-    data_dir: &Path,
-) -> std::io::Result<Vec<CheckpointDirEntry>> {
+pub fn list_checkpoint_dirs(data_dir: &Path) -> std::io::Result<Vec<CheckpointDirEntry>> {
     let dir = data_dir.join(CHECKPOINT_SUBDIR);
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
